@@ -1,0 +1,129 @@
+(* The benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation (plus the extra studies) and prints the same rows/series the
+   paper reports — this is the artifact's headline output.
+
+   [--bechamel] instead runs Bechamel micro-benchmarks: one Test.make per
+   table/figure, each timing the simulation kernel that regenerates that
+   experiment on a reduced workload, so simulator-performance regressions
+   are visible.
+
+   [--quick] runs the full report at scale 1 (fast iteration). *)
+
+let micro_source =
+  {|
+int inputs[2048];
+int histogram[64];
+int main() {
+  int i; int pass; int acc = 0; int seed = 11;
+  for (i = 0; i < 2048; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    inputs[i] = (seed >> 8) & 63;
+  }
+  for (pass = 0; pass < 3; pass = pass + 1) {
+    for (i = 0; i < 2048; i = i + 1) {
+      int v = inputs[i];
+      histogram[v] = histogram[v] + 1;
+      if (i % 4 == 0) { acc = acc + v * 3 - (v >> 1); }
+    }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+let micro = lazy (Bisa_compiler.Compiler.compile micro_source)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let cfg icache predictor = { Bisa_timing.Config.default with icache; predictor } in
+  let icache_of_kb kb =
+    Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
+  in
+  let conv cfg () = ignore (Bisa_timing.Conv_pipeline.run cfg (Lazy.force micro).conv) in
+  let block cfg () = ignore (Bisa_timing.Block_pipeline.run cfg (Lazy.force micro).block) in
+  [
+    (* Table 1 is static; its "kernel" is the compilation itself. *)
+    Test.make ~name:"table1_compile"
+      (Staged.stage (fun () -> ignore (Bisa_compiler.Compiler.compile micro_source)));
+    (* Table 2: functional execution (instruction counting). *)
+    Test.make ~name:"table2_functional_exec"
+      (Staged.stage (fun () -> ignore (Bisa_sim.Conv_exec.run (Lazy.force micro).conv ())));
+    (* Figure 3: both timing pipelines, real predictor. *)
+    Test.make ~name:"fig3_conv_pipeline"
+      (Staged.stage (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)));
+    Test.make ~name:"fig3_block_pipeline"
+      (Staged.stage (block (cfg (icache_of_kb 16) Bisa_timing.Config.Real)));
+    (* Figure 4: perfect prediction. *)
+    Test.make ~name:"fig4_block_perfect"
+      (Staged.stage (block (cfg (icache_of_kb 16) Bisa_timing.Config.Perfect)));
+    (* Figure 5 reuses the fig3 kernels plus the histogramming. *)
+    Test.make ~name:"fig5_block_sizes"
+      (Staged.stage (fun () ->
+           let m =
+             Bisa_timing.Block_pipeline.run
+               (cfg (icache_of_kb 16) Bisa_timing.Config.Real)
+               (Lazy.force micro).block
+           in
+           ignore (Bisa_timing.Metrics.mean_block_size m)));
+    (* Figures 6/7: the icache-sweep kernels (small and perfect points). *)
+    Test.make ~name:"fig6_conv_small_icache"
+      (Staged.stage (conv (cfg (icache_of_kb 2) Bisa_timing.Config.Real)));
+    Test.make ~name:"fig7_block_small_icache"
+      (Staged.stage (block (cfg (icache_of_kb 2) Bisa_timing.Config.Real)));
+    Test.make ~name:"fig67_perfect_icache_baseline"
+      (Staged.stage (block (cfg None Bisa_timing.Config.Real)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let benchmark_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let suite =
+    Test.make_grouped ~name:"paper-experiments" ~fmt:"%s %s" (bechamel_tests ())
+  in
+  let raw = Benchmark.all benchmark_cfg instances suite in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results =
+    List.map (fun i -> Analyze.all ols i raw) instances
+    |> Analyze.merge ols instances
+  in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test (result : Analyze.OLS.t) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-32s %-16s %12.0f ns/run\n" test name est
+          | _ -> Printf.printf "%-32s %-16s (no estimate)\n" test name)
+        tbl)
+    results
+
+let run_report ~quick =
+  let h =
+    if quick then Bisa_experiments.Harness.create ~scale:1 ()
+    else Bisa_experiments.Harness.create ()
+  in
+  List.iter
+    (fun (r : Bisa_experiments.Figures.report) ->
+      Printf.printf "\n===== %s: %s =====\n%s\n%s\n%!" r.id r.title r.rendered r.summary)
+    (Bisa_experiments.Figures.all h
+    @ [
+        Bisa_experiments.Extras.prediction_parity h;
+        Bisa_experiments.Extras.scientific ();
+        Bisa_experiments.Extras.trace_cache_rivalry ();
+        Bisa_experiments.Extras.inlining_study ();
+        Bisa_experiments.Extras.predication_study ();
+      ]);
+  List.iter
+    (fun (s : Bisa_experiments.Ablations.study) ->
+      Printf.printf "\n===== %s: %s =====\n%s%!" s.id s.title s.rendered)
+    (Bisa_experiments.Ablations.all () @ [ Bisa_experiments.Profile_guided.study () ])
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--bechamel" args then run_bechamel ()
+  else run_report ~quick:(List.mem "--quick" args)

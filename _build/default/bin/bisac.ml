@@ -1,0 +1,156 @@
+(* The compiler driver: MiniC in, listings for either ISA out. *)
+
+let read_source path_or_name =
+  if Sys.file_exists path_or_name then begin
+    let ic = open_in_bin path_or_name in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    (s, [])
+  end
+  else begin
+    (* Fall back to a named built-in workload. *)
+    let w = Bisa_workloads.Workloads.find path_or_name in
+    (Bisa_workloads.Workloads.source w, w.library_funcs)
+  end
+
+type emit = Ast | Ir | Mir | Conv | Block | Stats | Conv_bin | Block_bin
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let run input emit output opt_level inline ifconvert max_ops max_faults no_enlarge
+    merge_back libs_too =
+  let src, library_funcs = read_source input in
+  let enlarge =
+    {
+      Bisa_backend.Enlarge.enabled = not no_enlarge;
+      max_ops;
+      max_faults;
+      merge_across_back_edges = merge_back;
+      enlarge_libraries = libs_too;
+    }
+  in
+  let opt = if opt_level = 0 then Bisa_opt.Pipeline.O0 else Bisa_opt.Pipeline.O1 in
+  let compile src = Bisa_compiler.Compiler.compile ~opt ~enlarge ~inline ~ifconvert ~library_funcs src in
+  match emit with
+  | Ast ->
+    let _ = Bisa_frontend.Parser.parse src in
+    print_endline "parse: OK";
+    `Ok ()
+  | Ir ->
+    let _, ir = Bisa_compiler.Compiler.frontend ~library_funcs src in
+    Bisa_opt.Pipeline.optimize opt ir;
+    Format.printf "%a@." Bisa_ir.Ir.pp_program ir;
+    `Ok ()
+  | Mir ->
+    let _, ir = Bisa_compiler.Compiler.frontend ~library_funcs src in
+    Bisa_opt.Pipeline.optimize opt ir;
+    List.iter
+      (fun f -> print_string (Bisa_backend.Mir.to_string (Bisa_backend.Isel.select f)))
+      ir.funcs;
+    `Ok ()
+  | Conv ->
+    let c = compile src in
+    print_string (Bisa_isa.Conv_prog.to_string c.conv);
+    `Ok ()
+  | Block ->
+    let c = compile src in
+    print_string (Bisa_isa.Block_prog.to_string c.block);
+    `Ok ()
+  | Conv_bin ->
+    let c = compile src in
+    let path = Option.value output ~default:"a.cbin" in
+    write_file path (Bisa_isa.Encode.conv_to_bytes c.conv);
+    Printf.printf "wrote %s (%d instructions)\n" path (Array.length c.conv.insns);
+    `Ok ()
+  | Block_bin ->
+    let c = compile src in
+    let path = Option.value output ~default:"a.bbin" in
+    write_file path (Bisa_isa.Encode.block_to_bytes c.block);
+    Printf.printf "wrote %s (%d blocks)\n" path (Array.length c.block.blocks);
+    `Ok ()
+  | Stats ->
+    let c = compile src in
+    Printf.printf "conventional: %d instructions (%d bytes)\n"
+      (Array.length c.conv.insns)
+      (Bisa_isa.Conv_prog.code_bytes c.conv);
+    Printf.printf "block-structured: %d blocks, %d ops (%d bytes)\n"
+      (Array.length c.block.blocks)
+      (Bisa_isa.Block_prog.static_op_count c.block)
+      c.block.code_bytes;
+    List.iter
+      (fun (e : Bisa_backend.Enlarge.t) ->
+        let blocks, ops, merged = Bisa_backend.Enlarge.stats e in
+        Printf.printf "  %-16s %4d blocks %5d ops  %.2f basic blocks merged/block\n"
+          e.name blocks ops merged)
+      c.enlarged;
+    `Ok ()
+
+let () =
+  let open Cmdliner in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"MiniC source file, or a built-in workload name.")
+  in
+  let emit =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ast", Ast); ("ir", Ir); ("mir", Mir); ("conv", Conv);
+               ("block", Block); ("stats", Stats); ("conv-bin", Conv_bin);
+               ("block-bin", Block_bin);
+             ])
+          Stats
+      & info [ "emit" ]
+          ~doc:
+            "What to produce: ast, ir, mir, conv, block, stats, or the binary \
+             executables conv-bin / block-bin.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output path for the binary emit modes.")
+  in
+  let opt_level =
+    Arg.(value & opt int 1 & info [ "O" ] ~doc:"Optimization level (0 or 1).")
+  in
+  let inline =
+    Arg.(value & flag & info [ "inline" ] ~doc:"Run the section-6 inlining pass.")
+  in
+  let ifconvert =
+    Arg.(
+      value & flag
+      & info [ "ifconvert" ] ~doc:"Run the section-6 if-conversion (predication) pass.")
+  in
+  let max_ops =
+    Arg.(value & opt int 16 & info [ "max-ops" ] ~doc:"Enlargement: max block size.")
+  in
+  let max_faults =
+    Arg.(value & opt int 2 & info [ "max-faults" ] ~doc:"Enlargement: max faults/block.")
+  in
+  let no_enlarge =
+    Arg.(value & flag & info [ "no-enlarge" ] ~doc:"Disable block enlargement.")
+  in
+  let merge_back =
+    Arg.(value & flag & info [ "merge-backedges" ] ~doc:"Ablation: merge across back edges.")
+  in
+  let libs_too =
+    Arg.(value & flag & info [ "enlarge-libraries" ] ~doc:"Ablation: enlarge library code.")
+  in
+  let term =
+    Term.(
+      ret (const run $ input $ emit $ output $ opt_level $ inline $ ifconvert
+           $ max_ops $ max_faults $ no_enlarge $ merge_back $ libs_too))
+  in
+  let info =
+    Cmd.info "bisac" ~doc:"MiniC compiler for the block-structured ISA toolchain"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,112 @@
+(* The simulator driver: run a MiniC program (or built-in workload) on
+   either core, functionally or through the timing model. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_source path_or_name =
+  if Sys.file_exists path_or_name then (read_file path_or_name, [])
+  else begin
+    let w = Bisa_workloads.Workloads.find path_or_name in
+    (Bisa_workloads.Workloads.source w, w.library_funcs)
+  end
+
+type isa = Conv | Block
+
+(* Pre-compiled binaries (from `bisac --emit conv-bin/block-bin`) load
+   directly; anything else compiles from source. *)
+type loaded =
+  | Lconv of Bisa_isa.Conv_prog.t
+  | Lblock of Bisa_isa.Block_prog.t
+  | Lsource of string * string list
+
+let load input =
+  if Filename.check_suffix input ".cbin" then Lconv (Bisa_isa.Encode.conv_of_bytes (read_file input))
+  else if Filename.check_suffix input ".bbin" then
+    Lblock (Bisa_isa.Encode.block_of_bytes (read_file input))
+  else begin
+    let src, libs = read_source input in
+    Lsource (src, libs)
+  end
+
+let cache_of_kb = function
+  | 0 -> None
+  | kb -> Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
+
+let run input isa functional icache_kb perfect_pred show_output =
+  let conv_prog, block_prog =
+    match load input with
+    | Lconv p -> (Some p, None)
+    | Lblock p -> (None, Some p)
+    | Lsource (src, library_funcs) ->
+      let c = Bisa_compiler.Compiler.compile ~library_funcs src in
+      (Some c.conv, Some c.block)
+  in
+  let pick opt what =
+    match opt with
+    | Some p -> p
+    | None -> invalid_arg ("this binary does not contain a " ^ what ^ " executable")
+  in
+  let cfg =
+    {
+      Bisa_timing.Config.default with
+      icache = cache_of_kb icache_kb;
+      predictor = (if perfect_pred then Bisa_timing.Config.Perfect else Bisa_timing.Config.Real);
+    }
+  in
+  if functional then begin
+    let out, n =
+      match isa with
+      | Conv -> Bisa_sim.Conv_exec.run (pick conv_prog "conventional") ()
+      | Block -> Bisa_sim.Block_exec.run (pick block_prog "block-structured") ()
+    in
+    if show_output then print_endline (Bisa_sim.Output.to_string out);
+    Printf.printf "%d dynamic operations, exit value %d\n" n out.ret
+  end
+  else begin
+    let m =
+      match isa with
+      | Conv -> Bisa_timing.Conv_pipeline.run cfg (pick conv_prog "conventional")
+      | Block -> Bisa_timing.Block_pipeline.run cfg (pick block_prog "block-structured")
+    in
+    let name = match isa with Conv -> "conventional" | Block -> "block-structured" in
+    print_endline (Bisa_timing.Metrics.summary ~name m)
+  end;
+  `Ok ()
+
+let () =
+  let open Cmdliner in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"MiniC source file, or a built-in workload name.")
+  in
+  let isa =
+    Arg.(
+      value
+      & opt (enum [ ("conv", Conv); ("block", Block) ]) Block
+      & info [ "isa" ] ~doc:"Which executable to run: conv or block.")
+  in
+  let functional =
+    Arg.(value & flag & info [ "functional" ] ~doc:"Functional execution only (no timing).")
+  in
+  let icache_kb =
+    Arg.(value & opt int 16 & info [ "icache-kb" ] ~doc:"L1 icache size in KB; 0 = perfect.")
+  in
+  let perfect_pred =
+    Arg.(value & flag & info [ "perfect-pred" ] ~doc:"Use a perfect branch predictor.")
+  in
+  let show_output =
+    Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's output stream.")
+  in
+  let term =
+    Term.(
+      ret (const run $ input $ isa $ functional $ icache_kb $ perfect_pred $ show_output))
+  in
+  let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,85 @@
+(* Regenerate every table and figure of the paper's evaluation (and the
+   extra studies), optionally writing EXPERIMENTS.md. *)
+
+let run only scale paper_caches with_ablations out verbose =
+  Bisa_experiments.Harness.verbose := verbose;
+  let h =
+    match scale with
+    | Some scale -> Bisa_experiments.Harness.create ~scale ~paper_caches ()
+    | None -> Bisa_experiments.Harness.create ~paper_caches ()
+  in
+  let reports =
+    let all =
+      Bisa_experiments.Figures.all h
+      @ [
+          Bisa_experiments.Extras.prediction_parity h;
+          Bisa_experiments.Extras.scientific ();
+          Bisa_experiments.Extras.trace_cache_rivalry ();
+          Bisa_experiments.Extras.inlining_study ();
+          Bisa_experiments.Extras.predication_study ();
+        ]
+    in
+    match only with
+    | None -> all
+    | Some id -> List.filter (fun (r : Bisa_experiments.Figures.report) -> r.id = id) all
+  in
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (r : Bisa_experiments.Figures.report) ->
+      Buffer.add_string buf (Printf.sprintf "\n===== %s: %s =====\n" r.id r.title);
+      Buffer.add_string buf r.rendered;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf r.summary;
+      Buffer.add_char buf '\n')
+    reports;
+  if with_ablations then
+    List.iter
+      (fun (s : Bisa_experiments.Ablations.study) ->
+        Buffer.add_string buf (Printf.sprintf "\n===== %s: %s =====\n" s.id s.title);
+        Buffer.add_string buf s.rendered)
+      (Bisa_experiments.Ablations.all () @ [ Bisa_experiments.Profile_guided.study () ]);
+  print_string (Buffer.contents buf);
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  | None -> ());
+  `Ok ()
+
+let () =
+  let open Cmdliner in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~doc:"Run a single experiment (table1, table2, fig3..fig7, ...).")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale" ] ~doc:"Override every workload's iteration scale.")
+  in
+  let paper_caches =
+    Arg.(
+      value & flag
+      & info [ "paper-sizes" ]
+          ~doc:"Use the paper's literal 16/32/64KB icaches instead of the scaled sweep.")
+  in
+  let with_ablations =
+    Arg.(value & flag & info [ "ablations" ] ~doc:"Also run the ablation studies.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Also write the report to this file.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log each simulation run.") in
+  let term =
+    Term.(ret (const run $ only $ scale $ paper_caches $ with_ablations $ out $ verbose))
+  in
+  let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures" in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,46 @@
+(* Code expansion vs icache size (the figures 6/7 mechanism): block
+   enlargement duplicates blocks, so the block-structured executable is
+   ~2x the conventional size and loses more when the icache shrinks —
+   worst for big-footprint, unbiased-branch code like the gcc and go
+   surrogates.
+
+   Run with: dune exec examples/icache_pressure.exe *)
+
+let sizes_kb = [ 2; 4; 8; 16 ]
+
+let () =
+  List.iter
+    (fun name ->
+      let w = Bisa_workloads.Workloads.find name in
+      let c = Bisa_workloads.Workloads.compile w in
+      Printf.printf "%s: conventional %d bytes of code, block-structured %d (%.2fx)\n"
+        name
+        (Bisa_isa.Conv_prog.code_bytes c.conv)
+        c.block.code_bytes
+        (float_of_int c.block.code_bytes
+        /. float_of_int (Bisa_isa.Conv_prog.code_bytes c.conv));
+      let perfect =
+        let cfg = { Bisa_timing.Config.default with icache = None } in
+        ( (Bisa_timing.Conv_pipeline.run cfg c.conv).cycles,
+          (Bisa_timing.Block_pipeline.run cfg c.block).cycles )
+      in
+      List.iter
+        (fun kb ->
+          let cfg =
+            {
+              Bisa_timing.Config.default with
+              icache = Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 };
+            }
+          in
+          let mc = Bisa_timing.Conv_pipeline.run cfg c.conv in
+          let mb = Bisa_timing.Block_pipeline.run cfg c.block in
+          let rel m base = float_of_int (m - base) /. float_of_int base in
+          Printf.printf
+            "  %2dKB icache: conv +%.3f (misses %6d), block +%.3f (misses %6d)\n" kb
+            (rel mc.cycles (fst perfect))
+            mc.icache_misses
+            (rel mb.cycles (snd perfect))
+            mb.icache_misses)
+        sizes_kb;
+      print_newline ())
+    [ "gcc"; "go"; "compress" ]

@@ -1,0 +1,1 @@
+lib/backend/enlarge.ml: Array Bisa_base Bisa_isa Float List Mir Printf Queue

@@ -1,0 +1,1 @@
+lib/backend/enlarge.mli: Bisa_isa Mir

@@ -1,0 +1,1 @@
+lib/backend/frame.ml: Bisa_isa List

@@ -1,0 +1,1 @@
+lib/backend/frame.mli: Bisa_isa

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Array Bisa_ir Bisa_isa Frame Hashtbl List Mir Regalloc

@@ -1,0 +1,1 @@
+lib/backend/isel.mli: Bisa_ir Bisa_isa Mir

@@ -1,0 +1,1 @@
+lib/backend/linker.ml: Array Bisa_ir Bisa_isa Enlarge Frame Hashtbl List Mir Printf

@@ -1,0 +1,1 @@
+lib/backend/linker.mli: Bisa_ir Bisa_isa Enlarge Mir

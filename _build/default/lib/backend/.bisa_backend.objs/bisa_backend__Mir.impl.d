@@ -1,0 +1,1 @@
+lib/backend/mir.ml: Array Bisa_base Bisa_isa Buffer List Printf String

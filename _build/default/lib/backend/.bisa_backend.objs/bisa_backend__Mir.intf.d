@@ -1,0 +1,1 @@
+lib/backend/mir.mli: Bisa_base Bisa_isa

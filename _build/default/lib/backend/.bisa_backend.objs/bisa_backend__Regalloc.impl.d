@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Bisa_ir Bisa_isa Frame List

@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Bisa_ir Bisa_isa Frame

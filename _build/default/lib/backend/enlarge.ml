@@ -1,0 +1,304 @@
+module Cmp = Bisa_isa.Cmp
+module Reg = Bisa_isa.Reg
+
+type config = {
+  enabled : bool;
+  max_ops : int;
+  max_faults : int;
+  merge_across_back_edges : bool;
+  enlarge_libraries : bool;
+}
+
+let default_config =
+  {
+    enabled = true;
+    max_ops = 16;
+    max_faults = 2;
+    merge_across_back_edges = false;
+    enlarge_libraries = false;
+  }
+
+type felt =
+  | Fop of Mir.mop
+  | Ffault of Cmp.t * Reg.t * Reg.t * int
+
+type fterm =
+  | Ftrap of { cmp : Cmp.t; rs1 : Reg.t; rs2 : Reg.t; taken : int; not_taken : int }
+  | Fgoto of int
+  | Fcall of string * int
+  | Freturn
+  | Fijump of Reg.t
+  | Fhalt
+
+type fblock = { elts : felt array; term : fterm; merged : int }
+
+type t = {
+  name : string;
+  entry : int;
+  blocks : fblock array;
+  jumptables : int array array;
+  variants : int list array;
+  start_proto : int array;
+}
+
+let block_size b = Array.length b.elts + 1
+
+(* --- Step 1: split machine blocks into issue-width protoblocks ---------- *)
+
+(* Protos keep Mir.mblock shape; the first [n] proto ids coincide with the
+   original block ids so existing labels stay valid. *)
+let chunk cfg (mf : Mir.mfunc) : Mir.mblock array =
+  let body_max = cfg.max_ops - 1 in
+  let n = Array.length mf.blocks in
+  let extra = ref [] in
+  let next = ref n in
+  let rec pieces ops term =
+    if List.length ops <= body_max then [ { Mir.mops = ops; mterm = term } ]
+    else begin
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let head, rest = take body_max [] ops in
+      let cont_label = !next in
+      incr next;
+      let tail = pieces rest term in
+      (* Reserve the label now; the tail pieces get consecutive ids. *)
+      { Mir.mops = head; mterm = Mir.Mjmp cont_label } :: tail
+    end
+  in
+  let firsts =
+    Array.map
+      (fun (b : Mir.mblock) ->
+        (* Normalize degenerate conditionals so they merge as gotos. *)
+        let term =
+          match b.mterm with
+          | Mir.Mbr (_, _, _, t, f) when t = f -> Mir.Mjmp t
+          | t -> t
+        in
+        match pieces b.mops term with
+        | [] -> assert false
+        | first :: rest ->
+          extra := !extra @ rest;
+          first)
+      mf.blocks
+  in
+  Array.append firsts (Array.of_list !extra)
+
+(* --- Step 2/3: path construction ----------------------------------------- *)
+
+type cell = { mutable target : int }
+
+type tmp_elt = TOp of Mir.mop | TFault of Cmp.t * Reg.t * Reg.t * cell
+
+type tmp_term =
+  | TTrap of { cmp : Cmp.t; rs1 : Reg.t; rs2 : Reg.t; taken : int; not_taken : int }
+  | TGoto of int
+  | TCall of string * int
+  | TReturn
+  | TIjump of Reg.t
+  | THalt
+
+type pre_path = {
+  elts_rev : tmp_elt list;
+  pterm : tmp_term;
+  pmerged : int;
+  id_cell : cell;  (** output block id, assigned at registration *)
+}
+
+let proto_targets = function
+  | TTrap { taken; not_taken; _ } -> [ taken; not_taken ]
+  | TGoto l -> [ l ]
+  | TCall (_, cont) -> [ cont ]
+  | TReturn | TIjump _ | THalt -> []
+
+let unbiased_margin = 0.2
+
+let run ?(bias = fun _ -> None) cfg (mf : Mir.mfunc) : t =
+  let protos = chunk cfg mf in
+  let table_targets =
+    Array.to_list mf.jumptables |> List.concat_map Array.to_list
+  in
+  let graph =
+    Bisa_base.Digraph.create ~nodes:(Array.length protos)
+      ~succ:(fun i ->
+        match protos.(i).Mir.mterm with
+        | Mir.Mijump _ -> table_targets
+        | t -> Mir.successors t)
+      ~entry:mf.entry
+  in
+  let merging_allowed =
+    cfg.enabled && (cfg.enlarge_libraries || not mf.is_library)
+  in
+  let edge_ok u v =
+    merging_allowed
+    && (cfg.merge_across_back_edges || not (Bisa_base.Digraph.is_back_edge graph u v))
+  in
+  (* Decision-tree expansion from one starting proto. *)
+  let patches : (cell * cell) list ref = ref [] in
+  let rec extend elts_rev nfaults visited merged cur : pre_path list =
+    let nelts = List.length elts_rev in
+    let finish pterm = [ { elts_rev; pterm; pmerged = merged; id_cell = { target = -1 } } ] in
+    let body l = protos.(l).Mir.mops in
+    let append_ops elts ops = List.fold_left (fun acc op -> TOp op :: acc) elts ops in
+    match protos.(cur).Mir.mterm with
+    | Mir.Mjmp l
+      when edge_ok cur l
+           && (not (List.mem l visited))
+           && nelts + List.length (body l) + 1 <= cfg.max_ops ->
+      extend (append_ops elts_rev (body l)) nfaults (l :: visited) (merged + 1) l
+    | Mir.Mjmp l -> finish (TGoto l)
+    | Mir.Mbr (c, r1, r2, t, f) -> begin
+      let fault_room = nfaults < cfg.max_faults in
+      let fits l = nelts + 1 + List.length (body l) + 1 <= cfg.max_ops in
+      (* Profile guidance (section 6): an unbiased trap would duplicate two
+         equally-hot paths, so leave it a trap. *)
+      let biased_enough =
+        match bias cur with
+        | Some b -> Float.abs (b -. 0.5) >= unbiased_margin
+        | None -> true
+      in
+      let can l =
+        biased_enough && fault_room && edge_ok cur l
+        && (not (List.mem l visited))
+        && fits l
+      in
+      let can_t = can t and can_f = can f in
+      let stub_fits = nelts + 2 <= cfg.max_ops in
+      let pair ~expand_t ~expand_f =
+        (* Sibling cells: each side's fault targets the other side's
+           representative (its first variant). *)
+        let to_t = { target = -1 } and to_f = { target = -1 } in
+        let paths_t =
+          if expand_t then
+            extend
+              (append_ops (TFault (Cmp.negate c, r1, r2, to_f) :: elts_rev) (body t))
+              (nfaults + 1) (t :: visited) (merged + 1) t
+          else
+            [
+              {
+                elts_rev = TFault (Cmp.negate c, r1, r2, to_f) :: elts_rev;
+                pterm = TGoto t;
+                pmerged = merged;
+                id_cell = { target = -1 };
+              };
+            ]
+        in
+        let paths_f =
+          if expand_f then
+            extend
+              (append_ops (TFault (c, r1, r2, to_t) :: elts_rev) (body f))
+              (nfaults + 1) (f :: visited) (merged + 1) f
+          else
+            [
+              {
+                elts_rev = TFault (c, r1, r2, to_t) :: elts_rev;
+                pterm = TGoto f;
+                pmerged = merged;
+                id_cell = { target = -1 };
+              };
+            ]
+        in
+        (match (paths_t, paths_f) with
+        | pt :: _, pf :: _ ->
+          patches := (to_t, pt.id_cell) :: (to_f, pf.id_cell) :: !patches
+        | _ -> assert false);
+        paths_t @ paths_f
+      in
+      if can_t && can_f then pair ~expand_t:true ~expand_f:true
+      else if can_t && stub_fits then pair ~expand_t:true ~expand_f:false
+      else if can_f && stub_fits then pair ~expand_t:false ~expand_f:true
+      else finish (TTrap { cmp = c; rs1 = r1; rs2 = r2; taken = t; not_taken = f })
+    end
+    | Mir.Mcall (callee, cont) -> finish (TCall (callee, cont))
+    | Mir.Mret -> finish TReturn
+    | Mir.Mijump r -> finish (TIjump r)
+    | Mir.Mhalt -> finish THalt
+  in
+  (* Group registration: worklist over protos referenced as targets. *)
+  let nprotos = Array.length protos in
+  let group_of : int list option array = Array.make nprotos None in
+  let out : pre_path list ref = ref [] in
+  let starts : (int * int) list ref = ref [] in
+  let out_count = ref 0 in
+  let queue = Queue.create () in
+  let enqueue p = if group_of.(p) = None then Queue.add p queue in
+  enqueue mf.entry;
+  Array.iter (fun tbl -> Array.iter enqueue tbl) mf.jumptables;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    if group_of.(p) = None then begin
+      let paths =
+        extend
+          (List.fold_left (fun acc op -> TOp op :: acc) [] protos.(p).Mir.mops)
+          0 [ p ] 1 p
+      in
+      let ids =
+        List.map
+          (fun path ->
+            let id = !out_count in
+            incr out_count;
+            path.id_cell.target <- id;
+            out := path :: !out;
+            starts := (id, p) :: !starts;
+            id)
+          paths
+      in
+      group_of.(p) <- Some ids;
+      List.iter
+        (fun path -> List.iter enqueue (proto_targets path.pterm))
+        paths
+    end
+  done;
+  (* Apply sibling patches. *)
+  List.iter (fun (c, src) -> c.target <- src.target) !patches;
+  let rep p =
+    match group_of.(p) with
+    | Some (id :: _) -> id
+    | Some [] | None ->
+      invalid_arg (Printf.sprintf "Enlarge: proto %d has no variant group" p)
+  in
+  let freeze_elt = function
+    | TOp op -> Fop op
+    | TFault (c, r1, r2, cell) ->
+      assert (cell.target >= 0);
+      Ffault (c, r1, r2, cell.target)
+  in
+  let freeze_term = function
+    | TTrap { cmp; rs1; rs2; taken; not_taken } ->
+      Ftrap { cmp; rs1; rs2; taken = rep taken; not_taken = rep not_taken }
+    | TGoto l -> Fgoto (rep l)
+    | TCall (callee, cont) -> Fcall (callee, rep cont)
+    | TReturn -> Freturn
+    | TIjump r -> Fijump r
+    | THalt -> Fhalt
+  in
+  let blocks = Array.make !out_count { elts = [||]; term = Fhalt; merged = 0 } in
+  List.iter
+    (fun path ->
+      blocks.(path.id_cell.target) <-
+        {
+          elts = Array.of_list (List.rev_map freeze_elt path.elts_rev);
+          term = freeze_term path.pterm;
+          merged = path.pmerged;
+        })
+    !out;
+  (* Variant groups keyed by output id. *)
+  let variants = Array.make !out_count [] in
+  Array.iteri
+    (fun p g ->
+      match g with
+      | Some ids -> List.iter (fun id -> variants.(id) <- ids) ids
+      | None -> ignore p)
+    group_of;
+  let jumptables = Array.map (Array.map rep) mf.jumptables in
+  let start_proto = Array.make !out_count (-1) in
+  List.iter (fun (id, p) -> start_proto.(id) <- p) !starts;
+  { name = mf.name; entry = rep mf.entry; blocks; jumptables; variants; start_proto }
+
+let stats t =
+  let nblocks = Array.length t.blocks in
+  let ops = Array.fold_left (fun acc b -> acc + block_size b) 0 t.blocks in
+  let merged = Array.fold_left (fun acc b -> acc + b.merged) 0 t.blocks in
+  (nblocks, ops, if nblocks = 0 then 0.0 else float_of_int merged /. float_of_int nblocks)

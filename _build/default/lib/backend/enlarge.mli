@@ -1,0 +1,91 @@
+(** Block enlargement — the paper's core optimization (sections 2 and 4.2).
+
+    Input: a machine-IR function.  Output: the function as a set of atomic
+    blocks in which each block may combine several original basic blocks.
+
+    An enlarged block is a {e path} of original blocks.  Merging through a
+    conditional branch converts the branch into a {e fault} operation and
+    produces a {e pair} of sibling variants (one per direction), each
+    carrying a fault that redirects to the other sibling's representative —
+    exactly the BC/BD construction of the paper's figure 1.  When only one
+    direction's operations can be merged, the other side degenerates to a
+    {e stub} (shared prefix + fault + goto), preserving the invariant that a
+    fault target re-executes the suppressed block's work.
+
+    The paper's five termination rules are all represented:
+    + block size never exceeds the issue width ([max_ops], default 16);
+    + at most [max_faults] (default 2) fault operations per block, bounding
+      any block's successor count by eight;
+    + merging never proceeds through call / return / indirect-jump
+      terminators;
+    + merging never follows a CFG back edge, so separate loop iterations
+      are never combined (toggleable for ablation; a visited-set guard
+      bounds the ablation to a single iteration boundary);
+    + library functions are not enlarged (toggleable).
+
+    Trap terminators name one representative target per direction; the
+    remaining enlarged variants are discovered dynamically through BTB
+    fills on fault mispredictions (paper section 4.3). *)
+
+type config = {
+  enabled : bool;  (** false: emit original basic blocks (still size-split) *)
+  max_ops : int;
+  max_faults : int;
+  merge_across_back_edges : bool;  (** ablation of rule 4; default false *)
+  enlarge_libraries : bool;  (** ablation of rule 5; default false *)
+}
+
+val default_config : config
+
+(** Function-local atomic blocks: labels are indexes into [blocks];
+    cross-function references remain symbolic until linking. *)
+type felt =
+  | Fop of Mir.mop
+  | Ffault of Bisa_isa.Cmp.t * Bisa_isa.Reg.t * Bisa_isa.Reg.t * int
+
+type fterm =
+  | Ftrap of {
+      cmp : Bisa_isa.Cmp.t;
+      rs1 : Bisa_isa.Reg.t;
+      rs2 : Bisa_isa.Reg.t;
+      taken : int;
+      not_taken : int;
+    }
+  | Fgoto of int
+  | Fcall of string * int
+  | Freturn
+  | Fijump of Bisa_isa.Reg.t
+  | Fhalt
+
+type fblock = {
+  elts : felt array;
+  term : fterm;
+  merged : int;  (** number of original basic blocks this block combines *)
+}
+
+type t = {
+  name : string;
+  entry : int;
+  blocks : fblock array;
+  jumptables : int array array;  (** table id -> representative block ids *)
+  variants : int list array;
+      (** [variants.(b)]: all sibling variants reachable where block [b] is
+          a representative; used by the linker to compute successor sets *)
+  start_proto : int array;
+      (** [start_proto.(b)]: the protoblock the path of block [b] starts
+          at.  With [enabled = false] this is a bijection, which is what
+          lets a profiling run of the unenlarged executable attribute trap
+          outcomes back to protoblocks. *)
+}
+
+val run : ?bias:(int -> float option) -> config -> Mir.mfunc -> t
+(** [bias proto] is the observed taken-fraction of the trap ending that
+    protoblock, from a profiling run.  When provided, traps whose bias is
+    unbiased (within [0.5 +- 0.2]) are never merged — the paper's
+    section-6 proposal for reducing enlargement's code duplication. *)
+
+val block_size : fblock -> int
+(** Operations including the terminator. *)
+
+val stats : t -> int * int * float
+(** (blocks, total static ops, mean merged-original-blocks per block). *)

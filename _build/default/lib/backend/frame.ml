@@ -1,0 +1,39 @@
+module Reg = Bisa_isa.Reg
+
+type loc = Lreg of Reg.t | Lspill of int
+
+let max_args = 8
+let word = 8
+
+(* Reserved scratches: integer r21/r22/r23, float f30/f31 (plus the
+   assembler temporary r3, used only by code generation itself; select
+   lowering needs three integer value scratches plus r3). *)
+let scratch_int = (Reg.Int 22, Reg.Int 23)
+let scratch_int3 = Reg.Int 21
+let scratch_flt = (Reg.Flt 30, Reg.Flt 31)
+
+let int_allocatable =
+  (* Caller-saved first so short-lived values prefer them: args r4-r11,
+     temps r12-r20, then callee-saved r24-r30. *)
+  List.init 8 (fun i -> Reg.Int (4 + i))
+  @ List.init 9 (fun i -> Reg.Int (12 + i))
+  @ List.init 7 (fun i -> Reg.Int (24 + i))
+
+let flt_allocatable =
+  List.init 8 (fun i -> Reg.Flt (4 + i))
+  @ List.init 12 (fun i -> Reg.Flt (12 + i))
+  @ List.init 6 (fun i -> Reg.Flt (24 + i))
+
+let is_callee_saved = function
+  | Reg.Int i -> i >= 24 && i <= 30
+  | Reg.Flt i -> i >= 24 && i <= 29
+
+let spill_offset i = i * word
+
+let frame_bytes ~spills ~saved ~save_ra =
+  let n = spills + List.length saved + (if save_ra then 1 else 0) in
+  (* Keep sp 16-byte aligned for tidiness. *)
+  (n * word + 15) / 16 * 16
+
+let saved_offset ~spills i = (spills + i) * word
+let ra_offset ~spills ~saved = (spills + List.length saved) * word

@@ -1,0 +1,40 @@
+(** Calling convention and stack-frame layout.
+
+    Frame layout (offsets from sp after the prologue's adjustment):
+    {v
+      sp + 0 ..               spill slots (8 bytes each)
+      ..                      callee-saved register save area
+      ..                      return-address save slot (non-leaf only)
+    v}
+
+    Up to eight integer and eight float arguments pass in registers
+    (MiniC's type checker enforces the compiler-wide limit); results return
+    in [r2] / [f2]. *)
+
+type loc = Lreg of Bisa_isa.Reg.t | Lspill of int  (** spill slot index *)
+
+val max_args : int
+
+val int_allocatable : Bisa_isa.Reg.t list
+(** Integer registers the allocator may assign, caller-saved first. *)
+
+val flt_allocatable : Bisa_isa.Reg.t list
+
+val is_callee_saved : Bisa_isa.Reg.t -> bool
+
+val scratch_int : Bisa_isa.Reg.t * Bisa_isa.Reg.t
+(** Two reserved integer scratch registers for spill reloads. *)
+
+val scratch_int3 : Bisa_isa.Reg.t
+(** Third integer scratch, for select lowering (three register sources). *)
+
+val scratch_flt : Bisa_isa.Reg.t * Bisa_isa.Reg.t
+
+val spill_offset : int -> int
+(** Byte offset of a spill slot from sp. *)
+
+val frame_bytes : spills:int -> saved:Bisa_isa.Reg.t list -> save_ra:bool -> int
+val saved_offset : spills:int -> int -> int
+(** Byte offset of the [i]-th callee-saved save slot. *)
+
+val ra_offset : spills:int -> saved:Bisa_isa.Reg.t list -> int

@@ -1,0 +1,527 @@
+module Ir = Bisa_ir.Ir
+module Reg = Bisa_isa.Reg
+module Op = Bisa_isa.Op
+module Cmp = Bisa_isa.Cmp
+
+let imm_max = 32767
+let fits_imm v = v >= -imm_max && v <= imm_max
+
+(* --- Parallel register-to-register moves -------------------------------- *)
+
+(* Sequence simultaneous (dst, src) register moves.  Emit any move whose
+   destination is not the source of a pending move; when stuck, a cycle
+   remains: route one element through [scratch]. *)
+let parallel_moves pairs ~scratch =
+  let emitted = ref [] in
+  let pending = ref (List.filter (fun (d, s) -> not (Reg.equal d s)) pairs) in
+  let emit d s = emitted := (d, s) :: !emitted in
+  while !pending <> [] do
+    let is_source r = List.exists (fun (_, s) -> Reg.equal s r) !pending in
+    match List.partition (fun (d, _) -> not (is_source d)) !pending with
+    | ready, rest when ready <> [] ->
+      List.iter (fun (d, s) -> emit d s) ready;
+      pending := rest
+    | _, (d, s) :: rest ->
+      (* Pure cycle: move d's value to scratch, rewrite readers of d. *)
+      emit scratch d;
+      pending :=
+        (d, s) :: List.map (fun (d', s') -> if Reg.equal s' d then (d', scratch) else (d', s')) rest
+    | _, [] -> assert false
+  done;
+  List.rev !emitted
+
+(* --- Selection context --------------------------------------------------- *)
+
+type ctx = {
+  f : Ir.func;
+  alloc : Regalloc.result;
+  frame : int;
+  save_ra : bool;
+  saved : Reg.t list;
+  mutable rev_ops : Mir.mop list;  (* current block, reversed *)
+  mutable blocks : (int * Mir.mblock) list;  (* (label, block), reversed *)
+  mutable extra_next : int;  (* next fresh label for synthetic blocks *)
+  mutable jumptables : Mir.label array list;  (* reversed *)
+  mutable njumptables : int;
+  prepends : (int, Mir.mop list) Hashtbl.t;  (* result moves into call conts *)
+}
+
+let emit ctx op = ctx.rev_ops <- Mir.Mop op :: ctx.rev_ops
+let emit_lea ctx r sym = ctx.rev_ops <- Mir.Mlea (r, sym) :: ctx.rev_ops
+
+let finish_block ctx label term =
+  ctx.blocks <- (label, { Mir.mops = List.rev ctx.rev_ops; mterm = term }) :: ctx.blocks;
+  ctx.rev_ops <- []
+
+let fresh_label ctx =
+  let l = ctx.extra_next in
+  ctx.extra_next <- l + 1;
+  l
+
+let loc ctx v = ctx.alloc.loc.(v)
+let kind ctx v = ctx.f.vreg_kinds.(v)
+
+(* Scratch registers by source position (0-3) and kind.  Positions 2/3
+   exist for select lowering: its integer form reads up to three value
+   registers beyond the condition, so it also borrows the assembler
+   temporary. *)
+let scratch_for k pos =
+  match (k, pos) with
+  | Ir.Kint, 0 -> fst Frame.scratch_int
+  | Ir.Kint, 1 -> snd Frame.scratch_int
+  | Ir.Kint, 2 -> Frame.scratch_int3
+  | Ir.Kint, _ -> Reg.at
+  | Ir.Kflt, (0 | 2) -> fst Frame.scratch_flt
+  | Ir.Kflt, _ -> snd Frame.scratch_flt
+
+(* Materialize an operand into a register readable by the current op.
+   [pos] selects which scratch to use if one is needed. *)
+let use_reg ctx ~pos (o : Ir.operand) : Reg.t =
+  match o with
+  | Ir.Cint 0 -> Reg.zero
+  | Ir.Cint v ->
+    let s = scratch_for Ir.Kint pos in
+    emit ctx (Op.Li (s, v));
+    s
+  | Ir.Cflt v ->
+    let s = scratch_for Ir.Kflt pos in
+    emit ctx (Op.Lif (s, v));
+    s
+  | Ir.V v -> begin
+    match loc ctx v with
+    | Frame.Lreg r -> r
+    | Frame.Lspill slot ->
+      let k = kind ctx v in
+      let s = scratch_for k pos in
+      let off = Frame.spill_offset slot in
+      emit ctx
+        (if k = Ir.Kflt then Op.Loadf (s, Reg.sp, off) else Op.Load (s, Reg.sp, off));
+      s
+  end
+
+(* Destination handling: get a register to compute into, and a completion
+   action that stores it back if the vreg is spilled. *)
+let def_reg ctx v : Reg.t * (ctx -> unit) =
+  match loc ctx v with
+  | Frame.Lreg r -> (r, fun _ -> ())
+  | Frame.Lspill slot ->
+    let k = kind ctx v in
+    let s = scratch_for k 0 in
+    let off = Frame.spill_offset slot in
+    ( s,
+      fun ctx ->
+        emit ctx
+          (if k = Ir.Kflt then Op.Storef (s, Reg.sp, off) else Op.Store (s, Reg.sp, off)) )
+
+let alu_of_binop : Ir.binop -> Op.alu = function
+  | Add -> Op.Add
+  | Sub -> Op.Sub
+  | Mul -> Op.Mul
+  | Div -> Op.Div
+  | Rem -> Op.Rem
+  | And -> Op.And
+  | Or -> Op.Or
+  | Xor -> Op.Xor
+  | Sll -> Op.Sll
+  | Srl -> Op.Srl
+  | Sra -> Op.Sra
+
+let fpu_of_fbinop : Ir.fbinop -> Op.fpu = function
+  | Fadd -> Op.Fadd
+  | Fsub -> Op.Fsub
+  | Fmul -> Op.Fmul
+  | Fdiv -> Op.Fdiv
+
+let commutes : Ir.binop -> bool = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | Div | Rem | Sll | Srl | Sra -> false
+
+(* Memory operand: returns (base register, immediate offset), splitting
+   over-wide offsets through the assembler temporary. *)
+let mem_operand ctx (base : Ir.operand) off ~pos =
+  if fits_imm off then (use_reg ctx ~pos base, off)
+  else begin
+    let b = use_reg ctx ~pos base in
+    emit ctx (Op.Li (Reg.at, off));
+    emit ctx (Op.Alu (Op.Add, Reg.at, b, Op.R Reg.at));
+    (Reg.at, 0)
+  end
+
+let select_op ctx (op : Ir.op) =
+  match op with
+  | Ir.Bin (b, d, x, y) -> begin
+    let dr, fin = def_reg ctx d in
+    match y with
+    | Ir.Cint v when fits_imm v && v <> 0 ->
+      let xr = use_reg ctx ~pos:0 x in
+      emit ctx (Op.Alu (alu_of_binop b, dr, xr, Op.I v));
+      fin ctx
+    | Ir.Cint 0 ->
+      let xr = use_reg ctx ~pos:0 x in
+      emit ctx (Op.Alu (alu_of_binop b, dr, xr, Op.R Reg.zero));
+      fin ctx
+    | _ -> begin
+      match x with
+      | Ir.Cint v when fits_imm v && commutes b ->
+        let yr = use_reg ctx ~pos:0 y in
+        emit ctx (Op.Alu (alu_of_binop b, dr, yr, Op.I v));
+        fin ctx
+      | _ ->
+        let xr = use_reg ctx ~pos:0 x in
+        let yr = use_reg ctx ~pos:1 y in
+        emit ctx (Op.Alu (alu_of_binop b, dr, xr, Op.R yr));
+        fin ctx
+    end
+  end
+  | Ir.Fbin (b, d, x, y) ->
+    let xr = use_reg ctx ~pos:0 x in
+    let yr = use_reg ctx ~pos:1 y in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Fpu (fpu_of_fbinop b, dr, xr, yr));
+    fin ctx
+  | Ir.Cmpset (c, d, x, y) -> begin
+    let dr, fin = def_reg ctx d in
+    match y with
+    | Ir.Cint v when fits_imm v ->
+      let xr = use_reg ctx ~pos:0 x in
+      emit ctx (Op.Alu (Op.Set c, dr, xr, Op.I v));
+      fin ctx
+    | _ ->
+      let xr = use_reg ctx ~pos:0 x in
+      let yr = use_reg ctx ~pos:1 y in
+      emit ctx (Op.Alu (Op.Set c, dr, xr, Op.R yr));
+      fin ctx
+  end
+  | Ir.Fcmpset (c, d, x, y) ->
+    let xr = use_reg ctx ~pos:0 x in
+    let yr = use_reg ctx ~pos:1 y in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Fcmp (c, dr, xr, yr));
+    fin ctx
+  | Ir.Mov (d, src) -> begin
+    let dr, fin = def_reg ctx d in
+    (match src with
+    | Ir.Cint v -> emit ctx (Op.Li (dr, v))
+    | Ir.Cflt v -> emit ctx (Op.Lif (dr, v))
+    | Ir.V _ ->
+      let sr = use_reg ctx ~pos:1 src in
+      if not (Reg.equal sr dr) then emit ctx (Op.Mov (dr, sr)));
+    fin ctx
+  end
+  | Ir.Itof (d, x) ->
+    let xr = use_reg ctx ~pos:0 x in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Itof (dr, xr));
+    fin ctx
+  | Ir.Ftoi (d, x) ->
+    let xr = use_reg ctx ~pos:0 x in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Ftoi (dr, xr));
+    fin ctx
+  | Ir.Select (c, d, x1, x2, vt, vf) ->
+    let s1 = use_reg ctx ~pos:0 x1 in
+    let s2 =
+      match x2 with
+      | Ir.Cint v when fits_imm v -> Op.I v
+      | _ -> Op.R (use_reg ctx ~pos:1 x2)
+    in
+    let tr = use_reg ctx ~pos:2 vt in
+    let fr = use_reg ctx ~pos:3 vf in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Select (c, dr, s1, s2, tr, fr));
+    fin ctx
+  | Ir.Gaddr (d, g) ->
+    let dr, fin = def_reg ctx d in
+    emit_lea ctx dr (Mir.Sglobal g);
+    fin ctx
+  | Ir.Load (d, base, off) ->
+    let br, o = mem_operand ctx base off ~pos:1 in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Load (dr, br, o));
+    fin ctx
+  | Ir.Loadf (d, base, off) ->
+    let br, o = mem_operand ctx base off ~pos:1 in
+    let dr, fin = def_reg ctx d in
+    emit ctx (Op.Loadf (dr, br, o));
+    fin ctx
+  | Ir.Store (v, base, off) ->
+    let vr = use_reg ctx ~pos:0 v in
+    let br, o = mem_operand ctx base off ~pos:1 in
+    emit ctx (Op.Store (vr, br, o))
+  | Ir.Storef (v, base, off) ->
+    let vr = use_reg ctx ~pos:0 v in
+    let br, o = mem_operand ctx base off ~pos:1 in
+    emit ctx (Op.Storef (vr, br, o))
+  | Ir.Print v ->
+    let vr = use_reg ctx ~pos:0 v in
+    emit ctx (Op.Print vr)
+  | Ir.Printflt v ->
+    let vr = use_reg ctx ~pos:0 v in
+    emit ctx (Op.Printf vr)
+
+(* --- Calls --------------------------------------------------------------- *)
+
+let setup_call_args ctx (args : Ir.operand list) =
+  if List.length args > Frame.max_args then
+    invalid_arg (ctx.f.name ^ ": more than 8 arguments");
+  (* Assign argument registers by kind, in order. *)
+  let ni = ref 0 and nf = ref 0 in
+  let assignments =
+    List.map
+      (fun (o : Ir.operand) ->
+        let k =
+          match o with
+          | Ir.Cflt _ -> Ir.Kflt
+          | Ir.Cint _ -> Ir.Kint
+          | Ir.V v -> kind ctx v
+        in
+        let dst =
+          match k with
+          | Ir.Kint ->
+            let r = List.nth Reg.int_args !ni in
+            incr ni;
+            r
+          | Ir.Kflt ->
+            let r = List.nth Reg.flt_args !nf in
+            incr nf;
+            r
+        in
+        (dst, o))
+      args
+  in
+  (* Phase 1: register sources (parallel move). *)
+  let reg_pairs =
+    List.filter_map
+      (fun (dst, o) ->
+        match o with
+        | Ir.V v -> begin
+          match loc ctx v with Frame.Lreg r -> Some (dst, r) | Frame.Lspill _ -> None
+        end
+        | _ -> None)
+      assignments
+  in
+  let int_pairs, flt_pairs = List.partition (fun (d, _) -> Reg.is_int d) reg_pairs in
+  List.iter
+    (fun (d, s) -> emit ctx (Op.Mov (d, s)))
+    (parallel_moves int_pairs ~scratch:Reg.at
+    @ parallel_moves flt_pairs ~scratch:(fst Frame.scratch_flt));
+  (* Phase 2: constants and spill reloads straight into their argument
+     registers (nothing reads them anymore). *)
+  List.iter
+    (fun (dst, o) ->
+      match o with
+      | Ir.Cint 0 -> emit ctx (Op.Mov (dst, Reg.zero))
+      | Ir.Cint v -> emit ctx (Op.Li (dst, v))
+      | Ir.Cflt v -> emit ctx (Op.Lif (dst, v))
+      | Ir.V v -> begin
+        match loc ctx v with
+        | Frame.Lreg _ -> ()
+        | Frame.Lspill slot ->
+          let off = Frame.spill_offset slot in
+          emit ctx
+            (if kind ctx v = Ir.Kflt then Op.Loadf (dst, Reg.sp, off)
+             else Op.Load (dst, Reg.sp, off))
+      end)
+    assignments
+
+let result_moves ctx (dst : Ir.vreg option) : Mir.mop list =
+  match dst with
+  | None -> []
+  | Some v -> begin
+    let src = if kind ctx v = Ir.Kflt then Reg.frv else Reg.rv in
+    match loc ctx v with
+    | Frame.Lreg r ->
+      if Reg.equal r src then [] else [ Mir.Mop (Op.Mov (r, src)) ]
+    | Frame.Lspill slot ->
+      let off = Frame.spill_offset slot in
+      [
+        Mir.Mop
+          (if kind ctx v = Ir.Kflt then Op.Storef (src, Reg.sp, off)
+           else Op.Store (src, Reg.sp, off));
+      ]
+  end
+
+(* --- Prologue / epilogue ------------------------------------------------- *)
+
+let spills ctx = ctx.alloc.spill_count
+
+let prologue ctx =
+  if ctx.frame > 0 then emit ctx (Op.Alu (Op.Sub, Reg.sp, Reg.sp, Op.I ctx.frame));
+  List.iteri
+    (fun i r ->
+      let off = Frame.saved_offset ~spills:(spills ctx) i in
+      emit ctx
+        (if Reg.is_int r then Op.Store (r, Reg.sp, off) else Op.Storef (r, Reg.sp, off)))
+    ctx.saved;
+  if ctx.save_ra then
+    emit ctx (Op.Store (Reg.ra, Reg.sp, Frame.ra_offset ~spills:(spills ctx) ~saved:ctx.saved));
+  (* Incoming parameters out of the argument registers. *)
+  let ni = ref 0 and nf = ref 0 in
+  let assignments =
+    List.map
+      (fun v ->
+        let k = kind ctx v in
+        let src =
+          match k with
+          | Ir.Kint ->
+            let r = List.nth Reg.int_args !ni in
+            incr ni;
+            r
+          | Ir.Kflt ->
+            let r = List.nth Reg.flt_args !nf in
+            incr nf;
+            r
+        in
+        (v, src))
+      ctx.f.params
+  in
+  let reg_pairs =
+    List.filter_map
+      (fun (v, src) ->
+        match loc ctx v with
+        | Frame.Lreg r -> Some (r, src)
+        | Frame.Lspill _ -> None)
+      assignments
+  in
+  let int_pairs, flt_pairs = List.partition (fun (d, _) -> Reg.is_int d) reg_pairs in
+  List.iter
+    (fun (d, s) -> emit ctx (Op.Mov (d, s)))
+    (parallel_moves int_pairs ~scratch:Reg.at
+    @ parallel_moves flt_pairs ~scratch:(fst Frame.scratch_flt));
+  List.iter
+    (fun (v, src) ->
+      match loc ctx v with
+      | Frame.Lreg _ -> ()
+      | Frame.Lspill slot ->
+        let off = Frame.spill_offset slot in
+        emit ctx
+          (if kind ctx v = Ir.Kflt then Op.Storef (src, Reg.sp, off)
+           else Op.Store (src, Reg.sp, off)))
+    assignments
+
+let epilogue ctx (ret : Ir.operand option) =
+  (* Result into r2/f2 first (may read spill slots, so before sp moves). *)
+  (match ret with
+  | None -> ()
+  | Some o -> begin
+    let k =
+      match o with
+      | Ir.Cflt _ -> Ir.Kflt
+      | Ir.Cint _ -> Ir.Kint
+      | Ir.V v -> kind ctx v
+    in
+    let dst = if k = Ir.Kflt then Reg.frv else Reg.rv in
+    match o with
+    | Ir.Cint 0 -> emit ctx (Op.Mov (dst, Reg.zero))
+    | Ir.Cint v -> emit ctx (Op.Li (dst, v))
+    | Ir.Cflt v -> emit ctx (Op.Lif (dst, v))
+    | Ir.V v -> begin
+      match loc ctx v with
+      | Frame.Lreg r -> if not (Reg.equal r dst) then emit ctx (Op.Mov (dst, r))
+      | Frame.Lspill slot ->
+        let off = Frame.spill_offset slot in
+        emit ctx
+          (if k = Ir.Kflt then Op.Loadf (dst, Reg.sp, off) else Op.Load (dst, Reg.sp, off))
+    end
+  end);
+  if ctx.save_ra then
+    emit ctx (Op.Load (Reg.ra, Reg.sp, Frame.ra_offset ~spills:(spills ctx) ~saved:ctx.saved));
+  List.iteri
+    (fun i r ->
+      let off = Frame.saved_offset ~spills:(spills ctx) i in
+      emit ctx
+        (if Reg.is_int r then Op.Load (r, Reg.sp, off) else Op.Loadf (r, Reg.sp, off)))
+    ctx.saved;
+  if ctx.frame > 0 then emit ctx (Op.Alu (Op.Add, Reg.sp, Reg.sp, Op.I ctx.frame))
+
+(* --- Terminators ---------------------------------------------------------- *)
+
+let select_term ctx label (t : Ir.terminator) =
+  match t with
+  | Ir.Jmp l -> finish_block ctx label (Mir.Mjmp l)
+  | Ir.Br (c, x, y, lt, lf) ->
+    let xr = use_reg ctx ~pos:0 x in
+    let yr = use_reg ctx ~pos:1 y in
+    finish_block ctx label (Mir.Mbr (c, xr, yr, lt, lf))
+  | Ir.Ret o ->
+    epilogue ctx o;
+    finish_block ctx label Mir.Mret
+  | Ir.Halt -> finish_block ctx label Mir.Mhalt
+  | Ir.Call { dst; callee; args; cont } ->
+    setup_call_args ctx args;
+    Hashtbl.replace ctx.prepends cont (result_moves ctx dst);
+    finish_block ctx label (Mir.Mcall (callee, cont))
+  | Ir.Switch (scrut, cases, default) ->
+    (* Load the scrutinee into a register that survives the synthetic
+       bounds-check chain (scratch 0 is safe: the chain writes only the
+       assembler temporary and scratch 1). *)
+    let sr = use_reg ctx ~pos:0 scrut in
+    let n = Array.length cases in
+    let table_id = ctx.njumptables in
+    ctx.njumptables <- table_id + 1;
+    ctx.jumptables <- cases :: ctx.jumptables;
+    let l_check = fresh_label ctx in
+    let l_jump = fresh_label ctx in
+    finish_block ctx label (Mir.Mbr (Cmp.Lt, sr, Reg.zero, default, l_check));
+    (* check: scrut >= n -> default *)
+    let s2 = scratch_for Ir.Kint 1 in
+    emit ctx (Op.Li (s2, n));
+    finish_block ctx l_check (Mir.Mbr (Cmp.Ge, sr, s2, default, l_jump));
+    (* jump: at := jtab[scrut] *)
+    emit_lea ctx Reg.at (Mir.Sjumptable table_id);
+    emit ctx (Op.Alu (Op.Sll, s2, sr, Op.I 3));
+    emit ctx (Op.Alu (Op.Add, Reg.at, Reg.at, Op.R s2));
+    emit ctx (Op.Load (Reg.at, Reg.at, 0));
+    finish_block ctx l_jump (Mir.Mijump Reg.at)
+
+(* --- Top level ------------------------------------------------------------ *)
+
+let select (f : Ir.func) : Mir.mfunc =
+  let alloc = Regalloc.allocate f in
+  let non_leaf =
+    Array.exists
+      (fun (b : Ir.block) -> match b.term with Ir.Call _ -> true | _ -> false)
+      f.blocks
+  in
+  let saved = List.sort Reg.compare alloc.used_callee_saved in
+  let frame =
+    Frame.frame_bytes ~spills:alloc.spill_count ~saved ~save_ra:non_leaf
+  in
+  let ctx =
+    {
+      f;
+      alloc;
+      frame;
+      save_ra = non_leaf;
+      saved;
+      rev_ops = [];
+      blocks = [];
+      extra_next = Array.length f.blocks;
+      jumptables = [];
+      njumptables = 0;
+      prepends = Hashtbl.create 8;
+    }
+  in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      ctx.rev_ops <- [];
+      if i = f.entry then prologue ctx;
+      List.iter (select_op ctx) b.ops;
+      select_term ctx i b.term)
+    f.blocks;
+  let nblocks = ctx.extra_next in
+  let arr = Array.make nblocks { Mir.mops = []; mterm = Mir.Mhalt } in
+  List.iter (fun (l, b) -> arr.(l) <- b) ctx.blocks;
+  (* Prepend call-result moves into continuation blocks. *)
+  Hashtbl.iter
+    (fun l moves ->
+      if moves <> [] then arr.(l) <- { (arr.(l)) with Mir.mops = moves @ arr.(l).Mir.mops })
+    ctx.prepends;
+  {
+    Mir.name = f.name;
+    entry = f.entry;
+    blocks = arr;
+    jumptables = Array.of_list (List.rev ctx.jumptables);
+    is_library = f.is_library;
+    frame_bytes = frame;
+  }

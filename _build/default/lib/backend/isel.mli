@@ -1,0 +1,21 @@
+(** Instruction selection: IR function (virtual registers) to machine IR
+    (physical registers), using a {!Regalloc} assignment.
+
+    Handles operand materialization (constants into immediates or scratch
+    registers, spill reloads through the reserved scratches), prologue /
+    epilogue emission, parallel moves for call arguments and incoming
+    parameters, and lowering of {!Bisa_ir.Ir.Switch} into a bounds-checked
+    jump-table dispatch ending in an indirect jump. *)
+
+val imm_max : int
+(** Largest magnitude usable as an ALU immediate or memory offset (32767). *)
+
+val select : Bisa_ir.Ir.func -> Mir.mfunc
+
+val parallel_moves :
+  (Bisa_isa.Reg.t * Bisa_isa.Reg.t) list ->
+  scratch:Bisa_isa.Reg.t ->
+  (Bisa_isa.Reg.t * Bisa_isa.Reg.t) list
+(** [parallel_moves pairs ~scratch] sequences simultaneous register-to-
+    register moves [(dst, src)], breaking cycles with [scratch].  Exposed
+    for direct unit testing. *)

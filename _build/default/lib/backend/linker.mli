@@ -1,0 +1,36 @@
+(** Linking: machine-IR functions to executables for both ISAs.
+
+    The two targets share the memory map (globals at [data_base], stack
+    growing down from [stack_top], 8-byte words) and the synthesized
+    [_start] stub (stack-pointer setup, scalar global initialization, call
+    [main], halt).  Only the code images and the jump-table contents differ:
+    conventional tables hold instruction indexes, block-structured tables
+    hold block ids. *)
+
+val data_base : int
+val stack_top : int
+
+type layout = {
+  addr_of_global : string -> int;  (** byte address *)
+  table_addr : string -> int -> int;  (** function name, table id -> address *)
+  data_words : int;  (** total data-segment size in words *)
+}
+
+val layout_data : Bisa_ir.Ir.global list -> Mir.mfunc list -> layout
+
+val make_start : Bisa_ir.Ir.global list -> Mir.mfunc
+(** The [_start] stub as an ordinary machine-IR function. *)
+
+val link_conventional : Bisa_ir.Ir.global list -> Mir.mfunc list -> Bisa_isa.Conv_prog.t
+(** [make_start] is appended automatically; do not include it. *)
+
+val link_block :
+  ?config:Enlarge.config ->
+  ?bias:(string -> int -> float option) ->
+  Bisa_ir.Ir.global list ->
+  Mir.mfunc list ->
+  Bisa_isa.Block_prog.t * Enlarge.t list
+(** Runs {!Enlarge} on every function (with [config]), then links.  Also
+    returns the per-function enlargement results for statistics.  [bias]
+    is a per-function protoblock-bias oracle from a profiling run (the
+    section-6 profile-guided mode). *)

@@ -1,0 +1,82 @@
+type sym = Sglobal of string | Sjumptable of int
+type mop = Mop of Bisa_isa.Op.t | Mlea of Bisa_isa.Reg.t * sym
+type label = int
+
+type mterm =
+  | Mbr of Bisa_isa.Cmp.t * Bisa_isa.Reg.t * Bisa_isa.Reg.t * label * label
+  | Mjmp of label
+  | Mcall of string * label
+  | Mret
+  | Mijump of Bisa_isa.Reg.t
+  | Mhalt
+
+type mblock = { mops : mop list; mterm : mterm }
+
+type mfunc = {
+  name : string;
+  entry : label;
+  blocks : mblock array;
+  jumptables : label array array;
+  is_library : bool;
+  frame_bytes : int;
+}
+
+let successors = function
+  | Mbr (_, _, _, t, f) -> [ t; f ]
+  | Mjmp l -> [ l ]
+  | Mcall (_, cont) -> [ cont ]
+  | Mret | Mijump _ | Mhalt -> []
+
+(* Note: jump-table targets are added as pseudo-edges so reachability and
+   back-edge analysis see them. *)
+let digraph (f : mfunc) =
+  let table_targets =
+    Array.to_list f.jumptables |> List.concat_map Array.to_list
+  in
+  Bisa_base.Digraph.create ~nodes:(Array.length f.blocks)
+    ~succ:(fun i ->
+      match f.blocks.(i).mterm with
+      | Mijump _ -> table_targets
+      | t -> successors t)
+    ~entry:f.entry
+
+let op_count (f : mfunc) =
+  Array.fold_left (fun acc b -> acc + List.length b.mops + 1) 0 f.blocks
+
+let mop_to_string = function
+  | Mop op -> Bisa_isa.Op.to_string op
+  | Mlea (r, Sglobal g) -> Printf.sprintf "lea %s, &%s" (Bisa_isa.Reg.to_string r) g
+  | Mlea (r, Sjumptable i) ->
+    Printf.sprintf "lea %s, &jtab%d" (Bisa_isa.Reg.to_string r) i
+
+let mterm_to_string = function
+  | Mbr (c, a, b, t, f) ->
+    Printf.sprintf "b%s %s, %s ? L%d : L%d" (Bisa_isa.Cmp.to_string c)
+      (Bisa_isa.Reg.to_string a) (Bisa_isa.Reg.to_string b) t f
+  | Mjmp l -> Printf.sprintf "jmp L%d" l
+  | Mcall (callee, cont) -> Printf.sprintf "call %s -> L%d" callee cont
+  | Mret -> "ret"
+  | Mijump r -> Printf.sprintf "ijump %s" (Bisa_isa.Reg.to_string r)
+  | Mhalt -> "halt"
+
+let to_string (f : mfunc) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "mfunc %s (entry L%d, frame %d bytes)%s\n" f.name f.entry
+       f.frame_bytes
+       (if f.is_library then " [library]" else ""));
+  Array.iteri
+    (fun i (b : mblock) ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" i);
+      List.iter
+        (fun op -> Buffer.add_string buf ("  " ^ mop_to_string op ^ "\n"))
+        b.mops;
+      Buffer.add_string buf ("  " ^ mterm_to_string b.mterm ^ "\n"))
+    f.blocks;
+  Array.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf "jtab%d: %s\n" i
+           (String.concat " " (Array.to_list (Array.map (Printf.sprintf "L%d") t)))))
+    f.jumptables;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Machine IR: the output of instruction selection / register allocation
+    and the common input of both code generators.
+
+    Operations are physical-register {!Bisa_isa.Op.t} values plus [Mlea], a
+    pseudo-op materializing a link-time address (global or jump table).
+    Labels are function-local block ids; the linker resolves cross-function
+    references. *)
+
+type sym = Sglobal of string | Sjumptable of int
+(** [Sjumptable i] names the function's [i]-th jump table. *)
+
+type mop = Mop of Bisa_isa.Op.t | Mlea of Bisa_isa.Reg.t * sym
+
+type label = int
+
+type mterm =
+  | Mbr of Bisa_isa.Cmp.t * Bisa_isa.Reg.t * Bisa_isa.Reg.t * label * label
+      (** fully-resolved conditional: both successors explicit *)
+  | Mjmp of label
+  | Mcall of string * label  (** callee name, continuation block *)
+  | Mret
+  | Mijump of Bisa_isa.Reg.t  (** register holds a code address (jump table) *)
+  | Mhalt
+
+type mblock = { mops : mop list; mterm : mterm }
+
+type mfunc = {
+  name : string;
+  entry : label;
+  blocks : mblock array;
+  jumptables : label array array;
+      (** table id -> case labels; entries are rewritten to per-ISA code
+          addresses by the linker *)
+  is_library : bool;
+  frame_bytes : int;
+}
+
+val successors : mterm -> label list
+(** Intra-function successors ([Mcall] contributes its continuation). *)
+
+val digraph : mfunc -> Bisa_base.Digraph.t
+val op_count : mfunc -> int
+val to_string : mfunc -> string

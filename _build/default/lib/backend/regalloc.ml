@@ -1,0 +1,166 @@
+module Ir = Bisa_ir.Ir
+module Liveness = Bisa_ir.Liveness
+module Bitset = Bisa_ir.Bitset
+module Reg = Bisa_isa.Reg
+
+type result = {
+  loc : Frame.loc array;
+  spill_count : int;
+  used_callee_saved : Reg.t list;
+}
+
+type interval = {
+  vreg : int;
+  start : int;
+  stop : int;
+  kind : Ir.kind;
+  crosses_call : bool;
+}
+
+let build_intervals (f : Ir.func) =
+  let nv = Array.length f.vreg_kinds in
+  let istart = Array.make nv max_int and istop = Array.make nv (-1) in
+  let extend v p =
+    if p < istart.(v) then istart.(v) <- p;
+    if p > istop.(v) then istop.(v) <- p
+  in
+  let live = Liveness.analyze f in
+  let calls = ref [] in
+  let pos = ref 0 in
+  let block_start = Array.make (Array.length f.blocks) 0 in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      block_start.(i) <- !pos;
+      let bs = !pos in
+      Bitset.iter live.live_in.(i) (fun v -> extend v bs);
+      List.iter
+        (fun op ->
+          let p = !pos in
+          List.iter (fun v -> extend v p) (Ir.op_uses op);
+          List.iter (fun v -> extend v p) (Ir.op_defs op);
+          incr pos)
+        b.ops;
+      let p = !pos in
+      List.iter (fun v -> extend v p) (Ir.term_uses b.term);
+      List.iter (fun v -> extend v p) (Ir.term_defs b.term);
+      (match b.term with Ir.Call _ -> calls := p :: !calls | _ -> ());
+      incr pos;
+      let be = !pos - 1 in
+      Bitset.iter live.live_out.(i) (fun v -> extend v be))
+    f.blocks;
+  (* Parameters receive their values from entry-block moves synthesized
+     after allocation; anchor them at the entry block start. *)
+  List.iter (fun v -> extend v block_start.(f.entry)) f.params;
+  let calls = List.sort compare !calls in
+  let crosses v =
+    List.exists (fun c -> c >= istart.(v) && c < istop.(v)) calls
+  in
+  let ivs = ref [] in
+  for v = nv - 1 downto 0 do
+    if istop.(v) >= 0 then
+      ivs :=
+        {
+          vreg = v;
+          start = istart.(v);
+          stop = istop.(v);
+          kind = f.vreg_kinds.(v);
+          crosses_call = crosses v;
+        }
+        :: !ivs
+  done;
+  List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg)) !ivs
+
+let allocate (f : Ir.func) =
+  let nv = Array.length f.vreg_kinds in
+  let loc = Array.make nv (Frame.Lspill 0) in
+  let spill_count = ref 0 in
+  let fresh_slot () =
+    let s = !spill_count in
+    incr spill_count;
+    s
+  in
+  let used_callee_saved = ref [] in
+  let note_reg r =
+    if Frame.is_callee_saved r && not (List.mem r !used_callee_saved) then
+      used_callee_saved := r :: !used_callee_saved
+  in
+  (* Free pools, per kind, in preference order. *)
+  let free_int = ref Frame.int_allocatable in
+  let free_flt = ref Frame.flt_allocatable in
+  let pool_of = function Ir.Kint -> free_int | Ir.Kflt -> free_flt in
+  (* Active intervals carrying a register, sorted by stop ascending. *)
+  let active = ref [] in
+  let release iv =
+    match loc.(iv.vreg) with
+    | Frame.Lreg r ->
+      let pool = pool_of iv.kind in
+      (* Restore preference order on release. *)
+      let order = match iv.kind with
+        | Ir.Kint -> Frame.int_allocatable
+        | Ir.Kflt -> Frame.flt_allocatable
+      in
+      pool := List.filter (fun x -> Reg.equal x r || List.mem x !pool) order
+    | Frame.Lspill _ -> ()
+  in
+  let expire p =
+    let expired, still = List.partition (fun iv -> iv.stop < p) !active in
+    List.iter release expired;
+    active := still
+  in
+  let insert_active iv =
+    active := List.sort (fun a b -> compare a.stop b.stop) (iv :: !active)
+  in
+  let take_reg iv =
+    let pool = pool_of iv.kind in
+    let candidates =
+      if iv.crosses_call then List.filter Frame.is_callee_saved !pool else !pool
+    in
+    match candidates with
+    | r :: _ ->
+      pool := List.filter (fun x -> not (Reg.equal x r)) !pool;
+      note_reg r;
+      Some r
+    | [] -> None
+  in
+  let assign iv =
+    match take_reg iv with
+    | Some r ->
+      loc.(iv.vreg) <- Frame.Lreg r;
+      insert_active iv
+    | None ->
+      (* Spill: victim is the furthest-ending active interval of the same
+         kind whose register this interval could use, or the current one. *)
+      let usable (a : interval) =
+        a.kind = iv.kind
+        &&
+        match loc.(a.vreg) with
+        | Frame.Lreg r -> (not iv.crosses_call) || Frame.is_callee_saved r
+        | Frame.Lspill _ -> false
+      in
+      let victims = List.filter usable !active in
+      let furthest =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if a.stop > b.stop then Some a else best)
+          None victims
+      in
+      (match furthest with
+      | Some victim when victim.stop > iv.stop -> begin
+        match loc.(victim.vreg) with
+        | Frame.Lreg r ->
+          loc.(victim.vreg) <- Frame.Lspill (fresh_slot ());
+          active := List.filter (fun a -> a.vreg <> victim.vreg) !active;
+          loc.(iv.vreg) <- Frame.Lreg r;
+          insert_active iv
+        | Frame.Lspill _ -> assert false
+      end
+      | _ -> loc.(iv.vreg) <- Frame.Lspill (fresh_slot ()))
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      assign iv)
+    (build_intervals f);
+  { loc; spill_count = !spill_count; used_callee_saved = !used_callee_saved }

@@ -1,0 +1,18 @@
+(** Linear-scan register allocation over the IR.
+
+    Produces a location (physical register or spill slot) for every virtual
+    register.  Intervals are conservative single ranges extended by
+    live-in/live-out block boundaries, so lifetime holes are ignored —
+    correct, slightly pessimistic.  Intervals that span a call site must
+    receive a callee-saved register (our calling convention lets callees
+    clobber everything else); when none is available the furthest-ending
+    conflicting interval is spilled. *)
+
+type result = {
+  loc : Frame.loc array;  (** per virtual register *)
+  spill_count : int;
+  used_callee_saved : Bisa_isa.Reg.t list;
+      (** callee-saved registers the prologue must preserve *)
+}
+
+val allocate : Bisa_ir.Ir.func -> result

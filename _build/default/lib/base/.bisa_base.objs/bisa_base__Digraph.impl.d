@@ -1,0 +1,1 @@
+lib/base/digraph.ml: Array List

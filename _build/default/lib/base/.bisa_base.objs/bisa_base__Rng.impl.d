@@ -1,0 +1,1 @@
+lib/base/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/base/stats.ml: Array List

@@ -1,0 +1,1 @@
+lib/base/table.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/base/textplot.ml: Buffer Float List Printf String

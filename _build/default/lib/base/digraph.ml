@@ -1,0 +1,135 @@
+type t = {
+  nodes : int;
+  entry : int;
+  succs : int list array;
+  preds : int list array;
+  (* Lazily computed analyses. *)
+  mutable rpo_cache : int array option;
+  mutable rpo_index_cache : int array option;
+  mutable back_cache : (int * int) list option;
+  mutable idom_cache : int array option;
+}
+
+let create ~nodes ~succ ~entry =
+  let succs = Array.init nodes succ in
+  let preds = Array.make nodes [] in
+  Array.iteri (fun u -> List.iter (fun v -> preds.(v) <- u :: preds.(v))) succs;
+  {
+    nodes;
+    entry;
+    succs;
+    preds;
+    rpo_cache = None;
+    rpo_index_cache = None;
+    back_cache = None;
+    idom_cache = None;
+  }
+
+let node_count t = t.nodes
+let succ t n = t.succs.(n)
+let pred t n = t.preds.(n)
+
+(* Iterative DFS computing postorder and back edges in one pass. *)
+let dfs t =
+  let color = Array.make t.nodes 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let postorder = ref [] in
+  let back = ref [] in
+  let rec visit u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if color.(v) = 0 then visit v
+        else if color.(v) = 1 then back := (u, v) :: !back)
+      t.succs.(u);
+    color.(u) <- 2;
+    postorder := u :: !postorder
+  in
+  if t.nodes > 0 then visit t.entry;
+  (Array.of_list !postorder, !back)
+
+let force_dfs t =
+  match (t.rpo_cache, t.back_cache) with
+  | Some r, Some b -> (r, b)
+  | _ ->
+    let r, b = dfs t in
+    t.rpo_cache <- Some r;
+    t.back_cache <- Some b;
+    (r, b)
+
+let rpo t = fst (force_dfs t)
+let back_edges t = snd (force_dfs t)
+let is_back_edge t u v = List.mem (u, v) (back_edges t)
+
+let rpo_index t =
+  match t.rpo_index_cache with
+  | Some a -> a
+  | None ->
+    let order = rpo t in
+    let idx = Array.make t.nodes (-1) in
+    Array.iteri (fun i n -> idx.(n) <- i) order;
+    t.rpo_index_cache <- Some idx;
+    idx
+
+let reachable t =
+  let idx = rpo_index t in
+  Array.map (fun i -> i >= 0) idx
+
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm". *)
+let idom t =
+  match t.idom_cache with
+  | Some a -> a
+  | None ->
+    let order = rpo t in
+    let idx = rpo_index t in
+    let idom = Array.make t.nodes (-1) in
+    idom.(t.entry) <- t.entry;
+    let rec intersect a b =
+      if a = b then a
+      else if idx.(a) > idx.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun n ->
+          if n <> t.entry then begin
+            let processed_preds =
+              List.filter (fun p -> idx.(p) >= 0 && idom.(p) >= 0) t.preds.(n)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(n) <> new_idom then begin
+                idom.(n) <- new_idom;
+                changed := true
+              end
+          end)
+        order
+    done;
+    t.idom_cache <- Some idom;
+    idom
+
+let dominates t a b =
+  let idoms = idom t in
+  let rec walk n = if n = a then true else if n = t.entry then a = t.entry else walk idoms.(n) in
+  if idoms.(b) = -1 then false else walk b
+
+let natural_loop t (u, v) =
+  (* Header v plus every node that reaches u without passing through v. *)
+  let in_loop = Array.make t.nodes false in
+  in_loop.(v) <- true;
+  let rec add n =
+    if not in_loop.(n) then begin
+      in_loop.(n) <- true;
+      List.iter add t.preds.(n)
+    end
+  in
+  add u;
+  let members = ref [] in
+  for n = t.nodes - 1 downto 0 do
+    if in_loop.(n) then members := n :: !members
+  done;
+  !members

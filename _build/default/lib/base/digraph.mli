@@ -1,0 +1,42 @@
+(** Directed-graph algorithms over integer-indexed nodes.
+
+    Used for control-flow analyses at both the IR level and the
+    machine-block level (the block-enlargement pass needs back edges to
+    enforce termination rule 4: separate loop iterations are never combined
+    into one enlarged block). *)
+
+type t
+
+val create : nodes:int -> succ:(int -> int list) -> entry:int -> t
+(** Successor lists are captured eagerly at creation. *)
+
+val node_count : t -> int
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+val reachable : t -> bool array
+(** Nodes reachable from the entry. *)
+
+val rpo : t -> int array
+(** Reverse postorder of the reachable nodes. *)
+
+val rpo_index : t -> int array
+(** [rpo_index.(n)] is the position of node [n] in {!rpo}, or [-1] if
+    unreachable. *)
+
+val is_back_edge : t -> int -> int -> bool
+(** [is_back_edge g u v] iff edge [u -> v] is a DFS back edge (its target is
+    an ancestor of its source), i.e. it closes a loop. *)
+
+val back_edges : t -> (int * int) list
+
+val idom : t -> int array
+(** Immediate dominators (Cooper-Harvey-Kennedy).  [idom.(entry) = entry];
+    unreachable nodes map to [-1]. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates g a b] iff every path from the entry to [b] goes through [a].
+    Only meaningful for reachable [b]. *)
+
+val natural_loop : t -> int * int -> int list
+(** [natural_loop g (u, v)] is the node set of the natural loop of back edge
+    [u -> v] (header [v] included). *)

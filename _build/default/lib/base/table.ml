@@ -1,0 +1,88 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count does not match headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i (h, _) -> widths.(i) <- String.length h) t.headers;
+  let measure = function
+    | Rule -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let aligns = List.map snd t.headers in
+  let rule_line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        if i < ncols - 1 then Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_char buf ' ';
+        if i < ncols - 1 then Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  emit_cells (List.map fst t.headers);
+  rule_line ();
+  List.iter
+    (function
+      | Rule -> rule_line ()
+      | Cells cells -> emit_cells cells)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_percent ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals v

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every paper table and the numeric series behind every figure are printed
+    through this module so the bench output is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> headers:(string * align) list -> t
+val add_row : t -> string list -> unit
+val add_rule : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val to_string : t -> string
+val print : t -> unit
+
+val cell_int : int -> string
+(** Thousands-separated integer, e.g. [1_234_567] -> ["1,234,567"]. *)
+
+val cell_float : ?decimals:int -> float -> string
+val cell_percent : ?decimals:int -> float -> string
+(** [cell_percent 12.34] -> ["12.3%"] with default one decimal. *)

@@ -1,0 +1,35 @@
+type series = { label : string; values : float list }
+
+let grouped_bars ~title ~unit_label ~groups ~series ?(width = 50) () =
+  List.iter
+    (fun s ->
+      if List.length s.values <> List.length groups then
+        invalid_arg "Textplot.grouped_bars: series length mismatch")
+    series;
+  let vmax =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc v -> Float.max acc v) acc s.values)
+      0.0 series
+  in
+  let vmax = if vmax <= 0.0 then 1.0 else vmax in
+  let label_width =
+    List.fold_left (fun acc s -> max acc (String.length s.label)) 0 series
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_string buf (Printf.sprintf "  (bar unit: %s)\n" unit_label);
+  List.iteri
+    (fun gi group ->
+      Buffer.add_string buf group;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun s ->
+          let v = List.nth s.values gi in
+          let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+          let n = if v > 0.0 && n = 0 then 1 else n in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s %.3f\n" label_width s.label
+               (String.make n '#') v))
+        series)
+    groups;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** ASCII bar charts, used to render the paper's figures in terminal output.
+
+    Each figure in the evaluation is a grouped bar chart (one group per
+    benchmark, one bar per configuration); this module reproduces that
+    layout in plain text. *)
+
+type series = { label : string; values : float list }
+
+val grouped_bars :
+  title:string ->
+  unit_label:string ->
+  groups:string list ->
+  series:series list ->
+  ?width:int ->
+  unit ->
+  string
+(** [grouped_bars ~title ~unit_label ~groups ~series ()] renders one bar per
+    [(group, series)] pair, scaled so the longest bar is [width] characters
+    (default 50).  Every series must have exactly one value per group. *)

@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Bisa_backend Bisa_frontend Bisa_ir Bisa_isa Bisa_opt List Printf

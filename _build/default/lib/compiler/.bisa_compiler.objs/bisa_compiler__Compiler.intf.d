@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Bisa_backend Bisa_frontend Bisa_ir Bisa_isa Bisa_opt

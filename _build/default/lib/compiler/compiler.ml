@@ -1,0 +1,55 @@
+type compiled = {
+  typed : Bisa_frontend.Typed.tprogram;
+  ir : Bisa_ir.Ir.program;
+  conv : Bisa_isa.Conv_prog.t;
+  block : Bisa_isa.Block_prog.t;
+  enlarged : Bisa_backend.Enlarge.t list;
+}
+
+exception Compile_error of string
+
+let located msg (pos : Bisa_frontend.Ast.pos) =
+  Printf.sprintf "%d:%d: %s" pos.line pos.col msg
+
+let frontend ?(library_funcs = []) src =
+  let typed =
+    try Bisa_frontend.Typecheck.check (Bisa_frontend.Parser.parse src) with
+    | Bisa_frontend.Lexer.Error (m, p) -> raise (Compile_error (located ("lex error: " ^ m) p))
+    | Bisa_frontend.Parser.Error (m, p) ->
+      raise (Compile_error (located ("parse error: " ^ m) p))
+    | Bisa_frontend.Typecheck.Error (m, p) ->
+      raise (Compile_error (located ("type error: " ^ m) p))
+  in
+  let ir = Bisa_frontend.Lower.lower ~library_funcs typed in
+  List.iter
+    (fun f ->
+      match Bisa_ir.Cfg.validate f with
+      | Ok () -> ()
+      | Error m -> raise (Compile_error ("internal: invalid IR: " ^ m)))
+    ir.funcs;
+  (typed, ir)
+
+let select_all (ir : Bisa_ir.Ir.program) ~opt ~inline ~ifconvert =
+  if inline then ignore (Bisa_opt.Inline.run ir : int);
+  if ifconvert then ignore (Bisa_opt.Ifconvert.run_program ir : int);
+  Bisa_opt.Pipeline.optimize opt ir;
+  List.map Bisa_backend.Isel.select ir.funcs
+
+let compile ?(opt = Bisa_opt.Pipeline.O1) ?(enlarge = Bisa_backend.Enlarge.default_config)
+    ?(inline = false) ?(ifconvert = false) ?(library_funcs = []) src =
+  let typed, ir = frontend ~library_funcs src in
+  let mfuncs = select_all ir ~opt ~inline ~ifconvert in
+  let conv = Bisa_backend.Linker.link_conventional ir.globals mfuncs in
+  let block, enlarged = Bisa_backend.Linker.link_block ~config:enlarge ir.globals mfuncs in
+  { typed; ir; conv; block; enlarged }
+
+let to_machine ?(opt = Bisa_opt.Pipeline.O1) ?(inline = false) ?(ifconvert = false)
+    ?(library_funcs = []) src =
+  let typed, ir = frontend ~library_funcs src in
+  let mfuncs = select_all ir ~opt ~inline ~ifconvert in
+  (typed, ir, mfuncs)
+
+let compile_conventional_only ?(opt = Bisa_opt.Pipeline.O1) ?(library_funcs = []) src =
+  let typed, ir = frontend ~library_funcs src in
+  let mfuncs = select_all ir ~opt ~inline:false ~ifconvert:false in
+  (typed, Bisa_backend.Linker.link_conventional ir.globals mfuncs)

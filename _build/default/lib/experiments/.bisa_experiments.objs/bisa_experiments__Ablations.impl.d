@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bisa_backend Bisa_base Bisa_timing Bisa_uarch Bisa_workloads List

@@ -1,0 +1,1 @@
+lib/experiments/extras.ml: Bisa_base Bisa_compiler Bisa_timing Bisa_uarch Bisa_workloads Figures Harness List Printf

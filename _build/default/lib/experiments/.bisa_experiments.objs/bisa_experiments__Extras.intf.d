@@ -1,0 +1,1 @@
+lib/experiments/extras.mli: Figures Harness

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Bisa_base Bisa_isa Bisa_sim Bisa_timing Bisa_workloads Expected Harness List Printf String

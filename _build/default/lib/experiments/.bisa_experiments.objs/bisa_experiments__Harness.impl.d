@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Bisa_compiler Bisa_timing Bisa_uarch Bisa_workloads Hashtbl Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Bisa_compiler Bisa_timing Bisa_uarch Bisa_workloads

@@ -1,0 +1,1 @@
+lib/experiments/profile_guided.ml: Ablations Array Bisa_backend Bisa_base Bisa_compiler Bisa_isa Bisa_sim Bisa_timing Bisa_uarch Bisa_workloads Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/experiments/profile_guided.mli: Ablations Bisa_backend Bisa_compiler Bisa_isa Bisa_workloads Hashtbl

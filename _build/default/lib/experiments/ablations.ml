@@ -1,0 +1,122 @@
+module Table = Bisa_base.Table
+module Config = Bisa_timing.Config
+module Enlarge = Bisa_backend.Enlarge
+module Workloads = Bisa_workloads.Workloads
+module Cache = Bisa_uarch.Cache
+
+type row = { label : string; values : (string * float) list }
+type study = { id : string; title : string; rows : row list; rendered : string }
+
+let default_subset = [ "m88ksim"; "perl"; "li" ]
+
+let scaled_16k = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
+let base_config = Config.with_icache (Some scaled_16k) Config.default
+
+let enlargement_variants =
+  [
+    ("default", Enlarge.default_config);
+    ("no-enlarge", { Enlarge.default_config with enabled = false });
+    ("1-fault", { Enlarge.default_config with max_faults = 1 });
+    ("8-op-limit", { Enlarge.default_config with max_ops = 8 });
+    ("merge-backedges", { Enlarge.default_config with merge_across_back_edges = true });
+    ("enlarge-libs", { Enlarge.default_config with enlarge_libraries = true });
+  ]
+
+let enlargement_rules ?(workloads = default_subset) () =
+  let t =
+    Table.create ~title:"Ablation: enlargement termination rules"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Config", Table.Left);
+          ("Cycles", Table.Right);
+          ("Mean block", Table.Right);
+          ("Code bytes", Table.Right);
+          ("Fault squashes", Table.Right);
+        ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      List.iter
+        (fun (label, cfg) ->
+          let c = Workloads.compile ~enlarge:cfg w in
+          let m = Bisa_timing.Block_pipeline.run base_config c.block in
+          Table.add_row t
+            [
+              name;
+              label;
+              Table.cell_int m.cycles;
+              Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+              Table.cell_int c.block.code_bytes;
+              Table.cell_int m.fault_squash_redirects;
+            ];
+          rows :=
+            {
+              label = name ^ "/" ^ label;
+              values =
+                [
+                  ("cycles", float_of_int m.cycles);
+                  ("block_size", Bisa_timing.Metrics.mean_block_size m);
+                  ("code_bytes", float_of_int c.block.code_bytes);
+                ];
+            }
+            :: !rows)
+        enlargement_variants;
+      Table.add_rule t)
+    workloads;
+  {
+    id = "ablation_rules";
+    title = "Enlargement termination-rule ablation";
+    rows = List.rev !rows;
+    rendered = Table.to_string t;
+  }
+
+let history_policy ?(workloads = default_subset) () =
+  let t =
+    Table.create ~title:"Ablation: history-update policy (predictor modification 3)"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Policy", Table.Left);
+          ("Cycles", Table.Right);
+          ("Mispredicts", Table.Right);
+        ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let c = Workloads.compile w in
+      List.iter
+        (fun (label, naive) ->
+          let cfg =
+            {
+              base_config with
+              Config.block_pred = { base_config.Config.block_pred with naive_history = naive };
+            }
+          in
+          let m = Bisa_timing.Block_pipeline.run cfg c.block in
+          Table.add_row t
+            [ name; label; Table.cell_int m.cycles; Table.cell_int m.mispredicts ];
+          rows :=
+            {
+              label = name ^ "/" ^ label;
+              values =
+                [
+                  ("cycles", float_of_int m.cycles);
+                  ("mispredicts", float_of_int m.mispredicts);
+                ];
+            }
+            :: !rows)
+        [ ("variable (paper)", false); ("naive 3-bit", true) ])
+    workloads;
+  {
+    id = "ablation_history";
+    title = "History-length ablation";
+    rows = List.rev !rows;
+    rendered = Table.to_string t;
+  }
+
+let all () = [ enlargement_rules (); history_policy () ]

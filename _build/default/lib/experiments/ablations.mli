@@ -1,0 +1,19 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    [enlargement_rules] re-compiles a subset of workloads under variant
+    enlargement configurations (no enlargement; one fault per block; a
+    narrower 8-op issue limit; merging across loop back edges; enlarging
+    library code) and reports cycles, block sizes and code growth — the
+    compiler-side knobs of paper section 4.2.
+
+    [history_policy] compares the paper's variable-length history update
+    (modification 3) against naively shifting three bits per block,
+    quantifying why the minimum-bits rule exists. *)
+
+type row = { label : string; values : (string * float) list }
+
+type study = { id : string; title : string; rows : row list; rendered : string }
+
+val enlargement_rules : ?workloads:string list -> unit -> study
+val history_policy : ?workloads:string list -> unit -> study
+val all : unit -> study list

@@ -1,0 +1,31 @@
+let fig3_mean_improvement_pct = 12.3
+
+let fig3_per_bench =
+  [
+    ("gcc", `Worst_positive);
+    ("compress", `Positive);
+    ("go", `Negative);
+    ("ijpeg", `Positive);
+    ("li", `Positive);
+    ("m88ksim", `Best);
+    ("perl", `Positive);
+    ("vortex", `Positive);
+  ]
+
+let fig4_mean_improvement_pct = 19.1
+let fig5_conv_mean_block = 5.2
+let fig5_block_mean_block = 8.2
+let fig67_worst_benchmarks = [ "gcc"; "go" ]
+let fig67_flat_benchmarks = [ "compress"; "li"; "ijpeg" ]
+
+let table2 =
+  [
+    ("compress", "test.in (abbreviated)", 103_015_025);
+    ("gcc", "jump.i", 154_450_036);
+    ("go", "2stone9.in (abbreviated)", 125_637_006);
+    ("ijpeg", "specmun.ppm (abbreviated)", 206_802_135);
+    ("m88ksim", "dcrand.train", 120_738_195);
+    ("perl", "scrabbl.pl (abbreviated)", 78_148_849);
+    ("vortex", "vortex.big (abbreviated)", 232_003_378);
+    ("li", "train.lsp (xlisp)", 187_727_922);
+  ]

@@ -1,0 +1,28 @@
+(** The paper's reported results, for side-by-side comparison in
+    EXPERIMENTS.md.  Only values the paper states numerically are recorded;
+    per-benchmark bars the paper shows only graphically are captured as
+    qualitative expectations. *)
+
+val fig3_mean_improvement_pct : float  (** 12.3 *)
+
+val fig3_per_bench : (string * [ `Best | `Worst_positive | `Negative | `Positive ]) list
+(** gcc is the smallest positive gain (7.2%), m88ksim the largest (19.9%),
+    go the single regression (-1.5%). *)
+
+val fig4_mean_improvement_pct : float  (** 19.1 *)
+
+val fig5_conv_mean_block : float
+(** 5.2 *)
+
+val fig5_block_mean_block : float
+(** 8.2 *)
+
+val fig67_worst_benchmarks : string list
+(** gcc and go *)
+
+val fig67_flat_benchmarks : string list
+(** compress, li, ijpeg *)
+
+val table2 : (string * string * int) list
+(** Benchmark, input set, dynamic conventional-ISA instruction count as
+    printed in the paper's Table 2. *)

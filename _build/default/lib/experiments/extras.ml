@@ -1,0 +1,265 @@
+module Table = Bisa_base.Table
+module Config = Bisa_timing.Config
+module Workloads = Bisa_workloads.Workloads
+module Cache = Bisa_uarch.Cache
+
+let scaled_16k = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
+
+let scientific () =
+  let w = Workloads.scientific in
+  let c = Workloads.compile w in
+  let cfg = Config.with_icache (Some scaled_16k) Config.default in
+  let mc = Bisa_timing.Conv_pipeline.run cfg c.conv in
+  let mb = Bisa_timing.Block_pipeline.run cfg c.block in
+  let imp = 100.0 *. float_of_int (mc.cycles - mb.cycles) /. float_of_int mc.cycles in
+  let t =
+    Table.create ~title:"Future work: scientific (FP) code"
+      ~headers:
+        [
+          ("Core", Table.Left);
+          ("Cycles", Table.Right);
+          ("IPC", Table.Right);
+          ("Mean block", Table.Right);
+          ("Mispredicts", Table.Right);
+        ]
+  in
+  Table.add_row t
+    [
+      "conventional";
+      Table.cell_int mc.cycles;
+      Table.cell_float (Bisa_timing.Metrics.ipc mc);
+      Table.cell_float (Bisa_timing.Metrics.mean_block_size mc);
+      Table.cell_int mc.mispredicts;
+    ];
+  Table.add_row t
+    [
+      "block-structured";
+      Table.cell_int mb.cycles;
+      Table.cell_float (Bisa_timing.Metrics.ipc mb);
+      Table.cell_float (Bisa_timing.Metrics.mean_block_size mb);
+      Table.cell_int mb.mispredicts;
+    ];
+  {
+    Figures.id = "future_scientific";
+    title = "Scientific-code future-work claim";
+    rendered = Table.to_string t;
+    summary =
+      Printf.sprintf
+        "Block-structured improvement on the FP surrogate: %.1f%%. Half the \
+         paper's section-6 conjecture holds exactly — FP branches are so \
+         predictable that fault squashes nearly vanish (mispredicts above). \
+         The other half does not transfer: FP basic blocks are already large, \
+         so one-basic-block-per-cycle fetch satisfies the achievable FP IPC \
+         and enlargement has less to add than on SPECint. (The paper never \
+         ran this experiment; this is what its proposal measures.)"
+        imp;
+  }
+
+let trace_cache_rivalry ?(workloads = [ "m88ksim"; "perl"; "li"; "compress" ]) () =
+  let base = Config.with_icache (Some scaled_16k) Config.default in
+  let with_tc =
+    { base with trace_cache = Some Bisa_uarch.Trace_cache.default_config }
+  in
+  let t =
+    Table.create
+      ~title:"Rivalry: run-time (trace cache) vs compile-time (enlargement) block merging"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Conv cycles", Table.Right);
+          ("Conv+TC cycles", Table.Right);
+          ("BSA cycles", Table.Right);
+          ("TC hits", Table.Right);
+          ("TC extra ops", Table.Right);
+        ]
+  in
+  let improvements = ref [] in
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let c = Workloads.compile w in
+      let mc = Bisa_timing.Conv_pipeline.run base c.conv in
+      let mt = Bisa_timing.Conv_pipeline.run with_tc c.conv in
+      let mb = Bisa_timing.Block_pipeline.run base c.block in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int mc.cycles;
+          Table.cell_int mt.cycles;
+          Table.cell_int mb.cycles;
+          Table.cell_int mt.tc_hits;
+          Table.cell_int mt.tc_served_ops;
+        ];
+      improvements :=
+        ( name,
+          100.0 *. float_of_int (mc.cycles - mt.cycles) /. float_of_int mc.cycles,
+          100.0 *. float_of_int (mc.cycles - mb.cycles) /. float_of_int mc.cycles )
+        :: !improvements)
+    workloads;
+  let n = float_of_int (List.length !improvements) in
+  let mean_tc = List.fold_left (fun a (_, tci, _) -> a +. tci) 0.0 !improvements /. n in
+  let mean_bsa = List.fold_left (fun a (_, _, b) -> a +. b) 0.0 !improvements /. n in
+  {
+    Figures.id = "trace_cache";
+    title = "Trace cache vs block enlargement";
+    rendered = Table.to_string t;
+    summary =
+      Printf.sprintf
+        "Mean improvement over the plain conventional core: trace cache %.1f%%, \
+         block enlargement %.1f%%. Both merge basic blocks into one fetch unit; \
+         the trace cache does it at run time into a small dedicated cache, \
+         enlargement at compile time into the whole icache (paper section 3); \
+         the paper's section-6 remark that the two could compose remains open \
+         here too."
+        mean_tc mean_bsa;
+  }
+
+let predication_study ?(workloads = [ "go"; "gcc"; "compress" ]) () =
+  let cfg = Config.with_icache (Some scaled_16k) Config.default in
+  let t =
+    Table.create
+      ~title:"Section 6: predicated execution (if-conversion to selects)"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Build", Table.Left);
+          ("BSA cycles", Table.Right);
+          ("Mispredicts", Table.Right);
+          ("Fault squashes", Table.Right);
+          ("Mean block", Table.Right);
+        ]
+  in
+  let deltas = ref [] in
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let src = Workloads.source w in
+      let run label ifconvert =
+        let c =
+          Bisa_compiler.Compiler.compile ~ifconvert ~library_funcs:w.library_funcs src
+        in
+        let m = Bisa_timing.Block_pipeline.run cfg c.block in
+        Table.add_row t
+          [
+            name;
+            label;
+            Table.cell_int m.cycles;
+            Table.cell_int m.mispredicts;
+            Table.cell_int m.fault_squash_redirects;
+            Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+          ];
+        m
+      in
+      let base = run "branches (paper)" false in
+      let pred = run "if-converted" true in
+      deltas := (base.cycles, pred.cycles, base.mispredicts, pred.mispredicts) :: !deltas;
+      Table.add_rule t)
+    workloads;
+  let n = float_of_int (List.length !deltas) in
+  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 !deltas /. n in
+  {
+    Figures.id = "predication";
+    title = "Predicated execution (paper section 6)";
+    rendered = Table.to_string t;
+    summary =
+      Printf.sprintf
+        "If-conversion removes %.0f%% of the block core's mispredict events and \
+         changes cycles by %.1f%% on the branchy surrogates — the paper's \
+         conjecture that eliminating hard-to-predict short branches helps the \
+         block-structured core most, at the cost of issuing both arms."
+        (mean (fun (_, _, mb, mp) ->
+             100.0 *. float_of_int (mb - mp) /. float_of_int (max 1 mb)))
+        (mean (fun (cb, cp, _, _) ->
+             100.0 *. float_of_int (cb - cp) /. float_of_int cb));
+  }
+
+let inlining_study ?(workloads = [ "li"; "gcc"; "vortex" ]) () =
+  let cfg = Config.with_icache (Some scaled_16k) Config.default in
+  let t =
+    Table.create ~title:"Section 6: inlining lifts the call/return merge barrier"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Build", Table.Left);
+          ("BSA cycles", Table.Right);
+          ("Mean block", Table.Right);
+          ("Code bytes", Table.Right);
+        ]
+  in
+  let deltas = ref [] in
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let src = Workloads.source w in
+      let run label inline =
+        let c =
+          Bisa_compiler.Compiler.compile ~inline ~library_funcs:w.library_funcs src
+        in
+        let m = Bisa_timing.Block_pipeline.run cfg c.block in
+        Table.add_row t
+          [
+            name;
+            label;
+            Table.cell_int m.cycles;
+            Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+            Table.cell_int c.block.code_bytes;
+          ];
+        (m.cycles, Bisa_timing.Metrics.mean_block_size m)
+      in
+      let base_cycles, base_size = run "no inlining (paper)" false in
+      let in_cycles, in_size = run "inlined" true in
+      deltas := (base_cycles, in_cycles, base_size, in_size) :: !deltas;
+      Table.add_rule t)
+    workloads;
+  let n = float_of_int (List.length !deltas) in
+  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 !deltas /. n in
+  {
+    Figures.id = "inlining";
+    title = "Inlining (paper section 6)";
+    rendered = Table.to_string t;
+    summary =
+      Printf.sprintf
+        "Inlining grows the mean retired block from %.1f to %.1f ops and changes \
+         block-core cycles by %.1f%% on the call-heavy surrogates — the paper's \
+         conjecture that removing call/return boundaries lets enlargement merge \
+         further."
+        (mean (fun (_, _, b, _) -> b))
+        (mean (fun (_, _, _, i) -> i))
+        (mean (fun (b, i, _, _) ->
+             100.0 *. float_of_int (b - i) /. float_of_int b));
+  }
+
+let prediction_parity h =
+  let cfg = Harness.base_config h in
+  let t =
+    Table.create ~title:"Prediction parity (paper section 5 claim)"
+      ~headers:
+        [
+          ("Benchmark", Table.Left);
+          ("Conv mispredicts/kop", Table.Right);
+          ("BSA mispredicts/kop", Table.Right);
+          ("BSA fault squashes", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let mc = Harness.run_conv h w cfg in
+      let mb = Harness.run_block h w cfg in
+      Table.add_row t
+        [
+          w.name;
+          Table.cell_float (Bisa_timing.Metrics.mispredict_rate_per_kop mc);
+          Table.cell_float (Bisa_timing.Metrics.mispredict_rate_per_kop mb);
+          Table.cell_int mb.fault_squash_redirects;
+        ])
+    (Harness.benchmarks h);
+  {
+    Figures.id = "prediction_parity";
+    title = "Branch-misprediction parity";
+    rendered = Table.to_string t;
+    summary =
+      "The paper reports both executables suffer about the same number of \
+       mispredictions, with the block-structured ones costing more each \
+       (whole-block squash); the per-kop rates above quantify that for the \
+       surrogates.";
+  }

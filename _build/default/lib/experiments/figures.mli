@@ -1,0 +1,36 @@
+(** One runner per table and figure of the paper's evaluation (section 5).
+
+    Each runner executes whatever simulations it needs (shared through the
+    {!Harness} caches), renders the same rows/series the paper reports, and
+    states the measured headline next to the paper's. *)
+
+type report = {
+  id : string;  (** "table1" ... "fig7" *)
+  title : string;
+  rendered : string;  (** tables / ASCII bars, ready to print *)
+  summary : string;  (** measured headline vs. the paper's *)
+}
+
+val table1 : unit -> report
+(** Instruction classes and latencies — the simulator's actual latency
+    table, which {e is} Table 1. *)
+
+val table2 : Harness.t -> report
+(** Benchmarks, inputs, dynamic conventional-ISA instruction counts. *)
+
+val fig3 : Harness.t -> report
+(** Execution cycles, conventional vs block-structured, real predictor. *)
+
+val fig4 : Harness.t -> report
+(** Same comparison under perfect branch prediction. *)
+
+val fig5 : Harness.t -> report
+(** Average retired block sizes. *)
+
+val fig6 : Harness.t -> report
+(** Conventional ISA: relative slowdown vs a perfect icache across sizes. *)
+
+val fig7 : Harness.t -> report
+(** Block-structured ISA: the same icache sweep. *)
+
+val all : Harness.t -> report list

@@ -1,0 +1,79 @@
+module Workloads = Bisa_workloads.Workloads
+module Config = Bisa_timing.Config
+module Cache = Bisa_uarch.Cache
+
+let verbose = ref false
+
+type cache_key = (int * int * int) option * Config.predictor
+
+type t = {
+  scale : int option;
+  base : Config.t;
+  sweep : (string * Cache.config) list;
+  compiled_cache : (string, Bisa_compiler.Compiler.compiled) Hashtbl.t;
+  run_cache : (string * string * cache_key, Bisa_timing.Metrics.t) Hashtbl.t;
+}
+
+let scaled_default = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
+
+let create ?scale ?(paper_caches = false) () =
+  let default_icache, sweep =
+    if paper_caches then
+      ( Cache.config_64k,
+        [ ("16KB", Cache.config_16k); ("32KB", Cache.config_32k); ("64KB", Cache.config_64k) ] )
+    else
+      ( scaled_default,
+        [
+          ("4KB", { Cache.size_bytes = Cache.kb 4; assoc = 4; line_bytes = 32 });
+          ("8KB", { Cache.size_bytes = Cache.kb 8; assoc = 4; line_bytes = 32 });
+          ("16KB", scaled_default);
+        ] )
+  in
+  {
+    scale;
+    base = Config.with_icache (Some default_icache) Config.default;
+    sweep;
+    compiled_cache = Hashtbl.create 16;
+    run_cache = Hashtbl.create 64;
+  }
+
+let base_config t = t.base
+let sweep_caches t = t.sweep
+let benchmarks _ = Workloads.all
+
+let compiled t (w : Workloads.t) =
+  match Hashtbl.find_opt t.compiled_cache w.name with
+  | Some c -> c
+  | None ->
+    if !verbose then Printf.eprintf "[compile] %s\n%!" w.name;
+    let c = match t.scale with
+      | Some scale -> Workloads.compile ~scale w
+      | None -> Workloads.compile w
+    in
+    Hashtbl.add t.compiled_cache w.name c;
+    c
+
+let key_of (cfg : Config.t) : cache_key =
+  ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
+    cfg.predictor )
+
+let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
+  let key = (w.name, isa, key_of cfg) in
+  match Hashtbl.find_opt t.run_cache key with
+  | Some m -> m
+  | None ->
+    if !verbose then
+      Printf.eprintf "[run] %s/%s icache=%s pred=%s\n%!" w.name isa
+        (match cfg.icache with
+        | Some c -> string_of_int (c.size_bytes / 1024) ^ "KB"
+        | None -> "perfect")
+        (match cfg.predictor with Config.Real -> "real" | Config.Perfect -> "perfect");
+    let m = f (compiled t w) in
+    Hashtbl.add t.run_cache key m;
+    m
+
+let run_conv t w cfg =
+  run t w cfg ~isa:"conv" ~f:(fun c -> Bisa_timing.Conv_pipeline.run cfg c.conv)
+
+let run_block t w cfg =
+  run t w cfg ~isa:"block" ~f:(fun c -> Bisa_timing.Block_pipeline.run cfg c.block)

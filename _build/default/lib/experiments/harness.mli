@@ -1,0 +1,35 @@
+(** Shared experiment infrastructure: compiled-workload and timing-run
+    caches, and the evaluation-wide default configuration.
+
+    Sizing note (DESIGN.md section 7): the surrogates run hundreds of
+    thousands to a few million operations instead of the paper's 78-232
+    million, and their static footprints are KBs instead of hundreds of
+    KBs.  The default icache is therefore the {e scaled} stand-in
+    (8KB, 4-way) for the paper's 64KB figure-3 cache, and the figure-6/7
+    sweep uses 2/4/8KB for the paper's 16/32/64KB.  [paper_caches] selects
+    the literal sizes instead. *)
+
+type t
+
+val create : ?scale:int -> ?paper_caches:bool -> unit -> t
+
+val base_config : t -> Bisa_timing.Config.t
+(** The figure-3 configuration: identical cores, real predictor, default
+    icache. *)
+
+val sweep_caches : t -> (string * Bisa_uarch.Cache.config) list
+(** The figure-6/7 icache points, smallest first, with display labels. *)
+
+val benchmarks : t -> Bisa_workloads.Workloads.t list
+
+val compiled : t -> Bisa_workloads.Workloads.t -> Bisa_compiler.Compiler.compiled
+
+val run_conv :
+  t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
+(** Timing run, memoized on (benchmark, icache, predictor). *)
+
+val run_block :
+  t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
+
+val verbose : bool ref
+(** When set, each cache miss logs a progress line to stderr. *)

@@ -1,0 +1,1 @@
+lib/frontend/interp.mli: Typed

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Bisa_ir Bisa_isa Builder Ir List Option Typed

@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Bisa_ir Typed

@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Array Ast Hashtbl List Option Printf Typed

@@ -1,0 +1,1 @@
+lib/frontend/typecheck.mli: Ast Typed

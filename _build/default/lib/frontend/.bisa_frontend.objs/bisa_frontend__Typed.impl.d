@@ -1,0 +1,1 @@
+lib/frontend/typed.ml: Ast List

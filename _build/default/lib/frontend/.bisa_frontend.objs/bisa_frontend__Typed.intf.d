@@ -1,0 +1,1 @@
+lib/frontend/typed.mli: Ast

@@ -1,0 +1,58 @@
+type pos = { line : int; col : int }
+type ty = Tint | Tflt | Tvoid
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int_lit of int
+  | Flt_lit of float
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type global_decl = {
+  g_ty : ty;
+  g_name : string;
+  g_size : int option;
+  g_init : float option;
+}
+
+type func_decl = {
+  f_ty : ty;
+  f_name : string;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+  f_pos : pos;
+}
+
+type decl = Dglobal of global_decl | Dfunc of func_decl
+type program = decl list
+
+let ty_to_string = function Tint -> "int" | Tflt -> "float" | Tvoid -> "void"

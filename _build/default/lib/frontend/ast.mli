@@ -1,0 +1,76 @@
+(** Abstract syntax of MiniC, the toolchain's source language.
+
+    MiniC is a small, C-like language: [int] (63-bit, OCaml-native width)
+    and [float] scalars, global fixed-size arrays, functions, the usual
+    expression operators with short-circuit [&&]/[||], and [if] / [while] /
+    [for] / [do-while] / [switch] control flow.  [switch] has no
+    fall-through (each case body is implicitly closed) and compiles to a
+    bounded jump table, which exercises the block-enlargement termination
+    rule for indirect jumps.
+
+    It replaces the paper's Intel Reference C front end; the eight workload
+    surrogates and the runtime library are written in it. *)
+
+type pos = { line : int; col : int }
+
+type ty = Tint | Tflt | Tvoid
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor  (** short-circuit *)
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int_lit of int
+  | Flt_lit of float
+  | Var of string
+  | Index of string * expr  (** global array element *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+      (** includes the builtins [print_int], [print_float], [itof], [ftoi] *)
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr option  (** local scalar declaration *)
+  | Assign of lvalue * expr
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+      (** init and step are [Assign]/[Expr_stmt]/[Decl] statements *)
+  | Switch of expr * (int * stmt list) list * stmt list  (** cases, default *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type global_decl = {
+  g_ty : ty;  (** element type; [Tvoid] is invalid *)
+  g_name : string;
+  g_size : int option;  (** [Some n] for arrays, [None] for scalars *)
+  g_init : float option;  (** scalar initial value (also used for ints) *)
+}
+
+type func_decl = {
+  f_ty : ty;
+  f_name : string;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+  f_pos : pos;
+}
+
+type decl = Dglobal of global_decl | Dfunc of func_decl
+
+type program = decl list
+
+val ty_to_string : ty -> string

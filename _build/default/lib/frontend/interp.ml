@@ -1,0 +1,231 @@
+type output = Oint of int | Oflt of float
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+type result = { ret : int; outputs : output list; steps : int }
+
+type value = VI of int | VF of float
+
+type storage = Sint of int array | Sflt of float array
+
+type state = {
+  prog : Typed.tprogram;
+  globals : (string, storage) Hashtbl.t;
+  mutable outputs : output list;  (* reversed *)
+  mutable fuel : int;
+  mutable steps : int;
+}
+
+exception Return_exc of value option
+exception Break_exc
+exception Continue_exc
+
+let as_int = function VI v -> v | VF _ -> raise (Runtime_error "expected int value")
+let as_flt = function VF v -> v | VI _ -> raise (Runtime_error "expected float value")
+
+let mask_shift n = n land 63
+
+let int_binop (op : Ast.binop) a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Shl -> a lsl mask_shift b
+  | Shr -> a asr mask_shift b
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Land | Lor -> assert false (* handled by short-circuit path *)
+
+let flt_binop (op : Ast.binop) a b =
+  match op with
+  | Add -> VF (a +. b)
+  | Sub -> VF (a -. b)
+  | Mul -> VF (a *. b)
+  | Div -> VF (a /. b)
+  | Lt -> VI (if a < b then 1 else 0)
+  | Le -> VI (if a <= b then 1 else 0)
+  | Gt -> VI (if a > b then 1 else 0)
+  | Ge -> VI (if a >= b then 1 else 0)
+  | Eq -> VI (if a = b then 1 else 0)
+  | Ne -> VI (if a <> b then 1 else 0)
+  | Rem | Band | Bor | Bxor | Shl | Shr | Land | Lor ->
+    raise (Runtime_error "float operand on integer-only operator")
+
+let spend st =
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let storage_get st name idx =
+  match Hashtbl.find_opt st.globals name with
+  | Some (Sint a) ->
+    if idx < 0 || idx >= Array.length a then
+      raise (Runtime_error (Printf.sprintf "%s[%d]: out of bounds" name idx));
+    VI a.(idx)
+  | Some (Sflt a) ->
+    if idx < 0 || idx >= Array.length a then
+      raise (Runtime_error (Printf.sprintf "%s[%d]: out of bounds" name idx));
+    VF a.(idx)
+  | None -> raise (Runtime_error ("unknown global " ^ name))
+
+let storage_set st name idx v =
+  match Hashtbl.find_opt st.globals name with
+  | Some (Sint a) ->
+    if idx < 0 || idx >= Array.length a then
+      raise (Runtime_error (Printf.sprintf "%s[%d]: out of bounds" name idx));
+    a.(idx) <- as_int v
+  | Some (Sflt a) ->
+    if idx < 0 || idx >= Array.length a then
+      raise (Runtime_error (Printf.sprintf "%s[%d]: out of bounds" name idx));
+    a.(idx) <- as_flt v
+  | None -> raise (Runtime_error ("unknown global " ^ name))
+
+let rec eval st (locals : value array) (e : Typed.texpr) : value =
+  spend st;
+  match e.te with
+  | TInt v -> VI v
+  | TFlt v -> VF v
+  | TLocal slot -> locals.(slot)
+  | TGlobal name -> storage_get st name 0
+  | TIndex (name, idx) -> storage_get st name (as_int (eval st locals idx))
+  | TUnary (op, a) -> begin
+    let va = eval st locals a in
+    match (op, va) with
+    | Ast.Neg, VI v -> VI (-v)
+    | Ast.Neg, VF v -> VF (-.v)
+    | Ast.Lognot, VI v -> VI (if v = 0 then 1 else 0)
+    | Ast.Bitnot, VI v -> VI (lnot v)
+    | (Ast.Lognot | Ast.Bitnot), VF _ ->
+      raise (Runtime_error "float operand on integer-only operator")
+  end
+  | TBinary (Ast.Land, a, b) ->
+    if as_int (eval st locals a) = 0 then VI 0
+    else VI (if as_int (eval st locals b) = 0 then 0 else 1)
+  | TBinary (Ast.Lor, a, b) ->
+    if as_int (eval st locals a) <> 0 then VI 1
+    else VI (if as_int (eval st locals b) = 0 then 0 else 1)
+  | TBinary (op, a, b) -> begin
+    let va = eval st locals a in
+    let vb = eval st locals b in
+    match va with
+    | VI x -> VI (int_binop op x (as_int vb))
+    | VF x -> flt_binop op x (as_flt vb)
+  end
+  | TCall (name, args) ->
+    let vargs = List.map (eval st locals) args in
+    call st name vargs
+  | TBuiltin (b, args) -> begin
+    let vargs = List.map (eval st locals) args in
+    match (b, vargs) with
+    | Typed.Bprint_int, [ v ] ->
+      st.outputs <- Oint (as_int v) :: st.outputs;
+      VI 0
+    | Typed.Bprint_float, [ v ] ->
+      st.outputs <- Oflt (as_flt v) :: st.outputs;
+      VI 0
+    | Typed.Bitof, [ v ] -> VF (float_of_int (as_int v))
+    | Typed.Bftoi, [ v ] -> VI (int_of_float (Float.trunc (as_flt v)))
+    | _ -> raise (Runtime_error "builtin arity")
+  end
+
+and call st name vargs =
+  let f = Typed.find_func st.prog name in
+  let locals =
+    Array.map
+      (function Ast.Tint -> VI 0 | Ast.Tflt -> VF 0.0 | Ast.Tvoid -> VI 0)
+      f.tf_slots
+  in
+  List.iteri
+    (fun i slot ->
+      locals.(slot) <- List.nth vargs i)
+    f.tf_params;
+  match exec_stmts st locals f.tf_body with
+  | () -> begin
+    (* Fell off the end: default return value. *)
+    match f.tf_ty with
+    | Ast.Tflt -> VF 0.0
+    | Ast.Tint | Ast.Tvoid -> VI 0
+  end
+  | exception Return_exc v -> begin
+    match (v, f.tf_ty) with
+    | Some v, _ -> v
+    | None, Ast.Tflt -> VF 0.0
+    | None, _ -> VI 0
+  end
+
+and exec_stmts st locals stmts = List.iter (exec_stmt st locals) stmts
+
+and exec_stmt st locals (s : Typed.tstmt) =
+  spend st;
+  match s with
+  | TsAssign_local (slot, e) -> locals.(slot) <- eval st locals e
+  | TsAssign_global (name, e) -> storage_set st name 0 (eval st locals e)
+  | TsAssign_index (name, idx, e) ->
+    let i = as_int (eval st locals idx) in
+    let v = eval st locals e in
+    storage_set st name i v
+  | TsExpr e -> ignore (eval st locals e)
+  | TsIf (c, t, f) ->
+    if as_int (eval st locals c) <> 0 then exec_stmts st locals t
+    else exec_stmts st locals f
+  | TsLoop { cond_first; cond; body; step } ->
+    let check () =
+      match cond with None -> true | Some c -> as_int (eval st locals c) <> 0
+    in
+    let run_body () =
+      (try exec_stmts st locals body with Continue_exc -> ());
+      exec_stmts st locals step
+    in
+    begin
+      try
+        if cond_first then
+          while check () do
+            run_body ()
+          done
+        else begin
+          run_body ();
+          while check () do
+            run_body ()
+          done
+        end
+      with Break_exc -> ()
+    end
+  | TsSwitch (scrut, cases, default) -> begin
+    let v = as_int (eval st locals scrut) in
+    match List.assoc_opt v cases with
+    | Some body -> exec_stmts st locals body
+    | None -> exec_stmts st locals default
+  end
+  | TsReturn e -> raise (Return_exc (Option.map (eval st locals) e))
+  | TsBreak -> raise Break_exc
+  | TsContinue -> raise Continue_exc
+
+let run ?(fuel = 200_000_000) (prog : Typed.tprogram) =
+  let globals = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Ast.global_decl) ->
+      let n = match g.g_size with Some n -> n | None -> 1 in
+      let init = Option.value g.g_init ~default:0.0 in
+      let storage =
+        match g.g_ty with
+        | Ast.Tint -> Sint (Array.make n (int_of_float init))
+        | Ast.Tflt -> Sflt (Array.make n init)
+        | Ast.Tvoid -> assert false
+      in
+      Hashtbl.add globals g.g_name storage)
+    prog.tglobals;
+  let st = { prog; globals; outputs = []; fuel; steps = 0 } in
+  if not (List.exists (fun (f : Typed.tfunc) -> f.tf_name = "main") prog.tfuncs) then
+    raise (Runtime_error "no main function");
+  let ret = as_int (call st "main" []) in
+  { ret; outputs = List.rev st.outputs; steps = st.steps }

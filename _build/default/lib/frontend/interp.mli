@@ -1,0 +1,21 @@
+(** Reference interpreter for typed MiniC.
+
+    This is the semantic oracle: every workload is run here and through
+    both compiled ISAs, and the observable outputs (the [print_int] /
+    [print_float] stream plus [main]'s return value) must agree exactly.
+
+    Semantics shared with the ISA executors: 63-bit (OCaml-native) integer
+    arithmetic, division truncating toward zero, division/remainder by zero
+    yielding 0, shift amounts masked to six bits. *)
+
+type output = Oint of int | Oflt of float
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+type result = { ret : int; outputs : output list; steps : int }
+
+val run : ?fuel:int -> Typed.tprogram -> result
+(** Execute [main].  [fuel] bounds the number of statements and expression
+    nodes evaluated (default 200 million); {!Out_of_fuel} when exceeded.
+    {!Runtime_error} on out-of-bounds array access or a missing [main]. *)

@@ -1,0 +1,116 @@
+type token =
+  | INT_LIT of int
+  | FLT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    "int"; "float"; "void"; "if"; "else"; "while"; "do"; "for"; "switch";
+    "case"; "default"; "return"; "break"; "continue";
+  ]
+
+(* Multi-character punctuation first so longest-match wins. *)
+let puncts2 = [ "<="; ">="; "=="; "!="; "&&"; "||"; "<<"; ">>" ]
+let puncts1 = [ "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+                "("; ")"; "{"; "}"; "["; "]"; ";"; ","; ":" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let toks = ref [] in
+  let i = ref 0 in
+  let newline at = incr line; bol := at + 1 in
+  let error msg at = raise (Error (msg, pos at)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      newline !i;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !i in
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then error "unterminated comment" start
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then newline !i;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float =
+        (!i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1])
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done;
+        (* optional exponent *)
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        let s = String.sub src start (!i - start) in
+        toks := { tok = FLT_LIT (float_of_string s); pos = pos start } :: !toks
+      end
+      else begin
+        let s = String.sub src start (!i - start) in
+        match int_of_string_opt s with
+        | Some v -> toks := { tok = INT_LIT v; pos = pos start } :: !toks
+        | None -> error ("integer literal out of range: " ^ s) start
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      let tok = if List.mem s keywords then KW s else IDENT s in
+      toks := { tok; pos = pos start } :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if List.mem two puncts2 then begin
+        toks := { tok = PUNCT two; pos = pos !i } :: !toks;
+        i := !i + 2
+      end
+      else begin
+        let one = String.make 1 c in
+        if List.mem one puncts1 then begin
+          toks := { tok = PUNCT one; pos = pos !i } :: !toks;
+          incr i
+        end
+        else error (Printf.sprintf "unexpected character %C" c) !i
+      end
+    end
+  done;
+  List.rev ({ tok = EOF; pos = pos !i } :: !toks)
+
+let token_to_string = function
+  | INT_LIT v -> string_of_int v
+  | FLT_LIT v -> string_of_float v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,20 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLT_LIT of float
+  | IDENT of string
+  | KW of string  (** int float void if else while do for switch case default
+                      return break continue *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> t list
+(** Raises {!Error} on malformed input.  Comments: [//] to end of line and
+    [/* ... */]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,364 @@
+module Cmp = Bisa_isa.Cmp
+
+type ctx = {
+  b : Bisa_ir.Builder.t;
+  slot_vreg : Bisa_ir.Ir.vreg array;
+  ret_kind : Bisa_ir.Ir.kind option;
+  mutable loop_stack : (Bisa_ir.Ir.label * Bisa_ir.Ir.label) list;
+      (** (continue target, break target), innermost first *)
+}
+
+open Bisa_ir
+
+let kind_of_ty = function
+  | Ast.Tint -> Ir.Kint
+  | Ast.Tflt -> Ir.Kflt
+  | Ast.Tvoid -> Ir.Kint
+
+let word_bytes = 8
+
+let cmp_of_binop = function
+  | Ast.Lt -> Some Cmp.Lt
+  | Ast.Le -> Some Cmp.Le
+  | Ast.Gt -> Some Cmp.Gt
+  | Ast.Ge -> Some Cmp.Ge
+  | Ast.Eq -> Some Cmp.Eq
+  | Ast.Ne -> Some Cmp.Ne
+  | _ -> None
+
+let binop_of_ast = function
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div
+  | Ast.Rem -> Ir.Rem
+  | Ast.Band -> Ir.And
+  | Ast.Bor -> Ir.Or
+  | Ast.Bxor -> Ir.Xor
+  | Ast.Shl -> Ir.Sll
+  | Ast.Shr -> Ir.Sra
+  | _ -> invalid_arg "binop_of_ast"
+
+let fbinop_of_ast = function
+  | Ast.Add -> Ir.Fadd
+  | Ast.Sub -> Ir.Fsub
+  | Ast.Mul -> Ir.Fmul
+  | Ast.Div -> Ir.Fdiv
+  | _ -> invalid_arg "fbinop_of_ast"
+
+(* Address of element [idx] of global [name]; returns (base operand, byte
+   offset). *)
+let lower_address ctx name (idx : Ir.operand) =
+  let base = Builder.fresh_vreg ctx.b Ir.Kint in
+  Builder.emit ctx.b (Ir.Gaddr (base, name));
+  match idx with
+  | Ir.Cint i -> (Ir.V base, i * word_bytes)
+  | _ ->
+    let scaled = Builder.fresh_vreg ctx.b Ir.Kint in
+    Builder.emit ctx.b (Ir.Bin (Ir.Sll, scaled, idx, Ir.Cint 3));
+    let addr = Builder.fresh_vreg ctx.b Ir.Kint in
+    Builder.emit ctx.b (Ir.Bin (Ir.Add, addr, Ir.V base, Ir.V scaled));
+    (Ir.V addr, 0)
+
+let rec lower_expr ctx (e : Typed.texpr) : Ir.operand =
+  match e.te with
+  | TInt v -> Ir.Cint v
+  | TFlt v -> Ir.Cflt v
+  | TLocal slot -> Ir.V ctx.slot_vreg.(slot)
+  | TGlobal name ->
+    let base = Builder.fresh_vreg ctx.b Ir.Kint in
+    Builder.emit ctx.b (Ir.Gaddr (base, name));
+    let dst = Builder.fresh_vreg ctx.b (kind_of_ty e.ty) in
+    Builder.emit ctx.b
+      (if e.ty = Ast.Tflt then Ir.Loadf (dst, Ir.V base, 0)
+       else Ir.Load (dst, Ir.V base, 0));
+    Ir.V dst
+  | TIndex (name, idx) ->
+    let vidx = lower_expr ctx idx in
+    let base, off = lower_address ctx name vidx in
+    let dst = Builder.fresh_vreg ctx.b (kind_of_ty e.ty) in
+    Builder.emit ctx.b
+      (if e.ty = Ast.Tflt then Ir.Loadf (dst, base, off) else Ir.Load (dst, base, off));
+    Ir.V dst
+  | TUnary (Ast.Neg, a) ->
+    let va = lower_expr ctx a in
+    let dst = Builder.fresh_vreg ctx.b (kind_of_ty e.ty) in
+    Builder.emit ctx.b
+      (if e.ty = Ast.Tflt then Ir.Fbin (Ir.Fsub, dst, Ir.Cflt 0.0, va)
+       else Ir.Bin (Ir.Sub, dst, Ir.Cint 0, va));
+    Ir.V dst
+  | TUnary (Ast.Lognot, a) ->
+    let va = lower_expr ctx a in
+    let dst = Builder.fresh_vreg ctx.b Ir.Kint in
+    Builder.emit ctx.b (Ir.Cmpset (Cmp.Eq, dst, va, Ir.Cint 0));
+    Ir.V dst
+  | TUnary (Ast.Bitnot, a) ->
+    let va = lower_expr ctx a in
+    let dst = Builder.fresh_vreg ctx.b Ir.Kint in
+    Builder.emit ctx.b (Ir.Bin (Ir.Xor, dst, va, Ir.Cint (-1)));
+    Ir.V dst
+  | TBinary ((Ast.Land | Ast.Lor), _, _) ->
+    (* Short circuit: materialize 0/1 through control flow. *)
+    let dst = Builder.fresh_vreg ctx.b Ir.Kint in
+    let ltrue = Builder.new_block ctx.b in
+    let lfalse = Builder.new_block ctx.b in
+    let ljoin = Builder.new_block ctx.b in
+    lower_cond ctx e ltrue lfalse;
+    Builder.switch_to ctx.b ltrue;
+    Builder.emit ctx.b (Ir.Mov (dst, Ir.Cint 1));
+    Builder.terminate ctx.b (Ir.Jmp ljoin);
+    Builder.switch_to ctx.b lfalse;
+    Builder.emit ctx.b (Ir.Mov (dst, Ir.Cint 0));
+    Builder.terminate ctx.b (Ir.Jmp ljoin);
+    Builder.switch_to ctx.b ljoin;
+    Ir.V dst
+  | TBinary (op, a, b) -> begin
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    match cmp_of_binop op with
+    | Some c ->
+      let dst = Builder.fresh_vreg ctx.b Ir.Kint in
+      Builder.emit ctx.b
+        (if a.ty = Ast.Tflt then Ir.Fcmpset (c, dst, va, vb)
+         else Ir.Cmpset (c, dst, va, vb));
+      Ir.V dst
+    | None ->
+      let dst = Builder.fresh_vreg ctx.b (kind_of_ty e.ty) in
+      Builder.emit ctx.b
+        (if e.ty = Ast.Tflt then Ir.Fbin (fbinop_of_ast op, dst, va, vb)
+         else Ir.Bin (binop_of_ast op, dst, va, vb));
+      Ir.V dst
+  end
+  | TCall (name, args) ->
+    let vargs = List.map (lower_expr ctx) args in
+    let dst =
+      if e.ty = Ast.Tvoid then None
+      else Some (Builder.fresh_vreg ctx.b (kind_of_ty e.ty))
+    in
+    let cont = Builder.new_block ctx.b in
+    Builder.terminate ctx.b (Ir.Call { dst; callee = name; args = vargs; cont });
+    Builder.switch_to ctx.b cont;
+    (match dst with Some d -> Ir.V d | None -> Ir.Cint 0)
+  | TBuiltin (bi, args) -> begin
+    let vargs = List.map (lower_expr ctx) args in
+    match (bi, vargs) with
+    | Typed.Bprint_int, [ v ] ->
+      Builder.emit ctx.b (Ir.Print v);
+      Ir.Cint 0
+    | Typed.Bprint_float, [ v ] ->
+      Builder.emit ctx.b (Ir.Printflt v);
+      Ir.Cint 0
+    | Typed.Bitof, [ v ] ->
+      let dst = Builder.fresh_vreg ctx.b Ir.Kflt in
+      Builder.emit ctx.b (Ir.Itof (dst, v));
+      Ir.V dst
+    | Typed.Bftoi, [ v ] ->
+      let dst = Builder.fresh_vreg ctx.b Ir.Kint in
+      Builder.emit ctx.b (Ir.Ftoi (dst, v));
+      Ir.V dst
+    | _ -> assert false
+  end
+
+(* Lower [e] in condition position: jump to [ltrue] or [lfalse].  The
+   current block is terminated on return. *)
+and lower_cond ctx (e : Typed.texpr) ltrue lfalse =
+  match e.te with
+  | TInt v -> Builder.terminate ctx.b (Ir.Jmp (if v <> 0 then ltrue else lfalse))
+  | TUnary (Ast.Lognot, a) -> lower_cond ctx a lfalse ltrue
+  | TBinary (Ast.Land, a, b) ->
+    let mid = Builder.new_block ctx.b in
+    lower_cond ctx a mid lfalse;
+    Builder.switch_to ctx.b mid;
+    lower_cond ctx b ltrue lfalse
+  | TBinary (Ast.Lor, a, b) ->
+    let mid = Builder.new_block ctx.b in
+    lower_cond ctx a ltrue mid;
+    Builder.switch_to ctx.b mid;
+    lower_cond ctx b ltrue lfalse
+  | TBinary (op, a, b) when cmp_of_binop op <> None && a.ty = Ast.Tint ->
+    let c = Option.get (cmp_of_binop op) in
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    Builder.terminate ctx.b (Ir.Br (c, va, vb, ltrue, lfalse))
+  | _ ->
+    let v = lower_expr ctx e in
+    Builder.terminate ctx.b (Ir.Br (Cmp.Ne, v, Ir.Cint 0, ltrue, lfalse))
+
+let default_return ctx =
+  match ctx.ret_kind with
+  | None -> Ir.Ret None
+  | Some Ir.Kint -> Ir.Ret (Some (Ir.Cint 0))
+  | Some Ir.Kflt -> Ir.Ret (Some (Ir.Cflt 0.0))
+
+let rec lower_stmts ctx stmts = List.iter (lower_stmt ctx) stmts
+
+and lower_stmt ctx (s : Typed.tstmt) =
+  if Builder.is_terminated ctx.b then begin
+    (* Dead code after return/break/continue: drop it. *)
+    ()
+  end
+  else
+    match s with
+    | TsAssign_local (slot, e) ->
+      let v = lower_expr ctx e in
+      Builder.emit ctx.b (Ir.Mov (ctx.slot_vreg.(slot), v))
+    | TsAssign_global (name, e) ->
+      let v = lower_expr ctx e in
+      let base = Builder.fresh_vreg ctx.b Ir.Kint in
+      Builder.emit ctx.b (Ir.Gaddr (base, name));
+      Builder.emit ctx.b
+        (if e.ty = Ast.Tflt then Ir.Storef (v, Ir.V base, 0)
+         else Ir.Store (v, Ir.V base, 0))
+    | TsAssign_index (name, idx, e) ->
+      let vidx = lower_expr ctx idx in
+      let v = lower_expr ctx e in
+      let base, off = lower_address ctx name vidx in
+      Builder.emit ctx.b
+        (if e.ty = Ast.Tflt then Ir.Storef (v, base, off) else Ir.Store (v, base, off))
+    | TsExpr e -> ignore (lower_expr ctx e)
+    | TsIf (c, then_, else_) ->
+      let lt = Builder.new_block ctx.b in
+      let lf = Builder.new_block ctx.b in
+      let lj = Builder.new_block ctx.b in
+      lower_cond ctx c lt lf;
+      Builder.switch_to ctx.b lt;
+      lower_stmts ctx then_;
+      if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp lj);
+      Builder.switch_to ctx.b lf;
+      lower_stmts ctx else_;
+      if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp lj);
+      Builder.switch_to ctx.b lj
+    | TsLoop { cond_first; cond; body; step } ->
+      let lheader = Builder.new_block ctx.b in
+      let lbody = Builder.new_block ctx.b in
+      let lstep = Builder.new_block ctx.b in
+      let lexit = Builder.new_block ctx.b in
+      Builder.terminate ctx.b (Ir.Jmp (if cond_first then lheader else lbody));
+      Builder.switch_to ctx.b lheader;
+      (match cond with
+      | Some c -> lower_cond ctx c lbody lexit
+      | None -> Builder.terminate ctx.b (Ir.Jmp lbody));
+      Builder.switch_to ctx.b lbody;
+      ctx.loop_stack <- (lstep, lexit) :: ctx.loop_stack;
+      lower_stmts ctx body;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp lstep);
+      Builder.switch_to ctx.b lstep;
+      lower_stmts ctx step;
+      if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp lheader);
+      Builder.switch_to ctx.b lexit
+    | TsSwitch (scrut, cases, default) -> lower_switch ctx scrut cases default
+    | TsReturn None -> Builder.terminate ctx.b (default_return ctx)
+    | TsReturn (Some e) ->
+      let v = lower_expr ctx e in
+      Builder.terminate ctx.b (Ir.Ret (Some v))
+    | TsBreak -> begin
+      match ctx.loop_stack with
+      | (_, lexit) :: _ -> Builder.terminate ctx.b (Ir.Jmp lexit)
+      | [] -> assert false
+    end
+    | TsContinue -> begin
+      match ctx.loop_stack with
+      | (lstep, _) :: _ -> Builder.terminate ctx.b (Ir.Jmp lstep)
+      | [] -> assert false
+    end
+
+and lower_switch ctx scrut cases default =
+  let v = lower_expr ctx scrut in
+  let ljoin = Builder.new_block ctx.b in
+  let ldefault = Builder.new_block ctx.b in
+  let case_labels = List.map (fun (k, body) -> (k, Builder.new_block ctx.b, body)) cases in
+  (* Dense enough for a jump table?  Mirrors classic compiler heuristics. *)
+  let use_table =
+    match case_labels with
+    | [] -> false
+    | _ ->
+      let keys = List.map (fun (k, _, _) -> k) case_labels in
+      let kmin = List.fold_left min max_int keys in
+      let kmax = List.fold_left max min_int keys in
+      let range = kmax - kmin + 1 in
+      List.length keys >= 4 && range <= (4 * List.length keys) + 8 && range <= 512
+  in
+  if use_table then begin
+    let keys = List.map (fun (k, _, _) -> k) case_labels in
+    let kmin = List.fold_left min max_int keys in
+    let kmax = List.fold_left max min_int keys in
+    let table =
+      Array.init (kmax - kmin + 1) (fun i ->
+          match List.find_opt (fun (k, _, _) -> k = kmin + i) case_labels with
+          | Some (_, l, _) -> l
+          | None -> ldefault)
+    in
+    (* Bias the scrutinee so the table starts at zero. *)
+    let biased =
+      if kmin = 0 then v
+      else begin
+        let t = Builder.fresh_vreg ctx.b Ir.Kint in
+        Builder.emit ctx.b (Ir.Bin (Ir.Sub, t, v, Ir.Cint kmin));
+        Ir.V t
+      end
+    in
+    Builder.terminate ctx.b (Ir.Switch (biased, table, ldefault))
+  end
+  else begin
+    (* Chain of equality tests. *)
+    List.iter
+      (fun (k, l, _) ->
+        let lnext = Builder.new_block ctx.b in
+        Builder.terminate ctx.b (Ir.Br (Cmp.Eq, v, Ir.Cint k, l, lnext));
+        Builder.switch_to ctx.b lnext)
+      case_labels;
+    Builder.terminate ctx.b (Ir.Jmp ldefault)
+  end;
+  List.iter
+    (fun (_, l, body) ->
+      Builder.switch_to ctx.b l;
+      lower_stmts ctx body;
+      if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp ljoin))
+    case_labels;
+  Builder.switch_to ctx.b ldefault;
+  lower_stmts ctx default;
+  if not (Builder.is_terminated ctx.b) then Builder.terminate ctx.b (Ir.Jmp ljoin);
+  Builder.switch_to ctx.b ljoin
+
+let lower_func ~is_library (f : Typed.tfunc) : Ir.func =
+  let ret_kind = match f.tf_ty with Ast.Tvoid -> None | ty -> Some (kind_of_ty ty) in
+  let b = Builder.create ~name:f.tf_name ~is_library ~ret_kind () in
+  let nslots = Array.length f.tf_slots in
+  let slot_vreg = Array.make nslots (-1) in
+  (* Parameters first (their vregs are the function's params), then the
+     remaining slots. *)
+  List.iter
+    (fun slot -> slot_vreg.(slot) <- Builder.add_param b (kind_of_ty f.tf_slots.(slot)))
+    f.tf_params;
+  Array.iteri
+    (fun slot ty -> if slot_vreg.(slot) < 0 then slot_vreg.(slot) <- Builder.fresh_vreg b (kind_of_ty ty))
+    f.tf_slots;
+  let entry = Builder.new_block b in
+  Builder.switch_to b entry;
+  let ctx = { b; slot_vreg; ret_kind; loop_stack = [] } in
+  lower_stmts ctx f.tf_body;
+  if not (Builder.is_terminated b) then Builder.terminate b (default_return ctx);
+  let func = Builder.finish b ~entry in
+  Bisa_ir.Cfg.remove_unreachable func;
+  func
+
+let lower ?(library_funcs = []) (p : Typed.tprogram) : Ir.program =
+  let globals =
+    List.map
+      (fun (g : Ast.global_decl) ->
+        {
+          Ir.gname = g.g_name;
+          words = (match g.g_size with Some n -> n | None -> 1);
+          gkind = kind_of_ty g.g_ty;
+          ginit = (match g.g_size with Some _ -> 0.0 | None -> Option.value g.g_init ~default:0.0);
+        })
+      p.tglobals
+  in
+  let funcs =
+    List.map
+      (fun (f : Typed.tfunc) ->
+        lower_func ~is_library:(List.mem f.tf_name library_funcs) f)
+      p.tfuncs
+  in
+  { Ir.globals; funcs }

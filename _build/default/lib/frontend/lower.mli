@@ -1,0 +1,12 @@
+(** Lowering typed MiniC to the compiler IR.
+
+    Produces one {!Ir.func} per MiniC function plus an [Ir.global] per
+    global declaration.  Short-circuit operators and comparisons in
+    condition position become control flow; [switch] becomes either a
+    bounded jump table ({!Ir.Switch}) when the case range is dense, or a
+    compare chain otherwise; [break]/[continue] bind to the nearest
+    enclosing loop. *)
+
+val lower : ?library_funcs:string list -> Typed.tprogram -> Bisa_ir.Ir.program
+(** [library_funcs] names functions to mark [is_library] (block enlargement
+    termination rule 5 exempts them). *)

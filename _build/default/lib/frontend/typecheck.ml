@@ -1,0 +1,294 @@
+exception Error of string * Ast.pos
+
+type sig_ = { params : Ast.ty list; ret : Ast.ty }
+
+type genv = {
+  globals : (string, Ast.global_decl) Hashtbl.t;
+  funcs : (string, sig_) Hashtbl.t;
+}
+
+type fenv = {
+  genv : genv;
+  mutable scopes : (string * int) list list;  (** name -> slot, innermost first *)
+  mutable slots : Ast.ty list;  (** reversed *)
+  mutable nslots : int;
+  ret : Ast.ty;
+  mutable loop_depth : int;
+}
+
+let err pos fmt = Printf.ksprintf (fun m -> raise (Error (m, pos))) fmt
+
+let builtins =
+  [
+    ("print_int", ({ params = [ Ast.Tint ]; ret = Ast.Tvoid }, Typed.Bprint_int));
+    ("print_float", ({ params = [ Ast.Tflt ]; ret = Ast.Tvoid }, Typed.Bprint_float));
+    ("itof", ({ params = [ Ast.Tint ]; ret = Ast.Tflt }, Typed.Bitof));
+    ("ftoi", ({ params = [ Ast.Tflt ]; ret = Ast.Tint }, Typed.Bftoi));
+  ]
+
+let fresh_slot env ty =
+  let s = env.nslots in
+  env.nslots <- s + 1;
+  env.slots <- ty :: env.slots;
+  s
+
+let declare_local env pos name ty =
+  (match env.scopes with
+  | inner :: _ when List.mem_assoc name inner ->
+    err pos "duplicate declaration of '%s' in the same scope" name
+  | _ -> ());
+  let slot = fresh_slot env ty in
+  (match env.scopes with
+  | inner :: rest -> env.scopes <- ((name, slot) :: inner) :: rest
+  | [] -> env.scopes <- [ [ (name, slot) ] ]);
+  slot
+
+let lookup_local env name =
+  let rec walk = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some s -> Some s | None -> walk rest)
+  in
+  walk env.scopes
+
+let slot_ty env slot = List.nth env.slots (env.nslots - 1 - slot)
+
+let rec check_expr env (e : Ast.expr) : Typed.texpr =
+  let pos = e.epos in
+  match e.e with
+  | Ast.Int_lit v -> { Typed.te = Typed.TInt v; ty = Ast.Tint }
+  | Ast.Flt_lit v -> { te = TFlt v; ty = Tflt }
+  | Ast.Var name -> begin
+    match lookup_local env name with
+    | Some slot -> { te = TLocal slot; ty = slot_ty env slot }
+    | None -> begin
+      match Hashtbl.find_opt env.genv.globals name with
+      | Some g when g.g_size = None -> { te = TGlobal name; ty = g.g_ty }
+      | Some _ -> err pos "'%s' is an array; index it" name
+      | None -> err pos "undefined variable '%s'" name
+    end
+  end
+  | Ast.Index (name, idx) -> begin
+    match Hashtbl.find_opt env.genv.globals name with
+    | Some g when g.g_size <> None ->
+      let tidx = check_expr env idx in
+      if tidx.ty <> Ast.Tint then err idx.epos "array index must be int";
+      { te = TIndex (name, tidx); ty = g.g_ty }
+    | Some _ -> err pos "'%s' is a scalar, not an array" name
+    | None -> err pos "undefined array '%s'" name
+  end
+  | Ast.Unary (op, a) -> begin
+    let ta = check_expr env a in
+    match (op, ta.ty) with
+    | Ast.Neg, (Ast.Tint | Ast.Tflt) -> { te = TUnary (op, ta); ty = ta.ty }
+    | (Ast.Lognot | Ast.Bitnot), Ast.Tint -> { te = TUnary (op, ta); ty = Tint }
+    | Ast.Neg, _ -> err pos "operand of unary '-' must be int or float"
+    | (Ast.Lognot | Ast.Bitnot), _ -> err pos "operand must be int"
+  end
+  | Ast.Binary (op, a, b) -> begin
+    let ta = check_expr env a and tb = check_expr env b in
+    if ta.ty <> tb.ty then
+      err pos "operand types differ (%s vs %s); use itof/ftoi"
+        (Ast.ty_to_string ta.ty) (Ast.ty_to_string tb.ty);
+    let int_only () =
+      if ta.ty <> Ast.Tint then err pos "operator requires int operands"
+    in
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+      if ta.ty = Ast.Tvoid then err pos "void operand";
+      { te = TBinary (op, ta, tb); ty = ta.ty }
+    | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor ->
+      int_only ();
+      { te = TBinary (op, ta, tb); ty = Tint }
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      if ta.ty = Ast.Tvoid then err pos "void operand";
+      { te = TBinary (op, ta, tb); ty = Tint }
+  end
+  | Ast.Call (name, args) -> begin
+    let targs = List.map (check_expr env) args in
+    match List.assoc_opt name builtins with
+    | Some (s, b) ->
+      check_args pos name s targs;
+      { te = TBuiltin (b, targs); ty = s.ret }
+    | None -> begin
+      match Hashtbl.find_opt env.genv.funcs name with
+      | Some s ->
+        check_args pos name s targs;
+        { te = TCall (name, targs); ty = s.ret }
+      | None -> err pos "undefined function '%s'" name
+    end
+  end
+
+and check_args pos name s targs =
+  if List.length targs <> List.length s.params then
+    err pos "%s expects %d argument(s), got %d" name (List.length s.params)
+      (List.length targs);
+  List.iteri
+    (fun i (t : Typed.texpr) ->
+      let expected = List.nth s.params i in
+      if t.ty <> expected then
+        err pos "%s: argument %d must be %s" name (i + 1) (Ast.ty_to_string expected))
+    targs
+
+let check_cond env (e : Ast.expr) =
+  let t = check_expr env e in
+  if t.ty <> Ast.Tint then err e.epos "condition must be int";
+  t
+
+let rec check_stmts env stmts = List.concat_map (check_stmt env) stmts
+
+and in_scope env body =
+  env.scopes <- [] :: env.scopes;
+  let r = check_stmts env body in
+  (match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false);
+  r
+
+and check_stmt env (s : Ast.stmt) : Typed.tstmt list =
+  let pos = s.spos in
+  match s.s with
+  | Ast.Block body -> in_scope env body
+  | Ast.Decl (ty, name, init) ->
+    if ty = Ast.Tvoid then err pos "void variable";
+    let tinit = Option.map (check_expr env) init in
+    (match tinit with
+    | Some t when t.ty <> ty ->
+      err pos "initializer type %s does not match %s" (Ast.ty_to_string t.ty)
+        (Ast.ty_to_string ty)
+    | _ -> ());
+    let slot = declare_local env pos name ty in
+    (match tinit with
+    | Some t -> [ Typed.TsAssign_local (slot, t) ]
+    | None -> [])
+  | Ast.Assign (lv, e) -> begin
+    let te = check_expr env e in
+    match lv with
+    | Ast.Lvar name -> begin
+      match lookup_local env name with
+      | Some slot ->
+        if slot_ty env slot <> te.ty then err pos "assignment type mismatch";
+        [ TsAssign_local (slot, te) ]
+      | None -> begin
+        match Hashtbl.find_opt env.genv.globals name with
+        | Some g when g.g_size = None ->
+          if g.g_ty <> te.ty then err pos "assignment type mismatch";
+          [ TsAssign_global (name, te) ]
+        | Some _ -> err pos "cannot assign whole array '%s'" name
+        | None -> err pos "undefined variable '%s'" name
+      end
+    end
+    | Ast.Lindex (name, idx) -> begin
+      match Hashtbl.find_opt env.genv.globals name with
+      | Some g when g.g_size <> None ->
+        let tidx = check_expr env idx in
+        if tidx.ty <> Ast.Tint then err idx.epos "array index must be int";
+        if g.g_ty <> te.ty then err pos "assignment type mismatch";
+        [ TsAssign_index (name, tidx, te) ]
+      | Some _ -> err pos "'%s' is a scalar, not an array" name
+      | None -> err pos "undefined array '%s'" name
+    end
+  end
+  | Ast.Expr_stmt e ->
+    let te = check_expr env e in
+    [ TsExpr te ]
+  | Ast.If (cond, then_, else_) ->
+    let tc = check_cond env cond in
+    [ TsIf (tc, in_scope env then_, in_scope env else_) ]
+  | Ast.While (cond, body) ->
+    let tc = check_cond env cond in
+    env.loop_depth <- env.loop_depth + 1;
+    let tb = in_scope env body in
+    env.loop_depth <- env.loop_depth - 1;
+    [ TsLoop { cond_first = true; cond = Some tc; body = tb; step = [] } ]
+  | Ast.Do_while (body, cond) ->
+    env.loop_depth <- env.loop_depth + 1;
+    let tb = in_scope env body in
+    env.loop_depth <- env.loop_depth - 1;
+    let tc = check_cond env cond in
+    [ TsLoop { cond_first = false; cond = Some tc; body = tb; step = [] } ]
+  | Ast.For (init, cond, step, body) ->
+    (* The init declaration scopes over the whole loop. *)
+    env.scopes <- [] :: env.scopes;
+    let tinit = match init with Some s0 -> check_stmt env s0 | None -> [] in
+    let tcond = Option.map (check_cond env) cond in
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = in_scope env body in
+    env.loop_depth <- env.loop_depth - 1;
+    let tstep = match step with Some s0 -> check_stmt env s0 | None -> [] in
+    (match env.scopes with
+    | _ :: rest -> env.scopes <- rest
+    | [] -> assert false);
+    tinit @ [ Typed.TsLoop { cond_first = true; cond = tcond; body = tbody; step = tstep } ]
+  | Ast.Switch (scrut, cases, default) ->
+    let ts = check_expr env scrut in
+    if ts.ty <> Ast.Tint then err pos "switch scrutinee must be int";
+    let seen = Hashtbl.create 8 in
+    let tcases =
+      List.map
+        (fun (v, body) ->
+          if Hashtbl.mem seen v then err pos "duplicate case %d" v;
+          Hashtbl.add seen v ();
+          (v, in_scope env body))
+        cases
+    in
+    [ TsSwitch (ts, tcases, in_scope env default) ]
+  | Ast.Return None ->
+    if env.ret <> Ast.Tvoid then err pos "return value required";
+    [ TsReturn None ]
+  | Ast.Return (Some e) ->
+    let te = check_expr env e in
+    if env.ret = Ast.Tvoid then err pos "void function returns a value";
+    if te.ty <> env.ret then err pos "return type mismatch";
+    [ TsReturn (Some te) ]
+  | Ast.Break ->
+    if env.loop_depth = 0 then err pos "break outside loop";
+    [ TsBreak ]
+  | Ast.Continue ->
+    if env.loop_depth = 0 then err pos "continue outside loop";
+    [ TsContinue ]
+
+let check (prog : Ast.program) : Typed.tprogram =
+  let genv = { globals = Hashtbl.create 64; funcs = Hashtbl.create 64 } in
+  let tglobals = ref [] and fdecls = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dglobal g ->
+        if g.g_ty = Ast.Tvoid then
+          raise (Error ("void global " ^ g.g_name, { line = 0; col = 0 }));
+        if Hashtbl.mem genv.globals g.g_name then
+          raise (Error ("duplicate global " ^ g.g_name, { line = 0; col = 0 }));
+        Hashtbl.add genv.globals g.g_name g;
+        tglobals := g :: !tglobals
+      | Ast.Dfunc f ->
+        if Hashtbl.mem genv.funcs f.f_name || List.mem_assoc f.f_name builtins then
+          raise (Error ("duplicate function " ^ f.f_name, f.f_pos));
+        List.iter
+          (fun (ty, _) ->
+            if ty = Ast.Tvoid then raise (Error ("void parameter in " ^ f.f_name, f.f_pos)))
+          f.f_params;
+        Hashtbl.add genv.funcs f.f_name
+          { params = List.map fst f.f_params; ret = f.f_ty };
+        fdecls := f :: !fdecls)
+    prog;
+  let tfuncs =
+    List.rev_map
+      (fun (f : Ast.func_decl) ->
+        let env =
+          { genv; scopes = [ [] ]; slots = []; nslots = 0; ret = f.f_ty; loop_depth = 0 }
+        in
+        let params =
+          List.map (fun (ty, name) -> declare_local env f.f_pos name ty) f.f_params
+        in
+        let body = check_stmts env f.f_body in
+        {
+          Typed.tf_name = f.f_name;
+          tf_ty = f.f_ty;
+          tf_params = params;
+          tf_slots = Array.of_list (List.rev env.slots);
+          tf_body = body;
+        })
+      !fdecls
+  in
+  { Typed.tglobals = List.rev !tglobals; tfuncs }

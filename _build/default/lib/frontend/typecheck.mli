@@ -1,0 +1,15 @@
+(** MiniC type checking and name resolution.
+
+    Rules: no implicit conversions (use the [itof]/[ftoi] builtins);
+    arithmetic requires both operands of the same type; [%], bitwise, shift
+    and logical operators are integer-only; comparisons yield [int];
+    conditions and switch scrutinees are [int]; assignments must match the
+    declared type; calls must match arity and parameter types.  [break] /
+    [continue] only inside loops (or, for [break], switch has no meaning —
+    cases never fall through — so it is rejected there too).  Globals may
+    not be redeclared; locals may shadow globals and outer locals. *)
+
+exception Error of string * Ast.pos
+
+val check : Ast.program -> Typed.tprogram
+(** Raises {!Error} on the first violation. *)

@@ -1,0 +1,1 @@
+lib/ir/bitset.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Bisa_base Ir List Printf

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Bisa_isa Format List String

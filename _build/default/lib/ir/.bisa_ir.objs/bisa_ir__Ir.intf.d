@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Bisa_isa Format

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Bitset Ir List

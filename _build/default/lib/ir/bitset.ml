@@ -1,0 +1,51 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let mem t i =
+  assert (i >= 0 && i < t.n);
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  assert (i >= 0 && i < t.n);
+  let b = i lsr 3 in
+  Bytes.set t.bits b (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  assert (i >= 0 && i < t.n);
+  let b = i lsr 3 in
+  Bytes.set t.bits b
+    (Char.chr (Char.code (Bytes.get t.bits b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let union_into ~dst src =
+  assert (dst.n = src.n);
+  let changed = ref false in
+  for b = 0 to Bytes.length dst.bits - 1 do
+    let old = Char.code (Bytes.get dst.bits b) in
+    let nw = old lor Char.code (Bytes.get src.bits b) in
+    if nw <> old then begin
+      Bytes.set dst.bits b (Char.chr nw);
+      changed := true
+    end
+  done;
+  !changed
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n }
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let cardinal t =
+  let c = ref 0 in
+  iter t (fun _ -> incr c);
+  !c
+
+let elements t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

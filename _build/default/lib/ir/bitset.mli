@@ -1,0 +1,17 @@
+(** Dense mutable bitsets over [0..n-1], for dataflow analyses. *)
+
+type t
+
+val create : int -> t
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] ors [src] into [dst]; returns true if [dst]
+    changed. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val iter : t -> (int -> unit) -> unit
+val cardinal : t -> int
+val elements : t -> int list

@@ -1,0 +1,89 @@
+type bstate = { mutable rev_ops : Ir.op list; mutable term : Ir.terminator option }
+
+type t = {
+  name : string;
+  is_library : bool;
+  ret_kind : Ir.kind option;
+  mutable kinds : Ir.kind list; (* reversed *)
+  mutable nvregs : int;
+  mutable params : Ir.vreg list; (* reversed *)
+  mutable blocks : bstate list; (* reversed *)
+  mutable nblocks : int;
+  mutable cur : int;
+}
+
+let create ~name ?(is_library = false) ~ret_kind () =
+  {
+    name;
+    is_library;
+    ret_kind;
+    kinds = [];
+    nvregs = 0;
+    params = [];
+    blocks = [];
+    nblocks = 0;
+    cur = -1;
+  }
+
+let fresh_vreg t kind =
+  let v = t.nvregs in
+  t.nvregs <- v + 1;
+  t.kinds <- kind :: t.kinds;
+  v
+
+let add_param t kind =
+  let v = fresh_vreg t kind in
+  t.params <- v :: t.params;
+  v
+
+let new_block t =
+  let l = t.nblocks in
+  t.nblocks <- l + 1;
+  t.blocks <- { rev_ops = []; term = None } :: t.blocks;
+  l
+
+let nth_block t l = List.nth t.blocks (t.nblocks - 1 - l)
+
+let switch_to t l =
+  assert (l >= 0 && l < t.nblocks);
+  t.cur <- l
+
+let current t =
+  assert (t.cur >= 0);
+  t.cur
+
+let emit t op =
+  let b = nth_block t (current t) in
+  (match b.term with
+  | Some _ -> invalid_arg (t.name ^ ": emit into sealed block")
+  | None -> ());
+  b.rev_ops <- op :: b.rev_ops
+
+let terminate t term =
+  let b = nth_block t (current t) in
+  match b.term with
+  | Some _ -> invalid_arg (t.name ^ ": block terminated twice")
+  | None -> b.term <- Some term
+
+let is_terminated t =
+  let b = nth_block t (current t) in
+  b.term <> None
+
+let finish t ~entry =
+  let blocks =
+    List.rev_map
+      (fun (b : bstate) ->
+        match b.term with
+        | None -> invalid_arg (t.name ^ ": unterminated block")
+        | Some term -> { Ir.ops = List.rev b.rev_ops; term })
+      t.blocks
+  in
+  {
+    Ir.name = t.name;
+    params = List.rev t.params;
+    ret_kind = t.ret_kind;
+    vreg_kinds = Array.of_list (List.rev t.kinds);
+    blocks = Array.of_list blocks;
+    entry;
+    is_library = t.is_library;
+  }

@@ -1,0 +1,28 @@
+(** Imperative construction of {!Ir.func} values, used by the front end's
+    lowering pass and by tests that build CFGs directly. *)
+
+type t
+
+val create : name:string -> ?is_library:bool -> ret_kind:Ir.kind option -> unit -> t
+
+val fresh_vreg : t -> Ir.kind -> Ir.vreg
+val add_param : t -> Ir.kind -> Ir.vreg
+
+val new_block : t -> Ir.label
+(** Allocate a block label; it must eventually be sealed with a terminator. *)
+
+val switch_to : t -> Ir.label -> unit
+(** Make the given block current for subsequent {!emit} calls. *)
+
+val current : t -> Ir.label
+val emit : t -> Ir.op -> unit
+val terminate : t -> Ir.terminator -> unit
+(** Seal the current block.  Emitting into a sealed block is an error;
+    terminating twice is an error. *)
+
+val is_terminated : t -> bool
+(** Whether the current block has been sealed already (e.g. after a
+    [return] statement). *)
+
+val finish : t -> entry:Ir.label -> Ir.func
+(** Check all blocks are sealed and produce the function. *)

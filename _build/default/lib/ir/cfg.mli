@@ -1,0 +1,17 @@
+(** Control-flow-graph utilities over {!Ir.func}. *)
+
+val digraph : Ir.func -> Bisa_base.Digraph.t
+(** Graph view of the function's blocks (call continuations are edges). *)
+
+val remove_unreachable : Ir.func -> unit
+(** Delete unreachable blocks and renumber labels. *)
+
+val split_critical_edges : Ir.func -> unit
+(** Not needed by the current pipeline but provided for pass authors. *)
+
+val block_order_rpo : Ir.func -> int array
+(** Reverse-postorder block order, used by layout and linear-scan. *)
+
+val validate : Ir.func -> (unit, string) result
+(** Structural invariants: labels in range, entry exists, every vreg used
+    has a kind, call continuations well formed. *)

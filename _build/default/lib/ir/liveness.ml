@@ -1,0 +1,62 @@
+type t = { live_in : Bitset.t array; live_out : Bitset.t array }
+
+(* Per-block use/def: [use] holds vregs read before any write in the block
+   (terminator uses count, in block order after the ops). *)
+let block_use_def nv (b : Ir.block) =
+  let use = Bitset.create nv and def = Bitset.create nv in
+  let visit_uses vs = List.iter (fun v -> if not (Bitset.mem def v) then Bitset.add use v) vs in
+  let visit_defs vs = List.iter (fun v -> Bitset.add def v) vs in
+  List.iter
+    (fun op ->
+      visit_uses (Ir.op_uses op);
+      visit_defs (Ir.op_defs op))
+    b.ops;
+  visit_uses (Ir.term_uses b.term);
+  visit_defs (Ir.term_defs b.term);
+  (use, def)
+
+let analyze (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let nv = Array.length f.vreg_kinds in
+  let use = Array.make n (Bitset.create 0) and def = Array.make n (Bitset.create 0) in
+  for i = 0 to n - 1 do
+    let u, d = block_use_def nv f.blocks.(i) in
+    use.(i) <- u;
+    def.(i) <- d
+  done;
+  let live_in = Array.init n (fun _ -> Bitset.create nv) in
+  let live_out = Array.init n (fun _ -> Bitset.create nv) in
+  let succs = Array.map (fun (b : Ir.block) -> Ir.successors b.term) f.blocks in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      List.iter
+        (fun s ->
+          if Bitset.union_into ~dst:live_out.(i) live_in.(s) then changed := true)
+        succs.(i);
+      (* in = use ∪ (out \ def) *)
+      let nin = Bitset.copy use.(i) in
+      Bitset.iter live_out.(i) (fun v -> if not (Bitset.mem def.(i) v) then Bitset.add nin v);
+      if not (Bitset.equal nin live_in.(i)) then begin
+        live_in.(i) <- nin;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+let live_across_call (f : Ir.func) t =
+  let nv = Array.length f.vreg_kinds in
+  let acc = Bitset.create nv in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      match b.term with
+      | Ir.Call { dst; cont; _ } ->
+        (* Live at the continuation, except the value the call itself defines. *)
+        Bitset.iter t.live_in.(cont) (fun v ->
+            if Some v <> dst then Bitset.add acc v);
+        ignore i
+      | _ -> ())
+    f.blocks;
+  acc

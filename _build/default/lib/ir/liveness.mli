@@ -1,0 +1,13 @@
+(** Per-block live-variable analysis (backwards dataflow), the input to
+    linear-scan register allocation. *)
+
+type t = {
+  live_in : Bitset.t array;   (** per block *)
+  live_out : Bitset.t array;
+}
+
+val analyze : Ir.func -> t
+
+val live_across_call : Ir.func -> t -> Bitset.t
+(** Virtual registers live across at least one call site — these prefer
+    callee-saved physical registers. *)

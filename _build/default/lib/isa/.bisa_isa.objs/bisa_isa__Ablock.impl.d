@@ -1,0 +1,1 @@
+lib/isa/ablock.ml: Array Buffer Cmp List Op Opclass Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/ablock.mli: Cmp Op Opclass Reg

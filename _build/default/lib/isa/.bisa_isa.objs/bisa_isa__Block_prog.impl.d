@@ -1,0 +1,1 @@
+lib/isa/block_prog.ml: Ablock Array Buffer List Printf

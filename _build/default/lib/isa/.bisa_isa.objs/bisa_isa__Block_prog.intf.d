@@ -1,0 +1,1 @@
+lib/isa/block_prog.mli: Ablock

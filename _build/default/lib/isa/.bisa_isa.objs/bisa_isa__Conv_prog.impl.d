@@ -1,0 +1,1 @@
+lib/isa/conv_prog.ml: Array Buffer Insn List Printf

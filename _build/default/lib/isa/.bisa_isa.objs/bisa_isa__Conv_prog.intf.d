@@ -1,0 +1,1 @@
+lib/isa/conv_prog.mli: Insn

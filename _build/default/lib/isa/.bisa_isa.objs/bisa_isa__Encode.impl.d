@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Ablock Array Block_prog Buffer Char Cmp Conv_prog Insn Int64 List Op Printf Reg String

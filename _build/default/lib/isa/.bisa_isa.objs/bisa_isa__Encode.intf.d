@@ -1,0 +1,1 @@
+lib/isa/encode.mli: Block_prog Conv_prog Op

@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Cmp Op Opclass Printf Reg

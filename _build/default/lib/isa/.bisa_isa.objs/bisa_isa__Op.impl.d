@@ -1,0 +1,1 @@
+lib/isa/op.ml: Cmp Format List Opclass Printf Reg

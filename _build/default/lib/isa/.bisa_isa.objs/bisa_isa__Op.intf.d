@@ -1,0 +1,1 @@
+lib/isa/op.mli: Cmp Format Opclass Reg

@@ -1,0 +1,1 @@
+lib/isa/opclass.ml: Format

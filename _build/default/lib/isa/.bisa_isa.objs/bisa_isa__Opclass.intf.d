@@ -1,0 +1,1 @@
+lib/isa/opclass.mli: Format

@@ -1,0 +1,114 @@
+type 'lab elt =
+  | Op of Op.t
+  | Fault of Cmp.t * Reg.t * Reg.t * 'lab
+
+type 'lab terminator =
+  | Trap of {
+      cmp : Cmp.t;
+      rs1 : Reg.t;
+      rs2 : Reg.t;
+      taken : 'lab;
+      not_taken : 'lab;
+      succ_log2 : int;
+    }
+  | Goto of 'lab
+  | Call of { callee : 'lab; ret_to : 'lab }
+  | Return
+  | Ijump of Reg.t
+  | Halt
+
+type 'lab t = { elts : 'lab elt array; term : 'lab terminator }
+
+let size t = Array.length t.elts + 1
+
+let fault_count t =
+  Array.fold_left (fun n -> function Fault _ -> n + 1 | Op _ -> n) 0 t.elts
+
+let faults t =
+  Array.fold_left
+    (fun acc -> function
+      | Fault (c, s1, s2, l) -> (c, s1, s2, l) :: acc
+      | Op _ -> acc)
+    [] t.elts
+  |> List.rev
+
+let elt_opclass = function
+  | Op op -> Op.opclass op
+  | Fault _ -> Opclass.Branch
+
+let elt_defs = function Op op -> Op.defs op | Fault _ -> []
+
+let elt_uses = function
+  | Op op -> Op.uses op
+  | Fault (_, s1, s2, _) -> [ s1; s2 ]
+
+let term_opclass (_ : _ terminator) = Opclass.Branch
+
+let term_defs = function
+  | Call _ -> [ Reg.ra ]
+  | Trap _ | Goto _ | Return | Ijump _ | Halt -> []
+
+let term_uses = function
+  | Trap { rs1; rs2; _ } -> [ rs1; rs2 ]
+  | Return -> [ Reg.ra ]
+  | Ijump s -> [ s ]
+  | Goto _ | Call _ | Halt -> []
+
+let explicit_successors t =
+  let body =
+    Array.fold_left
+      (fun acc -> function Fault (_, _, _, l) -> l :: acc | Op _ -> acc)
+      [] t.elts
+  in
+  let term =
+    match t.term with
+    | Trap { taken; not_taken; _ } -> [ taken; not_taken ]
+    | Goto l -> [ l ]
+    | Call { callee; ret_to } -> [ callee; ret_to ]
+    | Return | Ijump _ | Halt -> []
+  in
+  List.rev_append body term
+
+let map_elt f = function
+  | Op op -> Op op
+  | Fault (c, s1, s2, l) -> Fault (c, s1, s2, f l)
+
+let map_term f = function
+  | Trap { cmp; rs1; rs2; taken; not_taken; succ_log2 } ->
+    Trap { cmp; rs1; rs2; taken = f taken; not_taken = f not_taken; succ_log2 }
+  | Goto l -> Goto (f l)
+  | Call { callee; ret_to } -> Call { callee = f callee; ret_to = f ret_to }
+  | Return -> Return
+  | Ijump s -> Ijump s
+  | Halt -> Halt
+
+let map_label f t = { elts = Array.map (map_elt f) t.elts; term = map_term f t.term }
+
+let elt_to_string lab = function
+  | Op op -> Op.to_string op
+  | Fault (c, s1, s2, l) ->
+    Printf.sprintf "fault.%s %s, %s -> %s" (Cmp.to_string c) (Reg.to_string s1)
+      (Reg.to_string s2) (lab l)
+
+let term_to_string lab = function
+  | Trap { cmp; rs1; rs2; taken; not_taken; succ_log2 } ->
+    Printf.sprintf "trap.%s %s, %s ? %s : %s (log2succ=%d)" (Cmp.to_string cmp)
+      (Reg.to_string rs1) (Reg.to_string rs2) (lab taken) (lab not_taken) succ_log2
+  | Goto l -> Printf.sprintf "goto %s" (lab l)
+  | Call { callee; ret_to } -> Printf.sprintf "call %s (ret %s)" (lab callee) (lab ret_to)
+  | Return -> "return"
+  | Ijump s -> Printf.sprintf "ijump %s" (Reg.to_string s)
+  | Halt -> "halt"
+
+let to_string lab t =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (elt_to_string lab e);
+      Buffer.add_char buf '\n')
+    t.elts;
+  Buffer.add_string buf "  ";
+  Buffer.add_string buf (term_to_string lab t.term);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

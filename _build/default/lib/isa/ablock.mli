@@ -1,0 +1,64 @@
+(** Atomic blocks — the architectural unit of the block-structured ISA.
+
+    An atomic block is a group of operations that is issued, executed and
+    retired all-or-nothing (paper section 2).  A block body holds ordinary
+    operations interleaved with {e fault} operations; the block ends with a
+    single terminator, of which the {e trap} operation is the conditional
+    form (paper section 4.1: "each atomic block can contain any number of
+    fault operations, but can contain at most one trap operation" — our
+    compiler additionally enforces the paper's limit of two faults,
+    enlargement termination rule 2).
+
+    Fault semantics: if the fault condition evaluates true, execution of the
+    whole enclosing block is suppressed and fetch is redirected to the fault
+    target (the sibling enlarged block that re-executes the shared prefix
+    and continues down the other path).
+
+    Trap operations name two explicit successor targets plus
+    [succ_log2] = ceil(log2(total number of control-flow successors)); the
+    block predictor shifts exactly that many bits of the resolved successor
+    index into its history register (paper section 4.3, modification 3). *)
+
+type 'lab elt =
+  | Op of Op.t
+  | Fault of Cmp.t * Reg.t * Reg.t * 'lab
+
+type 'lab terminator =
+  | Trap of {
+      cmp : Cmp.t;
+      rs1 : Reg.t;
+      rs2 : Reg.t;
+      taken : 'lab;      (** representative successor when the condition holds *)
+      not_taken : 'lab;  (** representative successor when it does not *)
+      succ_log2 : int;   (** 1..3; history bits consumed by a prediction *)
+    }
+  | Goto of 'lab
+  | Call of { callee : 'lab; ret_to : 'lab }  (** r31 <- ret_to; jump callee *)
+  | Return                                     (** jump to block named by r31 *)
+  | Ijump of Reg.t                             (** indirect jump (jump tables) *)
+  | Halt
+
+type 'lab t = { elts : 'lab elt array; term : 'lab terminator }
+
+val size : _ t -> int
+(** Number of operations including the terminator; the issue-width
+    termination rule bounds this by 16. *)
+
+val fault_count : _ t -> int
+val faults : 'lab t -> (Cmp.t * Reg.t * Reg.t * 'lab) list
+
+val elt_opclass : _ elt -> Opclass.t
+val elt_defs : _ elt -> Reg.t list
+val elt_uses : _ elt -> Reg.t list
+
+val term_opclass : _ terminator -> Opclass.t
+val term_defs : _ terminator -> Reg.t list
+val term_uses : _ terminator -> Reg.t list
+
+val explicit_successors : 'lab t -> 'lab list
+(** Labels named in the block (fault targets, trap targets, goto, call). *)
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+
+val to_string : ('lab -> string) -> 'lab t -> string
+(** Multi-line rendering of the whole block. *)

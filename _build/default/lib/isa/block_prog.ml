@@ -1,0 +1,54 @@
+type t = {
+  blocks : int Ablock.t array;
+  entry : int;
+  data : int array;
+  data_base : int;
+  block_addr : int array;
+  code_bytes : int;
+  symbols : (string * int) list;
+  succ_struct : (int array * int array) array;
+  variant_group : int array array;
+}
+
+let bytes_per_op = 4
+let header_bytes = 4
+let block_bytes b = header_bytes + (bytes_per_op * Ablock.size b)
+
+let layout blocks =
+  let n = Array.length blocks in
+  let addr = Array.make n 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    addr.(i) <- !next;
+    next := !next + block_bytes blocks.(i)
+  done;
+  (addr, !next)
+
+let find_symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some i -> i
+  | None -> invalid_arg ("Block_prog.find_symbol: unknown symbol " ^ name)
+
+let static_op_count t =
+  Array.fold_left (fun acc b -> acc + Ablock.size b) 0 t.blocks
+
+let successors t b =
+  let taken, not_taken = t.succ_struct.(b) in
+  Array.to_list taken @ Array.to_list not_taken |> List.sort_uniq compare
+
+let in_group t ~rep b = Array.exists (fun x -> x = b) t.variant_group.(rep)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let name_of = List.map (fun (n, i) -> (i, n)) t.symbols in
+  Array.iteri
+    (fun i b ->
+      (match List.assoc_opt i name_of with
+      | Some n -> Buffer.add_string buf (Printf.sprintf "; function %s\n" n)
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "B%d: (%d ops, %d faults, addr 0x%x)\n" i (Ablock.size b)
+           (Ablock.fault_count b) t.block_addr.(i));
+      Buffer.add_string buf (Ablock.to_string (fun l -> "B" ^ string_of_int l) b))
+    t.blocks;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** A linked block-structured executable.
+
+    Labels are block ids (indexes into [blocks]).  Control-transfer register
+    values (return addresses, jump-table entries) are block ids.  Each block
+    occupies a one-word header plus one word per operation in the icache
+    image; [block_addr] gives each block's byte address. *)
+
+type t = {
+  blocks : int Ablock.t array;
+  entry : int;  (** block id of the entry block of [main] *)
+  data : int array;
+  data_base : int;
+  block_addr : int array;  (** byte address of each block's first word *)
+  code_bytes : int;
+  symbols : (string * int) list;  (** function name -> entry block id *)
+  succ_struct : (int array * int array) array;
+      (** [succ_struct.(b) = (when_taken, when_not_taken)]: the enlarged
+          variants reachable as the next block, split by trap direction.
+          For goto/call blocks only the first component is populated;
+          return / indirect-jump / halt blocks have both empty (their
+          successors are predicted by RAS / BTB).  The trap's [succ_log2]
+          is derived from the combined cardinality. *)
+  variant_group : int array array;
+      (** [variant_group.(b)]: all sibling enlarged variants of the same
+          original region as [b] ([b] included).  A predicted successor is
+          architecturally acceptable iff it lies in the resolved
+          direction's variant set; fault operations then repair any deeper
+          divergence. *)
+}
+
+val bytes_per_op : int
+val header_bytes : int
+
+val block_bytes : _ Ablock.t -> int
+(** Icache footprint of one block: header + one word per operation. *)
+
+val layout : int Ablock.t array -> int array * int
+(** [layout blocks] assigns consecutive byte addresses; returns the address
+    array and total code size. *)
+
+val find_symbol : t -> string -> int
+val static_op_count : t -> int
+
+val successors : t -> int -> int list
+(** Union of both direction sets. *)
+
+(** [in_group t ~rep b] tests whether [b] is one of [rep]'s sibling
+    variants. *)
+val in_group : t -> rep:int -> int -> bool
+val to_string : t -> string

@@ -1,0 +1,20 @@
+(** Comparison predicates used by branches, traps, faults and set
+    instructions. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val eval : t -> int -> int -> bool
+val eval_f : t -> float -> float -> bool
+
+val negate : t -> t
+(** [negate c] is the complement: [eval (negate c) a b = not (eval c a b)].
+    Used when block enlargement combines a block with the taken target of
+    its trap (the fault condition is the complement of the trap condition,
+    paper section 2). *)
+
+val swap : t -> t
+(** [swap c] satisfies [eval (swap c) a b = eval c b a]. *)
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

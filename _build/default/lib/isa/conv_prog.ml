@@ -1,0 +1,44 @@
+type t = {
+  insns : int Insn.t array;
+  entry : int;
+  data : int array;
+  data_base : int;
+  symbols : (string * int) list;
+}
+
+let bytes_per_insn = 4
+let insn_addr i = bytes_per_insn * i
+let code_bytes t = bytes_per_insn * Array.length t.insns
+
+let find_symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some i -> i
+  | None -> invalid_arg ("Conv_prog.find_symbol: unknown symbol " ^ name)
+
+let basic_block_starts t =
+  let n = Array.length t.insns in
+  let starts = Array.make n false in
+  if n > 0 then starts.(0) <- true;
+  starts.(t.entry) <- true;
+  List.iter (fun (_, i) -> starts.(i) <- true) t.symbols;
+  Array.iteri
+    (fun i insn ->
+      if Insn.is_control insn then begin
+        if i + 1 < n then starts.(i + 1) <- true;
+        match Insn.label insn with Some l when l < n -> starts.(l) <- true | _ -> ()
+      end)
+    t.insns;
+  starts
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let name_of = List.map (fun (n, i) -> (i, n)) t.symbols in
+  Array.iteri
+    (fun i insn ->
+      (match List.assoc_opt i name_of with
+      | Some n -> Buffer.add_string buf (Printf.sprintf "%s:\n" n)
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "%6d: %s\n" i (Insn.to_string string_of_int insn)))
+    t.insns;
+  Buffer.contents buf

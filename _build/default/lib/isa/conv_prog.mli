@@ -1,0 +1,29 @@
+(** A linked conventional-ISA executable.
+
+    Labels have been resolved to instruction indexes; control-transfer
+    register values (return addresses, jump-table entries) are instruction
+    indexes as well.  For icache modelling each instruction occupies
+    {!bytes_per_insn} bytes at address [bytes_per_insn * index]. *)
+
+type t = {
+  insns : int Insn.t array;
+  entry : int;  (** index of the first instruction of [main] *)
+  data : int array;  (** initial data-segment words (64-bit each) *)
+  data_base : int;  (** byte address of [data.(0)] *)
+  symbols : (string * int) list;  (** function name -> entry instruction index *)
+}
+
+val bytes_per_insn : int
+(** 4, as in the paper's load/store base ISA. *)
+
+val insn_addr : int -> int
+(** Byte address of the instruction at the given index. *)
+
+val code_bytes : t -> int
+val find_symbol : t -> string -> int
+val basic_block_starts : t -> bool array
+(** [starts.(i)] iff instruction [i] begins a basic block (entry, branch
+    target, or successor of a control instruction).  Used by the
+    conventional fetch model and by static statistics. *)
+
+val to_string : t -> string

@@ -1,0 +1,487 @@
+exception Malformed of string
+
+(* --- Primitive writers/readers ------------------------------------------- *)
+
+type reader = { buf : string; mutable pos : int }
+
+let fail msg = raise (Malformed msg)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let read_u8 r =
+  if r.pos >= String.length r.buf then fail "truncated";
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+(* Zigzag varint: small magnitudes of either sign stay short. *)
+let varint b v =
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then u8 b z
+    else begin
+      u8 b (0x80 lor (z land 0x7f));
+      go (z lsr 7)
+    end
+  in
+  go (z land max_int)
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 63 then fail "varint overflow";
+    let byte = read_u8 r in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+  done
+
+let read_f64 r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (read_u8 r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let reg b r = u8 b (Reg.flat_index r)
+
+let read_reg r =
+  let i = read_u8 r in
+  if i >= Reg.flat_count then fail "bad register";
+  Reg.of_flat_index i
+
+let str b s =
+  varint b (String.length s);
+  Buffer.add_string b s
+
+let read_str r =
+  let n = read_varint r in
+  if n < 0 || r.pos + n > String.length r.buf then fail "bad string";
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* --- Enums ------------------------------------------------------------------ *)
+
+let cmp_tag = function
+  | Cmp.Eq -> 0 | Cmp.Ne -> 1 | Cmp.Lt -> 2 | Cmp.Le -> 3 | Cmp.Gt -> 4 | Cmp.Ge -> 5
+
+let cmp_of_tag = function
+  | 0 -> Cmp.Eq | 1 -> Cmp.Ne | 2 -> Cmp.Lt | 3 -> Cmp.Le | 4 -> Cmp.Gt | 5 -> Cmp.Ge
+  | _ -> fail "bad cmp"
+
+let alu_tag = function
+  | Op.Add -> 0 | Op.Sub -> 1 | Op.Mul -> 2 | Op.Div -> 3 | Op.Rem -> 4
+  | Op.And -> 5 | Op.Or -> 6 | Op.Xor -> 7 | Op.Sll -> 8 | Op.Srl -> 9
+  | Op.Sra -> 10
+  | Op.Set c -> 16 + cmp_tag c
+
+let alu_of_tag = function
+  | 0 -> Op.Add | 1 -> Op.Sub | 2 -> Op.Mul | 3 -> Op.Div | 4 -> Op.Rem
+  | 5 -> Op.And | 6 -> Op.Or | 7 -> Op.Xor | 8 -> Op.Sll | 9 -> Op.Srl
+  | 10 -> Op.Sra
+  | t when t >= 16 && t <= 21 -> Op.Set (cmp_of_tag (t - 16))
+  | _ -> fail "bad alu"
+
+let fpu_tag = function Op.Fadd -> 0 | Op.Fsub -> 1 | Op.Fmul -> 2 | Op.Fdiv -> 3
+
+let fpu_of_tag = function
+  | 0 -> Op.Fadd | 1 -> Op.Fsub | 2 -> Op.Fmul | 3 -> Op.Fdiv | _ -> fail "bad fpu"
+
+(* --- Operations ---------------------------------------------------------------- *)
+
+let encode_op b (op : Op.t) =
+  match op with
+  | Op.Nop -> u8 b 0
+  | Op.Mov (d, s) ->
+    u8 b 1;
+    reg b d;
+    reg b s
+  | Op.Li (d, v) ->
+    u8 b 2;
+    reg b d;
+    varint b v
+  | Op.Lif (d, v) ->
+    u8 b 3;
+    reg b d;
+    f64 b v
+  | Op.Alu (a, d, s1, Op.R s2) ->
+    u8 b 4;
+    u8 b (alu_tag a);
+    reg b d;
+    reg b s1;
+    reg b s2
+  | Op.Alu (a, d, s1, Op.I v) ->
+    u8 b 5;
+    u8 b (alu_tag a);
+    reg b d;
+    reg b s1;
+    varint b v
+  | Op.Fpu (f, d, s1, s2) ->
+    u8 b 6;
+    u8 b (fpu_tag f);
+    reg b d;
+    reg b s1;
+    reg b s2
+  | Op.Fcmp (c, d, s1, s2) ->
+    u8 b 7;
+    u8 b (cmp_tag c);
+    reg b d;
+    reg b s1;
+    reg b s2
+  | Op.Itof (d, s) ->
+    u8 b 8;
+    reg b d;
+    reg b s
+  | Op.Ftoi (d, s) ->
+    u8 b 9;
+    reg b d;
+    reg b s
+  | Op.Load (d, base, off) ->
+    u8 b 10;
+    reg b d;
+    reg b base;
+    varint b off
+  | Op.Loadf (d, base, off) ->
+    u8 b 11;
+    reg b d;
+    reg b base;
+    varint b off
+  | Op.Store (s, base, off) ->
+    u8 b 12;
+    reg b s;
+    reg b base;
+    varint b off
+  | Op.Storef (s, base, off) ->
+    u8 b 13;
+    reg b s;
+    reg b base;
+    varint b off
+  | Op.Print s ->
+    u8 b 14;
+    reg b s
+  | Op.Printf s ->
+    u8 b 15;
+    reg b s
+  | Op.Select (c, d, s1, Op.R s2, t, f) ->
+    u8 b 16;
+    u8 b (cmp_tag c);
+    reg b d;
+    reg b s1;
+    reg b s2;
+    reg b t;
+    reg b f
+  | Op.Select (c, d, s1, Op.I v, t, f) ->
+    u8 b 17;
+    u8 b (cmp_tag c);
+    reg b d;
+    reg b s1;
+    varint b v;
+    reg b t;
+    reg b f
+
+let decode_op r : Op.t =
+  match read_u8 r with
+  | 0 -> Op.Nop
+  | 1 ->
+    let d = read_reg r in
+    Op.Mov (d, read_reg r)
+  | 2 ->
+    let d = read_reg r in
+    Op.Li (d, read_varint r)
+  | 3 ->
+    let d = read_reg r in
+    Op.Lif (d, read_f64 r)
+  | 4 ->
+    let a = alu_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    Op.Alu (a, d, s1, Op.R (read_reg r))
+  | 5 ->
+    let a = alu_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    Op.Alu (a, d, s1, Op.I (read_varint r))
+  | 6 ->
+    let f = fpu_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    Op.Fpu (f, d, s1, read_reg r)
+  | 7 ->
+    let c = cmp_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    Op.Fcmp (c, d, s1, read_reg r)
+  | 8 ->
+    let d = read_reg r in
+    Op.Itof (d, read_reg r)
+  | 9 ->
+    let d = read_reg r in
+    Op.Ftoi (d, read_reg r)
+  | 10 ->
+    let d = read_reg r in
+    let base = read_reg r in
+    Op.Load (d, base, read_varint r)
+  | 11 ->
+    let d = read_reg r in
+    let base = read_reg r in
+    Op.Loadf (d, base, read_varint r)
+  | 12 ->
+    let s = read_reg r in
+    let base = read_reg r in
+    Op.Store (s, base, read_varint r)
+  | 13 ->
+    let s = read_reg r in
+    let base = read_reg r in
+    Op.Storef (s, base, read_varint r)
+  | 14 -> Op.Print (read_reg r)
+  | 15 -> Op.Printf (read_reg r)
+  | 16 ->
+    let c = cmp_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    let s2 = read_reg r in
+    let t = read_reg r in
+    Op.Select (c, d, s1, Op.R s2, t, read_reg r)
+  | 17 ->
+    let c = cmp_of_tag (read_u8 r) in
+    let d = read_reg r in
+    let s1 = read_reg r in
+    let v = read_varint r in
+    let t = read_reg r in
+    Op.Select (c, d, s1, Op.I v, t, read_reg r)
+  | t -> fail (Printf.sprintf "bad op tag %d" t)
+
+let op_to_bytes op =
+  let b = Buffer.create 8 in
+  encode_op b op;
+  Buffer.contents b
+
+let op_of_bytes s =
+  let r = { buf = s; pos = 0 } in
+  let op = decode_op r in
+  if r.pos <> String.length s then fail "trailing bytes";
+  op
+
+(* --- Conventional instructions -------------------------------------------------- *)
+
+let encode_insn b (i : int Insn.t) =
+  match i with
+  | Insn.Op op ->
+    u8 b 0;
+    encode_op b op
+  | Insn.Br (c, s1, s2, l) ->
+    u8 b 1;
+    u8 b (cmp_tag c);
+    reg b s1;
+    reg b s2;
+    varint b l
+  | Insn.Jmp l ->
+    u8 b 2;
+    varint b l
+  | Insn.Call l ->
+    u8 b 3;
+    varint b l
+  | Insn.Ret -> u8 b 4
+  | Insn.Jr s ->
+    u8 b 5;
+    reg b s
+  | Insn.Halt -> u8 b 6
+
+let decode_insn r : int Insn.t =
+  match read_u8 r with
+  | 0 -> Insn.Op (decode_op r)
+  | 1 ->
+    let c = cmp_of_tag (read_u8 r) in
+    let s1 = read_reg r in
+    let s2 = read_reg r in
+    Insn.Br (c, s1, s2, read_varint r)
+  | 2 -> Insn.Jmp (read_varint r)
+  | 3 -> Insn.Call (read_varint r)
+  | 4 -> Insn.Ret
+  | 5 -> Insn.Jr (read_reg r)
+  | 6 -> Insn.Halt
+  | t -> fail (Printf.sprintf "bad insn tag %d" t)
+
+(* --- Atomic blocks --------------------------------------------------------------- *)
+
+let encode_elt b (e : int Ablock.elt) =
+  match e with
+  | Ablock.Op op ->
+    u8 b 0;
+    encode_op b op
+  | Ablock.Fault (c, s1, s2, l) ->
+    u8 b 1;
+    u8 b (cmp_tag c);
+    reg b s1;
+    reg b s2;
+    varint b l
+
+let decode_elt r : int Ablock.elt =
+  match read_u8 r with
+  | 0 -> Ablock.Op (decode_op r)
+  | 1 ->
+    let c = cmp_of_tag (read_u8 r) in
+    let s1 = read_reg r in
+    let s2 = read_reg r in
+    Ablock.Fault (c, s1, s2, read_varint r)
+  | t -> fail (Printf.sprintf "bad elt tag %d" t)
+
+let encode_term b (t : int Ablock.terminator) =
+  match t with
+  | Ablock.Trap { cmp; rs1; rs2; taken; not_taken; succ_log2 } ->
+    u8 b 0;
+    u8 b (cmp_tag cmp);
+    reg b rs1;
+    reg b rs2;
+    varint b taken;
+    varint b not_taken;
+    u8 b succ_log2
+  | Ablock.Goto l ->
+    u8 b 1;
+    varint b l
+  | Ablock.Call { callee; ret_to } ->
+    u8 b 2;
+    varint b callee;
+    varint b ret_to
+  | Ablock.Return -> u8 b 3
+  | Ablock.Ijump s ->
+    u8 b 4;
+    reg b s
+  | Ablock.Halt -> u8 b 5
+
+let decode_term r : int Ablock.terminator =
+  match read_u8 r with
+  | 0 ->
+    let cmp = cmp_of_tag (read_u8 r) in
+    let rs1 = read_reg r in
+    let rs2 = read_reg r in
+    let taken = read_varint r in
+    let not_taken = read_varint r in
+    let succ_log2 = read_u8 r in
+    Ablock.Trap { cmp; rs1; rs2; taken; not_taken; succ_log2 }
+  | 1 -> Ablock.Goto (read_varint r)
+  | 2 ->
+    let callee = read_varint r in
+    Ablock.Call { callee; ret_to = read_varint r }
+  | 3 -> Ablock.Return
+  | 4 -> Ablock.Ijump (read_reg r)
+  | 5 -> Ablock.Halt
+  | t -> fail (Printf.sprintf "bad term tag %d" t)
+
+(* --- Shared program sections -------------------------------------------------------- *)
+
+let encode_array b f a =
+  varint b (Array.length a);
+  Array.iter (f b) a
+
+let decode_array r f =
+  let n = read_varint r in
+  if n < 0 || n > 100_000_000 then fail "bad array length";
+  Array.init n (fun _ -> f r)
+
+let encode_symbols b syms =
+  varint b (List.length syms);
+  List.iter
+    (fun (name, v) ->
+      str b name;
+      varint b v)
+    syms
+
+let decode_symbols r =
+  let n = read_varint r in
+  if n < 0 || n > 1_000_000 then fail "bad symbol count";
+  List.init n (fun _ ->
+      let name = read_str r in
+      (name, read_varint r))
+
+let magic_conv = "BISA-CONV1"
+let magic_block = "BISA-BLK1"
+
+(* --- Whole programs ------------------------------------------------------------------ *)
+
+let conv_to_bytes (p : Conv_prog.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic_conv;
+  encode_array b encode_insn p.insns;
+  varint b p.entry;
+  encode_array b varint p.data;
+  varint b p.data_base;
+  encode_symbols b p.symbols;
+  Buffer.contents b
+
+let conv_of_bytes s =
+  let r = { buf = s; pos = 0 } in
+  if String.length s < String.length magic_conv
+     || String.sub s 0 (String.length magic_conv) <> magic_conv
+  then fail "bad magic";
+  r.pos <- String.length magic_conv;
+  let insns = decode_array r decode_insn in
+  let entry = read_varint r in
+  let data = decode_array r read_varint in
+  let data_base = read_varint r in
+  let symbols = decode_symbols r in
+  if r.pos <> String.length s then fail "trailing bytes";
+  { Conv_prog.insns; entry; data; data_base; symbols }
+
+let encode_block b (blk : int Ablock.t) =
+  encode_array b encode_elt blk.elts;
+  encode_term b blk.term
+
+let decode_block r : int Ablock.t =
+  let elts = decode_array r decode_elt in
+  { Ablock.elts; term = decode_term r }
+
+let block_to_bytes (p : Block_prog.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic_block;
+  encode_array b encode_block p.blocks;
+  varint b p.entry;
+  encode_array b varint p.data;
+  varint b p.data_base;
+  encode_symbols b p.symbols;
+  encode_array b
+    (fun b (taken, not_taken) ->
+      encode_array b varint taken;
+      encode_array b varint not_taken)
+    p.succ_struct;
+  encode_array b (fun b g -> encode_array b varint g) p.variant_group;
+  Buffer.contents b
+
+let block_of_bytes s =
+  let r = { buf = s; pos = 0 } in
+  if String.length s < String.length magic_block
+     || String.sub s 0 (String.length magic_block) <> magic_block
+  then fail "bad magic";
+  r.pos <- String.length magic_block;
+  let blocks = decode_array r decode_block in
+  let entry = read_varint r in
+  let data = decode_array r read_varint in
+  let data_base = read_varint r in
+  let symbols = decode_symbols r in
+  let succ_struct =
+    decode_array r (fun r ->
+        let taken = decode_array r read_varint in
+        let not_taken = decode_array r read_varint in
+        (taken, not_taken))
+  in
+  let variant_group = decode_array r (fun r -> decode_array r read_varint) in
+  if r.pos <> String.length s then fail "trailing bytes";
+  let block_addr, code_bytes = Block_prog.layout blocks in
+  {
+    Block_prog.blocks;
+    entry;
+    data;
+    data_base;
+    block_addr;
+    code_bytes;
+    symbols;
+    succ_struct;
+    variant_group;
+  }

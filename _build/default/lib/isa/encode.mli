@@ -1,0 +1,23 @@
+(** Binary encoding of executables for both ISAs.
+
+    A compact, self-describing byte format: operations are one tag byte
+    plus operand bytes (registers are flat indexes, integers are
+    zigzag-varint, floats are IEEE-754 bits), blocks carry their own
+    length, and whole programs round-trip including data segment, symbols
+    and successor structure.  This is the on-disk form `bisac` could emit
+    and `bisasim` load; the icache footprint model (4 bytes/op) remains the
+    {e architectural} size, as in real ISAs where the cached form and the
+    file form differ.
+
+    Every decoder validates tags and raises {!Malformed} on junk input. *)
+
+exception Malformed of string
+
+val op_to_bytes : Op.t -> string
+val op_of_bytes : string -> Op.t
+(** Single-operation round trip (used by the property tests). *)
+
+val conv_to_bytes : Conv_prog.t -> string
+val conv_of_bytes : string -> Conv_prog.t
+val block_to_bytes : Block_prog.t -> string
+val block_of_bytes : string -> Block_prog.t

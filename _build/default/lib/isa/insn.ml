@@ -1,0 +1,52 @@
+type 'lab t =
+  | Op of Op.t
+  | Br of Cmp.t * Reg.t * Reg.t * 'lab
+  | Jmp of 'lab
+  | Call of 'lab
+  | Ret
+  | Jr of Reg.t
+  | Halt
+
+let opclass = function
+  | Op op -> Op.opclass op
+  | Br _ | Jmp _ | Call _ | Ret | Jr _ | Halt -> Opclass.Branch
+
+let defs = function
+  | Op op -> Op.defs op
+  | Call _ -> [ Reg.ra ]
+  | Br _ | Jmp _ | Ret | Jr _ | Halt -> []
+
+let uses = function
+  | Op op -> Op.uses op
+  | Br (_, s1, s2, _) -> [ s1; s2 ]
+  | Ret -> [ Reg.ra ]
+  | Jr s -> [ s ]
+  | Jmp _ | Call _ | Halt -> []
+
+let is_control = function
+  | Br _ | Jmp _ | Call _ | Ret | Jr _ | Halt -> true
+  | Op _ -> false
+
+let map_label f = function
+  | Op op -> Op op
+  | Br (c, s1, s2, l) -> Br (c, s1, s2, f l)
+  | Jmp l -> Jmp (f l)
+  | Call l -> Call (f l)
+  | Ret -> Ret
+  | Jr s -> Jr s
+  | Halt -> Halt
+
+let label = function
+  | Br (_, _, _, l) | Jmp l | Call l -> Some l
+  | Op _ | Ret | Jr _ | Halt -> None
+
+let to_string lab = function
+  | Op op -> Op.to_string op
+  | Br (c, s1, s2, l) ->
+    Printf.sprintf "b%s %s, %s, %s" (Cmp.to_string c) (Reg.to_string s1)
+      (Reg.to_string s2) (lab l)
+  | Jmp l -> Printf.sprintf "jmp %s" (lab l)
+  | Call l -> Printf.sprintf "call %s" (lab l)
+  | Ret -> "ret"
+  | Jr s -> Printf.sprintf "jr %s" (Reg.to_string s)
+  | Halt -> "halt"

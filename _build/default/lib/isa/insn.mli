@@ -1,0 +1,31 @@
+(** Conventional ISA instructions.
+
+    This is the load/store ISA that "formed the basis of" the
+    block-structured ISA (paper section 5): identical non-control operations
+    ({!Op.t}) plus ordinary branch instructions.  The type is polymorphic in
+    the label type: the compiler emits symbolic labels, the linker resolves
+    them to instruction indexes. *)
+
+type 'lab t =
+  | Op of Op.t
+  | Br of Cmp.t * Reg.t * Reg.t * 'lab
+      (** conditional compare-and-branch; falls through when false *)
+  | Jmp of 'lab
+  | Call of 'lab  (** r31 <- return point; jump *)
+  | Ret           (** jump to r31 *)
+  | Jr of Reg.t   (** indirect jump (jump tables) *)
+  | Halt
+
+val opclass : _ t -> Opclass.t
+val defs : _ t -> Reg.t list
+val uses : _ t -> Reg.t list
+
+val is_control : _ t -> bool
+(** True for every instruction that can redirect fetch (including [Halt]).
+    The conventional front end stops a fetch packet at any control
+    instruction, which is what makes its fetch rate one basic block per
+    cycle. *)
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+val label : 'lab t -> 'lab option
+val to_string : ('lab -> string) -> 'lab t -> string

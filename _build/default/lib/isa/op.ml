@@ -1,0 +1,151 @@
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Set of Cmp.t
+
+type fpu = Fadd | Fsub | Fmul | Fdiv
+type srcv = R of Reg.t | I of int
+
+type t =
+  | Nop
+  | Mov of Reg.t * Reg.t
+  | Li of Reg.t * int
+  | Lif of Reg.t * float
+  | Alu of alu * Reg.t * Reg.t * srcv
+  | Fpu of fpu * Reg.t * Reg.t * Reg.t
+  | Fcmp of Cmp.t * Reg.t * Reg.t * Reg.t
+  | Itof of Reg.t * Reg.t
+  | Ftoi of Reg.t * Reg.t
+  | Select of Cmp.t * Reg.t * Reg.t * srcv * Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int
+  | Loadf of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Storef of Reg.t * Reg.t * int
+  | Print of Reg.t
+  | Printf of Reg.t
+
+let alu_class = function
+  | Add | Sub | And | Or | Xor | Set _ -> Opclass.Integer
+  | Mul -> Opclass.Mul
+  | Div | Rem -> Opclass.Div
+  | Sll | Srl | Sra -> Opclass.Bit_field
+
+let fpu_class = function
+  | Fadd | Fsub -> Opclass.Fp_add
+  | Fmul -> Opclass.Mul
+  | Fdiv -> Opclass.Div
+
+let opclass = function
+  | Nop | Mov _ | Li _ -> Opclass.Integer
+  | Lif _ -> Opclass.Fp_add
+  | Alu (a, _, _, _) -> alu_class a
+  | Fpu (f, _, _, _) -> fpu_class f
+  | Fcmp _ -> Opclass.Fp_add
+  | Itof _ | Ftoi _ -> Opclass.Fp_add
+  | Select _ -> Opclass.Integer
+  | Load _ | Loadf _ -> Opclass.Load
+  | Store _ | Storef _ -> Opclass.Store
+  | Print _ | Printf _ -> Opclass.Store
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Sll -> a lsl (b land 63)
+  | Srl -> a lsr (b land 63)
+  | Sra -> a asr (b land 63)
+  | Set c -> if Cmp.eval c a b then 1 else 0
+
+let eval_fpu op a b =
+  match op with Fadd -> a +. b | Fsub -> a -. b | Fmul -> a *. b | Fdiv -> a /. b
+
+let drop_zero rs = List.filter (fun r -> not (Reg.equal r Reg.zero)) rs
+
+let defs = function
+  | Nop | Store _ | Storef _ | Print _ | Printf _ -> []
+  | Mov (d, _)
+  | Li (d, _)
+  | Lif (d, _)
+  | Alu (_, d, _, _)
+  | Fpu (_, d, _, _)
+  | Fcmp (_, d, _, _)
+  | Itof (d, _)
+  | Ftoi (d, _)
+  | Select (_, d, _, _, _, _)
+  | Load (d, _, _)
+  | Loadf (d, _, _) ->
+    drop_zero [ d ]
+
+let uses = function
+  | Nop | Li _ | Lif _ -> []
+  | Mov (_, s) -> [ s ]
+  | Alu (_, _, s1, R s2) -> [ s1; s2 ]
+  | Alu (_, _, s1, I _) -> [ s1 ]
+  | Fpu (_, _, s1, s2) | Fcmp (_, _, s1, s2) -> [ s1; s2 ]
+  | Itof (_, s) | Ftoi (_, s) -> [ s ]
+  | Select (_, _, s1, R s2, t, f) -> [ s1; s2; t; f ]
+  | Select (_, _, s1, I _, t, f) -> [ s1; t; f ]
+  | Load (_, b, _) | Loadf (_, b, _) -> [ b ]
+  | Store (s, b, _) | Storef (s, b, _) -> [ s; b ]
+  | Print s | Printf s -> [ s ]
+
+let is_load = function Load _ | Loadf _ -> true | _ -> false
+let is_store = function Store _ | Storef _ -> true | _ -> false
+let is_mem op = is_load op || is_store op
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Set c -> "set" ^ Cmp.to_string c
+
+let fpu_name = function Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+let srcv_to_string = function R r -> Reg.to_string r | I i -> string_of_int i
+let r = Reg.to_string
+
+let to_string = function
+  | Nop -> "nop"
+  | Mov (d, s) -> Printf.sprintf "mov %s, %s" (r d) (r s)
+  | Li (d, v) -> Printf.sprintf "li %s, %d" (r d) v
+  | Lif (d, v) -> Printf.sprintf "lif %s, %g" (r d) v
+  | Alu (a, d, s1, s2) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_name a) (r d) (r s1) (srcv_to_string s2)
+  | Fpu (f, d, s1, s2) -> Printf.sprintf "%s %s, %s, %s" (fpu_name f) (r d) (r s1) (r s2)
+  | Fcmp (c, d, s1, s2) ->
+    Printf.sprintf "fcmp.%s %s, %s, %s" (Cmp.to_string c) (r d) (r s1) (r s2)
+  | Itof (d, s) -> Printf.sprintf "itof %s, %s" (r d) (r s)
+  | Ftoi (d, s) -> Printf.sprintf "ftoi %s, %s" (r d) (r s)
+  | Select (c, d, s1, s2, t, f) ->
+    Printf.sprintf "sel.%s %s, (%s?%s), %s, %s" (Cmp.to_string c) (r d) (r s1)
+      (srcv_to_string s2) (r t) (r f)
+  | Load (d, b, off) -> Printf.sprintf "ld %s, %d(%s)" (r d) off (r b)
+  | Loadf (d, b, off) -> Printf.sprintf "ldf %s, %d(%s)" (r d) off (r b)
+  | Store (s, b, off) -> Printf.sprintf "st %s, %d(%s)" (r s) off (r b)
+  | Storef (s, b, off) -> Printf.sprintf "stf %s, %d(%s)" (r s) off (r b)
+  | Print s -> Printf.sprintf "print %s" (r s)
+  | Printf s -> Printf.sprintf "printf %s" (r s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

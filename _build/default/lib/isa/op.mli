@@ -1,0 +1,67 @@
+(** Non-control operations, shared verbatim between the conventional ISA and
+    the block-structured ISA (paper section 4.1: "the operations that can be
+    found in an atomic block correspond to the instructions of a load/store
+    architecture with the exception of conditional branches"). *)
+
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Set of Cmp.t  (** [Set c rd rs1 rs2]: rd := (rs1 c rs2) ? 1 : 0 *)
+
+type fpu = Fadd | Fsub | Fmul | Fdiv
+
+type srcv = R of Reg.t | I of int
+(** Second ALU operand: register or immediate. *)
+
+type t =
+  | Nop
+  | Mov of Reg.t * Reg.t     (** register move, same register file *)
+  | Li of Reg.t * int        (** integer register <- constant *)
+  | Lif of Reg.t * float     (** float register <- constant *)
+  | Alu of alu * Reg.t * Reg.t * srcv
+  | Fpu of fpu * Reg.t * Reg.t * Reg.t
+  | Fcmp of Cmp.t * Reg.t * Reg.t * Reg.t
+      (** [Fcmp c rd fs1 fs2]: integer rd := (fs1 c fs2) ? 1 : 0 *)
+  | Itof of Reg.t * Reg.t    (** float dst <- int src *)
+  | Ftoi of Reg.t * Reg.t    (** int dst <- float src, truncating *)
+  | Select of Cmp.t * Reg.t * Reg.t * srcv * Reg.t * Reg.t
+      (** [Select c rd rs1 rs2 rt rf]: rd := (rs1 c rs2) ? rt : rf — the
+          predicated-execution primitive (paper section 6); all of
+          rd/rt/rf share a register file, rs1/rs2 are integer *)
+  | Load of Reg.t * Reg.t * int    (** int rd <- mem\[base + byte offset\] *)
+  | Loadf of Reg.t * Reg.t * int   (** float rd <- mem\[base + off\] *)
+  | Store of Reg.t * Reg.t * int   (** mem\[base + off\] <- int rs *)
+  | Storef of Reg.t * Reg.t * int  (** mem\[base + off\] <- float rs *)
+  | Print of Reg.t           (** emit integer register to the output channel *)
+  | Printf of Reg.t          (** emit float register to the output channel *)
+
+val opclass : t -> Opclass.t
+(** Table-1 class of the operation ([Print]/[Printf] count as stores). *)
+
+val defs : t -> Reg.t list
+(** Registers written.  Writes to [Reg.zero] are dropped. *)
+
+val uses : t -> Reg.t list
+(** Registers read ([Reg.zero] included so dataflow stays uniform). *)
+
+val eval_alu : alu -> int -> int -> int
+(** Integer semantics shared by every executor: OCaml-native width,
+    truncating division, zero divide/remainder yields 0, shift amounts
+    masked to six bits, [Set] yields 0/1. *)
+
+val eval_fpu : fpu -> float -> float -> float
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_mem : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = Integer | Fp_add | Mul | Div | Load | Store | Bit_field | Branch
+
+let latency = function
+  | Integer -> 1
+  | Fp_add -> 3
+  | Mul -> 3
+  | Div -> 8
+  | Load -> 2
+  | Store -> 1
+  | Bit_field -> 1
+  | Branch -> 1
+
+let all = [ Integer; Fp_add; Mul; Div; Load; Store; Bit_field; Branch ]
+
+let to_string = function
+  | Integer -> "Integer"
+  | Fp_add -> "FP Add"
+  | Mul -> "FP/INT Mul"
+  | Div -> "FP/INT Div"
+  | Load -> "Load"
+  | Store -> "Store"
+  | Bit_field -> "Bit Field"
+  | Branch -> "Branch"
+
+let description = function
+  | Integer -> "INT add, sub and logic OPs"
+  | Fp_add -> "FP add, sub, and convert"
+  | Mul -> "FP mul and INT mul"
+  | Div -> "FP div and INT div"
+  | Load -> "Memory loads"
+  | Store -> "Memory stores"
+  | Bit_field -> "Shift, and bit testing"
+  | Branch -> "Control instructions"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

@@ -1,0 +1,26 @@
+(** Instruction classes and execution latencies (paper Table 1).
+
+    Every operation in either ISA belongs to exactly one of these eight
+    classes; the simulated functional units are uniform (any unit can
+    execute any class) and the class determines execution latency. *)
+
+type t =
+  | Integer   (** INT add, sub and logic ops (1 cycle) *)
+  | Fp_add    (** FP add, sub, and convert (3 cycles) *)
+  | Mul       (** FP mul and INT mul (3 cycles) *)
+  | Div       (** FP div and INT div (8 cycles) *)
+  | Load      (** memory loads (2 cycles; dcache modelled separately) *)
+  | Store     (** memory stores (1 cycle) *)
+  | Bit_field (** shift and bit testing (1 cycle) *)
+  | Branch    (** control instructions (1 cycle) *)
+
+val latency : t -> int
+(** Execution latency in cycles, exactly Table 1 of the paper. *)
+
+val all : t list
+val to_string : t -> string
+val description : t -> string
+(** The "Description" column of Table 1. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

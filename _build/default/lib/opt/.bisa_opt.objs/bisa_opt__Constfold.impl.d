@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Bisa_ir Bisa_isa Float Ir List

@@ -1,0 +1,1 @@
+lib/opt/constfold.mli: Bisa_ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Bisa_ir Bitset Ir List Liveness

@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Bisa_ir

@@ -1,0 +1,1 @@
+lib/opt/ifconvert.ml: Array Bisa_ir Cfg Hashtbl Ir List Localopt

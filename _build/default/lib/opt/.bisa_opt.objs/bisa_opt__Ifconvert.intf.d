@@ -1,0 +1,1 @@
+lib/opt/ifconvert.mli: Bisa_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Bisa_ir Hashtbl Ir List Option

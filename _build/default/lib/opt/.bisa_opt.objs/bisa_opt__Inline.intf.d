@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Bisa_ir

@@ -1,0 +1,1 @@
+lib/opt/localopt.ml: Array Bisa_ir Bisa_isa Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/opt/localopt.mli: Bisa_ir

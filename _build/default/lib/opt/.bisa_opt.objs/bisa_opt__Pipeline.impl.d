@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Bisa_ir Constfold Dce List Localopt Simplify_cfg

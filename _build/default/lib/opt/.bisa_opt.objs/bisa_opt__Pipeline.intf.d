@@ -1,0 +1,1 @@
+lib/opt/pipeline.mli: Bisa_ir

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Array Bisa_ir Cfg Ir List

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.mli: Bisa_ir

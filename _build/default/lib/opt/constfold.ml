@@ -1,0 +1,79 @@
+open Bisa_ir
+
+let eval_binop (op : Ir.binop) a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Sll -> a lsl (b land 63)
+  | Srl -> a lsr (b land 63)
+  | Sra -> a asr (b land 63)
+
+let eval_fbinop (op : Ir.fbinop) a b =
+  match op with Fadd -> a +. b | Fsub -> a -. b | Fmul -> a *. b | Fdiv -> a /. b
+
+(* Identities that are safe for all operand values. *)
+let simplify_bin (op : Ir.binop) dst (x : Ir.operand) (y : Ir.operand) : Ir.op option =
+  match (op, x, y) with
+  | (Add | Or | Xor), x, Cint 0 -> Some (Mov (dst, x))
+  | (Add | Or | Xor), Cint 0, y -> Some (Mov (dst, y))
+  | Sub, x, Cint 0 -> Some (Mov (dst, x))
+  | Mul, _, Cint 0 | Mul, Cint 0, _ -> Some (Mov (dst, Cint 0))
+  | Mul, x, Cint 1 -> Some (Mov (dst, x))
+  | Mul, Cint 1, y -> Some (Mov (dst, y))
+  | Div, x, Cint 1 -> Some (Mov (dst, x))
+  | And, _, Cint 0 | And, Cint 0, _ -> Some (Mov (dst, Cint 0))
+  | (Sll | Srl | Sra), x, Cint 0 -> Some (Mov (dst, x))
+  | (Div | Rem), _, Cint 0 -> Some (Mov (dst, Cint 0))
+  | Rem, _, Cint 1 -> Some (Mov (dst, Cint 0))
+  | _ -> None
+
+let fold_op (op : Ir.op) : Ir.op option =
+  match op with
+  | Bin (b, d, Cint x, Cint y) -> Some (Mov (d, Cint (eval_binop b x y)))
+  | Bin (b, d, x, y) -> simplify_bin b d x y
+  | Fbin (b, d, Cflt x, Cflt y) -> Some (Mov (d, Cflt (eval_fbinop b x y)))
+  | Cmpset (c, d, Cint x, Cint y) ->
+    Some (Mov (d, Cint (if Bisa_isa.Cmp.eval c x y then 1 else 0)))
+  | Fcmpset (c, d, Cflt x, Cflt y) ->
+    Some (Mov (d, Cint (if Bisa_isa.Cmp.eval_f c x y then 1 else 0)))
+  | Select (c, d, Cint a, Cint b, t, f) ->
+    Some (Mov (d, if Bisa_isa.Cmp.eval c a b then t else f))
+  | Select (_, d, _, _, t, f) when t = f -> Some (Mov (d, t))
+  | Itof (d, Cint x) -> Some (Mov (d, Cflt (float_of_int x)))
+  | Ftoi (d, Cflt x) -> Some (Mov (d, Cint (int_of_float (Float.trunc x))))
+  | _ -> None
+
+let fold_term (t : Ir.terminator) : Ir.terminator option =
+  match t with
+  | Br (c, Cint x, Cint y, lt, lf) ->
+    Some (Jmp (if Bisa_isa.Cmp.eval c x y then lt else lf))
+  | Br (_, _, _, lt, lf) when lt = lf -> Some (Jmp lt)
+  | Switch (Cint x, cases, default) ->
+    Some (Jmp (if x >= 0 && x < Array.length cases then cases.(x) else default))
+  | _ -> None
+
+let run (f : Ir.func) =
+  let changed = ref false in
+  Array.iter
+    (fun (b : Ir.block) ->
+      let rec fix op =
+        match fold_op op with
+        | Some op' ->
+          changed := true;
+          fix op'
+        | None -> op
+      in
+      b.ops <- List.map fix b.ops;
+      match fold_term b.term with
+      | Some t ->
+        b.term <- t;
+        changed := true
+      | None -> ())
+    f.blocks;
+  !changed

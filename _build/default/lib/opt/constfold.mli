@@ -1,0 +1,13 @@
+(** Constant folding and algebraic simplification.
+
+    Folds operations whose operands are literal constants, applies safe
+    identities (x+0, x*1, x*0, x&0, ...), and turns conditional branches
+    with decidable conditions into jumps.  Shares its integer semantics
+    (truncating division, zero-divide yields zero, masked shifts) with the
+    reference interpreter and the ISA executors. *)
+
+val run : Bisa_ir.Ir.func -> bool
+(** Returns true if anything changed. *)
+
+val eval_binop : Bisa_ir.Ir.binop -> int -> int -> int
+val eval_fbinop : Bisa_ir.Ir.fbinop -> float -> float -> float

@@ -1,0 +1,40 @@
+open Bisa_ir
+
+let has_side_effect (op : Ir.op) =
+  match op with
+  | Store _ | Storef _ | Print _ | Printflt _ -> true
+  | Bin _ | Fbin _ | Cmpset _ | Fcmpset _ | Mov _ | Itof _ | Ftoi _ | Select _
+  | Gaddr _ | Load _ | Loadf _ ->
+    false
+
+let run (f : Ir.func) =
+  let live = Liveness.analyze f in
+  let changed = ref false in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      (* Walk backwards carrying the live set. *)
+      let live_now = Bitset.copy live.live_out.(i) in
+      List.iter (fun v -> Bitset.add live_now v) (Ir.term_uses b.term);
+      let keep =
+        List.fold_left
+          (fun acc op ->
+            let defs = Ir.op_defs op in
+            let needed =
+              has_side_effect op || defs = []
+              || List.exists (fun v -> Bitset.mem live_now v) defs
+            in
+            if needed then begin
+              List.iter (fun v -> Bitset.remove live_now v) defs;
+              List.iter (fun v -> Bitset.add live_now v) (Ir.op_uses op);
+              op :: acc
+            end
+            else begin
+              changed := true;
+              acc
+            end)
+          []
+          (List.rev b.ops)
+      in
+      b.ops <- keep)
+    f.blocks;
+  !changed

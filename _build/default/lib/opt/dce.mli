@@ -1,0 +1,4 @@
+(** Dead-code elimination: removes side-effect-free operations whose results
+    are never used, based on {!Bisa_ir.Liveness}. *)
+
+val run : Bisa_ir.Ir.func -> bool

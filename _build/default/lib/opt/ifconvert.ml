@@ -1,0 +1,123 @@
+open Bisa_ir
+
+type config = { max_arm_ops : int }
+
+let default_config = { max_arm_ops = 4 }
+
+(* Only pure, cheap operations may execute speculatively.  Memory is
+   excluded: a hoisted load would read an address the program never
+   computes on the taken path (harmless in this simulator, but not in the
+   architecture the code claims to target). *)
+let speculable (op : Ir.op) =
+  match op with
+  | Bin _ | Fbin _ | Cmpset _ | Fcmpset _ | Mov _ | Itof _ | Ftoi _ | Select _ | Gaddr _
+    ->
+    true
+  | Load _ | Loadf _ | Store _ | Storef _ | Print _ | Printflt _ -> false
+
+(* Rename an arm's definitions apart; returns the rewritten ops and the
+   final binding of each original vreg it defines. *)
+let rename_arm (f : Ir.func) (ops : Ir.op list) =
+  let binding : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let fresh v =
+    let v' = Array.length f.vreg_kinds in
+    f.vreg_kinds <- Array.append f.vreg_kinds [| f.vreg_kinds.(v) |];
+    Hashtbl.replace binding v v';
+    v'
+  in
+  let sub o =
+    match o with
+    | Ir.V v -> ( match Hashtbl.find_opt binding v with Some v' -> Ir.V v' | None -> o)
+    | _ -> o
+  in
+  let rewritten =
+    List.map
+      (fun op ->
+        let op = Localopt.map_op_operands sub op in
+        match Ir.op_defs op with
+        | [ d ] -> begin
+          let d' = fresh d in
+          (* Rewrite just the destination. *)
+          match op with
+          | Ir.Bin (b, _, x, y) -> Ir.Bin (b, d', x, y)
+          | Ir.Fbin (b, _, x, y) -> Ir.Fbin (b, d', x, y)
+          | Ir.Cmpset (c, _, x, y) -> Ir.Cmpset (c, d', x, y)
+          | Ir.Fcmpset (c, _, x, y) -> Ir.Fcmpset (c, d', x, y)
+          | Ir.Mov (_, x) -> Ir.Mov (d', x)
+          | Ir.Itof (_, x) -> Ir.Itof (d', x)
+          | Ir.Ftoi (_, x) -> Ir.Ftoi (d', x)
+          | Ir.Select (c, _, a, b, t, fl) -> Ir.Select (c, d', a, b, t, fl)
+          | Ir.Gaddr (_, g) -> Ir.Gaddr (d', g)
+          | Ir.Load _ | Ir.Loadf _ | Ir.Store _ | Ir.Storef _ | Ir.Print _
+          | Ir.Printflt _ ->
+            assert false
+        end
+        | _ -> op)
+      ops
+  in
+  (rewritten, binding)
+
+let convert_one cfg (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let pred_count = Array.make n 0 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun s -> pred_count.(s) <- pred_count.(s) + 1) (Ir.successors b.term))
+    f.blocks;
+  pred_count.(f.entry) <- pred_count.(f.entry) + 1;
+  let arm_ok l =
+    let b = f.blocks.(l) in
+    pred_count.(l) = 1
+    && List.length b.ops <= cfg.max_arm_ops
+    && List.for_all speculable b.ops
+  in
+  let found = ref false in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if not !found then
+        match b.term with
+        | Ir.Br (c, x, y, t, fl)
+          when t <> fl && arm_ok t && arm_ok fl
+               &&
+               match (f.blocks.(t).term, f.blocks.(fl).term) with
+               | Ir.Jmp jt, Ir.Jmp jf -> jt = jf && jt <> t && jt <> fl
+               | _ -> false -> begin
+          found := true;
+          let join =
+            match f.blocks.(t).term with Ir.Jmp j -> j | _ -> assert false
+          in
+          let t_ops, t_bind = rename_arm f f.blocks.(t).ops in
+          let f_ops, f_bind = rename_arm f f.blocks.(fl).ops in
+          let written =
+            List.sort_uniq compare
+              (Hashtbl.fold (fun v _ acc -> v :: acc) t_bind []
+              @ Hashtbl.fold (fun v _ acc -> v :: acc) f_bind [])
+          in
+          let selects =
+            List.map
+              (fun v ->
+                let pick tbl =
+                  match Hashtbl.find_opt tbl v with
+                  | Some v' -> Ir.V v'
+                  | None -> Ir.V v
+                in
+                Ir.Select (c, v, x, y, pick t_bind, pick f_bind))
+              written
+          in
+          b.ops <- b.ops @ t_ops @ f_ops @ selects;
+          b.term <- Ir.Jmp join
+        end
+        | _ -> ())
+    f.blocks;
+  !found
+
+let run ?(config = default_config) (f : Ir.func) =
+  let count = ref 0 in
+  while convert_one config f do
+    incr count
+  done;
+  if !count > 0 then Cfg.remove_unreachable f;
+  !count
+
+let run_program ?(config = default_config) (p : Ir.program) =
+  List.fold_left (fun acc f -> acc + run ~config f) 0 p.funcs

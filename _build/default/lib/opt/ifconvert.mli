@@ -1,0 +1,24 @@
+(** If-conversion: predicated execution via select operations (the paper's
+    section-6 proposal: "predicated execution can increase the fetch
+    bandwidth used by eliminating branches that jump around small sections
+    of the code. This optimization will create larger basic blocks which
+    in turn will allow the block enlargement optimization to create even
+    larger enlarged atomic blocks").
+
+    Pattern: a conditional branch to two small, pure, single-predecessor
+    arms that rejoin at one block.  Both arms' operations execute
+    unconditionally (their definitions renamed apart), and a
+    {!Bisa_ir.Ir.Select} per conflicting definition picks the live value —
+    the paper's stated costs (wasted issue bandwidth, control turned into
+    data dependence) fall out of the encoding for free. *)
+
+type config = {
+  max_arm_ops : int;  (** arms larger than this keep their branch *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Bisa_ir.Ir.func -> int
+(** Number of branches converted (iterates until no pattern remains). *)
+
+val run_program : ?config:config -> Bisa_ir.Ir.program -> int

@@ -1,0 +1,120 @@
+open Bisa_ir
+
+type config = { max_callee_ops : int; max_growth : int }
+
+let default_config = { max_callee_ops = 24; max_growth = 200 }
+
+(* --- vreg / label remapping ----------------------------------------------- *)
+
+let map_operand mv = function
+  | Ir.V v -> Ir.V (mv v)
+  | (Ir.Cint _ | Ir.Cflt _) as o -> o
+
+let map_op mv (op : Ir.op) : Ir.op =
+  let f = map_operand mv in
+  match op with
+  | Bin (b, d, x, y) -> Bin (b, mv d, f x, f y)
+  | Fbin (b, d, x, y) -> Fbin (b, mv d, f x, f y)
+  | Cmpset (c, d, x, y) -> Cmpset (c, mv d, f x, f y)
+  | Fcmpset (c, d, x, y) -> Fcmpset (c, mv d, f x, f y)
+  | Mov (d, x) -> Mov (mv d, f x)
+  | Itof (d, x) -> Itof (mv d, f x)
+  | Ftoi (d, x) -> Ftoi (mv d, f x)
+  | Select (c, d, a, b, t, fl) -> Select (c, mv d, f a, f b, f t, f fl)
+  | Gaddr (d, g) -> Gaddr (mv d, g)
+  | Load (d, b, off) -> Load (mv d, f b, off)
+  | Loadf (d, b, off) -> Loadf (mv d, f b, off)
+  | Store (v, b, off) -> Store (f v, f b, off)
+  | Storef (v, b, off) -> Storef (f v, f b, off)
+  | Print x -> Print (f x)
+  | Printflt x -> Printflt (f x)
+
+(* [Ret] is rewritten by {!clone_block} (it adds a move), so it cannot
+   reach this function. *)
+let map_term mv ml (t : Ir.terminator) : Ir.terminator =
+  let f = map_operand mv in
+  match t with
+  | Br (c, x, y, lt, lf) -> Br (c, f x, f y, ml lt, ml lf)
+  | Jmp l -> Jmp (ml l)
+  | Call c ->
+    Call { c with dst = Option.map mv c.dst; args = List.map f c.args; cont = ml c.cont }
+  | Switch (x, cases, d) -> Switch (f x, Array.map ml cases, ml d)
+  | Halt -> Halt
+  | Ret _ -> assert false
+
+let clone_block mv ml ~dst ~cont (b : Ir.block) : Ir.block =
+  let ops = List.map (map_op mv) b.ops in
+  match b.term with
+  | Ir.Ret r ->
+    (* Returns become an assignment to the call's destination plus a jump
+       to the continuation; copy propagation cleans up the extra move. *)
+    let extra =
+      match (r, dst) with
+      | Some o, Some d -> [ Ir.Mov (d, map_operand mv o) ]
+      | _ -> []
+    in
+    { Ir.ops = ops @ extra; term = Ir.Jmp cont }
+  | t -> { Ir.ops = ops; term = map_term mv ml t }
+
+(* Splice one call site: caller block [site] ends in Call{callee;...}. *)
+let splice (caller : Ir.func) ~site (callee : Ir.func) =
+  let dst, args, cont =
+    match caller.blocks.(site).term with
+    | Ir.Call { dst; args; cont; _ } -> (dst, args, cont)
+    | _ -> invalid_arg "Inline.splice: not a call site"
+  in
+  let base_v = Array.length caller.vreg_kinds in
+  caller.vreg_kinds <- Array.append caller.vreg_kinds callee.vreg_kinds;
+  let mv v = base_v + v in
+  let base_b = Array.length caller.blocks in
+  let ml l = base_b + l in
+  let cloned = Array.map (clone_block mv ml ~dst ~cont) callee.blocks in
+  caller.blocks <- Array.append caller.blocks cloned;
+  (* Parameter moves, then jump into the cloned entry. *)
+  let moves = List.map2 (fun p a -> Ir.Mov (mv p, a)) callee.params args in
+  let site_block = caller.blocks.(site) in
+  site_block.ops <- site_block.ops @ moves;
+  site_block.term <- Ir.Jmp (ml callee.entry)
+
+(* --- Driver ------------------------------------------------------------------- *)
+
+let directly_recursive (f : Ir.func) =
+  Array.exists
+    (fun (b : Ir.block) ->
+      match b.term with Ir.Call { callee; _ } -> callee = f.name | _ -> false)
+    f.blocks
+
+let run ?(config = default_config) (p : Ir.program) =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace by_name f.name f) p.funcs;
+  let inlinable (f : Ir.func) =
+    (not f.is_library) && (not (directly_recursive f))
+    && Ir.func_op_count f <= config.max_callee_ops
+  in
+  let inlined = ref 0 in
+  List.iter
+    (fun (caller : Ir.func) ->
+      let budget = ref config.max_growth in
+      let rec pass () =
+        let found = ref false in
+        Array.iteri
+          (fun site (b : Ir.block) ->
+            if not !found then
+              match b.term with
+              | Ir.Call { callee; _ } when callee <> caller.name -> begin
+                match Hashtbl.find_opt by_name callee with
+                | Some target
+                  when inlinable target && !budget >= Ir.func_op_count target ->
+                  budget := !budget - Ir.func_op_count target;
+                  splice caller ~site target;
+                  incr inlined;
+                  found := true
+                | _ -> ()
+              end
+              | _ -> ())
+          caller.blocks;
+        if !found then pass ()
+      in
+      pass ())
+    p.funcs;
+  !inlined

@@ -1,0 +1,21 @@
+(** Function inlining (the paper's section-6 proposal: "inlining can
+    increase the fetch bandwidth used by eliminating procedure calls and
+    returns, allowing the block enlargement optimization to combine blocks
+    that previously could not be combined" — termination rule 3 stops at
+    every call).
+
+    Inlines calls to small, non-recursive, non-library functions by
+    splicing a vreg-renamed copy of the callee's CFG into the caller;
+    parameter passing becomes moves, returns become a move plus a jump to
+    the continuation. *)
+
+type config = {
+  max_callee_ops : int;  (** only callees at most this large are inlined *)
+  max_growth : int;  (** stop when a caller has grown by this many ops *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Bisa_ir.Ir.program -> int
+(** Returns the number of call sites inlined.  Iterates to a fixed point
+    (bounded by [max_growth]), so chains of small calls flatten. *)

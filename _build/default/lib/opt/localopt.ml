@@ -1,0 +1,168 @@
+open Bisa_ir
+
+(* --- Copy / constant propagation --------------------------------------- *)
+
+(* Environment: vreg -> operand it currently equals.  Kill rules keep it
+   exact: defining v kills v's binding and any binding whose value reads
+   v. *)
+module Env = struct
+  type t = (int, Ir.operand) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let kill_def (t : t) v =
+    Hashtbl.remove t v;
+    let stale =
+      Hashtbl.fold (fun k value acc -> if value = Ir.V v then k :: acc else acc) t []
+    in
+    List.iter (Hashtbl.remove t) stale
+
+  let subst (t : t) (o : Ir.operand) =
+    match o with
+    | Ir.V v -> ( match Hashtbl.find_opt t v with Some o' -> o' | None -> o)
+    | _ -> o
+end
+
+let map_op_operands f (op : Ir.op) : Ir.op =
+  match op with
+  | Bin (b, d, x, y) -> Bin (b, d, f x, f y)
+  | Fbin (b, d, x, y) -> Fbin (b, d, f x, f y)
+  | Cmpset (c, d, x, y) -> Cmpset (c, d, f x, f y)
+  | Fcmpset (c, d, x, y) -> Fcmpset (c, d, f x, f y)
+  | Mov (d, x) -> Mov (d, f x)
+  | Itof (d, x) -> Itof (d, f x)
+  | Ftoi (d, x) -> Ftoi (d, f x)
+  | Select (c, d, a, b, t, fl) -> Select (c, d, f a, f b, f t, f fl)
+  | Gaddr _ as g -> g
+  | Load (d, b, off) -> Load (d, f b, off)
+  | Loadf (d, b, off) -> Loadf (d, f b, off)
+  | Store (v, b, off) -> Store (f v, f b, off)
+  | Storef (v, b, off) -> Storef (f v, f b, off)
+  | Print x -> Print (f x)
+  | Printflt x -> Printflt (f x)
+
+let map_term_operands f (t : Ir.terminator) : Ir.terminator =
+  match t with
+  | Br (c, x, y, lt, lf) -> Br (c, f x, f y, lt, lf)
+  | Call c -> Call { c with args = List.map f c.args }
+  | Ret (Some x) -> Ret (Some (f x))
+  | Switch (x, cases, d) -> Switch (f x, cases, d)
+  | (Jmp _ | Ret None | Halt) as t -> t
+
+let copyprop (f : Ir.func) =
+  let changed = ref false in
+  Array.iter
+    (fun (b : Ir.block) ->
+      let env = Env.create () in
+      let rewrite o =
+        let o' = Env.subst env o in
+        if o' <> o then changed := true;
+        o'
+      in
+      b.ops <-
+        List.map
+          (fun op ->
+            let op = map_op_operands rewrite op in
+            List.iter (Env.kill_def env) (Ir.op_defs op);
+            (match op with
+            | Mov (d, src) when src <> Ir.V d -> Hashtbl.replace env d src
+            | _ -> ());
+            op)
+          b.ops;
+      b.term <- map_term_operands rewrite b.term)
+    f.blocks;
+  !changed
+
+(* --- Local common subexpression elimination ----------------------------- *)
+
+type key =
+  | Kbin of Ir.binop * Ir.operand * Ir.operand
+  | Kfbin of Ir.fbinop * Ir.operand * Ir.operand
+  | Kcmp of Bisa_isa.Cmp.t * Ir.operand * Ir.operand
+  | Kfcmp of Bisa_isa.Cmp.t * Ir.operand * Ir.operand
+  | Kitof of Ir.operand
+  | Kftoi of Ir.operand
+  | Kgaddr of string
+  | Kload of Ir.operand * int
+  | Kloadf of Ir.operand * int
+
+let key_of_op (op : Ir.op) : (key * Ir.vreg) option =
+  match op with
+  | Bin (b, d, x, y) -> Some (Kbin (b, x, y), d)
+  | Fbin (b, d, x, y) -> Some (Kfbin (b, x, y), d)
+  | Cmpset (c, d, x, y) -> Some (Kcmp (c, x, y), d)
+  | Fcmpset (c, d, x, y) -> Some (Kfcmp (c, x, y), d)
+  | Itof (d, x) -> Some (Kitof x, d)
+  | Ftoi (d, x) -> Some (Kftoi x, d)
+  | Gaddr (d, g) -> Some (Kgaddr g, d)
+  | Load (d, b, off) -> Some (Kload (b, off), d)
+  | Loadf (d, b, off) -> Some (Kloadf (b, off), d)
+  | Mov _ | Select _ | Store _ | Storef _ | Print _ | Printflt _ -> None
+
+let key_is_load = function Kload _ | Kloadf _ -> true | _ -> false
+
+let key_reads_vreg v = function
+  | Kbin (_, x, y) | Kfbin (_, x, y) | Kcmp (_, x, y) | Kfcmp (_, x, y) ->
+    x = Ir.V v || y = Ir.V v
+  | Kitof x | Kftoi x -> x = Ir.V v
+  | Kgaddr _ -> false
+  | Kload (b, _) | Kloadf (b, _) -> b = Ir.V v
+
+let cse (f : Ir.func) =
+  let changed = ref false in
+  Array.iter
+    (fun (b : Ir.block) ->
+      let avail : (key, Ir.vreg) Hashtbl.t = Hashtbl.create 16 in
+      let kill_vreg v =
+        let stale =
+          Hashtbl.fold
+            (fun k holder acc ->
+              if holder = v || key_reads_vreg v k then k :: acc else acc)
+            avail []
+        in
+        List.iter (Hashtbl.remove avail) stale
+      in
+      let kill_loads () =
+        let stale =
+          Hashtbl.fold (fun k _ acc -> if key_is_load k then k :: acc else acc) avail []
+        in
+        List.iter (Hashtbl.remove avail) stale
+      in
+      b.ops <-
+        List.map
+          (fun op ->
+            if Ir.op_defs op = [] then begin
+              (* Stores / prints: kill load availability, keep op. *)
+              (match op with
+              | Store _ | Storef _ -> kill_loads ()
+              | _ -> ());
+              op
+            end
+            else begin
+              match key_of_op op with
+              | Some (k, d) -> begin
+                (* A key that reads the op's own destination (e.g. a load
+                   whose base register it overwrites) must not be
+                   registered: its ingredients are gone. *)
+                let self_reading = key_reads_vreg d k in
+                match Hashtbl.find_opt avail k with
+                | Some prev when prev <> d ->
+                  changed := true;
+                  kill_vreg d;
+                  if not self_reading then Hashtbl.replace avail k d;
+                  (* Replace the recomputation by a move from the holder.
+                     The holder still holds the value: kill rules remove
+                     keys whose holder was redefined. *)
+                  Ir.Mov (d, Ir.V prev)
+                | _ ->
+                  kill_vreg d;
+                  if not self_reading then Hashtbl.replace avail k d;
+                  op
+              end
+              | None ->
+                List.iter kill_vreg (Ir.op_defs op);
+                op
+            end)
+          b.ops)
+    f.blocks;
+  !changed

@@ -1,0 +1,14 @@
+(** Block-local dataflow optimizations: copy/constant propagation and
+    common-subexpression elimination.
+
+    Operating within one basic block keeps the analysis exact without SSA:
+    a propagated binding is killed as soon as either side is redefined.
+    Loads participate in CSE until the next store (stores conservatively
+    kill all memorized loads — MiniC has no alias information). *)
+
+val copyprop : Bisa_ir.Ir.func -> bool
+val cse : Bisa_ir.Ir.func -> bool
+
+val map_op_operands : (Bisa_ir.Ir.operand -> Bisa_ir.Ir.operand) -> Bisa_ir.Ir.op -> Bisa_ir.Ir.op
+(** Rewrite every read operand (destinations untouched); shared with the
+    if-conversion pass. *)

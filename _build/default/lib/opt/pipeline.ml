@@ -1,0 +1,21 @@
+type level = O0 | O1
+
+let max_rounds = 8
+
+let optimize_func level (f : Bisa_ir.Ir.func) =
+  match level with
+  | O0 -> ignore (Simplify_cfg.run f)
+  | O1 ->
+    let rec round i =
+      let changed = ref false in
+      let note c = if c then changed := true in
+      note (Constfold.run f);
+      note (Localopt.copyprop f);
+      note (Localopt.cse f);
+      note (Dce.run f);
+      note (Simplify_cfg.run f);
+      if !changed && i < max_rounds then round (i + 1)
+    in
+    round 1
+
+let optimize level (p : Bisa_ir.Ir.program) = List.iter (optimize_func level) p.funcs

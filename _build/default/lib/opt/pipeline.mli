@@ -1,0 +1,11 @@
+(** The standard optimization pipeline, applied identically before both code
+    generators (the paper's fairness requirement: one compiler, two
+    back-end targets). *)
+
+type level = O0 | O1
+(** [O0]: only CFG cleanup (the code generators need canonical shapes).
+    [O1]: constant folding, copy propagation, local CSE, dead-code
+    elimination and CFG simplification to a fixed point. *)
+
+val optimize_func : level -> Bisa_ir.Ir.func -> unit
+val optimize : level -> Bisa_ir.Ir.program -> unit

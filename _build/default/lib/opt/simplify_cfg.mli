@@ -1,0 +1,9 @@
+(** Control-flow-graph cleanup: forwarding through empty blocks (jump
+    threading), merging single-predecessor straight-line chains, and
+    removing unreachable blocks.
+
+    Run before code generation this pass determines the basic blocks the
+    conventional fetch engine sees and the initial atomic blocks the
+    enlargement pass starts from, so both ISAs start from the same shapes. *)
+
+val run : Bisa_ir.Ir.func -> bool

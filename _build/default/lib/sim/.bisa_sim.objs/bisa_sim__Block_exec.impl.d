@@ -1,0 +1,1 @@
+lib/sim/block_exec.ml: Array Bisa_isa List Memory Opsem Output Regfile Sbuf

@@ -1,0 +1,1 @@
+lib/sim/block_exec.mli: Bisa_isa Output

@@ -1,0 +1,1 @@
+lib/sim/conv_exec.ml: Array Bisa_isa List Memory Opsem Output Regfile

@@ -1,0 +1,1 @@
+lib/sim/conv_exec.mli: Bisa_isa Output

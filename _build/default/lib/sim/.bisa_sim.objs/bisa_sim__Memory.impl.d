@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Hashtbl Printf

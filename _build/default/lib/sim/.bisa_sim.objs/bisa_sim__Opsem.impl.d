@@ -1,0 +1,1 @@
+lib/sim/opsem.ml: Bisa_isa Float Memory Output Regfile Sbuf

@@ -1,0 +1,1 @@
+lib/sim/opsem.mli: Bisa_isa Memory Output Regfile Sbuf

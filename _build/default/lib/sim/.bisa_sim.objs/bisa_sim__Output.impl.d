@@ -1,0 +1,1 @@
+lib/sim/output.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/sim/regfile.ml: Array Bisa_isa

@@ -1,0 +1,1 @@
+lib/sim/regfile.mli: Bisa_isa

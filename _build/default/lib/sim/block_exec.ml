@@ -1,0 +1,157 @@
+module Ablock = Bisa_isa.Ablock
+module Block_prog = Bisa_isa.Block_prog
+module Reg = Bisa_isa.Reg
+module Cmp = Bisa_isa.Cmp
+
+type step = {
+  block : int;
+  ops_executed : int;
+  mem_addrs : int array;
+  squashed : bool;
+  fault_pos : int option;
+  next : int;
+  dir_taken : bool option;
+}
+
+type t = {
+  prog : Block_prog.t;
+  regs : Regfile.t;
+  shadow : Regfile.t;  (** snapshot at block start, for fault recovery *)
+  mem : Memory.t;
+  sbuf : Sbuf.t;
+  mutable required : int;
+  mutable halted : bool;
+  mutable dyn : int;
+  mutable retired : int;
+  mutable retired_blocks : int;
+  mutable budget : int;
+  mutable out_rev : Output.item list;
+}
+
+exception Runaway of int
+exception Illegal_fetch of { required : int; requested : int }
+
+let create (prog : Block_prog.t) =
+  let t =
+    {
+      prog;
+      regs = Regfile.create ();
+      shadow = Regfile.create ();
+      mem = Memory.create ();
+      sbuf = Sbuf.create ();
+      required = prog.entry;
+      halted = false;
+      dyn = 0;
+      retired = 0;
+      retired_blocks = 0;
+      budget = 2_000_000_000;
+      out_rev = [];
+    }
+  in
+  Array.iteri
+    (fun i v -> if v <> 0 then Memory.store t.mem (prog.data_base + (i * 8)) v)
+    prog.data;
+  t
+
+let required t = t.required
+let halted t = t.halted
+let dyn_ops t = t.dyn
+let retired_ops t = t.retired
+let retired_blocks t = t.retired_blocks
+let set_budget t n = t.budget <- n
+
+let output t =
+  { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+
+let snapshot_regs t = Regfile.blit ~src:t.regs ~dst:t.shadow
+let restore_regs t = Regfile.blit ~src:t.shadow ~dst:t.regs
+
+let step ?fetch t =
+  if t.halted then None
+  else begin
+    let b =
+      match fetch with
+      | None -> t.required
+      | Some f ->
+        if f = t.required || Block_prog.in_group t.prog ~rep:t.required f then f
+        else raise (Illegal_fetch { required = t.required; requested = f })
+    in
+    let blk = t.prog.blocks.(b) in
+    let nelts = Array.length blk.Ablock.elts in
+    let mem_addrs = Array.make nelts (-1) in
+    snapshot_regs t;
+    Sbuf.clear t.sbuf;
+    let pending_out = ref [] in
+    let out item = pending_out := item :: !pending_out in
+    let fault_fired = ref None in
+    let k = ref 0 in
+    while !fault_fired = None && !k < nelts do
+      (match blk.Ablock.elts.(!k) with
+      | Ablock.Op op ->
+        mem_addrs.(!k) <- Opsem.exec ~regs:t.regs ~mem:t.mem ~sbuf:(Some t.sbuf) ~out op
+      | Ablock.Fault (c, s1, s2, target) ->
+        if Cmp.eval c (Regfile.get_i t.regs s1) (Regfile.get_i t.regs s2) then
+          fault_fired := Some (!k, target));
+      incr k
+    done;
+    match !fault_fired with
+    | Some (pos, target) ->
+      (* Suppress the whole block. *)
+      restore_regs t;
+      Sbuf.clear t.sbuf;
+      t.dyn <- t.dyn + pos + 1;
+      if t.dyn > t.budget then raise (Runaway t.dyn);
+      t.required <- target;
+      Some
+        {
+          block = b;
+          ops_executed = pos + 1;
+          mem_addrs;
+          squashed = true;
+          fault_pos = Some pos;
+          next = target;
+          dir_taken = None;
+        }
+    | None ->
+      (* Terminator, then commit. *)
+      let next, dir_taken =
+        match blk.Ablock.term with
+        | Ablock.Trap { cmp; rs1; rs2; taken; not_taken; _ } ->
+          let dir = Cmp.eval cmp (Regfile.get_i t.regs rs1) (Regfile.get_i t.regs rs2) in
+          ((if dir then taken else not_taken), Some dir)
+        | Ablock.Goto l -> (l, None)
+        | Ablock.Call { callee; ret_to } ->
+          Regfile.set_i t.regs Reg.ra ret_to;
+          (callee, None)
+        | Ablock.Return -> (Regfile.get_i t.regs Reg.ra, None)
+        | Ablock.Ijump r -> (Regfile.get_i t.regs r, None)
+        | Ablock.Halt ->
+          t.halted <- true;
+          (b, None)
+      in
+      Sbuf.flush t.sbuf t.mem;
+      List.iter (fun item -> t.out_rev <- item :: t.out_rev) (List.rev !pending_out);
+      let size = nelts + 1 in
+      t.dyn <- t.dyn + size;
+      t.retired <- t.retired + size;
+      t.retired_blocks <- t.retired_blocks + 1;
+      if t.dyn > t.budget then raise (Runaway t.dyn);
+      t.required <- next;
+      Some
+        {
+          block = b;
+          ops_executed = nelts;
+          mem_addrs;
+          squashed = false;
+          fault_pos = None;
+          next;
+          dir_taken;
+        }
+  end
+
+let run prog ?(budget = 2_000_000_000) () =
+  let t = create prog in
+  set_budget t budget;
+  let rec go () = match step t with Some _ -> go () | None -> () in
+  go ();
+  (output t, retired_ops t)

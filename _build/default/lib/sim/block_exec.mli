@@ -1,0 +1,52 @@
+(** Functional executor for the block-structured ISA.
+
+    Executes one atomic block per step with all-or-nothing semantics: if a
+    fault operation's condition evaluates true, every register write,
+    store and print of the block is discarded and fetch is redirected to
+    the fault's target (paper section 2).
+
+    The executor is {e fetch-driven}: the caller (normally the timing
+    simulator, acting as the branch predictor) may ask to execute any
+    block in the variant group of the architecturally required successor —
+    exactly the set a correct hardware implementation could reach — and
+    the fault operations repair any divergence inside the group.  Calling
+    {!step} without a fetch argument executes the representative, giving
+    the canonical execution used for differential testing. *)
+
+type step = {
+  block : int;  (** the block that was executed *)
+  ops_executed : int;  (** body elements evaluated (the firing fault included) *)
+  mem_addrs : int array;  (** per body position: byte address or -1 *)
+  squashed : bool;
+  fault_pos : int option;
+  next : int;  (** architectural next block *)
+  dir_taken : bool option;  (** trap direction, when the terminator ran *)
+}
+
+type t
+
+exception Runaway of int
+exception Illegal_fetch of { required : int; requested : int }
+
+val create : Bisa_isa.Block_prog.t -> t
+
+val required : t -> int
+(** The representative of the architecturally required next block. *)
+
+val step : ?fetch:int -> t -> step option
+(** Execute one block ([fetch] defaults to {!required}).  [None] once
+    halted. *)
+
+val halted : t -> bool
+val dyn_ops : t -> int
+(** All operations executed, squashed work included. *)
+
+val retired_ops : t -> int
+(** Operations in committed blocks only. *)
+
+val retired_blocks : t -> int
+val output : t -> Output.t
+val set_budget : t -> int -> unit
+
+val run : Bisa_isa.Block_prog.t -> ?budget:int -> unit -> Output.t * int
+(** Canonical execution to halt; returns output and retired op count. *)

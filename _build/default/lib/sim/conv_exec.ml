@@ -1,0 +1,112 @@
+module Insn = Bisa_isa.Insn
+module Reg = Bisa_isa.Reg
+module Conv_prog = Bisa_isa.Conv_prog
+
+type term_kind = Kbr of bool | Kjmp | Kcall | Kret | Kjr | Khalt | Kfall
+
+type packet = {
+  start : int;
+  count : int;
+  mem_addrs : int array;
+  term : term_kind;
+  next : int;
+}
+
+type t = {
+  prog : Conv_prog.t;
+  regs : Regfile.t;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable dyn : int;
+  mutable budget : int;
+  mutable out_rev : Output.item list;
+}
+
+exception Runaway of int
+
+(* Safety cap on packet length; real basic blocks are far shorter, and the
+   timing model re-chunks to issue width anyway. *)
+let packet_cap = 1024
+
+let create (prog : Conv_prog.t) =
+  let t =
+    {
+      prog;
+      regs = Regfile.create ();
+      mem = Memory.create ();
+      pc = prog.entry;
+      halted = false;
+      dyn = 0;
+      budget = 2_000_000_000;
+      out_rev = [];
+    }
+  in
+  (* Preload the data segment. *)
+  Array.iteri
+    (fun i v -> if v <> 0 then Memory.store t.mem (prog.data_base + (i * 8)) v)
+    prog.data;
+  t
+
+let halted t = t.halted
+let dyn_insns t = t.dyn
+let set_budget t n = t.budget <- n
+
+let output t =
+  { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+
+let step t =
+  if t.halted then None
+  else begin
+    let start = t.pc in
+    let addrs = ref [] in
+    let out item = t.out_rev <- item :: t.out_rev in
+    let rec loop pc count =
+      if count >= packet_cap then (Kfall, pc, count)
+      else begin
+        let insn = t.prog.insns.(pc) in
+        t.dyn <- t.dyn + 1;
+        if t.dyn > t.budget then raise (Runaway t.dyn);
+        match insn with
+        | Insn.Op op ->
+          let a = Opsem.exec ~regs:t.regs ~mem:t.mem ~sbuf:None ~out op in
+          addrs := a :: !addrs;
+          loop (pc + 1) (count + 1)
+        | Insn.Br (c, s1, s2, target) ->
+          addrs := -1 :: !addrs;
+          let taken =
+            Bisa_isa.Cmp.eval c (Regfile.get_i t.regs s1) (Regfile.get_i t.regs s2)
+          in
+          (Kbr taken, (if taken then target else pc + 1), count + 1)
+        | Insn.Jmp target ->
+          addrs := -1 :: !addrs;
+          (Kjmp, target, count + 1)
+        | Insn.Call target ->
+          addrs := -1 :: !addrs;
+          Regfile.set_i t.regs Reg.ra (pc + 1);
+          (Kcall, target, count + 1)
+        | Insn.Ret ->
+          addrs := -1 :: !addrs;
+          (Kret, Regfile.get_i t.regs Reg.ra, count + 1)
+        | Insn.Jr r ->
+          addrs := -1 :: !addrs;
+          (Kjr, Regfile.get_i t.regs r, count + 1)
+        | Insn.Halt ->
+          addrs := -1 :: !addrs;
+          t.halted <- true;
+          (Khalt, pc, count + 1)
+      end
+    in
+    let term, next, count = loop start 0 in
+    t.pc <- next;
+    let mem_addrs = Array.make count (-1) in
+    List.iteri (fun i a -> mem_addrs.(count - 1 - i) <- a) !addrs;
+    Some { start; count; mem_addrs; term; next }
+  end
+
+let run prog ?(budget = 2_000_000_000) () =
+  let t = create prog in
+  set_budget t budget;
+  let rec go () = match step t with Some _ -> go () | None -> () in
+  go ();
+  (output t, dyn_insns t)

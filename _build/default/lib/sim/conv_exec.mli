@@ -1,0 +1,42 @@
+(** Functional executor for the conventional ISA.
+
+    Drives the program one {e fetch packet} (dynamic basic block) at a
+    time: a run of instructions ending at the first control instruction.
+    Each packet records everything the timing model needs — memory
+    addresses, the control outcome, the successor pc — so the timing
+    simulator replays the correct path without re-deciding semantics. *)
+
+type term_kind =
+  | Kbr of bool  (** conditional branch; payload = taken? *)
+  | Kjmp
+  | Kcall
+  | Kret
+  | Kjr
+  | Khalt
+  | Kfall  (** packet hit the safety cap without a control instruction *)
+
+type packet = {
+  start : int;  (** index of the packet's first instruction *)
+  count : int;  (** instructions in the packet, terminator included *)
+  mem_addrs : int array;  (** per position: touched byte address or -1 *)
+  term : term_kind;
+  next : int;  (** index of the next instruction to execute *)
+}
+
+type t
+
+exception Runaway of int
+
+val create : Bisa_isa.Conv_prog.t -> t
+val step : t -> packet option
+(** [None] once halted.  Raises {!Runaway} past the instruction budget. *)
+
+val halted : t -> bool
+val dyn_insns : t -> int
+val output : t -> Output.t
+val set_budget : t -> int -> unit
+(** Default budget: 2 billion dynamic instructions. *)
+
+val run : Bisa_isa.Conv_prog.t -> ?budget:int -> unit -> Output.t * int
+(** Convenience: execute to halt; returns output and dynamic instruction
+    count. *)

@@ -1,0 +1,51 @@
+(* 4096 words (32KB) per page. *)
+let page_bits = 12
+let page_words = 1 lsl page_bits
+let page_mask = page_words - 1
+
+type page = { ints : int array; mutable flts : float array option }
+
+type t = { pages : (int, page) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let word_index addr =
+  if addr land 7 <> 0 then
+    invalid_arg (Printf.sprintf "Memory: unaligned access at 0x%x" addr);
+  addr lsr 3
+
+let page_of t wi =
+  let key = wi lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = { ints = Array.make page_words 0; flts = None } in
+    Hashtbl.add t.pages key p;
+    p
+
+let load t addr =
+  let wi = word_index addr in
+  (page_of t wi).ints.(wi land page_mask)
+
+let store t addr v =
+  let wi = word_index addr in
+  (page_of t wi).ints.(wi land page_mask) <- v
+
+let flts_of p =
+  match p.flts with
+  | Some a -> a
+  | None ->
+    let a = Array.make page_words 0.0 in
+    p.flts <- Some a;
+    a
+
+let loadf t addr =
+  let wi = word_index addr in
+  let p = page_of t wi in
+  match p.flts with Some a -> a.(wi land page_mask) | None -> 0.0
+
+let storef t addr v =
+  let wi = word_index addr in
+  (flts_of (page_of t wi)).(wi land page_mask) <- v
+
+let footprint_words t = Hashtbl.length t.pages * page_words

@@ -1,0 +1,17 @@
+(** Simulated data memory: sparse, paged, word-addressed.
+
+    Every address is byte-valued and must be 8-byte aligned.  Each word has
+    an integer slot and (lazily allocated) a float slot; [storef]/[loadf]
+    use the float side.  MiniC never type-puns through memory, so the dual
+    representation is exact — this is what lets the simulator keep
+    OCaml-native integer semantics while storing full-precision floats. *)
+
+type t
+
+val create : unit -> t
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+val loadf : t -> int -> float
+val storef : t -> int -> float -> unit
+val footprint_words : t -> int
+(** Number of words in touched pages (for diagnostics). *)

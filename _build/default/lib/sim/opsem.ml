@@ -1,0 +1,66 @@
+module Op = Bisa_isa.Op
+module Cmp = Bisa_isa.Cmp
+
+let exec ~regs ~mem ~sbuf ~out (op : Op.t) =
+  let gi = Regfile.get_i regs and si = Regfile.set_i regs in
+  let gf = Regfile.get_f regs and sf = Regfile.set_f regs in
+  match op with
+  | Op.Nop -> -1
+  | Op.Mov (d, s) ->
+    if Bisa_isa.Reg.is_int d then si d (gi s) else sf d (gf s);
+    -1
+  | Op.Li (d, v) ->
+    si d v;
+    -1
+  | Op.Lif (d, v) ->
+    sf d v;
+    -1
+  | Op.Alu (a, d, s1, s2) ->
+    let y = match s2 with Op.R r -> gi r | Op.I v -> v in
+    si d (Op.eval_alu a (gi s1) y);
+    -1
+  | Op.Fpu (f, d, s1, s2) ->
+    sf d (Op.eval_fpu f (gf s1) (gf s2));
+    -1
+  | Op.Fcmp (c, d, s1, s2) ->
+    si d (if Cmp.eval_f c (gf s1) (gf s2) then 1 else 0);
+    -1
+  | Op.Itof (d, s) ->
+    sf d (float_of_int (gi s));
+    -1
+  | Op.Ftoi (d, s) ->
+    si d (int_of_float (Float.trunc (gf s)));
+    -1
+  | Op.Select (c, d, s1, s2, t, f) ->
+    let y = match s2 with Op.R r -> gi r | Op.I v -> v in
+    let cond = Cmp.eval c (gi s1) y in
+    if Bisa_isa.Reg.is_int d then si d (gi (if cond then t else f))
+    else sf d (gf (if cond then t else f));
+    -1
+  | Op.Load (d, b, off) ->
+    let addr = gi b + off in
+    si d (match sbuf with Some sb -> Sbuf.load sb mem addr | None -> Memory.load mem addr);
+    addr
+  | Op.Loadf (d, b, off) ->
+    let addr = gi b + off in
+    sf d
+      (match sbuf with Some sb -> Sbuf.loadf sb mem addr | None -> Memory.loadf mem addr);
+    addr
+  | Op.Store (s, b, off) ->
+    let addr = gi b + off in
+    (match sbuf with
+    | Some sb -> Sbuf.store sb addr (gi s)
+    | None -> Memory.store mem addr (gi s));
+    addr
+  | Op.Storef (s, b, off) ->
+    let addr = gi b + off in
+    (match sbuf with
+    | Some sb -> Sbuf.storef sb addr (gf s)
+    | None -> Memory.storef mem addr (gf s));
+    addr
+  | Op.Print s ->
+    out (Output.Oint (gi s));
+    -1
+  | Op.Printf s ->
+    out (Output.Oflt (gf s));
+    -1

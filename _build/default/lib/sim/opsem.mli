@@ -1,0 +1,14 @@
+(** Operational semantics of non-control operations, shared by both ISA
+    executors.  When a store buffer is supplied, stores are buffered and
+    loads forward from it (atomic-block mode); otherwise memory is accessed
+    directly. *)
+
+val exec :
+  regs:Regfile.t ->
+  mem:Memory.t ->
+  sbuf:Sbuf.t option ->
+  out:(Output.item -> unit) ->
+  Bisa_isa.Op.t ->
+  int
+(** Executes one operation; returns the byte address touched by a
+    load/store, or [-1]. *)

@@ -1,0 +1,12 @@
+type item = Oint of int | Oflt of float
+
+type t = { ret : int; items : item list }
+
+let equal a b = a.ret = b.ret && a.items = b.items
+
+let item_to_string = function
+  | Oint v -> string_of_int v
+  | Oflt v -> Printf.sprintf "%.17g" v
+
+let to_string t =
+  Printf.sprintf "ret=%d [%s]" t.ret (String.concat "; " (List.map item_to_string t.items))

@@ -1,0 +1,11 @@
+(** Observable program output: the stream produced by [print]/[printf]
+    operations plus the exit value.  The reference interpreter and both ISA
+    executors must produce identical values — the toolchain's main
+    correctness oracle. *)
+
+type item = Oint of int | Oflt of float
+
+type t = { ret : int; items : item list }
+
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,32 @@
+module Reg = Bisa_isa.Reg
+
+type t = { ints : int array; flts : float array }
+
+let create () = { ints = Array.make Reg.count 0; flts = Array.make Reg.count 0.0 }
+
+let get_i t r =
+  match r with
+  | Reg.Int i -> t.ints.(i)
+  | Reg.Flt _ -> invalid_arg "Regfile.get_i: float register"
+
+let set_i t r v =
+  match r with
+  | Reg.Int 0 -> ()
+  | Reg.Int i -> t.ints.(i) <- v
+  | Reg.Flt _ -> invalid_arg "Regfile.set_i: float register"
+
+let get_f t r =
+  match r with
+  | Reg.Flt i -> t.flts.(i)
+  | Reg.Int _ -> invalid_arg "Regfile.get_f: int register"
+
+let set_f t r v =
+  match r with
+  | Reg.Flt i -> t.flts.(i) <- v
+  | Reg.Int _ -> invalid_arg "Regfile.set_f: int register"
+
+let copy t = { ints = Array.copy t.ints; flts = Array.copy t.flts }
+
+let blit ~src ~dst =
+  Array.blit src.ints 0 dst.ints 0 Reg.count;
+  Array.blit src.flts 0 dst.flts 0 Reg.count

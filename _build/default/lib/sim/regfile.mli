@@ -1,0 +1,15 @@
+(** Architectural register file: 32 integer + 32 float registers, with [r0]
+    hardwired to zero. *)
+
+type t
+
+val create : unit -> t
+val get_i : t -> Bisa_isa.Reg.t -> int
+val set_i : t -> Bisa_isa.Reg.t -> int -> unit
+val get_f : t -> Bisa_isa.Reg.t -> float
+val set_f : t -> Bisa_isa.Reg.t -> float -> unit
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]'s contents (used for atomic-block shadow
+    snapshots). *)

@@ -1,0 +1,36 @@
+type entry = Eint of int * int | Eflt of int * float
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let clear t = t.entries <- []
+let store t addr v = t.entries <- Eint (addr, v) :: t.entries
+let storef t addr v = t.entries <- Eflt (addr, v) :: t.entries
+
+let load t mem addr =
+  let rec scan = function
+    | [] -> Memory.load mem addr
+    | Eint (a, v) :: _ when a = addr -> v
+    | Eflt (a, _) :: _ when a = addr -> 0 (* int view of a float store *)
+    | _ :: rest -> scan rest
+  in
+  scan t.entries
+
+let loadf t mem addr =
+  let rec scan = function
+    | [] -> Memory.loadf mem addr
+    | Eflt (a, v) :: _ when a = addr -> v
+    | Eint (a, _) :: _ when a = addr -> 0.0
+    | _ :: rest -> scan rest
+  in
+  scan t.entries
+
+let flush t mem =
+  List.iter
+    (function
+      | Eint (a, v) -> Memory.store mem a v
+      | Eflt (a, v) -> Memory.storef mem a v)
+    (List.rev t.entries);
+  clear t
+
+let size t = List.length t.entries

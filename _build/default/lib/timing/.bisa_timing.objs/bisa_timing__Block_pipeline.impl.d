@@ -1,0 +1,1 @@
+lib/timing/block_pipeline.ml: Array Bisa_base Bisa_isa Bisa_sim Bisa_uarch Config Engine Metrics Option

@@ -1,0 +1,1 @@
+lib/timing/block_pipeline.mli: Bisa_isa Config Metrics

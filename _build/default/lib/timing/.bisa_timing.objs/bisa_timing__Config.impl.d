@@ -1,0 +1,1 @@
+lib/timing/config.ml: Bisa_uarch

@@ -1,0 +1,1 @@
+lib/timing/config.mli: Bisa_uarch

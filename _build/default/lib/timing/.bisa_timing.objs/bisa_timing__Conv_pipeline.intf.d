@@ -1,0 +1,1 @@
+lib/timing/conv_pipeline.mli: Bisa_isa Config Metrics

@@ -1,0 +1,1 @@
+lib/timing/engine.ml: Array Bisa_isa Bisa_uarch Config Hashtbl List Option Queue

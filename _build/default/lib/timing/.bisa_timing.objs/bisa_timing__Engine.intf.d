@@ -1,0 +1,1 @@
+lib/timing/engine.mli: Bisa_isa Bisa_uarch Config

@@ -1,0 +1,1 @@
+lib/timing/metrics.ml: Bisa_base Printf

@@ -1,0 +1,1 @@
+lib/timing/metrics.mli: Bisa_base

@@ -1,0 +1,133 @@
+module Block_prog = Bisa_isa.Block_prog
+module Block_exec = Bisa_sim.Block_exec
+module Ablock = Bisa_isa.Ablock
+module Cache = Bisa_uarch.Cache
+module Block_pred = Bisa_uarch.Block_pred
+
+let run (cfg : Config.t) (prog : Block_prog.t) : Metrics.t =
+  let m = Metrics.create () in
+  let engine = Engine.create cfg in
+  let exec = Block_exec.create prog in
+  Block_exec.set_budget exec cfg.op_budget;
+  let icache = Option.map Cache.create cfg.icache in
+  let pred = Block_pred.create cfg.block_pred prog in
+  let next_fetch = ref 0 in
+  (* The youngest committed block, its terminator's resolve time, its
+     predicted successor, and its resolved trap direction — prediction
+     correctness is judged when the next architectural successor is
+     known. *)
+  let prev : (int * int * int option * bool option) option ref = ref None in
+  (* Training is (committed block -> next committed block). *)
+  let last_committed : int option ref = ref None in
+  (* After a fault squash, fetch is forced to the fault target. *)
+  let forced = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if Block_exec.halted exec then continue_ := false
+    else begin
+      let req = Block_exec.required exec in
+      (* Decide what to fetch and when. *)
+      let fetch_block =
+        if !forced then begin
+          forced := false;
+          req
+        end
+        else begin
+          match (cfg.predictor, !prev) with
+          | Config.Perfect, _ | Config.Real, None -> req
+          | Config.Real, Some (pblock, resolve, predicted, dir_taken) -> begin
+            match predicted with
+            | Some p when p = req || Block_prog.in_group prog ~rep:req p -> p
+            | _ ->
+              (* Direction-level misprediction: redirect at trap
+                 resolution.  The refetch uses the deeper counters and BTB
+                 slots within the now-known direction, not blindly the
+                 representative (the hardware knows the direction once the
+                 trap resolves). *)
+              m.mispredicts <- m.mispredicts + 1;
+              next_fetch := max !next_fetch (resolve + cfg.redirect_penalty);
+              let refetch =
+                match dir_taken with
+                | Some taken -> begin
+                  match Block_pred.predict_given_direction pred pblock ~taken with
+                  | Some v when v = req || Block_prog.in_group prog ~rep:req v -> v
+                  | _ -> req
+                end
+                | None -> req
+              in
+              refetch
+          end
+        end
+      in
+      match Block_exec.step ~fetch:fetch_block exec with
+      | None -> continue_ := false
+      | Some step ->
+        if cfg.predictor = Config.Perfect && step.squashed then
+          (* A perfect front end fetches the fault-free variant directly:
+             the squash hop costs nothing and is not even fetched. *)
+          ()
+        else begin
+          let blk = prog.blocks.(step.block) in
+          let fc = ref !next_fetch in
+          (match icache with
+          | Some c ->
+            let misses =
+              Cache.access_range c prog.block_addr.(step.block)
+                (Block_prog.block_bytes blk)
+            in
+            if misses > 0 then fc := !fc + (misses * cfg.l2_latency)
+          | None -> ());
+          m.fetch_units <- m.fetch_units + 1;
+          let body =
+            Array.init step.ops_executed (fun k ->
+                Engine.opref_of_elt blk.Ablock.elts.(k) step.mem_addrs.(k))
+          in
+          let ops =
+            if step.squashed then body
+            else Array.append body [| Engine.opref_of_term blk.Ablock.term |]
+          in
+          let want = !fc + cfg.decode_depth in
+          let dispatch = Engine.admit engine ~want ~op_count:(Array.length ops) in
+          let r = Engine.run_unit engine ~dispatch ~commit:(not step.squashed) ops in
+          next_fetch := max (!fc + 1) (dispatch - cfg.decode_depth + 1);
+          if step.squashed then begin
+            m.squashed_blocks <- m.squashed_blocks + 1;
+            m.squashed_ops <- m.squashed_ops + Array.length ops;
+            m.fault_squash_redirects <- m.fault_squash_redirects + 1;
+            m.mispredicts <- m.mispredicts + 1;
+            next_fetch := max !next_fetch (r.resolve + cfg.redirect_penalty);
+            forced := true;
+            (* The wrongly-fetched variant invalidates the in-flight
+               prediction chain. *)
+            prev := None
+          end
+          else begin
+            m.retired_ops <- m.retired_ops + Array.length ops;
+            m.retired_blocks <- m.retired_blocks + 1;
+            Bisa_base.Stats.Histogram.add m.block_sizes (Array.length ops);
+            (* Train on committed transitions. *)
+            (match cfg.predictor with
+            | Config.Real ->
+              (match !last_committed with
+              | Some p -> Block_pred.update pred ~block:p ~actual:step.block
+              | None -> ());
+              last_committed := Some step.block;
+              let predicted = Block_pred.predict pred step.block in
+              prev := Some (step.block, r.resolve, predicted, step.dir_taken)
+            | Config.Perfect -> ())
+          end
+        end
+    end
+  done;
+  m.cycles <- Engine.last_retire engine;
+  (match icache with
+  | Some c ->
+    m.icache_accesses <- Cache.accesses c;
+    m.icache_misses <- Cache.misses c
+  | None -> ());
+  (match Engine.dcache engine with
+  | Some c ->
+    m.dcache_accesses <- Cache.accesses c;
+    m.dcache_misses <- Cache.misses c
+  | None -> ());
+  m

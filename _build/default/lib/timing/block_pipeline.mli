@@ -1,0 +1,17 @@
+(** Cycle-level timing model of the block-structured core.
+
+    Fetches one atomic block per cycle.  The next-block predictor (the
+    paper's modified Two-Level Adaptive predictor) selects among a block's
+    enlarged successor variants; a direction-level misprediction redirects
+    at trap resolution, and a variant-level misprediction surfaces as a
+    {e fault squash}: the whole fetched block executes, its work is
+    discarded, and fetch redirects to the fault target — the re-executed
+    prefix reappears inside the sibling block, so the paper's extra fault
+    penalty is modeled structurally rather than as a constant.
+
+    Under perfect prediction the fetch engine goes straight to the variant
+    whose faults do not fire, so squashes cost nothing — which is why the
+    paper's block-structured advantage grows from 12% to 19-20% in
+    figure 4. *)
+
+val run : Config.t -> Bisa_isa.Block_prog.t -> Metrics.t

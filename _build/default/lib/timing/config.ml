@@ -1,0 +1,39 @@
+type predictor = Perfect | Real
+
+type t = {
+  issue_width : int;
+  window_blocks : int;
+  window_ops : int;
+  fu_count : int;
+  decode_depth : int;
+  redirect_penalty : int;
+  icache : Bisa_uarch.Cache.config option;
+  dcache : Bisa_uarch.Cache.config option;
+  trace_cache : Bisa_uarch.Trace_cache.config option;
+  l2_latency : int;
+  predictor : predictor;
+  conv_pred : Bisa_uarch.Conv_pred.config;
+  block_pred : Bisa_uarch.Block_pred.config;
+  op_budget : int;
+}
+
+let default =
+  {
+    issue_width = 16;
+    window_blocks = 32;
+    window_ops = 512;
+    fu_count = 16;
+    decode_depth = 3;
+    redirect_penalty = 5;
+    icache = Some Bisa_uarch.Cache.config_64k;
+    dcache = Some Bisa_uarch.Cache.config_16k;
+    trace_cache = None;
+    l2_latency = 6;
+    predictor = Real;
+    conv_pred = Bisa_uarch.Conv_pred.default_config;
+    block_pred = Bisa_uarch.Block_pred.default_config;
+    op_budget = 2_000_000_000;
+  }
+
+let with_icache icache t = { t with icache }
+let with_predictor predictor t = { t with predictor }

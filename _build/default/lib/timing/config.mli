@@ -1,0 +1,34 @@
+(** Timing-model configuration (paper section 4.3 / 5).
+
+    The paper's machine: sixteen-wide issue, dynamically scheduled (HPS
+    execution model), up to 32 atomic blocks / 512 operations in flight,
+    sixteen uniform functional units with Table-1 latencies, 16KB L1
+    dcache, perfect L2 with six-cycle access, L1 icache swept 16-64KB.
+    Both cores are configured identically (the paper's fairness rule). *)
+
+type predictor = Perfect | Real
+
+type t = {
+  issue_width : int;
+  window_blocks : int;
+  window_ops : int;
+  fu_count : int;
+  decode_depth : int;  (** fetch-to-dispatch stages *)
+  redirect_penalty : int;  (** front-end refill after any fetch redirect *)
+  icache : Bisa_uarch.Cache.config option;  (** [None] = perfect *)
+  dcache : Bisa_uarch.Cache.config option;
+  trace_cache : Bisa_uarch.Trace_cache.config option;
+      (** optional trace-cache front end for the conventional core (the
+          paper's section-3 rival; [None] = the paper's baseline) *)
+  l2_latency : int;
+  predictor : predictor;
+  conv_pred : Bisa_uarch.Conv_pred.config;
+  block_pred : Bisa_uarch.Block_pred.config;
+  op_budget : int;  (** executor safety budget *)
+}
+
+val default : t
+(** The paper's configuration with the 64KB 4-way icache of figure 3. *)
+
+val with_icache : Bisa_uarch.Cache.config option -> t -> t
+val with_predictor : predictor -> t -> t

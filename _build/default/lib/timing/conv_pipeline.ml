@@ -1,0 +1,175 @@
+module Conv_prog = Bisa_isa.Conv_prog
+module Conv_exec = Bisa_sim.Conv_exec
+module Cache = Bisa_uarch.Cache
+module Conv_pred = Bisa_uarch.Conv_pred
+module Trace_cache = Bisa_uarch.Trace_cache
+
+(* Peekable packet stream over the functional executor, so the trace-cache
+   front end can confirm a stored trace against the blocks actually coming
+   next. *)
+module Stream = struct
+  type t = { exec : Conv_exec.t; pending : Conv_exec.packet Queue.t }
+
+  let create exec = { exec; pending = Queue.create () }
+
+  let refill t n =
+    while Queue.length t.pending < n && not (Conv_exec.halted t.exec) do
+      match Conv_exec.step t.exec with
+      | Some p -> Queue.add p t.pending
+      | None -> ()
+    done
+
+  let pop t =
+    refill t 1;
+    Queue.take_opt t.pending
+
+  let peek_list t n =
+    refill t n;
+    List.filteri (fun i _ -> i < n) (List.of_seq (Queue.to_seq t.pending))
+
+  let drop t n =
+    for _ = 1 to n do
+      ignore (Queue.take t.pending)
+    done
+end
+
+let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
+  let m = Metrics.create () in
+  let engine = Engine.create cfg in
+  let exec = Conv_exec.create prog in
+  Conv_exec.set_budget exec cfg.op_budget;
+  let stream = Stream.create exec in
+  let icache = Option.map Cache.create cfg.icache in
+  let tc = Option.map Trace_cache.create cfg.trace_cache in
+  let pred = Conv_pred.create cfg.conv_pred in
+  let next_fetch = ref 0 in
+  (* Trace-fill window: the last few fetched packets. *)
+  let recent : (int * int) list ref = ref [] in
+  (* Process one packet fetched at [fc]; [from_tc] packets are supplied by
+     the trace cache (no icache access).  Returns the resolve time of its
+     control instruction and whether its prediction was correct. *)
+  let process_packet ~from_tc (pkt : Conv_exec.packet) =
+    (* Trace-supplied followers ride the fetch cycle of the trace's first
+       packet. *)
+    let fc = ref (if from_tc then max 0 (!next_fetch - 1) else !next_fetch) in
+    (match icache with
+    | Some c when not from_tc ->
+      let addr = Conv_prog.insn_addr pkt.start in
+      let misses = Cache.access_range c addr (pkt.count * Conv_prog.bytes_per_insn) in
+      if misses > 0 then fc := !fc + (misses * cfg.l2_latency)
+    | _ -> ());
+    m.fetch_units <- m.fetch_units + 1;
+    let nchunks = (pkt.count + cfg.issue_width - 1) / cfg.issue_width in
+    let last_resolve = ref 0 in
+    for chunk = 0 to nchunks - 1 do
+      let lo = chunk * cfg.issue_width in
+      let hi = min pkt.count (lo + cfg.issue_width) in
+      let ops =
+        Array.init (hi - lo) (fun k ->
+            let i = pkt.start + lo + k in
+            Engine.opref_of_insn prog.insns.(i) pkt.mem_addrs.(lo + k))
+      in
+      let want = !fc + chunk + cfg.decode_depth in
+      let dispatch = Engine.admit engine ~want ~op_count:(hi - lo) in
+      let r = Engine.run_unit engine ~dispatch ~commit:true ops in
+      last_resolve := r.resolve;
+      m.retired_ops <- m.retired_ops + (hi - lo);
+      next_fetch := max (!fc + chunk + 1) (dispatch - cfg.decode_depth + 1)
+    done;
+    if not from_tc then next_fetch := max !next_fetch (!fc + 1);
+    m.retired_blocks <- m.retired_blocks + 1;
+    Bisa_base.Stats.Histogram.add m.block_sizes pkt.count;
+    let branch_pc = pkt.start + pkt.count - 1 in
+    let verdict =
+      match cfg.predictor with
+      | Config.Perfect -> Conv_pred.Correct
+      | Config.Real -> begin
+        match pkt.term with
+        | Conv_exec.Kbr taken -> Conv_pred.on_branch pred ~pc:branch_pc ~taken ~target:pkt.next
+        | Conv_exec.Kjmp -> Conv_pred.on_jump pred ~pc:branch_pc ~target:pkt.next
+        | Conv_exec.Kcall ->
+          Conv_pred.on_call pred ~pc:branch_pc ~target:pkt.next ~return_to:(branch_pc + 1)
+        | Conv_exec.Kret -> Conv_pred.on_return pred ~pc:branch_pc ~target:pkt.next
+        | Conv_exec.Kjr -> Conv_pred.on_indirect pred ~pc:branch_pc ~target:pkt.next
+        | Conv_exec.Khalt | Conv_exec.Kfall -> Conv_pred.Correct
+      end
+    in
+    let ok = verdict = Conv_pred.Correct in
+    if not ok then begin
+      m.mispredicts <- m.mispredicts + 1;
+      next_fetch := max !next_fetch (!last_resolve + cfg.redirect_penalty)
+    end;
+    (* Trace fill: remember this packet, and record the longest recent
+       window that fits a trace-cache entry. *)
+    (match tc with
+    | Some tc_ ->
+      let keep =
+        match cfg.trace_cache with Some c -> c.max_blocks | None -> 3
+      in
+      recent := ((pkt.start, pkt.count) :: !recent) |> List.filteri (fun i _ -> i < keep);
+      let window = List.rev !recent in
+      let total = List.fold_left (fun a (_, c) -> a + c) 0 window in
+      Trace_cache.fill tc_ ~starts:(List.map fst window) ~total_ops:total;
+      (* A redirect breaks trace continuity. *)
+      if not ok then recent := []
+    | None -> ());
+    ok
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    match Stream.pop stream with
+    | None -> continue_ := false
+    | Some p0 -> begin
+      (* Try to serve a whole trace this cycle. *)
+      let followers =
+        match tc with
+        | Some tc_ -> begin
+          match Trace_cache.lookup tc_ ~start:p0.start with
+          | Some succs ->
+            let n = List.length succs in
+            let upcoming = Stream.peek_list stream n in
+            let matches =
+              List.length upcoming = n
+              && List.for_all2
+                   (fun (s : int) (p : Conv_exec.packet) -> s = p.start)
+                   succs upcoming
+              && p0.count + List.fold_left (fun a (p : Conv_exec.packet) -> a + p.count) 0 upcoming
+                 <= cfg.issue_width
+            in
+            if matches then begin
+              Stream.drop stream n;
+              upcoming
+            end
+            else []
+          | None -> []
+        end
+        | None -> []
+      in
+      let ok0 = process_packet ~from_tc:false p0 in
+      if followers <> [] then begin
+        m.tc_hits <- m.tc_hits + 1;
+        (* Followers ride the same fetch cycle unless an earlier packet of
+           the group mispredicted, which demotes the rest to normal
+           fetches at the redirected time. *)
+        let tc_mode = ref ok0 in
+        List.iter
+          (fun p ->
+            if !tc_mode then m.tc_served_ops <- m.tc_served_ops + p.Conv_exec.count;
+            let ok = process_packet ~from_tc:!tc_mode p in
+            if not ok then tc_mode := false)
+          followers
+      end
+    end
+  done;
+  m.cycles <- Engine.last_retire engine;
+  (match icache with
+  | Some c ->
+    m.icache_accesses <- Cache.accesses c;
+    m.icache_misses <- Cache.misses c
+  | None -> ());
+  (match Engine.dcache engine with
+  | Some c ->
+    m.dcache_accesses <- Cache.accesses c;
+    m.dcache_misses <- Cache.misses c
+  | None -> ());
+  m

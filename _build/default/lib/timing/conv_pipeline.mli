@@ -1,0 +1,9 @@
+(** Cycle-level timing model of the conventional-ISA core.
+
+    Identical execution substrate to the block-structured core (16-wide,
+    32-block/512-op window, 16 uniform FUs, same caches and latencies); the
+    defining difference is the fetch engine: one {e basic block} per cycle
+    — fetch stops at every control instruction — which is what limits the
+    conventional core to ~5 useful operations per fetch (paper figure 5). *)
+
+val run : Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t

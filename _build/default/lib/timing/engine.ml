@@ -1,0 +1,189 @@
+module Opclass = Bisa_isa.Opclass
+module Reg = Bisa_isa.Reg
+module Insn = Bisa_isa.Insn
+module Ablock = Bisa_isa.Ablock
+
+type mem_ref = Mnone | Mload of int | Mstore of int
+
+type opref = {
+  cls : Opclass.t;
+  defs : int array;
+  uses : int array;
+  mem : mem_ref;
+}
+
+let flat rs = Array.of_list (List.map Reg.flat_index rs)
+
+let mem_of_insn (insn : _ Insn.t) addr =
+  match insn with
+  | Insn.Op op when Bisa_isa.Op.is_load op -> Mload addr
+  | Insn.Op op when Bisa_isa.Op.is_store op -> Mstore addr
+  | _ -> Mnone
+
+let opref_of_insn insn addr =
+  {
+    cls = Insn.opclass insn;
+    defs = flat (Insn.defs insn);
+    uses = flat (Insn.uses insn);
+    mem = (if addr >= 0 then mem_of_insn insn addr else Mnone);
+  }
+
+let mem_of_elt (e : _ Ablock.elt) addr =
+  match e with
+  | Ablock.Op op when Bisa_isa.Op.is_load op -> Mload addr
+  | Ablock.Op op when Bisa_isa.Op.is_store op -> Mstore addr
+  | _ -> Mnone
+
+let opref_of_elt e addr =
+  {
+    cls = Ablock.elt_opclass e;
+    defs = flat (Ablock.elt_defs e);
+    uses = flat (Ablock.elt_uses e);
+    mem = (if addr >= 0 then mem_of_elt e addr else Mnone);
+  }
+
+let opref_of_term term =
+  {
+    cls = Ablock.term_opclass term;
+    defs = flat (Ablock.term_defs term);
+    uses = flat (Ablock.term_uses term);
+    mem = Mnone;
+  }
+
+(* Functional-unit issue calendar: per-cycle slot counters in a tagged
+   ring.  In-flight issue activity spans far less than the ring, so a tag
+   mismatch simply means the slot is from a dead cycle. *)
+let ring_bits = 15
+let ring_size = 1 lsl ring_bits
+let ring_mask = ring_size - 1
+
+type t = {
+  cfg : Config.t;
+  reg_ready : int array;
+  fu_count_at : int array;
+  fu_tag : int array;
+  store_ready : (int, int) Hashtbl.t;  (** addr -> completion of last store *)
+  window : (int * int) Queue.t;  (** (retire_time, op_count), oldest first *)
+  mutable window_ops : int;
+  mutable last_retire_time : int;
+  dcache : Bisa_uarch.Cache.t option;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    reg_ready = Array.make Reg.flat_count 0;
+    fu_count_at = Array.make ring_size 0;
+    fu_tag = Array.make ring_size (-1);
+    store_ready = Hashtbl.create 4096;
+    window = Queue.create ();
+    window_ops = 0;
+    last_retire_time = 0;
+    dcache = Option.map Bisa_uarch.Cache.create cfg.dcache;
+  }
+
+let dcache t = t.dcache
+
+let fu_used t cycle =
+  let i = cycle land ring_mask in
+  if t.fu_tag.(i) = cycle then t.fu_count_at.(i) else 0
+
+let fu_book t cycle =
+  let i = cycle land ring_mask in
+  if t.fu_tag.(i) = cycle then t.fu_count_at.(i) <- t.fu_count_at.(i) + 1
+  else begin
+    t.fu_tag.(i) <- cycle;
+    t.fu_count_at.(i) <- 1
+  end
+
+let fu_alloc t at =
+  let rec find c = if fu_used t c < t.cfg.fu_count then c else find (c + 1) in
+  let c = find at in
+  fu_book t c;
+  c
+
+type unit_result = { resolve : int; retire : int }
+
+let admit t ~want ~op_count =
+  let time = ref want in
+  let fits () =
+    Queue.length t.window < t.cfg.window_blocks
+    && t.window_ops + op_count <= t.cfg.window_ops
+  in
+  let drain () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Queue.peek_opt t.window with
+      | Some (retire, ops) when retire <= !time ->
+        ignore (Queue.pop t.window);
+        t.window_ops <- t.window_ops - ops
+      | _ -> continue_ := false
+    done
+  in
+  drain ();
+  (* Wait for the oldest unit to retire until there is room.  An empty
+     window that still does not fit means the unit alone exceeds capacity
+     (cannot happen with issue-width blocks); admit it regardless. *)
+  while (not (fits ())) && not (Queue.is_empty t.window) do
+    (match Queue.peek_opt t.window with
+    | Some (retire, _) -> time := max !time retire
+    | None -> ());
+    drain ()
+  done;
+  !time
+
+(* Small per-unit overlay for intra-unit register forwarding. *)
+let run_unit t ~dispatch ~commit (ops : opref array) =
+  let local : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let local_store : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let ready_of r =
+    match Hashtbl.find_opt local r with Some v -> v | None -> t.reg_ready.(r)
+  in
+  let store_done addr =
+    let g = match Hashtbl.find_opt t.store_ready addr with Some v -> v | None -> 0 in
+    match Hashtbl.find_opt local_store addr with Some v -> max v g | None -> g
+  in
+  let resolve = ref dispatch and retire = ref dispatch in
+  Array.iter
+    (fun (op : opref) ->
+      let ready = Array.fold_left (fun acc r -> max acc (ready_of r)) dispatch op.uses in
+      let ready =
+        match op.mem with
+        | Mload addr | Mstore addr -> max ready (store_done addr)
+        | Mnone -> ready
+      in
+      let issue = fu_alloc t (max ready (dispatch + 1)) in
+      let lat = Opclass.latency op.cls in
+      let lat =
+        match op.mem with
+        | Mload addr ->
+          let hit =
+            match t.dcache with Some c -> Bisa_uarch.Cache.access c addr | None -> true
+          in
+          if hit then lat else lat + t.cfg.l2_latency
+        | Mstore _ | Mnone -> lat
+      in
+      let complete = issue + lat in
+      Array.iter (fun r -> Hashtbl.replace local r complete) op.defs;
+      (match op.mem with
+      | Mstore addr -> Hashtbl.replace local_store addr complete
+      | Mload _ | Mnone -> ());
+      resolve := complete;
+      if complete > !retire then retire := complete)
+    ops;
+  if commit then begin
+    Hashtbl.iter (fun r v -> if v > t.reg_ready.(r) then t.reg_ready.(r) <- v) local;
+    Hashtbl.iter
+      (fun addr v ->
+        let old = match Hashtbl.find_opt t.store_ready addr with Some x -> x | None -> 0 in
+        if v > old then Hashtbl.replace t.store_ready addr v)
+      local_store
+  end;
+  (* In-order retirement: monotonic times. *)
+  let retire_time = max !retire t.last_retire_time in
+  t.last_retire_time <- retire_time;
+  Queue.push (retire_time, Array.length ops) t.window;
+  t.window_ops <- t.window_ops + Array.length ops;
+  { resolve = !resolve; retire = retire_time }
+
+let last_retire t = t.last_retire_time

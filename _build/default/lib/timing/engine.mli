@@ -1,0 +1,54 @@
+(** Shared out-of-order dataflow core used by both pipelines.
+
+    Models the HPS-style execution substrate: dynamic register renaming is
+    captured by tracking, per architectural register, the completion time
+    of its latest writer (renaming removes all anti/output dependencies, so
+    only true dependencies constrain issue); sixteen uniform functional
+    units impose structural limits via a per-cycle issue calendar; loads
+    and stores are ordered through a per-address store-completion map with
+    store-to-load forwarding; the 32-block / 512-op instruction window
+    back-pressures dispatch; blocks retire in order.
+
+    A {e unit} is one fetch packet (a dynamic basic block, or an atomic
+    block).  Executing a unit with [commit = false] charges its resource
+    usage and computes its resolve time but discards its register and
+    memory effects — this is how fault-suppressed blocks cost real
+    bandwidth (paper section 5: "good work must be removed from the machine
+    for a fault misprediction"). *)
+
+type mem_ref = Mnone | Mload of int | Mstore of int
+
+type opref = {
+  cls : Bisa_isa.Opclass.t;
+  defs : int array;  (** flat register indexes *)
+  uses : int array;
+  mem : mem_ref;
+}
+
+val opref_of_insn : _ Bisa_isa.Insn.t -> int -> opref
+(** [opref_of_insn insn mem_addr]; pass [-1] for no memory access. *)
+
+val opref_of_elt : _ Bisa_isa.Ablock.elt -> int -> opref
+val opref_of_term : _ Bisa_isa.Ablock.terminator -> opref
+
+type t
+
+val create : Config.t -> t
+val dcache : t -> Bisa_uarch.Cache.t option
+
+type unit_result = {
+  resolve : int;  (** completion time of the unit's last operation *)
+  retire : int;  (** completion of the whole unit (monotonic, in order) *)
+}
+
+val admit : t -> want:int -> op_count:int -> int
+(** Window admission: earliest dispatch cycle at or after [want] with room
+    for [op_count] more operations. *)
+
+val run_unit : t -> dispatch:int -> commit:bool -> opref array -> unit_result
+(** Issues each operation when its operands and a functional unit are
+    ready; returns resolve/retire times and (when committing) publishes
+    results.  Also books the unit into the retirement window. *)
+
+val last_retire : t -> int
+(** Retirement time of the youngest unit so far = total cycles when done. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable cycles : int;
+  mutable retired_ops : int;
+  mutable retired_blocks : int;
+  mutable fetch_units : int;
+  mutable squashed_blocks : int;
+  mutable squashed_ops : int;
+  mutable mispredicts : int;
+  mutable fault_squash_redirects : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable tc_hits : int;
+  mutable tc_served_ops : int;
+  block_sizes : Bisa_base.Stats.Histogram.t;
+}
+
+let create () =
+  {
+    cycles = 0;
+    retired_ops = 0;
+    retired_blocks = 0;
+    fetch_units = 0;
+    squashed_blocks = 0;
+    squashed_ops = 0;
+    mispredicts = 0;
+    fault_squash_redirects = 0;
+    icache_accesses = 0;
+    icache_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    tc_hits = 0;
+    tc_served_ops = 0;
+    block_sizes = Bisa_base.Stats.Histogram.create ~buckets:64;
+  }
+
+let mean_block_size t = Bisa_base.Stats.Histogram.mean t.block_sizes
+let ipc t = Bisa_base.Stats.ratio t.retired_ops t.cycles
+
+let mispredict_rate_per_kop t =
+  1000.0 *. Bisa_base.Stats.ratio t.mispredicts t.retired_ops
+
+let summary ~name t =
+  Printf.sprintf
+    "%s: %d cycles, %d retired ops (IPC %.2f), mean block %.2f, %d mispredicts, %d \
+     fault squashes, icache %d/%d miss, dcache %d/%d miss"
+    name t.cycles t.retired_ops (ipc t) (mean_block_size t) t.mispredicts
+    t.fault_squash_redirects t.icache_misses t.icache_accesses t.dcache_misses
+    t.dcache_accesses

@@ -1,0 +1,25 @@
+(** Statistics collected by one timing-simulation run. *)
+
+type t = {
+  mutable cycles : int;
+  mutable retired_ops : int;
+  mutable retired_blocks : int;
+  mutable fetch_units : int;  (** units fetched, squashed blocks included *)
+  mutable squashed_blocks : int;  (** fault-suppressed atomic blocks *)
+  mutable squashed_ops : int;
+  mutable mispredicts : int;  (** fetch redirects charged a penalty *)
+  mutable fault_squash_redirects : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable tc_hits : int;  (** trace-cache hits (conventional core only) *)
+  mutable tc_served_ops : int;  (** extra ops delivered by trace hits *)
+  block_sizes : Bisa_base.Stats.Histogram.t;  (** retired fetch-unit sizes *)
+}
+
+val create : unit -> t
+val mean_block_size : t -> float
+val ipc : t -> float
+val mispredict_rate_per_kop : t -> float
+val summary : name:string -> t -> string

@@ -1,0 +1,1 @@
+lib/uarch/block_pred.ml: Array Bisa_isa Btb Bytes Char Ras

@@ -1,0 +1,1 @@
+lib/uarch/block_pred.mli: Bisa_isa

@@ -1,0 +1,1 @@
+lib/uarch/btb.ml: Array

@@ -1,0 +1,1 @@
+lib/uarch/conv_pred.ml: Btb Bytes Char Ras

@@ -1,0 +1,1 @@
+lib/uarch/ras.mli:

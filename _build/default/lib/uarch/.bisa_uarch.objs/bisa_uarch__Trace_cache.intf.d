@@ -1,0 +1,1 @@
+lib/uarch/trace_cache.mli:

@@ -1,0 +1,266 @@
+module Block_prog = Bisa_isa.Block_prog
+module Ablock = Bisa_isa.Ablock
+
+type config = {
+  hist_bits : int;
+  pht_bits : int;
+  btb_sets : int;
+  btb_ways : int;
+  ras_depth : int;
+  naive_history : bool;
+}
+
+let default_config =
+  {
+    hist_bits = 14;
+    pht_bits = 14;
+    btb_sets = 512;
+    btb_ways = 4;
+    ras_depth = 32;
+    naive_history = false;
+  }
+
+(* A widened BTB entry: one successor slot per 3-bit path code. *)
+type entry = { slots : int array (* -1 = empty *) }
+
+(* PHT entries hold a small tree of 2-bit counters, one per decision-tree
+   node: node 0 predicts the trap direction, nodes 1-2 the second decision
+   (one per first-decision outcome), nodes 3-6 the third.  This is the
+   natural reading of the paper's "additional counters to predict the fault
+   operations": each deeper decision gets its own state, so training on the
+   taken-direction side never corrupts the other side's counters. *)
+let counters_per_entry = 7
+
+type t = {
+  cfg : config;
+  prog : Block_prog.t;
+  pht : Bytes.t;
+  mutable hist : int;
+  btb : entry Btb.t;
+  rbtb : entry Btb.t;
+      (** region-entry variant slots, keyed by the target region's
+          representative — shared by every call site / return into it *)
+  ibtb : int Btb.t;  (** indirect-jump last-target *)
+  ras : Ras.t;
+  mutable n_lookup : int;
+}
+
+let create cfg prog =
+  {
+    cfg;
+    prog;
+    pht = Bytes.make (counters_per_entry * (1 lsl cfg.pht_bits)) '\001';
+    hist = 0;
+    btb = Btb.create ~sets:cfg.btb_sets ~ways:cfg.btb_ways;
+    rbtb = Btb.create ~sets:cfg.btb_sets ~ways:cfg.btb_ways;
+    ibtb = Btb.create ~sets:cfg.btb_sets ~ways:cfg.btb_ways;
+    ras = Ras.create ~depth:cfg.ras_depth;
+    n_lookup = 0;
+  }
+
+let pht_index t b = (b * 0x9E3779B1 lxor t.hist) land ((1 lsl t.cfg.pht_bits) - 1)
+
+let counter t i k = Char.code (Bytes.get t.pht ((counters_per_entry * i) + k))
+
+let train t i k up =
+  let c = counter t i k in
+  let c' = if up then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set t.pht ((counters_per_entry * i) + k) (Char.chr c')
+
+(* Variant-index prediction within one direction's list, walking the
+   counter tree below the direction node. *)
+let predict_sub t i ~dir ~n =
+  if n <= 1 then 0
+  else begin
+    let b1 = if counter t i (1 + dir) >= 2 then 1 else 0 in
+    if n <= 2 then b1
+    else begin
+      let b2 = if counter t i (3 + (dir * 2) + b1) >= 2 then 1 else 0 in
+      min (n - 1) (b1 lor (b2 lsl 1))
+    end
+  end
+
+let train_sub t i ~dir ~n ~sub =
+  if n > 1 then begin
+    let b1 = sub land 1 in
+    train t i (1 + dir) (b1 = 1);
+    if n > 2 then train t i (3 + (dir * 2) + b1) (sub land 2 = 2)
+  end
+
+(* Successor path code: dir bit plus the variant index inside that
+   direction's set. *)
+let encode t b actual =
+  let dir1, dir0 = t.prog.succ_struct.(b) in
+  let index_in arr =
+    let rec go i =
+      if i >= Array.length arr then None else if arr.(i) = actual then Some i else go (i + 1)
+    in
+    go 0
+  in
+  match index_in dir1 with
+  | Some i -> Some (1, i land 3)
+  | None -> (
+    match index_in dir0 with Some i -> Some (0, i land 3) | None -> None)
+
+let code_of dir sub = (dir land 1) lor (sub lsl 1)
+
+(* How many history bits a prediction of [b]'s successor consumes: the
+   trap carries it explicitly; other terminators derive it from their
+   successor-set size. *)
+let shift_bits t b =
+  if t.cfg.naive_history then 3
+  else begin
+    match t.prog.blocks.(b).Ablock.term with
+    | Ablock.Trap { succ_log2; _ } -> succ_log2
+    | Ablock.Goto _ ->
+      let dir1, _ = t.prog.succ_struct.(b) in
+      let n = Array.length dir1 in
+      if n <= 1 then 0
+      else begin
+        let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
+        min 3 (bits n 0)
+      end
+    | Ablock.Call _ | Ablock.Return | Ablock.Ijump _ | Ablock.Halt -> 0
+  end
+
+(* BTB slot if filled, otherwise the best static fallback for the
+   direction. *)
+let slot_or t b ~dir ~sub ~fallback =
+  match Btb.find t.btb b with
+  | Some e ->
+    let s = e.slots.(code_of dir sub) in
+    if s >= 0 then s
+    else begin
+      let s0 = e.slots.(code_of dir 0) in
+      if s0 >= 0 then s0 else fallback
+    end
+  | None -> fallback
+
+let variant_for_direction t b ~dir =
+  let dir1, dir0 = t.prog.succ_struct.(b) in
+  let arr = if dir = 1 then dir1 else dir0 in
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let i = pht_index t b in
+    let sub = predict_sub t i ~dir ~n in
+    Some (slot_or t b ~dir ~sub ~fallback:arr.(0))
+  end
+
+(* Variant selection when the target {e region} is known but reached
+   indirectly (call entry, RAS-predicted return).  State is keyed by the
+   region's representative, not the jumping block: one return instruction
+   serves many call sites, and per-region state keeps the variant counters
+   and BTB slots coherent. *)
+let region_pht_index t rep =
+  (rep * 0x85EBCA6B lxor t.hist) land ((1 lsl t.cfg.pht_bits) - 1)
+
+let variant_in_group t ~rep =
+  let group = t.prog.variant_group.(rep) in
+  let n = Array.length group in
+  if n <= 1 then rep
+  else begin
+    let i = region_pht_index t rep in
+    let sub = predict_sub t i ~dir:1 ~n in
+    let fallback = group.(min sub (n - 1)) in
+    let candidate =
+      match Btb.find t.rbtb rep with
+      | Some e ->
+        let s = e.slots.(code_of 1 sub) in
+        if s >= 0 then s else fallback
+      | None -> fallback
+    in
+    if Array.exists (fun x -> x = candidate) group then candidate else fallback
+  end
+
+let predict t b =
+  t.n_lookup <- t.n_lookup + 1;
+  match t.prog.blocks.(b).Ablock.term with
+  | Ablock.Trap _ ->
+    let i = pht_index t b in
+    let dir = if counter t i 0 >= 2 then 1 else 0 in
+    variant_for_direction t b ~dir
+  | Ablock.Goto _ -> variant_for_direction t b ~dir:1
+  | Ablock.Call { callee; ret_to } ->
+    Ras.push t.ras ret_to;
+    Some (variant_in_group t ~rep:callee)
+  | Ablock.Return -> begin
+    match Ras.pop t.ras with
+    | Some rep -> Some (variant_in_group t ~rep)
+    | None -> None
+  end
+  | Ablock.Ijump _ -> Btb.find t.ibtb b
+  | Ablock.Halt -> None
+
+let predict_given_direction t b ~taken =
+  variant_for_direction t b ~dir:(if taken then 1 else 0)
+
+let update t ~block ~actual =
+  match t.prog.blocks.(block).Ablock.term with
+  | Ablock.Trap _ | Ablock.Goto _ -> begin
+    match encode t block actual with
+    | Some (dir, sub) ->
+      let dir1, dir0 = t.prog.succ_struct.(block) in
+      let n = Array.length (if dir = 1 then dir1 else dir0) in
+      let i = pht_index t block in
+      (match t.prog.blocks.(block).Ablock.term with
+      | Ablock.Trap _ -> train t i 0 (dir = 1)
+      | _ -> ());
+      train_sub t i ~dir ~n ~sub;
+      let e = Btb.find_or_insert t.btb block (fun () -> { slots = Array.make 8 (-1) }) in
+      e.slots.(code_of dir sub) <- actual;
+      let bits = shift_bits t block in
+      if bits > 0 then begin
+        (* Shift in the informative outcome bits: for a trap the direction
+           bit plus as many variant bits as fit; for a goto (no direction
+           decision) the variant bits themselves. *)
+        let code =
+          match t.prog.blocks.(block).Ablock.term with
+          | Ablock.Trap _ -> code_of dir sub
+          | _ -> sub
+        in
+        t.hist <-
+          ((t.hist lsl bits) lor (code land ((1 lsl bits) - 1)))
+          land ((1 lsl t.cfg.hist_bits) - 1)
+      end
+    | None ->
+      (* The committed successor is not in the static successor sets; only
+         possible around halt — nothing to learn. *)
+      ()
+  end
+  | Ablock.Ijump _ -> Btb.insert t.ibtb block actual
+  | Ablock.Call _ | Ablock.Return ->
+    (* Learn which variant of the target region was entered; state is
+       per-region (the group's representative). *)
+    let group = t.prog.variant_group.(actual) in
+    let n = Array.length group in
+    if n > 1 then begin
+      let rep = group.(0) in
+      let rec index_of i =
+        if i >= n then None else if group.(i) = actual then Some i else index_of (i + 1)
+      in
+      match index_of 0 with
+      | Some sub ->
+        let sub = sub land 3 in
+        let i = region_pht_index t rep in
+        train_sub t i ~dir:1 ~n ~sub;
+        let e =
+          Btb.find_or_insert t.rbtb rep (fun () -> { slots = Array.make 8 (-1) })
+        in
+        e.slots.(code_of 1 sub) <- actual;
+        (* The entered variant encodes real branch outcomes; they belong in
+           the history register like any other decision (modification 3:
+           shift the minimum number of bits that identifies it). *)
+        if not t.cfg.naive_history then begin
+          let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
+          let nbits = min 2 (bits n 0) in
+          if nbits > 0 then
+            t.hist <-
+              ((t.hist lsl nbits) lor (sub land ((1 lsl nbits) - 1)))
+              land ((1 lsl t.cfg.hist_bits) - 1)
+        end
+      | None -> ()
+    end
+  | Ablock.Halt -> ()
+
+let lookups t = t.n_lookup

@@ -1,0 +1,50 @@
+(** The block-structured ISA's next-block predictor: the Two-Level Adaptive
+    Branch Predictor with the paper's three modifications (section 4.3).
+
+    1. BTB entries are widened to hold all (up to eight) control-flow
+       successors of an atomic block, indexed by a 3-bit path code; only
+       the trap's two explicit targets are known a priori — the remaining
+       slots fill in lazily as fault mispredictions reveal them.
+    2. Each PHT entry holds three 2-bit counters: one predicting the trap
+       direction and one per potential fault operation; together they form
+       the 3-bit code selecting the successor.
+    3. The history register shifts in only [succ_log2] bits per prediction
+       (the number carried by the trap operation), so blocks with few
+       successors do not waste history capacity.
+
+    The path code of a successor [s] of block [b] is
+    [dir | (variant_index << 1)] where [dir] says which trap direction's
+    variant set contains [s] and [variant_index] is [s]'s position in it. *)
+
+type config = {
+  hist_bits : int;
+  pht_bits : int;
+  btb_sets : int;
+  btb_ways : int;
+  ras_depth : int;
+  naive_history : bool;
+      (** ablation: always shift 3 bits instead of [succ_log2] — the
+          behaviour modification 3 exists to avoid *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> Bisa_isa.Block_prog.t -> t
+
+val predict : t -> int -> int option
+(** [predict t b]: the block the front end would fetch after [b], or
+    [None] when it has no basis (empty RAS, cold indirect BTB). *)
+
+val predict_given_direction : t -> int -> taken:bool -> int option
+(** Variant choice once the trap direction has resolved: after a
+    direction-level misprediction the front end refetches not the blind
+    representative but the variant the deeper counters and BTB slots point
+    at within the now-known direction. *)
+
+val update : t -> block:int -> actual:int -> unit
+(** Train with the successor that actually committed.  Counters, history
+    (variable shift), BTB successor slots, and RAS all update here. *)
+
+val lookups : t -> int

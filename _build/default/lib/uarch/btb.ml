@@ -1,0 +1,62 @@
+type 'a way = { mutable key : int; mutable payload : 'a option; mutable stamp : int }
+
+type 'a t = { sets : int; ways : 'a way array array; mutable tick : int }
+
+let create ~sets ~ways =
+  assert (sets > 0 && ways > 0);
+  {
+    sets;
+    ways =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ -> { key = -1; payload = None; stamp = 0 }));
+    tick = 0;
+  }
+
+let set_of t key = t.ways.(key mod t.sets)
+
+let find t key =
+  let set = set_of t key in
+  t.tick <- t.tick + 1;
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).key = key then begin
+      set.(i).stamp <- t.tick;
+      set.(i).payload
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let insert t key payload =
+  let set = set_of t key in
+  t.tick <- t.tick + 1;
+  let slot =
+    let rec existing i =
+      if i >= Array.length set then None
+      else if set.(i).key = key then Some set.(i)
+      else existing (i + 1)
+    in
+    match existing 0 with
+    | Some w -> w
+    | None ->
+      let victim = ref set.(0) in
+      Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
+      !victim
+  in
+  slot.key <- key;
+  slot.payload <- Some payload;
+  slot.stamp <- t.tick
+
+let find_or_insert t key make =
+  match find t key with
+  | Some p -> p
+  | None ->
+    let p = make () in
+    insert t key p;
+    p
+
+let entries t =
+  Array.fold_left
+    (fun acc set ->
+      acc + Array.fold_left (fun a w -> if w.payload <> None then a + 1 else a) 0 set)
+    0 t.ways

@@ -1,0 +1,18 @@
+(** Generic set-associative branch-target buffer with LRU replacement.
+
+    Keys are instruction indexes (conventional) or block ids
+    (block-structured); the payload is whatever the predictor stores per
+    entry — a single target, or the widened 8-successor entry the paper's
+    modification 1 calls for. *)
+
+type 'a t
+
+val create : sets:int -> ways:int -> 'a t
+val find : 'a t -> int -> 'a option
+(** Refreshes LRU on hit. *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** Insert or overwrite; evicts LRU on conflict. *)
+
+val find_or_insert : 'a t -> int -> (unit -> 'a) -> 'a
+val entries : 'a t -> int

@@ -1,0 +1,81 @@
+type config = { size_bytes : int; assoc : int; line_bytes : int }
+
+let kb n = n * 1024
+let config_16k = { size_bytes = kb 16; assoc = 4; line_bytes = 32 }
+let config_32k = { size_bytes = kb 32; assoc = 4; line_bytes = 32 }
+let config_64k = { size_bytes = kb 64; assoc = 4; line_bytes = 32 }
+
+type t = {
+  cfg : config;
+  sets : int;
+  line_shift : int;
+  tags : int array;  (** sets * assoc; -1 = invalid *)
+  lru : int array;  (** larger = more recently used *)
+  mutable tick : int;
+  mutable n_access : int;
+  mutable n_miss : int;
+}
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let create cfg =
+  if cfg.size_bytes mod (cfg.assoc * cfg.line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc*line";
+  let sets = cfg.size_bytes / (cfg.assoc * cfg.line_bytes) in
+  {
+    cfg;
+    sets;
+    line_shift = log2i cfg.line_bytes;
+    tags = Array.make (sets * cfg.assoc) (-1);
+    lru = Array.make (sets * cfg.assoc) 0;
+    tick = 0;
+    n_access = 0;
+    n_miss = 0;
+  }
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.cfg.assoc in
+  t.n_access <- t.n_access + 1;
+  t.tick <- t.tick + 1;
+  let rec find i = if i >= t.cfg.assoc then None
+    else if t.tags.(base + i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.lru.(base + i) <- t.tick;
+    true
+  | None ->
+    t.n_miss <- t.n_miss + 1;
+    (* Evict the least recently used way. *)
+    let victim = ref 0 in
+    for i = 1 to t.cfg.assoc - 1 do
+      if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.lru.(base + !victim) <- t.tick;
+    false
+
+let access_range t addr len =
+  assert (len >= 0);
+  let first = addr lsr t.line_shift in
+  let last = (addr + max 0 (len - 1)) lsr t.line_shift in
+  let misses = ref 0 in
+  for line = first to last do
+    if not (access t (line lsl t.line_shift)) then incr misses
+  done;
+  !misses
+
+let accesses t = t.n_access
+let misses t = t.n_miss
+
+let reset_stats t =
+  t.n_access <- 0;
+  t.n_miss <- 0
+
+let lines t = t.sets * t.cfg.assoc

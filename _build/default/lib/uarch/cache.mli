@@ -1,0 +1,31 @@
+(** Set-associative cache model with LRU replacement.
+
+    Models tags only (contents live in the simulated memory); used for both
+    the instruction cache (whose size the paper sweeps in figures 6 and 7)
+    and the 16KB L1 data cache. *)
+
+type config = { size_bytes : int; assoc : int; line_bytes : int }
+
+val kb : int -> int
+(** [kb n] = n * 1024. *)
+
+val config_16k : config
+val config_32k : config
+val config_64k : config
+(** The paper's icache points: 16/32/64KB, 4-way, 32-byte lines. *)
+
+type t
+
+val create : config -> t
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; true on hit.
+    Allocates on miss. *)
+
+val access_range : t -> int -> int -> int
+(** [access_range t addr len] touches every line of \[addr, addr+len);
+    returns the number of misses. *)
+
+val accesses : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val lines : t -> int

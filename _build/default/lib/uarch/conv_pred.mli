@@ -1,0 +1,39 @@
+(** Branch predictor for the conventional core: a Two-Level Adaptive
+    predictor (global history register xor-indexing a pattern history table
+    of 2-bit counters, the GAs/gshare organization of Yeh & Patt), plus a
+    branch target buffer for taken-branch and indirect targets and a
+    return-address stack.
+
+    Trace-driven interface: each control instruction reports its outcome
+    and the predictor returns whether the front end would have fetched the
+    right successor, updating itself immediately. *)
+
+type config = {
+  hist_bits : int;
+  pht_bits : int;
+  btb_sets : int;
+  btb_ways : int;
+  ras_depth : int;
+}
+
+val default_config : config
+
+type t
+
+type verdict = Correct | Wrong_direction | Wrong_target | Ras_miss
+
+val create : config -> t
+
+val on_branch : t -> pc:int -> taken:bool -> target:int -> verdict
+(** Conditional compare-and-branch: direction from the PHT, target from
+    the BTB when predicted taken. *)
+
+val on_jump : t -> pc:int -> target:int -> verdict
+(** Unconditional direct jump: target decodable, always correct. *)
+
+val on_call : t -> pc:int -> target:int -> return_to:int -> verdict
+val on_return : t -> pc:int -> target:int -> verdict
+val on_indirect : t -> pc:int -> target:int -> verdict
+
+val mispredicts : t -> int
+val predictions : t -> int

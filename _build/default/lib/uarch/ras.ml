@@ -1,0 +1,21 @@
+type t = { slots : int array; mutable top : int; mutable count : int }
+
+let create ~depth =
+  assert (depth > 0);
+  { slots = Array.make depth 0; top = 0; count = 0 }
+
+let push t v =
+  t.slots.(t.top) <- v;
+  t.top <- (t.top + 1) mod Array.length t.slots;
+  if t.count < Array.length t.slots then t.count <- t.count + 1
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    t.top <- (t.top + Array.length t.slots - 1) mod Array.length t.slots;
+    t.count <- t.count - 1;
+    Some t.slots.(t.top)
+  end
+
+let depth t = Array.length t.slots
+let occupancy t = t.count

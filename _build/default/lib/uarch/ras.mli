@@ -1,0 +1,12 @@
+(** Return-address stack: a fixed-depth circular predictor for return
+    targets (overflow silently wraps, as in real hardware). *)
+
+type t
+
+val create : depth:int -> t
+val push : t -> int -> unit
+val pop : t -> int option
+(** [None] when empty (predict nothing; counts as a mispredict). *)
+
+val depth : t -> int
+val occupancy : t -> int

@@ -1,0 +1,32 @@
+type config = { sets : int; ways : int; max_blocks : int; max_ops : int }
+
+let default_config = { sets = 64; ways = 4; max_blocks = 3; max_ops = 16 }
+
+type t = {
+  cfg : config;
+  table : int list Btb.t;  (** key: first block start; payload: successor starts *)
+  mutable n_lookup : int;
+  mutable n_hit : int;
+}
+
+let create cfg = { cfg; table = Btb.create ~sets:cfg.sets ~ways:cfg.ways; n_lookup = 0; n_hit = 0 }
+
+let lookup t ~start =
+  t.n_lookup <- t.n_lookup + 1;
+  match Btb.find t.table start with
+  | Some succ ->
+    t.n_hit <- t.n_hit + 1;
+    Some succ
+  | None -> None
+
+let fill t ~starts ~total_ops =
+  match starts with
+  | first :: rest
+    when rest <> []
+         && List.length starts <= t.cfg.max_blocks
+         && total_ops <= t.cfg.max_ops ->
+    Btb.insert t.table first rest
+  | _ -> ()
+
+let hits t = t.n_hit
+let lookups t = t.n_lookup

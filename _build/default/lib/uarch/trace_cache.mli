@@ -1,0 +1,37 @@
+(** A trace cache for the conventional core (Rotenberg/Bennett/Smith 1996,
+    the paper's reference [19] and its closest rival).
+
+    Records sequences of up to [max_blocks] dynamically-consecutive basic
+    blocks (at most [max_ops] operations) keyed by the first block's
+    address; when the front end is about to fetch a block whose stored
+    trace matches the path actually taken, the whole trace is delivered in
+    one cycle from the trace cache (no icache access).  The paper's
+    contrast: the trace cache combines blocks at run time into a small
+    dedicated cache, block enlargement at compile time into the whole
+    icache. *)
+
+type config = {
+  sets : int;
+  ways : int;
+  max_blocks : int;  (** paper's reference design: 3 *)
+  max_ops : int;  (** the 16-wide fetch limit *)
+}
+
+val default_config : config
+(** 64 sets x 4 ways of up-to-16-op, up-to-3-block traces. *)
+
+type t
+
+val create : config -> t
+
+val lookup : t -> start:int -> int list option
+(** [lookup t ~start] is the stored successor-block start sequence (the
+    second and later blocks of the trace), if a trace starting at [start]
+    is cached. *)
+
+val fill : t -> starts:int list -> total_ops:int -> unit
+(** Record a trace: [starts] is the full block-start sequence (first
+    element is the key).  Oversized traces are ignored. *)
+
+val hits : t -> int
+val lookups : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/wk_compress.mli:

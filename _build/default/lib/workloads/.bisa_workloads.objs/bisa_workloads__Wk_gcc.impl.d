@@ -1,0 +1,1 @@
+lib/workloads/wk_gcc.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/wk_ijpeg.mli:

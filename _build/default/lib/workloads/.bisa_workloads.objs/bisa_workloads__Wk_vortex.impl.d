@@ -1,0 +1,1 @@
+lib/workloads/wk_vortex.ml: List Printf String

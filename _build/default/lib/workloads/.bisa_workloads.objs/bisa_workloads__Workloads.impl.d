@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Bisa_compiler List Option Runtime Wk_compress Wk_gcc Wk_go Wk_ijpeg Wk_li Wk_m88ksim Wk_perl Wk_scientific Wk_vortex

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Bisa_backend Bisa_compiler

@@ -1,0 +1,49 @@
+let source =
+  {|
+// ---- runtime library (never block-enlarged) ----
+int __rng_state;
+
+int rng_seed(int s) {
+  __rng_state = s * 2654435761 + 1;
+  if (__rng_state == 0) { __rng_state = 88172645463325; }
+  return 0;
+}
+
+int rng_next() {
+  int x = __rng_state;
+  x = x ^ (x << 13);
+  x = x ^ (x >> 7);
+  x = x ^ (x << 17);
+  x = x & 4611686018427387903; // keep it positive and well inside 63 bits
+  if (x == 0) { x = 88172645463325; }
+  __rng_state = x;
+  return x;
+}
+
+int rng_range(int n) {
+  if (n <= 0) { return 0; }
+  return rng_next() % n;
+}
+
+int iabs(int x) { if (x < 0) { return -x; } return x; }
+int imin(int a, int b) { if (a < b) { return a; } return b; }
+int imax(int a, int b) { if (a > b) { return a; } return b; }
+
+int iclamp(int x, int lo, int hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+
+int mix_hash(int x) {
+  x = x ^ (x >> 30);
+  x = x * 1327217885;
+  x = x ^ (x >> 27);
+  x = x * 1141667571;
+  x = x ^ (x >> 31);
+  return x & 4611686018427387903;
+}
+|}
+
+let library_funcs =
+  [ "rng_seed"; "rng_next"; "rng_range"; "iabs"; "imin"; "imax"; "iclamp"; "mix_hash" ]

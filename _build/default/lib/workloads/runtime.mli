@@ -1,0 +1,13 @@
+(** The MiniC runtime library linked into every workload.
+
+    Compiled with the [library] flag, so block enlargement never touches it
+    (paper termination rule 5: "blocks in library functions are not
+    combined") — exactly like the paper's system libraries that could not
+    be recompiled. *)
+
+val source : string
+(** MiniC source of the runtime: xorshift PRNG, abs/min/max/clamp, and a
+    mixing hash. *)
+
+val library_funcs : string list
+(** Names to pass as [library_funcs] to the compiler. *)

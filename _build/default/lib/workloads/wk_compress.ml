@@ -1,0 +1,126 @@
+(* 129.compress surrogate: LZW compression over a synthetic, moderately
+   repetitive byte stream.  Character: small code footprint, hash-probe
+   loops, moderately predictable branches — in the paper compress is one of
+   the "small benchmarks" whose icache behaviour is flat across sizes. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int cin[8192];
+int dict_prefix[4096];
+int dict_char[4096];
+int dict_hash[8192];
+int dict_next;
+int out_checksum;
+int out_count;
+
+int hash_slot(int prefix, int ch) {
+  int x = prefix * 311 + ch;
+  int y = x * 2654435761;
+  int z = y ^ (x >> 9);
+  return (z ^ (z >> 17)) & 8191;
+}
+
+// Returns the dictionary code for (prefix, ch), or -1.
+int dict_lookup(int prefix, int ch) {
+  int h = hash_slot(prefix, ch);
+  int probe = dict_hash[h];
+  while (probe != 0) {
+    int code = probe - 1;
+    if (dict_prefix[code] == prefix && dict_char[code] == ch) {
+      return code;
+    }
+    h = h + 1;
+    if (h >= 8192) { h = 0; }
+    probe = dict_hash[h];
+  }
+  return -1;
+}
+
+int dict_add(int prefix, int ch) {
+  int code;
+  if (dict_next >= 4096) { return -1; }
+  code = dict_next;
+  dict_next = dict_next + 1;
+  dict_prefix[code] = prefix;
+  dict_char[code] = ch;
+  int h = hash_slot(prefix, ch);
+  while (dict_hash[h] != 0) {
+    h = h + 1;
+    if (h >= 8192) { h = 0; }
+  }
+  dict_hash[h] = code + 1;
+  return code;
+}
+
+int dict_reset() {
+  int i;
+  for (i = 0; i < 8192; i = i + 1) { dict_hash[i] = 0; }
+  dict_next = 256;
+  return 0;
+}
+
+int emit(int code) {
+  out_checksum = (out_checksum ^ (code * 2654435761 + 977)) & 1073741823;
+  out_count = out_count + 1;
+  return 0;
+}
+
+// Synthetic input: repeated motifs with noise, so the dictionary gets
+// real hits like text does.
+int iseed;
+
+int make_input(int n, int round) {
+  int i;
+  int motif = 17 + round * 7;
+  for (i = 0; i < n; i = i + 1) {
+    iseed = (iseed * 1103515245 + 12345) & 1073741823;
+    int r = (iseed >> 6) %% 100;
+    if (r < 70) {
+      cin[i] = (motif + i %% 11) & 255;
+    } else {
+      if (r < 90) {
+        cin[i] = (i * 3 + round) & 63;
+      } else {
+        cin[i] = (iseed >> 13) & 255;
+      }
+    }
+  }
+  return 0;
+}
+
+int compress_round(int n) {
+  int prefix = cin[0];
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    int ch = cin[i];
+    int code = dict_lookup(prefix, ch);
+    if (code >= 0) {
+      prefix = code;
+    } else {
+      emit(prefix);
+      dict_add(prefix, ch);
+      prefix = ch;
+    }
+  }
+  emit(prefix);
+  return 0;
+}
+
+int main() {
+  int round;
+  rng_seed(420);
+  iseed = rng_range(65536) + 5;
+  out_checksum = 7;
+  for (round = 0; round < %d; round = round + 1) {
+    int n = 4096 + (round %% 3) * 1024;
+    make_input(n, round);
+    dict_reset();
+    compress_round(n);
+    print_int(out_checksum);
+  }
+  print_int(out_count);
+  return out_checksum & 255;
+}
+|}
+    scale

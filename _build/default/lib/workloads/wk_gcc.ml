@@ -1,0 +1,236 @@
+(* 126.gcc surrogate: an expression "compiler" — builds random expression
+   trees, then runs folding, strength-reduction, local CSE and a
+   switch-dispatched code-emission pass.  Character: large static code
+   footprint (many distinct per-opcode routines, generated with distinct
+   constants), many small basic blocks, many weakly-biased branches — the
+   benchmark where the paper's block-structured executables lose the most
+   icache performance (figures 6/7). *)
+
+let n_kinds = 20
+
+let cost_fn k =
+  let a = 2 + (k * 3 mod 7) and b = 1 + (k * 5 mod 9) and c = k mod 4 in
+  Printf.sprintf
+    {|
+int cost_%d(int l, int r) {
+  int v = l * %d + r * %d + %d;
+  int w0 = (l << 1) ^ (r >> 2);
+  int w1 = (l - r) * %d;
+  int w2 = (l & 255) + (r & 127) + %d;
+  int w3 = (l >> 3) ^ (r << 2);
+  v = v + (w0 & 63) + (w1 & 31) + (w2 & 15) + (w3 & 7);
+  if (l > r + %d) { v = v - l / 2; }
+  if ((v & 15) == %d) { v = v + %d; }
+  if (v < 0) { v = -v + 1; }
+  return v %% 251;
+}
+|}
+    k a b c (a + 2) (b + 3) (b + 1) (k mod 16) (a + b)
+
+let emit_fn k =
+  let a = 3 + (k * 11 mod 13) and b = 1 + (k * 7 mod 5) in
+  Printf.sprintf
+    {|
+int emit_%d(int l, int r, int extra) {
+  int code = l * %d + r * %d + extra;
+  int m0 = (l ^ r) * %d;
+  int m1 = (l + extra) << 2;
+  int m2 = (r - extra) >> 1;
+  int m3 = (l & 1023) * (r & 63);
+  code = code + ((m0 ^ m1) & 255) + ((m2 + m3) & 127);
+  code = code ^ (code >> %d);
+  if ((code & 15) == %d) { code = code + cost_%d(l & 255, r & 255); }
+  emit_word(code & 65535);
+  if (extra > %d) { emit_word((code >> 8) & 255); }
+  return code & 1023;
+}
+|}
+    k a b (b + 5)
+    (2 + (k mod 5))
+    (k mod 8) k
+    (40 + (k * 3))
+
+let source ~scale =
+  let costs = String.concat "" (List.init n_kinds cost_fn) in
+  let emits = String.concat "" (List.init n_kinds emit_fn) in
+  let emit_cases =
+    String.concat "\n"
+      (List.init n_kinds (fun k ->
+           if k = n_kinds - 1 then
+             Printf.sprintf "      default: v = emit_%d(lv, rv, node_val[n]);" k
+           else Printf.sprintf "      case %d: v = emit_%d(lv, rv, node_val[n]);" k k))
+  in
+  Printf.sprintf
+    {|
+int node_kind[8192];
+int node_lhs[8192];
+int node_rhs[8192];
+int node_val[8192];
+int node_count;
+int cse_hash[4096];
+int cse_node[4096];
+int out_checksum;
+int emitted;
+
+int emit_word(int w) {
+  out_checksum = (out_checksum ^ (w * 2654435761 + 13)) & 1073741823;
+  emitted = emitted + 1;
+  return 0;
+}
+
+%s
+%s
+
+int new_node(int kind, int lhs, int rhs, int val) {
+  int n = node_count;
+  if (n >= 8192) { return 0; }
+  node_count = n + 1;
+  node_kind[n] = kind;
+  node_lhs[n] = lhs;
+  node_rhs[n] = rhs;
+  node_val[n] = val;
+  return n;
+}
+
+int tseed;
+
+// Random expression tree of the given depth; returns node index.  The
+// generator is inlined (one LCG step per node) so tree building looks like
+// application code, not library code.
+int build_tree(int depth) {
+  tseed = (tseed * 1103515245 + 12345) & 1073741823;
+  int r0 = tseed >> 7;
+  if (depth <= 0 || r0 %% 100 < 18) {
+    return new_node(0, 0, 0, (r0 >> 8) %% 1000 - 300);
+  }
+  int kind = 1 + (r0 >> 5) %% %d;
+  int l = build_tree(depth - 1);
+  int r = build_tree(depth - 1 - ((r0 >> 16) & 1));
+  return new_node(kind, l, r, (r0 >> 9) & 63);
+}
+
+// Constant folding: kinds 1-4 behave like +,-,*,/ on constant leaves.
+int fold(int n) {
+  int kind = node_kind[n];
+  if (kind == 0) { return n; }
+  int l = fold(node_lhs[n]);
+  int r = fold(node_rhs[n]);
+  node_lhs[n] = l;
+  node_rhs[n] = r;
+  if (node_kind[l] == 0 && node_kind[r] == 0 && kind <= 4) {
+    int a = node_val[l];
+    int b = node_val[r];
+    int v = 0;
+    switch (kind) {
+      case 1: v = a + b;
+      case 2: v = a - b;
+      case 3: v = a * b;
+      case 4: if (b != 0) { v = a / b; }
+    }
+    node_kind[n] = 0;
+    node_val[n] = v & 65535;
+  }
+  return n;
+}
+
+// Strength reduction: multiply by small power of two becomes a shift
+// (kind 5), division likewise (kind 6).
+int strength_reduce(int n) {
+  int kind = node_kind[n];
+  if (kind == 0) { return n; }
+  strength_reduce(node_lhs[n]);
+  strength_reduce(node_rhs[n]);
+  int r = node_rhs[n];
+  if (node_kind[r] == 0) {
+    int v = node_val[r];
+    if (kind == 3 && (v == 2 || v == 4 || v == 8 || v == 16)) {
+      node_kind[n] = 5;
+    }
+    if (kind == 4 && (v == 2 || v == 4 || v == 8 || v == 16)) {
+      node_kind[n] = 6;
+    }
+  }
+  return n;
+}
+
+int node_signature(int n) {
+  int a = node_kind[n] * 65599;
+  int b = node_lhs[n] * 251;
+  int c = node_rhs[n] * 17;
+  int d = node_val[n] * 2654435761;
+  int x = (a + b) ^ (c + d);
+  return (x ^ (x >> 13)) & 4611686018427387903;
+}
+
+// Local CSE over the node table.
+int cse_pass() {
+  int i;
+  int hits = 0;
+  for (i = 0; i < 4096; i = i + 1) { cse_hash[i] = -1; }
+  for (i = 0; i < node_count; i = i + 1) {
+    if (node_kind[i] != 0) {
+      int sig = node_signature(i);
+      int slot = sig %% 4096;
+      int probes = 0;
+      int done = 0;
+      while (done == 0 && probes < 8) {
+        int other = cse_hash[slot];
+        if (other < 0) {
+          cse_hash[slot] = sig;
+          cse_node[slot] = i;
+          done = 1;
+        } else {
+          if (other == sig) {
+            hits = hits + 1;
+            node_val[i] = node_val[cse_node[slot]];
+            done = 1;
+          } else {
+            slot = (slot + 1) %% 4096;
+            probes = probes + 1;
+          }
+        }
+      }
+    }
+  }
+  return hits;
+}
+
+// Code emission: switch-dispatch to per-opcode emitters.
+int emit_node(int n) {
+  int kind = node_kind[n];
+  if (kind == 0) {
+    emit_word(node_val[n] & 4095);
+    return node_val[n] & 255;
+  }
+  int lv = emit_node(node_lhs[n]);
+  int rv = emit_node(node_rhs[n]);
+  int v = 0;
+  switch (kind) {
+%s
+  }
+  return v;
+}
+
+int main() {
+  int iter;
+  rng_seed(1234);
+  tseed = rng_range(65536) + 17;
+  out_checksum = 3;
+  for (iter = 0; iter < %d; iter = iter + 1) {
+    node_count = 0;
+    int roots = 40;
+    int i;
+    for (i = 0; i < roots; i = i + 1) {
+      int root = build_tree(5 + (i %% 4));
+      fold(root);
+      strength_reduce(root);
+      out_checksum = (out_checksum + emit_node(root)) & 1073741823;
+    }
+    out_checksum = (out_checksum + cse_pass()) & 1073741823;
+    print_int(out_checksum);
+  }
+  print_int(emitted);
+  return out_checksum & 255;
+}
+|}
+    costs emits (n_kinds - 1) emit_cases scale

@@ -1,0 +1,147 @@
+(* 099.go surrogate: board-position evaluator with many small basic blocks
+   and data-dependent, nearly unbiased branches — the paper's worst case:
+   unbiased branches mean every combination of merged blocks is hot, so
+   block enlargement's code duplication blows up the icache footprint while
+   fault mispredictions stay frequent (go is the one benchmark that LOSES
+   with block structuring, figure 3).
+
+   Pattern evaluators are generated with distinct weight constants to give
+   the surrogate a realistically large static footprint. *)
+
+let board = 19
+
+let pattern_fn i =
+  (* Distinct coefficients per evaluator, so the functions do not collapse
+     into one — like go's many hand-written pattern routines. *)
+  let a = 3 + (i * 7 mod 11) and b = 1 + (i * 5 mod 7) and c = 2 + (i mod 5) in
+  Printf.sprintf
+    {|
+int pat_%d(int p) {
+  int me = board[p];
+  int n = board[p - 1] * %d + board[p + 1] * %d;
+  int v = n + board[p - %d] + board[p + %d];
+  if (me == 1 && v > %d) { return %d; }
+  if (me == 2 && v < %d) { return -%d; }
+  if ((v & 1) == 1) { return %d; }
+  return v %% 5 - 2;
+}
+|}
+    i a b board board (a + c) (b + c) (b - 4) (a + 1) c
+
+let source ~scale =
+  let patterns = String.concat "" (List.init 24 pattern_fn) in
+  Printf.sprintf
+    {|
+int board[400];
+int visited[400];
+int stackbuf[400];
+int score;
+
+%s
+
+int flood_territory(int start, int color) {
+  int sp = 0;
+  int count = 0;
+  stackbuf[0] = start;
+  sp = 1;
+  while (sp > 0) {
+    sp = sp - 1;
+    int p = stackbuf[sp];
+    if (visited[p] == 0 && board[p] == color) {
+      visited[p] = 1;
+      count = count + 1;
+      int r = p / %d;
+      int c = p %% %d;
+      if (r > 0) { stackbuf[sp] = p - %d; sp = sp + 1; }
+      if (r < %d) { stackbuf[sp] = p + %d; sp = sp + 1; }
+      if (c > 0) { stackbuf[sp] = p - 1; sp = sp + 1; }
+      if (c < %d) { stackbuf[sp] = p + 1; sp = sp + 1; }
+    }
+  }
+  return count;
+}
+
+int evaluate_position() {
+  int p;
+  int acc = 0;
+  for (p = %d; p < %d; p = p + 1) {
+    int which = (board[p] * 7 + p) %% 24;
+    switch (which) {
+      case 0: acc = acc + pat_0(p);
+      case 1: acc = acc + pat_1(p);
+      case 2: acc = acc + pat_2(p);
+      case 3: acc = acc + pat_3(p);
+      case 4: acc = acc + pat_4(p);
+      case 5: acc = acc + pat_5(p);
+      case 6: acc = acc + pat_6(p);
+      case 7: acc = acc + pat_7(p);
+      case 8: acc = acc + pat_8(p);
+      case 9: acc = acc + pat_9(p);
+      case 10: acc = acc + pat_10(p);
+      case 11: acc = acc + pat_11(p);
+      case 12: acc = acc + pat_12(p);
+      case 13: acc = acc + pat_13(p);
+      case 14: acc = acc + pat_14(p);
+      case 15: acc = acc + pat_15(p);
+      case 16: acc = acc + pat_16(p);
+      case 17: acc = acc + pat_17(p);
+      case 18: acc = acc + pat_18(p);
+      case 19: acc = acc + pat_19(p);
+      case 20: acc = acc + pat_20(p);
+      case 21: acc = acc + pat_21(p);
+      case 22: acc = acc + pat_22(p);
+      default: acc = acc + pat_23(p);
+    }
+  }
+  return acc;
+}
+
+int play_random_moves(int n) {
+  int k;
+  for (k = 0; k < n; k = k + 1) {
+    int p = %d + rng_range(%d);
+    int color = 1 + (rng_next() & 1);
+    if (board[p] == 0) {
+      board[p] = color;
+    } else {
+      if ((rng_next() & 3) == 0) { board[p] = 0; }
+    }
+  }
+  return 0;
+}
+
+int count_all_territory() {
+  int p;
+  int total = 0;
+  for (p = 0; p < 400; p = p + 1) { visited[p] = 0; }
+  for (p = %d; p < %d; p = p + 1) {
+    if (visited[p] == 0 && board[p] != 0) {
+      int t = flood_territory(p, board[p]);
+      if (t > 3) { total = total + t; } else { total = total - 1; }
+    }
+  }
+  return total;
+}
+
+int main() {
+  int gen;
+  rng_seed(99);
+  for (gen = 0; gen < %d; gen = gen + 1) {
+    play_random_moves(60);
+    score = score + evaluate_position();
+    if ((gen & 3) == 0) {
+      score = score + count_all_territory();
+    }
+    print_int(score & 65535);
+  }
+  return score & 255;
+}
+|}
+    patterns board board board (board - 1) board (board - 1)
+    (board + 1)
+    ((board * board) - board - 1)
+    (board + 1)
+    ((board * board) - 2 * board - 2)
+    (board + 1)
+    ((board * board) - board - 1)
+    scale

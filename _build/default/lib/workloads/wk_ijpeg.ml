@@ -1,0 +1,132 @@
+(* 132.ijpeg surrogate: integer DCT + quantization + zigzag RLE over a
+   synthetic image.  Character: loop-dominated, long straight-line basic
+   blocks, highly predictable branches — enlargement gains little because
+   the blocks are already near issue width, and the icache never hurts
+   (the paper groups ijpeg with the small flat benchmarks). *)
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int image[16384];
+int blk[64];
+int tmp[64];
+int quant[64];
+int zigzag[64];
+int out_checksum;
+
+int init_tables() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int r = i / 8;
+    int c = i %% 8;
+    quant[i] = 8 + r + c * 2;
+  }
+  // Diagonal scan order (a zigzag without the alternation, which the
+  // surrogate does not need).
+  int k = 0;
+  int s;
+  for (s = 0; s <= 14; s = s + 1) {
+    int r;
+    for (r = 0; r <= 7; r = r + 1) {
+      int c = s - r;
+      if (c >= 0 && c <= 7) {
+        zigzag[k] = r * 8 + c;
+        k = k + 1;
+      }
+    }
+  }
+  return 0;
+}
+
+// One-dimensional 8-point integer DCT approximation (row [base..base+7]
+// of blk into tmp), written as one long straight-line block.
+int dct_row(int base) {
+  int s0 = blk[base] + blk[base + 7];
+  int s1 = blk[base + 1] + blk[base + 6];
+  int s2 = blk[base + 2] + blk[base + 5];
+  int s3 = blk[base + 3] + blk[base + 4];
+  int d0 = blk[base] - blk[base + 7];
+  int d1 = blk[base + 1] - blk[base + 6];
+  int d2 = blk[base + 2] - blk[base + 5];
+  int d3 = blk[base + 3] - blk[base + 4];
+  tmp[base] = s0 + s1 + s2 + s3;
+  tmp[base + 4] = s0 - s1 - s2 + s3;
+  tmp[base + 2] = (s0 - s3) * 17 / 16 + (s1 - s2) * 7 / 16;
+  tmp[base + 6] = (s0 - s3) * 7 / 16 - (s1 - s2) * 17 / 16;
+  tmp[base + 1] = d0 * 25 / 16 + d1 * 21 / 16 + d2 * 14 / 16 + d3 * 5 / 16;
+  tmp[base + 3] = d0 * 21 / 16 - d1 * 5 / 16 - d2 * 25 / 16 - d3 * 14 / 16;
+  tmp[base + 5] = d0 * 14 / 16 - d1 * 25 / 16 + d2 * 5 / 16 + d3 * 21 / 16;
+  tmp[base + 7] = d0 * 5 / 16 - d1 * 14 / 16 + d2 * 21 / 16 - d3 * 25 / 16;
+  return 0;
+}
+
+int dct_col(int base) {
+  int s0 = tmp[base] + tmp[base + 56];
+  int s1 = tmp[base + 8] + tmp[base + 48];
+  int s2 = tmp[base + 16] + tmp[base + 40];
+  int s3 = tmp[base + 24] + tmp[base + 32];
+  int d0 = tmp[base] - tmp[base + 56];
+  int d1 = tmp[base + 8] - tmp[base + 48];
+  int d2 = tmp[base + 16] - tmp[base + 40];
+  int d3 = tmp[base + 24] - tmp[base + 32];
+  blk[base] = (s0 + s1 + s2 + s3) / 8;
+  blk[base + 32] = (s0 - s1 - s2 + s3) / 8;
+  blk[base + 16] = ((s0 - s3) * 17 / 16 + (s1 - s2) * 7 / 16) / 8;
+  blk[base + 48] = ((s0 - s3) * 7 / 16 - (s1 - s2) * 17 / 16) / 8;
+  blk[base + 8] = (d0 * 25 / 16 + d1 * 21 / 16 + d2 * 14 / 16 + d3 * 5 / 16) / 8;
+  blk[base + 24] = (d0 * 21 / 16 - d1 * 5 / 16 - d2 * 25 / 16 - d3 * 14 / 16) / 8;
+  blk[base + 40] = (d0 * 14 / 16 - d1 * 25 / 16 + d2 * 5 / 16 + d3 * 21 / 16) / 8;
+  blk[base + 56] = (d0 * 5 / 16 - d1 * 14 / 16 + d2 * 21 / 16 - d3 * 25 / 16) / 8;
+  return 0;
+}
+
+int encode_block(int bx) {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { blk[i] = image[bx * 64 + i] - 128; }
+  for (i = 0; i < 8; i = i + 1) { dct_row(i * 8); }
+  for (i = 0; i < 8; i = i + 1) { dct_col(i); }
+  // Quantize.
+  for (i = 0; i < 64; i = i + 1) { blk[i] = blk[i] / quant[i]; }
+  // Zigzag + run-length of zeros.
+  int run = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int v = blk[zigzag[i]];
+    if (v == 0) {
+      run = run + 1;
+    } else {
+      out_checksum = (out_checksum ^ (run * 2654435761 + 55)) & 1073741823;
+      out_checksum = (out_checksum ^ ((v + 512) * 40503 + 19)) & 1073741823;
+      run = 0;
+    }
+  }
+  out_checksum = (out_checksum ^ (run * 2654435761 + 3)) & 1073741823;
+  return 0;
+}
+
+int make_image(int frame) {
+  int i;
+  for (i = 0; i < 16384; i = i + 1) {
+    int x = i & 127;
+    int y = i >> 7;
+    int v = 128 + ((x * (3 + frame) + y * 5) %% 97) - 48;
+    if ((i & 63) == 0) { v = v + rng_range(32) - 16; }
+    image[i] = iclamp(v, 0, 255);
+  }
+  return 0;
+}
+
+int main() {
+  int frame;
+  rng_seed(7);
+  init_tables();
+  out_checksum = 1;
+  for (frame = 0; frame < %d; frame = frame + 1) {
+    make_image(frame);
+    int b;
+    for (b = 0; b < 256; b = b + 1) { encode_block(b); }
+    print_int(out_checksum);
+  }
+  return out_checksum & 255;
+}
+|}
+    scale

@@ -1,0 +1,154 @@
+(* 130.li surrogate: a small Lisp evaluator — cons cells in parallel
+   arrays, tag-dispatched eval with deep recursion, environment lookup and
+   a mark-sweep collection pass.  Character: small code, recursive calls
+   everywhere (call/return boundaries are the main limit on block
+   enlargement, paper section 5's explanation of figure 5). *)
+
+let source ~scale =
+  Printf.sprintf
+    {|
+// Tags: 0 = number, 1 = symbol, 2 = cons, 3 = builtin op.
+int tag[16384];
+int car_[16384];
+int cdr_[16384];
+int mark[16384];
+int free_ptr;
+int env_sym[64];
+int env_val[64];
+int env_top;
+int gc_runs;
+
+int alloc(int t, int a, int d) {
+  int n = free_ptr;
+  if (n >= 16380) { return 0; }
+  free_ptr = n + 1;
+  tag[n] = t;
+  car_[n] = a;
+  cdr_[n] = d;
+  return n;
+}
+
+int num(int v) { return alloc(0, v, 0); }
+int sym(int s) { return alloc(1, s, 0); }
+int cons(int a, int d) { return alloc(2, a, d); }
+
+int env_lookup(int s) {
+  int i = env_top - 1;
+  while (i >= 0) {
+    if (env_sym[i] == s) { return env_val[i]; }
+    i = i - 1;
+  }
+  return 0;
+}
+
+int env_push(int s, int v) {
+  if (env_top < 64) {
+    env_sym[env_top] = s;
+    env_val[env_top] = v;
+    env_top = env_top + 1;
+  }
+  return 0;
+}
+
+int env_pop() {
+  if (env_top > 0) { env_top = env_top - 1; }
+  return 0;
+}
+
+int eseed;
+
+// Build a random expression: (op expr expr) nests, leaves are numbers and
+// symbols.  The generator is inlined so reader-like work stays application
+// code.
+int build_expr(int depth) {
+  eseed = (eseed * 1103515245 + 12345) & 1073741823;
+  int r = eseed >> 5;
+  if (depth <= 0 || r %% 10 < 3) {
+    if ((r >> 8) %% 10 < 4) { return sym((r >> 12) & 7); }
+    return num((r >> 10) %% 200 - 50);
+  }
+  int op = alloc(3, (r >> 9) %% 6, 0);
+  int a = build_expr(depth - 1);
+  int b = build_expr(depth - 1 - ((r >> 20) & 1));
+  return cons(op, cons(a, cons(b, 0)));
+}
+
+int eval(int e) {
+  int t = tag[e];
+  if (t == 0) { return car_[e]; }
+  if (t == 1) { return env_lookup(car_[e]); }
+  if (t == 3) { return 0; }
+  // cons: (op a b)
+  int opnode = car_[e];
+  int rest = cdr_[e];
+  int a = eval(car_[rest]);
+  int b = eval(car_[cdr_[rest]]);
+  int op = car_[opnode];
+  switch (op) {
+    case 0: return a + b;
+    case 1: return a - b;
+    case 2: return a * b;
+    case 3: if (b == 0) { return a; } return a / b;
+    case 4: if (a > b) { return a; } return b;
+    default:
+      // let-like: bind symbol (a & 7) to b, evaluate b again shifted
+      env_push(a & 7, b);
+      int inner = b + env_lookup(a & 7);
+      env_pop();
+      return inner;
+  }
+}
+
+int gc_mark(int e) {
+  while (e != 0 && mark[e] == 0) {
+    mark[e] = 1;
+    if (tag[e] == 2) {
+      gc_mark(car_[e]);
+      e = cdr_[e];
+    } else {
+      e = 0;
+    }
+  }
+  return 0;
+}
+
+// Sweep just counts garbage (arena allocation resets instead), like the
+// statistics pass of a real collector.
+int gc_sweep() {
+  int i;
+  int live = 0;
+  for (i = 1; i < free_ptr; i = i + 1) {
+    if (mark[i] == 1) { live = live + 1; }
+    mark[i] = 0;
+  }
+  return live;
+}
+
+int main() {
+  int iter;
+  int acc = 0;
+  rng_seed(31415);
+  eseed = rng_range(65536) + 3;
+  for (iter = 0; iter < %d; iter = iter + 1) {
+    free_ptr = 1;
+    env_top = 0;
+    int k;
+    for (k = 0; k < 8; k = k + 1) { env_push(k, k * 3 + iter); }
+    int n_exprs = 60;
+    int e;
+    int last = 0;
+    for (e = 0; e < n_exprs; e = e + 1) {
+      int expr = build_expr(6);
+      acc = (acc + eval(expr)) & 1073741823;
+      last = expr;
+    }
+    gc_mark(last);
+    acc = (acc + gc_sweep()) & 1073741823;
+    gc_runs = gc_runs + 1;
+    print_int(acc);
+  }
+  print_int(gc_runs);
+  return acc & 255;
+}
+|}
+    scale

@@ -1,0 +1,141 @@
+(* 134.perl surrogate: text processing — tokenize a synthetic byte stream,
+   intern words in a chained hash table, pattern-match substrings and
+   update associative counters.  Character: dispatchy scanner loops,
+   mixed-bias branches, hash-probe chains. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int text[16384];
+int text_len;
+// Chained hash: buckets -> word id; words stored as (start,len,count,next).
+int bucket[1024];
+int word_start[2048];
+int word_len[2048];
+int word_count[2048];
+int word_next[2048];
+int word_n;
+int out_checksum;
+
+int pseed;
+
+int make_text(int round) {
+  int i = 0;
+  while (i < 16000) {
+    pseed = (pseed * 1103515245 + 12345) & 1073741823;
+    int wlen = 2 + ((pseed >> 6) & 7);
+    int base = 97 + ((pseed >> 10) %% 6) * 3;
+    int j;
+    for (j = 0; j < wlen && i < 16000; j = j + 1) {
+      text[i] = base + ((j * 7 + round) %% 17);
+      i = i + 1;
+    }
+    if (i < 16000) {
+      if ((pseed >> 14) %% 10 < 8) { text[i] = 32; } else { text[i] = 10; }
+      i = i + 1;
+    }
+  }
+  text_len = i;
+  return 0;
+}
+
+int hash_span(int start, int len) {
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    h = (h * 33 + text[start + i]) & 1048575;
+  }
+  return h;
+}
+
+int span_equal(int s1, int s2, int len) {
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    if (text[s1 + i] != text[s2 + i]) { return 0; }
+  }
+  return 1;
+}
+
+int intern(int start, int len) {
+  int h = hash_span(start, len) & 1023;
+  int w = bucket[h];
+  while (w != 0) {
+    if (word_len[w] == len && span_equal(word_start[w], start, len)) {
+      word_count[w] = word_count[w] + 1;
+      return w;
+    }
+    w = word_next[w];
+  }
+  if (word_n >= 2047) { return 0; }
+  word_n = word_n + 1;
+  w = word_n;
+  word_start[w] = start;
+  word_len[w] = len;
+  word_count[w] = 1;
+  word_next[w] = bucket[h];
+  bucket[h] = w;
+  return w;
+}
+
+int tokenize() {
+  int i = 0;
+  int words = 0;
+  while (i < text_len) {
+    int c = text[i];
+    if (c == 32 || c == 10) {
+      i = i + 1;
+    } else {
+      int start = i;
+      while (i < text_len && text[i] != 32 && text[i] != 10) { i = i + 1; }
+      int w = intern(start, i - start);
+      words = words + 1;
+      out_checksum = (out_checksum ^ (w * 2654435761 + 7)) & 1073741823;
+    }
+  }
+  return words;
+}
+
+// Naive substring search, like a regex literal match.
+int count_pattern(int p0, int p1, int p2) {
+  int i;
+  int hits = 0;
+  for (i = 0; i + 2 < text_len; i = i + 1) {
+    if (text[i] == p0) {
+      if (text[i + 1] == p1 && text[i + 2] == p2) {
+        hits = hits + 1;
+      }
+    }
+  }
+  return hits;
+}
+
+int top_word_score() {
+  int w;
+  int best = 0;
+  for (w = 1; w <= word_n; w = w + 1) {
+    int score = word_count[w] * 13 + word_len[w];
+    if (score > best) { best = score; }
+  }
+  return best;
+}
+
+int main() {
+  int round;
+  rng_seed(271828);
+  pseed = rng_range(65536) + 21;
+  out_checksum = 5;
+  for (round = 0; round < %d; round = round + 1) {
+    int b;
+    for (b = 0; b < 1024; b = b + 1) { bucket[b] = 0; }
+    word_n = 0;
+    make_text(round);
+    int words = tokenize();
+    int hits = count_pattern(97 + (round %% 6), 98, 99);
+    out_checksum = (out_checksum + words * 7 + hits * 3 + top_word_score())
+                   & 1073741823;
+    print_int(out_checksum);
+  }
+  return out_checksum & 255;
+}
+|}
+    scale

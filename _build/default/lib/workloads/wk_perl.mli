@@ -1,0 +1,5 @@
+(** MiniC source of the perl benchmark surrogate; see the implementation
+    header for the behavioural character it mimics.  Registered in
+    {!Workloads.all}. *)
+
+val source : scale:int -> string

@@ -1,0 +1,106 @@
+(* SPECfp-style surrogate for the paper's future-work claim (section 6):
+   scientific code has more predictable branches, so fault mispredictions
+   nearly vanish and block enlargement can fuse the conditional structure
+   inside FP loop bodies (boundary handling, clamping, convergence tests)
+   into full-width atomic blocks.  Kernels: matrix multiply with
+   magnitude clamping, a 1-D stencil with boundary conditionals, and a
+   thresholded dot product. *)
+
+let source ~scale =
+  Printf.sprintf
+    {|
+float ma[1024];
+float mb[1024];
+float mc[1024];
+float grid[2048];
+float grid2[2048];
+int out_checksum;
+int clamps;
+
+int init_data(int round) {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    ma[i] = itof((i * 7 + round) %% 100) / 10.0;
+    mb[i] = itof((i * 13 + round * 3) %% 100) / 12.5;
+  }
+  for (i = 0; i < 2048; i = i + 1) {
+    grid[i] = itof((i * 11 + round) %% 64) / 8.0;
+  }
+  return 0;
+}
+
+// 32x32 matrix multiply; the accumulation clamps large magnitudes (a
+// heavily biased, never-taken-in-steady-state branch, like real FP
+// normalization checks).
+int matmul() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i = i + 1) {
+    for (j = 0; j < 32; j = j + 1) {
+      float acc = 0.0;
+      int k;
+      for (k = 0; k < 32; k = k + 1) {
+        acc = acc + ma[i * 32 + k] * mb[k * 32 + j];
+        if (acc > 100000.0) {
+          acc = acc / 2.0;
+          clamps = clamps + 1;
+        }
+      }
+      mc[i * 32 + j] = acc;
+    }
+  }
+  return 0;
+}
+
+// 1-D relaxation with boundary conditionals: the interior test is
+// almost always true — predictable, and fused by enlargement into the
+// loop body's atomic block.
+int stencil(int sweeps) {
+  int s;
+  for (s = 0; s < sweeps; s = s + 1) {
+    int i;
+    for (i = 0; i < 2048; i = i + 1) {
+      if (i >= 2 && i < 2046) {
+        grid2[i] = (grid[i - 2] + 2.0 * grid[i - 1] + 3.0 * grid[i]
+                    + 2.0 * grid[i + 1] + grid[i + 2]) * 0.111111;
+      } else {
+        grid2[i] = grid[i];
+      }
+    }
+    for (i = 0; i < 2048; i = i + 1) { grid[i] = grid2[i]; }
+  }
+  return 0;
+}
+
+// Dot product that skips negligible terms (biased FP comparison).
+float dot(int n) {
+  float acc0 = 0.0;
+  float acc1 = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 2) {
+    float t0 = ma[i] * mb[i];
+    float t1 = ma[i + 1] * mb[i + 1];
+    if (t0 > 0.01) { acc0 = acc0 + t0; }
+    if (t1 > 0.01) { acc1 = acc1 + t1; }
+  }
+  return acc0 + acc1;
+}
+
+int main() {
+  int round;
+  out_checksum = 17;
+  for (round = 0; round < %d; round = round + 1) {
+    init_data(round);
+    matmul();
+    stencil(4);
+    float d = dot(1024);
+    float total = d + mc[round %% 1024] + grid[100 + round %% 1900];
+    out_checksum = (out_checksum + ftoi(total * 16.0)) & 1073741823;
+    print_int(out_checksum);
+  }
+  print_int(clamps);
+  print_float(itof(out_checksum) / 1000.0);
+  return out_checksum & 255;
+}
+|}
+    scale

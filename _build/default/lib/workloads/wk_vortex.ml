@@ -1,0 +1,186 @@
+(* 147.vortex surrogate: an object store — fixed-fanout B-tree-like index
+   over records, insert/lookup/delete transactions with integrity checks.
+   Character: pointer-chasing through index levels, biased comparison
+   branches, a moderately large footprint of distinct record-type
+   handlers. *)
+
+let handler_fn i =
+  let a = 1 + (i * 3 mod 7) and b = 2 + (i * 5 mod 11) in
+  Printf.sprintf
+    {|
+int validate_%d(int rec) {
+  int f0 = rec_f0[rec];
+  int f1 = rec_f1[rec];
+  int v = f0 * %d - f1 * %d;
+  if (v < 0) { v = -v; }
+  if ((f0 & %d) == 0 && f1 > %d) { v = v + %d; }
+  return v %% 97;
+}
+|}
+    i a b (1 + (i mod 7)) (b * 3) (a + b)
+
+let source ~scale =
+  let handlers = String.concat "" (List.init 12 handler_fn) in
+  let cases =
+    String.concat "\n"
+      (List.init 12 (fun k ->
+           if k = 11 then Printf.sprintf "    default: return validate_%d(rec);" k
+           else Printf.sprintf "    case %d: return validate_%d(rec);" k k))
+  in
+  Printf.sprintf
+    {|
+// Records.
+int rec_key[8192];
+int rec_f0[8192];
+int rec_f1[8192];
+int rec_type[8192];
+int rec_live[8192];
+int rec_n;
+// Two-level index: 64 top slots, each a sorted run of up to 128 entries.
+int idx_count[64];
+int idx_key[8192];
+int idx_rec[8192];
+int out_checksum;
+
+%s
+
+int validate(int rec) {
+  switch (rec_type[rec]) {
+%s
+  }
+}
+
+int top_slot(int key) { return (key >> 7) & 63; }
+
+int index_insert(int key, int rec) {
+  int slot = top_slot(key);
+  int n = idx_count[slot];
+  if (n >= 128) { return 0; }
+  int base = slot * 128;
+  int i = n;
+  // Insertion sort step keeps the run ordered.
+  while (i > 0 && idx_key[base + i - 1] > key) {
+    idx_key[base + i] = idx_key[base + i - 1];
+    idx_rec[base + i] = idx_rec[base + i - 1];
+    i = i - 1;
+  }
+  idx_key[base + i] = key;
+  idx_rec[base + i] = rec;
+  idx_count[slot] = n + 1;
+  return 1;
+}
+
+// Ordered scan within the slot's run (short runs make a scan the realistic
+// DB choice); the loop branch is heavily biased and the early-exit
+// comparison is monotone, so the index walk predicts well.
+int index_lookup(int key) {
+  int slot = top_slot(key);
+  int base = slot * 128;
+  int n = idx_count[slot];
+  int i = 0;
+  while (i < n && idx_key[base + i] < key) { i = i + 1; }
+  if (i < n && idx_key[base + i] == key) { return idx_rec[base + i]; }
+  return -1;
+}
+
+int index_delete(int key) {
+  int slot = top_slot(key);
+  int base = slot * 128;
+  int n = idx_count[slot];
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (idx_key[base + i] == key) {
+      int j;
+      for (j = i; j < n - 1; j = j + 1) {
+        idx_key[base + j] = idx_key[base + j + 1];
+        idx_rec[base + j] = idx_rec[base + j + 1];
+      }
+      idx_count[slot] = n - 1;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int new_record(int key) {
+  if (rec_n >= 8191) { return -1; }
+  int r = rec_n;
+  rec_n = r + 1;
+  rec_key[r] = key;
+  int h0 = key * 2654435761;
+  int h1 = (key + 77) * 40503;
+  rec_f0[r] = (h0 ^ (h0 >> 11)) & 65535;
+  rec_f1[r] = (h1 ^ (h1 >> 7)) & 4095;
+  rec_type[r] = key %% 12;
+  rec_live[r] = 1;
+  return r;
+}
+
+int kseed;
+
+int transaction(int t) {
+  kseed = (kseed * 1103515245 + 12345) & 1073741823;
+  int kind = (kseed >> 7) %% 10;
+  // Skewed key distribution: most traffic hits a small hot set, like a
+  // real object store.
+  int key = ((kseed >> 11) %% 512) * 16 + (t & 15);
+  if ((kseed >> 4) %% 10 < 3) { key = (kseed >> 9) & 8191; }
+  if (kind < 5) {
+    // Lookup (most common).
+    int rec = index_lookup(key);
+    if (rec >= 0) { return validate(rec); }
+    return 0;
+  }
+  if (kind < 8) {
+    // Insert.
+    if (index_lookup(key) < 0) {
+      int rec = new_record(key);
+      if (rec >= 0 && index_insert(key, rec) == 1) { return 1; }
+    }
+    return 0;
+  }
+  // Delete.
+  int rec = index_lookup(key);
+  if (rec >= 0) {
+    rec_live[rec] = 0;
+    index_delete(key);
+    return 2;
+  }
+  ignore_t(t);
+  return 0;
+}
+
+int ignore_t(int t) { return t; }
+
+int audit() {
+  int slot;
+  int total = 0;
+  for (slot = 0; slot < 64; slot = slot + 1) {
+    int base = slot * 128;
+    int i;
+    for (i = 0; i < idx_count[slot]; i = i + 1) {
+      int rec = idx_rec[base + i];
+      if (rec_live[rec] == 1) { total = total + validate(rec); }
+    }
+  }
+  return total;
+}
+
+int main() {
+  int round;
+  rng_seed(4242);
+  kseed = rng_range(65536) + 9;
+  out_checksum = 13;
+  for (round = 0; round < %d; round = round + 1) {
+    int t;
+    for (t = 0; t < 3000; t = t + 1) {
+      out_checksum = (out_checksum + transaction(t)) & 1073741823;
+    }
+    out_checksum = (out_checksum + audit()) & 1073741823;
+    print_int(out_checksum);
+  }
+  print_int(rec_n);
+  return out_checksum & 255;
+}
+|}
+    handlers cases scale

@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  description : string;
+  make_source : scale:int -> string;
+  library_funcs : string list;
+  default_scale : int;
+}
+
+let with_runtime make ~scale = Runtime.source ^ make ~scale
+
+let mk name description make default_scale =
+  {
+    name;
+    description;
+    make_source = with_runtime make;
+    library_funcs = Runtime.library_funcs;
+    default_scale;
+  }
+
+let all =
+  [
+    mk "gcc" "expression-compiler passes: big footprint, small blocks"
+      (fun ~scale -> Wk_gcc.source ~scale)
+      2;
+    mk "compress" "LZW over a repetitive synthetic stream"
+      (fun ~scale -> Wk_compress.source ~scale)
+      2;
+    mk "go" "board evaluator: unbiased branches, duplicated-hot paths"
+      (fun ~scale -> Wk_go.source ~scale)
+      20;
+    mk "ijpeg" "integer DCT/quantize/RLE: long predictable blocks"
+      (fun ~scale -> Wk_ijpeg.source ~scale)
+      1;
+    mk "li" "Lisp evaluator: recursion-dominated, small code"
+      (fun ~scale -> Wk_li.source ~scale)
+      8;
+    mk "m88ksim" "RISC interpreter: hot dispatch loop, predictable"
+      (fun ~scale -> Wk_m88ksim.source ~scale)
+      3;
+    mk "perl" "tokenizer + word hash + pattern scan"
+      (fun ~scale -> Wk_perl.source ~scale)
+      1;
+    mk "vortex" "object store: indexed transactions"
+      (fun ~scale -> Wk_vortex.source ~scale)
+      2;
+  ]
+
+let scientific =
+  mk "scientific" "SPECfp-style float kernels (future-work claim)"
+    (fun ~scale -> Wk_scientific.source ~scale)
+    1
+
+let names = List.map (fun t -> t.name) all
+
+let find name =
+  match List.find_opt (fun t -> t.name = name) (scientific :: all) with
+  | Some t -> t
+  | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
+
+let source ?scale t =
+  let scale = Option.value scale ~default:t.default_scale in
+  t.make_source ~scale
+
+let compile ?scale ?enlarge t =
+  let src = source ?scale t in
+  match enlarge with
+  | Some e -> Bisa_compiler.Compiler.compile ~enlarge:e ~library_funcs:t.library_funcs src
+  | None -> Bisa_compiler.Compiler.compile ~library_funcs:t.library_funcs src

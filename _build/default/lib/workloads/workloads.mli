@@ -1,0 +1,35 @@
+(** The benchmark-surrogate registry.
+
+    One entry per SPECint95 benchmark of the paper's Table 2 / figures
+    (gcc, compress, go, ijpeg, li, m88ksim, perl, vortex; "li" is the
+    xlisp interpreter of Table 2), plus the SPECfp-style [scientific]
+    surrogate used for the paper's future-work claim.
+
+    Each surrogate mimics its benchmark's published control-flow
+    character: basic-block size distribution, branch bias/predictability
+    and static code footprint — the three axes that drive the paper's
+    results.  Dynamic lengths are scaled down (see DESIGN.md, "Scaling");
+    [scale] multiplies the outer iteration count. *)
+
+type t = {
+  name : string;
+  description : string;
+  make_source : scale:int -> string;  (** runtime library already appended *)
+  library_funcs : string list;
+  default_scale : int;
+}
+
+val all : t list
+(** The eight SPECint95 surrogates, in the paper's figure order. *)
+
+val scientific : t
+val find : string -> t
+(** Any surrogate by name ([scientific] included).  Raises on unknown. *)
+
+val names : string list
+
+val source : ?scale:int -> t -> string
+(** Full MiniC source at the given scale (default [t.default_scale]). *)
+
+val compile : ?scale:int -> ?enlarge:Bisa_backend.Enlarge.config -> t -> Bisa_compiler.Compiler.compiled
+(** Convenience: compile the surrogate with its library functions marked. *)

@@ -1,0 +1,1 @@
+test/astring_free.ml: String

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Bisa_backend Bisa_compiler Bisa_frontend Bisa_ir Bisa_isa Bisa_opt Bisa_sim Cmp List Op Printf String

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Astring_free Bisa_base Digraph List Rng Stats String Table Textplot

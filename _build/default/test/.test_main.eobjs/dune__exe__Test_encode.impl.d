@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Bisa_base Bisa_compiler Bisa_isa Bisa_sim List QCheck QCheck_alcotest String

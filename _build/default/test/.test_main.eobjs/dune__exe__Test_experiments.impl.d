@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_free Bisa_experiments Bisa_timing Bisa_workloads List Unix

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bisa_backend Bisa_compiler Bisa_experiments Bisa_ir Bisa_isa Bisa_opt Bisa_sim Bisa_timing Bisa_uarch Bisa_workloads Hashtbl List Printf

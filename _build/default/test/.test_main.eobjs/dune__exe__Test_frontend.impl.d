@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Astring_free Bisa_frontend Interp Lexer List Parser Printf Typecheck

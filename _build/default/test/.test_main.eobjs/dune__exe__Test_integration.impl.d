@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bisa_compiler Bisa_frontend Bisa_isa Bisa_sim Bisa_timing Bisa_workloads List Printf String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bisa_ir Bisa_isa Bitset Builder Cfg Ir List Liveness

@@ -1,0 +1,1 @@
+test/test_isa.ml: Ablock Alcotest Array Bisa_isa Block_prog Cmp Conv_prog Insn List Op Opclass Reg

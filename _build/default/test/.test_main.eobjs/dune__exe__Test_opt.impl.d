@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Bisa_compiler Bisa_frontend Bisa_ir Bisa_isa Bisa_opt Bisa_sim Ir List

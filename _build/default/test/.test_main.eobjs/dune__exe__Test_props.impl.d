@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bisa_backend Bisa_base Bisa_compiler Bisa_frontend Bisa_ir Bisa_isa Bisa_opt Bisa_sim Bisa_uarch Hashtbl Int List Printf QCheck QCheck_alcotest Set String

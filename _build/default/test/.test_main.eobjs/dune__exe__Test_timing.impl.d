@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Bisa_compiler Bisa_isa Bisa_timing Bisa_uarch Bisa_workloads List

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Bisa_compiler Bisa_isa Bisa_sim Bisa_uarch List Printf

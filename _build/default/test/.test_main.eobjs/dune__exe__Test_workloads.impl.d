@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bisa_backend Bisa_frontend Bisa_isa Bisa_sim Bisa_workloads List Printf

@@ -1,0 +1,6 @@
+(* Tiny string helpers so the tests need no extra dependencies. *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0

@@ -1,0 +1,351 @@
+(* Back-end tests: parallel moves, register allocation under pressure,
+   block enlargement rules, and linking. *)
+
+module Reg = Bisa_isa.Reg
+module Isel = Bisa_backend.Isel
+module Enlarge = Bisa_backend.Enlarge
+module Mir = Bisa_backend.Mir
+module Ablock = Bisa_isa.Ablock
+
+(* --- Parallel moves -------------------------------------------------------- *)
+
+let apply_moves pairs state =
+  (* state: assoc reg -> value; simulate the emitted sequence. *)
+  List.fold_left
+    (fun st (d, s) -> (d, List.assoc s st) :: List.remove_assoc d st)
+    state pairs
+
+let check_parallel pairs =
+  let scratch = Reg.at in
+  let regs = List.sort_uniq compare (List.concat_map (fun (d, s) -> [ d; s ]) pairs) in
+  let init = List.mapi (fun i r -> (r, 100 + i)) regs in
+  let expected =
+    List.map (fun (d, s) -> (d, List.assoc s init)) pairs
+  in
+  let seq = Isel.parallel_moves pairs ~scratch in
+  let final = apply_moves seq (( scratch, -1 ) :: init) in
+  List.iter
+    (fun (d, v) ->
+      Alcotest.(check int) (Reg.to_string d) v (List.assoc d final))
+    expected
+
+let test_parallel_simple () =
+  check_parallel [ (Reg.Int 4, Reg.Int 10); (Reg.Int 5, Reg.Int 11) ]
+
+let test_parallel_chain () =
+  (* r4 <- r5 <- r6: must move r4 first. *)
+  check_parallel [ (Reg.Int 4, Reg.Int 5); (Reg.Int 5, Reg.Int 6) ]
+
+let test_parallel_swap () =
+  check_parallel [ (Reg.Int 4, Reg.Int 5); (Reg.Int 5, Reg.Int 4) ]
+
+let test_parallel_three_cycle () =
+  check_parallel [ (Reg.Int 4, Reg.Int 5); (Reg.Int 5, Reg.Int 6); (Reg.Int 6, Reg.Int 4) ]
+
+let test_parallel_self_dropped () =
+  let seq = Isel.parallel_moves [ (Reg.Int 4, Reg.Int 4) ] ~scratch:Reg.at in
+  Alcotest.(check int) "self move dropped" 0 (List.length seq)
+
+(* --- Register allocation under pressure ------------------------------------ *)
+
+(* A function with ~40 simultaneously-live values forces spilling; the
+   result must still compute correctly on both ISAs. *)
+let pressure_src =
+  let n = 40 in
+  let decls =
+    String.concat "\n  "
+      (List.init n (fun i -> Printf.sprintf "int v%d = seed * %d + %d;" i (i + 2) i))
+  in
+  let uses = String.concat " + " (List.init n (fun i -> Printf.sprintf "v%d" i)) in
+  Printf.sprintf
+    {|
+int helper(int x) { return x * 2 + 1; }
+int main() {
+  int seed = 13;
+  %s
+  int calls = helper(seed) + helper(seed + 1);
+  print_int(%s + calls);
+  return 0;
+}
+|}
+    decls uses
+
+let interp_ints src =
+  let tp = Bisa_frontend.Typecheck.check (Bisa_frontend.Parser.parse src) in
+  let r = Bisa_frontend.Interp.run tp in
+  ( r.ret,
+    List.filter_map
+      (function Bisa_frontend.Interp.Oint v -> Some v | _ -> None)
+      r.outputs )
+
+let test_regalloc_spilling_correct () =
+  let ret, outs = interp_ints pressure_src in
+  let c = Bisa_compiler.Compiler.compile pressure_src in
+  let conv_out, _ = Bisa_sim.Conv_exec.run c.conv () in
+  let blk_out, _ = Bisa_sim.Block_exec.run c.block () in
+  let expected =
+    { Bisa_sim.Output.ret; items = List.map (fun v -> Bisa_sim.Output.Oint v) outs }
+  in
+  Alcotest.(check bool) "conv" true (Bisa_sim.Output.equal conv_out expected);
+  Alcotest.(check bool) "block" true (Bisa_sim.Output.equal blk_out expected)
+
+let test_regalloc_actually_spills () =
+  let _, ir = Bisa_compiler.Compiler.frontend pressure_src in
+  Bisa_opt.Pipeline.optimize Bisa_opt.Pipeline.O1 ir;
+  let f = Bisa_ir.Ir.find_func ir "main" in
+  let alloc = Bisa_backend.Regalloc.allocate f in
+  Alcotest.(check bool) "spilled something" true (alloc.spill_count > 0)
+
+let test_callee_saved_across_calls () =
+  let src =
+    {|
+int id(int x) { return x; }
+int main() {
+  int keep = 12345;
+  int a = id(1);
+  int b = id(2);
+  print_int(keep + a + b);
+  return 0;
+}
+|}
+  in
+  let c = Bisa_compiler.Compiler.compile src in
+  let out, _ = Bisa_sim.Conv_exec.run c.conv () in
+  Alcotest.(check bool) "value survives calls" true
+    (out.items = [ Bisa_sim.Output.Oint 12348 ])
+
+(* --- Enlargement rules ------------------------------------------------------ *)
+
+let mir_of src name =
+  let _, ir = Bisa_compiler.Compiler.frontend src in
+  Bisa_opt.Pipeline.optimize Bisa_opt.Pipeline.O1 ir;
+  Isel.select (Bisa_ir.Ir.find_func ir name)
+
+let branchy_src =
+  {|
+int f(int x) {
+  int r = 0;
+  if (x > 1) { r = r + 1; } else { r = r - 1; }
+  if (x > 2) { r = r + 2; } else { r = r - 2; }
+  if (x > 3) { r = r + 3; } else { r = r - 3; }
+  if (x > 4) { r = r + 4; } else { r = r - 4; }
+  return r;
+}
+int main() { print_int(f(3)); return 0; }
+|}
+
+let test_rule1_size_limit () =
+  let mf = mir_of branchy_src "f" in
+  List.iter
+    (fun max_ops ->
+      let e = Enlarge.run { Enlarge.default_config with max_ops } mf in
+      Array.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "block size <= %d" max_ops)
+            true
+            (Enlarge.block_size b <= max_ops))
+        e.blocks)
+    [ 4; 8; 16 ]
+
+let test_rule2_fault_limit () =
+  let mf = mir_of branchy_src "f" in
+  List.iter
+    (fun max_faults ->
+      let e = Enlarge.run { Enlarge.default_config with max_faults; max_ops = 64 } mf in
+      Array.iter
+        (fun (b : Enlarge.fblock) ->
+          let faults =
+            Array.fold_left
+              (fun n -> function Enlarge.Ffault _ -> n + 1 | Enlarge.Fop _ -> n)
+              0 b.elts
+          in
+          Alcotest.(check bool) "fault count" true (faults <= max_faults))
+        e.blocks)
+    [ 1; 2 ]
+
+let test_enlargement_merges () =
+  let mf = mir_of branchy_src "f" in
+  let e = Enlarge.run Enlarge.default_config mf in
+  let _, _, mean_merged = Enlarge.stats e in
+  Alcotest.(check bool) "actually merges" true (mean_merged > 1.5)
+
+let test_disabled_config () =
+  let mf = mir_of branchy_src "f" in
+  let e = Enlarge.run { Enlarge.default_config with enabled = false } mf in
+  Array.iter
+    (fun (b : Enlarge.fblock) ->
+      Alcotest.(check int) "merged exactly one" 1 b.merged)
+    e.blocks
+
+let loop_src =
+  {|
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) { s = s + i; }
+  print_int(s);
+  return 0;
+}
+|}
+
+(* A loop built by hand, shaped so a region starts mid-loop (the fat body
+   exhausts the merge budget, so the latch becomes its own region whose
+   only escape is the back edge):
+
+     0 preheader -> 1 header -(trap)-> 2 fat body | 4 exit
+     2 -(trap)-> 3 latch | 3 latch ; 3 -> 1 (back edge)            *)
+let latch_marker = Bisa_isa.Op.Alu (Bisa_isa.Op.Add, Bisa_isa.Reg.Int 20, Bisa_isa.Reg.Int 4, Bisa_isa.Op.I 99)
+
+let hand_loop () =
+  let open Bisa_isa in
+  let add k = Mir.Mop (Op.Alu (Op.Add, Reg.Int (4 + k), Reg.Int 4, Op.I k)) in
+  {
+    Mir.name = "loop";
+    entry = 0;
+    blocks =
+      [|
+        { Mir.mops = []; mterm = Mir.Mjmp 1 };
+        { Mir.mops = [ add 0 ]; mterm = Mir.Mbr (Cmp.Lt, Reg.Int 4, Reg.Int 5, 2, 4) };
+        (* 12 ops: merging the latch behind [header, fault, body] would
+           need 17 slots, so the latch becomes its own region. *)
+        { Mir.mops = List.init 12 add; mterm = Mir.Mjmp 3 };
+        { Mir.mops = [ Mir.Mop latch_marker; add 2 ]; mterm = Mir.Mjmp 1 };
+        { Mir.mops = []; mterm = Mir.Mret };
+      |];
+    jumptables = [||];
+    is_library = false;
+    frame_bytes = 0;
+  }
+
+(* Blocks whose path BEGINS at the latch (first element is its marker). *)
+let latch_headed (e : Enlarge.t) =
+  Array.to_list e.blocks
+  |> List.filter (fun (b : Enlarge.fblock) ->
+         Array.length b.elts > 0
+         &&
+         match b.elts.(0) with
+         | Enlarge.Fop (Mir.Mop op) -> op = latch_marker
+         | _ -> false)
+
+let test_rule4_no_backedge_merging () =
+  let mf = hand_loop () in
+  let e = Enlarge.run Enlarge.default_config mf in
+  (* Default: the latch's only successor is the back edge to the header,
+     so its region stays a single basic block — separate loop iterations
+     are never combined. *)
+  let latch_default = latch_headed e in
+  Alcotest.(check bool) "latch region exists" true (latch_default <> []);
+  List.iter
+    (fun (b : Enlarge.fblock) ->
+      Alcotest.(check int) "latch unmerged by default" 1 b.merged)
+    latch_default;
+  (* Ablation: the latch region may now merge through the back edge into
+     the next iteration's header. *)
+  let e2 =
+    Enlarge.run { Enlarge.default_config with merge_across_back_edges = true } mf
+  in
+  let crossed =
+    List.exists (fun (b : Enlarge.fblock) -> b.merged >= 2) (latch_headed e2)
+  in
+  Alcotest.(check bool) "ablation merges across the back edge" true crossed;
+  let _, ops_default, _ = Enlarge.stats e in
+  let _, ops_merged, _ = Enlarge.stats e2 in
+  Alcotest.(check bool) "more static ops under ablation" true (ops_merged > ops_default)
+
+let test_rule5_library_untouched () =
+  let src = loop_src in
+  let _, ir = Bisa_compiler.Compiler.frontend ~library_funcs:[ "main" ] src in
+  Bisa_opt.Pipeline.optimize Bisa_opt.Pipeline.O1 ir;
+  let mf = Isel.select (Bisa_ir.Ir.find_func ir "main") in
+  let e = Enlarge.run Enlarge.default_config mf in
+  Array.iter
+    (fun (b : Enlarge.fblock) -> Alcotest.(check int) "no merging" 1 b.merged)
+    e.blocks
+
+let test_fault_targets_in_group () =
+  (* Every fault target must be a sibling variant of the same region. *)
+  let c = Bisa_compiler.Compiler.compile branchy_src in
+  Array.iteri
+    (fun b (blk : int Ablock.t) ->
+      List.iter
+        (fun (_, _, _, target) ->
+          Alcotest.(check bool) "fault target in own group" true
+            (Array.exists (fun x -> x = target) c.block.variant_group.(b)))
+        (Ablock.faults blk))
+    c.block.blocks
+
+let test_succ_log2_bounds () =
+  let c = Bisa_compiler.Compiler.compile branchy_src in
+  Array.iter
+    (fun (blk : int Ablock.t) ->
+      match blk.term with
+      | Ablock.Trap { succ_log2; _ } ->
+        Alcotest.(check bool) "1..3" true (succ_log2 >= 1 && succ_log2 <= 3)
+      | _ -> ())
+    c.block.blocks
+
+(* --- Linking ----------------------------------------------------------------- *)
+
+let test_linker_symbols () =
+  let c = Bisa_compiler.Compiler.compile branchy_src in
+  Alcotest.(check bool) "main symbol exists" true
+    (List.mem_assoc "main" c.conv.symbols);
+  Alcotest.(check bool) "start symbol exists" true
+    (List.mem_assoc "_start" c.conv.symbols);
+  let f_entry = Bisa_isa.Conv_prog.find_symbol c.conv "f" in
+  Alcotest.(check bool) "entry in range" true
+    (f_entry >= 0 && f_entry < Array.length c.conv.insns)
+
+let test_jump_tables_resolved () =
+  let src =
+    {|
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 12; i = i + 1) {
+    switch (i % 6) {
+      case 0: acc = acc + 1;
+      case 1: acc = acc + 10;
+      case 2: acc = acc + 100;
+      case 3: acc = acc + 1000;
+      case 4: acc = acc + 10000;
+      default: acc = acc + 100000;
+    }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let ret, outs = interp_ints src in
+  Alcotest.(check (list int)) "interp result" [ 222222 ] outs;
+  let c = Bisa_compiler.Compiler.compile src in
+  let conv_out, _ = Bisa_sim.Conv_exec.run c.conv () in
+  let blk_out, _ = Bisa_sim.Block_exec.run c.block () in
+  Alcotest.(check bool) "conv jump table" true
+    (conv_out.items = [ Bisa_sim.Output.Oint 222222 ] && conv_out.ret = ret);
+  Alcotest.(check bool) "block jump table" true
+    (blk_out.items = [ Bisa_sim.Output.Oint 222222 ] && blk_out.ret = ret)
+
+let suite =
+  [
+    Alcotest.test_case "parallel simple" `Quick test_parallel_simple;
+    Alcotest.test_case "parallel chain" `Quick test_parallel_chain;
+    Alcotest.test_case "parallel swap" `Quick test_parallel_swap;
+    Alcotest.test_case "parallel 3-cycle" `Quick test_parallel_three_cycle;
+    Alcotest.test_case "parallel self" `Quick test_parallel_self_dropped;
+    Alcotest.test_case "regalloc spilling correct" `Quick test_regalloc_spilling_correct;
+    Alcotest.test_case "regalloc spills" `Quick test_regalloc_actually_spills;
+    Alcotest.test_case "callee saved" `Quick test_callee_saved_across_calls;
+    Alcotest.test_case "rule 1: size" `Quick test_rule1_size_limit;
+    Alcotest.test_case "rule 2: faults" `Quick test_rule2_fault_limit;
+    Alcotest.test_case "enlargement merges" `Quick test_enlargement_merges;
+    Alcotest.test_case "disabled config" `Quick test_disabled_config;
+    Alcotest.test_case "rule 4: back edges" `Quick test_rule4_no_backedge_merging;
+    Alcotest.test_case "rule 5: libraries" `Quick test_rule5_library_untouched;
+    Alcotest.test_case "fault targets in group" `Quick test_fault_targets_in_group;
+    Alcotest.test_case "succ_log2 bounds" `Quick test_succ_log2_bounds;
+    Alcotest.test_case "linker symbols" `Quick test_linker_symbols;
+    Alcotest.test_case "jump tables" `Quick test_jump_tables_resolved;
+  ]

@@ -1,0 +1,170 @@
+(* Unit tests for bisa_base: PRNG, statistics, tables, graph algorithms. *)
+
+open Bisa_base
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13);
+    let w = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in closed range" true (w >= 5 && w <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" true (Rng.next a <> Rng.next b)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let test_mean () =
+  let m = Stats.Mean.create () in
+  List.iter (Stats.Mean.add m) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Mean.mean m);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Mean.min m);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Mean.max m);
+  Alcotest.(check int) "count" 4 (Stats.Mean.count m)
+
+let test_mean_weighted () =
+  let m = Stats.Mean.create () in
+  Stats.Mean.add_n m 10.0 3;
+  Stats.Mean.add_n m 20.0 1;
+  Alcotest.(check (float 1e-9)) "weighted mean" 12.5 (Stats.Mean.mean m)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets:8 in
+  List.iter (Stats.Histogram.add h) [ 0; 1; 1; 2; 7; 9; -3 ];
+  Alcotest.(check int) "clamped high" 2 (Stats.Histogram.count h 7);
+  Alcotest.(check int) "clamped low" 2 (Stats.Histogram.count h 0);
+  Alcotest.(check int) "total" 7 (Stats.Histogram.total h)
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~buckets:10 in
+  for v = 0 to 9 do
+    Stats.Histogram.add h v
+  done;
+  Alcotest.(check int) "median" 4 (Stats.Histogram.percentile h 0.5)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.geomean [])
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T" ~headers:[ ("a", Table.Left); ("b", Table.Right) ]
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "mentions row" true
+    (String.length s > 10 && String.index_opt s 'y' <> None)
+
+let test_table_cells () =
+  Alcotest.(check string) "thousands" "1,234,567" (Table.cell_int 1_234_567);
+  Alcotest.(check string) "negative" "-1,000" (Table.cell_int (-1000));
+  Alcotest.(check string) "small" "42" (Table.cell_int 42);
+  Alcotest.(check string) "percent" "12.3%" (Table.cell_percent 12.34)
+
+let test_table_mismatched_row () =
+  let t = Table.create ~title:"T" ~headers:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "row arity" (Invalid_argument "Table.add_row: cell count does not match headers")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+(* A diamond with a loop back edge: 0 -> 1 -> {2,3} -> 4 -> 1, 4 -> 5. *)
+let diamond_loop () =
+  Digraph.create ~nodes:6
+    ~succ:(function
+      | 0 -> [ 1 ]
+      | 1 -> [ 2; 3 ]
+      | 2 -> [ 4 ]
+      | 3 -> [ 4 ]
+      | 4 -> [ 1; 5 ]
+      | _ -> [])
+    ~entry:0
+
+let test_digraph_rpo () =
+  let g = diamond_loop () in
+  let order = Digraph.rpo g in
+  Alcotest.(check int) "all reachable" 6 (Array.length order);
+  Alcotest.(check int) "entry first" 0 order.(0);
+  let idx = Digraph.rpo_index g in
+  Alcotest.(check bool) "1 before 2" true (idx.(1) < idx.(2));
+  Alcotest.(check bool) "2 before 4" true (idx.(2) < idx.(4))
+
+let test_digraph_back_edges () =
+  let g = diamond_loop () in
+  Alcotest.(check bool) "4->1 is back" true (Digraph.is_back_edge g 4 1);
+  Alcotest.(check bool) "0->1 is not" false (Digraph.is_back_edge g 0 1);
+  Alcotest.(check bool) "1->2 is not" false (Digraph.is_back_edge g 1 2);
+  Alcotest.(check int) "exactly one back edge" 1 (List.length (Digraph.back_edges g))
+
+let test_digraph_dominators () =
+  let g = diamond_loop () in
+  Alcotest.(check bool) "1 dominates 4" true (Digraph.dominates g 1 4);
+  Alcotest.(check bool) "2 does not dominate 4" false (Digraph.dominates g 2 4);
+  Alcotest.(check bool) "0 dominates all" true (Digraph.dominates g 0 5);
+  let idom = Digraph.idom g in
+  Alcotest.(check int) "idom of 4 is 1" 1 idom.(4)
+
+let test_digraph_natural_loop () =
+  let g = diamond_loop () in
+  let members = Digraph.natural_loop g (4, 1) in
+  Alcotest.(check (list int)) "loop body" [ 1; 2; 3; 4 ] members
+
+let test_digraph_unreachable () =
+  let g =
+    Digraph.create ~nodes:4
+      ~succ:(function 0 -> [ 1 ] | 3 -> [ 0 ] | _ -> [])
+      ~entry:0
+  in
+  let reach = Digraph.reachable g in
+  Alcotest.(check bool) "3 unreachable" false reach.(3);
+  Alcotest.(check bool) "1 reachable" true reach.(1)
+
+let test_textplot () =
+  let s =
+    Textplot.grouped_bars ~title:"plot" ~unit_label:"u" ~groups:[ "g1"; "g2" ]
+      ~series:
+        [ { Textplot.label = "a"; values = [ 1.0; 2.0 ] };
+          { Textplot.label = "b"; values = [ 0.5; 1.5 ] } ]
+      ()
+  in
+  Alcotest.(check bool) "contains group" true
+    (Astring_free.contains_substring s "g1");
+  Alcotest.(check bool) "contains label" true (Astring_free.contains_substring s "a")
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean weighted" `Quick test_mean_weighted;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "table arity" `Quick test_table_mismatched_row;
+    Alcotest.test_case "digraph rpo" `Quick test_digraph_rpo;
+    Alcotest.test_case "digraph back edges" `Quick test_digraph_back_edges;
+    Alcotest.test_case "digraph dominators" `Quick test_digraph_dominators;
+    Alcotest.test_case "digraph natural loop" `Quick test_digraph_natural_loop;
+    Alcotest.test_case "digraph unreachable" `Quick test_digraph_unreachable;
+    Alcotest.test_case "textplot" `Quick test_textplot;
+  ]

@@ -1,0 +1,139 @@
+(* Binary-format tests: executables of both ISAs round-trip through the
+   encoder, and decoded programs still run identically. *)
+
+module Encode = Bisa_isa.Encode
+module Op = Bisa_isa.Op
+module Reg = Bisa_isa.Reg
+
+let sample_src =
+  {|
+int tab[16];
+float f = 2.5;
+int helper(int a, float b) { return a + ftoi(b * 2.0); }
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    tab[i & 15] = helper(i, f);
+    switch (i % 5) {
+      case 0: acc = acc + tab[i & 15];
+      case 1: acc = acc - 1;
+      case 2: acc = acc * 2;
+      case 3: acc = acc ^ 12345;
+      default: acc = acc + 1000000;
+    }
+  }
+  print_int(acc);
+  print_float(f);
+  return acc & 255;
+}
+|}
+
+let test_op_roundtrip_cases () =
+  let ops =
+    [
+      Op.Nop;
+      Op.Mov (Reg.Int 4, Reg.Int 5);
+      Op.Li (Reg.Int 6, -123456789);
+      Op.Li (Reg.Int 6, max_int / 2);
+      Op.Lif (Reg.Flt 7, -3.25e17);
+      Op.Alu (Op.Set Bisa_isa.Cmp.Ge, Reg.Int 8, Reg.Int 9, Op.R (Reg.Int 10));
+      Op.Alu (Op.Sra, Reg.Int 8, Reg.Int 9, Op.I (-63));
+      Op.Fpu (Op.Fdiv, Reg.Flt 1, Reg.Flt 2, Reg.Flt 3);
+      Op.Fcmp (Bisa_isa.Cmp.Lt, Reg.Int 4, Reg.Flt 5, Reg.Flt 6);
+      Op.Itof (Reg.Flt 8, Reg.Int 9);
+      Op.Ftoi (Reg.Int 8, Reg.Flt 9);
+      Op.Load (Reg.Int 4, Reg.sp, 32760);
+      Op.Storef (Reg.Flt 4, Reg.Int 5, -8);
+      Op.Print (Reg.Int 2);
+      Op.Printf (Reg.Flt 2);
+    ]
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check string)
+        (Op.to_string op)
+        (Op.to_string op)
+        (Op.to_string (Encode.op_of_bytes (Encode.op_to_bytes op))))
+    ops
+
+let test_conv_roundtrip () =
+  let c = Bisa_compiler.Compiler.compile sample_src in
+  let bytes = Encode.conv_to_bytes c.conv in
+  let decoded = Encode.conv_of_bytes bytes in
+  Alcotest.(check int) "insn count"
+    (Array.length c.conv.insns)
+    (Array.length decoded.insns);
+  Alcotest.(check int) "entry" c.conv.entry decoded.entry;
+  Alcotest.(check bool) "symbols" true (decoded.symbols = c.conv.symbols);
+  (* The decoded program runs identically. *)
+  let o1, n1 = Bisa_sim.Conv_exec.run c.conv () in
+  let o2, n2 = Bisa_sim.Conv_exec.run decoded () in
+  Alcotest.(check bool) "same behaviour" true (Bisa_sim.Output.equal o1 o2 && n1 = n2)
+
+let test_block_roundtrip () =
+  let c = Bisa_compiler.Compiler.compile sample_src in
+  let bytes = Encode.block_to_bytes c.block in
+  let decoded = Encode.block_of_bytes bytes in
+  Alcotest.(check int) "block count"
+    (Array.length c.block.blocks)
+    (Array.length decoded.blocks);
+  Alcotest.(check int) "code bytes" c.block.code_bytes decoded.code_bytes;
+  let o1, n1 = Bisa_sim.Block_exec.run c.block () in
+  let o2, n2 = Bisa_sim.Block_exec.run decoded () in
+  Alcotest.(check bool) "same behaviour" true (Bisa_sim.Output.equal o1 o2 && n1 = n2)
+
+let test_malformed_rejected () =
+  let reject name s =
+    match Encode.conv_of_bytes s with
+    | _ -> Alcotest.failf "%s: expected Malformed" name
+    | exception Encode.Malformed _ -> ()
+  in
+  reject "empty" "";
+  reject "bad magic" "NOTBISA-XX";
+  let c = Bisa_compiler.Compiler.compile sample_src in
+  let good = Encode.conv_to_bytes c.conv in
+  reject "truncated" (String.sub good 0 (String.length good - 3));
+  reject "trailing" (good ^ "x");
+  (match Encode.op_of_bytes "\xff" with
+  | _ -> Alcotest.fail "bad op tag accepted"
+  | exception Encode.Malformed _ -> ())
+
+let prop_op_roundtrip =
+  let gen_op rng =
+    let module Rng = Bisa_base.Rng in
+    let reg_i () = Reg.Int (Rng.int rng 32) in
+    let reg_f () = Reg.Flt (Rng.int rng 32) in
+    match Rng.int rng 10 with
+    | 0 -> Op.Mov (reg_i (), reg_i ())
+    | 1 -> Op.Li (reg_i (), Rng.int_in rng (-1_000_000_000) 1_000_000_000)
+    | 2 -> Op.Lif (reg_f (), Rng.float rng 1e9 -. 5e8)
+    | 3 ->
+      let alus =
+        [| Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem; Op.And; Op.Or; Op.Xor;
+           Op.Sll; Op.Srl; Op.Sra; Op.Set Bisa_isa.Cmp.Lt |]
+      in
+      Op.Alu (Rng.choose rng alus, reg_i (), reg_i (),
+              if Rng.bool rng then Op.R (reg_i ()) else Op.I (Rng.int_in rng (-32768) 32767))
+    | 4 -> Op.Fpu (Op.Fmul, reg_f (), reg_f (), reg_f ())
+    | 5 -> Op.Load (reg_i (), reg_i (), Rng.int_in rng (-1000) 100000)
+    | 6 -> Op.Store (reg_i (), reg_i (), Rng.int_in rng (-1000) 100000)
+    | 7 -> Op.Loadf (reg_f (), reg_i (), Rng.int rng 4096)
+    | 8 -> Op.Itof (reg_f (), reg_i ())
+    | _ -> Op.Print (reg_i ())
+  in
+  QCheck.Test.make ~count:300 ~name:"encode: random op roundtrip"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Bisa_base.Rng.create seed in
+      let op = gen_op rng in
+      Encode.op_of_bytes (Encode.op_to_bytes op) = op)
+
+let suite =
+  [
+    Alcotest.test_case "op roundtrip cases" `Quick test_op_roundtrip_cases;
+    Alcotest.test_case "conv program roundtrip" `Quick test_conv_roundtrip;
+    Alcotest.test_case "block program roundtrip" `Quick test_block_roundtrip;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+    QCheck_alcotest.to_alcotest prop_op_roundtrip;
+  ]

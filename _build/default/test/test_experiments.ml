@@ -1,0 +1,62 @@
+(* Experiment-harness tests: static reports, run caching, and the paper's
+   headline directions on one fast benchmark. *)
+
+module Figures = Bisa_experiments.Figures
+module Harness = Bisa_experiments.Harness
+
+let test_table1_is_paper () =
+  let r = Figures.table1 () in
+  Alcotest.(check string) "id" "table1" r.id;
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true
+        (Astring_free.contains_substring r.rendered fragment))
+    [ "Integer"; "FP/INT Div"; "Bit Field"; "Memory loads"; "8"; "Control instructions" ]
+
+let test_expected_values () =
+  Alcotest.(check (float 1e-9)) "fig3 mean" 12.3
+    Bisa_experiments.Expected.fig3_mean_improvement_pct;
+  Alcotest.(check int) "table2 rows" 8 (List.length Bisa_experiments.Expected.table2);
+  Alcotest.(check (float 1e-9)) "fig5 conv" 5.2
+    Bisa_experiments.Expected.fig5_conv_mean_block
+
+let test_harness_caching () =
+  let h = Harness.create ~scale:1 () in
+  let w = Bisa_workloads.Workloads.find "m88ksim" in
+  let cfg = Harness.base_config h in
+  let t0 = Unix.gettimeofday () in
+  let m1 = Harness.run_conv h w cfg in
+  let t1 = Unix.gettimeofday () in
+  let m2 = Harness.run_conv h w cfg in
+  let t2 = Unix.gettimeofday () in
+  Alcotest.(check bool) "same object" true (m1 == m2);
+  Alcotest.(check bool) "cached run is instant" true (t2 -. t1 < (t1 -. t0) /. 10.0 +. 0.01)
+
+let test_headline_direction () =
+  (* m88ksim is the paper's biggest winner; even at scale 1 the
+     block-structured core must win it. *)
+  let h = Harness.create ~scale:1 () in
+  let w = Bisa_workloads.Workloads.find "m88ksim" in
+  let cfg = Harness.base_config h in
+  let mc = Harness.run_conv h w cfg in
+  let mb = Harness.run_block h w cfg in
+  Alcotest.(check bool) "block wins m88ksim" true (mb.cycles < mc.cycles);
+  (* Figure 5's direction: enlarged blocks are bigger. *)
+  Alcotest.(check bool) "bigger blocks" true
+    (Bisa_timing.Metrics.mean_block_size mb > Bisa_timing.Metrics.mean_block_size mc)
+
+let test_sweep_shape () =
+  let h = Harness.create () in
+  Alcotest.(check int) "three sweep points" 3 (List.length (Harness.sweep_caches h));
+  let hp = Harness.create ~paper_caches:true () in
+  let labels = List.map fst (Harness.sweep_caches hp) in
+  Alcotest.(check (list string)) "paper sizes" [ "16KB"; "32KB"; "64KB" ] labels
+
+let suite =
+  [
+    Alcotest.test_case "table1" `Quick test_table1_is_paper;
+    Alcotest.test_case "expected values" `Quick test_expected_values;
+    Alcotest.test_case "harness caching" `Slow test_harness_caching;
+    Alcotest.test_case "headline direction" `Slow test_headline_direction;
+    Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+  ]

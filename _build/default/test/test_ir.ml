@@ -1,0 +1,108 @@
+(* Tests for the IR: builder, CFG utilities, liveness. *)
+
+open Bisa_ir
+module Cmp = Bisa_isa.Cmp
+
+(* Build: entry computes v0 = a + b, loops v0 down to zero, returns it. *)
+let build_loop_func () =
+  let b = Builder.create ~name:"f" ~ret_kind:(Some Ir.Kint) () in
+  let a = Builder.add_param b Ir.Kint in
+  let entry = Builder.new_block b in
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.switch_to b entry;
+  let v = Builder.fresh_vreg b Ir.Kint in
+  Builder.emit b (Ir.Bin (Ir.Add, v, Ir.V a, Ir.Cint 1));
+  Builder.terminate b (Ir.Jmp header);
+  Builder.switch_to b header;
+  Builder.terminate b (Ir.Br (Cmp.Gt, Ir.V v, Ir.Cint 0, body, exit));
+  Builder.switch_to b body;
+  Builder.emit b (Ir.Bin (Ir.Sub, v, Ir.V v, Ir.Cint 1));
+  Builder.terminate b (Ir.Jmp header);
+  Builder.switch_to b exit;
+  Builder.terminate b (Ir.Ret (Some (Ir.V v)));
+  Builder.finish b ~entry
+
+let test_builder_shapes () =
+  let f = build_loop_func () in
+  Alcotest.(check int) "blocks" 4 (Array.length f.blocks);
+  Alcotest.(check int) "params" 1 (List.length f.params);
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Cfg.validate f)
+
+let test_builder_errors () =
+  let b = Builder.create ~name:"g" ~ret_kind:None () in
+  let l = Builder.new_block b in
+  Builder.switch_to b l;
+  Builder.terminate b Ir.Halt;
+  Alcotest.check_raises "double terminate" (Invalid_argument "g: block terminated twice")
+    (fun () -> Builder.terminate b Ir.Halt);
+  Alcotest.check_raises "emit after seal" (Invalid_argument "g: emit into sealed block")
+    (fun () -> Builder.emit b (Ir.Mov (0, Ir.Cint 1)))
+
+let test_unterminated_rejected () =
+  let b = Builder.create ~name:"h" ~ret_kind:None () in
+  let l = Builder.new_block b in
+  Builder.switch_to b l;
+  Alcotest.check_raises "unterminated" (Invalid_argument "h: unterminated block")
+    (fun () -> ignore (Builder.finish b ~entry:l))
+
+let test_liveness () =
+  let f = build_loop_func () in
+  let live = Liveness.analyze f in
+  let v = 1 (* the loop counter: param is vreg 0 *) in
+  (* v is live into the header and the body, and out of the entry. *)
+  Alcotest.(check bool) "live into header" true (Bitset.mem live.live_in.(1) v);
+  Alcotest.(check bool) "live into body" true (Bitset.mem live.live_in.(2) v);
+  Alcotest.(check bool) "live out of entry" true (Bitset.mem live.live_out.(0) v);
+  (* the parameter is consumed in the entry block *)
+  Alcotest.(check bool) "param dead after entry" false (Bitset.mem live.live_out.(0) 0)
+
+let test_remove_unreachable () =
+  let b = Builder.create ~name:"u" ~ret_kind:None () in
+  let entry = Builder.new_block b in
+  let dead = Builder.new_block b in
+  Builder.switch_to b entry;
+  Builder.terminate b (Ir.Ret None);
+  Builder.switch_to b dead;
+  Builder.terminate b (Ir.Ret None);
+  let f = Builder.finish b ~entry in
+  Cfg.remove_unreachable f;
+  Alcotest.(check int) "only entry kept" 1 (Array.length f.blocks)
+
+let test_ir_metadata () =
+  let op = Ir.Bin (Ir.Add, 3, Ir.V 1, Ir.Cint 5) in
+  Alcotest.(check (list int)) "defs" [ 3 ] (Ir.op_defs op);
+  Alcotest.(check (list int)) "uses" [ 1 ] (Ir.op_uses op);
+  let t = Ir.Call { dst = Some 2; callee = "f"; args = [ Ir.V 7 ]; cont = 4 } in
+  Alcotest.(check (list int)) "term defs" [ 2 ] (Ir.term_defs t);
+  Alcotest.(check (list int)) "term uses" [ 7 ] (Ir.term_uses t);
+  Alcotest.(check (list int)) "successors" [ 4 ] (Ir.successors t);
+  let sw = Ir.Switch (Ir.V 0, [| 1; 2 |], 3) in
+  Alcotest.(check (list int)) "switch succs" [ 1; 2; 3 ] (Ir.successors sw)
+
+let test_bitset () =
+  let s = Bitset.create 100 in
+  Bitset.add s 3;
+  Bitset.add s 99;
+  Alcotest.(check bool) "mem" true (Bitset.mem s 3);
+  Alcotest.(check bool) "not mem" false (Bitset.mem s 4);
+  Bitset.remove s 3;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 3);
+  Alcotest.(check (list int)) "elements" [ 99 ] (Bitset.elements s);
+  let t = Bitset.create 100 in
+  Bitset.add t 50;
+  Alcotest.(check bool) "union changes" true (Bitset.union_into ~dst:s t);
+  Alcotest.(check bool) "union idempotent" false (Bitset.union_into ~dst:s t);
+  Alcotest.(check int) "cardinal" 2 (Bitset.cardinal s)
+
+let suite =
+  [
+    Alcotest.test_case "builder shapes" `Quick test_builder_shapes;
+    Alcotest.test_case "builder errors" `Quick test_builder_errors;
+    Alcotest.test_case "unterminated rejected" `Quick test_unterminated_rejected;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "remove unreachable" `Quick test_remove_unreachable;
+    Alcotest.test_case "ir metadata" `Quick test_ir_metadata;
+    Alcotest.test_case "bitset" `Quick test_bitset;
+  ]

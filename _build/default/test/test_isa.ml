@@ -1,0 +1,156 @@
+(* Unit tests for bisa_isa: registers, opclasses (paper Table 1), operation
+   metadata, atomic blocks, program containers. *)
+
+open Bisa_isa
+
+let test_table1_latencies () =
+  (* These ARE the paper's Table 1; a regression here breaks every
+     experiment. *)
+  let expect =
+    [
+      (Opclass.Integer, 1); (Opclass.Fp_add, 3); (Opclass.Mul, 3); (Opclass.Div, 8);
+      (Opclass.Load, 2); (Opclass.Store, 1); (Opclass.Bit_field, 1); (Opclass.Branch, 1);
+    ]
+  in
+  List.iter
+    (fun (c, l) ->
+      Alcotest.(check int) (Opclass.to_string c) l (Opclass.latency c))
+    expect;
+  Alcotest.(check int) "eight classes" 8 (List.length Opclass.all)
+
+let test_reg_flat_roundtrip () =
+  for i = 0 to Reg.flat_count - 1 do
+    Alcotest.(check int) "roundtrip" i (Reg.flat_index (Reg.of_flat_index i))
+  done
+
+let test_reg_conventions () =
+  Alcotest.(check string) "zero" "r0" (Reg.to_string Reg.zero);
+  Alcotest.(check string) "sp" "r1" (Reg.to_string Reg.sp);
+  Alcotest.(check string) "ra" "r31" (Reg.to_string Reg.ra);
+  Alcotest.(check int) "8 int args" 8 (List.length Reg.int_args);
+  Alcotest.(check bool) "args are int regs" true (List.for_all Reg.is_int Reg.int_args)
+
+let test_cmp_negate () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool)
+            (Cmp.to_string c)
+            (not (Cmp.eval c a b))
+            (Cmp.eval (Cmp.negate c) a b))
+        [ (0, 0); (1, 2); (2, 1); (-5, 3) ])
+    Cmp.all
+
+let test_cmp_swap () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool) (Cmp.to_string c) (Cmp.eval c a b)
+            (Cmp.eval (Cmp.swap c) b a))
+        [ (0, 0); (1, 2); (2, 1); (-5, 3) ])
+    Cmp.all
+
+let test_eval_alu_semantics () =
+  Alcotest.(check int) "div trunc" (-2) (Op.eval_alu Op.Div (-5) 2);
+  Alcotest.(check int) "div by zero" 0 (Op.eval_alu Op.Div 17 0);
+  Alcotest.(check int) "rem by zero" 0 (Op.eval_alu Op.Rem 17 0);
+  Alcotest.(check int) "rem sign" (-1) (Op.eval_alu Op.Rem (-5) 2);
+  Alcotest.(check int) "shift mask" (2 * 4) (Op.eval_alu Op.Sll 2 66);
+  Alcotest.(check int) "sra" (-2) (Op.eval_alu Op.Sra (-8) 2);
+  Alcotest.(check int) "set" 1 (Op.eval_alu (Op.Set Cmp.Lt) 1 2)
+
+let test_op_defs_uses () =
+  let open Op in
+  let r4 = Reg.Int 4 and r5 = Reg.Int 5 and r6 = Reg.Int 6 in
+  Alcotest.(check (list string)) "alu defs" [ "r4" ]
+    (List.map Reg.to_string (defs (Alu (Add, r4, r5, R r6))));
+  Alcotest.(check (list string)) "alu uses" [ "r5"; "r6" ]
+    (List.map Reg.to_string (uses (Alu (Add, r4, r5, R r6))));
+  Alcotest.(check (list string)) "store defs none" []
+    (List.map Reg.to_string (defs (Store (r4, r5, 0))));
+  (* Writes to r0 are dropped. *)
+  Alcotest.(check (list string)) "r0 write dropped" []
+    (List.map Reg.to_string (defs (Alu (Add, Reg.zero, r5, I 1))));
+  Alcotest.(check bool) "load is load" true (is_load (Load (r4, r5, 8)));
+  Alcotest.(check bool) "load is mem" true (is_mem (Load (r4, r5, 8)))
+
+let test_insn_control () =
+  let open Insn in
+  Alcotest.(check bool) "br is control" true (is_control (Br (Cmp.Eq, Reg.zero, Reg.zero, 0)));
+  Alcotest.(check bool) "op not control" false (is_control (Op Op.Nop));
+  Alcotest.(check bool) "halt control" true (is_control Halt);
+  Alcotest.(check (option int)) "label" (Some 7) (label (Jmp 7));
+  Alcotest.(check (option int)) "no label" None (label Ret)
+
+let sample_block () =
+  {
+    Ablock.elts =
+      [|
+        Ablock.Op (Op.Alu (Op.Add, Reg.Int 4, Reg.Int 5, Op.I 1));
+        Ablock.Fault (Cmp.Eq, Reg.Int 4, Reg.zero, 9);
+        Ablock.Op (Op.Load (Reg.Int 6, Reg.Int 4, 0));
+      |];
+    term =
+      Ablock.Trap
+        {
+          cmp = Cmp.Lt;
+          rs1 = Reg.Int 6;
+          rs2 = Reg.zero;
+          taken = 2;
+          not_taken = 3;
+          succ_log2 = 1;
+        };
+  }
+
+let test_ablock_metadata () =
+  let b = sample_block () in
+  Alcotest.(check int) "size incl term" 4 (Ablock.size b);
+  Alcotest.(check int) "faults" 1 (Ablock.fault_count b);
+  Alcotest.(check (list int)) "explicit successors" [ 9; 2; 3 ]
+    (Ablock.explicit_successors b)
+
+let test_ablock_map_label () =
+  let b = Ablock.map_label (fun l -> l * 10) (sample_block ()) in
+  Alcotest.(check (list int)) "mapped" [ 90; 20; 30 ] (Ablock.explicit_successors b)
+
+let test_block_prog_layout () =
+  let blocks = [| sample_block (); sample_block () |] in
+  let addr, total = Block_prog.layout blocks in
+  Alcotest.(check int) "first at 0" 0 addr.(0);
+  (* header 4 + 4 ops * 4 = 20 bytes *)
+  Alcotest.(check int) "second after first" 20 addr.(1);
+  Alcotest.(check int) "total" 40 total
+
+let test_conv_prog_blocks () =
+  let insns =
+    [|
+      Insn.Op Op.Nop;
+      Insn.Br (Cmp.Eq, Reg.zero, Reg.zero, 0);
+      Insn.Op Op.Nop;
+      Insn.Halt;
+    |]
+  in
+  let prog =
+    { Conv_prog.insns; entry = 0; data = [||]; data_base = 0; symbols = [ ("main", 0) ] }
+  in
+  let starts = Conv_prog.basic_block_starts prog in
+  Alcotest.(check (array bool)) "block starts" [| true; false; true; false |] starts;
+  Alcotest.(check int) "addr" 8 (Conv_prog.insn_addr 2)
+
+let suite =
+  [
+    Alcotest.test_case "table 1 latencies" `Quick test_table1_latencies;
+    Alcotest.test_case "reg flat roundtrip" `Quick test_reg_flat_roundtrip;
+    Alcotest.test_case "reg conventions" `Quick test_reg_conventions;
+    Alcotest.test_case "cmp negate" `Quick test_cmp_negate;
+    Alcotest.test_case "cmp swap" `Quick test_cmp_swap;
+    Alcotest.test_case "alu semantics" `Quick test_eval_alu_semantics;
+    Alcotest.test_case "op defs/uses" `Quick test_op_defs_uses;
+    Alcotest.test_case "insn control" `Quick test_insn_control;
+    Alcotest.test_case "ablock metadata" `Quick test_ablock_metadata;
+    Alcotest.test_case "ablock map_label" `Quick test_ablock_map_label;
+    Alcotest.test_case "block layout" `Quick test_block_prog_layout;
+    Alcotest.test_case "conv basic blocks" `Quick test_conv_prog_blocks;
+  ]

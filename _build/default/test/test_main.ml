@@ -1,0 +1,21 @@
+(* The toolchain's test entry point: one suite per library layer. *)
+
+let () =
+  Alcotest.run "bisa"
+    [
+      ("base", Test_base.suite);
+      ("isa", Test_isa.suite);
+      ("encode", Test_encode.suite);
+      ("frontend", Test_frontend.suite);
+      ("ir", Test_ir.suite);
+      ("opt", Test_opt.suite);
+      ("backend", Test_backend.suite);
+      ("sim", Test_sim.suite);
+      ("uarch", Test_uarch.suite);
+      ("timing", Test_timing.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,231 @@
+(* Optimizer tests: each pass in isolation plus end-to-end semantic
+   preservation (optimized vs unoptimized executables agree with the
+   interpreter). *)
+
+open Bisa_ir
+module Cmp = Bisa_isa.Cmp
+module Constfold = Bisa_opt.Constfold
+module Localopt = Bisa_opt.Localopt
+module Dce = Bisa_opt.Dce
+module Simplify_cfg = Bisa_opt.Simplify_cfg
+
+let func_of ops term =
+  {
+    Ir.name = "t";
+    params = [];
+    ret_kind = None;
+    vreg_kinds = Array.make 16 Ir.Kint;
+    blocks = [| { Ir.ops; term } |];
+    entry = 0;
+    is_library = false;
+  }
+
+let test_constfold_ops () =
+  let f =
+    func_of
+      [
+        Ir.Bin (Ir.Add, 0, Ir.Cint 2, Ir.Cint 3);
+        Ir.Bin (Ir.Mul, 1, Ir.V 0, Ir.Cint 0);
+        Ir.Bin (Ir.Add, 2, Ir.V 0, Ir.Cint 0);
+        Ir.Cmpset (Cmp.Lt, 3, Ir.Cint 1, Ir.Cint 2);
+        Ir.Bin (Ir.Div, 4, Ir.V 0, Ir.Cint 0);
+      ]
+      Ir.Halt
+  in
+  Alcotest.(check bool) "changed" true (Constfold.run f);
+  (match f.blocks.(0).ops with
+  | [ Ir.Mov (0, Ir.Cint 5); Ir.Mov (1, Ir.Cint 0); Ir.Mov (2, Ir.V 0);
+      Ir.Mov (3, Ir.Cint 1); Ir.Mov (4, Ir.Cint 0) ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected fold results");
+  Alcotest.(check bool) "fixpoint" false (Constfold.run f)
+
+let test_constfold_branch () =
+  let f = func_of [] (Ir.Br (Cmp.Lt, Ir.Cint 1, Ir.Cint 2, 0, 0)) in
+  ignore (Constfold.run f);
+  (match f.blocks.(0).term with
+  | Ir.Jmp 0 -> ()
+  | _ -> Alcotest.fail "branch not folded")
+
+let test_constfold_semantics () =
+  Alcotest.(check int) "div trunc" (-2) (Constfold.eval_binop Ir.Div (-5) 2);
+  Alcotest.(check int) "div0" 0 (Constfold.eval_binop Ir.Div 9 0);
+  Alcotest.(check int) "shift mask" 4 (Constfold.eval_binop Ir.Sll 1 66)
+
+let test_copyprop () =
+  let f =
+    func_of
+      [
+        Ir.Mov (0, Ir.Cint 7);
+        Ir.Bin (Ir.Add, 1, Ir.V 0, Ir.V 0);
+        Ir.Mov (2, Ir.V 1);
+        Ir.Bin (Ir.Add, 3, Ir.V 2, Ir.Cint 1);
+        (* Redefining v1 must kill the v2 -> v1 binding. *)
+        Ir.Mov (1, Ir.Cint 0);
+        Ir.Bin (Ir.Add, 4, Ir.V 2, Ir.Cint 2);
+      ]
+      Ir.Halt
+  in
+  ignore (Localopt.copyprop f);
+  (match f.blocks.(0).ops with
+  | [ _; Ir.Bin (Ir.Add, 1, Ir.Cint 7, Ir.Cint 7); _;
+      Ir.Bin (Ir.Add, 3, Ir.V 1, Ir.Cint 1); _;
+      Ir.Bin (Ir.Add, 4, Ir.V 2, Ir.Cint 2) ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected copyprop result")
+
+let test_cse () =
+  let f =
+    func_of
+      [
+        Ir.Bin (Ir.Add, 1, Ir.V 0, Ir.Cint 3);
+        Ir.Bin (Ir.Add, 2, Ir.V 0, Ir.Cint 3);
+        (* A load is available until a store intervenes. *)
+        Ir.Load (3, Ir.V 0, 8);
+        Ir.Load (4, Ir.V 0, 8);
+        Ir.Store (Ir.Cint 1, Ir.V 0, 16);
+        Ir.Load (5, Ir.V 0, 8);
+      ]
+      Ir.Halt
+  in
+  ignore (Localopt.cse f);
+  (match f.blocks.(0).ops with
+  | [ _; Ir.Mov (2, Ir.V 1); _; Ir.Mov (4, Ir.V 3); _; Ir.Load (5, Ir.V 0, 8) ] -> ()
+  | _ -> Alcotest.fail "unexpected cse result")
+
+let test_cse_kill_on_redef () =
+  let f =
+    func_of
+      [
+        Ir.Bin (Ir.Add, 1, Ir.V 0, Ir.Cint 3);
+        Ir.Mov (0, Ir.Cint 9);
+        (* v0 changed: this is NOT the same computation. *)
+        Ir.Bin (Ir.Add, 2, Ir.V 0, Ir.Cint 3);
+      ]
+      Ir.Halt
+  in
+  ignore (Localopt.cse f);
+  (match f.blocks.(0).ops with
+  | [ _; _; Ir.Bin (Ir.Add, 2, Ir.V 0, Ir.Cint 3) ] -> ()
+  | _ -> Alcotest.fail "cse must not reuse a stale value")
+
+let test_dce () =
+  let f =
+    func_of
+      [
+        Ir.Bin (Ir.Add, 0, Ir.Cint 1, Ir.Cint 2);  (* dead *)
+        Ir.Bin (Ir.Add, 1, Ir.Cint 3, Ir.Cint 4);  (* used by the store *)
+        Ir.Store (Ir.V 1, Ir.Cint 0x100, 0);       (* side effect: kept *)
+        Ir.Load (2, Ir.Cint 0x100, 0);             (* dead load: removable *)
+      ]
+      Ir.Halt
+  in
+  ignore (Dce.run f);
+  Alcotest.(check int) "two ops survive" 2 (List.length f.blocks.(0).ops)
+
+let test_simplify_cfg_threading () =
+  (* 0 -> 1(empty) -> 2; jump threading then merging collapses to 1 block *)
+  let f =
+    {
+      Ir.name = "t";
+      params = [];
+      ret_kind = None;
+      vreg_kinds = [||];
+      blocks =
+        [|
+          { Ir.ops = []; term = Ir.Jmp 1 };
+          { Ir.ops = []; term = Ir.Jmp 2 };
+          { Ir.ops = []; term = Ir.Halt };
+        |];
+      entry = 0;
+      is_library = false;
+    }
+  in
+  while Simplify_cfg.run f do () done;
+  Alcotest.(check int) "collapsed" 1 (Array.length f.blocks);
+  (match f.blocks.(0).term with Ir.Halt -> () | _ -> Alcotest.fail "wrong terminator")
+
+let test_simplify_infinite_loop_safe () =
+  let f =
+    {
+      Ir.name = "t";
+      params = [];
+      ret_kind = None;
+      vreg_kinds = [||];
+      blocks = [| { Ir.ops = []; term = Ir.Jmp 0 } |];
+      entry = 0;
+      is_library = false;
+    }
+  in
+  ignore (Simplify_cfg.run f);
+  Alcotest.(check int) "still one block" 1 (Array.length f.blocks)
+
+(* End-to-end: O0 and O1 compilations agree with the interpreter. *)
+let semantic_src =
+  {|
+int tbl[32];
+int helper(int a, int b) {
+  int x = a * 3 + b;
+  if (x % 7 == 0) { x = x / 2 + 5 * 0; }
+  return x - b + 0;
+}
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    tbl[i & 31] = helper(i, acc & 15);
+    acc = acc + tbl[i & 31] + 2 * 8;
+  }
+  print_int(acc);
+  return acc & 255;
+}
+|}
+
+let exec_output prog =
+  let out, _ = Bisa_sim.Conv_exec.run prog () in
+  out
+
+let test_opt_preserves_semantics () =
+  let tp = Bisa_frontend.Typecheck.check (Bisa_frontend.Parser.parse semantic_src) in
+  let r = Bisa_frontend.Interp.run tp in
+  let expected =
+    { Bisa_sim.Output.ret = r.ret;
+      items =
+        List.map
+          (function
+            | Bisa_frontend.Interp.Oint v -> Bisa_sim.Output.Oint v
+            | Bisa_frontend.Interp.Oflt v -> Bisa_sim.Output.Oflt v)
+          r.outputs }
+  in
+  List.iter
+    (fun opt ->
+      let c = Bisa_compiler.Compiler.compile ~opt semantic_src in
+      Alcotest.(check bool) "conv matches interp" true
+        (Bisa_sim.Output.equal (exec_output c.conv) expected);
+      let bout, _ = Bisa_sim.Block_exec.run c.block () in
+      Alcotest.(check bool) "block matches interp" true
+        (Bisa_sim.Output.equal bout expected))
+    [ Bisa_opt.Pipeline.O0; Bisa_opt.Pipeline.O1 ]
+
+let test_opt_reduces_code () =
+  let _, ir0 = Bisa_compiler.Compiler.frontend semantic_src in
+  let _, ir1 = Bisa_compiler.Compiler.frontend semantic_src in
+  Bisa_opt.Pipeline.optimize Bisa_opt.Pipeline.O0 ir0;
+  Bisa_opt.Pipeline.optimize Bisa_opt.Pipeline.O1 ir1;
+  let count p = List.fold_left (fun a f -> a + Ir.func_op_count f) 0 p.Ir.funcs in
+  Alcotest.(check bool) "O1 is smaller" true (count ir1 < count ir0)
+
+let suite =
+  [
+    Alcotest.test_case "constfold ops" `Quick test_constfold_ops;
+    Alcotest.test_case "constfold branch" `Quick test_constfold_branch;
+    Alcotest.test_case "constfold semantics" `Quick test_constfold_semantics;
+    Alcotest.test_case "copyprop" `Quick test_copyprop;
+    Alcotest.test_case "cse" `Quick test_cse;
+    Alcotest.test_case "cse kill on redef" `Quick test_cse_kill_on_redef;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "cfg threading" `Quick test_simplify_cfg_threading;
+    Alcotest.test_case "cfg infinite loop" `Quick test_simplify_infinite_loop_safe;
+    Alcotest.test_case "opt preserves semantics" `Quick test_opt_preserves_semantics;
+    Alcotest.test_case "opt reduces code" `Quick test_opt_reduces_code;
+  ]

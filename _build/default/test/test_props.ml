@@ -1,0 +1,280 @@
+(* Property-based tests (qcheck): random programs through the whole
+   compiler vs the reference interpreter, plus invariants of the core
+   data structures. *)
+
+module Q = QCheck
+module Rng = Bisa_base.Rng
+
+(* --- Random MiniC program generation --------------------------------------- *)
+
+(* Expressions over the in-scope integer variables; all operators, with
+   semantics fully defined (zero divides yield 0, shifts masked). *)
+let rec gen_expr rng depth vars =
+  if depth = 0 || Rng.int rng 10 < 3 then begin
+    if Rng.bool rng && vars <> [] then Rng.choose rng (Array.of_list vars)
+    else string_of_int (Rng.int_in rng (-100) 100)
+  end
+  else begin
+    let a = gen_expr rng (depth - 1) vars in
+    let b = gen_expr rng (depth - 1) vars in
+    match Rng.int rng 16 with
+    | 0 -> Printf.sprintf "(%s + %s)" a b
+    | 1 -> Printf.sprintf "(%s - %s)" a b
+    | 2 -> Printf.sprintf "(%s * %s)" a b
+    | 3 -> Printf.sprintf "(%s / %s)" a b
+    | 4 -> Printf.sprintf "(%s %% %s)" a b
+    | 5 -> Printf.sprintf "(%s & %s)" a b
+    | 6 -> Printf.sprintf "(%s | %s)" a b
+    | 7 -> Printf.sprintf "(%s ^ %s)" a b
+    | 8 -> Printf.sprintf "(%s << (%s & 7))" a b
+    | 9 -> Printf.sprintf "(%s >> (%s & 7))" a b
+    | 10 -> Printf.sprintf "(%s < %s)" a b
+    | 11 -> Printf.sprintf "(%s == %s)" a b
+    | 12 -> Printf.sprintf "(%s && %s)" a b
+    | 13 -> Printf.sprintf "(%s || %s)" a b
+    | 14 -> Printf.sprintf "(-%s)" a
+    | _ -> Printf.sprintf "(!%s)" a
+  end
+
+(* [vars] may be read anywhere; only [assignable] may be written — loop
+   counters are read-only so every loop provably terminates. *)
+let rec gen_stmts rng depth vars assignable budget =
+  if budget <= 0 then []
+  else begin
+    let stmt, vars', assignable' =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        let v = Printf.sprintf "x%d" (List.length vars) in
+        (Printf.sprintf "int %s = %s;" v (gen_expr rng 3 vars), v :: vars, v :: assignable)
+      | 4 | 5 when assignable <> [] ->
+        let v = Rng.choose rng (Array.of_list assignable) in
+        (Printf.sprintf "%s = %s;" v (gen_expr rng 3 vars), vars, assignable)
+      | 6 when depth > 0 ->
+        let body = gen_stmts rng (depth - 1) vars assignable (budget / 2) in
+        let els = gen_stmts rng (depth - 1) vars assignable (budget / 2) in
+        ( Printf.sprintf "if (%s) { %s } else { %s }" (gen_expr rng 2 vars)
+            (String.concat " " body) (String.concat " " els),
+          vars, assignable )
+      | 7 when depth > 0 ->
+        (* Bounded loop; the counter is not assignable inside. *)
+        let v = Printf.sprintf "i%d" (List.length vars) in
+        let body = gen_stmts rng (depth - 1) (v :: vars) assignable (budget / 2) in
+        ( Printf.sprintf "for (int %s = 0; %s < %d; %s = %s + 1) { %s }" v v
+            (Rng.int_in rng 1 8) v v (String.concat " " body),
+          vars, assignable )
+      | _ when vars <> [] ->
+        (Printf.sprintf "print_int(%s);" (gen_expr rng 2 vars), vars, assignable)
+      | _ -> ("print_int(7);", vars, assignable)
+    in
+    stmt :: gen_stmts rng depth vars' assignable' (budget - 1)
+  end
+
+let gen_program seed =
+  let rng = Rng.create seed in
+  let body = gen_stmts rng 2 [] [] 10 in
+  Printf.sprintf "int main() { %s return 0; }" (String.concat " " body)
+
+let outputs_of_interp src =
+  let tp = Bisa_frontend.Typecheck.check (Bisa_frontend.Parser.parse src) in
+  let r = Bisa_frontend.Interp.run ~fuel:50_000_000 tp in
+  {
+    Bisa_sim.Output.ret = r.ret;
+    items =
+      List.map
+        (function
+          | Bisa_frontend.Interp.Oint v -> Bisa_sim.Output.Oint v
+          | Bisa_frontend.Interp.Oflt v -> Bisa_sim.Output.Oflt v)
+        r.outputs;
+  }
+
+let prop_compiler_differential =
+  Q.Test.make ~count:60 ~name:"random program: interp = conv exec = block exec"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      let expected = outputs_of_interp src in
+      let c = Bisa_compiler.Compiler.compile src in
+      let conv, _ = Bisa_sim.Conv_exec.run c.conv () in
+      let block, _ = Bisa_sim.Block_exec.run c.block () in
+      if not (Bisa_sim.Output.equal conv expected) then
+        Q.Test.fail_reportf "conv mismatch on seed %d:\n%s\nconv:   %s\ninterp: %s" seed
+          src
+          (Bisa_sim.Output.to_string conv)
+          (Bisa_sim.Output.to_string expected);
+      if not (Bisa_sim.Output.equal block expected) then
+        Q.Test.fail_reportf "block mismatch on seed %d:\n%s\nblock:  %s\ninterp: %s" seed
+          src
+          (Bisa_sim.Output.to_string block)
+          (Bisa_sim.Output.to_string expected);
+      true)
+
+let prop_unopt_equals_opt =
+  Q.Test.make ~count:40 ~name:"random program: O0 = O1"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let src = gen_program (seed + 7_000_000) in
+      let c0 = Bisa_compiler.Compiler.compile ~opt:Bisa_opt.Pipeline.O0 src in
+      let c1 = Bisa_compiler.Compiler.compile ~opt:Bisa_opt.Pipeline.O1 src in
+      let o0, _ = Bisa_sim.Conv_exec.run c0.conv () in
+      let o1, _ = Bisa_sim.Conv_exec.run c1.conv () in
+      Bisa_sim.Output.equal o0 o1)
+
+(* --- Enlargement invariants -------------------------------------------------- *)
+
+let prop_enlargement_invariants =
+  Q.Test.make ~count:40 ~name:"enlargement: size/fault bounds on random programs"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let src = gen_program (seed + 3_000_000) in
+      let c = Bisa_compiler.Compiler.compile src in
+      Array.for_all
+        (fun (b : int Bisa_isa.Ablock.t) ->
+          Bisa_isa.Ablock.size b <= 16 && Bisa_isa.Ablock.fault_count b <= 2)
+        c.block.blocks)
+
+let prop_variant_groups_consistent =
+  Q.Test.make ~count:25 ~name:"variant groups are symmetric and contain their reps"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let src = gen_program (seed + 5_000_000) in
+      let c = Bisa_compiler.Compiler.compile src in
+      let ok = ref true in
+      Array.iteri
+        (fun b group ->
+          if not (Array.exists (fun x -> x = b) group) then ok := false;
+          Array.iter
+            (fun v ->
+              if not (Array.exists (fun x -> x = b) c.block.variant_group.(v)) then
+                ok := false)
+            group)
+        c.block.variant_group;
+      !ok)
+
+(* --- Cache model vs a reference implementation ------------------------------- *)
+
+module Ref_cache = struct
+  (* Straightforward per-set MRU-list model. *)
+  type t = { sets : int list array ref; nsets : int; assoc : int; shift : int }
+
+  let create ~sets ~assoc ~shift = { sets = ref (Array.make sets []); nsets = sets; assoc; shift }
+
+  let access t addr =
+    let line = addr lsr t.shift in
+    let s = line mod t.nsets in
+    let ways = !(t.sets).(s) in
+    let hit = List.mem line ways in
+    let ways' = line :: List.filter (fun l -> l <> line) ways in
+    let ways' = if List.length ways' > t.assoc then List.filteri (fun i _ -> i < t.assoc) ways' else ways' in
+    !(t.sets).(s) <- ways';
+    hit
+end
+
+let prop_cache_matches_reference =
+  Q.Test.make ~count:50 ~name:"cache model = reference LRU"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let cache =
+        Bisa_uarch.Cache.create { size_bytes = 512; assoc = 2; line_bytes = 32 }
+      in
+      (* 512/(2*32) = 8 sets, 32B lines -> shift 5. *)
+      let reference = Ref_cache.create ~sets:8 ~assoc:2 ~shift:5 in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let addr = Rng.int rng 4096 in
+        let h1 = Bisa_uarch.Cache.access cache addr in
+        let h2 = Ref_cache.access reference addr in
+        if h1 <> h2 then ok := false
+      done;
+      !ok)
+
+(* --- Parallel moves ------------------------------------------------------------ *)
+
+let prop_parallel_moves =
+  Q.Test.make ~count:200 ~name:"parallel moves realize any assignment"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let module Reg = Bisa_isa.Reg in
+      let n = 1 + Rng.int rng 6 in
+      let dsts = Array.init n (fun i -> Reg.Int (4 + i)) in
+      let srcs = Array.init n (fun _ -> Reg.Int (4 + Rng.int rng 8)) in
+      let pairs = Array.to_list (Array.map2 (fun d s -> (d, s)) dsts srcs) in
+      let seq = Bisa_backend.Isel.parallel_moves pairs ~scratch:Reg.at in
+      (* Simulate. *)
+      let value = Hashtbl.create 16 in
+      for i = 0 to 11 do
+        Hashtbl.replace value (Reg.Int (4 + i)) (100 + i)
+      done;
+      Hashtbl.replace value Reg.at (-1);
+      let expected =
+        List.map (fun (d, s) -> (d, Hashtbl.find value s)) pairs
+      in
+      List.iter (fun (d, s) -> Hashtbl.replace value d (Hashtbl.find value s)) seq;
+      List.for_all (fun (d, v) -> Hashtbl.find value d = v) expected)
+
+(* --- Digraph dominators --------------------------------------------------------- *)
+
+let prop_dominators =
+  Q.Test.make ~count:100 ~name:"entry dominates every reachable node"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 12 in
+      let succs = Array.init n (fun _ ->
+          List.init (Rng.int rng 3) (fun _ -> Rng.int rng n))
+      in
+      let g = Bisa_base.Digraph.create ~nodes:n ~succ:(fun i -> succs.(i)) ~entry:0 in
+      let reach = Bisa_base.Digraph.reachable g in
+      let idom = Bisa_base.Digraph.idom g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if reach.(v) then begin
+          if not (Bisa_base.Digraph.dominates g 0 v) then ok := false;
+          (* The immediate dominator of a reachable non-entry node is
+             reachable and dominates it. *)
+          if v <> 0 then begin
+            if idom.(v) < 0 then ok := false
+            else if not (Bisa_base.Digraph.dominates g idom.(v) v) then ok := false
+          end
+        end
+      done;
+      !ok)
+
+(* --- Bitset vs reference sets ---------------------------------------------------- *)
+
+module Iset = Set.Make (Int)
+
+let prop_bitset =
+  Q.Test.make ~count:200 ~name:"bitset matches Set"
+    Q.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 64 in
+      let bs = Bisa_ir.Bitset.create n in
+      let reference = ref Iset.empty in
+      for _ = 1 to 100 do
+        let v = Rng.int rng n in
+        if Rng.bool rng then begin
+          Bisa_ir.Bitset.add bs v;
+          reference := Iset.add v !reference
+        end
+        else begin
+          Bisa_ir.Bitset.remove bs v;
+          reference := Iset.remove v !reference
+        end
+      done;
+      Bisa_ir.Bitset.elements bs = Iset.elements !reference)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compiler_differential;
+      prop_unopt_equals_opt;
+      prop_enlargement_invariants;
+      prop_variant_groups_consistent;
+      prop_cache_matches_reference;
+      prop_parallel_moves;
+      prop_dominators;
+      prop_bitset;
+    ]

