@@ -10,8 +10,16 @@ let read_source path_or_name =
   end
   else begin
     (* Fall back to a named built-in workload. *)
-    let w = Bisa_workloads.Workloads.find path_or_name in
-    (Bisa_workloads.Workloads.source w, w.library_funcs)
+    match Bisa_workloads.Workloads.find path_or_name with
+    | w -> (Bisa_workloads.Workloads.source w, w.library_funcs)
+    | exception Invalid_argument _ ->
+      raise
+        (Bisa_base.Diag.Fail
+           (Bisa_base.Diag.error ~component:"bisac"
+              (Printf.sprintf
+                 "no such file, and not a workload name: %s (workloads: %s)"
+                 path_or_name
+                 (String.concat " " Bisa_workloads.Workloads.names))))
   end
 
 type emit = Ast | Ir | Mir | Conv | Block | Stats | Conv_bin | Block_bin
@@ -21,8 +29,17 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Toolchain failures exit nonzero with one clean diagnostic line instead
+   of an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
+
 let run input emit output opt_level inline ifconvert max_ops max_faults no_enlarge
     merge_back libs_too =
+ guard @@ fun () ->
   let src, library_funcs = read_source input in
   let enlarge =
     {

@@ -1,0 +1,131 @@
+(* Robustness driver: differential program fuzzing, decoder mutation
+   fuzzing, and fault-injection campaigns, from one fixed seed.  Exits
+   nonzero with a one-line (plus counterexample) diagnostic on the first
+   finding — the `check` dune alias runs this as a smoke test. *)
+
+module Oracle = Bisa_check.Oracle
+module Decode_fuzz = Bisa_check.Decode_fuzz
+module Faults = Bisa_check.Faults
+
+type mode = All | Diff | Decode | Inject
+
+(* A fixed program with calls, loops, arrays and traps for the decode and
+   injection campaigns (the differential campaign generates its own). *)
+let sample_src =
+  {|
+int g0;
+int a0[16];
+float facc;
+int f0(int p0, int p1) {
+  int x = p0 * 311 + p1;
+  if (x > 100) { x = x % 97; }
+  return x ^ (p1 >> 2);
+}
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    a0[i & 15] = f0(i, s);
+    s = s + a0[i & 15];
+    if (s > 400) { s = s - 317; }
+    facc = facc * 0.5 + itof(s & 255);
+  }
+  print_int(s);
+  print_float(facc);
+  return s & 255;
+}
+|}
+
+let sample () = Bisa_compiler.Compiler.compile sample_src
+
+let diff ~seed ~count =
+  let r = Oracle.fuzz ~seed ~count () in
+  match r.failure with
+  | None ->
+    Printf.printf "differential: %d programs agreed across all engines (%d skipped)\n"
+      r.tested r.skipped;
+    List.iter (fun (reason, n) -> Printf.printf "  skipped %dx: %s\n" n reason) r.skip_reasons;
+    Ok ()
+  | Some f ->
+    Error
+      (Printf.sprintf
+         "differential fuzzing found a divergence (shrunk in %d candidate runs):\n\
+          %s\n\
+          --- minimal failing program ---\n\
+          %s" f.shrink_evals f.reason f.source)
+
+let decode ~seed ~count =
+  let c = sample () in
+  let conv_img = Bisa_isa.Encode.conv_to_bytes c.conv in
+  let block_img = Bisa_isa.Encode.block_to_bytes c.block in
+  match Decode_fuzz.run Decode_fuzz.Conv ~seed ~count conv_img with
+  | Error e -> Error ("decode fuzzing (conv): " ^ e)
+  | Ok rc -> begin
+    match Decode_fuzz.run Decode_fuzz.Block ~seed:(seed + 1) ~count block_img with
+    | Error e -> Error ("decode fuzzing (block): " ^ e)
+    | Ok rb ->
+      Printf.printf
+        "decode: %d conv mutants (%d decoded, %d rejected cleanly), %d block mutants \
+         (%d decoded, %d rejected cleanly)\n"
+        rc.mutants rc.decoded rc.rejected rb.mutants rb.decoded rb.rejected;
+      Ok ()
+  end
+
+let inject ~seed =
+  let c = sample () in
+  match Faults.campaign ~seeds:[ seed; seed + 1; seed + 2 ] c with
+  | Error e -> Error ("fault injection: " ^ e)
+  | Ok r ->
+    Printf.printf
+      "inject: %d runs survived %d injections (functional results unchanged, +%d \
+       mispredicts)\n"
+      r.runs r.injections r.extra_mispredicts;
+    Ok ()
+
+let run mode seed count =
+  let steps =
+    match mode with
+    | All ->
+      [
+        (fun () -> diff ~seed ~count);
+        (fun () -> decode ~seed ~count:(5 * count));
+        (fun () -> inject ~seed);
+      ]
+    | Diff -> [ (fun () -> diff ~seed ~count) ]
+    | Decode -> [ (fun () -> decode ~seed ~count) ]
+    | Inject -> [ (fun () -> inject ~seed) ]
+  in
+  let rec go = function
+    | [] -> `Ok ()
+    | step :: rest -> begin
+      match step () with Ok () -> go rest | Error msg -> `Error (false, msg)
+    end
+  in
+  try go steps with
+  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
+
+let () =
+  let open Cmdliner in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("all", All); ("diff", Diff); ("decode", Decode); ("inject", Inject) ])
+          All
+      & info [ "mode" ]
+          ~doc:"Campaign: diff (differential programs), decode (binary mutation), \
+                inject (front-end faults), or all.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.") in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~doc:"Programs per differential campaign (decode runs 5x).")
+  in
+  let term = Term.(ret (const run $ mode $ seed $ count)) in
+  let info =
+    Cmd.info "bisafuzz" ~doc:"Differential fuzzing and fault injection for the BSA toolchain"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -11,8 +11,16 @@ let read_file path =
 let read_source path_or_name =
   if Sys.file_exists path_or_name then (read_file path_or_name, [])
   else begin
-    let w = Bisa_workloads.Workloads.find path_or_name in
-    (Bisa_workloads.Workloads.source w, w.library_funcs)
+    match Bisa_workloads.Workloads.find path_or_name with
+    | w -> (Bisa_workloads.Workloads.source w, w.library_funcs)
+    | exception Invalid_argument _ ->
+      raise
+        (Bisa_base.Diag.Fail
+           (Bisa_base.Diag.error ~component:"bisasim"
+              (Printf.sprintf
+                 "no such file, and not a workload name: %s (workloads: %s)"
+                 path_or_name
+                 (String.concat " " Bisa_workloads.Workloads.names))))
   end
 
 type isa = Conv | Block
@@ -37,7 +45,23 @@ let cache_of_kb = function
   | 0 -> None
   | kb -> Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
 
-let run input isa functional icache_kb perfect_pred show_output =
+(* Toolchain failures exit nonzero with one clean diagnostic line instead
+   of an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_sim.Conv_exec.Runaway n ->
+    `Error (false, Bisa_base.Diag.render (Bisa_sim.Conv_exec.runaway_diag n))
+  | Bisa_sim.Block_exec.Runaway n ->
+    `Error (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.runaway_diag n))
+  | Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
+    `Error
+      (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested))
+
+let run input isa functional icache_kb perfect_pred show_output budget =
+ guard @@ fun () ->
   let conv_prog, block_prog =
     match load input with
     | Lconv p -> (Some p, None)
@@ -56,13 +80,14 @@ let run input isa functional icache_kb perfect_pred show_output =
       Bisa_timing.Config.default with
       icache = cache_of_kb icache_kb;
       predictor = (if perfect_pred then Bisa_timing.Config.Perfect else Bisa_timing.Config.Real);
+      op_budget = budget;
     }
   in
   if functional then begin
     let out, n =
       match isa with
-      | Conv -> Bisa_sim.Conv_exec.run (pick conv_prog "conventional") ()
-      | Block -> Bisa_sim.Block_exec.run (pick block_prog "block-structured") ()
+      | Conv -> Bisa_sim.Conv_exec.run (pick conv_prog "conventional") ~budget ()
+      | Block -> Bisa_sim.Block_exec.run (pick block_prog "block-structured") ~budget ()
     in
     if show_output then print_endline (Bisa_sim.Output.to_string out);
     Printf.printf "%d dynamic operations, exit value %d\n" n out.ret
@@ -104,9 +129,19 @@ let () =
   let show_output =
     Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's output stream.")
   in
+  let budget =
+    Arg.(
+      value
+      & opt int Bisa_timing.Config.default.op_budget
+      & info [ "budget" ]
+          ~doc:"Operation budget: a run retiring more dynamic operations than this \
+                exits with a runaway diagnostic instead of spinning forever.")
+  in
   let term =
     Term.(
-      ret (const run $ input $ isa $ functional $ icache_kb $ perfect_pred $ show_output))
+      ret
+        (const run $ input $ isa $ functional $ icache_kb $ perfect_pred $ show_output
+       $ budget))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,7 +1,20 @@
 (* Regenerate every table and figure of the paper's evaluation (and the
    extra studies), optionally writing EXPERIMENTS.md. *)
 
+(* Toolchain failures exit nonzero with one clean diagnostic line instead
+   of an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
+  | Bisa_sim.Conv_exec.Runaway n ->
+    `Error (false, Bisa_base.Diag.render (Bisa_sim.Conv_exec.runaway_diag n))
+  | Bisa_sim.Block_exec.Runaway n ->
+    `Error (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.runaway_diag n))
+
 let run only scale paper_caches with_ablations out verbose =
+ guard @@ fun () ->
   Bisa_experiments.Harness.verbose := verbose;
   let h =
     match scale with

@@ -45,7 +45,14 @@ let build_intervals (f : Ir.func) =
       List.iter (fun v -> extend v p) (Ir.term_defs b.term);
       (match b.term with Ir.Call _ -> calls := p :: !calls | _ -> ());
       incr pos;
-      let be = !pos - 1 in
+      (* Live-out values extend one past the terminator: a value that is
+         live across a call terminator (e.g. a loop counter flowing around
+         the back edge) must be distinguishable from one merely consumed
+         by the call's argument setup — both would otherwise end exactly
+         at the call position and [crosses] would miss the former, handing
+         it a caller-saved register that the next iteration's argument
+         moves clobber. *)
+      let be = !pos in
       Bitset.iter live.live_out.(i) (fun v -> extend v be))
     f.blocks;
   (* Parameters receive their values from entry-block moves synthesized

@@ -1,0 +1,77 @@
+(* Binary-image mutation fuzzer for the decoders.
+
+   Starting from a valid .cbin/.bbin image, applies random bit flips, byte
+   rewrites, truncations and junk extensions, then requires the decoder to
+   either produce a program or raise [Encode.Malformed] carrying a byte
+   offset inside the image — never Stack_overflow, Out_of_memory, an
+   uncaught Invalid_argument from a wild Array.init, or a hang. *)
+
+module Encode = Bisa_isa.Encode
+module Diag = Bisa_base.Diag
+module Rng = Bisa_base.Rng
+
+type format = Conv | Block
+
+type report = {
+  mutants : int;
+  decoded : int;  (** mutants that still decoded to some program *)
+  rejected : int;  (** mutants rejected with a well-formed Malformed *)
+}
+
+let mutate rng img =
+  let len = String.length img in
+  match Rng.int rng 4 with
+  | 0 when len > 0 ->
+    let b = Bytes.of_string img in
+    let i = Rng.int rng len in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    Bytes.to_string b
+  | 1 when len > 0 ->
+    let b = Bytes.of_string img in
+    Bytes.set b (Rng.int rng len) (Char.chr (Rng.int rng 256));
+    Bytes.to_string b
+  | 2 when len > 0 -> String.sub img 0 (Rng.int rng len)
+  | _ -> img ^ String.init (1 + Rng.int rng 8) (fun _ -> Char.chr (Rng.int rng 256))
+
+let decode_of = function
+  | Conv -> fun s -> ignore (Encode.conv_of_bytes s : Bisa_isa.Conv_prog.t)
+  | Block -> fun s -> ignore (Encode.block_of_bytes s : Bisa_isa.Block_prog.t)
+
+(* One mutant: Ok true = decoded, Ok false = cleanly rejected. *)
+let check_one fmt img =
+  match decode_of fmt img with
+  | () -> Ok true
+  | exception Encode.Malformed d -> begin
+    match d.Diag.loc with
+    | Diag.Byte { offset; section }
+      when offset >= 0 && offset <= String.length img && section <> "" ->
+      Ok false
+    | _ ->
+      Error
+        (Printf.sprintf "Malformed without a usable byte offset: %s" (Diag.render d))
+  end
+  | exception exn ->
+    Error (Printf.sprintf "decoder raised %s" (Printexc.to_string exn))
+
+let run fmt ~seed ~count img =
+  (* The pristine image must decode — otherwise the campaign is vacuous. *)
+  match decode_of fmt img with
+  | exception exn ->
+    Error (Printf.sprintf "pristine image failed to decode: %s" (Printexc.to_string exn))
+  | () ->
+    let rng = Rng.create seed in
+    let decoded = ref 0 and rejected = ref 0 in
+    let rec go i =
+      if i >= count then Ok { mutants = count; decoded = !decoded; rejected = !rejected }
+      else begin
+        match check_one fmt (mutate rng img) with
+        | Ok true ->
+          incr decoded;
+          go (i + 1)
+        | Ok false ->
+          incr rejected;
+          go (i + 1)
+        | Error e -> Error (Printf.sprintf "mutant %d (seed %d): %s" i seed e)
+      end
+    in
+    go 0

@@ -1,0 +1,22 @@
+(** Mutation fuzzer for the binary decoders.
+
+    Mutates a valid encoded image (bit flips, byte rewrites, truncation,
+    junk extension) and asserts the decoder's total-function contract:
+    every mutant either decodes to a program or is rejected with
+    {!Bisa_isa.Encode.Malformed} whose diagnostic carries a byte offset
+    within the image and a section name.  Anything else (stack overflow,
+    OOM-sized allocations, other exceptions) is a finding. *)
+
+type format = Conv | Block
+
+type report = {
+  mutants : int;
+  decoded : int;  (** mutants that still decoded to some program *)
+  rejected : int;  (** mutants rejected with a well-formed Malformed *)
+}
+
+val mutate : Bisa_base.Rng.t -> string -> string
+
+val run : format -> seed:int -> count:int -> string -> (report, string) result
+(** [run fmt ~seed ~count img] checks [count] mutants of [img]; [Error]
+    describes the first contract violation. *)

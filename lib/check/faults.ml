@@ -1,0 +1,82 @@
+(* Fault-injection campaign: run both timing pipelines under chaos
+   injection and prove the two robustness properties the uarch hooks
+   promise — functional results never change, and runs still terminate
+   inside the executor budget (returning at all, with the budget armed,
+   proves the cycle count is finite). *)
+
+module Compiler = Bisa_compiler.Compiler
+module Output = Bisa_sim.Output
+module Inject = Bisa_uarch.Inject
+
+type report = {
+  runs : int;  (** injected timing runs executed (2 per seed) *)
+  injections : int;  (** total injection events that fired *)
+  extra_mispredicts : int;  (** mispredicts beyond the clean runs' *)
+}
+
+let budget = 200_000_000
+
+let cfg ~inject =
+  {
+    Bisa_timing.Config.default with
+    op_budget = budget;
+    trace_cache = Some Bisa_uarch.Trace_cache.default_config;
+    inject;
+  }
+
+let campaign ?(seeds = [ 1; 2; 3; 4; 5 ]) (c : Compiler.compiled) =
+  let conv_ref = fst (Bisa_sim.Conv_exec.run c.Compiler.conv ~budget ()) in
+  let block_ref = fst (Bisa_sim.Block_exec.run c.Compiler.block ~budget ()) in
+  let clean_conv, _ = Bisa_timing.Conv_pipeline.run_full (cfg ~inject:None) c.Compiler.conv in
+  let clean_block, _ =
+    Bisa_timing.Block_pipeline.run_full (cfg ~inject:None) c.Compiler.block
+  in
+  let clean_miss =
+    clean_conv.Bisa_timing.Metrics.mispredicts + clean_block.Bisa_timing.Metrics.mispredicts
+  in
+  let injections = ref 0 and miss = ref 0 and runs = ref 0 in
+  let one name ~reference seed run_full =
+    let inj = Inject.chaos ~seed in
+    match run_full (cfg ~inject:(Some inj)) with
+    | exception exn ->
+      Error
+        (Printf.sprintf "%s under injection (seed %d) raised %s" name seed
+           (Printexc.to_string exn))
+    | (m : Bisa_timing.Metrics.t), out ->
+      incr runs;
+      injections := !injections + Inject.injected inj;
+      miss := !miss + m.Bisa_timing.Metrics.mispredicts;
+      if not (Output.equal out reference) then
+        Error
+          (Printf.sprintf
+             "%s under injection (seed %d) changed the functional result: %s vs %s" name
+             seed (Output.to_string out) (Output.to_string reference))
+      else if m.Bisa_timing.Metrics.cycles < 0 then
+        Error (Printf.sprintf "%s under injection (seed %d): negative cycle count" name seed)
+      else Ok ()
+  in
+  let rec go = function
+    | [] ->
+      Ok
+        {
+          runs = !runs;
+          injections = !injections;
+          extra_mispredicts = !miss - (clean_miss * List.length seeds);
+        }
+    | seed :: rest -> begin
+      match
+        one "conv-timing" ~reference:conv_ref seed (fun cf ->
+            Bisa_timing.Conv_pipeline.run_full cf c.Compiler.conv)
+      with
+      | Error _ as e -> e
+      | Ok () -> begin
+        match
+          one "block-timing" ~reference:block_ref (seed * 7919) (fun cf ->
+              Bisa_timing.Block_pipeline.run_full cf c.Compiler.block)
+        with
+        | Error _ as e -> e
+        | Ok () -> go rest
+      end
+    end
+  in
+  go seeds

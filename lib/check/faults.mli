@@ -1,0 +1,22 @@
+(** Fault-injection campaign over the timing pipelines.
+
+    Runs both cycle-level pipelines with {!Bisa_uarch.Inject.chaos}
+    injection (forced mispredictions, icache line evictions, BTB and
+    trace-cache corruption) across several seeds and checks the two
+    graceful-degradation properties: the functional result equals the
+    clean executor's, and the run terminates with the executor budget
+    armed (so cycle counts stay finite).  Timing degradation is expected
+    and reported, never an error. *)
+
+type report = {
+  runs : int;  (** injected timing runs executed (2 per seed) *)
+  injections : int;  (** total injection events that fired *)
+  extra_mispredicts : int;  (** mispredicts beyond the clean runs' *)
+}
+
+val budget : int
+
+val campaign :
+  ?seeds:int list -> Bisa_compiler.Compiler.compiled -> (report, string) result
+(** [Error] describes the first property violation (a changed output, a
+    crash, or a budget blowout). *)

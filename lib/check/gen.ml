@@ -1,0 +1,415 @@
+(* Seeded random MiniC program generator for differential fuzzing.
+
+   The generator emits *closed* programs: every control path terminates
+   (loops run a fixed counter pattern whose counter is never reassigned,
+   calls go strictly down the function list so there is no recursion) and
+   every memory access is in bounds (array indexes are masked with the
+   power-of-two array size).  Within those fences it exercises the whole
+   surface the paper's toolchain compiles: nested control flow (the source
+   of trap operations and merged blocks), switches, short-circuit
+   operators (if-conversion / fault-op fodder), global arrays (the data
+   segment), function calls, and a tightly bounded float accumulator whose
+   value stays exact so outputs compare bit-for-bit across engines. *)
+
+module Rng = Bisa_base.Rng
+
+let array_size = 16
+let idx_mask = array_size - 1
+
+type expr =
+  | Lit of int
+  | Var of string  (** in-scope int local / param / loop counter *)
+  | Gread of int  (** scalar global g<i> *)
+  | Aread of int * expr  (** a<i>[(e) & idx_mask] *)
+  | Unary of string * expr
+  | Bin of string * expr * expr
+  | Call of int * expr list  (** f<i>(args); arity fixed per function *)
+
+type stmt =
+  | Decl of string * expr  (** int v = e; *)
+  | Assign of string * expr
+  | Gwrite of int * expr
+  | Awrite of int * expr * expr
+  | Print of expr  (** print_int *)
+  | Facc of expr  (** facc = facc * 0.5 + itof((e) & 255); *)
+  | Fprint  (** print_float(facc); *)
+  | If of expr * stmt list * stmt list
+  | For of string * int * stmt list  (** bounded counter loop *)
+  | While of string * int * stmt list  (** counter incremented first *)
+  | Dowhile of string * int * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Break
+  | Continue
+  | Ret of expr
+
+type fn = { arity : int; body : stmt list }
+
+type prog = {
+  n_scalars : int;
+  n_arrays : int;
+  use_float : bool;
+  fns : fn list;  (** f<i> may call f<j> only for j < i *)
+  main : stmt list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+type ctx = {
+  rng : Rng.t;
+  n_scalars : int;
+  n_arrays : int;
+  use_float : bool;
+  arities : int array;  (** arities of the callable functions f0.. *)
+  n_callable : int;
+  pure : bool;
+      (** inside a function body: no prints or global/array writes, so
+          calls are pure and operand evaluation order is unobservable *)
+  mutable fresh : int;
+}
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let binops =
+  [|
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<<"; ">>"; "<"; "<="; ">"; ">="; "==";
+    "!="; "&&"; "||";
+  |]
+
+let unops = [| "-"; "~"; "!" |]
+
+let gen_lit ctx =
+  if Rng.chance ctx.rng 0.1 then Rng.int_in ctx.rng (-1_000_000) 1_000_000
+  else Rng.int_in ctx.rng (-64) 64
+
+let rec gen_expr ctx ~vars ~depth =
+  let leaf () =
+    let n = Rng.int ctx.rng 100 in
+    if n < 40 || (vars = [] && ctx.n_scalars = 0) then Lit (gen_lit ctx)
+    else if n < 70 && vars <> [] then Var (Rng.choose ctx.rng (Array.of_list vars))
+    else if ctx.n_scalars > 0 then Gread (Rng.int ctx.rng ctx.n_scalars)
+    else Lit (gen_lit ctx)
+  in
+  if depth <= 0 then leaf ()
+  else begin
+    let sub () = gen_expr ctx ~vars ~depth:(depth - 1) in
+    let n = Rng.int ctx.rng 100 in
+    if n < 30 then leaf ()
+    else if n < 65 then Bin (Rng.choose ctx.rng binops, sub (), sub ())
+    else if n < 75 then Unary (Rng.choose ctx.rng unops, sub ())
+    else if n < 90 && ctx.n_arrays > 0 then Aread (Rng.int ctx.rng ctx.n_arrays, sub ())
+    else if ctx.n_callable > 0 then begin
+      let f = Rng.int ctx.rng ctx.n_callable in
+      Call (f, List.init ctx.arities.(f) (fun _ -> sub ()))
+    end
+    else Bin (Rng.choose ctx.rng binops, sub (), sub ())
+  end
+
+(* A block of [n] statements.  [vars] accumulates declarations made at
+   this level; [ro] holds read-only names (loop counters — assigning to
+   one could reset it below its bound and loop forever); a terminating
+   statement (break/continue/return) always closes the block so no dead
+   statements follow it. *)
+let rec gen_block ctx ~vars ~ro ~in_loop ~depth n =
+  let vars = ref vars in
+  let acc = ref [] in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < n do
+    incr i;
+    let e ?(d = 2) () = gen_expr ctx ~vars:(ro @ !vars) ~depth:d in
+    let pick = Rng.int ctx.rng 100 in
+    let stmt =
+      if pick < 18 then begin
+        let v = fresh ctx "v" in
+        let s = Decl (v, e ()) in
+        vars := v :: !vars;
+        s
+      end
+      else if pick < 30 && !vars <> [] then
+        Assign (Rng.choose ctx.rng (Array.of_list !vars), e ())
+      else if pick < 38 && ctx.n_scalars > 0 && not ctx.pure then
+        Gwrite (Rng.int ctx.rng ctx.n_scalars, e ())
+      else if pick < 46 && ctx.n_arrays > 0 && not ctx.pure then
+        Awrite (Rng.int ctx.rng ctx.n_arrays, e ~d:1 (), e ())
+      else if pick < 54 && not ctx.pure then Print (e ())
+      else if pick < 58 && ctx.use_float && not ctx.pure then Facc (e ())
+      else if pick < 60 && ctx.use_float && not ctx.pure then Fprint
+      else if pick < 72 && depth > 0 then begin
+        let cond = e () in
+        let a = gen_block ctx ~vars:!vars ~ro ~in_loop ~depth:(depth - 1) (1 + Rng.int ctx.rng 3) in
+        let b =
+          if Rng.bool ctx.rng then []
+          else gen_block ctx ~vars:!vars ~ro ~in_loop ~depth:(depth - 1) (1 + Rng.int ctx.rng 3)
+        in
+        If (cond, a, b)
+      end
+      else if pick < 84 && depth > 0 then begin
+        let c = fresh ctx "t" in
+        let bound = 1 + Rng.int ctx.rng 5 in
+        let body =
+          gen_block ctx ~vars:!vars ~ro:(c :: ro) ~in_loop:true ~depth:(depth - 1)
+            (1 + Rng.int ctx.rng 4)
+        in
+        match Rng.int ctx.rng 3 with
+        | 0 -> For (c, bound, body)
+        | 1 -> While (c, bound, body)
+        | _ -> Dowhile (c, bound, body)
+      end
+      else if pick < 90 && depth > 0 then begin
+        let scrut = e () in
+        let n_cases = 1 + Rng.int ctx.rng 3 in
+        (* Distinct small case values; break/continue are suppressed inside
+           arms so they can never bind surprisingly across the switch. *)
+        let cases =
+          List.init n_cases (fun k ->
+              ( k + Rng.int ctx.rng 3,
+                gen_block ctx ~vars:!vars ~ro ~in_loop:false ~depth:(depth - 1)
+                  (1 + Rng.int ctx.rng 2) ))
+        in
+        let cases =
+          List.sort_uniq (fun (a, _) (b, _) -> compare a b) cases
+        in
+        let dflt =
+          if Rng.bool ctx.rng then []
+          else gen_block ctx ~vars:!vars ~ro ~in_loop:false ~depth:(depth - 1) 1
+        in
+        Switch (scrut, cases, dflt)
+      end
+      else if pick < 93 && in_loop then begin
+        stop := true;
+        if Rng.bool ctx.rng then Break else Continue
+      end
+      else if pick < 95 then begin
+        stop := true;
+        Ret (e ())
+      end
+      else if ctx.pure then begin
+        let v = fresh ctx "v" in
+        let s = Decl (v, e ()) in
+        vars := v :: !vars;
+        s
+      end
+      else Print (e ())
+    in
+    acc := stmt :: !acc
+  done;
+  List.rev !acc
+
+let gen_fn ctx =
+  let arity = Rng.int ctx.rng 4 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let body =
+    gen_block ctx ~vars:params ~ro:[] ~in_loop:false ~depth:2 (3 + Rng.int ctx.rng 5)
+  in
+  { arity; body }
+
+let generate rng =
+  let n_scalars = 1 + Rng.int rng 3 in
+  let n_arrays = 1 + Rng.int rng 2 in
+  let use_float = Rng.bool rng in
+  let n_fns = Rng.int rng 4 in
+  let arities = Array.make n_fns 0 in
+  let ctx =
+    { rng; n_scalars; n_arrays; use_float; arities; n_callable = 0; pure = true; fresh = 0 }
+  in
+  (* Function bodies are pure (reads only): calls appear inside compound
+     expressions, where an impure call would make operand evaluation order
+     observable — a divergence the ISAs are allowed to have. *)
+  let fns =
+    List.init n_fns (fun i ->
+        let f = gen_fn { ctx with n_callable = i } in
+        arities.(i) <- f.arity;
+        f)
+  in
+  let main =
+    gen_block
+      { ctx with n_callable = n_fns; pure = false }
+      ~vars:[] ~ro:[] ~in_loop:false ~depth:3
+      (6 + Rng.int rng 6)
+  in
+  { n_scalars; n_arrays; use_float; fns; main }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering to MiniC source *)
+
+let rec rexpr = function
+  | Lit n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Var v -> v
+  | Gread i -> Printf.sprintf "g%d" i
+  | Aread (a, e) -> Printf.sprintf "a%d[(%s) & %d]" a (rexpr e) idx_mask
+  | Unary (op, e) -> Printf.sprintf "(%s(%s))" op (rexpr e)
+  | Bin (op, l, r) -> Printf.sprintf "((%s) %s (%s))" (rexpr l) op (rexpr r)
+  | Call (f, args) ->
+    Printf.sprintf "f%d(%s)" f (String.concat ", " (List.map rexpr args))
+
+let rec rstmt buf = function
+  | Decl (v, e) -> Printf.bprintf buf "int %s = %s;\n" v (rexpr e)
+  | Assign (v, e) -> Printf.bprintf buf "%s = %s;\n" v (rexpr e)
+  | Gwrite (g, e) -> Printf.bprintf buf "g%d = %s;\n" g (rexpr e)
+  | Awrite (a, i, e) ->
+    Printf.bprintf buf "a%d[(%s) & %d] = %s;\n" a (rexpr i) idx_mask (rexpr e)
+  | Print e -> Printf.bprintf buf "print_int(%s);\n" (rexpr e)
+  | Facc e -> Printf.bprintf buf "facc = facc * 0.5 + itof((%s) & 255);\n" (rexpr e)
+  | Fprint -> Buffer.add_string buf "print_float(facc);\n"
+  | If (c, a, []) ->
+    Printf.bprintf buf "if (%s) {\n" (rexpr c);
+    List.iter (rstmt buf) a;
+    Buffer.add_string buf "}\n"
+  | If (c, a, b) ->
+    Printf.bprintf buf "if (%s) {\n" (rexpr c);
+    List.iter (rstmt buf) a;
+    Buffer.add_string buf "} else {\n";
+    List.iter (rstmt buf) b;
+    Buffer.add_string buf "}\n"
+  | For (c, n, body) ->
+    Printf.bprintf buf "int %s;\nfor (%s = 0; %s < %d; %s = %s + 1) {\n" c c c n c c;
+    List.iter (rstmt buf) body;
+    Buffer.add_string buf "}\n"
+  | While (c, n, body) ->
+    (* The counter advances before anything else so a 'continue' in the
+       body cannot make the loop infinite. *)
+    Printf.bprintf buf "int %s = 0;\nwhile (%s < %d) {\n%s = %s + 1;\n" c c n c c;
+    List.iter (rstmt buf) body;
+    Buffer.add_string buf "}\n"
+  | Dowhile (c, n, body) ->
+    Printf.bprintf buf "int %s = 0;\ndo {\n%s = %s + 1;\n" c c c;
+    List.iter (rstmt buf) body;
+    Printf.bprintf buf "} while (%s < %d);\n" c n
+  | Switch (e, cases, dflt) ->
+    Printf.bprintf buf "switch (%s) {\n" (rexpr e);
+    List.iter
+      (fun (v, body) ->
+        Printf.bprintf buf "case %d:\n" v;
+        List.iter (rstmt buf) body)
+      cases;
+    if dflt <> [] then begin
+      Buffer.add_string buf "default:\n";
+      List.iter (rstmt buf) dflt
+    end;
+    Buffer.add_string buf "}\n"
+  | Break -> Buffer.add_string buf "break;\n"
+  | Continue -> Buffer.add_string buf "continue;\n"
+  | Ret e -> Printf.bprintf buf "return %s;\n" (rexpr e)
+
+let render (p : prog) =
+  let buf = Buffer.create 1024 in
+  for i = 0 to p.n_scalars - 1 do
+    Printf.bprintf buf "int g%d;\n" i
+  done;
+  for i = 0 to p.n_arrays - 1 do
+    Printf.bprintf buf "int a%d[%d];\n" i array_size
+  done;
+  if p.use_float then Buffer.add_string buf "float facc;\n";
+  List.iteri
+    (fun i (f : fn) ->
+      let params =
+        String.concat ", " (List.init f.arity (fun k -> Printf.sprintf "int p%d" k))
+      in
+      Printf.bprintf buf "int f%d(%s) {\n" i params;
+      List.iter (rstmt buf) f.body;
+      (* Unconditional trailing return keeps every shrink candidate
+         well-typed even after a generated 'return' is deleted. *)
+      Buffer.add_string buf "return 0;\n}\n"
+    )
+    p.fns;
+  Buffer.add_string buf "int main() {\n";
+  List.iter (rstmt buf) p.main;
+  Buffer.add_string buf "return 0;\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Size and shrinking *)
+
+let rec expr_size = function
+  | Lit _ | Var _ | Gread _ -> 1
+  | Aread (_, e) | Unary (_, e) -> 1 + expr_size e
+  | Bin (_, l, r) -> 1 + expr_size l + expr_size r
+  | Call (_, args) -> 1 + List.fold_left (fun a e -> a + expr_size e) 0 args
+
+let rec stmt_size = function
+  | Decl (_, e) | Assign (_, e) | Gwrite (_, e) | Print e | Facc e | Ret e ->
+    1 + expr_size e
+  | Awrite (_, i, e) -> 1 + expr_size i + expr_size e
+  | Fprint | Break | Continue -> 1
+  | If (c, a, b) -> 1 + expr_size c + block_size a + block_size b
+  | For (_, _, b) | While (_, _, b) | Dowhile (_, _, b) -> 2 + block_size b
+  | Switch (e, cases, d) ->
+    1 + expr_size e
+    + List.fold_left (fun acc (_, b) -> acc + 1 + block_size b) 0 cases
+    + block_size d
+
+and block_size ss = List.fold_left (fun a s -> a + stmt_size s) 0 ss
+
+let size (p : prog) =
+  List.fold_left (fun a (f : fn) -> a + 1 + block_size f.body) (block_size p.main)
+    p.fns
+
+(* One-step shrink candidates for a statement: replace a compound
+   statement by (some of) its components. *)
+let stmt_variants = function
+  | If (_, a, b) -> [ a; b ]
+  | For (_, _, b) | While (_, _, b) | Dowhile (_, _, b) -> [ b ]
+  | Switch (_, cases, d) -> d :: List.map snd cases
+  | _ -> []
+
+(* All statement lists reachable by one edit: drop a statement, splice a
+   compound statement's body in its place, or edit inside it.  Candidates
+   that orphan a declaration fail to compile and are skipped by the
+   oracle. *)
+let rec list_edits ss =
+  match ss with
+  | [] -> []
+  | s :: rest ->
+    (rest :: List.map (fun v -> v @ rest) (stmt_variants s))
+    @ List.map (fun s' -> s' :: rest) (stmt_edits s)
+    @ List.map (fun r -> s :: r) (list_edits rest)
+
+and stmt_edits s =
+  match s with
+  | If (c, a, b) ->
+    List.map (fun a' -> If (c, a', b)) (list_edits a)
+    @ List.map (fun b' -> If (c, a, b')) (list_edits b)
+  | For (v, n, b) -> List.map (fun b' -> For (v, n, b')) (list_edits b)
+  | While (v, n, b) -> List.map (fun b' -> While (v, n, b')) (list_edits b)
+  | Dowhile (v, n, b) -> List.map (fun b' -> Dowhile (v, n, b')) (list_edits b)
+  | Switch (e, cases, d) ->
+    List.concat
+      (List.mapi
+         (fun i (v, b) ->
+           List.map
+             (fun b' ->
+               Switch (e, List.mapi (fun j c -> if j = i then (v, b') else c) cases, d))
+             (list_edits b))
+         cases)
+    @ List.map (fun d' -> Switch (e, cases, d')) (list_edits d)
+  | _ -> []
+
+let shrink (p : prog) =
+  let drop_fn =
+    (* Dropping f<i> renames nothing: remaining functions keep their
+       indexes only if we drop from the tail, so only offer the last
+       function (callers of earlier ones would go dangling anyway and be
+       skipped as ill-formed). *)
+    match List.rev p.fns with
+    | [] -> []
+    | _ :: kept_rev -> [ { p with fns = List.rev kept_rev } ]
+  in
+  let main_edits = List.map (fun m -> { p with main = m }) (list_edits p.main) in
+  let fn_edits =
+    List.concat
+      (List.mapi
+         (fun i (f : fn) ->
+           List.map
+             (fun b ->
+               {
+                 p with
+                 fns = List.mapi (fun j g -> if j = i then { g with body = b } else g) p.fns;
+               })
+             (list_edits f.body))
+         p.fns)
+  in
+  drop_fn @ main_edits @ fn_edits

@@ -1,0 +1,63 @@
+(** Seeded random MiniC program generator with shrinking.
+
+    Programs are closed by construction — every loop is counter-bounded
+    (the counter is never reassigned and always advances before a
+    [continue] can skip it), calls go strictly down the function list (no
+    recursion), and array indexes are masked to the array size — so a
+    generated program always terminates and never trips the interpreter's
+    bounds checks.  Exercised features: nested if/loops/switch,
+    short-circuit operators, global scalars and arrays, function calls,
+    prints, and an exactly-representable float accumulator. *)
+
+type expr =
+  | Lit of int
+  | Var of string
+  | Gread of int
+  | Aread of int * expr
+  | Unary of string * expr
+  | Bin of string * expr * expr
+  | Call of int * expr list
+
+type stmt =
+  | Decl of string * expr
+  | Assign of string * expr
+  | Gwrite of int * expr
+  | Awrite of int * expr * expr
+  | Print of expr
+  | Facc of expr
+  | Fprint
+  | If of expr * stmt list * stmt list
+  | For of string * int * stmt list
+  | While of string * int * stmt list
+  | Dowhile of string * int * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Break
+  | Continue
+  | Ret of expr
+
+type fn = { arity : int; body : stmt list }
+
+type prog = {
+  n_scalars : int;
+  n_arrays : int;
+  use_float : bool;
+  fns : fn list;
+  main : stmt list;
+}
+
+val array_size : int
+
+val generate : Bisa_base.Rng.t -> prog
+(** Draw a program; equal generator states give equal programs. *)
+
+val render : prog -> string
+(** MiniC source.  Every function (and [main]) ends with an unconditional
+    [return], so shrink candidates stay well-typed. *)
+
+val size : prog -> int
+(** AST node count — the shrinking objective. *)
+
+val shrink : prog -> prog list
+(** One-step-smaller candidates (statement drops, body splices, nested
+    edits, dropping the last function).  Candidates may be ill-formed
+    (orphaned declarations); callers skip those on [Compile_error]. *)

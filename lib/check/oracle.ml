@@ -1,0 +1,198 @@
+(* Differential oracle: one program, five independent executions, one
+   answer.  The reference interpreter fixes the expected output; every
+   engine (functional executors and cycle-level pipelines for both ISAs)
+   must reproduce it exactly, and the two ISAs' final data segments must
+   match word-for-word.  Any disagreement — including an engine raising —
+   is a finding, which the fuzzer then shrinks to a minimal program. *)
+
+module Compiler = Bisa_compiler.Compiler
+module Output = Bisa_sim.Output
+module Interp = Bisa_frontend.Interp
+module Conv_exec = Bisa_sim.Conv_exec
+module Block_exec = Bisa_sim.Block_exec
+
+(* Generated programs execute a few thousand operations; these bounds are
+   three orders of magnitude above that, so hitting one is always a bug
+   (runaway codegen or a stuck executor), never a slow program. *)
+let interp_fuel = 2_000_000
+let exec_budget = 50_000_000
+
+type engine = { name : string; run : Compiler.compiled -> Output.t }
+
+let output_of_interp (r : Interp.result) : Output.t =
+  {
+    ret = r.ret;
+    items =
+      List.map
+        (function
+          | Interp.Oint i -> Output.Oint i
+          | Interp.Oflt f -> Output.Oflt f)
+        r.outputs;
+  }
+
+let timing_cfg ?inject () =
+  {
+    Bisa_timing.Config.default with
+    op_budget = exec_budget;
+    (* Exercise the trace-cache front end too — it re-sequences fetch. *)
+    trace_cache = Some Bisa_uarch.Trace_cache.default_config;
+    inject;
+  }
+
+let default_engines () =
+  [
+    {
+      name = "conv";
+      run = (fun c -> fst (Conv_exec.run c.Compiler.conv ~budget:exec_budget ()));
+    };
+    {
+      name = "block";
+      run = (fun c -> fst (Block_exec.run c.Compiler.block ~budget:exec_budget ()));
+    };
+    {
+      name = "conv-timing";
+      run =
+        (fun c -> snd (Bisa_timing.Conv_pipeline.run_full (timing_cfg ()) c.Compiler.conv));
+    };
+    {
+      name = "block-timing";
+      run =
+        (fun c ->
+          snd (Bisa_timing.Block_pipeline.run_full (timing_cfg ()) c.Compiler.block));
+    };
+  ]
+
+(* Replay both functional executors and compare the final data segments
+   (both the integer and the float side of every word).  The linkers lay
+   out globals identically for both ISAs, so a mismatch means one backend
+   miscompiled a store. *)
+let compare_memory (c : Compiler.compiled) =
+  let conv = c.Compiler.conv and block = c.Compiler.block in
+  let tc = Conv_exec.create conv in
+  Conv_exec.set_budget tc exec_budget;
+  while Conv_exec.step tc <> None do () done;
+  let tb = Block_exec.create block in
+  Block_exec.set_budget tb exec_budget;
+  while Block_exec.step tb <> None do () done;
+  let nc = Array.length conv.Bisa_isa.Conv_prog.data in
+  let nb = Array.length block.Bisa_isa.Block_prog.data in
+  let n = max nc nb in
+  let cbase = conv.Bisa_isa.Conv_prog.data_base in
+  let bbase = block.Bisa_isa.Block_prog.data_base in
+  let rec go i =
+    if i >= n then Ok ()
+    else begin
+      let ci = Conv_exec.read_mem tc (cbase + (8 * i)) in
+      let bi = Block_exec.read_mem tb (bbase + (8 * i)) in
+      if ci <> bi then
+        Error (Printf.sprintf "data word %d differs: conv=%d block=%d" i ci bi)
+      else begin
+        let cf = Conv_exec.read_memf tc (cbase + (8 * i)) in
+        let bf = Block_exec.read_memf tb (bbase + (8 * i)) in
+        if Int64.bits_of_float cf <> Int64.bits_of_float bf then
+          Error (Printf.sprintf "data word %d (float) differs: conv=%h block=%h" i cf bf)
+        else go (i + 1)
+      end
+    end
+  in
+  go 0
+
+type outcome =
+  | Agree
+  | Skipped of string  (** ill-formed program or interpreter limit — not a finding *)
+  | Failed of string  (** divergence or an engine crash — a finding *)
+
+let run_compiled ?(engines = default_engines ()) (c : Compiler.compiled) =
+  match Interp.run ~fuel:interp_fuel c.Compiler.typed with
+  | exception Interp.Out_of_fuel -> Skipped "reference interpreter out of fuel"
+  | exception Interp.Runtime_error m -> Skipped ("reference interpreter: " ^ m)
+  | r ->
+    let expected = output_of_interp r in
+    let rec loop = function
+      | [] -> begin
+        match compare_memory c with
+        | Ok () -> Agree
+        | Error m -> Failed ("memory side effects: " ^ m)
+        | exception exn ->
+          Failed ("memory side-effect replay raised " ^ Printexc.to_string exn)
+      end
+      | e :: rest -> begin
+        match e.run c with
+        | got ->
+          if Output.equal expected got then loop rest
+          else
+            Failed
+              (Printf.sprintf "engine %s diverged from interpreter: expected %s, got %s"
+                 e.name (Output.to_string expected) (Output.to_string got))
+        | exception exn ->
+          Failed (Printf.sprintf "engine %s raised %s" e.name (Printexc.to_string exn))
+      end
+    in
+    loop engines
+
+let run_program ?engines p =
+  match Compiler.compile (Gen.render p) with
+  | exception Compiler.Compile_error d -> Skipped (Bisa_base.Diag.render d)
+  | c -> run_compiled ?engines c
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing with greedy shrinking *)
+
+type failure = {
+  program : Gen.prog;
+  source : string;
+  reason : string;
+  shrink_evals : int;  (** candidate executions spent shrinking *)
+}
+
+type report = {
+  tested : int;
+  skipped : int;
+  skip_reasons : (string * int) list;  (** reason histogram, most frequent first *)
+  failure : failure option;
+}
+
+let shrink_failing ?(max_evals = 400) ?engines p reason =
+  let evals = ref 0 in
+  let rec improve p reason =
+    let rec cands = function
+      | [] -> (p, reason)
+      | c :: rest ->
+        if !evals >= max_evals then (p, reason)
+        else begin
+          incr evals;
+          match run_program ?engines c with
+          | Failed r -> improve c r  (* keep any still-failing smaller program *)
+          | Agree | Skipped _ -> cands rest
+        end
+    in
+    cands (Gen.shrink p)
+  in
+  let p', reason' = improve p reason in
+  (p', reason', !evals)
+
+let fuzz ?(seed = 42) ?(count = 200) ?engines () =
+  let rng = Bisa_base.Rng.create seed in
+  let tested = ref 0 and skipped = ref 0 in
+  let reasons : (string, int) Hashtbl.t = Hashtbl.create 7 in
+  let failure = ref None in
+  (try
+     for _ = 1 to count do
+       let p = Gen.generate rng in
+       match run_program ?engines p with
+       | Agree -> incr tested
+       | Skipped r ->
+         incr skipped;
+         Hashtbl.replace reasons r (1 + Option.value ~default:0 (Hashtbl.find_opt reasons r))
+       | Failed reason ->
+         let p', reason', shrink_evals = shrink_failing ?engines p reason in
+         failure :=
+           Some { program = p'; source = Gen.render p'; reason = reason'; shrink_evals };
+         raise Exit
+     done
+   with Exit -> ());
+  let skip_reasons =
+    Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { tested = !tested; skipped = !skipped; skip_reasons; failure = !failure }

@@ -1,0 +1,53 @@
+(** The differential oracle and fuzz loop.
+
+    One generated program is executed by the reference interpreter (the
+    semantic ground truth) and by every engine: the conventional and
+    block-structured functional executors plus both cycle-level timing
+    pipelines (whose functional results come from {!Bisa_timing.Conv_pipeline.run_full}
+    / {!Bisa_timing.Block_pipeline.run_full}).  All five must produce
+    identical outputs and exit values, and the two ISAs' final data
+    segments must match word-for-word.  On a finding, the fuzzer greedily
+    shrinks to a (locally) minimal failing program. *)
+
+type engine = { name : string; run : Bisa_compiler.Compiler.compiled -> Bisa_sim.Output.t }
+
+val default_engines : unit -> engine list
+(** conv, block, conv-timing, block-timing (the timing pair runs with a
+    trace cache enabled to exercise that fetch path). *)
+
+val interp_fuel : int
+val exec_budget : int
+(** Limits far above any generated program's dynamic length; exceeding
+    them is reported as a finding, not a slow program. *)
+
+type outcome =
+  | Agree
+  | Skipped of string  (** ill-formed program or interpreter limit — not a finding *)
+  | Failed of string  (** divergence or an engine crash — a finding *)
+
+val run_compiled : ?engines:engine list -> Bisa_compiler.Compiler.compiled -> outcome
+val run_program : ?engines:engine list -> Gen.prog -> outcome
+
+type failure = {
+  program : Gen.prog;  (** shrunk *)
+  source : string;
+  reason : string;
+  shrink_evals : int;
+}
+
+type report = {
+  tested : int;
+  skipped : int;
+  skip_reasons : (string * int) list;  (** reason histogram, most frequent first *)
+  failure : failure option;
+}
+
+val shrink_failing :
+  ?max_evals:int -> ?engines:engine list -> Gen.prog -> string -> Gen.prog * string * int
+(** Greedy shrink: repeatedly adopt any one-step-smaller candidate that
+    still fails (ill-formed candidates are skipped), bounded by
+    [max_evals] candidate executions (default 400). *)
+
+val fuzz : ?seed:int -> ?count:int -> ?engines:engine list -> unit -> report
+(** Generate and check [count] programs (default 200) from [seed]
+    (default 42); stops at — and shrinks — the first failure. *)

@@ -6,26 +6,26 @@ type compiled = {
   enlarged : Bisa_backend.Enlarge.t list;
 }
 
-exception Compile_error of string
+exception Compile_error of Bisa_base.Diag.t
+
+let fail ?loc msg = raise (Compile_error (Bisa_base.Diag.error ?loc ~component:"compiler" msg))
 
 let located msg (pos : Bisa_frontend.Ast.pos) =
-  Printf.sprintf "%d:%d: %s" pos.line pos.col msg
+  fail ~loc:(Bisa_base.Diag.at_src ~line:pos.line ~col:pos.col) msg
 
 let frontend ?(library_funcs = []) src =
   let typed =
     try Bisa_frontend.Typecheck.check (Bisa_frontend.Parser.parse src) with
-    | Bisa_frontend.Lexer.Error (m, p) -> raise (Compile_error (located ("lex error: " ^ m) p))
-    | Bisa_frontend.Parser.Error (m, p) ->
-      raise (Compile_error (located ("parse error: " ^ m) p))
-    | Bisa_frontend.Typecheck.Error (m, p) ->
-      raise (Compile_error (located ("type error: " ^ m) p))
+    | Bisa_frontend.Lexer.Error (m, p) -> located ("lex error: " ^ m) p
+    | Bisa_frontend.Parser.Error (m, p) -> located ("parse error: " ^ m) p
+    | Bisa_frontend.Typecheck.Error (m, p) -> located ("type error: " ^ m) p
   in
   let ir = Bisa_frontend.Lower.lower ~library_funcs typed in
   List.iter
     (fun f ->
       match Bisa_ir.Cfg.validate f with
       | Ok () -> ()
-      | Error m -> raise (Compile_error ("internal: invalid IR: " ^ m)))
+      | Error m -> fail ("internal: invalid IR: " ^ m))
     ir.funcs;
   (typed, ir)
 

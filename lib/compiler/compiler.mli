@@ -13,7 +13,9 @@ type compiled = {
   enlarged : Bisa_backend.Enlarge.t list;  (** per-function enlargement stats *)
 }
 
-exception Compile_error of string
+exception Compile_error of Bisa_base.Diag.t
+(** All front-end failures (lex, parse, type, IR validation) are reported
+    as a structured diagnostic with a source location when available. *)
 
 val frontend :
   ?library_funcs:string list -> string -> Bisa_frontend.Typed.tprogram * Bisa_ir.Ir.program

@@ -1,20 +1,43 @@
-exception Malformed of string
+(* Validated binary encode/decode for both ISAs.  Every decode failure
+   raises [Malformed] carrying a structured diagnostic with the byte
+   offset and the section being decoded — never Stack_overflow,
+   Out_of_memory or a hang, which the decode fuzzer enforces. *)
+
+exception Malformed of Bisa_base.Diag.t
 
 (* --- Primitive writers/readers ------------------------------------------- *)
 
-type reader = { buf : string; mutable pos : int }
+type reader = { buf : string; mutable pos : int; mutable section : string }
 
-let fail msg = raise (Malformed msg)
+let reader_of ?(section = "header") buf = { buf; pos = 0; section }
+
+let fail r msg =
+  raise
+    (Malformed
+       (Bisa_base.Diag.error
+          ~loc:(Bisa_base.Diag.at_byte ~offset:r.pos ~section:r.section)
+          ~component:"encode" msg))
+
+let failf r fmt = Printf.ksprintf (fail r) fmt
+
+(* Bytes left to read; array element counts may never exceed this (every
+   element is at least one byte), which bounds decoder allocations by the
+   input size. *)
+let remaining r = String.length r.buf - r.pos
 
 let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
 let read_u8 r =
-  if r.pos >= String.length r.buf then fail "truncated";
+  if r.pos >= String.length r.buf then fail r "truncated input";
   let v = Char.code r.buf.[r.pos] in
   r.pos <- r.pos + 1;
   v
 
-(* Zigzag varint: small magnitudes of either sign stay short. *)
+(* Zigzag varint: small magnitudes of either sign stay short.  The
+   zigzag word uses all 63 bits (bit 62 of [v] lands in bit 62 of [z] for
+   a negative [v], and in the "sign" bit for [max_int]), so the loop
+   views [z] as unsigned via [lsr] and must not mask it — masking with
+   [max_int] silently dropped the top bit of max_int-magnitude values. *)
 let varint b v =
   let z = (v lsl 1) lxor (v asr 62) in
   let rec go z =
@@ -24,11 +47,11 @@ let varint b v =
       go (z lsr 7)
     end
   in
-  go (z land max_int)
+  go z
 
 let read_varint r =
   let rec go shift acc =
-    if shift > 63 then fail "varint overflow";
+    if shift > 63 then fail r "varint overflow";
     let byte = read_u8 r in
     let acc = acc lor ((byte land 0x7f) lsl shift) in
     if byte land 0x80 = 0 then acc else go (shift + 7) acc
@@ -53,7 +76,7 @@ let reg b r = u8 b (Reg.flat_index r)
 
 let read_reg r =
   let i = read_u8 r in
-  if i >= Reg.flat_count then fail "bad register";
+  if i >= Reg.flat_count then failf r "bad register index %d" i;
   Reg.of_flat_index i
 
 let str b s =
@@ -62,7 +85,7 @@ let str b s =
 
 let read_str r =
   let n = read_varint r in
-  if n < 0 || r.pos + n > String.length r.buf then fail "bad string";
+  if n < 0 || n > remaining r then fail r "bad string length";
   let s = String.sub r.buf r.pos n in
   r.pos <- r.pos + n;
   s
@@ -72,9 +95,10 @@ let read_str r =
 let cmp_tag = function
   | Cmp.Eq -> 0 | Cmp.Ne -> 1 | Cmp.Lt -> 2 | Cmp.Le -> 3 | Cmp.Gt -> 4 | Cmp.Ge -> 5
 
-let cmp_of_tag = function
+let read_cmp r =
+  match read_u8 r with
   | 0 -> Cmp.Eq | 1 -> Cmp.Ne | 2 -> Cmp.Lt | 3 -> Cmp.Le | 4 -> Cmp.Gt | 5 -> Cmp.Ge
-  | _ -> fail "bad cmp"
+  | t -> failf r "bad cmp tag %d" t
 
 let alu_tag = function
   | Op.Add -> 0 | Op.Sub -> 1 | Op.Mul -> 2 | Op.Div -> 3 | Op.Rem -> 4
@@ -82,17 +106,25 @@ let alu_tag = function
   | Op.Sra -> 10
   | Op.Set c -> 16 + cmp_tag c
 
-let alu_of_tag = function
+let cmp_of_sub r t =
+  match t with
+  | 0 -> Cmp.Eq | 1 -> Cmp.Ne | 2 -> Cmp.Lt | 3 -> Cmp.Le | 4 -> Cmp.Gt | 5 -> Cmp.Ge
+  | _ -> failf r "bad cmp tag %d" t
+
+let read_alu r =
+  match read_u8 r with
   | 0 -> Op.Add | 1 -> Op.Sub | 2 -> Op.Mul | 3 -> Op.Div | 4 -> Op.Rem
   | 5 -> Op.And | 6 -> Op.Or | 7 -> Op.Xor | 8 -> Op.Sll | 9 -> Op.Srl
   | 10 -> Op.Sra
-  | t when t >= 16 && t <= 21 -> Op.Set (cmp_of_tag (t - 16))
-  | _ -> fail "bad alu"
+  | t when t >= 16 && t <= 21 -> Op.Set (cmp_of_sub r (t - 16))
+  | t -> failf r "bad alu tag %d" t
 
 let fpu_tag = function Op.Fadd -> 0 | Op.Fsub -> 1 | Op.Fmul -> 2 | Op.Fdiv -> 3
 
-let fpu_of_tag = function
-  | 0 -> Op.Fadd | 1 -> Op.Fsub | 2 -> Op.Fmul | 3 -> Op.Fdiv | _ -> fail "bad fpu"
+let read_fpu r =
+  match read_u8 r with
+  | 0 -> Op.Fadd | 1 -> Op.Fsub | 2 -> Op.Fmul | 3 -> Op.Fdiv
+  | t -> failf r "bad fpu tag %d" t
 
 (* --- Operations ---------------------------------------------------------------- *)
 
@@ -199,22 +231,22 @@ let decode_op r : Op.t =
     let d = read_reg r in
     Op.Lif (d, read_f64 r)
   | 4 ->
-    let a = alu_of_tag (read_u8 r) in
+    let a = read_alu r in
     let d = read_reg r in
     let s1 = read_reg r in
     Op.Alu (a, d, s1, Op.R (read_reg r))
   | 5 ->
-    let a = alu_of_tag (read_u8 r) in
+    let a = read_alu r in
     let d = read_reg r in
     let s1 = read_reg r in
     Op.Alu (a, d, s1, Op.I (read_varint r))
   | 6 ->
-    let f = fpu_of_tag (read_u8 r) in
+    let f = read_fpu r in
     let d = read_reg r in
     let s1 = read_reg r in
     Op.Fpu (f, d, s1, read_reg r)
   | 7 ->
-    let c = cmp_of_tag (read_u8 r) in
+    let c = read_cmp r in
     let d = read_reg r in
     let s1 = read_reg r in
     Op.Fcmp (c, d, s1, read_reg r)
@@ -243,20 +275,20 @@ let decode_op r : Op.t =
   | 14 -> Op.Print (read_reg r)
   | 15 -> Op.Printf (read_reg r)
   | 16 ->
-    let c = cmp_of_tag (read_u8 r) in
+    let c = read_cmp r in
     let d = read_reg r in
     let s1 = read_reg r in
     let s2 = read_reg r in
     let t = read_reg r in
     Op.Select (c, d, s1, Op.R s2, t, read_reg r)
   | 17 ->
-    let c = cmp_of_tag (read_u8 r) in
+    let c = read_cmp r in
     let d = read_reg r in
     let s1 = read_reg r in
     let v = read_varint r in
     let t = read_reg r in
     Op.Select (c, d, s1, Op.I v, t, read_reg r)
-  | t -> fail (Printf.sprintf "bad op tag %d" t)
+  | t -> failf r "bad op tag %d" t
 
 let op_to_bytes op =
   let b = Buffer.create 8 in
@@ -264,9 +296,9 @@ let op_to_bytes op =
   Buffer.contents b
 
 let op_of_bytes s =
-  let r = { buf = s; pos = 0 } in
+  let r = reader_of ~section:"op" s in
   let op = decode_op r in
-  if r.pos <> String.length s then fail "trailing bytes";
+  if r.pos <> String.length s then fail r "trailing bytes";
   op
 
 (* --- Conventional instructions -------------------------------------------------- *)
@@ -298,7 +330,7 @@ let decode_insn r : int Insn.t =
   match read_u8 r with
   | 0 -> Insn.Op (decode_op r)
   | 1 ->
-    let c = cmp_of_tag (read_u8 r) in
+    let c = read_cmp r in
     let s1 = read_reg r in
     let s2 = read_reg r in
     Insn.Br (c, s1, s2, read_varint r)
@@ -307,7 +339,7 @@ let decode_insn r : int Insn.t =
   | 4 -> Insn.Ret
   | 5 -> Insn.Jr (read_reg r)
   | 6 -> Insn.Halt
-  | t -> fail (Printf.sprintf "bad insn tag %d" t)
+  | t -> failf r "bad insn tag %d" t
 
 (* --- Atomic blocks --------------------------------------------------------------- *)
 
@@ -327,11 +359,11 @@ let decode_elt r : int Ablock.elt =
   match read_u8 r with
   | 0 -> Ablock.Op (decode_op r)
   | 1 ->
-    let c = cmp_of_tag (read_u8 r) in
+    let c = read_cmp r in
     let s1 = read_reg r in
     let s2 = read_reg r in
     Ablock.Fault (c, s1, s2, read_varint r)
-  | t -> fail (Printf.sprintf "bad elt tag %d" t)
+  | t -> failf r "bad elt tag %d" t
 
 let encode_term b (t : int Ablock.terminator) =
   match t with
@@ -359,7 +391,7 @@ let encode_term b (t : int Ablock.terminator) =
 let decode_term r : int Ablock.terminator =
   match read_u8 r with
   | 0 ->
-    let cmp = cmp_of_tag (read_u8 r) in
+    let cmp = read_cmp r in
     let rs1 = read_reg r in
     let rs2 = read_reg r in
     let taken = read_varint r in
@@ -373,7 +405,7 @@ let decode_term r : int Ablock.terminator =
   | 3 -> Ablock.Return
   | 4 -> Ablock.Ijump (read_reg r)
   | 5 -> Ablock.Halt
-  | t -> fail (Printf.sprintf "bad term tag %d" t)
+  | t -> failf r "bad term tag %d" t
 
 (* --- Shared program sections -------------------------------------------------------- *)
 
@@ -381,9 +413,11 @@ let encode_array b f a =
   varint b (Array.length a);
   Array.iter (f b) a
 
+(* Every element costs at least one byte, so a count above the remaining
+   input is malformed — checking this first bounds the allocation. *)
 let decode_array r f =
   let n = read_varint r in
-  if n < 0 || n > 100_000_000 then fail "bad array length";
+  if n < 0 || n > remaining r then failf r "bad array length %d" n;
   Array.init n (fun _ -> f r)
 
 let encode_symbols b syms =
@@ -396,7 +430,8 @@ let encode_symbols b syms =
 
 let decode_symbols r =
   let n = read_varint r in
-  if n < 0 || n > 1_000_000 then fail "bad symbol count";
+  (* Each symbol is at least two bytes (name length + value). *)
+  if n < 0 || n > remaining r / 2 then failf r "bad symbol count %d" n;
   List.init n (fun _ ->
       let name = read_str r in
       (name, read_varint r))
@@ -405,6 +440,15 @@ let magic_conv = "BISA-CONV1"
 let magic_block = "BISA-BLK1"
 
 (* --- Whole programs ------------------------------------------------------------------ *)
+
+let section r name = r.section <- name
+
+let check_magic r magic =
+  section r "magic";
+  if String.length r.buf < String.length magic
+     || String.sub r.buf 0 (String.length magic) <> magic
+  then fail r "bad magic";
+  r.pos <- String.length magic
 
 let conv_to_bytes (p : Conv_prog.t) =
   let b = Buffer.create 4096 in
@@ -417,17 +461,19 @@ let conv_to_bytes (p : Conv_prog.t) =
   Buffer.contents b
 
 let conv_of_bytes s =
-  let r = { buf = s; pos = 0 } in
-  if String.length s < String.length magic_conv
-     || String.sub s 0 (String.length magic_conv) <> magic_conv
-  then fail "bad magic";
-  r.pos <- String.length magic_conv;
+  let r = reader_of s in
+  check_magic r magic_conv;
+  section r "code";
   let insns = decode_array r decode_insn in
+  section r "entry";
   let entry = read_varint r in
+  section r "data";
   let data = decode_array r read_varint in
   let data_base = read_varint r in
+  section r "symbols";
   let symbols = decode_symbols r in
-  if r.pos <> String.length s then fail "trailing bytes";
+  section r "trailer";
+  if r.pos <> String.length s then fail r "trailing bytes";
   { Conv_prog.insns; entry; data; data_base; symbols }
 
 let encode_block b (blk : int Ablock.t) =
@@ -455,24 +501,28 @@ let block_to_bytes (p : Block_prog.t) =
   Buffer.contents b
 
 let block_of_bytes s =
-  let r = { buf = s; pos = 0 } in
-  if String.length s < String.length magic_block
-     || String.sub s 0 (String.length magic_block) <> magic_block
-  then fail "bad magic";
-  r.pos <- String.length magic_block;
+  let r = reader_of s in
+  check_magic r magic_block;
+  section r "code";
   let blocks = decode_array r decode_block in
+  section r "entry";
   let entry = read_varint r in
+  section r "data";
   let data = decode_array r read_varint in
   let data_base = read_varint r in
+  section r "symbols";
   let symbols = decode_symbols r in
+  section r "succ_struct";
   let succ_struct =
     decode_array r (fun r ->
         let taken = decode_array r read_varint in
         let not_taken = decode_array r read_varint in
         (taken, not_taken))
   in
+  section r "variant_groups";
   let variant_group = decode_array r (fun r -> decode_array r read_varint) in
-  if r.pos <> String.length s then fail "trailing bytes";
+  section r "trailer";
+  if r.pos <> String.length s then fail r "trailing bytes";
   let block_addr, code_bytes = Block_prog.layout blocks in
   {
     Block_prog.blocks;

@@ -9,9 +9,12 @@
     {e architectural} size, as in real ISAs where the cached form and the
     file form differ.
 
-    Every decoder validates tags and raises {!Malformed} on junk input. *)
+    Every decoder validates tags and raises {!Malformed} on junk input.
+    The payload is a structured {!Bisa_base.Diag.t} carrying the byte
+    offset and the section ("code", "data", "symbols", ...) where decoding
+    failed, so tools can point at the exact corrupt byte. *)
 
-exception Malformed of string
+exception Malformed of Bisa_base.Diag.t
 
 val op_to_bytes : Op.t -> string
 val op_of_bytes : string -> Op.t

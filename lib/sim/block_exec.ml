@@ -31,6 +31,17 @@ type t = {
 exception Runaway of int
 exception Illegal_fetch of { required : int; requested : int }
 
+(* Structured rendering for the unified failure model. *)
+let runaway_diag n =
+  Bisa_base.Diag.errorf ~component:"sim.block"
+    "runaway execution: %d dynamic operations exceeded the budget" n
+
+let illegal_fetch_diag ~required ~requested =
+  Bisa_base.Diag.errorf ~component:"sim.block"
+    "illegal fetch: block %d requested while architecture requires %d (or a group \
+     variant)"
+    requested required
+
 let create (prog : Block_prog.t) =
   let t =
     {
@@ -62,6 +73,9 @@ let set_budget t n = t.budget <- n
 
 let output t =
   { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+
+let read_mem t addr = Memory.load t.mem addr
+let read_memf t addr = Memory.loadf t.mem addr
 
 let snapshot_regs t = Regfile.blit ~src:t.regs ~dst:t.shadow
 let restore_regs t = Regfile.blit ~src:t.shadow ~dst:t.regs

@@ -28,6 +28,11 @@ type t
 exception Runaway of int
 exception Illegal_fetch of { required : int; requested : int }
 
+val runaway_diag : int -> Bisa_base.Diag.t
+val illegal_fetch_diag : required:int -> requested:int -> Bisa_base.Diag.t
+(** Structured renderings of the executor exceptions for the unified
+    failure model. *)
+
 val create : Bisa_isa.Block_prog.t -> t
 
 val required : t -> int
@@ -47,6 +52,11 @@ val retired_ops : t -> int
 val retired_blocks : t -> int
 val output : t -> Output.t
 val set_budget : t -> int -> unit
+
+val read_mem : t -> int -> int
+val read_memf : t -> int -> float
+(** Inspect data memory (aligned byte address) — the differential oracle
+    compares final data segments across executors. *)
 
 val run : Bisa_isa.Block_prog.t -> ?budget:int -> unit -> Output.t * int
 (** Canonical execution to halt; returns output and retired op count. *)

@@ -25,6 +25,11 @@ type t = {
 
 exception Runaway of int
 
+(* Structured rendering for the unified failure model. *)
+let runaway_diag n =
+  Bisa_base.Diag.errorf ~component:"sim.conv"
+    "runaway execution: %d dynamic instructions exceeded the budget" n
+
 (* Safety cap on packet length; real basic blocks are far shorter, and the
    timing model re-chunks to issue width anyway. *)
 let packet_cap = 1024
@@ -54,6 +59,9 @@ let set_budget t n = t.budget <- n
 
 let output t =
   { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+
+let read_mem t addr = Memory.load t.mem addr
+let read_memf t addr = Memory.loadf t.mem addr
 
 let step t =
   if t.halted then None

@@ -27,6 +27,9 @@ type t
 
 exception Runaway of int
 
+val runaway_diag : int -> Bisa_base.Diag.t
+(** Structured rendering of {!Runaway} for the unified failure model. *)
+
 val create : Bisa_isa.Conv_prog.t -> t
 val step : t -> packet option
 (** [None] once halted.  Raises {!Runaway} past the instruction budget. *)
@@ -36,6 +39,11 @@ val dyn_insns : t -> int
 val output : t -> Output.t
 val set_budget : t -> int -> unit
 (** Default budget: 2 billion dynamic instructions. *)
+
+val read_mem : t -> int -> int
+val read_memf : t -> int -> float
+(** Inspect data memory (aligned byte address) — the differential oracle
+    compares final data segments across executors. *)
 
 val run : Bisa_isa.Conv_prog.t -> ?budget:int -> unit -> Output.t * int
 (** Convenience: execute to halt; returns output and dynamic instruction

@@ -4,13 +4,14 @@ module Ablock = Bisa_isa.Ablock
 module Cache = Bisa_uarch.Cache
 module Block_pred = Bisa_uarch.Block_pred
 
-let run (cfg : Config.t) (prog : Block_prog.t) : Metrics.t =
+let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
   let exec = Block_exec.create prog in
   Block_exec.set_budget exec cfg.op_budget;
   let icache = Option.map Cache.create cfg.icache in
   let pred = Block_pred.create cfg.block_pred prog in
+  let inj = cfg.inject in
   let next_fetch = ref 0 in
   (* The youngest committed block, its terminator's resolve time, its
      predicted successor, and its resolved trap direction — prediction
@@ -75,7 +76,12 @@ let run (cfg : Config.t) (prog : Block_prog.t) : Metrics.t =
               Cache.access_range c prog.block_addr.(step.block)
                 (Block_prog.block_bytes blk)
             in
-            if misses > 0 then fc := !fc + (misses * cfg.l2_latency)
+            if misses > 0 then fc := !fc + (misses * cfg.l2_latency);
+            (* Injected transient fault: drop the line just fetched. *)
+            (match inj with
+            | Some i when Bisa_uarch.Inject.evict_line i ->
+              Cache.evict c prog.block_addr.(step.block)
+            | _ -> ())
           | None -> ());
           m.fetch_units <- m.fetch_units + 1;
           let body =
@@ -112,7 +118,23 @@ let run (cfg : Config.t) (prog : Block_prog.t) : Metrics.t =
               | Some p -> Block_pred.update pred ~block:p ~actual:step.block
               | None -> ());
               last_committed := Some step.block;
+              (* Injected BTB corruption: smash the widened entry's slots
+                 with a random block id.  The fetch guard above re-checks
+                 every slot against the required variant group, so a
+                 corrupt slot is at worst a misprediction. *)
+              (match inj with
+              | Some i when Bisa_uarch.Inject.corrupt_btb i ->
+                Block_pred.corrupt_btb pred ~block:step.block
+                  ~value:(Bisa_uarch.Inject.rand_int i (Array.length prog.blocks))
+              | _ -> ());
               let predicted = Block_pred.predict pred step.block in
+              (* Injected forced misprediction: drop the prediction so the
+                 next fetch pays the redirect path. *)
+              let predicted =
+                match inj with
+                | Some i when Bisa_uarch.Inject.flip_direction i -> None
+                | _ -> predicted
+              in
               prev := Some (step.block, r.resolve, predicted, step.dir_taken)
             | Config.Perfect -> ())
           end
@@ -130,4 +152,6 @@ let run (cfg : Config.t) (prog : Block_prog.t) : Metrics.t =
     m.dcache_accesses <- Cache.accesses c;
     m.dcache_misses <- Cache.misses c
   | None -> ());
-  m
+  (m, Block_exec.output exec)
+
+let run cfg prog = fst (run_full cfg prog)

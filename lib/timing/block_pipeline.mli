@@ -15,3 +15,9 @@
     figure 4. *)
 
 val run : Config.t -> Bisa_isa.Block_prog.t -> Metrics.t
+
+val run_full : Config.t -> Bisa_isa.Block_prog.t -> Metrics.t * Bisa_sim.Output.t
+(** As {!run}, also returning the functional output of the underlying
+    executor — the differential fuzzer compares it against the canonical
+    execution to prove fault injection cannot alter architectural
+    results. *)

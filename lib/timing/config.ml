@@ -15,6 +15,7 @@ type t = {
   conv_pred : Bisa_uarch.Conv_pred.config;
   block_pred : Bisa_uarch.Block_pred.config;
   op_budget : int;
+  inject : Bisa_uarch.Inject.t option;
 }
 
 let default =
@@ -33,7 +34,9 @@ let default =
     conv_pred = Bisa_uarch.Conv_pred.default_config;
     block_pred = Bisa_uarch.Block_pred.default_config;
     op_budget = 2_000_000_000;
+    inject = None;
   }
 
 let with_icache icache t = { t with icache }
 let with_predictor predictor t = { t with predictor }
+let with_inject inject t = { t with inject }

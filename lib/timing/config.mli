@@ -25,6 +25,9 @@ type t = {
   conv_pred : Bisa_uarch.Conv_pred.config;
   block_pred : Bisa_uarch.Block_pred.config;
   op_budget : int;  (** executor safety budget *)
+  inject : Bisa_uarch.Inject.t option;
+      (** fault injection into the speculative front end ([None] = clean
+          run); functional results are unaffected by construction *)
 }
 
 val default : t
@@ -32,3 +35,4 @@ val default : t
 
 val with_icache : Bisa_uarch.Cache.config option -> t -> t
 val with_predictor : predictor -> t -> t
+val with_inject : Bisa_uarch.Inject.t option -> t -> t

@@ -33,7 +33,7 @@ module Stream = struct
     done
 end
 
-let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
+let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
   let exec = Conv_exec.create prog in
@@ -42,6 +42,7 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
   let icache = Option.map Cache.create cfg.icache in
   let tc = Option.map Trace_cache.create cfg.trace_cache in
   let pred = Conv_pred.create cfg.conv_pred in
+  let inj = cfg.inject in
   let next_fetch = ref 0 in
   (* Trace-fill window: the last few fetched packets. *)
   let recent : (int * int) list ref = ref [] in
@@ -56,7 +57,12 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
     | Some c when not from_tc ->
       let addr = Conv_prog.insn_addr pkt.start in
       let misses = Cache.access_range c addr (pkt.count * Conv_prog.bytes_per_insn) in
-      if misses > 0 then fc := !fc + (misses * cfg.l2_latency)
+      if misses > 0 then fc := !fc + (misses * cfg.l2_latency);
+      (* Injected transient fault: the line we just fetched drops out, so
+         the next visit pays a fresh miss. *)
+      (match inj with
+      | Some i when Bisa_uarch.Inject.evict_line i -> Cache.evict c addr
+      | _ -> ())
     | _ -> ());
     m.fetch_units <- m.fetch_units + 1;
     let nchunks = (pkt.count + cfg.issue_width - 1) / cfg.issue_width in
@@ -80,6 +86,14 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
     m.retired_blocks <- m.retired_blocks + 1;
     Bisa_base.Stats.Histogram.add m.block_sizes pkt.count;
     let branch_pc = pkt.start + pkt.count - 1 in
+    (* Injected BTB corruption: a bogus target for this pc.  The predictor
+       only compares BTB contents against the architectural target, so the
+       worst case is a Wrong_target verdict below. *)
+    (match inj with
+    | Some i when Bisa_uarch.Inject.corrupt_btb i ->
+      Conv_pred.inject_btb pred ~pc:branch_pc
+        ~target:(Bisa_uarch.Inject.rand_int i (Array.length prog.insns))
+    | _ -> ());
     let verdict =
       match cfg.predictor with
       | Config.Perfect -> Conv_pred.Correct
@@ -94,7 +108,12 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
         | Conv_exec.Khalt | Conv_exec.Kfall -> Conv_pred.Correct
       end
     in
-    let ok = verdict = Conv_pred.Correct in
+    (* Injected forced misprediction: the front end redirects even though
+       the predictor was right — pure timing cost. *)
+    let forced_miss =
+      match inj with Some i -> Bisa_uarch.Inject.flip_direction i | None -> false
+    in
+    let ok = verdict = Conv_pred.Correct && not forced_miss in
     if not ok then begin
       m.mispredicts <- m.mispredicts + 1;
       next_fetch := max !next_fetch (!last_resolve + cfg.redirect_penalty)
@@ -110,6 +129,14 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
       let window = List.rev !recent in
       let total = List.fold_left (fun a (_, c) -> a + c) 0 window in
       Trace_cache.fill tc_ ~starts:(List.map fst window) ~total_ops:total;
+      (* Injected trace corruption: a bogus successor sequence keyed at
+         this packet.  Lookups validate traces against the real upcoming
+         packets, so a corrupt entry never gets served. *)
+      (match inj with
+      | Some i when Bisa_uarch.Inject.corrupt_trace i ->
+        Trace_cache.corrupt tc_ ~start:pkt.start
+          ~succs:[ Bisa_uarch.Inject.rand_int i (Array.length prog.insns) ]
+      | _ -> ());
       (* A redirect breaks trace continuity. *)
       if not ok then recent := []
     | None -> ());
@@ -172,4 +199,6 @@ let run (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t =
     m.dcache_accesses <- Cache.accesses c;
     m.dcache_misses <- Cache.misses c
   | None -> ());
-  m
+  (m, Conv_exec.output exec)
+
+let run cfg prog = fst (run_full cfg prog)

@@ -7,3 +7,9 @@
     conventional core to ~5 useful operations per fetch (paper figure 5). *)
 
 val run : Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t
+
+val run_full : Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t * Bisa_sim.Output.t
+(** As {!run}, also returning the functional output of the underlying
+    executor — the differential fuzzer compares it against the canonical
+    execution to prove fault injection cannot alter architectural
+    results. *)

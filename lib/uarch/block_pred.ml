@@ -263,4 +263,12 @@ let update t ~block ~actual =
     end
   | Ablock.Halt -> ()
 
+(* Fault-injection hook: smash every successor slot of [block]'s widened
+   BTB entry.  Slot contents are speculation hints — the pipeline's fetch
+   guard re-checks them against the executor's required group — so a
+   corrupt slot degrades to a misprediction, never a wrong execution. *)
+let corrupt_btb t ~block ~value =
+  let e = Btb.find_or_insert t.btb block (fun () -> { slots = Array.make 8 (-1) }) in
+  Array.fill e.slots 0 (Array.length e.slots) value
+
 let lookups t = t.n_lookup

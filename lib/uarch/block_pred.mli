@@ -47,4 +47,9 @@ val update : t -> block:int -> actual:int -> unit
 (** Train with the successor that actually committed.  Counters, history
     (variable shift), BTB successor slots, and RAS all update here. *)
 
+val corrupt_btb : t -> block:int -> value:int -> unit
+(** Fault-injection hook: fill all eight successor slots of [block]'s BTB
+    entry with [value].  Slots are fetch hints filtered by the pipeline's
+    group check, so corruption costs mispredictions only. *)
+
 val lookups : t -> int

@@ -71,6 +71,18 @@ let access_range t addr len =
   done;
   !misses
 
+let evict t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.cfg.assoc in
+  for i = 0 to t.cfg.assoc - 1 do
+    if t.tags.(base + i) = tag then begin
+      t.tags.(base + i) <- -1;
+      t.lru.(base + i) <- 0
+    end
+  done
+
 let accesses t = t.n_access
 let misses t = t.n_miss
 

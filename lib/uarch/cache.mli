@@ -25,6 +25,10 @@ val access_range : t -> int -> int -> int
 (** [access_range t addr len] touches every line of \[addr, addr+len);
     returns the number of misses. *)
 
+val evict : t -> int -> unit
+(** [evict t addr] invalidates the line containing [addr] if present —
+    fault-injection hook; the next access to the line misses. *)
+
 val accesses : t -> int
 val misses : t -> int
 val reset_stats : t -> unit

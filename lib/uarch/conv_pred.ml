@@ -99,5 +99,10 @@ let on_indirect t ~pc ~target =
   note t (verdict = Correct);
   verdict
 
+(* Fault-injection hook: plant a bogus target.  BTB contents are only ever
+   compared against the architectural target, never fetched from, so a
+   corrupt entry costs at most a Wrong_target redirect. *)
+let inject_btb t ~pc ~target = Btb.insert t.btb pc target
+
 let mispredicts t = t.n_miss
 let predictions t = t.n_pred

@@ -35,5 +35,10 @@ val on_call : t -> pc:int -> target:int -> return_to:int -> verdict
 val on_return : t -> pc:int -> target:int -> verdict
 val on_indirect : t -> pc:int -> target:int -> verdict
 
+val inject_btb : t -> pc:int -> target:int -> unit
+(** Fault-injection hook: overwrite [pc]'s BTB entry with a bogus target.
+    Targets are hints (compared, never dereferenced), so the worst case is
+    an extra [Wrong_target] misprediction. *)
+
 val mispredicts : t -> int
 val predictions : t -> int

@@ -1,0 +1,47 @@
+(* Fault-injection harness for the timing front ends.
+
+   Every hook corrupts *speculative* microarchitectural state only —
+   predictor counters, BTB successor slots, cache tags, trace-cache
+   entries.  Architectural state is owned by the functional executors, so
+   by construction an injection can change cycle counts but never outputs;
+   the differential fuzzer (lib/check) asserts exactly that. *)
+
+type t = {
+  rng : Bisa_base.Rng.t;
+  p_flip_direction : float;
+  p_evict_line : float;
+  p_corrupt_btb : float;
+  p_corrupt_trace : float;
+  mutable n_fired : int;
+}
+
+let create ?(p_flip_direction = 0.0) ?(p_evict_line = 0.0) ?(p_corrupt_btb = 0.0)
+    ?(p_corrupt_trace = 0.0) ~seed () =
+  {
+    rng = Bisa_base.Rng.create seed;
+    p_flip_direction;
+    p_evict_line;
+    p_corrupt_btb;
+    p_corrupt_trace;
+    n_fired = 0;
+  }
+
+(* An aggressive preset for robustness campaigns: every event class fires
+   often enough that a few-thousand-op program sees dozens of each. *)
+let chaos ~seed =
+  create ~p_flip_direction:0.05 ~p_evict_line:0.05 ~p_corrupt_btb:0.05
+    ~p_corrupt_trace:0.05 ~seed ()
+
+let fire t p =
+  p > 0.0
+  && Bisa_base.Rng.chance t.rng p
+  &&
+  (t.n_fired <- t.n_fired + 1;
+   true)
+
+let flip_direction t = fire t t.p_flip_direction
+let evict_line t = fire t t.p_evict_line
+let corrupt_btb t = fire t t.p_corrupt_btb
+let corrupt_trace t = fire t t.p_corrupt_trace
+let rand_int t bound = if bound <= 0 then 0 else Bisa_base.Rng.int t.rng bound
+let injected t = t.n_fired

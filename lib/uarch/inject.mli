@@ -1,0 +1,42 @@
+(** Fault injection into the speculative front-end structures.
+
+    The hooks model transient faults (and adversarial aliasing) in the
+    predictor, BTB, icache and trace cache.  They may only touch state
+    whose contents are {e hints}: the pipelines re-check every hint against
+    the functional executor, so an injection degrades a run to extra
+    mispredictions, refetches and cache misses — outputs and memory side
+    effects are unchanged, and the executor budgets still bound the run.
+    [lib/check]'s fault campaign asserts both properties. *)
+
+type t
+
+val create :
+  ?p_flip_direction:float ->
+  ?p_evict_line:float ->
+  ?p_corrupt_btb:float ->
+  ?p_corrupt_trace:float ->
+  seed:int ->
+  unit ->
+  t
+(** All probabilities default to 0 (that event class never fires). *)
+
+val chaos : seed:int -> t
+(** Preset with every probability at 5% — the robustness-campaign knob. *)
+
+val flip_direction : t -> bool
+(** Roll: force this prediction to be treated as a misprediction. *)
+
+val evict_line : t -> bool
+(** Roll: evict the just-fetched icache line. *)
+
+val corrupt_btb : t -> bool
+(** Roll: overwrite a BTB entry with a bogus successor. *)
+
+val corrupt_trace : t -> bool
+(** Roll: install a bogus trace-cache entry. *)
+
+val rand_int : t -> int -> int
+(** Deterministic junk value in \[0, bound) (0 if [bound <= 0]). *)
+
+val injected : t -> int
+(** How many injections have fired so far. *)

@@ -28,5 +28,10 @@ let fill t ~starts ~total_ops =
     Btb.insert t.table first rest
   | _ -> ()
 
+(* Fault-injection hook: install an arbitrary trace unconditionally.  The
+   pipeline confirms every stored trace against the packets actually coming
+   next before serving it, so a corrupt entry is simply never confirmed. *)
+let corrupt t ~start ~succs = Btb.insert t.table start succs
+
 let hits t = t.n_hit
 let lookups t = t.n_lookup

@@ -33,5 +33,10 @@ val fill : t -> starts:int list -> total_ops:int -> unit
 (** Record a trace: [starts] is the full block-start sequence (first
     element is the key).  Oversized traces are ignored. *)
 
+val corrupt : t -> start:int -> succs:int list -> unit
+(** Fault-injection hook: plant an arbitrary (possibly bogus) trace keyed
+    at [start], bypassing the size checks of {!fill}.  Safe because the
+    front end validates traces against the real upcoming packets. *)
+
 val hits : t -> int
 val lookups : t -> int

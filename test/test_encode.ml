@@ -36,6 +36,8 @@ let test_op_roundtrip_cases () =
       Op.Mov (Reg.Int 4, Reg.Int 5);
       Op.Li (Reg.Int 6, -123456789);
       Op.Li (Reg.Int 6, max_int / 2);
+      Op.Li (Reg.Int 6, max_int);
+      Op.Li (Reg.Int 6, min_int);
       Op.Lif (Reg.Flt 7, -3.25e17);
       Op.Alu (Op.Set Bisa_isa.Cmp.Ge, Reg.Int 8, Reg.Int 9, Op.R (Reg.Int 10));
       Op.Alu (Op.Sra, Reg.Int 8, Reg.Int 9, Op.I (-63));
@@ -99,6 +101,45 @@ let test_malformed_rejected () =
   | _ -> Alcotest.fail "bad op tag accepted"
   | exception Encode.Malformed _ -> ())
 
+(* The Malformed diagnostic must point at the corrupt byte: an in-range
+   offset and a named section, so tools can say exactly where an image
+   went bad. *)
+let test_malformed_carries_offset () =
+  let diag_of name s =
+    match Encode.conv_of_bytes s with
+    | _ -> Alcotest.failf "%s: expected Malformed" name
+    | exception Encode.Malformed d -> d
+  in
+  let check name s =
+    let d = diag_of name s in
+    match d.Bisa_base.Diag.loc with
+    | Bisa_base.Diag.Byte { offset; section } ->
+      if offset < 0 || offset > String.length s then
+        Alcotest.failf "%s: offset %d outside image of %d bytes" name offset
+          (String.length s);
+      if section = "" then Alcotest.failf "%s: empty section name" name;
+      (offset, section)
+    | _ -> Alcotest.failf "%s: diagnostic carries no byte location" name
+  in
+  let off, sec = check "bad magic" "NOTBISA-XX" in
+  Alcotest.(check string) "magic failures name the magic section" "magic" sec;
+  Alcotest.(check bool) "magic offset at the front" true (off <= 8);
+  let c = Bisa_compiler.Compiler.compile sample_src in
+  let good = Encode.conv_to_bytes c.conv in
+  let off, _ = check "truncated" (String.sub good 0 (String.length good - 3)) in
+  Alcotest.(check bool) "truncation detected near the cut" true
+    (off >= String.length good - 16);
+  (* A bit flip in the code section reports a code-section byte (or still
+     decodes: not every flip is detectable). *)
+  let flipped = Bytes.of_string good in
+  Bytes.set flipped 24 (Char.chr (Char.code (Bytes.get flipped 24) lxor 0xff));
+  (match Encode.conv_of_bytes (Bytes.to_string flipped) with
+  | _ -> ()
+  | exception Encode.Malformed d ->
+    (match d.Bisa_base.Diag.loc with
+    | Bisa_base.Diag.Byte _ -> ()
+    | _ -> Alcotest.fail "bit flip: diagnostic carries no byte location"))
+
 let prop_op_roundtrip =
   let gen_op rng =
     let module Rng = Bisa_base.Rng in
@@ -135,5 +176,7 @@ let suite =
     Alcotest.test_case "conv program roundtrip" `Quick test_conv_roundtrip;
     Alcotest.test_case "block program roundtrip" `Quick test_block_roundtrip;
     Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "malformed carries byte offset" `Quick
+      test_malformed_carries_offset;
     QCheck_alcotest.to_alcotest prop_op_roundtrip;
   ]

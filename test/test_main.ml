@@ -18,4 +18,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_props.suite);
+      ("check", Test_check.suite);
     ]

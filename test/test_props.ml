@@ -266,6 +266,35 @@ let prop_bitset =
       done;
       Bisa_ir.Bitset.elements bs = Iset.elements !reference)
 
+(* Encode/decode is the identity on every workload surrogate, for both
+   ISAs: the decoded program re-encodes to the same bytes and prints the
+   same disassembly.  (Byte-level fixpoint is the strong form — any field
+   the decoder dropped or mangled would change the second encoding.) *)
+let test_workload_roundtrip_identity () =
+  List.iter
+    (fun w ->
+      let c = Bisa_workloads.Workloads.compile ~scale:1 w in
+      let module E = Bisa_isa.Encode in
+      let cbytes = E.conv_to_bytes c.Bisa_compiler.Compiler.conv in
+      let conv' = E.conv_of_bytes cbytes in
+      Alcotest.(check string)
+        (w.Bisa_workloads.Workloads.name ^ ": conv bytes fixpoint")
+        cbytes (E.conv_to_bytes conv');
+      Alcotest.(check string)
+        (w.Bisa_workloads.Workloads.name ^ ": conv disassembly identical")
+        (Bisa_isa.Conv_prog.to_string c.Bisa_compiler.Compiler.conv)
+        (Bisa_isa.Conv_prog.to_string conv');
+      let bbytes = E.block_to_bytes c.Bisa_compiler.Compiler.block in
+      let block' = E.block_of_bytes bbytes in
+      Alcotest.(check string)
+        (w.Bisa_workloads.Workloads.name ^ ": block bytes fixpoint")
+        bbytes (E.block_to_bytes block');
+      Alcotest.(check string)
+        (w.Bisa_workloads.Workloads.name ^ ": block disassembly identical")
+        (Bisa_isa.Block_prog.to_string c.Bisa_compiler.Compiler.block)
+        (Bisa_isa.Block_prog.to_string block'))
+    (Bisa_workloads.Workloads.all @ [ Bisa_workloads.Workloads.scientific ])
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -277,4 +306,8 @@ let suite =
       prop_parallel_moves;
       prop_dominators;
       prop_bitset;
+    ]
+  @ [
+      Alcotest.test_case "encode roundtrip identity on every workload" `Quick
+        test_workload_roundtrip_identity;
     ]
