@@ -9,7 +9,12 @@
    experiment on a reduced workload, so simulator-performance regressions
    are visible.
 
-   [--quick] runs the full report at scale 1 (fast iteration). *)
+   [--quick] runs the full report at scale 1 (fast iteration).
+
+   [-j N] sets the worker-domain count for the report modes (default:
+   the machine's recommended domain count; -j1 is fully sequential). *)
+
+module Pool = Bisa_base.Pool
 
 let micro_source =
   {|
@@ -33,7 +38,11 @@ int main() {
 }
 |}
 
-let micro = lazy (Bisa_compiler.Compiler.compile micro_source)
+(* A plain [lazy] here is not domain-safe: concurrent forcing raises
+   Lazy.Undefined (or races) on OCaml 5.  [Pool.Once] computes once and
+   blocks concurrent forcers. *)
+let micro = Pool.Once.make (fun () -> Bisa_compiler.Compiler.compile micro_source)
+let force_micro () = Pool.Once.force micro
 
 let bechamel_tests () =
   let open Bechamel in
@@ -41,15 +50,15 @@ let bechamel_tests () =
   let icache_of_kb kb =
     Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
   in
-  let conv cfg () = ignore (Bisa_timing.Conv_pipeline.run cfg (Lazy.force micro).conv) in
-  let block cfg () = ignore (Bisa_timing.Block_pipeline.run cfg (Lazy.force micro).block) in
+  let conv cfg () = ignore (Bisa_timing.Conv_pipeline.run cfg (force_micro ()).conv) in
+  let block cfg () = ignore (Bisa_timing.Block_pipeline.run cfg (force_micro ()).block) in
   [
     (* Table 1 is static; its "kernel" is the compilation itself. *)
     Test.make ~name:"table1_compile"
       (Staged.stage (fun () -> ignore (Bisa_compiler.Compiler.compile micro_source)));
     (* Table 2: functional execution (instruction counting). *)
     Test.make ~name:"table2_functional_exec"
-      (Staged.stage (fun () -> ignore (Bisa_sim.Conv_exec.run (Lazy.force micro).conv ())));
+      (Staged.stage (fun () -> ignore (Bisa_sim.Conv_exec.run (force_micro ()).conv ())));
     (* Figure 3: both timing pipelines, real predictor. *)
     Test.make ~name:"fig3_conv_pipeline"
       (Staged.stage (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)));
@@ -64,7 +73,7 @@ let bechamel_tests () =
            let m =
              Bisa_timing.Block_pipeline.run
                (cfg (icache_of_kb 16) Bisa_timing.Config.Real)
-               (Lazy.force micro).block
+               (force_micro ()).block
            in
            ignore (Bisa_timing.Metrics.mean_block_size m)));
     (* Figures 6/7: the icache-sweep kernels (small and perfect points). *)
@@ -102,10 +111,10 @@ let run_bechamel () =
         tbl)
     results
 
-let run_report ~quick =
+let run_report ~quick ~pool =
   let h =
-    if quick then Bisa_experiments.Harness.create ~scale:1 ()
-    else Bisa_experiments.Harness.create ()
+    if quick then Bisa_experiments.Harness.create ~scale:1 ~pool ()
+    else Bisa_experiments.Harness.create ~pool ()
   in
   List.iter
     (fun (r : Bisa_experiments.Figures.report) ->
@@ -113,17 +122,29 @@ let run_report ~quick =
     (Bisa_experiments.Figures.all h
     @ [
         Bisa_experiments.Extras.prediction_parity h;
-        Bisa_experiments.Extras.scientific ();
-        Bisa_experiments.Extras.trace_cache_rivalry ();
-        Bisa_experiments.Extras.inlining_study ();
-        Bisa_experiments.Extras.predication_study ();
+        Bisa_experiments.Extras.scientific ~pool ();
+        Bisa_experiments.Extras.trace_cache_rivalry ~pool ();
+        Bisa_experiments.Extras.inlining_study ~pool ();
+        Bisa_experiments.Extras.predication_study ~pool ();
       ]);
   List.iter
     (fun (s : Bisa_experiments.Ablations.study) ->
       Printf.printf "\n===== %s: %s =====\n%s%!" s.id s.title s.rendered)
-    (Bisa_experiments.Ablations.all () @ [ Bisa_experiments.Profile_guided.study () ])
+    (Bisa_experiments.Ablations.all ~pool ()
+    @ [ Bisa_experiments.Profile_guided.study ~pool () ])
+
+(* Accepts "-j4", "-j 4", and "--jobs 4". *)
+let rec jobs_of = function
+  | [] -> Pool.default_workers ()
+  | ("-j" | "--jobs") :: n :: _ -> int_of_string n
+  | a :: rest ->
+    if String.length a > 2 && String.sub a 0 2 = "-j" then
+      int_of_string (String.sub a 2 (String.length a - 2))
+    else jobs_of rest
 
 let () =
-  let args = Array.to_list Sys.argv in
+  let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--bechamel" args then run_bechamel ()
-  else run_report ~quick:(List.mem "--quick" args)
+  else
+    Pool.run ~workers:(jobs_of args) @@ fun pool ->
+    run_report ~quick:(List.mem "--quick" args) ~pool

@@ -38,8 +38,8 @@ int main() {
 
 let sample () = Bisa_compiler.Compiler.compile sample_src
 
-let diff ~seed ~count =
-  let r = Oracle.fuzz ~seed ~count () in
+let diff ~pool ~seed ~count =
+  let r = Oracle.fuzz ~seed ~count ~pool () in
   match r.failure with
   | None ->
     Printf.printf "differential: %d programs agreed across all engines (%d skipped)\n"
@@ -54,14 +54,14 @@ let diff ~seed ~count =
           --- minimal failing program ---\n\
           %s" f.shrink_evals f.reason f.source)
 
-let decode ~seed ~count =
+let decode ~pool ~seed ~count =
   let c = sample () in
   let conv_img = Bisa_isa.Encode.conv_to_bytes c.conv in
   let block_img = Bisa_isa.Encode.block_to_bytes c.block in
-  match Decode_fuzz.run Decode_fuzz.Conv ~seed ~count conv_img with
+  match Decode_fuzz.run ~pool Decode_fuzz.Conv ~seed ~count conv_img with
   | Error e -> Error ("decode fuzzing (conv): " ^ e)
   | Ok rc -> begin
-    match Decode_fuzz.run Decode_fuzz.Block ~seed:(seed + 1) ~count block_img with
+    match Decode_fuzz.run ~pool Decode_fuzz.Block ~seed:(seed + 1) ~count block_img with
     | Error e -> Error ("decode fuzzing (block): " ^ e)
     | Ok rb ->
       Printf.printf
@@ -71,9 +71,9 @@ let decode ~seed ~count =
       Ok ()
   end
 
-let inject ~seed =
+let inject ~pool ~seed =
   let c = sample () in
-  match Faults.campaign ~seeds:[ seed; seed + 1; seed + 2 ] c with
+  match Faults.campaign ~seeds:[ seed; seed + 1; seed + 2 ] ~pool c with
   | Error e -> Error ("fault injection: " ^ e)
   | Ok r ->
     Printf.printf
@@ -82,18 +82,19 @@ let inject ~seed =
       r.runs r.injections r.extra_mispredicts;
     Ok ()
 
-let run mode seed count =
+let run mode seed count jobs =
+  Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
   let steps =
     match mode with
     | All ->
       [
-        (fun () -> diff ~seed ~count);
-        (fun () -> decode ~seed ~count:(5 * count));
-        (fun () -> inject ~seed);
+        (fun () -> diff ~pool ~seed ~count);
+        (fun () -> decode ~pool ~seed ~count:(5 * count));
+        (fun () -> inject ~pool ~seed);
       ]
-    | Diff -> [ (fun () -> diff ~seed ~count) ]
-    | Decode -> [ (fun () -> decode ~seed ~count) ]
-    | Inject -> [ (fun () -> inject ~seed) ]
+    | Diff -> [ (fun () -> diff ~pool ~seed ~count) ]
+    | Decode -> [ (fun () -> decode ~pool ~seed ~count) ]
+    | Inject -> [ (fun () -> inject ~pool ~seed) ]
   in
   let rec go = function
     | [] -> `Ok ()
@@ -124,7 +125,16 @@ let () =
       value & opt int 200
       & info [ "count" ] ~doc:"Programs per differential campaign (decode runs 5x).")
   in
-  let term = Term.(ret (const run $ mode $ seed $ count)) in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Bisa_base.Pool.default_workers ())
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains the campaigns shard across (default: the machine's \
+             recommended domain count).  Findings are identical at every setting.")
+  in
+  let term = Term.(ret (const run $ mode $ seed $ count $ jobs)) in
   let info =
     Cmd.info "bisafuzz" ~doc:"Differential fuzzing and fault injection for the BSA toolchain"
   in

@@ -13,23 +13,24 @@ let guard f =
   | Bisa_sim.Block_exec.Runaway n ->
     `Error (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.runaway_diag n))
 
-let run only scale paper_caches with_ablations out verbose =
+let run only scale paper_caches with_ablations out verbose jobs =
  guard @@ fun () ->
   Bisa_experiments.Harness.verbose := verbose;
+  Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
   let h =
     match scale with
-    | Some scale -> Bisa_experiments.Harness.create ~scale ~paper_caches ()
-    | None -> Bisa_experiments.Harness.create ~paper_caches ()
+    | Some scale -> Bisa_experiments.Harness.create ~scale ~paper_caches ~pool ()
+    | None -> Bisa_experiments.Harness.create ~paper_caches ~pool ()
   in
   let reports =
     let all =
       Bisa_experiments.Figures.all h
       @ [
           Bisa_experiments.Extras.prediction_parity h;
-          Bisa_experiments.Extras.scientific ();
-          Bisa_experiments.Extras.trace_cache_rivalry ();
-          Bisa_experiments.Extras.inlining_study ();
-          Bisa_experiments.Extras.predication_study ();
+          Bisa_experiments.Extras.scientific ~pool ();
+          Bisa_experiments.Extras.trace_cache_rivalry ~pool ();
+          Bisa_experiments.Extras.inlining_study ~pool ();
+          Bisa_experiments.Extras.predication_study ~pool ();
         ]
     in
     match only with
@@ -50,7 +51,8 @@ let run only scale paper_caches with_ablations out verbose =
       (fun (s : Bisa_experiments.Ablations.study) ->
         Buffer.add_string buf (Printf.sprintf "\n===== %s: %s =====\n" s.id s.title);
         Buffer.add_string buf s.rendered)
-      (Bisa_experiments.Ablations.all () @ [ Bisa_experiments.Profile_guided.study () ]);
+      (Bisa_experiments.Ablations.all ~pool ()
+      @ [ Bisa_experiments.Profile_guided.study ~pool () ]);
   print_string (Buffer.contents buf);
   (match out with
   | Some path ->
@@ -91,8 +93,18 @@ let () =
       & info [ "out" ] ~doc:"Also write the report to this file.")
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log each simulation run.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Bisa_base.Pool.default_workers ())
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the experiment grids (default: the machine's \
+             recommended domain count).  Output is byte-identical at every setting.")
+  in
   let term =
-    Term.(ret (const run $ only $ scale $ paper_caches $ with_ablations $ out $ verbose))
+    Term.(
+      ret (const run $ only $ scale $ paper_caches $ with_ablations $ out $ verbose $ jobs))
   in
   let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures" in
   exit (Cmd.eval (Cmd.v info term))

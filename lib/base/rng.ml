@@ -16,6 +16,10 @@ let next t =
 let split t = { state = next t }
 let copy t = { state = t.state }
 
+let derive seed i =
+  let s = mix (Int64.of_int seed) in
+  { state = mix (Int64.add s (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let int t bound =
   assert (bound > 0);
   let r = Int64.to_int (next t) land max_int in

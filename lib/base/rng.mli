@@ -17,6 +17,14 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val derive : int -> int -> t
+(** [derive seed i] makes the [i]th generator of the family rooted at
+    [seed]: a pure function of [(seed, i)], with the streams of
+    neighbouring [i] decorrelated by the splitmix finalizer.  This is
+    how sharded campaigns seed each work item — from the item's own
+    index, never from shared mutable generator state — so results are
+    identical at every worker count. *)
+
 val next : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -53,25 +53,31 @@ let check_one fmt img =
   | exception exn ->
     Error (Printf.sprintf "decoder raised %s" (Printexc.to_string exn))
 
-let run fmt ~seed ~count img =
+let run ?(pool = Bisa_base.Pool.sequential) fmt ~seed ~count img =
   (* The pristine image must decode — otherwise the campaign is vacuous. *)
   match decode_of fmt img with
   | exception exn ->
     Error (Printf.sprintf "pristine image failed to decode: %s" (Printexc.to_string exn))
   | () ->
-    let rng = Rng.create seed in
-    let decoded = ref 0 and rejected = ref 0 in
-    let rec go i =
-      if i >= count then Ok { mutants = count; decoded = !decoded; rejected = !rejected }
-      else begin
-        match check_one fmt (mutate rng img) with
-        | Ok true ->
-          incr decoded;
-          go (i + 1)
-        | Ok false ->
-          incr rejected;
-          go (i + 1)
-        | Error e -> Error (Printf.sprintf "mutant %d (seed %d): %s" i seed e)
-      end
+    (* Mutant [i] is seeded from [Rng.derive seed i] — a pure function of
+       the work item — so the campaign shards across the pool and still
+       produces the same mutants, counts, and first failure at every
+       worker count. *)
+    let indices = List.init count Fun.id in
+    let outcomes =
+      Bisa_base.Pool.map_list pool
+        (fun i -> (i, check_one fmt (mutate (Rng.derive seed i) img)))
+        indices
     in
-    go 0
+    let decoded = ref 0 and rejected = ref 0 in
+    let rec tally = function
+      | [] -> Ok { mutants = count; decoded = !decoded; rejected = !rejected }
+      | (_, Ok true) :: rest ->
+        incr decoded;
+        tally rest
+      | (_, Ok false) :: rest ->
+        incr rejected;
+        tally rest
+      | (i, Error e) :: _ -> Error (Printf.sprintf "mutant %d (seed %d): %s" i seed e)
+    in
+    tally outcomes

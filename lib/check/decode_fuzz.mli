@@ -17,6 +17,10 @@ type report = {
 
 val mutate : Bisa_base.Rng.t -> string -> string
 
-val run : format -> seed:int -> count:int -> string -> (report, string) result
+val run :
+  ?pool:Bisa_base.Pool.t -> format -> seed:int -> count:int -> string ->
+  (report, string) result
 (** [run fmt ~seed ~count img] checks [count] mutants of [img]; [Error]
-    describes the first contract violation. *)
+    describes the first contract violation (lowest mutant index).  Mutant
+    [i] is seeded by [Rng.derive seed i], so the campaign shards across
+    [pool] with identical results at every worker count. *)

@@ -24,18 +24,34 @@ let cfg ~inject =
     inject;
   }
 
-let campaign ?(seeds = [ 1; 2; 3; 4; 5 ]) (c : Compiler.compiled) =
-  let conv_ref = fst (Bisa_sim.Conv_exec.run c.Compiler.conv ~budget ()) in
-  let block_ref = fst (Bisa_sim.Block_exec.run c.Compiler.block ~budget ()) in
-  let clean_conv, _ = Bisa_timing.Conv_pipeline.run_full (cfg ~inject:None) c.Compiler.conv in
-  let clean_block, _ =
-    Bisa_timing.Block_pipeline.run_full (cfg ~inject:None) c.Compiler.block
+let campaign ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(pool = Bisa_base.Pool.sequential)
+    (c : Compiler.compiled) =
+  (* Reference runs (functional and clean-timing, both ISAs) are four
+     independent jobs; the injected grid is seeds x pipelines.  Every
+     run's chaos stream comes from its own [Inject.chaos ~seed] instance
+     — per work item, no shared generator — so sharding across the pool
+     changes nothing in the report. *)
+  let conv_ref, block_ref, clean_conv, clean_block =
+    match
+      Bisa_base.Pool.map_list pool
+        (fun f -> f ())
+        [
+          (fun () -> `Out (fst (Bisa_sim.Conv_exec.run c.Compiler.conv ~budget ())));
+          (fun () -> `Out (fst (Bisa_sim.Block_exec.run c.Compiler.block ~budget ())));
+          (fun () ->
+            `Metrics (fst (Bisa_timing.Conv_pipeline.run_full (cfg ~inject:None) c.Compiler.conv)));
+          (fun () ->
+            `Metrics
+              (fst (Bisa_timing.Block_pipeline.run_full (cfg ~inject:None) c.Compiler.block)));
+        ]
+    with
+    | [ `Out cr; `Out br; `Metrics cc; `Metrics cb ] -> (cr, br, cc, cb)
+    | _ -> assert false
   in
   let clean_miss =
     clean_conv.Bisa_timing.Metrics.mispredicts + clean_block.Bisa_timing.Metrics.mispredicts
   in
-  let injections = ref 0 and miss = ref 0 and runs = ref 0 in
-  let one name ~reference seed run_full =
+  let one (name, reference, seed, run_full) =
     let inj = Inject.chaos ~seed in
     match run_full (cfg ~inject:(Some inj)) with
     | exception exn ->
@@ -43,9 +59,6 @@ let campaign ?(seeds = [ 1; 2; 3; 4; 5 ]) (c : Compiler.compiled) =
         (Printf.sprintf "%s under injection (seed %d) raised %s" name seed
            (Printexc.to_string exn))
     | (m : Bisa_timing.Metrics.t), out ->
-      incr runs;
-      injections := !injections + Inject.injected inj;
-      miss := !miss + m.Bisa_timing.Metrics.mispredicts;
       if not (Output.equal out reference) then
         Error
           (Printf.sprintf
@@ -53,30 +66,24 @@ let campaign ?(seeds = [ 1; 2; 3; 4; 5 ]) (c : Compiler.compiled) =
              seed (Output.to_string out) (Output.to_string reference))
       else if m.Bisa_timing.Metrics.cycles < 0 then
         Error (Printf.sprintf "%s under injection (seed %d): negative cycle count" name seed)
-      else Ok ()
+      else Ok (Inject.injected inj, m.Bisa_timing.Metrics.mispredicts)
   in
-  let rec go = function
+  let grid =
+    List.concat_map
+      (fun seed ->
+        [
+          ( "conv-timing", conv_ref, seed,
+            fun cf -> Bisa_timing.Conv_pipeline.run_full cf c.Compiler.conv );
+          ( "block-timing", block_ref, seed * 7919,
+            fun cf -> Bisa_timing.Block_pipeline.run_full cf c.Compiler.block );
+        ])
+      seeds
+  in
+  let outcomes = Bisa_base.Pool.map_list pool one grid in
+  let rec tally runs injections miss = function
     | [] ->
-      Ok
-        {
-          runs = !runs;
-          injections = !injections;
-          extra_mispredicts = !miss - (clean_miss * List.length seeds);
-        }
-    | seed :: rest -> begin
-      match
-        one "conv-timing" ~reference:conv_ref seed (fun cf ->
-            Bisa_timing.Conv_pipeline.run_full cf c.Compiler.conv)
-      with
-      | Error _ as e -> e
-      | Ok () -> begin
-        match
-          one "block-timing" ~reference:block_ref (seed * 7919) (fun cf ->
-              Bisa_timing.Block_pipeline.run_full cf c.Compiler.block)
-        with
-        | Error _ as e -> e
-        | Ok () -> go rest
-      end
-    end
+      Ok { runs; injections; extra_mispredicts = miss - (clean_miss * List.length seeds) }
+    | Ok (inj, m) :: rest -> tally (runs + 1) (injections + inj) (miss + m) rest
+    | Error e :: _ -> Error e
   in
-  go seeds
+  tally 0 0 0 outcomes

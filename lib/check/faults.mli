@@ -17,6 +17,9 @@ type report = {
 val budget : int
 
 val campaign :
-  ?seeds:int list -> Bisa_compiler.Compiler.compiled -> (report, string) result
+  ?seeds:int list -> ?pool:Bisa_base.Pool.t -> Bisa_compiler.Compiler.compiled ->
+  (report, string) result
 (** [Error] describes the first property violation (a changed output, a
-    crash, or a budget blowout). *)
+    crash, or a budget blowout) in (seed, pipeline) order.  The grid of
+    injected runs shards across [pool]; each run owns its chaos stream,
+    so the report is identical at every worker count. *)

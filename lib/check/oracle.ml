@@ -171,25 +171,36 @@ let shrink_failing ?(max_evals = 400) ?engines p reason =
   let p', reason' = improve p reason in
   (p', reason', !evals)
 
-let fuzz ?(seed = 42) ?(count = 200) ?engines () =
+let fuzz ?(seed = 42) ?(count = 200) ?engines ?(pool = Bisa_base.Pool.sequential) () =
+  (* Generation stays a single sequential pass over one stream — it is
+     cheap and keeps the program sequence identical to the historical
+     fixed-seed campaigns.  The expensive part, checking (five engine
+     executions per program), shards across the pool.  Accounting below
+     replays the outcomes in generation order, so tested/skipped counts
+     and the reported failure are identical at every worker count. *)
   let rng = Bisa_base.Rng.create seed in
+  let programs =
+    let rec gen i acc = if i = count then List.rev acc else gen (i + 1) (Gen.generate rng :: acc) in
+    gen 0 []
+  in
+  let outcomes = Bisa_base.Pool.map_list pool (run_program ?engines) programs in
   let tested = ref 0 and skipped = ref 0 in
   let reasons : (string, int) Hashtbl.t = Hashtbl.create 7 in
   let failure = ref None in
   (try
-     for _ = 1 to count do
-       let p = Gen.generate rng in
-       match run_program ?engines p with
-       | Agree -> incr tested
-       | Skipped r ->
-         incr skipped;
-         Hashtbl.replace reasons r (1 + Option.value ~default:0 (Hashtbl.find_opt reasons r))
-       | Failed reason ->
-         let p', reason', shrink_evals = shrink_failing ?engines p reason in
-         failure :=
-           Some { program = p'; source = Gen.render p'; reason = reason'; shrink_evals };
-         raise Exit
-     done
+     List.iter2
+       (fun p outcome ->
+         match outcome with
+         | Agree -> incr tested
+         | Skipped r ->
+           incr skipped;
+           Hashtbl.replace reasons r (1 + Option.value ~default:0 (Hashtbl.find_opt reasons r))
+         | Failed reason ->
+           let p', reason', shrink_evals = shrink_failing ?engines p reason in
+           failure :=
+             Some { program = p'; source = Gen.render p'; reason = reason'; shrink_evals };
+           raise Exit)
+       programs outcomes
    with Exit -> ());
   let skip_reasons =
     Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []

@@ -48,6 +48,12 @@ val shrink_failing :
     still fails (ill-formed candidates are skipped), bounded by
     [max_evals] candidate executions (default 400). *)
 
-val fuzz : ?seed:int -> ?count:int -> ?engines:engine list -> unit -> report
+val fuzz :
+  ?seed:int -> ?count:int -> ?engines:engine list -> ?pool:Bisa_base.Pool.t -> unit -> report
 (** Generate and check [count] programs (default 200) from [seed]
-    (default 42); stops at — and shrinks — the first failure. *)
+    (default 42); reports — and shrinks — the first failure in
+    generation order.  Programs are generated sequentially from one
+    stream (so the sequence matches the historical campaigns) and
+    checked across [pool]; the report is identical at every worker
+    count.  With a real pool, programs past the first failure are still
+    checked (their outcomes are discarded); shrinking stays sequential. *)

@@ -3,6 +3,7 @@ module Config = Bisa_timing.Config
 module Enlarge = Bisa_backend.Enlarge
 module Workloads = Bisa_workloads.Workloads
 module Cache = Bisa_uarch.Cache
+module Pool = Bisa_base.Pool
 
 type row = { label : string; values : (string * float) list }
 type study = { id : string; title : string; rows : row list; rendered : string }
@@ -22,7 +23,7 @@ let enlargement_variants =
     ("enlarge-libs", { Enlarge.default_config with enlarge_libraries = true });
   ]
 
-let enlargement_rules ?(workloads = default_subset) () =
+let enlargement_rules ?(workloads = default_subset) ?(pool = Pool.sequential) () =
   let t =
     Table.create ~title:"Ablation: enlargement termination rules"
       ~headers:
@@ -35,45 +36,60 @@ let enlargement_rules ?(workloads = default_subset) () =
           ("Fault squashes", Table.Right);
         ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      List.iter
-        (fun (label, cfg) ->
-          let c = Workloads.compile ~enlarge:cfg w in
-          let m = Bisa_timing.Block_pipeline.run base_config c.block in
-          Table.add_row t
-            [
-              name;
-              label;
-              Table.cell_int m.cycles;
-              Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
-              Table.cell_int c.block.code_bytes;
-              Table.cell_int m.fault_squash_redirects;
-            ];
-          rows :=
-            {
-              label = name ^ "/" ^ label;
-              values =
+  (* Grid: every (workload, enlargement variant) compiles and simulates
+     independently. *)
+  let grid =
+    List.concat_map
+      (fun name -> List.map (fun variant -> (name, variant)) enlargement_variants)
+      workloads
+  in
+  let runs =
+    Pool.map_list pool
+      (fun (name, (label, cfg)) ->
+        let w = Workloads.find name in
+        let c = Workloads.compile ~enlarge:cfg w in
+        let m = Bisa_timing.Block_pipeline.run base_config c.block in
+        (name, label, m, c.block.code_bytes))
+      grid
+  in
+  let rows =
+    List.concat_map
+      (fun group ->
+        let rows =
+          List.map
+            (fun (name, label, (m : Bisa_timing.Metrics.t), code_bytes) ->
+              Table.add_row t
                 [
-                  ("cycles", float_of_int m.cycles);
-                  ("block_size", Bisa_timing.Metrics.mean_block_size m);
-                  ("code_bytes", float_of_int c.block.code_bytes);
+                  name;
+                  label;
+                  Table.cell_int m.cycles;
+                  Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+                  Table.cell_int code_bytes;
+                  Table.cell_int m.fault_squash_redirects;
                 ];
-            }
-            :: !rows)
-        enlargement_variants;
-      Table.add_rule t)
-    workloads;
+              {
+                label = name ^ "/" ^ label;
+                values =
+                  [
+                    ("cycles", float_of_int m.cycles);
+                    ("block_size", Bisa_timing.Metrics.mean_block_size m);
+                    ("code_bytes", float_of_int code_bytes);
+                  ];
+              })
+            group
+        in
+        Table.add_rule t;
+        rows)
+      (Figures.chunks (List.length enlargement_variants) runs)
+  in
   {
     id = "ablation_rules";
     title = "Enlargement termination-rule ablation";
-    rows = List.rev !rows;
+    rows;
     rendered = Table.to_string t;
   }
 
-let history_policy ?(workloads = default_subset) () =
+let history_policy ?(workloads = default_subset) ?(pool = Pool.sequential) () =
   let t =
     Table.create ~title:"Ablation: history-update policy (predictor modification 3)"
       ~headers:
@@ -84,39 +100,44 @@ let history_policy ?(workloads = default_subset) () =
           ("Mispredicts", Table.Right);
         ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      let c = Workloads.compile w in
-      List.iter
-        (fun (label, naive) ->
-          let cfg =
-            {
-              base_config with
-              Config.block_pred = { base_config.Config.block_pred with naive_history = naive };
-            }
-          in
-          let m = Bisa_timing.Block_pipeline.run cfg c.block in
-          Table.add_row t
-            [ name; label; Table.cell_int m.cycles; Table.cell_int m.mispredicts ];
-          rows :=
-            {
-              label = name ^ "/" ^ label;
-              values =
-                [
-                  ("cycles", float_of_int m.cycles);
-                  ("mispredicts", float_of_int m.mispredicts);
-                ];
-            }
-            :: !rows)
-        [ ("variable (paper)", false); ("naive 3-bit", true) ])
-    workloads;
+  let policies = [ ("variable (paper)", false); ("naive 3-bit", true) ] in
+  let grid =
+    List.concat_map (fun name -> List.map (fun p -> (name, p)) policies) workloads
+  in
+  let runs =
+    Pool.map_list pool
+      (fun (name, (label, naive)) ->
+        let w = Workloads.find name in
+        let c = Workloads.compile w in
+        let cfg =
+          {
+            base_config with
+            Config.block_pred = { base_config.Config.block_pred with naive_history = naive };
+          }
+        in
+        (name, label, Bisa_timing.Block_pipeline.run cfg c.block))
+      grid
+  in
+  let rows =
+    List.map
+      (fun (name, label, (m : Bisa_timing.Metrics.t)) ->
+        Table.add_row t
+          [ name; label; Table.cell_int m.cycles; Table.cell_int m.mispredicts ];
+        {
+          label = name ^ "/" ^ label;
+          values =
+            [
+              ("cycles", float_of_int m.cycles);
+              ("mispredicts", float_of_int m.mispredicts);
+            ];
+        })
+      runs
+  in
   {
     id = "ablation_history";
     title = "History-length ablation";
-    rows = List.rev !rows;
+    rows;
     rendered = Table.to_string t;
   }
 
-let all () = [ enlargement_rules (); history_policy () ]
+let all ?pool () = [ enlargement_rules ?pool (); history_policy ?pool () ]

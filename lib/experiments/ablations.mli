@@ -14,6 +14,10 @@ type row = { label : string; values : (string * float) list }
 
 type study = { id : string; title : string; rows : row list; rendered : string }
 
-val enlargement_rules : ?workloads:string list -> unit -> study
-val history_policy : ?workloads:string list -> unit -> study
-val all : unit -> study list
+val enlargement_rules :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> study
+
+val history_policy :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> study
+
+val all : ?pool:Bisa_base.Pool.t -> unit -> study list

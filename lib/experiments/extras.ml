@@ -2,15 +2,26 @@ module Table = Bisa_base.Table
 module Config = Bisa_timing.Config
 module Workloads = Bisa_workloads.Workloads
 module Cache = Bisa_uarch.Cache
+module Pool = Bisa_base.Pool
 
 let scaled_16k = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
 
-let scientific () =
+let scientific ?(pool = Pool.sequential) () =
   let w = Workloads.scientific in
   let c = Workloads.compile w in
   let cfg = Config.with_icache (Some scaled_16k) Config.default in
-  let mc = Bisa_timing.Conv_pipeline.run cfg c.conv in
-  let mb = Bisa_timing.Block_pipeline.run cfg c.block in
+  let mc, mb =
+    match
+      Pool.map_list pool
+        (fun f -> f ())
+        [
+          (fun () -> Bisa_timing.Conv_pipeline.run cfg c.conv);
+          (fun () -> Bisa_timing.Block_pipeline.run cfg c.block);
+        ]
+    with
+    | [ mc; mb ] -> (mc, mb)
+    | _ -> assert false
+  in
   let imp = 100.0 *. float_of_int (mc.cycles - mb.cycles) /. float_of_int mc.cycles in
   let t =
     Table.create ~title:"Future work: scientific (FP) code"
@@ -55,7 +66,8 @@ let scientific () =
         imp;
   }
 
-let trace_cache_rivalry ?(workloads = [ "m88ksim"; "perl"; "li"; "compress" ]) () =
+let trace_cache_rivalry ?(workloads = [ "m88ksim"; "perl"; "li"; "compress" ])
+    ?(pool = Pool.sequential) () =
   let base = Config.with_icache (Some scaled_16k) Config.default in
   let with_tc =
     { base with trace_cache = Some Bisa_uarch.Trace_cache.default_config }
@@ -73,32 +85,38 @@ let trace_cache_rivalry ?(workloads = [ "m88ksim"; "perl"; "li"; "compress" ]) (
           ("TC extra ops", Table.Right);
         ]
   in
-  let improvements = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      let c = Workloads.compile w in
-      let mc = Bisa_timing.Conv_pipeline.run base c.conv in
-      let mt = Bisa_timing.Conv_pipeline.run with_tc c.conv in
-      let mb = Bisa_timing.Block_pipeline.run base c.block in
-      Table.add_row t
-        [
-          name;
-          Table.cell_int mc.cycles;
-          Table.cell_int mt.cycles;
-          Table.cell_int mb.cycles;
-          Table.cell_int mt.tc_hits;
-          Table.cell_int mt.tc_served_ops;
-        ];
-      improvements :=
+  let rows =
+    Pool.map_list pool
+      (fun name ->
+        let w = Workloads.find name in
+        let c = Workloads.compile w in
+        let mc = Bisa_timing.Conv_pipeline.run base c.conv in
+        let mt = Bisa_timing.Conv_pipeline.run with_tc c.conv in
+        let mb = Bisa_timing.Block_pipeline.run base c.block in
+        (name, mc, mt, mb))
+      workloads
+  in
+  let improvements =
+    List.map
+      (fun (name, (mc : Bisa_timing.Metrics.t), (mt : Bisa_timing.Metrics.t),
+           (mb : Bisa_timing.Metrics.t)) ->
+        Table.add_row t
+          [
+            name;
+            Table.cell_int mc.cycles;
+            Table.cell_int mt.cycles;
+            Table.cell_int mb.cycles;
+            Table.cell_int mt.tc_hits;
+            Table.cell_int mt.tc_served_ops;
+          ];
         ( name,
           100.0 *. float_of_int (mc.cycles - mt.cycles) /. float_of_int mc.cycles,
-          100.0 *. float_of_int (mc.cycles - mb.cycles) /. float_of_int mc.cycles )
-        :: !improvements)
-    workloads;
-  let n = float_of_int (List.length !improvements) in
-  let mean_tc = List.fold_left (fun a (_, tci, _) -> a +. tci) 0.0 !improvements /. n in
-  let mean_bsa = List.fold_left (fun a (_, _, b) -> a +. b) 0.0 !improvements /. n in
+          100.0 *. float_of_int (mc.cycles - mb.cycles) /. float_of_int mc.cycles ))
+      rows
+  in
+  let n = float_of_int (List.length improvements) in
+  let mean_tc = List.fold_left (fun a (_, tci, _) -> a +. tci) 0.0 improvements /. n in
+  let mean_bsa = List.fold_left (fun a (_, _, b) -> a +. b) 0.0 improvements /. n in
   {
     Figures.id = "trace_cache";
     title = "Trace cache vs block enlargement";
@@ -114,7 +132,8 @@ let trace_cache_rivalry ?(workloads = [ "m88ksim"; "perl"; "li"; "compress" ]) (
         mean_tc mean_bsa;
   }
 
-let predication_study ?(workloads = [ "go"; "gcc"; "compress" ]) () =
+let predication_study ?(workloads = [ "go"; "gcc"; "compress" ]) ?(pool = Pool.sequential)
+    () =
   let cfg = Config.with_icache (Some scaled_16k) Config.default in
   let t =
     Table.create
@@ -129,34 +148,50 @@ let predication_study ?(workloads = [ "go"; "gcc"; "compress" ]) () =
           ("Mean block", Table.Right);
         ]
   in
-  let deltas = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      let src = Workloads.source w in
-      let run label ifconvert =
+  (* Grid: every (workload, build) compiles and simulates independently. *)
+  let grid =
+    List.concat_map
+      (fun name -> [ (name, "branches (paper)", false); (name, "if-converted", true) ])
+      workloads
+  in
+  let runs =
+    Pool.map_list pool
+      (fun (name, label, ifconvert) ->
+        let w = Workloads.find name in
+        let src = Workloads.source w in
         let c =
           Bisa_compiler.Compiler.compile ~ifconvert ~library_funcs:w.library_funcs src
         in
-        let m = Bisa_timing.Block_pipeline.run cfg c.block in
-        Table.add_row t
-          [
-            name;
-            label;
-            Table.cell_int m.cycles;
-            Table.cell_int m.mispredicts;
-            Table.cell_int m.fault_squash_redirects;
-            Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
-          ];
-        m
-      in
-      let base = run "branches (paper)" false in
-      let pred = run "if-converted" true in
-      deltas := (base.cycles, pred.cycles, base.mispredicts, pred.mispredicts) :: !deltas;
-      Table.add_rule t)
-    workloads;
-  let n = float_of_int (List.length !deltas) in
-  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 !deltas /. n in
+        (name, label, Bisa_timing.Block_pipeline.run cfg c.block))
+      grid
+  in
+  let deltas =
+    List.map
+      (function
+        | [
+            (name, bl, (base : Bisa_timing.Metrics.t));
+            (_, pl, (pred : Bisa_timing.Metrics.t));
+          ] ->
+          let row label (m : Bisa_timing.Metrics.t) =
+            Table.add_row t
+              [
+                name;
+                label;
+                Table.cell_int m.cycles;
+                Table.cell_int m.mispredicts;
+                Table.cell_int m.fault_squash_redirects;
+                Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+              ]
+          in
+          row bl base;
+          row pl pred;
+          Table.add_rule t;
+          (base.cycles, pred.cycles, base.mispredicts, pred.mispredicts)
+        | _ -> assert false)
+      (Figures.chunks 2 runs)
+  in
+  let n = float_of_int (List.length deltas) in
+  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 deltas /. n in
   {
     Figures.id = "predication";
     title = "Predicated execution (paper section 6)";
@@ -173,7 +208,7 @@ let predication_study ?(workloads = [ "go"; "gcc"; "compress" ]) () =
              100.0 *. float_of_int (cb - cp) /. float_of_int cb));
   }
 
-let inlining_study ?(workloads = [ "li"; "gcc"; "vortex" ]) () =
+let inlining_study ?(workloads = [ "li"; "gcc"; "vortex" ]) ?(pool = Pool.sequential) () =
   let cfg = Config.with_icache (Some scaled_16k) Config.default in
   let t =
     Table.create ~title:"Section 6: inlining lifts the call/return merge barrier"
@@ -186,33 +221,45 @@ let inlining_study ?(workloads = [ "li"; "gcc"; "vortex" ]) () =
           ("Code bytes", Table.Right);
         ]
   in
-  let deltas = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      let src = Workloads.source w in
-      let run label inline =
+  let grid =
+    List.concat_map
+      (fun name -> [ (name, "no inlining (paper)", false); (name, "inlined", true) ])
+      workloads
+  in
+  let runs =
+    Pool.map_list pool
+      (fun (name, label, inline) ->
+        let w = Workloads.find name in
+        let src = Workloads.source w in
         let c =
           Bisa_compiler.Compiler.compile ~inline ~library_funcs:w.library_funcs src
         in
         let m = Bisa_timing.Block_pipeline.run cfg c.block in
+        (name, label, m, c.block.code_bytes))
+      grid
+  in
+  let deltas =
+    List.map
+      (fun (name, label, (m : Bisa_timing.Metrics.t), code_bytes) ->
         Table.add_row t
           [
             name;
             label;
             Table.cell_int m.cycles;
             Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
-            Table.cell_int c.block.code_bytes;
+            Table.cell_int code_bytes;
           ];
-        (m.cycles, Bisa_timing.Metrics.mean_block_size m)
-      in
-      let base_cycles, base_size = run "no inlining (paper)" false in
-      let in_cycles, in_size = run "inlined" true in
-      deltas := (base_cycles, in_cycles, base_size, in_size) :: !deltas;
-      Table.add_rule t)
-    workloads;
-  let n = float_of_int (List.length !deltas) in
-  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 !deltas /. n in
+        if label = "inlined" then Table.add_rule t;
+        (name, label, m.cycles, Bisa_timing.Metrics.mean_block_size m))
+      runs
+    |> Figures.chunks 2
+    |> List.map (function
+         | [ (_, _, base_cycles, base_size); (_, _, in_cycles, in_size) ] ->
+           (base_cycles, in_cycles, base_size, in_size)
+         | _ -> assert false)
+  in
+  let n = float_of_int (List.length deltas) in
+  let mean f = List.fold_left (fun a d -> a +. f d) 0.0 deltas /. n in
   {
     Figures.id = "inlining";
     title = "Inlining (paper section 6)";
@@ -241,18 +288,21 @@ let prediction_parity h =
           ("BSA fault squashes", Table.Right);
         ]
   in
+  let rows =
+    Pool.map_list (Harness.pool h)
+      (fun (w : Workloads.t) -> (w.name, Harness.run_conv h w cfg, Harness.run_block h w cfg))
+      (Harness.benchmarks h)
+  in
   List.iter
-    (fun (w : Workloads.t) ->
-      let mc = Harness.run_conv h w cfg in
-      let mb = Harness.run_block h w cfg in
+    (fun (name, (mc : Bisa_timing.Metrics.t), (mb : Bisa_timing.Metrics.t)) ->
       Table.add_row t
         [
-          w.name;
+          name;
           Table.cell_float (Bisa_timing.Metrics.mispredict_rate_per_kop mc);
           Table.cell_float (Bisa_timing.Metrics.mispredict_rate_per_kop mb);
           Table.cell_int mb.fault_squash_redirects;
         ])
-    (Harness.benchmarks h);
+    rows;
   {
     Figures.id = "prediction_parity";
     title = "Branch-misprediction parity";

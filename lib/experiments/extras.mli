@@ -5,24 +5,27 @@
     branches — the block-structured gain should exceed the SPECint
     result. *)
 
-val scientific : unit -> Figures.report
+val scientific : ?pool:Bisa_base.Pool.t -> unit -> Figures.report
 
 val prediction_parity : Harness.t -> Figures.report
 (** The paper's side claim that both executables "incur about the same
     number of branch mispredictions": mispredicts per 1000 retired
     operations for both cores. *)
 
-val trace_cache_rivalry : ?workloads:string list -> unit -> Figures.report
+val trace_cache_rivalry :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> Figures.report
 (** The paper's section-3 rival: a conventional core with a Rotenberg-style
     trace cache vs plain conventional vs block-structured — the run-time
     and compile-time approaches to the same fetch problem, side by side. *)
 
-val predication_study : ?workloads:string list -> unit -> Figures.report
+val predication_study :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> Figures.report
 (** Section 6's first proposal: if-conversion turns small branch hammocks
     into select operations, eliminating hard-to-predict branches and
     growing basic blocks for enlargement to merge further. *)
 
-val inlining_study : ?workloads:string list -> unit -> Figures.report
+val inlining_study :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> Figures.report
 (** Section 6's other proposal: inlining removes the call/return
     boundaries that termination rule 3 stops at, letting enlargement build
     bigger blocks.  Compares the block core with and without

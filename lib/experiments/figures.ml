@@ -2,8 +2,25 @@ module Table = Bisa_base.Table
 module Textplot = Bisa_base.Textplot
 module Config = Bisa_timing.Config
 module Workloads = Bisa_workloads.Workloads
+module Pool = Bisa_base.Pool
 
 type report = { id : string; title : string; rendered : string; summary : string }
+
+(* Split [xs] into consecutive groups of [n] (the grid results of one
+   benchmark); the length must divide evenly. *)
+let chunks n xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (k - 1) (x :: acc) rest
+    | [] -> invalid_arg "Figures.chunks: ragged grid"
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+      let group, rest = take n [] xs in
+      group :: go rest
+  in
+  go xs
 
 (* ----- Table 1 ----------------------------------------------------------- *)
 
@@ -45,17 +62,23 @@ let table2 h =
           ("Paper # of Instructions", Table.Right);
         ]
   in
+  let counts =
+    Pool.map_list (Harness.pool h)
+      (fun (w : Workloads.t) ->
+        let c = Harness.compiled h w in
+        let _, n = Bisa_sim.Conv_exec.run c.conv () in
+        (w, n))
+      (Harness.benchmarks h)
+  in
   List.iter
-    (fun (w : Workloads.t) ->
-      let c = Harness.compiled h w in
-      let _, n = Bisa_sim.Conv_exec.run c.conv () in
+    (fun ((w : Workloads.t), n) ->
       let paper =
         match List.find_opt (fun (b, _, _) -> b = w.name) Expected.table2 with
         | Some (_, _, n) -> Table.cell_int n
         | None -> "-"
       in
       Table.add_row t [ w.name; w.description; Table.cell_int n; paper ])
-    (Harness.benchmarks h);
+    counts;
   {
     id = "table2";
     title = "Benchmarks and dynamic instruction counts";
@@ -70,12 +93,22 @@ let table2 h =
 
 let cycle_comparison h ~(predictor : Config.predictor) =
   let cfg = Config.with_predictor predictor (Harness.base_config h) in
-  List.map
-    (fun (w : Workloads.t) ->
-      let mc = Harness.run_conv h w cfg in
-      let mb = Harness.run_block h w cfg in
-      (w.name, mc, mb))
-    (Harness.benchmarks h)
+  let benches = Harness.benchmarks h in
+  (* Every (benchmark, pipeline) cell is an independent grid item; the
+     harness memo guarantees shared cells compute once. *)
+  let grid = List.concat_map (fun w -> [ (w, `Conv); (w, `Block) ]) benches in
+  let metrics =
+    Pool.map_list (Harness.pool h)
+      (fun ((w : Workloads.t), which) ->
+        match which with
+        | `Conv -> Harness.run_conv h w cfg
+        | `Block -> Harness.run_block h w cfg)
+      grid
+  in
+  List.map2
+    (fun (w : Workloads.t) ms ->
+      match ms with [ mc; mb ] -> (w.name, mc, mb) | _ -> assert false)
+    benches (chunks 2 metrics)
 
 let render_cycles ~title rows =
   let t =
@@ -236,25 +269,33 @@ let fig5 h =
 
 let icache_sweep h ~which =
   let base = Harness.base_config h in
-  let run w cfg =
-    match which with
-    | `Conv -> Harness.run_conv h w cfg
-    | `Block -> Harness.run_block h w cfg
+  let benches = Harness.benchmarks h in
+  let sweep = Harness.sweep_caches h in
+  (* Grid: every benchmark x icache point (perfect baseline first). *)
+  let caches = None :: List.map (fun (_, c) -> Some c) sweep in
+  let grid = List.concat_map (fun w -> List.map (fun c -> (w, c)) caches) benches in
+  let metrics =
+    Pool.map_list (Harness.pool h)
+      (fun ((w : Workloads.t), icache) ->
+        let cfg = Config.with_icache icache base in
+        match which with
+        | `Conv -> Harness.run_conv h w cfg
+        | `Block -> Harness.run_block h w cfg)
+      grid
   in
-  List.map
-    (fun (w : Workloads.t) ->
-      let perfect = run w (Config.with_icache None base) in
-      let points =
-        List.map
-          (fun (label, cache) ->
-            let m = run w (Config.with_icache (Some cache) base) in
-            ( label,
-              float_of_int (m.cycles - perfect.Bisa_timing.Metrics.cycles)
-              /. float_of_int perfect.Bisa_timing.Metrics.cycles ))
-          (Harness.sweep_caches h)
-      in
-      (w.name, points))
-    (Harness.benchmarks h)
+  List.map2
+    (fun (w : Workloads.t) ms ->
+      match ms with
+      | (perfect : Bisa_timing.Metrics.t) :: points ->
+        ( w.name,
+          List.map2
+            (fun (label, _) (m : Bisa_timing.Metrics.t) ->
+              ( label,
+                float_of_int (m.cycles - perfect.cycles) /. float_of_int perfect.cycles ))
+            sweep points )
+      | [] -> assert false)
+    benches
+    (chunks (List.length caches) metrics)
 
 let render_sweep ~title ~which h =
   let rows = icache_sweep h ~which in

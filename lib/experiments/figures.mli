@@ -11,6 +11,11 @@ type report = {
   summary : string;  (** measured headline vs. the paper's *)
 }
 
+val chunks : int -> 'a list -> 'a list list
+(** [chunks n xs] splits grid results back into consecutive per-benchmark
+    groups of [n]; raises [Invalid_argument] unless [n] divides the
+    length.  Shared by the other experiment modules. *)
+
 val table1 : unit -> report
 (** Instruction classes and latencies — the simulator's actual latency
     table, which {e is} Table 1. *)

@@ -1,22 +1,46 @@
 module Workloads = Bisa_workloads.Workloads
 module Config = Bisa_timing.Config
 module Cache = Bisa_uarch.Cache
+module Pool = Bisa_base.Pool
 
 let verbose = ref false
 
+(* One mutex for all progress lines so interleaved domain logs stay
+   line-atomic. *)
+let log_lock = Mutex.create ()
+
+let log fmt =
+  Printf.ksprintf
+    (fun s ->
+      if !verbose then begin
+        Mutex.lock log_lock;
+        Printf.eprintf "%s\n%!" s;
+        Mutex.unlock log_lock
+      end)
+    fmt
+
 type cache_key = (int * int * int) option * Config.predictor
+
+(* A memo cell: Busy while the first requester computes; later requesters
+   block on the cell's condition instead of recomputing.  An exception
+   poisons the cell for every waiter. *)
+type 'a cell_state = Busy | Ready of 'a | Poisoned of exn * Printexc.raw_backtrace
+type 'a cell = { cm : Mutex.t; cc : Condition.t; mutable state : 'a cell_state }
 
 type t = {
   scale : int option;
   base : Config.t;
   sweep : (string * Cache.config) list;
-  compiled_cache : (string, Bisa_compiler.Compiler.compiled) Hashtbl.t;
-  run_cache : (string * string * cache_key, Bisa_timing.Metrics.t) Hashtbl.t;
+  pool : Pool.t;
+  lock : Mutex.t;  (* guards both tables (not the cells' contents) *)
+  compiled_cache : (string, Bisa_compiler.Compiler.compiled cell) Hashtbl.t;
+  run_cache : (string * string * cache_key, Bisa_timing.Metrics.t cell) Hashtbl.t;
+  mutable on_compute : string -> unit;
 }
 
 let scaled_default = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
 
-let create ?scale ?(paper_caches = false) () =
+let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) () =
   let default_icache, sweep =
     if paper_caches then
       ( Cache.config_64k,
@@ -33,25 +57,72 @@ let create ?scale ?(paper_caches = false) () =
     scale;
     base = Config.with_icache (Some default_icache) Config.default;
     sweep;
+    pool;
+    lock = Mutex.create ();
     compiled_cache = Hashtbl.create 16;
     run_cache = Hashtbl.create 64;
+    on_compute = ignore;
   }
 
 let base_config t = t.base
 let sweep_caches t = t.sweep
 let benchmarks _ = Workloads.all
+let pool t = t.pool
+let set_compute_hook t hook = t.on_compute <- hook
+
+let wait_cell cell =
+  Mutex.lock cell.cm;
+  let rec go () =
+    match cell.state with
+    | Busy ->
+      Condition.wait cell.cc cell.cm;
+      go ()
+    | Ready v ->
+      Mutex.unlock cell.cm;
+      v
+    | Poisoned (e, bt) ->
+      Mutex.unlock cell.cm;
+      Printexc.raise_with_backtrace e bt
+  in
+  go ()
+
+let fill_cell cell state =
+  Mutex.lock cell.cm;
+  cell.state <- state;
+  Condition.broadcast cell.cc;
+  Mutex.unlock cell.cm
+
+(* Find-or-compute with exactly-once semantics: the requester that
+   installs the Busy cell computes outside [t.lock]; everyone else waits
+   on the cell.  [t.on_compute label] therefore fires exactly once per
+   distinct key. *)
+let memoize t table key ~label ~compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt table key with
+  | Some cell ->
+    Mutex.unlock t.lock;
+    wait_cell cell
+  | None ->
+    let cell = { cm = Mutex.create (); cc = Condition.create (); state = Busy } in
+    Hashtbl.add table key cell;
+    let hook = t.on_compute in
+    Mutex.unlock t.lock;
+    hook label;
+    (match compute () with
+    | v ->
+      fill_cell cell (Ready v);
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      fill_cell cell (Poisoned (e, bt));
+      Printexc.raise_with_backtrace e bt)
 
 let compiled t (w : Workloads.t) =
-  match Hashtbl.find_opt t.compiled_cache w.name with
-  | Some c -> c
-  | None ->
-    if !verbose then Printf.eprintf "[compile] %s\n%!" w.name;
-    let c = match t.scale with
+  memoize t t.compiled_cache w.name ~label:("compile:" ^ w.name) ~compute:(fun () ->
+      log "[compile] %s" w.name;
+      match t.scale with
       | Some scale -> Workloads.compile ~scale w
-      | None -> Workloads.compile w
-    in
-    Hashtbl.add t.compiled_cache w.name c;
-    c
+      | None -> Workloads.compile w)
 
 let key_of (cfg : Config.t) : cache_key =
   ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
@@ -59,18 +130,15 @@ let key_of (cfg : Config.t) : cache_key =
 
 let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
   let key = (w.name, isa, key_of cfg) in
-  match Hashtbl.find_opt t.run_cache key with
-  | Some m -> m
-  | None ->
-    if !verbose then
-      Printf.eprintf "[run] %s/%s icache=%s pred=%s\n%!" w.name isa
+  memoize t t.run_cache key
+    ~label:(Printf.sprintf "run:%s/%s" w.name isa)
+    ~compute:(fun () ->
+      log "[run] %s/%s icache=%s pred=%s" w.name isa
         (match cfg.icache with
         | Some c -> string_of_int (c.size_bytes / 1024) ^ "KB"
         | None -> "perfect")
         (match cfg.predictor with Config.Real -> "real" | Config.Perfect -> "perfect");
-    let m = f (compiled t w) in
-    Hashtbl.add t.run_cache key m;
-    m
+      f (compiled t w))
 
 let run_conv t w cfg =
   run t w cfg ~isa:"conv" ~f:(fun c -> Bisa_timing.Conv_pipeline.run cfg c.conv)

@@ -1,5 +1,6 @@
 (** Shared experiment infrastructure: compiled-workload and timing-run
-    caches, and the evaluation-wide default configuration.
+    caches, the evaluation-wide default configuration, and the worker
+    pool the experiment grids fan out on.
 
     Sizing note (DESIGN.md section 7): the surrogates run hundreds of
     thousands to a few million operations instead of the paper's 78-232
@@ -7,11 +8,20 @@
     KBs.  The default icache is therefore the {e scaled} stand-in
     (8KB, 4-way) for the paper's 64KB figure-3 cache, and the figure-6/7
     sweep uses 2/4/8KB for the paper's 16/32/64KB.  [paper_caches] selects
-    the literal sizes instead. *)
+    the literal sizes instead.
+
+    Concurrency (DESIGN.md section 9): both caches are mutex-protected
+    with exactly-once fill semantics — N domains requesting the same
+    (benchmark, config) cell block on one in-flight computation rather
+    than repeating it — so experiment grids may call [run_conv] /
+    [run_block] from any pool worker. *)
 
 type t
 
-val create : ?scale:int -> ?paper_caches:bool -> unit -> t
+val create :
+  ?scale:int -> ?paper_caches:bool -> ?pool:Bisa_base.Pool.t -> unit -> t
+(** [pool] (default {!Bisa_base.Pool.sequential}) is the worker pool the
+    experiment modules fan work out on; pass one pool per CLI run. *)
 
 val base_config : t -> Bisa_timing.Config.t
 (** The figure-3 configuration: identical cores, real predictor, default
@@ -22,14 +32,26 @@ val sweep_caches : t -> (string * Bisa_uarch.Cache.config) list
 
 val benchmarks : t -> Bisa_workloads.Workloads.t list
 
+val pool : t -> Bisa_base.Pool.t
+
 val compiled : t -> Bisa_workloads.Workloads.t -> Bisa_compiler.Compiler.compiled
 
 val run_conv :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
-(** Timing run, memoized on (benchmark, icache, predictor). *)
+(** Timing run, memoized on (benchmark, icache, predictor).  Safe to call
+    concurrently from pool workers; a given cell compiles and simulates
+    exactly once. *)
 
 val run_block :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
 
+val set_compute_hook : t -> (string -> unit) -> unit
+(** Observe cache misses: the hook fires exactly once per distinct cell,
+    with ["compile:<bench>"] or ["run:<bench>/<isa>"], before the
+    computation runs.  Used by the thread-safety tests; defaults to
+    [ignore]. *)
+
 val verbose : bool ref
-(** When set, each cache miss logs a progress line to stderr. *)
+(** When set, each cache miss logs a progress line to stderr.  Lines are
+    serialized behind a mutex, so concurrent workers never interleave
+    mid-line. *)

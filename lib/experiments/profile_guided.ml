@@ -72,7 +72,7 @@ let compile ?scale (w : Workloads.t) =
   in
   { Bisa_compiler.Compiler.typed; ir; conv; block; enlarged }
 
-let study ?(workloads = [ "gcc"; "go" ]) () =
+let study ?(workloads = [ "gcc"; "go" ]) ?(pool = Bisa_base.Pool.sequential) () =
   let t =
     Table.create ~title:"Section 6: profile-guided enlargement (unbiased traps kept)"
       ~headers:
@@ -88,41 +88,56 @@ let study ?(workloads = [ "gcc"; "go" ]) () =
   in
   let cache4 = { Cache.size_bytes = Cache.kb 4; assoc = 4; line_bytes = 32 } in
   let cfg = Config.with_icache (Some cache4) Config.default in
-  let rows = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.find name in
-      let run label (c : Bisa_compiler.Compiler.compiled) =
-        let m = Bisa_timing.Block_pipeline.run cfg c.block in
-        Table.add_row t
-          [
-            name;
-            label;
-            Table.cell_int c.block.code_bytes;
-            Table.cell_int m.cycles;
-            Table.cell_int m.icache_misses;
-            Table.cell_int m.fault_squash_redirects;
-            Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
-          ];
-        rows :=
-          {
-            Ablations.label = name ^ "/" ^ label;
-            values =
-              [
-                ("code_bytes", float_of_int c.block.code_bytes);
-                ("cycles", float_of_int m.cycles);
-                ("icache_misses", float_of_int m.icache_misses);
-              ];
-          }
-          :: !rows
-      in
-      run "default" (Workloads.compile w);
-      run "profile-guided" (compile w);
-      Table.add_rule t)
-    workloads;
+  (* Grid: every (workload, build flavour) is an independent item — the
+     profile-guided build does its own profiling run inside the task. *)
+  let grid =
+    List.concat_map
+      (fun name -> [ (name, "default"); (name, "profile-guided") ])
+      workloads
+  in
+  let runs =
+    Bisa_base.Pool.map_list pool
+      (fun (name, label) ->
+        let w = Workloads.find name in
+        let c = if label = "default" then Workloads.compile w else compile w in
+        (name, label, c.Bisa_compiler.Compiler.block.code_bytes,
+         Bisa_timing.Block_pipeline.run cfg c.Bisa_compiler.Compiler.block))
+      grid
+  in
+  let rows =
+    List.concat_map
+      (fun group ->
+        let rows =
+          List.map
+            (fun (name, label, code_bytes, (m : Bisa_timing.Metrics.t)) ->
+              Table.add_row t
+                [
+                  name;
+                  label;
+                  Table.cell_int code_bytes;
+                  Table.cell_int m.cycles;
+                  Table.cell_int m.icache_misses;
+                  Table.cell_int m.fault_squash_redirects;
+                  Table.cell_float (Bisa_timing.Metrics.mean_block_size m);
+                ];
+              {
+                Ablations.label = name ^ "/" ^ label;
+                values =
+                  [
+                    ("code_bytes", float_of_int code_bytes);
+                    ("cycles", float_of_int m.cycles);
+                    ("icache_misses", float_of_int m.icache_misses);
+                  ];
+              })
+            group
+        in
+        Table.add_rule t;
+        rows)
+      (Figures.chunks 2 runs)
+  in
   {
     Ablations.id = "profile_guided";
     title = "Profile-guided enlargement (paper section 6)";
-    rows = List.rev !rows;
+    rows;
     rendered = Table.to_string t;
   }

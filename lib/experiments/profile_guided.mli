@@ -25,7 +25,8 @@ val bias_of : profile -> string -> int -> float option
 val compile : ?scale:int -> Bisa_workloads.Workloads.t -> Bisa_compiler.Compiler.compiled
 (** The full profile-guided build of a workload surrogate. *)
 
-val study : ?workloads:string list -> unit -> Ablations.study
+val study :
+  ?workloads:string list -> ?pool:Bisa_base.Pool.t -> unit -> Ablations.study
 (** Default vs profile-guided enlargement on the paper's two worst icache
     offenders (gcc, go): code size, icache misses at the small cache
     points, fault squashes, and cycles. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "bisa"
     [
       ("base", Test_base.suite);
+      ("pool", Test_pool.suite);
       ("isa", Test_isa.suite);
       ("encode", Test_encode.suite);
       ("frontend", Test_frontend.suite);
