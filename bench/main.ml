@@ -11,6 +11,13 @@
 
    [--quick] runs the full report at scale 1 (fast iteration).
 
+   [--smoke] is the CI variant of [--bechamel]: two kernels, a tiny
+   measurement quota, a second or two end to end.
+
+   [--json FILE] additionally writes the micro-benchmark estimates as
+   machine-readable JSON (per-kernel ns/run plus simulated-ops
+   throughput); see BENCH_sim.json for a checked-in baseline.
+
    [-j N] sets the worker-domain count for the report modes (default:
    the machine's recommended domain count; -j1 is fully sequential). *)
 
@@ -44,54 +51,96 @@ int main() {
 let micro = Pool.Once.make (fun () -> Bisa_compiler.Compiler.compile micro_source)
 let force_micro () = Pool.Once.force micro
 
-let bechamel_tests () =
-  let open Bechamel in
+(* One micro-benchmark kernel: a name, the closure Bechamel times, and
+   (for simulation kernels) the simulated-op count of one run so the JSON
+   report can state throughput in ops/sec. *)
+type kernel = { name : string; fn : unit -> unit; ops : (unit -> int) option }
+
+let kernels ~smoke () =
   let cfg icache predictor = { Bisa_timing.Config.default with icache; predictor } in
   let icache_of_kb kb =
     Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
   in
-  let conv cfg () = ignore (Bisa_timing.Conv_pipeline.run cfg (force_micro ()).conv) in
-  let block cfg () = ignore (Bisa_timing.Block_pipeline.run cfg (force_micro ()).block) in
-  [
-    (* Table 1 is static; its "kernel" is the compilation itself. *)
-    Test.make ~name:"table1_compile"
-      (Staged.stage (fun () -> ignore (Bisa_compiler.Compiler.compile micro_source)));
-    (* Table 2: functional execution (instruction counting). *)
-    Test.make ~name:"table2_functional_exec"
-      (Staged.stage (fun () -> ignore (Bisa_sim.Conv_exec.run (force_micro ()).conv ())));
-    (* Figure 3: both timing pipelines, real predictor. *)
-    Test.make ~name:"fig3_conv_pipeline"
-      (Staged.stage (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)));
-    Test.make ~name:"fig3_block_pipeline"
-      (Staged.stage (block (cfg (icache_of_kb 16) Bisa_timing.Config.Real)));
-    (* Figure 4: perfect prediction. *)
-    Test.make ~name:"fig4_block_perfect"
-      (Staged.stage (block (cfg (icache_of_kb 16) Bisa_timing.Config.Perfect)));
-    (* Figure 5 reuses the fig3 kernels plus the histogramming. *)
-    Test.make ~name:"fig5_block_sizes"
-      (Staged.stage (fun () ->
-           let m =
-             Bisa_timing.Block_pipeline.run
-               (cfg (icache_of_kb 16) Bisa_timing.Config.Real)
-               (force_micro ()).block
-           in
-           ignore (Bisa_timing.Metrics.mean_block_size m)));
-    (* Figures 6/7: the icache-sweep kernels (small and perfect points). *)
-    Test.make ~name:"fig6_conv_small_icache"
-      (Staged.stage (conv (cfg (icache_of_kb 2) Bisa_timing.Config.Real)));
-    Test.make ~name:"fig7_block_small_icache"
-      (Staged.stage (block (cfg (icache_of_kb 2) Bisa_timing.Config.Real)));
-    Test.make ~name:"fig67_perfect_icache_baseline"
-      (Staged.stage (block (cfg None Bisa_timing.Config.Real)));
-  ]
+  let conv_m cfg () = Bisa_timing.Conv_pipeline.run cfg (force_micro ()).conv in
+  let block_m cfg () = Bisa_timing.Block_pipeline.run cfg (force_micro ()).block in
+  let conv cfg =
+    let run = conv_m cfg in
+    { name = ""; fn = (fun () -> ignore (run ())); ops = Some (fun () -> (run ()).retired_ops) }
+  in
+  let block cfg =
+    let run = block_m cfg in
+    { name = ""; fn = (fun () -> ignore (run ())); ops = Some (fun () -> (run ()).retired_ops) }
+  in
+  let full =
+    [
+      (* Table 1 is static; its "kernel" is the compilation itself. *)
+      {
+        name = "table1_compile";
+        fn = (fun () -> ignore (Bisa_compiler.Compiler.compile micro_source));
+        ops = None;
+      };
+      (* Table 2: functional execution (instruction counting). *)
+      {
+        name = "table2_functional_exec";
+        fn = (fun () -> ignore (Bisa_sim.Conv_exec.run (force_micro ()).conv ()));
+        ops = None;
+      };
+      (* Figure 3: both timing pipelines, real predictor. *)
+      { (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)) with name = "fig3_conv_pipeline" };
+      { (block (cfg (icache_of_kb 16) Bisa_timing.Config.Real)) with name = "fig3_block_pipeline" };
+      (* Figure 4: perfect prediction. *)
+      { (block (cfg (icache_of_kb 16) Bisa_timing.Config.Perfect)) with name = "fig4_block_perfect" };
+      (* Figure 5 reuses the fig3 kernels plus the histogramming. *)
+      {
+        name = "fig5_block_sizes";
+        fn =
+          (fun () ->
+            let m = block_m (cfg (icache_of_kb 16) Bisa_timing.Config.Real) () in
+            ignore (Bisa_timing.Metrics.mean_block_size m));
+        ops = None;
+      };
+      (* Figures 6/7: the icache-sweep kernels (small and perfect points). *)
+      { (conv (cfg (icache_of_kb 2) Bisa_timing.Config.Real)) with name = "fig6_conv_small_icache" };
+      { (block (cfg (icache_of_kb 2) Bisa_timing.Config.Real)) with name = "fig7_block_small_icache" };
+      { (block (cfg None Bisa_timing.Config.Real)) with name = "fig67_perfect_icache_baseline" };
+    ]
+  in
+  if smoke then
+    List.filter (fun k -> k.name = "fig3_conv_pipeline" || k.name = "fig3_block_pipeline") full
+  else full
 
-let run_bechamel () =
+(* Minimal JSON emission (ints, floats, strings with benchmark-safe
+   names) — not worth a dependency. *)
+let write_json ~file ~mode results =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"schema\": \"bisa-bench/1\",\n  \"mode\": %S,\n  \"results\": [" mode;
+  List.iteri
+    (fun i (name, ns_per_run, ops) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"ns_per_run\": %.1f"
+        (if i = 0 then "" else ",")
+        name ns_per_run;
+      (match ops with
+      | Some n when ns_per_run > 0.0 ->
+        Printf.fprintf oc ", \"ops_per_run\": %d, \"ops_per_sec\": %.0f" n
+          (float_of_int n /. ns_per_run *. 1e9)
+      | _ -> ());
+      output_string oc " }")
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+let run_bechamel ~smoke ~json () =
   let open Bechamel in
   let open Toolkit in
+  let ks = kernels ~smoke () in
   let instances = Instance.[ monotonic_clock ] in
-  let benchmark_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let benchmark_cfg =
+    if smoke then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ()
+  in
   let suite =
-    Test.make_grouped ~name:"paper-experiments" ~fmt:"%s %s" (bechamel_tests ())
+    Test.make_grouped ~name:"paper-experiments" ~fmt:"%s %s"
+      (List.map (fun k -> Test.make ~name:k.name (Staged.stage k.fn)) ks)
   in
   let raw = Benchmark.all benchmark_cfg instances suite in
   let ols =
@@ -101,15 +150,36 @@ let run_bechamel () =
     List.map (fun i -> Analyze.all ols i raw) instances
     |> Analyze.merge ols instances
   in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name tbl ->
       Hashtbl.iter
         (fun test (result : Analyze.OLS.t) ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-32s %-16s %12.0f ns/run\n" test name est
+          | Some [ est ] ->
+            Printf.printf "%-32s %-16s %12.0f ns/run\n" test name est;
+            estimates := (test, est) :: !estimates
           | _ -> Printf.printf "%-32s %-16s (no estimate)\n" test name)
         tbl)
-    results
+    results;
+  match json with
+  | None -> ()
+  | Some file ->
+    (* Estimate keys look like "paper-experiments <kernel>"; report rows
+       in kernel declaration order with per-run simulated-op counts. *)
+    let est_of k =
+      List.assoc_opt ("paper-experiments " ^ k.name) !estimates
+    in
+    let rows =
+      List.filter_map
+        (fun k ->
+          Option.map
+            (fun est -> (k.name, est, Option.map (fun f -> f ()) k.ops))
+            (est_of k))
+        ks
+    in
+    write_json ~file ~mode:(if smoke then "smoke" else "bechamel") rows;
+    Printf.printf "wrote %s (%d kernels)\n%!" file (List.length rows)
 
 let run_report ~quick ~pool =
   let h =
@@ -142,9 +212,16 @@ let rec jobs_of = function
       int_of_string (String.sub a 2 (String.length a - 2))
     else jobs_of rest
 
+let rec json_of = function
+  | [] -> None
+  | "--json" :: file :: _ -> Some file
+  | _ :: rest -> json_of rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--bechamel" args then run_bechamel ()
+  let smoke = List.mem "--smoke" args in
+  if smoke || List.mem "--bechamel" args then
+    run_bechamel ~smoke ~json:(json_of args) ()
   else
     Pool.run ~workers:(jobs_of args) @@ fun pool ->
     run_report ~quick:(List.mem "--quick" args) ~pool

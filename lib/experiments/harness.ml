@@ -32,9 +32,13 @@ type t = {
   base : Config.t;
   sweep : (string * Cache.config) list;
   pool : Pool.t;
-  lock : Mutex.t;  (* guards both tables (not the cells' contents) *)
+  lock : Mutex.t;  (* guards all tables (not the cells' contents) *)
   compiled_cache : (string, Bisa_compiler.Compiler.compiled cell) Hashtbl.t;
   run_cache : (string * string * cache_key, Bisa_timing.Metrics.t cell) Hashtbl.t;
+  (* Predecoded op-template tables: one per program, shared by every grid
+     configuration and worker domain that simulates it. *)
+  pre_conv_cache : (string, Bisa_timing.Predecode.t cell) Hashtbl.t;
+  pre_block_cache : (string, Bisa_timing.Predecode.blocks cell) Hashtbl.t;
   mutable on_compute : string -> unit;
 }
 
@@ -61,6 +65,8 @@ let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) () =
     lock = Mutex.create ();
     compiled_cache = Hashtbl.create 16;
     run_cache = Hashtbl.create 64;
+    pre_conv_cache = Hashtbl.create 16;
+    pre_block_cache = Hashtbl.create 16;
     on_compute = ignore;
   }
 
@@ -124,6 +130,16 @@ let compiled t (w : Workloads.t) =
       | Some scale -> Workloads.compile ~scale w
       | None -> Workloads.compile w)
 
+let predecoded_conv t (w : Workloads.t) =
+  memoize t t.pre_conv_cache w.name
+    ~label:("predecode:" ^ w.name ^ "/conv")
+    ~compute:(fun () -> Bisa_timing.Predecode.of_conv (compiled t w).conv)
+
+let predecoded_block t (w : Workloads.t) =
+  memoize t t.pre_block_cache w.name
+    ~label:("predecode:" ^ w.name ^ "/block")
+    ~compute:(fun () -> Bisa_timing.Predecode.of_block (compiled t w).block)
+
 let key_of (cfg : Config.t) : cache_key =
   ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
     cfg.predictor )
@@ -141,7 +157,9 @@ let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
       f (compiled t w))
 
 let run_conv t w cfg =
-  run t w cfg ~isa:"conv" ~f:(fun c -> Bisa_timing.Conv_pipeline.run cfg c.conv)
+  run t w cfg ~isa:"conv" ~f:(fun c ->
+      Bisa_timing.Conv_pipeline.run ~tables:(predecoded_conv t w) cfg c.conv)
 
 let run_block t w cfg =
-  run t w cfg ~isa:"block" ~f:(fun c -> Bisa_timing.Block_pipeline.run cfg c.block)
+  run t w cfg ~isa:"block" ~f:(fun c ->
+      Bisa_timing.Block_pipeline.run ~tables:(predecoded_block t w) cfg c.block)

@@ -36,6 +36,13 @@ val pool : t -> Bisa_base.Pool.t
 
 val compiled : t -> Bisa_workloads.Workloads.t -> Bisa_compiler.Compiler.compiled
 
+val predecoded_conv : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.t
+(** The workload's predecoded op-template table, built exactly once and
+    shared by every grid configuration (and worker domain) that simulates
+    it.  Fires the compute hook with ["predecode:<bench>/<isa>"]. *)
+
+val predecoded_block : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.blocks
+
 val run_conv :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
 (** Timing run, memoized on (benchmark, icache, predictor).  Safe to call

@@ -42,6 +42,9 @@ let elt_uses = function
   | Op op -> Op.uses op
   | Fault (_, s1, s2, _) -> [ s1; s2 ]
 
+let elt_is_load = function Op op -> Op.is_load op | Fault _ -> false
+let elt_is_store = function Op op -> Op.is_store op | Fault _ -> false
+
 let term_opclass (_ : _ terminator) = Opclass.Branch
 
 let term_defs = function

@@ -51,6 +51,11 @@ val elt_opclass : _ elt -> Opclass.t
 val elt_defs : _ elt -> Reg.t list
 val elt_uses : _ elt -> Reg.t list
 
+val elt_is_load : _ elt -> bool
+val elt_is_store : _ elt -> bool
+(** Memory classification of a body element; false for fault operations.
+    Static facts the timing predecoder folds into its op templates. *)
+
 val term_opclass : _ terminator -> Opclass.t
 val term_defs : _ terminator -> Reg.t list
 val term_uses : _ terminator -> Reg.t list

@@ -27,6 +27,9 @@ let is_control = function
   | Br _ | Jmp _ | Call _ | Ret | Jr _ | Halt -> true
   | Op _ -> false
 
+let is_load = function Op op -> Op.is_load op | _ -> false
+let is_store = function Op op -> Op.is_store op | _ -> false
+
 let map_label f = function
   | Op op -> Op op
   | Br (c, s1, s2, l) -> Br (c, s1, s2, f l)

@@ -26,6 +26,12 @@ val is_control : _ t -> bool
     instruction, which is what makes its fetch rate one basic block per
     cycle. *)
 
+val is_load : _ t -> bool
+val is_store : _ t -> bool
+(** Memory classification of the wrapped operation; false for control
+    instructions.  Static facts the timing predecoder folds into its op
+    templates. *)
+
 val map_label : ('a -> 'b) -> 'a t -> 'b t
 val label : 'lab t -> 'lab option
 val to_string : ('lab -> string) -> 'lab t -> string

@@ -1,12 +1,13 @@
 module Block_prog = Bisa_isa.Block_prog
 module Block_exec = Bisa_sim.Block_exec
-module Ablock = Bisa_isa.Ablock
 module Cache = Bisa_uarch.Cache
 module Block_pred = Bisa_uarch.Block_pred
 
-let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Output.t =
+let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
+    Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
+  let pd = match tables with Some t -> t | None -> Predecode.of_block prog in
   let exec = Block_exec.create prog in
   Block_exec.set_budget exec cfg.op_budget;
   let icache = Option.map Cache.create cfg.icache in
@@ -68,13 +69,12 @@ let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Outpu
              the squash hop costs nothing and is not even fetched. *)
           ()
         else begin
-          let blk = prog.blocks.(step.block) in
           let fc = ref !next_fetch in
           (match icache with
           | Some c ->
             let misses =
               Cache.access_range c prog.block_addr.(step.block)
-                (Block_prog.block_bytes blk)
+                (Block_prog.block_bytes prog.blocks.(step.block))
             in
             if misses > 0 then fc := !fc + (misses * cfg.l2_latency);
             (* Injected transient fault: drop the line just fetched. *)
@@ -84,21 +84,25 @@ let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Outpu
             | _ -> ())
           | None -> ());
           m.fetch_units <- m.fetch_units + 1;
-          let body =
-            Array.init step.ops_executed (fun k ->
-                Engine.opref_of_elt blk.Ablock.elts.(k) step.mem_addrs.(k))
+          (* The unit is a slot range of the predecoded table: the body
+             elements actually executed, plus the terminator slot when the
+             block was not squashed. *)
+          let lo = pd.Predecode.first.(step.block) in
+          let term =
+            if step.squashed then -1 else pd.Predecode.first.(step.block + 1) - 1
           in
-          let ops =
-            if step.squashed then body
-            else Array.append body [| Engine.opref_of_term blk.Ablock.term |]
-          in
+          let nops = step.ops_executed + (if step.squashed then 0 else 1) in
           let want = !fc + cfg.decode_depth in
-          let dispatch = Engine.admit engine ~want ~op_count:(Array.length ops) in
-          let r = Engine.run_unit engine ~dispatch ~commit:(not step.squashed) ops in
+          let dispatch = Engine.admit engine ~want ~op_count:nops in
+          let r =
+            Engine.run_unit engine ~dispatch ~commit:(not step.squashed)
+              pd.Predecode.tab ~lo ~len:step.ops_executed ~term
+              ~mem_addrs:step.mem_addrs ~mem_off:0
+          in
           next_fetch := max (!fc + 1) (dispatch - cfg.decode_depth + 1);
           if step.squashed then begin
             m.squashed_blocks <- m.squashed_blocks + 1;
-            m.squashed_ops <- m.squashed_ops + Array.length ops;
+            m.squashed_ops <- m.squashed_ops + nops;
             m.fault_squash_redirects <- m.fault_squash_redirects + 1;
             m.mispredicts <- m.mispredicts + 1;
             next_fetch := max !next_fetch (r.resolve + cfg.redirect_penalty);
@@ -108,9 +112,9 @@ let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Outpu
             prev := None
           end
           else begin
-            m.retired_ops <- m.retired_ops + Array.length ops;
+            m.retired_ops <- m.retired_ops + nops;
             m.retired_blocks <- m.retired_blocks + 1;
-            Bisa_base.Stats.Histogram.add m.block_sizes (Array.length ops);
+            Bisa_base.Stats.Histogram.add m.block_sizes nops;
             (* Train on committed transitions. *)
             (match cfg.predictor with
             | Config.Real ->
@@ -154,4 +158,4 @@ let run_full (cfg : Config.t) (prog : Block_prog.t) : Metrics.t * Bisa_sim.Outpu
   | None -> ());
   (m, Block_exec.output exec)
 
-let run cfg prog = fst (run_full cfg prog)
+let run ?tables cfg prog = fst (run_full ?tables cfg prog)

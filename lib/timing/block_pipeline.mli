@@ -12,11 +12,20 @@
     Under perfect prediction the fetch engine goes straight to the variant
     whose faults do not fire, so squashes cost nothing — which is why the
     paper's block-structured advantage grows from 12% to 19-20% in
-    figure 4. *)
+    figure 4.
 
-val run : Config.t -> Bisa_isa.Block_prog.t -> Metrics.t
+    [tables] is the program's predecoded op-template table; when omitted it
+    is built on entry (cheap — one pass over the static program).  Pass a
+    memoized table (see {!Predecode.of_block} and the experiment harness)
+    to share one across many configurations. *)
 
-val run_full : Config.t -> Bisa_isa.Block_prog.t -> Metrics.t * Bisa_sim.Output.t
+val run : ?tables:Predecode.blocks -> Config.t -> Bisa_isa.Block_prog.t -> Metrics.t
+
+val run_full :
+  ?tables:Predecode.blocks ->
+  Config.t ->
+  Bisa_isa.Block_prog.t ->
+  Metrics.t * Bisa_sim.Output.t
 (** As {!run}, also returning the functional output of the underlying
     executor — the differential fuzzer compares it against the canonical
     execution to prove fault injection cannot alter architectural

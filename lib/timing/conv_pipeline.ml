@@ -6,36 +6,96 @@ module Trace_cache = Bisa_uarch.Trace_cache
 
 (* Peekable packet stream over the functional executor, so the trace-cache
    front end can confirm a stored trace against the blocks actually coming
-   next. *)
+   next.  A ring buffer of packets: probing N packets ahead is O(N) array
+   reads, with no per-probe list rebuilding. *)
 module Stream = struct
-  type t = { exec : Conv_exec.t; pending : Conv_exec.packet Queue.t }
+  type t = {
+    exec : Conv_exec.t;
+    mutable buf : Conv_exec.packet array;
+    mutable head : int;
+    mutable len : int;
+  }
 
-  let create exec = { exec; pending = Queue.create () }
+  let dummy : Conv_exec.packet =
+    { start = 0; count = 0; mem_addrs = [||]; term = Conv_exec.Khalt; next = 0 }
+
+  let create exec = { exec; buf = Array.make 16 dummy; head = 0; len = 0 }
+
+  let push t p =
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let bigger = Array.make (2 * cap) dummy in
+      for i = 0 to t.len - 1 do
+        bigger.(i) <- t.buf.((t.head + i) mod cap)
+      done;
+      t.buf <- bigger;
+      t.head <- 0
+    end;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- p;
+    t.len <- t.len + 1
 
   let refill t n =
-    while Queue.length t.pending < n && not (Conv_exec.halted t.exec) do
-      match Conv_exec.step t.exec with
-      | Some p -> Queue.add p t.pending
-      | None -> ()
+    while t.len < n && not (Conv_exec.halted t.exec) do
+      match Conv_exec.step t.exec with Some p -> push t p | None -> ()
     done
 
   let pop t =
     refill t 1;
-    Queue.take_opt t.pending
+    if t.len = 0 then None
+    else begin
+      let p = t.buf.(t.head) in
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      Some p
+    end
 
-  let peek_list t n =
-    refill t n;
-    List.filteri (fun i _ -> i < n) (List.of_seq (Queue.to_seq t.pending))
+  let available t = t.len
+  let get t i = t.buf.((t.head + i) mod Array.length t.buf)
 
   let drop t n =
-    for _ = 1 to n do
-      ignore (Queue.take t.pending)
-    done
+    t.head <- (t.head + n) mod Array.length t.buf;
+    t.len <- t.len - n
 end
 
-let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output.t =
+(* Trace-fill window: the last [keep] fetched packets as (start, count)
+   pairs in a small ring — most recent at [hd]. *)
+module Recent = struct
+  type t = {
+    starts : int array;
+    counts : int array;
+    mutable hd : int;
+    mutable n : int;
+  }
+
+  let create keep = { starts = Array.make keep 0; counts = Array.make keep 0; hd = 0; n = 0 }
+
+  let push t start count =
+    let keep = Array.length t.starts in
+    t.hd <- (t.hd + 1) mod keep;
+    t.starts.(t.hd) <- start;
+    t.counts.(t.hd) <- count;
+    if t.n < keep then t.n <- t.n + 1
+
+  let clear t = t.n <- 0
+
+  (* Oldest-first start list plus total op count of the window. *)
+  let window t =
+    let keep = Array.length t.starts in
+    let total = ref 0 and starts = ref [] in
+    for i = 0 to t.n - 1 do
+      (* i = 0 is the most recent; prepending walks oldest to the head. *)
+      let j = (t.hd - i + (2 * keep)) mod keep in
+      total := !total + t.counts.(j);
+      starts := t.starts.(j) :: !starts
+    done;
+    (!starts, !total)
+end
+
+let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
+    Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
+  let pd = match tables with Some t -> t | None -> Predecode.of_conv prog in
   let exec = Conv_exec.create prog in
   Conv_exec.set_budget exec cfg.op_budget;
   let stream = Stream.create exec in
@@ -44,8 +104,9 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
   let pred = Conv_pred.create cfg.conv_pred in
   let inj = cfg.inject in
   let next_fetch = ref 0 in
-  (* Trace-fill window: the last few fetched packets. *)
-  let recent : (int * int) list ref = ref [] in
+  let recent =
+    Recent.create (match cfg.trace_cache with Some c -> c.max_blocks | None -> 3)
+  in
   (* Process one packet fetched at [fc]; [from_tc] packets are supplied by
      the trace cache (no icache access).  Returns the resolve time of its
      control instruction and whether its prediction was correct. *)
@@ -70,14 +131,12 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
     for chunk = 0 to nchunks - 1 do
       let lo = chunk * cfg.issue_width in
       let hi = min pkt.count (lo + cfg.issue_width) in
-      let ops =
-        Array.init (hi - lo) (fun k ->
-            let i = pkt.start + lo + k in
-            Engine.opref_of_insn prog.insns.(i) pkt.mem_addrs.(lo + k))
-      in
       let want = !fc + chunk + cfg.decode_depth in
       let dispatch = Engine.admit engine ~want ~op_count:(hi - lo) in
-      let r = Engine.run_unit engine ~dispatch ~commit:true ops in
+      let r =
+        Engine.run_unit engine ~dispatch ~commit:true pd ~lo:(pkt.start + lo)
+          ~len:(hi - lo) ~term:(-1) ~mem_addrs:pkt.mem_addrs ~mem_off:lo
+      in
       last_resolve := r.resolve;
       m.retired_ops <- m.retired_ops + (hi - lo);
       next_fetch := max (!fc + chunk + 1) (dispatch - cfg.decode_depth + 1)
@@ -122,13 +181,9 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
        window that fits a trace-cache entry. *)
     (match tc with
     | Some tc_ ->
-      let keep =
-        match cfg.trace_cache with Some c -> c.max_blocks | None -> 3
-      in
-      recent := ((pkt.start, pkt.count) :: !recent) |> List.filteri (fun i _ -> i < keep);
-      let window = List.rev !recent in
-      let total = List.fold_left (fun a (_, c) -> a + c) 0 window in
-      Trace_cache.fill tc_ ~starts:(List.map fst window) ~total_ops:total;
+      Recent.push recent pkt.start pkt.count;
+      let starts, total = Recent.window recent in
+      Trace_cache.fill tc_ ~starts ~total_ops:total;
       (* Injected trace corruption: a bogus successor sequence keyed at
          this packet.  Lookups validate traces against the real upcoming
          packets, so a corrupt entry never gets served. *)
@@ -138,7 +193,7 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
           ~succs:[ Bisa_uarch.Inject.rand_int i (Array.length prog.insns) ]
       | _ -> ());
       (* A redirect breaks trace continuity. *)
-      if not ok then recent := []
+      if not ok then Recent.clear recent
     | None -> ());
     ok
   in
@@ -154,18 +209,23 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
           match Trace_cache.lookup tc_ ~start:p0.start with
           | Some succs ->
             let n = List.length succs in
-            let upcoming = Stream.peek_list stream n in
+            Stream.refill stream n;
             let matches =
-              List.length upcoming = n
-              && List.for_all2
-                   (fun (s : int) (p : Conv_exec.packet) -> s = p.start)
-                   succs upcoming
-              && p0.count + List.fold_left (fun a (p : Conv_exec.packet) -> a + p.count) 0 upcoming
-                 <= cfg.issue_width
+              Stream.available stream >= n
+              &&
+              let total = ref p0.count and ok = ref true in
+              List.iteri
+                (fun i s ->
+                  let p = Stream.get stream i in
+                  if p.Conv_exec.start <> s then ok := false
+                  else total := !total + p.Conv_exec.count)
+                succs;
+              !ok && !total <= cfg.issue_width
             in
             if matches then begin
+              let fl = List.init n (Stream.get stream) in
               Stream.drop stream n;
-              upcoming
+              fl
             end
             else []
           | None -> []
@@ -201,4 +261,4 @@ let run_full (cfg : Config.t) (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output
   | None -> ());
   (m, Conv_exec.output exec)
 
-let run cfg prog = fst (run_full cfg prog)
+let run ?tables cfg prog = fst (run_full ?tables cfg prog)

@@ -4,11 +4,20 @@
     32-block/512-op window, 16 uniform FUs, same caches and latencies); the
     defining difference is the fetch engine: one {e basic block} per cycle
     — fetch stops at every control instruction — which is what limits the
-    conventional core to ~5 useful operations per fetch (paper figure 5). *)
+    conventional core to ~5 useful operations per fetch (paper figure 5).
 
-val run : Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t
+    [tables] is the program's predecoded op-template table; when omitted it
+    is built on entry (cheap — one pass over the static program).  Pass a
+    memoized table (see {!Predecode.of_conv} and the experiment harness)
+    to share one across many configurations. *)
 
-val run_full : Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t * Bisa_sim.Output.t
+val run : ?tables:Predecode.t -> Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t
+
+val run_full :
+  ?tables:Predecode.t ->
+  Config.t ->
+  Bisa_isa.Conv_prog.t ->
+  Metrics.t * Bisa_sim.Output.t
 (** As {!run}, also returning the functional output of the underlying
     executor — the differential fuzzer compares it against the canonical
     execution to prove fault injection cannot alter architectural

@@ -1,54 +1,4 @@
-module Opclass = Bisa_isa.Opclass
 module Reg = Bisa_isa.Reg
-module Insn = Bisa_isa.Insn
-module Ablock = Bisa_isa.Ablock
-
-type mem_ref = Mnone | Mload of int | Mstore of int
-
-type opref = {
-  cls : Opclass.t;
-  defs : int array;
-  uses : int array;
-  mem : mem_ref;
-}
-
-let flat rs = Array.of_list (List.map Reg.flat_index rs)
-
-let mem_of_insn (insn : _ Insn.t) addr =
-  match insn with
-  | Insn.Op op when Bisa_isa.Op.is_load op -> Mload addr
-  | Insn.Op op when Bisa_isa.Op.is_store op -> Mstore addr
-  | _ -> Mnone
-
-let opref_of_insn insn addr =
-  {
-    cls = Insn.opclass insn;
-    defs = flat (Insn.defs insn);
-    uses = flat (Insn.uses insn);
-    mem = (if addr >= 0 then mem_of_insn insn addr else Mnone);
-  }
-
-let mem_of_elt (e : _ Ablock.elt) addr =
-  match e with
-  | Ablock.Op op when Bisa_isa.Op.is_load op -> Mload addr
-  | Ablock.Op op when Bisa_isa.Op.is_store op -> Mstore addr
-  | _ -> Mnone
-
-let opref_of_elt e addr =
-  {
-    cls = Ablock.elt_opclass e;
-    defs = flat (Ablock.elt_defs e);
-    uses = flat (Ablock.elt_uses e);
-    mem = (if addr >= 0 then mem_of_elt e addr else Mnone);
-  }
-
-let opref_of_term term =
-  {
-    cls = Ablock.term_opclass term;
-    defs = flat (Ablock.term_defs term);
-    uses = flat (Ablock.term_uses term);
-    mem = Mnone;
-  }
 
 (* Functional-unit issue calendar: per-cycle slot counters in a tagged
    ring.  In-flight issue activity spans far less than the ring, so a tag
@@ -63,7 +13,23 @@ type t = {
   fu_count_at : int array;
   fu_tag : int array;
   store_ready : (int, int) Hashtbl.t;  (** addr -> completion of last store *)
-  window : (int * int) Queue.t;  (** (retire_time, op_count), oldest first *)
+  (* Per-unit register overlay: generation-tagged so clearing between
+     units is a single counter bump, not a table walk. *)
+  local : int array;
+  local_gen : int array;
+  mutable gen : int;
+  touched : int array;  (** flat regs defined by the current unit *)
+  mutable ntouched : int;
+  (* Per-unit store overlay: a unit holds at most issue-width stores, so a
+     linear-scan pair of arrays beats any hashing. *)
+  mutable ls_addr : int array;
+  mutable ls_time : int array;
+  mutable ls_n : int;
+  (* Retirement window as a ring of (retire_time, op_count), oldest first. *)
+  mutable win_retire : int array;
+  mutable win_count : int array;
+  mutable win_head : int;
+  mutable win_len : int;
   mutable window_ops : int;
   mutable last_retire_time : int;
   dcache : Bisa_uarch.Cache.t option;
@@ -76,7 +42,18 @@ let create (cfg : Config.t) =
     fu_count_at = Array.make ring_size 0;
     fu_tag = Array.make ring_size (-1);
     store_ready = Hashtbl.create 4096;
-    window = Queue.create ();
+    local = Array.make Reg.flat_count 0;
+    local_gen = Array.make Reg.flat_count (-1);
+    gen = 0;
+    touched = Array.make Reg.flat_count 0;
+    ntouched = 0;
+    ls_addr = Array.make 32 0;
+    ls_time = Array.make 32 0;
+    ls_n = 0;
+    win_retire = Array.make 64 0;
+    win_count = Array.make 64 0;
+    win_head = 0;
+    win_len = 0;
     window_ops = 0;
     last_retire_time = 0;
     dcache = Option.map Bisa_uarch.Cache.create cfg.dcache;
@@ -104,86 +81,149 @@ let fu_alloc t at =
 
 type unit_result = { resolve : int; retire : int }
 
+let win_pop t =
+  t.window_ops <- t.window_ops - t.win_count.(t.win_head);
+  t.win_head <- (t.win_head + 1) mod Array.length t.win_retire;
+  t.win_len <- t.win_len - 1
+
+let win_push t retire count =
+  let cap = Array.length t.win_retire in
+  if t.win_len = cap then begin
+    let nr = Array.make (2 * cap) 0 and nc = Array.make (2 * cap) 0 in
+    for i = 0 to t.win_len - 1 do
+      let j = (t.win_head + i) mod cap in
+      nr.(i) <- t.win_retire.(j);
+      nc.(i) <- t.win_count.(j)
+    done;
+    t.win_retire <- nr;
+    t.win_count <- nc;
+    t.win_head <- 0
+  end;
+  let i = (t.win_head + t.win_len) mod Array.length t.win_retire in
+  t.win_retire.(i) <- retire;
+  t.win_count.(i) <- count;
+  t.win_len <- t.win_len + 1
+
 let admit t ~want ~op_count =
   let time = ref want in
   let fits () =
-    Queue.length t.window < t.cfg.window_blocks
-    && t.window_ops + op_count <= t.cfg.window_ops
+    t.win_len < t.cfg.window_blocks && t.window_ops + op_count <= t.cfg.window_ops
   in
   let drain () =
-    let continue_ = ref true in
-    while !continue_ do
-      match Queue.peek_opt t.window with
-      | Some (retire, ops) when retire <= !time ->
-        ignore (Queue.pop t.window);
-        t.window_ops <- t.window_ops - ops
-      | _ -> continue_ := false
+    while t.win_len > 0 && t.win_retire.(t.win_head) <= !time do
+      win_pop t
     done
   in
   drain ();
   (* Wait for the oldest unit to retire until there is room.  An empty
      window that still does not fit means the unit alone exceeds capacity
      (cannot happen with issue-width blocks); admit it regardless. *)
-  while (not (fits ())) && not (Queue.is_empty t.window) do
-    (match Queue.peek_opt t.window with
-    | Some (retire, _) -> time := max !time retire
-    | None -> ());
+  while (not (fits ())) && t.win_len > 0 do
+    let oldest = t.win_retire.(t.win_head) in
+    if oldest > !time then time := oldest;
     drain ()
   done;
   !time
 
-(* Small per-unit overlay for intra-unit register forwarding. *)
-let run_unit t ~dispatch ~commit (ops : opref array) =
-  let local : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let local_store : (int, int) Hashtbl.t = Hashtbl.create 4 in
-  let ready_of r =
-    match Hashtbl.find_opt local r with Some v -> v | None -> t.reg_ready.(r)
-  in
-  let store_done addr =
-    let g = match Hashtbl.find_opt t.store_ready addr with Some v -> v | None -> 0 in
-    match Hashtbl.find_opt local_store addr with Some v -> max v g | None -> g
-  in
+let grow_ls t =
+  let cap = Array.length t.ls_addr in
+  let na = Array.make (2 * cap) 0 and nt = Array.make (2 * cap) 0 in
+  Array.blit t.ls_addr 0 na 0 cap;
+  Array.blit t.ls_time 0 nt 0 cap;
+  t.ls_addr <- na;
+  t.ls_time <- nt
+
+(* One fetch unit: template slots [lo, lo+len) of [tp] (plus slot [term]
+   when [term >= 0]), with the k-th body op's memory address supplied as
+   [mem_addrs.(mem_off + k)].  The whole path is allocation-free. *)
+let run_unit t ~dispatch ~commit (tp : Predecode.t) ~lo ~len ~term
+    ~(mem_addrs : int array) ~mem_off =
+  let gen = t.gen + 1 in
+  t.gen <- gen;
+  t.ntouched <- 0;
+  t.ls_n <- 0;
   let resolve = ref dispatch and retire = ref dispatch in
-  Array.iter
-    (fun (op : opref) ->
-      let ready = Array.fold_left (fun acc r -> max acc (ready_of r)) dispatch op.uses in
-      let ready =
-        match op.mem with
-        | Mload addr | Mstore addr -> max ready (store_done addr)
-        | Mnone -> ready
-      in
-      let issue = fu_alloc t (max ready (dispatch + 1)) in
-      let lat = Opclass.latency op.cls in
-      let lat =
-        match op.mem with
-        | Mload addr ->
-          let hit =
-            match t.dcache with Some c -> Bisa_uarch.Cache.access c addr | None -> true
-          in
-          if hit then lat else lat + t.cfg.l2_latency
-        | Mstore _ | Mnone -> lat
-      in
-      let complete = issue + lat in
-      Array.iter (fun r -> Hashtbl.replace local r complete) op.defs;
-      (match op.mem with
-      | Mstore addr -> Hashtbl.replace local_store addr complete
-      | Mload _ | Mnone -> ());
-      resolve := complete;
-      if complete > !retire then retire := complete)
-    ops;
+  let nops = if term >= 0 then len + 1 else len in
+  for k = 0 to nops - 1 do
+    let s = if k < len then lo + k else term in
+    let addr = if k < len then mem_addrs.(mem_off + k) else -1 in
+    let roff = tp.reg_off.(s) in
+    let nd = tp.ndefs.(s) in
+    let nu = tp.nuses.(s) in
+    let ready = ref dispatch in
+    for j = roff + nd to roff + nd + nu - 1 do
+      let r = tp.regs.(j) in
+      let v = if t.local_gen.(r) = gen then t.local.(r) else t.reg_ready.(r) in
+      if v > !ready then ready := v
+    done;
+    let kind = tp.mem_kind.(s) in
+    let kind = if kind <> 0 && addr >= 0 then kind else 0 in
+    if kind <> 0 then begin
+      (* Memory ordering: wait for the last store to this address, unit-
+         local stores (store-to-load forwarding) included. *)
+      let sd = ref (try Hashtbl.find t.store_ready addr with Not_found -> 0) in
+      for i = 0 to t.ls_n - 1 do
+        if t.ls_addr.(i) = addr && t.ls_time.(i) > !sd then sd := t.ls_time.(i)
+      done;
+      if !sd > !ready then ready := !sd
+    end;
+    let issue = fu_alloc t (max !ready (dispatch + 1)) in
+    let lat = tp.lat.(s) in
+    let lat =
+      if kind = 1 then begin
+        let hit =
+          match t.dcache with Some c -> Bisa_uarch.Cache.access c addr | None -> true
+        in
+        if hit then lat else lat + t.cfg.l2_latency
+      end
+      else lat
+    in
+    let complete = issue + lat in
+    for j = roff to roff + nd - 1 do
+      let r = tp.regs.(j) in
+      if t.local_gen.(r) <> gen then begin
+        t.local_gen.(r) <- gen;
+        t.touched.(t.ntouched) <- r;
+        t.ntouched <- t.ntouched + 1
+      end;
+      t.local.(r) <- complete
+    done;
+    if kind = 2 then begin
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < t.ls_n do
+        if t.ls_addr.(!i) = addr then begin
+          t.ls_time.(!i) <- complete;
+          found := true
+        end;
+        incr i
+      done;
+      if not !found then begin
+        if t.ls_n = Array.length t.ls_addr then grow_ls t;
+        t.ls_addr.(t.ls_n) <- addr;
+        t.ls_time.(t.ls_n) <- complete;
+        t.ls_n <- t.ls_n + 1
+      end
+    end;
+    resolve := complete;
+    if complete > !retire then retire := complete
+  done;
   if commit then begin
-    Hashtbl.iter (fun r v -> if v > t.reg_ready.(r) then t.reg_ready.(r) <- v) local;
-    Hashtbl.iter
-      (fun addr v ->
-        let old = match Hashtbl.find_opt t.store_ready addr with Some x -> x | None -> 0 in
-        if v > old then Hashtbl.replace t.store_ready addr v)
-      local_store
+    for i = 0 to t.ntouched - 1 do
+      let r = t.touched.(i) in
+      if t.local.(r) > t.reg_ready.(r) then t.reg_ready.(r) <- t.local.(r)
+    done;
+    for i = 0 to t.ls_n - 1 do
+      let addr = t.ls_addr.(i) and v = t.ls_time.(i) in
+      let old = try Hashtbl.find t.store_ready addr with Not_found -> 0 in
+      if v > old then Hashtbl.replace t.store_ready addr v
+    done
   end;
   (* In-order retirement: monotonic times. *)
   let retire_time = max !retire t.last_retire_time in
   t.last_retire_time <- retire_time;
-  Queue.push (retire_time, Array.length ops) t.window;
-  t.window_ops <- t.window_ops + Array.length ops;
+  win_push t retire_time nops;
+  t.window_ops <- t.window_ops + nops;
   { resolve = !resolve; retire = retire_time }
 
 let last_retire t = t.last_retire_time

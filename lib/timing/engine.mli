@@ -10,26 +10,13 @@
     back-pressures dispatch; blocks retire in order.
 
     A {e unit} is one fetch packet (a dynamic basic block, or an atomic
-    block).  Executing a unit with [commit = false] charges its resource
-    usage and computes its resolve time but discards its register and
-    memory effects — this is how fault-suppressed blocks cost real
+    block), described as a slot range of a {!Predecode.t} template table
+    plus the step's memory addresses — the hot path allocates nothing per
+    dynamic operation.  Executing a unit with [commit = false] charges its
+    resource usage and computes its resolve time but discards its register
+    and memory effects — this is how fault-suppressed blocks cost real
     bandwidth (paper section 5: "good work must be removed from the machine
     for a fault misprediction"). *)
-
-type mem_ref = Mnone | Mload of int | Mstore of int
-
-type opref = {
-  cls : Bisa_isa.Opclass.t;
-  defs : int array;  (** flat register indexes *)
-  uses : int array;
-  mem : mem_ref;
-}
-
-val opref_of_insn : _ Bisa_isa.Insn.t -> int -> opref
-(** [opref_of_insn insn mem_addr]; pass [-1] for no memory access. *)
-
-val opref_of_elt : _ Bisa_isa.Ablock.elt -> int -> opref
-val opref_of_term : _ Bisa_isa.Ablock.terminator -> opref
 
 type t
 
@@ -45,10 +32,24 @@ val admit : t -> want:int -> op_count:int -> int
 (** Window admission: earliest dispatch cycle at or after [want] with room
     for [op_count] more operations. *)
 
-val run_unit : t -> dispatch:int -> commit:bool -> opref array -> unit_result
-(** Issues each operation when its operands and a functional unit are
-    ready; returns resolve/retire times and (when committing) publishes
-    results.  Also books the unit into the retirement window. *)
+val run_unit :
+  t ->
+  dispatch:int ->
+  commit:bool ->
+  Predecode.t ->
+  lo:int ->
+  len:int ->
+  term:int ->
+  mem_addrs:int array ->
+  mem_off:int ->
+  unit_result
+(** Issues template slots [lo, lo+len)] — plus the trailing terminator slot
+    [term] when [term >= 0] (an atomic block whose body was not squashed) —
+    when their operands and a functional unit are ready; the k-th body op's
+    memory address is [mem_addrs.(mem_off + k)] (negative = no access; the
+    terminator never accesses memory).  Returns resolve/retire times and
+    (when committing) publishes results.  Also books the unit into the
+    retirement window. *)
 
 val last_retire : t -> int
 (** Retirement time of the youngest unit so far = total cycles when done. *)

@@ -1,0 +1,133 @@
+module Opclass = Bisa_isa.Opclass
+module Reg = Bisa_isa.Reg
+module Insn = Bisa_isa.Insn
+module Ablock = Bisa_isa.Ablock
+
+type t = {
+  cls : Opclass.t array;
+  lat : int array;
+  mem_kind : int array;
+  reg_off : int array;
+  ndefs : int array;
+  nuses : int array;
+  regs : int array;
+}
+
+let mem_none = 0
+let mem_load = 1
+let mem_store = 2
+let slots t = Array.length t.cls
+
+(* Slot-count-known builder: fixed per-slot arrays, growable shared reg
+   pool. *)
+type builder = {
+  b_cls : Opclass.t array;
+  b_lat : int array;
+  b_mem : int array;
+  b_off : int array;
+  b_nd : int array;
+  b_nu : int array;
+  mutable b_regs : int array;
+  mutable b_nregs : int;
+  mutable b_next : int;
+}
+
+let builder n =
+  {
+    b_cls = Array.make n Opclass.Integer;
+    b_lat = Array.make n 0;
+    b_mem = Array.make n mem_none;
+    b_off = Array.make n 0;
+    b_nd = Array.make n 0;
+    b_nu = Array.make n 0;
+    b_regs = Array.make (max 8 (4 * n)) 0;
+    b_nregs = 0;
+    b_next = 0;
+  }
+
+let push_reg b r =
+  if b.b_nregs = Array.length b.b_regs then begin
+    let bigger = Array.make (2 * b.b_nregs) 0 in
+    Array.blit b.b_regs 0 bigger 0 b.b_nregs;
+    b.b_regs <- bigger
+  end;
+  b.b_regs.(b.b_nregs) <- r;
+  b.b_nregs <- b.b_nregs + 1
+
+let add_slot b cls ~defs ~uses ~mem =
+  let s = b.b_next in
+  b.b_next <- s + 1;
+  b.b_cls.(s) <- cls;
+  b.b_lat.(s) <- Opclass.latency cls;
+  b.b_mem.(s) <- mem;
+  b.b_off.(s) <- b.b_nregs;
+  List.iter (fun r -> push_reg b (Reg.flat_index r)) defs;
+  b.b_nd.(s) <- List.length defs;
+  List.iter (fun r -> push_reg b (Reg.flat_index r)) uses;
+  b.b_nu.(s) <- List.length uses
+
+let finish b =
+  assert (b.b_next = Array.length b.b_cls);
+  {
+    cls = b.b_cls;
+    lat = b.b_lat;
+    mem_kind = b.b_mem;
+    reg_off = b.b_off;
+    ndefs = b.b_nd;
+    nuses = b.b_nu;
+    regs = Array.sub b.b_regs 0 b.b_nregs;
+  }
+
+let of_conv (p : Bisa_isa.Conv_prog.t) =
+  let n = Array.length p.insns in
+  let b = builder n in
+  for i = 0 to n - 1 do
+    let insn = p.insns.(i) in
+    let mem =
+      if Insn.is_load insn then mem_load
+      else if Insn.is_store insn then mem_store
+      else mem_none
+    in
+    add_slot b (Insn.opclass insn) ~defs:(Insn.defs insn) ~uses:(Insn.uses insn) ~mem
+  done;
+  finish b
+
+type blocks = { tab : t; first : int array }
+
+let of_block (p : Bisa_isa.Block_prog.t) =
+  let nblocks = Array.length p.blocks in
+  let first = Array.make (nblocks + 1) 0 in
+  for bi = 0 to nblocks - 1 do
+    first.(bi + 1) <- first.(bi) + Array.length p.blocks.(bi).Ablock.elts + 1
+  done;
+  let b = builder first.(nblocks) in
+  Array.iter
+    (fun (blk : int Ablock.t) ->
+      Array.iter
+        (fun e ->
+          let mem =
+            if Ablock.elt_is_load e then mem_load
+            else if Ablock.elt_is_store e then mem_store
+            else mem_none
+          in
+          add_slot b (Ablock.elt_opclass e) ~defs:(Ablock.elt_defs e)
+            ~uses:(Ablock.elt_uses e) ~mem)
+        blk.Ablock.elts;
+      add_slot b
+        (Ablock.term_opclass blk.Ablock.term)
+        ~defs:(Ablock.term_defs blk.Ablock.term)
+        ~uses:(Ablock.term_uses blk.Ablock.term)
+        ~mem:mem_none)
+    p.blocks;
+  { tab = finish b; first }
+
+let of_list rows =
+  let b = builder (List.length rows) in
+  List.iter
+    (fun (cls, defs, uses, mem) ->
+      add_slot b cls
+        ~defs:(List.map Reg.of_flat_index defs)
+        ~uses:(List.map Reg.of_flat_index uses)
+        ~mem)
+    rows;
+  finish b

@@ -1,0 +1,48 @@
+(** Predecoded op templates — the timing engine's static instruction facts,
+    derived once per program instead of once per dynamic operation.
+
+    Every static operation of a program (a conventional instruction, an
+    atomic-block body element, or a block terminator) gets one {e slot} in
+    a structure-of-arrays table: its opclass and latency, its memory
+    classification, and the span of its flattened def/use register indexes
+    inside one shared [regs] array.  The timing pipelines then drive the
+    engine with (table, slot range, per-step memory addresses) and never
+    rebuild per-dynamic-op structures — the same static/dynamic split
+    BasicBlocker and macro-op-fusion studies exploit in hardware.
+
+    Tables are immutable after construction, so one table may be shared
+    freely across configurations and worker domains; the experiment
+    harness memoizes one per compiled program. *)
+
+type t = {
+  cls : Bisa_isa.Opclass.t array;  (** per slot: functional-unit class *)
+  lat : int array;  (** per slot: [Opclass.latency cls] *)
+  mem_kind : int array;  (** per slot: {!mem_none} / {!mem_load} / {!mem_store} *)
+  reg_off : int array;  (** per slot: first index of its span in [regs] *)
+  ndefs : int array;  (** defs occupy [regs.(reg_off) ..], uses follow *)
+  nuses : int array;
+  regs : int array;  (** shared flat register indexes, defs then uses per slot *)
+}
+
+val mem_none : int
+val mem_load : int
+val mem_store : int
+
+val slots : t -> int
+
+val of_conv : Bisa_isa.Conv_prog.t -> t
+(** One slot per instruction; slot = instruction index. *)
+
+type blocks = {
+  tab : t;
+  first : int array;
+      (** length [nblocks + 1]; block [b]'s body occupies slots
+          [first.(b) .. first.(b+1) - 2] in program order and its
+          terminator is slot [first.(b+1) - 1]. *)
+}
+
+val of_block : Bisa_isa.Block_prog.t -> blocks
+
+val of_list : (Bisa_isa.Opclass.t * int list * int list * int) list -> t
+(** Synthetic table from [(opclass, flat defs, flat uses, mem_kind)] rows —
+    for unit tests that drive the engine directly. *)

@@ -2,6 +2,7 @@
    behavior, and end-to-end pipeline sanity bounds. *)
 
 module Engine = Bisa_timing.Engine
+module Predecode = Bisa_timing.Predecode
 module Config = Bisa_timing.Config
 module Opclass = Bisa_isa.Opclass
 
@@ -14,29 +15,57 @@ let tiny_config =
     redirect_penalty = 2;
   }
 
-let op ?(defs = [||]) ?(uses = [||]) ?(mem = Engine.Mnone) cls =
-  { Engine.cls; defs; uses; mem }
+(* Engine units are described as synthetic predecode tables: static
+   (opclass, defs, uses, mem-kind) templates plus a per-op dynamic address
+   array, exactly how the pipelines drive the engine. *)
+type memspec = Mnone | Mload of int | Mstore of int
+
+let op ?(defs = [||]) ?(uses = [||]) ?(mem = Mnone) cls = (cls, defs, uses, mem)
+
+let run_ops e ~dispatch ~commit ops =
+  let tab =
+    Predecode.of_list
+      (List.map
+         (fun (cls, defs, uses, mem) ->
+           let kind =
+             match mem with
+             | Mnone -> Predecode.mem_none
+             | Mload _ -> Predecode.mem_load
+             | Mstore _ -> Predecode.mem_store
+           in
+           (cls, Array.to_list defs, Array.to_list uses, kind))
+         ops)
+  in
+  let mem_addrs =
+    Array.of_list
+      (List.map
+         (fun (_, _, _, mem) ->
+           match mem with Mnone -> -1 | Mload a | Mstore a -> a)
+         ops)
+  in
+  Engine.run_unit e ~dispatch ~commit tab ~lo:0 ~len:(List.length ops) ~term:(-1)
+    ~mem_addrs ~mem_off:0
 
 let test_engine_dependency_chain () =
   let e = Engine.create tiny_config in
   (* Three dependent integer ops: each completes one cycle after the
      previous (latency 1). *)
   let ops =
-    [|
+    [
       op Opclass.Integer ~defs:[| 1 |];
       op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |];
       op Opclass.Integer ~defs:[| 3 |] ~uses:[| 2 |];
-    |]
+    ]
   in
-  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  let r = run_ops e ~dispatch:0 ~commit:true ops in
   Alcotest.(check int) "chain of 3 x 1-cycle" 4 r.resolve
 
 let test_engine_div_latency () =
   let e = Engine.create tiny_config in
   let ops =
-    [| op Opclass.Div ~defs:[| 1 |]; op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] |]
+    [ op Opclass.Div ~defs:[| 1 |]; op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] ]
   in
-  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  let r = run_ops e ~dispatch:0 ~commit:true ops in
   (* div issues at 1, completes at 9; dependent add completes at 10. *)
   Alcotest.(check int) "div then add" 10 r.resolve
 
@@ -44,30 +73,30 @@ let test_engine_fu_contention () =
   let cfg = { tiny_config with fu_count = 2 } in
   let e = Engine.create cfg in
   (* Four independent ops on two FUs: two issue at cycle 1, two at 2. *)
-  let ops = Array.init 4 (fun i -> op Opclass.Integer ~defs:[| i + 1 |]) in
-  let r = Engine.run_unit e ~dispatch:0 ~commit:true ops in
+  let ops = List.init 4 (fun i -> op Opclass.Integer ~defs:[| i + 1 |]) in
+  let r = run_ops e ~dispatch:0 ~commit:true ops in
   Alcotest.(check int) "second wave finishes at 3" 3 r.retire
 
 let test_engine_commit_discard () =
   let e = Engine.create tiny_config in
-  let slow = [| op Opclass.Div ~defs:[| 1 |] |] in
-  ignore (Engine.run_unit e ~dispatch:0 ~commit:false slow);
+  let slow = [ op Opclass.Div ~defs:[| 1 |] ] in
+  ignore (run_ops e ~dispatch:0 ~commit:false slow);
   (* The discarded div must not delay a later consumer of register 1. *)
-  let consumer = [| op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] |] in
-  let r = Engine.run_unit e ~dispatch:0 ~commit:true consumer in
+  let consumer = [ op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] ] in
+  let r = run_ops e ~dispatch:0 ~commit:true consumer in
   Alcotest.(check int) "no stale dependency" 2 r.resolve
 
 let test_engine_store_load_ordering () =
   let e = Engine.create tiny_config in
-  let st = [| op Opclass.Div ~defs:[| 1 |]; op Opclass.Store ~uses:[| 1 |] ~mem:(Engine.Mstore 64) |] in
-  ignore (Engine.run_unit e ~dispatch:0 ~commit:true st);
+  let st = [ op Opclass.Div ~defs:[| 1 |]; op Opclass.Store ~uses:[| 1 |] ~mem:(Mstore 64) ] in
+  ignore (run_ops e ~dispatch:0 ~commit:true st);
   (* A later load from the same address waits for the store's data. *)
-  let ld = [| op Opclass.Load ~defs:[| 2 |] ~mem:(Engine.Mload 64) |] in
-  let r = Engine.run_unit e ~dispatch:0 ~commit:true ld in
+  let ld = [ op Opclass.Load ~defs:[| 2 |] ~mem:(Mload 64) ] in
+  let r = run_ops e ~dispatch:0 ~commit:true ld in
   Alcotest.(check bool) "load waits for store" true (r.resolve >= 11);
   (* A load from a different address does not. *)
-  let ld2 = [| op Opclass.Load ~defs:[| 3 |] ~mem:(Engine.Mload 128) |] in
-  let r2 = Engine.run_unit e ~dispatch:0 ~commit:true ld2 in
+  let ld2 = [ op Opclass.Load ~defs:[| 3 |] ~mem:(Mload 128) ] in
+  let r2 = run_ops e ~dispatch:0 ~commit:true ld2 in
   Alcotest.(check bool) "independent load fast" true (r2.resolve <= 3)
 
 let test_engine_window_backpressure () =
@@ -75,8 +104,8 @@ let test_engine_window_backpressure () =
   let e = Engine.create cfg in
   (* Two long-latency single-op blocks fill the 2-block window. *)
   for _ = 1 to 2 do
-    ignore (Engine.run_unit e ~dispatch:(Engine.admit e ~want:0 ~op_count:1)
-              ~commit:true [| op Opclass.Div ~defs:[| 9 |] |])
+    ignore (run_ops e ~dispatch:(Engine.admit e ~want:0 ~op_count:1)
+              ~commit:true [ op Opclass.Div ~defs:[| 9 |] ])
   done;
   (* The third block cannot dispatch until the oldest retires (cycle 9). *)
   let d = Engine.admit e ~want:0 ~op_count:1 in
@@ -84,8 +113,8 @@ let test_engine_window_backpressure () =
 
 let test_engine_monotonic_retire () =
   let e = Engine.create tiny_config in
-  let r1 = Engine.run_unit e ~dispatch:0 ~commit:true [| op Opclass.Div ~defs:[| 1 |] |] in
-  let r2 = Engine.run_unit e ~dispatch:0 ~commit:true [| op Opclass.Integer ~defs:[| 2 |] |] in
+  let r1 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Div ~defs:[| 1 |] ] in
+  let r2 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Integer ~defs:[| 2 |] ] in
   (* In-order retirement: the fast block cannot retire before the slow one. *)
   Alcotest.(check bool) "in-order" true (r2.retire >= r1.retire)
 
