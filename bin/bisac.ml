@@ -1,26 +1,6 @@
 (* The compiler driver: MiniC in, listings for either ISA out. *)
 
-let read_source path_or_name =
-  if Sys.file_exists path_or_name then begin
-    let ic = open_in_bin path_or_name in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    (s, [])
-  end
-  else begin
-    (* Fall back to a named built-in workload. *)
-    match Bisa_workloads.Workloads.find path_or_name with
-    | w -> (Bisa_workloads.Workloads.source w, w.library_funcs)
-    | exception Invalid_argument _ ->
-      raise
-        (Bisa_base.Diag.Fail
-           (Bisa_base.Diag.error ~component:"bisac"
-              (Printf.sprintf
-                 "no such file, and not a workload name: %s (workloads: %s)"
-                 path_or_name
-                 (String.concat " " Bisa_workloads.Workloads.names))))
-  end
+module Driver = Bisa_cli.Driver
 
 type emit = Ast | Ir | Mir | Conv | Block | Stats | Conv_bin | Block_bin
 
@@ -29,18 +9,10 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-(* Toolchain failures exit nonzero with one clean diagnostic line instead
-   of an uncaught-exception backtrace. *)
-let guard f =
-  try f () with
-  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
-
 let run input emit output opt_level inline ifconvert max_ops max_faults no_enlarge
-    merge_back libs_too =
- guard @@ fun () ->
-  let src, library_funcs = read_source input in
+    merge_back libs_too verbose =
+ Driver.guard ~component:"bisac" @@ fun () ->
+  let src, library_funcs = Driver.read_source ~component:"bisac" input in
   let enlarge =
     {
       Bisa_backend.Enlarge.enabled = not no_enlarge;
@@ -51,20 +23,35 @@ let run input emit output opt_level inline ifconvert max_ops max_faults no_enlar
     }
   in
   let opt = if opt_level = 0 then Bisa_opt.Pipeline.O0 else Bisa_opt.Pipeline.O1 in
-  let compile src = Bisa_compiler.Compiler.compile ~opt ~enlarge ~inline ~ifconvert ~library_funcs src in
+  let spans = if verbose then Some (Bisa_obs.Span.create ()) else None in
+  let report () =
+    match spans with
+    | Some s -> Printf.eprintf "compiler phase wall-clock:\n%s\n%!" (Bisa_obs.Span.render s)
+    | None -> ()
+  in
+  let compile src =
+    let c =
+      Bisa_compiler.Compiler.compile ?spans ~opt ~enlarge ~inline ~ifconvert
+        ~library_funcs src
+    in
+    report ();
+    c
+  in
   match emit with
   | Ast ->
     let _ = Bisa_frontend.Parser.parse src in
     print_endline "parse: OK";
     `Ok ()
   | Ir ->
-    let _, ir = Bisa_compiler.Compiler.frontend ~library_funcs src in
+    let _, ir = Bisa_compiler.Compiler.frontend ?spans ~library_funcs src in
     Bisa_opt.Pipeline.optimize opt ir;
+    report ();
     Format.printf "%a@." Bisa_ir.Ir.pp_program ir;
     `Ok ()
   | Mir ->
-    let _, ir = Bisa_compiler.Compiler.frontend ~library_funcs src in
+    let _, ir = Bisa_compiler.Compiler.frontend ?spans ~library_funcs src in
     Bisa_opt.Pipeline.optimize opt ir;
+    report ();
     List.iter
       (fun f -> print_string (Bisa_backend.Mir.to_string (Bisa_backend.Isel.select f)))
       ir.funcs;
@@ -162,10 +149,16 @@ let () =
   let libs_too =
     Arg.(value & flag & info [ "enlarge-libraries" ] ~doc:"Ablation: enlarge library code.")
   in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print per-phase compiler wall-clock timings to stderr.")
+  in
   let term =
     Term.(
       ret (const run $ input $ emit $ output $ opt_level $ inline $ ifconvert
-           $ max_ops $ max_faults $ no_enlarge $ merge_back $ libs_too))
+           $ max_ops $ max_faults $ no_enlarge $ merge_back $ libs_too $ verbose))
   in
   let info =
     Cmd.info "bisac" ~doc:"MiniC compiler for the block-structured ISA toolchain"

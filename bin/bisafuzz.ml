@@ -83,6 +83,7 @@ let inject ~pool ~seed =
     Ok ()
 
 let run mode seed count jobs =
+ Bisa_cli.Driver.guard ~component:"bisafuzz" @@ fun () ->
   Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
   let steps =
     match mode with
@@ -102,10 +103,7 @@ let run mode seed count jobs =
       match step () with Ok () -> go rest | Error msg -> `Error (false, msg)
     end
   in
-  try go steps with
-  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
+  go steps
 
 let () =
   let open Cmdliner in
@@ -119,22 +117,14 @@ let () =
           ~doc:"Campaign: diff (differential programs), decode (binary mutation), \
                 inject (front-end faults), or all.")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.") in
   let count =
     Arg.(
       value & opt int 200
       & info [ "count" ] ~doc:"Programs per differential campaign (decode runs 5x).")
   in
-  let jobs =
-    Arg.(
-      value
-      & opt int (Bisa_base.Pool.default_workers ())
-      & info [ "j"; "jobs" ]
-          ~doc:
-            "Worker domains the campaigns shard across (default: the machine's \
-             recommended domain count).  Findings are identical at every setting.")
+  let term =
+    Term.(ret (const run $ mode $ Bisa_cli.Args.seed ~default:42 $ count $ Bisa_cli.Args.jobs))
   in
-  let term = Term.(ret (const run $ mode $ seed $ count $ jobs)) in
   let info =
     Cmd.info "bisafuzz" ~doc:"Differential fuzzing and fault injection for the BSA toolchain"
   in

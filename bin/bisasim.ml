@@ -1,27 +1,11 @@
 (* The simulator driver: run a MiniC program (or built-in workload) on
-   either core, functionally or through the timing model. *)
+   either core, functionally or through the timing model, optionally
+   exporting pipeline events as a Chrome trace. *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let read_source path_or_name =
-  if Sys.file_exists path_or_name then (read_file path_or_name, [])
-  else begin
-    match Bisa_workloads.Workloads.find path_or_name with
-    | w -> (Bisa_workloads.Workloads.source w, w.library_funcs)
-    | exception Invalid_argument _ ->
-      raise
-        (Bisa_base.Diag.Fail
-           (Bisa_base.Diag.error ~component:"bisasim"
-              (Printf.sprintf
-                 "no such file, and not a workload name: %s (workloads: %s)"
-                 path_or_name
-                 (String.concat " " Bisa_workloads.Workloads.names))))
-  end
+module Driver = Bisa_cli.Driver
+module Args = Bisa_cli.Args
+module Pipeline = Bisa_timing.Pipeline
+module Trace = Bisa_obs.Trace
 
 type isa = Conv | Block
 
@@ -32,53 +16,38 @@ type loaded =
   | Lblock of Bisa_isa.Block_prog.t
   | Lsource of string * string list
 
-let load input =
-  if Filename.check_suffix input ".cbin" then Lconv (Bisa_isa.Encode.conv_of_bytes (read_file input))
+let load ?scale input =
+  if Filename.check_suffix input ".cbin" then
+    Lconv (Bisa_isa.Encode.conv_of_bytes (Driver.read_file input))
   else if Filename.check_suffix input ".bbin" then
-    Lblock (Bisa_isa.Encode.block_of_bytes (read_file input))
+    Lblock (Bisa_isa.Encode.block_of_bytes (Driver.read_file input))
   else begin
-    let src, libs = read_source input in
+    let src, libs = Driver.read_source ?scale ~component:"bisasim" input in
     Lsource (src, libs)
   end
 
-let cache_of_kb = function
-  | 0 -> None
-  | kb -> Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
+let pick opt what =
+  match opt with
+  | Some p -> p
+  | None ->
+    Bisa_base.Diag.fail ~component:"bisasim"
+      "this binary does not contain a %s executable" what
 
-(* Toolchain failures exit nonzero with one clean diagnostic line instead
-   of an uncaught-exception backtrace. *)
-let guard f =
-  try f () with
-  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_sim.Conv_exec.Runaway n ->
-    `Error (false, Bisa_base.Diag.render (Bisa_sim.Conv_exec.runaway_diag n))
-  | Bisa_sim.Block_exec.Runaway n ->
-    `Error (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.runaway_diag n))
-  | Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
-    `Error
-      (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested))
-
-let run input isa functional icache_kb perfect_pred show_output budget =
- guard @@ fun () ->
+let run input isa functional icache_kb perfect_pred show_output budget scale
+    trace_out trace_sample trace_validate timeline =
+ Driver.guard ~component:"bisasim" @@ fun () ->
   let conv_prog, block_prog =
-    match load input with
+    match load ?scale input with
     | Lconv p -> (Some p, None)
     | Lblock p -> (None, Some p)
     | Lsource (src, library_funcs) ->
       let c = Bisa_compiler.Compiler.compile ~library_funcs src in
       (Some c.conv, Some c.block)
   in
-  let pick opt what =
-    match opt with
-    | Some p -> p
-    | None -> invalid_arg ("this binary does not contain a " ^ what ^ " executable")
-  in
   let cfg =
     {
       Bisa_timing.Config.default with
-      icache = cache_of_kb icache_kb;
+      icache = Driver.cache_of_kb icache_kb;
       predictor = (if perfect_pred then Bisa_timing.Config.Perfect else Bisa_timing.Config.Real);
       op_budget = budget;
     }
@@ -90,18 +59,47 @@ let run input isa functional icache_kb perfect_pred show_output budget =
       | Block -> Bisa_sim.Block_exec.run (pick block_prog "block-structured") ~budget ()
     in
     if show_output then print_endline (Bisa_sim.Output.to_string out);
-    Printf.printf "%d dynamic operations, exit value %d\n" n out.ret
+    Printf.printf "%d dynamic operations, exit value %d\n" n out.ret;
+    `Ok ()
   end
   else begin
-    let m =
+    (* Both ISAs run through the one Pipeline.S contract; the ISA choice
+       only decides which implementation gets packed. *)
+    let (Pipeline.Packed ((module P), _) as packed) =
       match isa with
-      | Conv -> Bisa_timing.Conv_pipeline.run cfg (pick conv_prog "conventional")
-      | Block -> Bisa_timing.Block_pipeline.run cfg (pick block_prog "block-structured")
+      | Conv -> Pipeline.pack_conv (pick conv_prog "conventional")
+      | Block -> Pipeline.pack_block (pick block_prog "block-structured")
     in
-    let name = match isa with Conv -> "conventional" | Block -> "block-structured" in
-    print_endline (Bisa_timing.Metrics.summary ~name m)
-  end;
-  `Ok ()
+    let recorder =
+      if trace_out <> None || timeline then
+        Some (Trace.recorder ~sample:trace_sample ())
+      else None
+    in
+    let m, out = Pipeline.run_packed ?probe:(Option.map Trace.probe recorder) cfg packed in
+    if show_output then print_endline (Bisa_sim.Output.to_string out);
+    print_endline (Bisa_timing.Metrics.summary ~name:P.descr m);
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      (match trace_out with
+      | Some path ->
+        Trace.write_chrome_json ~process_name:("bisasim " ^ input) r path;
+        Printf.printf "wrote %s%s\n" path
+          (if Trace.dropped r > 0 then
+             Printf.sprintf " (%d events beyond the buffer cap dropped)" (Trace.dropped r)
+           else "");
+        if trace_validate then begin
+          match Trace.validate (Driver.read_file path) with
+          | Ok st ->
+            Printf.printf "trace OK: %d events (%d begin/%d end, %d instants, %d counter samples)\n"
+              st.events st.begins st.ends st.instants st.counter_events
+          | Error e ->
+            Bisa_base.Diag.fail ~component:"bisasim" "trace validation failed: %s" e
+        end
+      | None -> ());
+      if timeline then print_string (Trace.occupancy_timeline r));
+    `Ok ()
+  end
 
 let () =
   let open Cmdliner in
@@ -120,28 +118,30 @@ let () =
   let functional =
     Arg.(value & flag & info [ "functional" ] ~doc:"Functional execution only (no timing).")
   in
-  let icache_kb =
-    Arg.(value & opt int 16 & info [ "icache-kb" ] ~doc:"L1 icache size in KB; 0 = perfect.")
-  in
-  let perfect_pred =
-    Arg.(value & flag & info [ "perfect-pred" ] ~doc:"Use a perfect branch predictor.")
-  in
   let show_output =
     Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's output stream.")
   in
-  let budget =
+  let trace_validate =
     Arg.(
-      value
-      & opt int Bisa_timing.Config.default.op_budget
-      & info [ "budget" ]
-          ~doc:"Operation budget: a run retiring more dynamic operations than this \
-                exits with a runaway diagnostic instead of spinning forever.")
+      value & flag
+      & info [ "trace-validate" ]
+          ~doc:
+            "After writing $(b,--trace-out), re-read and validate it (field order, \
+             monotonic timestamps, matched begin/end pairs); exits nonzero on any \
+             violation.")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Print an ASCII window-occupancy timeline of the run.")
   in
   let term =
     Term.(
       ret
-        (const run $ input $ isa $ functional $ icache_kb $ perfect_pred $ show_output
-       $ budget))
+        (const run $ input $ isa $ functional $ Args.icache_kb $ Args.perfect_pred
+       $ show_output $ Args.budget $ Args.scale $ Args.trace_out $ Args.trace_sample
+       $ trace_validate $ timeline))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,20 +1,8 @@
 (* Regenerate every table and figure of the paper's evaluation (and the
    extra studies), optionally writing EXPERIMENTS.md. *)
 
-(* Toolchain failures exit nonzero with one clean diagnostic line instead
-   of an uncaught-exception backtrace. *)
-let guard f =
-  try f () with
-  | Bisa_compiler.Compiler.Compile_error d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_isa.Encode.Malformed d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_base.Diag.Fail d -> `Error (false, Bisa_base.Diag.render d)
-  | Bisa_sim.Conv_exec.Runaway n ->
-    `Error (false, Bisa_base.Diag.render (Bisa_sim.Conv_exec.runaway_diag n))
-  | Bisa_sim.Block_exec.Runaway n ->
-    `Error (false, Bisa_base.Diag.render (Bisa_sim.Block_exec.runaway_diag n))
-
 let run only scale paper_caches with_ablations out verbose jobs =
- guard @@ fun () ->
+ Bisa_cli.Driver.guard ~component:"experiments" @@ fun () ->
   Bisa_experiments.Harness.verbose := verbose;
   Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
   let h =
@@ -35,7 +23,16 @@ let run only scale paper_caches with_ablations out verbose jobs =
     in
     match only with
     | None -> all
-    | Some id -> List.filter (fun (r : Bisa_experiments.Figures.report) -> r.id = id) all
+    | Some id -> begin
+      (* An unknown id must fail loudly, not print an empty report. *)
+      match List.filter (fun (r : Bisa_experiments.Figures.report) -> r.id = id) all with
+      | [] ->
+        Bisa_base.Diag.fail ~component:"experiments"
+          "no experiment named %s (have: %s)" id
+          (String.concat " "
+             (List.map (fun (r : Bisa_experiments.Figures.report) -> r.id) all))
+      | picked -> picked
+    end
   in
   let buf = Buffer.create 65536 in
   List.iter
@@ -71,12 +68,6 @@ let () =
       & opt (some string) None
       & info [ "only" ] ~doc:"Run a single experiment (table1, table2, fig3..fig7, ...).")
   in
-  let scale =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "scale" ] ~doc:"Override every workload's iteration scale.")
-  in
   let paper_caches =
     Arg.(
       value & flag
@@ -93,18 +84,11 @@ let () =
       & info [ "out" ] ~doc:"Also write the report to this file.")
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log each simulation run.") in
-  let jobs =
-    Arg.(
-      value
-      & opt int (Bisa_base.Pool.default_workers ())
-      & info [ "j"; "jobs" ]
-          ~doc:
-            "Worker domains for the experiment grids (default: the machine's \
-             recommended domain count).  Output is byte-identical at every setting.")
-  in
   let term =
     Term.(
-      ret (const run $ only $ scale $ paper_caches $ with_ablations $ out $ verbose $ jobs))
+      ret
+        (const run $ only $ Bisa_cli.Args.scale $ paper_caches $ with_ablations $ out
+       $ verbose $ Bisa_cli.Args.jobs))
   in
   let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures" in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,5 +1,38 @@
 type series = { label : string; values : float list }
 
+let profile ~title ~unit_label ~values ?(width = 64) ?(height = 8) () =
+  let n = Array.length values in
+  if n = 0 then title ^ "  (no samples)\n"
+  else begin
+    let cols = max 1 (min width n) in
+    (* Mean-resample the series into [cols] columns. *)
+    let col = Array.make cols 0.0 and cnt = Array.make cols 0 in
+    Array.iteri
+      (fun i v ->
+        let c = i * cols / n in
+        col.(c) <- col.(c) +. v;
+        cnt.(c) <- cnt.(c) + 1)
+      values;
+    for c = 0 to cols - 1 do
+      if cnt.(c) > 0 then col.(c) <- col.(c) /. float_of_int cnt.(c)
+    done;
+    let vmax = Array.fold_left Float.max 0.0 col in
+    let vmax = if vmax <= 0.0 then 1.0 else vmax in
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf "%s  (y: %s)\n" title unit_label;
+    for row = height downto 1 do
+      let thresh = (float_of_int row -. 0.5) /. float_of_int height *. vmax in
+      Buffer.add_string buf
+        (if row = height then Printf.sprintf "%8.1f |" vmax else "         |");
+      for c = 0 to cols - 1 do
+        Buffer.add_char buf (if col.(c) >= thresh then '#' else ' ')
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Printf.bprintf buf "%8.1f +%s\n" 0.0 (String.make cols '-');
+    Buffer.contents buf
+  end
+
 let grouped_bars ~title ~unit_label ~groups ~series ?(width = 50) () =
   List.iter
     (fun s ->

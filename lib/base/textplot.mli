@@ -6,6 +6,19 @@
 
 type series = { label : string; values : float list }
 
+val profile :
+  title:string ->
+  unit_label:string ->
+  values:float array ->
+  ?width:int ->
+  ?height:int ->
+  unit ->
+  string
+(** [profile ~title ~unit_label ~values ()] renders a time series as an
+    ASCII column chart ([height] rows, default 8; at most [width] columns,
+    default 64 — longer series are mean-resampled).  Used for the
+    pipeline-occupancy timeline of the observability layer. *)
+
 val grouped_bars :
   title:string ->
   unit_label:string ->

@@ -1,0 +1,72 @@
+open Cmdliner
+
+let env var doc = Cmd.Env.info var ~doc
+
+let icache_kb =
+  Arg.(
+    value
+    & opt int 16
+    & info [ "icache-kb" ]
+        ~env:(env "BISA_ICACHE_KB" "Default for $(b,--icache-kb).")
+        ~doc:"L1 icache size in KB; 0 = perfect.")
+
+let perfect_pred =
+  Arg.(
+    value & flag
+    & info [ "perfect-pred" ]
+        ~env:(env "BISA_PERFECT_PRED" "Default for $(b,--perfect-pred).")
+        ~doc:"Use a perfect branch predictor.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int (Bisa_base.Pool.default_workers ())
+    & info [ "j"; "jobs" ]
+        ~env:(env "BISA_JOBS" "Default for $(b,--jobs).")
+        ~doc:
+          "Worker domains to shard across (default: the machine's recommended \
+           domain count).  Results are identical at every setting.")
+
+let seed ~default =
+  Arg.(
+    value & opt int default
+    & info [ "seed" ]
+        ~env:(env "BISA_SEED" "Default for $(b,--seed).")
+        ~doc:"Base RNG seed.")
+
+let scale =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ]
+        ~env:(env "BISA_SCALE" "Default for $(b,--scale).")
+        ~doc:"Override every workload's iteration scale.")
+
+let budget =
+  Arg.(
+    value
+    & opt int Bisa_timing.Config.default.op_budget
+    & info [ "budget" ]
+        ~env:(env "BISA_BUDGET" "Default for $(b,--budget).")
+        ~doc:
+          "Operation budget: a run retiring more dynamic operations than this \
+           exits with a runaway diagnostic instead of spinning forever.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~env:(env "BISA_TRACE_OUT" "Default for $(b,--trace-out).")
+        ~doc:
+          "Write pipeline events as Chrome trace_event JSON to this file (load \
+           in Perfetto or chrome://tracing).")
+
+let trace_sample =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ]
+        ~env:(env "BISA_TRACE_SAMPLE" "Default for $(b,--trace-sample).")
+        ~doc:
+          "Export every Nth fetch unit's trace events (default 1 = all); the \
+           event counters stay exact regardless of sampling.")

@@ -1,0 +1,35 @@
+(** Cmdliner flags shared across the toolchain's binaries.
+
+    One definition per flag keeps names, defaults, documentation, and
+    environment-variable fallbacks identical everywhere: every flag here
+    can also be set via a [BISA_*] variable (the command line wins), so CI
+    and benchmark scripts can pin a configuration without editing each
+    invocation. *)
+
+val icache_kb : int Cmdliner.Term.t
+(** [--icache-kb] / [BISA_ICACHE_KB]: L1 icache size in KB, 0 = perfect
+    (default 16).  Interpret with {!Driver.cache_of_kb}. *)
+
+val perfect_pred : bool Cmdliner.Term.t
+(** [--perfect-pred] / [BISA_PERFECT_PRED]: perfect branch prediction. *)
+
+val jobs : int Cmdliner.Term.t
+(** [-j]/[--jobs] / [BISA_JOBS]: worker-domain count (default: the
+    machine's recommended count). *)
+
+val seed : default:int -> int Cmdliner.Term.t
+(** [--seed] / [BISA_SEED]: base RNG seed. *)
+
+val scale : int option Cmdliner.Term.t
+(** [--scale] / [BISA_SCALE]: override workload iteration scale. *)
+
+val budget : int Cmdliner.Term.t
+(** [--budget] / [BISA_BUDGET]: dynamic-operation runaway budget. *)
+
+val trace_out : string option Cmdliner.Term.t
+(** [--trace-out] / [BISA_TRACE_OUT]: write a Chrome trace_event JSON
+    file of pipeline events (open in Perfetto / [chrome://tracing]). *)
+
+val trace_sample : int Cmdliner.Term.t
+(** [--trace-sample] / [BISA_TRACE_SAMPLE]: export every Nth fetch unit's
+    events (default 1 = all); counters stay exact regardless. *)

@@ -1,0 +1,33 @@
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_source ?scale ~component path_or_name =
+  if Sys.file_exists path_or_name then (read_file path_or_name, [])
+  else begin
+    match Bisa_workloads.Workloads.find path_or_name with
+    | w -> (Bisa_workloads.Workloads.source ?scale w, w.library_funcs)
+    | exception Invalid_argument _ ->
+      Bisa_base.Diag.fail ~component
+        "no such file, and not a workload name: %s (workloads: %s)" path_or_name
+        (String.concat " " Bisa_workloads.Workloads.names)
+  end
+
+let cache_of_kb = function
+  | 0 -> None
+  | kb -> Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
+
+let guard ~component f =
+  let render d = `Error (false, Bisa_base.Diag.render d) in
+  try f () with
+  | Bisa_compiler.Compiler.Compile_error d -> render d
+  | Bisa_isa.Encode.Malformed d -> render d
+  | Bisa_base.Diag.Fail d -> render d
+  | Bisa_sim.Conv_exec.Runaway n -> render (Bisa_sim.Conv_exec.runaway_diag n)
+  | Bisa_sim.Block_exec.Runaway n -> render (Bisa_sim.Block_exec.runaway_diag n)
+  | Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
+    render (Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested)
+  | Sys_error msg -> render (Bisa_base.Diag.error ~component msg)

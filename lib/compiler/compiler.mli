@@ -18,11 +18,16 @@ exception Compile_error of Bisa_base.Diag.t
     as a structured diagnostic with a source location when available. *)
 
 val frontend :
-  ?library_funcs:string list -> string -> Bisa_frontend.Typed.tprogram * Bisa_ir.Ir.program
+  ?spans:Bisa_obs.Span.t ->
+  ?library_funcs:string list ->
+  string ->
+  Bisa_frontend.Typed.tprogram * Bisa_ir.Ir.program
 (** Parse, type check and lower.  Raises {!Compile_error} with a located
-    message on bad input. *)
+    message on bad input.  [spans], when given, collects per-phase
+    wall-clock timings ([bisac -v] prints them). *)
 
 val compile :
+  ?spans:Bisa_obs.Span.t ->
   ?opt:Bisa_opt.Pipeline.level ->
   ?enlarge:Bisa_backend.Enlarge.config ->
   ?inline:bool ->

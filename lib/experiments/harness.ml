@@ -132,13 +132,13 @@ let compiled t (w : Workloads.t) =
 
 let predecoded_conv t (w : Workloads.t) =
   memoize t t.pre_conv_cache w.name
-    ~label:("predecode:" ^ w.name ^ "/conv")
-    ~compute:(fun () -> Bisa_timing.Predecode.of_conv (compiled t w).conv)
+    ~label:("predecode:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Conv.isa)
+    ~compute:(fun () -> Bisa_timing.Pipeline.Conv.predecode (compiled t w).conv)
 
 let predecoded_block t (w : Workloads.t) =
   memoize t t.pre_block_cache w.name
-    ~label:("predecode:" ^ w.name ^ "/block")
-    ~compute:(fun () -> Bisa_timing.Predecode.of_block (compiled t w).block)
+    ~label:("predecode:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Block.isa)
+    ~compute:(fun () -> Bisa_timing.Pipeline.Block.predecode (compiled t w).block)
 
 let key_of (cfg : Config.t) : cache_key =
   ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
@@ -156,10 +156,22 @@ let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
         (match cfg.predictor with Config.Real -> "real" | Config.Perfect -> "perfect");
       f (compiled t w))
 
+(* Both ISAs run through the one [Pipeline.S] contract; only the program
+   accessor and the predecode memo table differ per instantiation. *)
+let run_pipe (type p tb) t
+    (module P : Bisa_timing.Pipeline.S with type prog = p and type tables = tb)
+    ~(prog_of : Bisa_compiler.Compiler.compiled -> p)
+    ~(tables : Workloads.t -> tb) (w : Workloads.t) cfg =
+  run t w cfg ~isa:P.isa ~f:(fun c -> P.run ~tables:(tables w) cfg (prog_of c))
+
 let run_conv t w cfg =
-  run t w cfg ~isa:"conv" ~f:(fun c ->
-      Bisa_timing.Conv_pipeline.run ~tables:(predecoded_conv t w) cfg c.conv)
+  run_pipe t
+    (module Bisa_timing.Pipeline.Conv)
+    ~prog_of:(fun c -> c.Bisa_compiler.Compiler.conv)
+    ~tables:(predecoded_conv t) w cfg
 
 let run_block t w cfg =
-  run t w cfg ~isa:"block" ~f:(fun c ->
-      Bisa_timing.Block_pipeline.run ~tables:(predecoded_block t w) cfg c.block)
+  run_pipe t
+    (module Bisa_timing.Pipeline.Block)
+    ~prog_of:(fun c -> c.Bisa_compiler.Compiler.block)
+    ~tables:(predecoded_block t) w cfg

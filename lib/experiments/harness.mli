@@ -43,11 +43,22 @@ val predecoded_conv : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.t
 
 val predecoded_block : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.blocks
 
+val run_pipe :
+  t ->
+  (module Bisa_timing.Pipeline.S with type prog = 'p and type tables = 'tb) ->
+  prog_of:(Bisa_compiler.Compiler.compiled -> 'p) ->
+  tables:(Bisa_workloads.Workloads.t -> 'tb) ->
+  Bisa_workloads.Workloads.t ->
+  Bisa_timing.Config.t ->
+  Bisa_timing.Metrics.t
+(** Timing run through any {!Bisa_timing.Pipeline.S} implementation,
+    memoized on (benchmark, [P.isa], icache, predictor).  Safe to call
+    concurrently from pool workers; a given cell compiles and simulates
+    exactly once.  {!run_conv} and {!run_block} are its two standard
+    instantiations. *)
+
 val run_conv :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t
-(** Timing run, memoized on (benchmark, icache, predictor).  Safe to call
-    concurrently from pool workers; a given cell compiles and simulates
-    exactly once. *)
 
 val run_block :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t

@@ -1,0 +1,46 @@
+module Histogram = Bisa_base.Stats.Histogram
+
+type counter = { name : string; mutable n : int }
+
+type t = {
+  by_name : (string, counter) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { by_name = Hashtbl.create 32; hists = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some c -> c
+  | None ->
+    let c = { name; n = 0 } in
+    Hashtbl.add t.by_name name c;
+    c
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let set c v = c.n <- v
+let value c = c.n
+
+let histogram t ?(buckets = 64) name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ~buckets in
+    Hashtbl.add t.hists name h;
+    h
+
+let find t name = Option.map (fun c -> c.n) (Hashtbl.find_opt t.by_name name)
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) t.by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render t =
+  counters t
+  |> List.map (fun (name, n) -> Printf.sprintf "%-24s %d" name n)
+  |> String.concat "\n"

@@ -1,0 +1,39 @@
+(** A registry of named counters and histograms.
+
+    Replaces ad-hoc record-field plumbing for new statistics: a consumer
+    interns a counter once ([counter reg "tc_hits"]) and bumps it through
+    the returned handle — adding a counter never touches a signature, and
+    exporters enumerate whatever the run happened to record.
+
+    Handles are plain mutable cells: [incr]/[add] are branch-free field
+    updates, safe on hot paths.  A registry belongs to one run on one
+    domain; it is not synchronized. *)
+
+type t
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Intern [name], creating it at zero on first use. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : counter -> int -> unit
+val value : counter -> int
+
+val histogram : t -> ?buckets:int -> string -> Bisa_base.Stats.Histogram.t
+(** Intern a histogram ([buckets] defaults to 64; ignored when the name
+    already exists). *)
+
+val find : t -> string -> int option
+(** The current value of counter [name], if it was ever interned. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : t -> (string * Bisa_base.Stats.Histogram.t) list
+(** All histograms, sorted by name. *)
+
+val render : t -> string
+(** One [name value] line per counter, sorted — for verbose CLI output. *)

@@ -1,0 +1,21 @@
+type t = { mutable spans : (string * float) list (* newest first *) }
+
+let create () = { spans = [] }
+
+let time t name f =
+  match t with
+  | None -> f ()
+  | Some t ->
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    t.spans <- (name, Unix.gettimeofday () -. t0) :: t.spans;
+    v
+
+let list t = List.rev t.spans
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.spans
+
+let render t =
+  let lines =
+    List.map (fun (name, s) -> Printf.sprintf "  %-24s %8.2f ms" name (1000.0 *. s)) (list t)
+  in
+  String.concat "\n" (lines @ [ Printf.sprintf "  %-24s %8.2f ms" "total" (1000.0 *. total t) ])

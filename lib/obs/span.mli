@@ -1,0 +1,23 @@
+(** Wall-clock phase spans, for [bisac -v]-style phase timing.
+
+    A collector accumulates named (phase, seconds) spans in execution
+    order.  Instrumented code takes a [t option] and calls {!time}; with
+    [None] the cost is one branch, so library entry points can expose
+    [?spans] without a fast-path tax. *)
+
+type t
+
+val create : unit -> t
+
+val time : t option -> string -> (unit -> 'a) -> 'a
+(** [time spans name f] runs [f], recording its wall-clock duration
+    under [name] when [spans] is [Some _].  Re-raises whatever [f]
+    raises (the span is dropped). *)
+
+val list : t -> (string * float) list
+(** Recorded (name, seconds) spans, oldest first. *)
+
+val total : t -> float
+
+val render : t -> string
+(** One right-aligned [name  12.3 ms] line per span plus a total line. *)

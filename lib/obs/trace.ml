@@ -1,0 +1,671 @@
+(* Growable int vector: the recorder's only storage primitive, so tracing
+   allocates amortized O(1) words per recorded event and nothing per
+   skipped one. *)
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 256 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let b = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 b 0 v.n;
+      v.a <- b
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let get v i = v.a.(i)
+  let len v = v.n
+end
+
+let max_lanes = 64
+let instant_tid = max_lanes (* control track, above every window-slot lane *)
+let counter_tid = max_lanes + 1
+
+type t = {
+  sample : int;
+  max_events : int;
+  reg : Registry.t;
+  c_units : Registry.counter;
+  c_retired_blocks : Registry.counter;
+  c_retired_ops : Registry.counter;
+  c_squashed_blocks : Registry.counter;
+  c_squashed_ops : Registry.counter;
+  c_mispredicts : Registry.counter;
+  c_fault_redirects : Registry.counter;
+  c_predictions : Registry.counter;
+  c_predict_wrong : Registry.counter;
+  c_ica : Registry.counter;
+  c_icm : Registry.counter;
+  c_dca : Registry.counter;
+  c_dcm : Registry.counter;
+  c_btb_lookups : Registry.counter;
+  c_btb_hits : Registry.counter;
+  c_tc_lookups : Registry.counter;
+  c_tc_hits : Registry.counter;
+  c_tc_served : Registry.counter;
+  (* the fetch unit between its start and retire hooks *)
+  mutable pend_cycle : int;
+  mutable pend_addr : int;
+  mutable pend_ops : int;
+  mutable pend_live : bool;
+  mutable unit_idx : int;
+  mutable sampling_unit : bool;
+  mutable redirect_idx : int;
+  mutable squash_idx : int;
+  (* recorded spans (one fetch unit each) *)
+  sp_b : Vec.t;
+  sp_e : Vec.t;
+  sp_addr : Vec.t;
+  sp_ops : Vec.t;
+  sp_committed : Vec.t;
+  sp_lane : Vec.t;
+  (* instants: kind 0 = redirect/mispredict, 1 = redirect/fault-squash,
+     2 = squash; [a]/[b] are kind-specific payloads *)
+  in_ts : Vec.t;
+  in_kind : Vec.t;
+  in_a : Vec.t;
+  in_b : Vec.t;
+  (* window-occupancy counter samples *)
+  oc_ts : Vec.t;
+  oc_v : Vec.t;
+  (* per-track monotonicity clamps and span lane allocation *)
+  mutable last_instant_ts : int;
+  mutable last_counter_ts : int;
+  lane_end : int array;
+  mutable nlanes : int;
+  mutable dropped : int;
+}
+
+let recorder ?(sample = 1) ?(max_events = 1_000_000) () =
+  if sample < 1 then invalid_arg "Trace.recorder: sample < 1";
+  let reg = Registry.create () in
+  let c = Registry.counter reg in
+  {
+    sample;
+    max_events;
+    reg;
+    c_units = c "fetch_units";
+    c_retired_blocks = c "retired_blocks";
+    c_retired_ops = c "retired_ops";
+    c_squashed_blocks = c "squashed_blocks";
+    c_squashed_ops = c "squashed_ops";
+    c_mispredicts = c "mispredicts";
+    c_fault_redirects = c "fault_squash_redirects";
+    c_predictions = c "predictions";
+    c_predict_wrong = c "predict_wrong";
+    c_ica = c "icache_accesses";
+    c_icm = c "icache_misses";
+    c_dca = c "dcache_accesses";
+    c_dcm = c "dcache_misses";
+    c_btb_lookups = c "btb_lookups";
+    c_btb_hits = c "btb_hits";
+    c_tc_lookups = c "tc_lookups";
+    c_tc_hits = c "tc_hits";
+    c_tc_served = c "tc_served_ops";
+    pend_cycle = 0;
+    pend_addr = 0;
+    pend_ops = 0;
+    pend_live = false;
+    unit_idx = 0;
+    sampling_unit = false;
+    redirect_idx = 0;
+    squash_idx = 0;
+    sp_b = Vec.create ();
+    sp_e = Vec.create ();
+    sp_addr = Vec.create ();
+    sp_ops = Vec.create ();
+    sp_committed = Vec.create ();
+    sp_lane = Vec.create ();
+    in_ts = Vec.create ();
+    in_kind = Vec.create ();
+    in_a = Vec.create ();
+    in_b = Vec.create ();
+    oc_ts = Vec.create ();
+    oc_v = Vec.create ();
+    last_instant_ts = 0;
+    last_counter_ts = 0;
+    lane_end = Array.make max_lanes min_int;
+    nlanes = 0;
+    dropped = 0;
+  }
+
+let registry t = t.reg
+let counts t = Registry.counters t.reg
+let dropped t = t.dropped
+
+(* Lay a [b, e) span on the first lane free by [b]; overflowing spans are
+   clamped onto the soonest-free lane so per-lane timestamps (and B/E
+   nesting) stay monotonic no matter what the pipeline emits. *)
+let lane_for t b e =
+  let rec find i =
+    if i >= t.nlanes then -1 else if t.lane_end.(i) <= b then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then begin
+    t.lane_end.(i) <- e;
+    (i, b, e)
+  end
+  else if t.nlanes < max_lanes then begin
+    let i = t.nlanes in
+    t.nlanes <- i + 1;
+    t.lane_end.(i) <- e;
+    (i, b, e)
+  end
+  else begin
+    let best = ref 0 in
+    for i = 1 to t.nlanes - 1 do
+      if t.lane_end.(i) < t.lane_end.(!best) then best := i
+    done;
+    let b = max b t.lane_end.(!best) in
+    let e = max e b in
+    t.lane_end.(!best) <- e;
+    (!best, b, e)
+  end
+
+let record_span t ~retire ~committed =
+  t.pend_live <- false;
+  if Vec.len t.sp_b < t.max_events then begin
+    let b = t.pend_cycle in
+    let e = max retire (b + 1) in
+    let lane, b, e = lane_for t b e in
+    Vec.push t.sp_b b;
+    Vec.push t.sp_e e;
+    Vec.push t.sp_addr t.pend_addr;
+    Vec.push t.sp_ops t.pend_ops;
+    Vec.push t.sp_committed (if committed then 1 else 0);
+    Vec.push t.sp_lane lane
+  end
+  else t.dropped <- t.dropped + 1
+
+let record_instant t ~ts ~kind ~a ~b =
+  if Vec.len t.in_ts < t.max_events then begin
+    let ts = max ts t.last_instant_ts in
+    t.last_instant_ts <- ts;
+    Vec.push t.in_ts ts;
+    Vec.push t.in_kind kind;
+    Vec.push t.in_a a;
+    Vec.push t.in_b b
+  end
+  else t.dropped <- t.dropped + 1
+
+let probe t =
+  {
+    Probe.unit_start =
+      (fun ~cycle ~addr ~ops ->
+        Registry.incr t.c_units;
+        t.sampling_unit <- t.unit_idx mod t.sample = 0;
+        t.unit_idx <- t.unit_idx + 1;
+        if t.sampling_unit then begin
+          t.pend_cycle <- cycle;
+          t.pend_addr <- addr;
+          t.pend_ops <- ops;
+          t.pend_live <- true
+        end);
+    unit_retire =
+      (fun ~dispatch:_ ~resolve:_ ~retire ~ops ~committed ->
+        if committed then begin
+          Registry.incr t.c_retired_blocks;
+          Registry.add t.c_retired_ops ops
+        end
+        else begin
+          Registry.incr t.c_squashed_blocks;
+          Registry.add t.c_squashed_ops ops
+        end;
+        if t.pend_live then record_span t ~retire ~committed);
+    predict =
+      (fun ~pc:_ ~correct ->
+        Registry.incr t.c_predictions;
+        if not correct then Registry.incr t.c_predict_wrong);
+    redirect =
+      (fun ~cycle ~until ~cause ->
+        Registry.incr t.c_mispredicts;
+        let kind =
+          match cause with
+          | Probe.Mispredict -> 0
+          | Probe.Fault_squash ->
+            Registry.incr t.c_fault_redirects;
+            1
+        in
+        if t.redirect_idx mod t.sample = 0 then
+          record_instant t ~ts:cycle ~kind ~a:until ~b:0;
+        t.redirect_idx <- t.redirect_idx + 1);
+    squash =
+      (fun ~cycle ~block ~ops ->
+        if t.squash_idx mod t.sample = 0 then
+          record_instant t ~ts:cycle ~kind:2 ~a:block ~b:ops;
+        t.squash_idx <- t.squash_idx + 1);
+    icache_access =
+      (fun ~addr:_ ~hit ->
+        Registry.incr t.c_ica;
+        if not hit then Registry.incr t.c_icm);
+    dcache_access =
+      (fun ~addr:_ ~hit ->
+        Registry.incr t.c_dca;
+        if not hit then Registry.incr t.c_dcm);
+    btb_lookup =
+      (fun ~key:_ ~hit ->
+        Registry.incr t.c_btb_lookups;
+        if hit then Registry.incr t.c_btb_hits);
+    tc_lookup =
+      (fun ~start:_ ~hit ->
+        Registry.incr t.c_tc_lookups;
+        if hit then Registry.incr t.c_tc_hits);
+    tc_serve = (fun ~ops -> Registry.add t.c_tc_served ops);
+    occupancy =
+      (fun ~cycle ~ops ->
+        if t.sampling_unit then begin
+          if Vec.len t.oc_ts < t.max_events then begin
+            let ts = max cycle t.last_counter_ts in
+            t.last_counter_ts <- ts;
+            Vec.push t.oc_ts ts;
+            Vec.push t.oc_v ops
+          end
+          else t.dropped <- t.dropped + 1
+        end);
+  }
+
+(* --- Chrome trace_event export ------------------------------------- *)
+
+(* Every event is emitted with its fields in one canonical order
+   (name, cat, ph, ts, pid, tid, s, args — optional ones omitted, never
+   reordered); the golden trace test checks this stays true. *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let meta buf ~name ~tid ~value =
+  Buffer.add_string buf "{\"name\":\"";
+  add_escaped buf name;
+  Buffer.add_string buf "\",\"ph\":\"M\",\"pid\":1";
+  (match tid with
+  | Some tid -> Buffer.add_string buf (Printf.sprintf ",\"tid\":%d" tid)
+  | None -> ());
+  Buffer.add_string buf ",\"args\":{\"name\":\"";
+  add_escaped buf value;
+  Buffer.add_string buf "\"}}"
+
+let to_chrome_json ?(process_name = "bisa") t =
+  let buf = Buffer.create (65536 + (64 * Vec.len t.sp_b)) in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "  "
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  sep ();
+  meta buf ~name:"process_name" ~tid:None ~value:process_name;
+  for lane = 0 to t.nlanes - 1 do
+    sep ();
+    meta buf ~name:"thread_name" ~tid:(Some lane) ~value:(Printf.sprintf "window slot %d" lane)
+  done;
+  sep ();
+  meta buf ~name:"thread_name" ~tid:(Some instant_tid) ~value:"control";
+  for i = 0 to Vec.len t.sp_b - 1 do
+    let lane = Vec.get t.sp_lane i in
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"unit\",\"cat\":\"fetch\",\"ph\":\"B\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"addr\":%d,\"ops\":%d}}"
+         (Vec.get t.sp_b i) lane (Vec.get t.sp_addr i) (Vec.get t.sp_ops i));
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"unit\",\"cat\":\"fetch\",\"ph\":\"E\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"committed\":%d}}"
+         (Vec.get t.sp_e i) lane (Vec.get t.sp_committed i))
+  done;
+  for i = 0 to Vec.len t.in_ts - 1 do
+    sep ();
+    let ts = Vec.get t.in_ts i in
+    (match Vec.get t.in_kind i with
+    | 0 | 1 ->
+      let cause = if Vec.get t.in_kind i = 0 then "mispredict" else "fault-squash" in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"redirect\",\"cat\":\"control\",\"ph\":\"i\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"until\":%d,\"cause\":\"%s\"}}"
+           ts instant_tid (Vec.get t.in_a i) cause)
+    | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"squash\",\"cat\":\"control\",\"ph\":\"i\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"block\":%d,\"ops\":%d}}"
+           ts instant_tid (Vec.get t.in_a i) (Vec.get t.in_b i)))
+  done;
+  for i = 0 to Vec.len t.oc_ts - 1 do
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"window-ops\",\"cat\":\"window\",\"ph\":\"C\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"ops\":%d}}"
+         (Vec.get t.oc_ts i) counter_tid (Vec.get t.oc_v i))
+  done;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome_json ?process_name t path =
+  let oc = open_out_bin path in
+  output_string oc (to_chrome_json ?process_name t);
+  close_out oc
+
+let occupancy_timeline ?(width = 64) ?(height = 8) t =
+  let n = Vec.len t.oc_ts in
+  if n = 0 then "window occupancy  (no samples; was tracing enabled?)\n"
+  else begin
+    let t0 = Vec.get t.oc_ts 0 and t1 = Vec.get t.oc_ts (n - 1) in
+    let span = max 1 (t1 - t0) in
+    let cols = max 1 (min width n) in
+    let sum = Array.make cols 0.0 and cnt = Array.make cols 0 in
+    for i = 0 to n - 1 do
+      let c = min (cols - 1) ((Vec.get t.oc_ts i - t0) * cols / span) in
+      sum.(c) <- sum.(c) +. float_of_int (Vec.get t.oc_v i);
+      cnt.(c) <- cnt.(c) + 1
+    done;
+    let values =
+      Array.init cols (fun c -> if cnt.(c) = 0 then 0.0 else sum.(c) /. float_of_int cnt.(c))
+    in
+    Bisa_base.Textplot.profile
+      ~title:(Printf.sprintf "window occupancy, cycles %d..%d" t0 t1)
+      ~unit_label:"ops in flight" ~values ~width:cols ~height ()
+  end
+
+(* --- Chrome trace JSON validation ---------------------------------- *)
+
+(* A minimal JSON reader: enough to reparse our own exporter's output
+   (and anything structurally similar) without external dependencies. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c) in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          (* decoded code points are irrelevant to validation *)
+          for _ = 1 to 4 do
+            advance ()
+          done;
+          Buffer.add_char b '?'
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && numchar (peek ()) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Jstr (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (elements [])
+      end
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | _ -> parse_number () |> fun f -> Jnum f
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+type json_stats = {
+  events : int;
+  begins : int;
+  ends : int;
+  instants : int;
+  counter_events : int;
+  by_name : (string * int) list;
+}
+
+let canonical_fields = [ "name"; "cat"; "ph"; "ts"; "pid"; "tid"; "s"; "args" ]
+
+let field_rank k =
+  let rec go i = function
+    | [] -> -1
+    | f :: rest -> if f = k then i else go (i + 1) rest
+  in
+  go 0 canonical_fields
+
+let validate s =
+  match parse_json s with
+  | exception Bad msg -> Error ("JSON parse error: " ^ msg)
+  | Jobj top -> begin
+    match List.assoc_opt "traceEvents" top with
+    | Some (Jarr events) -> begin
+      let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+      let last_ts : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+      let names : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+      let begins = ref 0 and ends = ref 0 and instants = ref 0 and counters = ref 0 in
+      let count name =
+        match Hashtbl.find_opt names name with
+        | Some r -> incr r
+        | None -> Hashtbl.add names name (ref 1)
+      in
+      let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+      let check i ev =
+        match ev with
+        | Jobj fields ->
+          let rec ordered rank = function
+            | [] -> Ok ()
+            | (k, _) :: rest ->
+              let r = field_rank k in
+              if r < 0 then Error (Printf.sprintf "event %d: unknown field %S" i k)
+              else if r <= rank then
+                Error (Printf.sprintf "event %d: field %S out of canonical order" i k)
+              else ordered r rest
+          in
+          let* () = ordered (-1) fields in
+          let str k = match List.assoc_opt k fields with Some (Jstr v) -> Some v | _ -> None in
+          let num k =
+            match List.assoc_opt k fields with Some (Jnum v) -> Some (int_of_float v) | _ -> None
+          in
+          let* name =
+            match str "name" with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "event %d: missing name" i)
+          in
+          let* ph =
+            match str "ph" with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "event %d: missing ph" i)
+          in
+          if ph = "M" then Ok ()
+          else begin
+            let* ts =
+              match num "ts" with
+              | Some v -> Ok v
+              | None -> Error (Printf.sprintf "event %d: missing ts" i)
+            in
+            let tid = Option.value (num "tid") ~default:(-1) in
+            let last =
+              match Hashtbl.find_opt last_ts tid with
+              | Some r -> r
+              | None ->
+                let r = ref min_int in
+                Hashtbl.add last_ts tid r;
+                r
+            in
+            if ts < !last then
+              Error
+                (Printf.sprintf "event %d: non-monotonic ts %d (tid %d, last %d)" i ts tid !last)
+            else begin
+              last := ts;
+              let stack =
+                match Hashtbl.find_opt stacks tid with
+                | Some r -> r
+                | None ->
+                  let r = ref [] in
+                  Hashtbl.add stacks tid r;
+                  r
+              in
+              match ph with
+              | "B" ->
+                incr begins;
+                count name;
+                stack := name :: !stack;
+                Ok ()
+              | "E" -> begin
+                incr ends;
+                match !stack with
+                | top :: rest when top = name ->
+                  stack := rest;
+                  Ok ()
+                | top :: _ ->
+                  Error (Printf.sprintf "event %d: E %S closes B %S (tid %d)" i name top tid)
+                | [] -> Error (Printf.sprintf "event %d: E %S with no open B (tid %d)" i name tid)
+              end
+              | "i" ->
+                incr instants;
+                count name;
+                Ok ()
+              | "C" ->
+                incr counters;
+                count name;
+                Ok ()
+              | ph -> Error (Printf.sprintf "event %d: unsupported ph %S" i ph)
+            end
+          end
+        | _ -> Error (Printf.sprintf "event %d: not an object" i)
+      in
+      let rec walk i = function
+        | [] -> Ok ()
+        | ev :: rest -> ( match check i ev with Ok () -> walk (i + 1) rest | Error _ as e -> e)
+      in
+      match walk 0 events with
+      | Error _ as e -> e
+      | Ok () ->
+        let unbalanced =
+          Hashtbl.fold (fun tid stack acc -> if !stack <> [] then tid :: acc else acc) stacks []
+        in
+        if unbalanced <> [] then
+          Error
+            (Printf.sprintf "unbalanced B/E pairs on tid(s) %s"
+               (String.concat "," (List.map string_of_int (List.sort compare unbalanced))))
+        else
+          Ok
+            {
+              events = List.length events;
+              begins = !begins;
+              ends = !ends;
+              instants = !instants;
+              counter_events = !counters;
+              by_name =
+                Hashtbl.fold (fun name r acc -> (name, !r) :: acc) names []
+                |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+            }
+    end
+    | _ -> Error "top-level object has no traceEvents array"
+  end
+  | _ -> Error "top-level JSON value is not an object"

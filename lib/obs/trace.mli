@@ -1,0 +1,65 @@
+(** Event recorder and exporters for the pipeline probes.
+
+    A recorder owns a {!Probe.t} whose hooks (1) bump exact counters in a
+    {!Registry.t} for every event, and (2) buffer every [sample]-th fetch
+    unit's spans, redirects, squashes, and window-occupancy samples for
+    export.  Counters are always exact regardless of sampling; only the
+    exported event stream is thinned, so long runs stay bounded
+    ([--trace-sample N] on [bisasim]).
+
+    The Chrome exporter emits [trace_event]-format JSON (an object with a
+    ["traceEvents"] array) loadable in Perfetto / [chrome://tracing]:
+    fetch units become B/E span pairs laid out on reusable "window slot"
+    threads, redirects and squashes become instant events on a control
+    track, and window occupancy becomes a counter track.  Emission
+    guarantees stable field ordering, per-thread monotonic timestamps
+    (cycles as microseconds), and matched begin/end pairs — all checked
+    by {!validate}, which the [@trace-smoke] alias and the golden trace
+    test run on real output. *)
+
+type t
+
+val recorder : ?sample:int -> ?max_events:int -> unit -> t
+(** [sample] (default 1) records every [sample]-th fetch unit's events
+    for export; [max_events] (default 1_000_000) bounds each event class,
+    further events are counted as {!dropped}. *)
+
+val probe : t -> Probe.t
+(** The probe to pass to a pipeline [run].  One recorder observes one
+    run at a time; create a fresh recorder per run. *)
+
+val registry : t -> Registry.t
+(** Exact event counters, named to match {!val:Bisa_timing.Metrics}
+    fields where a correspondence exists ([fetch_units], [retired_ops],
+    [mispredicts], [icache_accesses], ...) plus probe-only counters
+    ([predictions], [btb_lookups], [tc_lookups], ...). *)
+
+val counts : t -> (string * int) list
+(** [Registry.counters (registry t)]. *)
+
+val dropped : t -> int
+(** Events not exported because [max_events] was reached. *)
+
+val to_chrome_json : ?process_name:string -> t -> string
+val write_chrome_json : ?process_name:string -> t -> string -> unit
+(** [write_chrome_json t path] writes {!to_chrome_json} to [path]. *)
+
+val occupancy_timeline : ?width:int -> ?height:int -> t -> string
+(** In-flight-ops-over-cycles ASCII chart ({!Bisa_base.Textplot.profile})
+    built from the recorded occupancy samples. *)
+
+type json_stats = {
+  events : int;  (** total entries of [traceEvents] *)
+  begins : int;
+  ends : int;
+  instants : int;
+  counter_events : int;
+  by_name : (string * int) list;
+      (** per-name counts of begin/instant/counter events (sorted) *)
+}
+
+val validate : string -> (json_stats, string) result
+(** Parse a Chrome-trace JSON string and check the exporter's contract:
+    known fields in stable order, per-thread monotonic timestamps, and
+    per-thread matched B/E pairs with equal names.  Returns category
+    statistics on success, a one-line reason on failure. *)

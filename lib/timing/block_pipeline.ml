@@ -3,8 +3,8 @@ module Block_exec = Bisa_sim.Block_exec
 module Cache = Bisa_uarch.Cache
 module Block_pred = Bisa_uarch.Block_pred
 
-let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
-    Metrics.t * Bisa_sim.Output.t =
+let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
+    (prog : Block_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
   let pd = match tables with Some t -> t | None -> Predecode.of_block prog in
@@ -12,6 +12,16 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
   Block_exec.set_budget exec cfg.op_budget;
   let icache = Option.map Cache.create cfg.icache in
   let pred = Block_pred.create cfg.block_pred prog in
+  (* One branch decides all event emission: with the null probe nothing
+     below this line behaves (or allocates) differently. *)
+  let tracing = not (Bisa_obs.Probe.is_null probe) in
+  if tracing then begin
+    Option.iter (fun c -> Cache.set_hook c probe.Bisa_obs.Probe.icache_access) icache;
+    Option.iter
+      (fun c -> Cache.set_hook c probe.Bisa_obs.Probe.dcache_access)
+      (Engine.dcache engine);
+    Block_pred.set_btb_hook pred probe.Bisa_obs.Probe.btb_lookup
+  end;
   let inj = cfg.inject in
   let next_fetch = ref 0 in
   (* The youngest committed block, its terminator's resolve time, its
@@ -38,8 +48,14 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
           match (cfg.predictor, !prev) with
           | Config.Perfect, _ | Config.Real, None -> req
           | Config.Real, Some (pblock, resolve, predicted, dir_taken) -> begin
+            let correct =
+              match predicted with
+              | Some p -> p = req || Block_prog.in_group prog ~rep:req p
+              | None -> false
+            in
+            if tracing then probe.Bisa_obs.Probe.predict ~pc:pblock ~correct;
             match predicted with
-            | Some p when p = req || Block_prog.in_group prog ~rep:req p -> p
+            | Some p when correct -> p
             | _ ->
               (* Direction-level misprediction: redirect at trap
                  resolution.  The refetch uses the deeper counters and BTB
@@ -48,6 +64,9 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
                  trap resolves). *)
               m.mispredicts <- m.mispredicts + 1;
               next_fetch := max !next_fetch (resolve + cfg.redirect_penalty);
+              if tracing then
+                probe.Bisa_obs.Probe.redirect ~cycle:resolve ~until:!next_fetch
+                  ~cause:Bisa_obs.Probe.Mispredict;
               let refetch =
                 match dir_taken with
                 | Some taken -> begin
@@ -92,6 +111,9 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
             if step.squashed then -1 else pd.Predecode.first.(step.block + 1) - 1
           in
           let nops = step.ops_executed + (if step.squashed then 0 else 1) in
+          if tracing then
+            probe.Bisa_obs.Probe.unit_start ~cycle:!fc
+              ~addr:prog.block_addr.(step.block) ~ops:nops;
           let want = !fc + cfg.decode_depth in
           let dispatch = Engine.admit engine ~want ~op_count:nops in
           let r =
@@ -99,6 +121,12 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
               pd.Predecode.tab ~lo ~len:step.ops_executed ~term
               ~mem_addrs:step.mem_addrs ~mem_off:0
           in
+          if tracing then begin
+            probe.Bisa_obs.Probe.occupancy ~cycle:r.retire
+              ~ops:(Engine.occupancy engine);
+            probe.Bisa_obs.Probe.unit_retire ~dispatch ~resolve:r.resolve
+              ~retire:r.retire ~ops:nops ~committed:(not step.squashed)
+          end;
           next_fetch := max (!fc + 1) (dispatch - cfg.decode_depth + 1);
           if step.squashed then begin
             m.squashed_blocks <- m.squashed_blocks + 1;
@@ -106,6 +134,12 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
             m.fault_squash_redirects <- m.fault_squash_redirects + 1;
             m.mispredicts <- m.mispredicts + 1;
             next_fetch := max !next_fetch (r.resolve + cfg.redirect_penalty);
+            if tracing then begin
+              probe.Bisa_obs.Probe.squash ~cycle:r.resolve ~block:step.block
+                ~ops:nops;
+              probe.Bisa_obs.Probe.redirect ~cycle:r.resolve ~until:!next_fetch
+                ~cause:Bisa_obs.Probe.Fault_squash
+            end;
             forced := true;
             (* The wrongly-fetched variant invalidates the in-flight
                prediction chain. *)
@@ -158,4 +192,4 @@ let run_full ?tables (cfg : Config.t) (prog : Block_prog.t) :
   | None -> ());
   (m, Block_exec.output exec)
 
-let run ?tables cfg prog = fst (run_full ?tables cfg prog)
+let run ?tables ?probe cfg prog = fst (run_full ?tables ?probe cfg prog)

@@ -19,10 +19,22 @@
     memoized table (see {!Predecode.of_block} and the experiment harness)
     to share one across many configurations. *)
 
-val run : ?tables:Predecode.blocks -> Config.t -> Bisa_isa.Block_prog.t -> Metrics.t
+(** [probe] (default {!Bisa_obs.Probe.null}) receives pipeline events —
+    fetch-unit start/retire, prediction outcomes, redirects, fault
+    squashes, cache/BTB activity, window occupancy.  The null probe is
+    free: one physical-equality test on entry disables every emission, so
+    the hot path is unchanged (checked by the allocation-budget test). *)
+
+val run :
+  ?tables:Predecode.blocks ->
+  ?probe:Bisa_obs.Probe.t ->
+  Config.t ->
+  Bisa_isa.Block_prog.t ->
+  Metrics.t
 
 val run_full :
   ?tables:Predecode.blocks ->
+  ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Block_prog.t ->
   Metrics.t * Bisa_sim.Output.t

@@ -91,8 +91,8 @@ module Recent = struct
     (!starts, !total)
 end
 
-let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
-    Metrics.t * Bisa_sim.Output.t =
+let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
+    (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
   let pd = match tables with Some t -> t | None -> Predecode.of_conv prog in
@@ -102,6 +102,16 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
   let icache = Option.map Cache.create cfg.icache in
   let tc = Option.map Trace_cache.create cfg.trace_cache in
   let pred = Conv_pred.create cfg.conv_pred in
+  (* One branch decides all event emission: with the null probe nothing
+     below this line behaves (or allocates) differently. *)
+  let tracing = not (Bisa_obs.Probe.is_null probe) in
+  if tracing then begin
+    Option.iter (fun c -> Cache.set_hook c probe.Bisa_obs.Probe.icache_access) icache;
+    Option.iter
+      (fun c -> Cache.set_hook c probe.Bisa_obs.Probe.dcache_access)
+      (Engine.dcache engine);
+    Conv_pred.set_btb_hook pred probe.Bisa_obs.Probe.btb_lookup
+  end;
   let inj = cfg.inject in
   let next_fetch = ref 0 in
   let recent =
@@ -126,8 +136,12 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
       | _ -> ())
     | _ -> ());
     m.fetch_units <- m.fetch_units + 1;
+    if tracing then
+      probe.Bisa_obs.Probe.unit_start ~cycle:!fc ~addr:pkt.start ~ops:pkt.count;
     let nchunks = (pkt.count + cfg.issue_width - 1) / cfg.issue_width in
     let last_resolve = ref 0 in
+    let first_dispatch = ref (-1) in
+    let last_unit_retire = ref 0 in
     for chunk = 0 to nchunks - 1 do
       let lo = chunk * cfg.issue_width in
       let hi = min pkt.count (lo + cfg.issue_width) in
@@ -138,11 +152,19 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
           ~len:(hi - lo) ~term:(-1) ~mem_addrs:pkt.mem_addrs ~mem_off:lo
       in
       last_resolve := r.resolve;
+      if !first_dispatch < 0 then first_dispatch := dispatch;
+      last_unit_retire := r.retire;
+      if tracing then
+        probe.Bisa_obs.Probe.occupancy ~cycle:r.retire ~ops:(Engine.occupancy engine);
       m.retired_ops <- m.retired_ops + (hi - lo);
       next_fetch := max (!fc + chunk + 1) (dispatch - cfg.decode_depth + 1)
     done;
     if not from_tc then next_fetch := max !next_fetch (!fc + 1);
     m.retired_blocks <- m.retired_blocks + 1;
+    if tracing then
+      probe.Bisa_obs.Probe.unit_retire ~dispatch:!first_dispatch
+        ~resolve:!last_resolve ~retire:!last_unit_retire ~ops:pkt.count
+        ~committed:true;
     Bisa_base.Stats.Histogram.add m.block_sizes pkt.count;
     let branch_pc = pkt.start + pkt.count - 1 in
     (* Injected BTB corruption: a bogus target for this pc.  The predictor
@@ -172,10 +194,22 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
     let forced_miss =
       match inj with Some i -> Bisa_uarch.Inject.flip_direction i | None -> false
     in
+    if
+      tracing
+      && cfg.predictor = Config.Real
+      && (match pkt.term with
+         | Conv_exec.Khalt | Conv_exec.Kfall -> false
+         | _ -> true)
+    then
+      probe.Bisa_obs.Probe.predict ~pc:branch_pc
+        ~correct:(verdict = Conv_pred.Correct);
     let ok = verdict = Conv_pred.Correct && not forced_miss in
     if not ok then begin
       m.mispredicts <- m.mispredicts + 1;
-      next_fetch := max !next_fetch (!last_resolve + cfg.redirect_penalty)
+      next_fetch := max !next_fetch (!last_resolve + cfg.redirect_penalty);
+      if tracing then
+        probe.Bisa_obs.Probe.redirect ~cycle:!last_resolve ~until:!next_fetch
+          ~cause:Bisa_obs.Probe.Mispredict
     end;
     (* Trace fill: remember this packet, and record the longest recent
        window that fits a trace-cache entry. *)
@@ -232,6 +266,10 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
         end
         | None -> []
       in
+      (match tc with
+      | Some _ when tracing ->
+        probe.Bisa_obs.Probe.tc_lookup ~start:p0.start ~hit:(followers <> [])
+      | _ -> ());
       let ok0 = process_packet ~from_tc:false p0 in
       if followers <> [] then begin
         m.tc_hits <- m.tc_hits + 1;
@@ -241,7 +279,10 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
         let tc_mode = ref ok0 in
         List.iter
           (fun p ->
-            if !tc_mode then m.tc_served_ops <- m.tc_served_ops + p.Conv_exec.count;
+            if !tc_mode then begin
+              m.tc_served_ops <- m.tc_served_ops + p.Conv_exec.count;
+              if tracing then probe.Bisa_obs.Probe.tc_serve ~ops:p.Conv_exec.count
+            end;
             let ok = process_packet ~from_tc:!tc_mode p in
             if not ok then tc_mode := false)
           followers
@@ -261,4 +302,4 @@ let run_full ?tables (cfg : Config.t) (prog : Conv_prog.t) :
   | None -> ());
   (m, Conv_exec.output exec)
 
-let run ?tables cfg prog = fst (run_full ?tables cfg prog)
+let run ?tables ?probe cfg prog = fst (run_full ?tables ?probe cfg prog)

@@ -11,10 +11,22 @@
     memoized table (see {!Predecode.of_conv} and the experiment harness)
     to share one across many configurations. *)
 
-val run : ?tables:Predecode.t -> Config.t -> Bisa_isa.Conv_prog.t -> Metrics.t
+(** [probe] (default {!Bisa_obs.Probe.null}) receives pipeline events —
+    fetch-unit start/retire, prediction outcomes, redirects, cache/BTB and
+    trace-cache activity, window occupancy.  The null probe is free: one
+    physical-equality test on entry disables every emission, so the hot
+    path is unchanged (checked by the allocation-budget test). *)
+
+val run :
+  ?tables:Predecode.t ->
+  ?probe:Bisa_obs.Probe.t ->
+  Config.t ->
+  Bisa_isa.Conv_prog.t ->
+  Metrics.t
 
 val run_full :
   ?tables:Predecode.t ->
+  ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Conv_prog.t ->
   Metrics.t * Bisa_sim.Output.t

@@ -227,3 +227,4 @@ let run_unit t ~dispatch ~commit (tp : Predecode.t) ~lo ~len ~term
   { resolve = !resolve; retire = retire_time }
 
 let last_retire t = t.last_retire_time
+let occupancy t = t.window_ops

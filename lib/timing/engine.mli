@@ -53,3 +53,7 @@ val run_unit :
 
 val last_retire : t -> int
 (** Retirement time of the youngest unit so far = total cycles when done. *)
+
+val occupancy : t -> int
+(** Operations currently booked in the instruction window (post-{!admit}
+    drain) — the observability layer's pipeline-occupancy signal. *)

@@ -41,6 +41,28 @@ let ipc t = Bisa_base.Stats.ratio t.retired_ops t.cycles
 let mispredict_rate_per_kop t =
   1000.0 *. Bisa_base.Stats.ratio t.mispredicts t.retired_ops
 
+let to_registry t reg =
+  let set name v = Bisa_obs.Registry.set (Bisa_obs.Registry.counter reg name) v in
+  set "cycles" t.cycles;
+  set "retired_ops" t.retired_ops;
+  set "retired_blocks" t.retired_blocks;
+  set "fetch_units" t.fetch_units;
+  set "squashed_blocks" t.squashed_blocks;
+  set "squashed_ops" t.squashed_ops;
+  set "mispredicts" t.mispredicts;
+  set "fault_squash_redirects" t.fault_squash_redirects;
+  set "icache_accesses" t.icache_accesses;
+  set "icache_misses" t.icache_misses;
+  set "dcache_accesses" t.dcache_accesses;
+  set "dcache_misses" t.dcache_misses;
+  set "tc_hits" t.tc_hits;
+  set "tc_served_ops" t.tc_served_ops;
+  let h = Bisa_obs.Registry.histogram reg ~buckets:64 "block_sizes" in
+  Bisa_base.Stats.Histogram.iter t.block_sizes (fun bucket n ->
+      for _ = 1 to n do
+        Bisa_base.Stats.Histogram.add h bucket
+      done)
+
 let summary ~name t =
   Printf.sprintf
     "%s: %d cycles, %d retired ops (IPC %.2f), mean block %.2f, %d mispredicts, %d \

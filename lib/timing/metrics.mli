@@ -19,6 +19,13 @@ type t = {
 }
 
 val create : unit -> t
+
+val to_registry : t -> Bisa_obs.Registry.t -> unit
+(** Publish every field into [reg] under its own field name ([cycles],
+    [retired_ops], ... plus the [block_sizes] histogram) — the bridge that
+    lets event counts from a {!Bisa_obs.Probe.t} be reconciled against the
+    aggregate statistics by name. *)
+
 val mean_block_size : t -> float
 val ipc : t -> float
 val mispredict_rate_per_kop : t -> float

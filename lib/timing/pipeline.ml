@@ -1,0 +1,48 @@
+module type S = sig
+  type prog
+  type tables
+
+  val isa : string
+  val descr : string
+  val predecode : prog -> tables
+
+  val run :
+    ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
+
+  val run_full :
+    ?tables:tables ->
+    ?probe:Bisa_obs.Probe.t ->
+    Config.t ->
+    prog ->
+    Metrics.t * Bisa_sim.Output.t
+end
+
+module Conv = struct
+  type prog = Bisa_isa.Conv_prog.t
+  type tables = Predecode.t
+
+  let isa = "conv"
+  let descr = "conventional"
+  let predecode = Predecode.of_conv
+  let run = Conv_pipeline.run
+  let run_full = Conv_pipeline.run_full
+end
+
+module Block = struct
+  type prog = Bisa_isa.Block_prog.t
+  type tables = Predecode.blocks
+
+  let isa = "block"
+  let descr = "block-structured"
+  let predecode = Predecode.of_block
+  let run = Block_pipeline.run
+  let run_full = Block_pipeline.run_full
+end
+
+type packed = Packed : (module S with type prog = 'p) * 'p -> packed
+
+let pack_conv prog = Packed ((module Conv), prog)
+let pack_block prog = Packed ((module Block), prog)
+
+let run_packed ?probe cfg (Packed ((module P), prog)) =
+  P.run_full ~tables:(P.predecode prog) ?probe cfg prog

@@ -1,0 +1,53 @@
+(** The one interface both timing pipelines implement.
+
+    The conventional and block-structured cores differ in program type,
+    predecode table, and fetch engine, but every consumer — the experiment
+    harness, [bisasim], the fuzzers — drives them identically: predecode
+    once, then run many configurations against the shared tables, with an
+    optional {!Bisa_obs.Probe.t} observing pipeline events.  {!S} captures
+    that contract; {!Conv} and {!Block} are the two implementations, and
+    {!packed} pairs an implementation with a program of its own type so a
+    CLI can select the ISA at runtime and still dispatch through one code
+    path. *)
+
+module type S = sig
+  type prog
+  type tables
+
+  val isa : string
+  (** Stable short name ("conv" / "block") — used in cache keys and
+      [--isa] values; never change it for a released pipeline. *)
+
+  val descr : string
+  (** Human-readable name for reports. *)
+
+  val predecode : prog -> tables
+  (** Build the program's predecoded op-template tables (one cheap pass;
+      memoize to share across configurations). *)
+
+  val run :
+    ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
+
+  val run_full :
+    ?tables:tables ->
+    ?probe:Bisa_obs.Probe.t ->
+    Config.t ->
+    prog ->
+    Metrics.t * Bisa_sim.Output.t
+end
+
+module Conv : S with type prog = Bisa_isa.Conv_prog.t and type tables = Predecode.t
+
+module Block :
+  S with type prog = Bisa_isa.Block_prog.t and type tables = Predecode.blocks
+
+type packed = Packed : (module S with type prog = 'p) * 'p -> packed
+(** A pipeline and a program it can run, with the program type hidden —
+    what a CLI holds after loading input for a user-chosen ISA. *)
+
+val pack_conv : Bisa_isa.Conv_prog.t -> packed
+val pack_block : Bisa_isa.Block_prog.t -> packed
+
+val run_packed :
+  ?probe:Bisa_obs.Probe.t -> Config.t -> packed -> Metrics.t * Bisa_sim.Output.t
+(** Predecode and run the packed program under [cfg]. *)

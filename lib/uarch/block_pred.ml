@@ -271,4 +271,9 @@ let corrupt_btb t ~block ~value =
   let e = Btb.find_or_insert t.btb block (fun () -> { slots = Array.make 8 (-1) }) in
   Array.fill e.slots 0 (Array.length e.slots) value
 
+let set_btb_hook t h =
+  Btb.set_hook t.btb h;
+  Btb.set_hook t.rbtb h;
+  Btb.set_hook t.ibtb h
+
 let lookups t = t.n_lookup

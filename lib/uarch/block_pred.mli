@@ -52,4 +52,8 @@ val corrupt_btb : t -> block:int -> value:int -> unit
     entry with [value].  Slots are fetch hints filtered by the pipeline's
     group check, so corruption costs mispredictions only. *)
 
+val set_btb_hook : t -> (key:int -> hit:bool -> unit) -> unit
+(** Observation hook on every lookup of the three target buffers (widened
+    successor BTB, region-entry BTB, indirect BTB; see {!Btb.set_hook}). *)
+
 val lookups : t -> int

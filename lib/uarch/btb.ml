@@ -1,6 +1,13 @@
 type 'a way = { mutable key : int; mutable payload : 'a option; mutable stamp : int }
 
-type 'a t = { sets : int; ways : 'a way array array; mutable tick : int }
+let null_hook ~key:_ ~hit:_ = ()
+
+type 'a t = {
+  sets : int;
+  ways : 'a way array array;
+  mutable tick : int;
+  mutable hook : key:int -> hit:bool -> unit;
+}
 
 let create ~sets ~ways =
   assert (sets > 0 && ways > 0);
@@ -10,7 +17,10 @@ let create ~sets ~ways =
       Array.init sets (fun _ ->
           Array.init ways (fun _ -> { key = -1; payload = None; stamp = 0 }));
     tick = 0;
+    hook = null_hook;
   }
+
+let set_hook t h = t.hook <- h
 
 let set_of t key = t.ways.(key mod t.sets)
 
@@ -25,7 +35,10 @@ let find t key =
     end
     else scan (i + 1)
   in
-  scan 0
+  let r = scan 0 in
+  if t.hook != null_hook then
+    t.hook ~key ~hit:(match r with Some _ -> true | None -> false);
+  r
 
 let insert t key payload =
   let set = set_of t key in

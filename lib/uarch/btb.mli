@@ -16,3 +16,8 @@ val insert : 'a t -> int -> 'a -> unit
 
 val find_or_insert : 'a t -> int -> (unit -> 'a) -> 'a
 val entries : 'a t -> int
+
+val set_hook : 'a t -> (key:int -> hit:bool -> unit) -> unit
+(** Observation hook called on every {!find} with the key and whether it
+    hit.  Purely observational; the default hook is free (skipped by a
+    physical-equality check). *)

@@ -5,6 +5,8 @@ let config_16k = { size_bytes = kb 16; assoc = 4; line_bytes = 32 }
 let config_32k = { size_bytes = kb 32; assoc = 4; line_bytes = 32 }
 let config_64k = { size_bytes = kb 64; assoc = 4; line_bytes = 32 }
 
+let null_hook ~addr:_ ~hit:_ = ()
+
 type t = {
   cfg : config;
   sets : int;
@@ -14,6 +16,7 @@ type t = {
   mutable tick : int;
   mutable n_access : int;
   mutable n_miss : int;
+  mutable hook : addr:int -> hit:bool -> unit;
 }
 
 let log2i n =
@@ -33,7 +36,10 @@ let create cfg =
     tick = 0;
     n_access = 0;
     n_miss = 0;
+    hook = null_hook;
   }
+
+let set_hook t h = t.hook <- h
 
 let access t addr =
   let line = addr lsr t.line_shift in
@@ -46,20 +52,24 @@ let access t addr =
     else if t.tags.(base + i) = tag then Some i
     else find (i + 1)
   in
-  match find 0 with
-  | Some i ->
-    t.lru.(base + i) <- t.tick;
-    true
-  | None ->
-    t.n_miss <- t.n_miss + 1;
-    (* Evict the least recently used way. *)
-    let victim = ref 0 in
-    for i = 1 to t.cfg.assoc - 1 do
-      if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
-    done;
-    t.tags.(base + !victim) <- tag;
-    t.lru.(base + !victim) <- t.tick;
-    false
+  let hit =
+    match find 0 with
+    | Some i ->
+      t.lru.(base + i) <- t.tick;
+      true
+    | None ->
+      t.n_miss <- t.n_miss + 1;
+      (* Evict the least recently used way. *)
+      let victim = ref 0 in
+      for i = 1 to t.cfg.assoc - 1 do
+        if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- tag;
+      t.lru.(base + !victim) <- t.tick;
+      false
+  in
+  if t.hook != null_hook then t.hook ~addr ~hit;
+  hit
 
 let access_range t addr len =
   assert (len >= 0);

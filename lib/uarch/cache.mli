@@ -33,3 +33,8 @@ val accesses : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
 val lines : t -> int
+
+val set_hook : t -> (addr:int -> hit:bool -> unit) -> unit
+(** Observation hook called once per line {!access} (so its call count
+    matches {!accesses} exactly).  Purely observational; the default hook
+    is free (skipped by a physical-equality check). *)

@@ -103,6 +103,7 @@ let on_indirect t ~pc ~target =
    compared against the architectural target, never fetched from, so a
    corrupt entry costs at most a Wrong_target redirect. *)
 let inject_btb t ~pc ~target = Btb.insert t.btb pc target
+let set_btb_hook t h = Btb.set_hook t.btb h
 
 let mispredicts t = t.n_miss
 let predictions t = t.n_pred

@@ -40,5 +40,8 @@ val inject_btb : t -> pc:int -> target:int -> unit
     Targets are hints (compared, never dereferenced), so the worst case is
     an extra [Wrong_target] misprediction. *)
 
+val set_btb_hook : t -> (key:int -> hit:bool -> unit) -> unit
+(** Observation hook on every BTB lookup (see {!Btb.set_hook}). *)
+
 val mispredicts : t -> int
 val predictions : t -> int

@@ -163,11 +163,60 @@ let test_allocation_budget () =
   if pc > alloc_bound then
     Alcotest.failf "conv pipeline allocates %.1f bytes/op (bound %.0f)" pc alloc_bound;
   if pb > alloc_bound then
-    Alcotest.failf "block pipeline allocates %.1f bytes/op (bound %.0f)" pb alloc_bound
+    Alcotest.failf "block pipeline allocates %.1f bytes/op (bound %.0f)" pb alloc_bound;
+  (* The observability layer's contract: passing the null probe explicitly
+     is indistinguishable from not tracing at all.  The runs must fit the
+     same budget (the executor's bytes/op jitters ~25 bytes run to run, so
+     a paired delta would flake; the zero-allocation property of the probe
+     itself is asserted exactly below). *)
+  let null_probe = Bisa_obs.Probe.null in
+  let pc' =
+    per_op (fun () ->
+        Bisa_timing.Conv_pipeline.run ~tables:conv_tables ~probe:null_probe
+          Config.default c.conv)
+  and pb' =
+    per_op (fun () ->
+        Bisa_timing.Block_pipeline.run ~tables:block_tables ~probe:null_probe
+          Config.default c.block)
+  in
+  if pc' > alloc_bound then
+    Alcotest.failf "conv + null probe allocates %.1f bytes/op (bound %.0f)" pc' alloc_bound;
+  if pb' > alloc_bound then
+    Alcotest.failf "block + null probe allocates %.1f bytes/op (bound %.0f)" pb' alloc_bound
+
+(* Invoking the null probe's hooks allocates nothing: all arguments are
+   immediates, so a million invocations of the full event set must not
+   move the allocation counter beyond the counter read's own boxed-float
+   result (one boxed argument or closure would cost >= 16MB here). *)
+let test_null_probe_zero_alloc () =
+  let p = Bisa_obs.Probe.null in
+  let fire i =
+    p.unit_start ~cycle:i ~addr:i ~ops:4;
+    p.predict ~pc:i ~correct:(i land 1 = 0);
+    p.icache_access ~addr:i ~hit:true;
+    p.dcache_access ~addr:i ~hit:false;
+    p.btb_lookup ~key:i ~hit:true;
+    p.tc_lookup ~start:i ~hit:false;
+    p.tc_serve ~ops:3;
+    p.occupancy ~cycle:i ~ops:7;
+    p.redirect ~cycle:i ~until:(i + 2) ~cause:Bisa_obs.Probe.Mispredict;
+    p.squash ~cycle:i ~block:i ~ops:5;
+    p.unit_retire ~dispatch:i ~resolve:(i + 1) ~retire:(i + 2) ~ops:4 ~committed:true
+  in
+  fire 0;
+  (* warm *)
+  let before = Gc.allocated_bytes () in
+  for i = 1 to 1_000_000 do
+    fire i
+  done;
+  let after = Gc.allocated_bytes () in
+  if after -. before > 64.0 then
+    Alcotest.failf "null probe allocated %.0f bytes over 1M event sets" (after -. before)
 
 let suite =
   [
     Alcotest.test_case "metrics byte-identical to pre-predecode goldens" `Slow
       test_golden_metrics;
     Alcotest.test_case "simulation allocation budget" `Quick test_allocation_budget;
+    Alcotest.test_case "null probe is allocation-free" `Quick test_null_probe_zero_alloc;
   ]

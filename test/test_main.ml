@@ -14,6 +14,7 @@ let () =
       ("sim", Test_sim.suite);
       ("uarch", Test_uarch.suite);
       ("timing", Test_timing.suite);
+      ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
