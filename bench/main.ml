@@ -112,7 +112,7 @@ let kernels ~smoke () =
 (* Minimal JSON emission (ints, floats, strings with benchmark-safe
    names) — not worth a dependency. *)
 let write_json ~file ~mode results =
-  let oc = open_out file in
+  Bisa_base.Atomic_file.write file @@ fun oc ->
   Printf.fprintf oc "{\n  \"schema\": \"bisa-bench/1\",\n  \"mode\": %S,\n  \"results\": [" mode;
   List.iteri
     (fun i (name, ns_per_run, ops) ->
@@ -126,8 +126,7 @@ let write_json ~file ~mode results =
       | _ -> ());
       output_string oc " }")
     results;
-  Printf.fprintf oc "\n  ]\n}\n";
-  close_out oc
+  Printf.fprintf oc "\n  ]\n}\n"
 
 let run_bechamel ~smoke ~json () =
   let open Bechamel in

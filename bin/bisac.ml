@@ -4,13 +4,26 @@ module Driver = Bisa_cli.Driver
 
 type emit = Ast | Ir | Mir | Conv | Block | Stats | Conv_bin | Block_bin
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+let write_file = Bisa_base.Atomic_file.write_string
+
+(* The post-link self-check: the compiler's own output must pass the same
+   static verifier the simulator applies at load.  Any diagnostic here is
+   a backend bug (enlarge/linker/regalloc), not a user error. *)
+let self_check (c : Bisa_compiler.Compiler.compiled) =
+  let diags =
+    Bisa_verify.Verify.conv_diags c.conv @ Bisa_verify.Verify.block_diags c.block
+  in
+  match diags with
+  | [] -> ()
+  | ds ->
+    List.iter (fun d -> prerr_endline (Bisa_base.Diag.render d)) ds;
+    Bisa_base.Diag.fail ~component:"bisac"
+      "post-link verification failed (%d diagnostic%s) — this is a compiler bug"
+      (List.length ds)
+      (if List.length ds = 1 then "" else "s")
 
 let run input emit output opt_level inline ifconvert max_ops max_faults no_enlarge
-    merge_back libs_too verbose =
+    merge_back libs_too verify verbose =
  Driver.guard ~component:"bisac" @@ fun () ->
   let src, library_funcs = Driver.read_source ~component:"bisac" input in
   let enlarge =
@@ -35,6 +48,7 @@ let run input emit output opt_level inline ifconvert max_ops max_faults no_enlar
         ~library_funcs src
     in
     report ();
+    if verify then self_check c;
     c
   in
   match emit with
@@ -149,6 +163,15 @@ let () =
   let libs_too =
     Arg.(value & flag & info [ "enlarge-libraries" ] ~doc:"Ablation: enlarge library code.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Post-link self-check: run the static well-formedness verifier on both \
+             compiled executables and exit nonzero (printing each diagnostic) if \
+             either is rejected.")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -158,7 +181,8 @@ let () =
   let term =
     Term.(
       ret (const run $ input $ emit $ output $ opt_level $ inline $ ifconvert
-           $ max_ops $ max_faults $ no_enlarge $ merge_back $ libs_too $ verbose))
+           $ max_ops $ max_faults $ no_enlarge $ merge_back $ libs_too $ verify
+           $ verbose))
   in
   let info =
     Cmd.info "bisac" ~doc:"MiniC compiler for the block-structured ISA toolchain"

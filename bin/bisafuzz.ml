@@ -7,7 +7,7 @@ module Oracle = Bisa_check.Oracle
 module Decode_fuzz = Bisa_check.Decode_fuzz
 module Faults = Bisa_check.Faults
 
-type mode = All | Diff | Decode | Inject
+type mode = All | Diff | Decode | Inject | Verify
 
 (* A fixed program with calls, loops, arrays and traps for the decode and
    injection campaigns (the differential campaign generates its own). *)
@@ -71,6 +71,32 @@ let decode ~pool ~seed ~count =
       Ok ()
   end
 
+(* The decode→verify→simulate trichotomy over mutated binaries of both
+   formats.  Splits the count across formats the same way `decode` does. *)
+let verify ~pool ~seed ~count =
+  let c = sample () in
+  let conv_img = Bisa_isa.Encode.conv_to_bytes c.conv in
+  let block_img = Bisa_isa.Encode.block_to_bytes c.block in
+  let show what (r : Decode_fuzz.trichotomy_report) =
+    Printf.printf
+      "verify (%s): %d mutants — %d decode-rejected, %d verify-rejected, %d \
+       simulated (%d machine-trapped), %d budget-stopped\n"
+      what r.t_mutants r.t_rejected_decode r.t_rejected_verify r.t_completed
+      r.t_trapped r.t_budgeted
+  in
+  match Decode_fuzz.trichotomy ~pool Decode_fuzz.Conv ~seed ~count conv_img with
+  | Error e -> Error ("verify trichotomy (conv): " ^ e)
+  | Ok rc -> begin
+    match
+      Decode_fuzz.trichotomy ~pool Decode_fuzz.Block ~seed:(seed + 1) ~count block_img
+    with
+    | Error e -> Error ("verify trichotomy (block): " ^ e)
+    | Ok rb ->
+      show "conv" rc;
+      show "block" rb;
+      Ok ()
+  end
+
 let inject ~pool ~seed =
   let c = sample () in
   match Faults.campaign ~seeds:[ seed; seed + 1; seed + 2 ] ~pool c with
@@ -91,10 +117,12 @@ let run mode seed count jobs =
       [
         (fun () -> diff ~pool ~seed ~count);
         (fun () -> decode ~pool ~seed ~count:(5 * count));
+        (fun () -> verify ~pool ~seed ~count:(5 * count));
         (fun () -> inject ~pool ~seed);
       ]
     | Diff -> [ (fun () -> diff ~pool ~seed ~count) ]
     | Decode -> [ (fun () -> decode ~pool ~seed ~count) ]
+    | Verify -> [ (fun () -> verify ~pool ~seed ~count) ]
     | Inject -> [ (fun () -> inject ~pool ~seed) ]
   in
   let rec go = function
@@ -111,11 +139,16 @@ let () =
     Arg.(
       value
       & opt
-          (enum [ ("all", All); ("diff", Diff); ("decode", Decode); ("inject", Inject) ])
+          (enum
+             [
+               ("all", All); ("diff", Diff); ("decode", Decode);
+               ("verify", Verify); ("inject", Inject);
+             ])
           All
       & info [ "mode" ]
           ~doc:"Campaign: diff (differential programs), decode (binary mutation), \
-                inject (front-end faults), or all.")
+                verify (decode/verify/simulate trichotomy), inject (front-end \
+                faults), or all.")
   in
   let count =
     Arg.(

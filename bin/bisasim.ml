@@ -33,8 +33,17 @@ let pick opt what =
     Bisa_base.Diag.fail ~component:"bisasim"
       "this binary does not contain a %s executable" what
 
+(* Print every verifier diagnostic, then fail through the guard with a
+   one-line summary — the structured diags are the payload, the summary
+   just sets the exit code. *)
+let reject what diags =
+  List.iter (fun d -> prerr_endline (Bisa_base.Diag.render d)) diags;
+  Bisa_base.Diag.fail ~component:"bisasim" "verification rejected %s (%d diagnostic%s)"
+    what (List.length diags)
+    (if List.length diags = 1 then "" else "s")
+
 let run input isa functional icache_kb perfect_pred show_output budget scale
-    trace_out trace_sample trace_validate timeline =
+    trace_out trace_sample trace_validate timeline verify_only no_verify =
  Driver.guard ~component:"bisasim" @@ fun () ->
   let conv_prog, block_prog =
     match load ?scale input with
@@ -44,6 +53,33 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
       let c = Bisa_compiler.Compiler.compile ~library_funcs src in
       (Some c.conv, Some c.block)
   in
+  if verify_only then begin
+    (* Verify every executable the input carries, not just --isa's. *)
+    let diags =
+      (match conv_prog with None -> [] | Some p -> Pipeline.Conv.verify p)
+      @ (match block_prog with None -> [] | Some p -> Pipeline.Block.verify p)
+    in
+    match diags with
+    | [] ->
+      Printf.printf "%s: verify OK\n" input;
+      `Ok ()
+    | ds -> reject input ds
+  end
+  else begin
+  (* The load/decode trust boundary: a program reaches an executor or the
+     predecoder only as a verified program (or via the explicit escape
+     hatch). *)
+  if not no_verify then begin
+    match isa with
+    | Conv ->
+      (match Pipeline.Conv.verify (pick conv_prog "conventional") with
+      | [] -> ()
+      | ds -> reject input ds)
+    | Block ->
+      (match Pipeline.Block.verify (pick block_prog "block-structured") with
+      | [] -> ()
+      | ds -> reject input ds)
+  end;
   let cfg =
     {
       Bisa_timing.Config.default with
@@ -53,22 +89,36 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
     }
   in
   if functional then begin
-    let out, n =
+    let out, n, trap =
       match isa with
-      | Conv -> Bisa_sim.Conv_exec.run (pick conv_prog "conventional") ~budget ()
-      | Block -> Bisa_sim.Block_exec.run (pick block_prog "block-structured") ~budget ()
+      | Conv ->
+        let module E = Bisa_sim.Conv_exec in
+        let t = E.create (pick conv_prog "conventional") in
+        E.set_budget t budget;
+        let rec go () = match E.step t with Some _ -> go () | None -> () in
+        go ();
+        (E.output t, E.dyn_insns t, Option.map E.machine_trap_diag (E.machine_trap t))
+      | Block ->
+        let module E = Bisa_sim.Block_exec in
+        let t = E.create (pick block_prog "block-structured") in
+        E.set_budget t budget;
+        let rec go () = match E.step t with Some _ -> go () | None -> () in
+        go ();
+        (E.output t, E.retired_ops t, Option.map E.machine_trap_diag (E.machine_trap t))
     in
+    Option.iter (fun d -> prerr_endline (Bisa_base.Diag.render d)) trap;
     if show_output then print_endline (Bisa_sim.Output.to_string out);
     Printf.printf "%d dynamic operations, exit value %d\n" n out.ret;
     `Ok ()
   end
   else begin
     (* Both ISAs run through the one Pipeline.S contract; the ISA choice
-       only decides which implementation gets packed. *)
-    let (Pipeline.Packed ((module P), _) as packed) =
+       only decides which implementation gets packed.  Verification was
+       discharged (or waived) above, so tables are built trusted. *)
+    let (Pipeline.Packed ((module P), _, _) as packed) =
       match isa with
-      | Conv -> Pipeline.pack_conv (pick conv_prog "conventional")
-      | Block -> Pipeline.pack_block (pick block_prog "block-structured")
+      | Conv -> Pipeline.pack_conv_trusted (pick conv_prog "conventional")
+      | Block -> Pipeline.pack_block_trusted (pick block_prog "block-structured")
     in
     let recorder =
       if trace_out <> None || timeline then
@@ -99,6 +149,7 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
       | None -> ());
       if timeline then print_string (Trace.occupancy_timeline r));
     `Ok ()
+  end
   end
 
 let () =
@@ -136,12 +187,31 @@ let () =
       & info [ "timeline" ]
           ~doc:"Print an ASCII window-occupancy timeline of the run.")
   in
+  let verify_only =
+    Arg.(
+      value & flag
+      & info [ "verify-only" ]
+          ~doc:
+            "Load (or compile) the input, run the static well-formedness verifier \
+             on every executable it carries, print each diagnostic, and exit \
+             nonzero on rejection — no simulation.")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip load-time verification and simulate the program as-is — the \
+             escape hatch for fuzzing and for studying how the unverified engine \
+             fails.  Malformed programs may then abort with engine exceptions \
+             instead of structured diagnostics.")
+  in
   let term =
     Term.(
       ret
         (const run $ input $ isa $ functional $ Args.icache_kb $ Args.perfect_pred
        $ show_output $ Args.budget $ Args.scale $ Args.trace_out $ Args.trace_sample
-       $ trace_validate $ timeline))
+       $ trace_validate $ timeline $ verify_only $ no_verify))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

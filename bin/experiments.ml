@@ -53,9 +53,7 @@ let run only scale paper_caches with_ablations out verbose jobs =
   print_string (Buffer.contents buf);
   (match out with
   | Some path ->
-    let oc = open_out path in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
+    Bisa_base.Atomic_file.write_string path (Buffer.contents buf);
     Printf.printf "\nwrote %s\n" path
   | None -> ());
   `Ok ()

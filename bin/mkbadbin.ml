@@ -1,0 +1,11 @@
+(* Emits a block binary that decodes cleanly but fails static
+   verification (entry points past the last block) — the fixture behind
+   the @verify and @exit-codes aliases' rejection cases. *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let c = Bisa_compiler.Compiler.compile "int main() { return 7; }" in
+  let bad =
+    { c.block with Bisa_isa.Block_prog.entry = Array.length c.block.blocks + 7 }
+  in
+  Bisa_base.Atomic_file.write_string path (Bisa_isa.Encode.block_to_bytes bad)

@@ -1,0 +1,20 @@
+let crash_after_write_hook = ref None
+
+let write path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf "%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     close_out oc;
+     (match !crash_after_write_hook with None -> () | Some hook -> hook ())
+   with e ->
+     (try close_out_noerr oc with _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string path s = write path (fun oc -> output_string oc s)

@@ -1,0 +1,24 @@
+(** Crash-safe file output: write a temp file, then rename into place.
+
+    Every artifact the toolchain emits — compiled binaries, benchmark
+    JSON, Chrome traces, experiment reports — goes through {!write}, so an
+    interrupted run (Ctrl-C, OOM kill, crash mid-serialization) leaves
+    either the previous file or no file, never a truncated one.  The temp
+    file lives in the destination's directory (rename must not cross a
+    filesystem) under a [.tmp.<pid>] suffix and is removed if the writer
+    raises. *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] opens a temp file in binary mode next to [path], runs
+    [f] on its channel, flushes and closes it, and renames it onto
+    [path].  If [f] raises, the temp file is deleted and the exception
+    rethrown; [path] is untouched. *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] = [write path (fun oc -> output_string oc s)]. *)
+
+val crash_after_write_hook : (unit -> unit) option ref
+(** Test hook, run after [f] completes but before the rename — the widest
+    window in which a crash must not corrupt [path].  A hook that raises
+    simulates dying there; {!write} removes the temp file and re-raises.
+    Always [None] in production. *)

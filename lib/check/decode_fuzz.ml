@@ -53,6 +53,159 @@ let check_one fmt img =
   | exception exn ->
     Error (Printf.sprintf "decoder raised %s" (Printexc.to_string exn))
 
+(* --- The verified-loading trichotomy ------------------------------------- *)
+
+module Verify = Bisa_verify.Verify
+
+type trichotomy_report = {
+  t_mutants : int;
+  t_rejected_decode : int;
+  t_rejected_verify : int;
+  t_completed : int;  (** simulated to an architectural halt *)
+  t_trapped : int;  (** of completed: halted via a machine trap *)
+  t_budgeted : int;  (** stopped by the op budget (Runaway) *)
+}
+
+type tri_outcome = Odecode | Overify | Ocompleted of bool | Obudgeted
+
+let malformed_ok img (d : Diag.t) =
+  match d.Diag.loc with
+  | Diag.Byte { offset; section }
+    when offset >= 0 && offset <= String.length img && section <> "" ->
+    Ok Odecode
+  | _ ->
+    Error (Printf.sprintf "Malformed without a usable byte offset: %s" (Diag.render d))
+
+(* A rejection only counts if every diagnostic is structured: a stable
+   rule id up front and error severity. *)
+let verify_rejection_ok ds =
+  match List.find_opt (fun d -> Verify.rule_of d = "") ds with
+  | Some d ->
+    Error (Printf.sprintf "verifier diagnostic without a rule id: %s" (Diag.render d))
+  | None -> Ok Overify
+
+(* Functional execution then a timing-model run: the timing front end is
+   the only caller that fetches speculatively (variant-group fetches), so
+   it must also complete without Illegal_fetch on any verified program. *)
+let sim_outcomes ~functional ~timing ~trapped what =
+  match functional () with
+  | exception exn ->
+    Error (Printf.sprintf "%s executor raised %s" what (Printexc.to_string exn))
+  | `Budgeted -> Ok Obudgeted
+  | `Halted -> begin
+    match timing () with
+    | () -> Ok (Ocompleted (trapped ()))
+    | exception exn ->
+      Error (Printf.sprintf "%s timing pipeline raised %s" what (Printexc.to_string exn))
+  end
+
+let timing_cfg budget =
+  { Bisa_timing.Config.default with Bisa_timing.Config.op_budget = budget }
+
+let check_tri fmt ~budget img =
+  match fmt with
+  | Conv -> begin
+    match Encode.conv_of_bytes img with
+    | exception Encode.Malformed d -> malformed_ok img d
+    | exception exn ->
+      Error (Printf.sprintf "decoder raised %s" (Printexc.to_string exn))
+    | p -> begin
+      match Verify.conv_prog p with
+      | exception exn ->
+        Error (Printf.sprintf "verifier raised %s" (Printexc.to_string exn))
+      | Error ds -> verify_rejection_ok ds
+      | Ok w ->
+        let module E = Bisa_sim.Conv_exec in
+        let t = E.create p in
+        E.set_budget t budget;
+        let rec go () = match E.step t with Some _ -> go () | None -> () in
+        sim_outcomes
+          ~functional:(fun () ->
+            match go () with () -> `Halted | exception E.Runaway _ -> `Budgeted)
+          ~timing:(fun () ->
+            match
+              Bisa_timing.Conv_pipeline.run
+                ~tables:(Bisa_timing.Predecode.of_conv w)
+                (timing_cfg budget) p
+            with
+            | (_ : Bisa_timing.Metrics.t) -> ()
+            | exception E.Runaway _ -> ())
+          ~trapped:(fun () -> E.machine_trap t <> None)
+          "conv"
+    end
+  end
+  | Block -> begin
+    match Encode.block_of_bytes img with
+    | exception Encode.Malformed d -> malformed_ok img d
+    | exception exn ->
+      Error (Printf.sprintf "decoder raised %s" (Printexc.to_string exn))
+    | p -> begin
+      match Verify.block_prog p with
+      | exception exn ->
+        Error (Printf.sprintf "verifier raised %s" (Printexc.to_string exn))
+      | Error ds -> verify_rejection_ok ds
+      | Ok w ->
+        let module E = Bisa_sim.Block_exec in
+        let t = E.create p in
+        E.set_budget t budget;
+        let rec go () = match E.step t with Some _ -> go () | None -> () in
+        sim_outcomes
+          ~functional:(fun () ->
+            match go () with () -> `Halted | exception E.Runaway _ -> `Budgeted)
+          ~timing:(fun () ->
+            match
+              Bisa_timing.Block_pipeline.run
+                ~tables:(Bisa_timing.Predecode.of_block w)
+                (timing_cfg budget) p
+            with
+            | (_ : Bisa_timing.Metrics.t) -> ()
+            | exception E.Runaway _ -> ())
+          ~trapped:(fun () -> E.machine_trap t <> None)
+          "block"
+    end
+  end
+
+let trichotomy ?(pool = Bisa_base.Pool.sequential) ?(budget = 200_000) fmt ~seed
+    ~count img =
+  match check_tri fmt ~budget img with
+  | Error e -> Error (Printf.sprintf "pristine image: %s" e)
+  | Ok (Odecode | Overify) -> Error "pristine image did not verify"
+  | Ok _ ->
+    let indices = List.init count Fun.id in
+    let outcomes =
+      Bisa_base.Pool.map_list pool
+        (fun i -> (i, check_tri fmt ~budget (mutate (Rng.derive seed i) img)))
+        indices
+    in
+    let rd = ref 0 and rv = ref 0 and comp = ref 0 and trap = ref 0 and bud = ref 0 in
+    let rec tally = function
+      | [] ->
+        Ok
+          {
+            t_mutants = count;
+            t_rejected_decode = !rd;
+            t_rejected_verify = !rv;
+            t_completed = !comp;
+            t_trapped = !trap;
+            t_budgeted = !bud;
+          }
+      | (_, Ok Odecode) :: rest ->
+        incr rd;
+        tally rest
+      | (_, Ok Overify) :: rest ->
+        incr rv;
+        tally rest
+      | (_, Ok (Ocompleted t)) :: rest ->
+        incr comp;
+        if t then incr trap;
+        tally rest
+      | (_, Ok Obudgeted) :: rest ->
+        incr bud;
+        tally rest
+      | (i, Error e) :: _ -> Error (Printf.sprintf "mutant %d (seed %d): %s" i seed e)
+    in
+    tally outcomes
+
 let run ?(pool = Bisa_base.Pool.sequential) fmt ~seed ~count img =
   (* The pristine image must decode — otherwise the campaign is vacuous. *)
   match decode_of fmt img with

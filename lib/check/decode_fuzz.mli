@@ -24,3 +24,29 @@ val run :
     describes the first contract violation (lowest mutant index).  Mutant
     [i] is seeded by [Rng.derive seed i], so the campaign shards across
     [pool] with identical results at every worker count. *)
+
+type trichotomy_report = {
+  t_mutants : int;
+  t_rejected_decode : int;  (** rejected by {!Bisa_isa.Encode} ([Malformed]) *)
+  t_rejected_verify : int;  (** decoded, rejected by {!Bisa_verify.Verify} *)
+  t_completed : int;  (** decoded, verified, simulated to a halt *)
+  t_trapped : int;  (** of completed: halted via an architected machine trap *)
+  t_budgeted : int;  (** decoded, verified, stopped by the op budget *)
+}
+
+val trichotomy :
+  ?pool:Bisa_base.Pool.t ->
+  ?budget:int ->
+  format ->
+  seed:int ->
+  count:int ->
+  string ->
+  (trichotomy_report, string) result
+(** The verified-loading contract, end to end: every mutant either fails
+    to decode with a located [Malformed], is rejected by the verifier with
+    rule-tagged diagnostics, or — having passed both gates — simulates to
+    a clean halt (machine traps included) or the op budget ([budget],
+    default 200k), first functionally and then through the timing
+    pipeline.  Any other behavior — [Illegal_fetch], an out-of-range
+    access, any uncaught exception — is a finding reported as [Error].
+    Sharding is deterministic as in {!run}. *)

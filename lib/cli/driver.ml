@@ -30,4 +30,8 @@ let guard ~component f =
   | Bisa_sim.Block_exec.Runaway n -> render (Bisa_sim.Block_exec.runaway_diag n)
   | Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
     render (Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested)
+  | Bisa_sim.Memory.Unaligned a ->
+    render
+      (Bisa_base.Diag.error ~component
+         (Printf.sprintf "unaligned memory access at 0x%x" a))
   | Sys_error msg -> render (Bisa_base.Diag.error ~component msg)

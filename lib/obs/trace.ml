@@ -350,9 +350,7 @@ let to_chrome_json ?(process_name = "bisa") t =
   Buffer.contents buf
 
 let write_chrome_json ?process_name t path =
-  let oc = open_out_bin path in
-  output_string oc (to_chrome_json ?process_name t);
-  close_out oc
+  Bisa_base.Atomic_file.write_string path (to_chrome_json ?process_name t)
 
 let occupancy_timeline ?(width = 64) ?(height = 8) t =
   let n = Vec.len t.oc_ts in

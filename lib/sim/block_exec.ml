@@ -13,6 +13,8 @@ type step = {
   dir_taken : bool option;
 }
 
+type machine_trap = Wild_jump of int | Unaligned_access of int
+
 type t = {
   prog : Block_prog.t;
   regs : Regfile.t;
@@ -21,6 +23,7 @@ type t = {
   sbuf : Sbuf.t;
   mutable required : int;
   mutable halted : bool;
+  mutable mtrap : machine_trap option;
   mutable dyn : int;
   mutable retired : int;
   mutable retired_blocks : int;
@@ -42,6 +45,14 @@ let illegal_fetch_diag ~required ~requested =
      variant)"
     requested required
 
+let machine_trap_diag mt =
+  Bisa_base.Diag.warning ~component:"sim.block"
+    (match mt with
+    | Wild_jump b ->
+      Printf.sprintf "machine trap: control transferred to nonexistent block %d" b
+    | Unaligned_access a ->
+      Printf.sprintf "machine trap: unaligned memory access at 0x%x" a)
+
 let create (prog : Block_prog.t) =
   let t =
     {
@@ -52,6 +63,7 @@ let create (prog : Block_prog.t) =
       sbuf = Sbuf.create ();
       required = prog.entry;
       halted = false;
+      mtrap = None;
       dyn = 0;
       retired = 0;
       retired_blocks = 0;
@@ -66,6 +78,7 @@ let create (prog : Block_prog.t) =
 
 let required t = t.required
 let halted t = t.halted
+let machine_trap t = t.mtrap
 let dyn_ops t = t.dyn
 let retired_ops t = t.retired
 let retired_blocks t = t.retired_blocks
@@ -80,8 +93,20 @@ let read_memf t addr = Memory.loadf t.mem addr
 let snapshot_regs t = Regfile.blit ~src:t.regs ~dst:t.shadow
 let restore_regs t = Regfile.blit ~src:t.shadow ~dst:t.regs
 
+(* Architected clean halt: confinement for control or memory behavior the
+   static verifier cannot bound (register-valued jump targets, runtime
+   addresses).  Compiled programs never reach these paths; arbitrary
+   verified-but-wild-at-runtime programs halt instead of crashing. *)
+let trap_halt t mt =
+  t.halted <- true;
+  t.mtrap <- Some mt;
+  None
+
 let step ?fetch t =
+  let nblocks = Array.length t.prog.blocks in
   if t.halted then None
+  else if t.required < 0 || t.required >= nblocks then
+    trap_halt t (Wild_jump t.required)
   else begin
     let b =
       match fetch with
@@ -90,6 +115,8 @@ let step ?fetch t =
         if f = t.required || Block_prog.in_group t.prog ~rep:t.required f then f
         else raise (Illegal_fetch { required = t.required; requested = f })
     in
+    if b < 0 || b >= nblocks then trap_halt t (Wild_jump b)
+    else begin
     let blk = t.prog.blocks.(b) in
     let nelts = Array.length blk.Ablock.elts in
     let mem_addrs = Array.make nelts (-1) in
@@ -99,68 +126,89 @@ let step ?fetch t =
     let out item = pending_out := item :: !pending_out in
     let fault_fired = ref None in
     let k = ref 0 in
-    while !fault_fired = None && !k < nelts do
-      (match blk.Ablock.elts.(!k) with
-      | Ablock.Op op ->
-        mem_addrs.(!k) <- Opsem.exec ~regs:t.regs ~mem:t.mem ~sbuf:(Some t.sbuf) ~out op
-      | Ablock.Fault (c, s1, s2, target) ->
-        if Cmp.eval c (Regfile.get_i t.regs s1) (Regfile.get_i t.regs s2) then
-          fault_fired := Some (!k, target));
-      incr k
-    done;
-    match !fault_fired with
-    | Some (pos, target) ->
-      (* Suppress the whole block. *)
+    try
+      while !fault_fired = None && !k < nelts do
+        (match blk.Ablock.elts.(!k) with
+        | Ablock.Op op ->
+          mem_addrs.(!k) <-
+            Opsem.exec ~regs:t.regs ~mem:t.mem ~sbuf:(Some t.sbuf) ~out op
+        | Ablock.Fault (c, s1, s2, target) ->
+          if Cmp.eval c (Regfile.get_i t.regs s1) (Regfile.get_i t.regs s2) then
+            fault_fired := Some (!k, target));
+        incr k
+      done;
+      match !fault_fired with
+      | Some (pos, target) ->
+        (* Suppress the whole block. *)
+        restore_regs t;
+        Sbuf.clear t.sbuf;
+        t.dyn <- t.dyn + pos + 1;
+        if t.dyn > t.budget then raise (Runaway t.dyn);
+        if target < 0 || target >= nblocks then begin
+          t.halted <- true;
+          t.mtrap <- Some (Wild_jump target)
+        end
+        else t.required <- target;
+        Some
+          {
+            block = b;
+            ops_executed = pos + 1;
+            mem_addrs;
+            squashed = true;
+            fault_pos = Some pos;
+            next = target;
+            dir_taken = None;
+          }
+      | None ->
+        (* Terminator, then commit. *)
+        let next, dir_taken =
+          match blk.Ablock.term with
+          | Ablock.Trap { cmp; rs1; rs2; taken; not_taken; _ } ->
+            let dir = Cmp.eval cmp (Regfile.get_i t.regs rs1) (Regfile.get_i t.regs rs2) in
+            ((if dir then taken else not_taken), Some dir)
+          | Ablock.Goto l -> (l, None)
+          | Ablock.Call { callee; ret_to } ->
+            Regfile.set_i t.regs Reg.ra ret_to;
+            (callee, None)
+          | Ablock.Return -> (Regfile.get_i t.regs Reg.ra, None)
+          | Ablock.Ijump r -> (Regfile.get_i t.regs r, None)
+          | Ablock.Halt ->
+            t.halted <- true;
+            (b, None)
+        in
+        Sbuf.flush t.sbuf t.mem;
+        List.iter (fun item -> t.out_rev <- item :: t.out_rev) (List.rev !pending_out);
+        let size = nelts + 1 in
+        t.dyn <- t.dyn + size;
+        t.retired <- t.retired + size;
+        t.retired_blocks <- t.retired_blocks + 1;
+        if t.dyn > t.budget then raise (Runaway t.dyn);
+        (* Confine register-valued control flow (returns, indirect jumps):
+           a target outside the program is a machine trap, not a crash at
+           the next fetch. *)
+        if (not t.halted) && (next < 0 || next >= nblocks) then begin
+          t.halted <- true;
+          t.mtrap <- Some (Wild_jump next)
+        end
+        else if not t.halted then t.required <- next;
+        Some
+          {
+            block = b;
+            ops_executed = nelts;
+            mem_addrs;
+            squashed = false;
+            fault_pos = None;
+            next;
+            dir_taken;
+          }
+    with Memory.Unaligned a ->
+      (* Register writes are shadowed and unflushed stores buffered, so
+         the offending block's effects are discarded and the machine
+         halts cleanly. *)
       restore_regs t;
       Sbuf.clear t.sbuf;
-      t.dyn <- t.dyn + pos + 1;
-      if t.dyn > t.budget then raise (Runaway t.dyn);
-      t.required <- target;
-      Some
-        {
-          block = b;
-          ops_executed = pos + 1;
-          mem_addrs;
-          squashed = true;
-          fault_pos = Some pos;
-          next = target;
-          dir_taken = None;
-        }
-    | None ->
-      (* Terminator, then commit. *)
-      let next, dir_taken =
-        match blk.Ablock.term with
-        | Ablock.Trap { cmp; rs1; rs2; taken; not_taken; _ } ->
-          let dir = Cmp.eval cmp (Regfile.get_i t.regs rs1) (Regfile.get_i t.regs rs2) in
-          ((if dir then taken else not_taken), Some dir)
-        | Ablock.Goto l -> (l, None)
-        | Ablock.Call { callee; ret_to } ->
-          Regfile.set_i t.regs Reg.ra ret_to;
-          (callee, None)
-        | Ablock.Return -> (Regfile.get_i t.regs Reg.ra, None)
-        | Ablock.Ijump r -> (Regfile.get_i t.regs r, None)
-        | Ablock.Halt ->
-          t.halted <- true;
-          (b, None)
-      in
-      Sbuf.flush t.sbuf t.mem;
-      List.iter (fun item -> t.out_rev <- item :: t.out_rev) (List.rev !pending_out);
-      let size = nelts + 1 in
-      t.dyn <- t.dyn + size;
-      t.retired <- t.retired + size;
-      t.retired_blocks <- t.retired_blocks + 1;
-      if t.dyn > t.budget then raise (Runaway t.dyn);
-      t.required <- next;
-      Some
-        {
-          block = b;
-          ops_executed = nelts;
-          mem_addrs;
-          squashed = false;
-          fault_pos = None;
-          next;
-          dir_taken;
-        }
+      trap_halt t (Unaligned_access a)
+    end
   end
 
 let run prog ?(budget = 2_000_000_000) () =

@@ -28,10 +28,24 @@ type t
 exception Runaway of int
 exception Illegal_fetch of { required : int; requested : int }
 
+type machine_trap =
+  | Wild_jump of int  (** control transferred outside the program *)
+  | Unaligned_access of int  (** byte address of a misaligned access *)
+      (** Architected clean halts for behavior the static verifier cannot
+          bound: register-valued control flow (returns, indirect jumps)
+          landing outside the program, and runtime addresses that are not
+          8-byte aligned.  The offending block's effects are discarded and
+          the machine halts — never an exception.  Compiled programs never
+          trap. *)
+
 val runaway_diag : int -> Bisa_base.Diag.t
 val illegal_fetch_diag : required:int -> requested:int -> Bisa_base.Diag.t
 (** Structured renderings of the executor exceptions for the unified
     failure model. *)
+
+val machine_trap_diag : machine_trap -> Bisa_base.Diag.t
+(** Warning-severity rendering of a machine trap (a trap is an outcome,
+    not a failure). *)
 
 val create : Bisa_isa.Block_prog.t -> t
 
@@ -43,6 +57,10 @@ val step : ?fetch:int -> t -> step option
     halted. *)
 
 val halted : t -> bool
+
+val machine_trap : t -> machine_trap option
+(** Set iff the machine halted on a trap rather than a [Halt]. *)
+
 val dyn_ops : t -> int
 (** All operations executed, squashed work included. *)
 

@@ -12,12 +12,15 @@ type packet = {
   next : int;
 }
 
+type machine_trap = Wild_jump of int | Unaligned_access of int
+
 type t = {
   prog : Conv_prog.t;
   regs : Regfile.t;
   mem : Memory.t;
   mutable pc : int;
   mutable halted : bool;
+  mutable mtrap : machine_trap option;
   mutable dyn : int;
   mutable budget : int;
   mutable out_rev : Output.item list;
@@ -29,6 +32,14 @@ exception Runaway of int
 let runaway_diag n =
   Bisa_base.Diag.errorf ~component:"sim.conv"
     "runaway execution: %d dynamic instructions exceeded the budget" n
+
+let machine_trap_diag mt =
+  Bisa_base.Diag.warning ~component:"sim.conv"
+    (match mt with
+    | Wild_jump pc ->
+      Printf.sprintf "machine trap: control transferred to nonexistent instruction %d" pc
+    | Unaligned_access a ->
+      Printf.sprintf "machine trap: unaligned memory access at 0x%x" a)
 
 (* Safety cap on packet length; real basic blocks are far shorter, and the
    timing model re-chunks to issue width anyway. *)
@@ -42,6 +53,7 @@ let create (prog : Conv_prog.t) =
       mem = Memory.create ();
       pc = prog.entry;
       halted = false;
+      mtrap = None;
       dyn = 0;
       budget = 2_000_000_000;
       out_rev = [];
@@ -54,6 +66,7 @@ let create (prog : Conv_prog.t) =
   t
 
 let halted t = t.halted
+let machine_trap t = t.mtrap
 let dyn_insns t = t.dyn
 let set_budget t n = t.budget <- n
 
@@ -64,13 +77,28 @@ let read_mem t addr = Memory.load t.mem addr
 let read_memf t addr = Memory.loadf t.mem addr
 
 let step t =
+  let n = Array.length t.prog.insns in
   if t.halted then None
+  else if t.pc < 0 || t.pc >= n then begin
+    (* Confinement: register-valued control flow (ret/jr) or a wild entry
+       landed outside the program — an architected machine trap, not a
+       crash.  Compiled programs never reach this. *)
+    t.halted <- true;
+    t.mtrap <- Some (Wild_jump t.pc);
+    None
+  end
   else begin
     let start = t.pc in
     let addrs = ref [] in
     let out item = t.out_rev <- item :: t.out_rev in
     let rec loop pc count =
       if count >= packet_cap then (Kfall, pc, count)
+      else if pc < 0 || pc >= n then begin
+        (* Fall-through ran off the program mid-packet. *)
+        t.halted <- true;
+        t.mtrap <- Some (Wild_jump pc);
+        (Khalt, pc, count)
+      end
       else begin
         let insn = t.prog.insns.(pc) in
         t.dyn <- t.dyn + 1;
@@ -105,11 +133,29 @@ let step t =
           (Khalt, pc, count + 1)
       end
     in
-    let term, next, count = loop start 0 in
-    t.pc <- next;
-    let mem_addrs = Array.make count (-1) in
-    List.iteri (fun i a -> mem_addrs.(count - 1 - i) <- a) !addrs;
-    Some { start; count; mem_addrs; term; next }
+    match loop start 0 with
+    | exception Memory.Unaligned a ->
+      (* No atomicity to restore in the conventional machine: earlier
+         instructions of the packet committed; the offender halts it. *)
+      t.halted <- true;
+      t.mtrap <- Some (Unaligned_access a);
+      None
+    | term, next, count ->
+      (* Confine the packet's successor the same way: a wild target halts
+         architecturally (presented as Khalt so the front end stops
+         training on it). *)
+      let term, next =
+        if (not t.halted) && (next < 0 || next >= n) then begin
+          t.halted <- true;
+          t.mtrap <- Some (Wild_jump next);
+          (Khalt, start)
+        end
+        else (term, next)
+      in
+      t.pc <- next;
+      let mem_addrs = Array.make count (-1) in
+      List.iteri (fun i a -> mem_addrs.(count - 1 - i) <- a) !addrs;
+      Some { start; count; mem_addrs; term; next }
   end
 
 let run prog ?(budget = 2_000_000_000) () =

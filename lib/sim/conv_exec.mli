@@ -27,14 +27,28 @@ type t
 
 exception Runaway of int
 
+type machine_trap =
+  | Wild_jump of int  (** control transferred outside the program *)
+  | Unaligned_access of int  (** byte address of a misaligned access *)
+      (** Architected clean halts for behavior the static verifier cannot
+          bound — see {!Bisa_sim.Block_exec.machine_trap}.  Compiled
+          programs never trap. *)
+
 val runaway_diag : int -> Bisa_base.Diag.t
 (** Structured rendering of {!Runaway} for the unified failure model. *)
+
+val machine_trap_diag : machine_trap -> Bisa_base.Diag.t
+(** Warning-severity rendering of a machine trap. *)
 
 val create : Bisa_isa.Conv_prog.t -> t
 val step : t -> packet option
 (** [None] once halted.  Raises {!Runaway} past the instruction budget. *)
 
 val halted : t -> bool
+
+val machine_trap : t -> machine_trap option
+(** Set iff the machine halted on a trap rather than a [Halt]. *)
+
 val dyn_insns : t -> int
 val output : t -> Output.t
 val set_budget : t -> int -> unit

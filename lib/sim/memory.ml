@@ -9,9 +9,10 @@ type t = { pages : (int, page) Hashtbl.t }
 
 let create () = { pages = Hashtbl.create 64 }
 
+exception Unaligned of int
+
 let word_index addr =
-  if addr land 7 <> 0 then
-    invalid_arg (Printf.sprintf "Memory: unaligned access at 0x%x" addr);
+  if addr land 7 <> 0 then raise (Unaligned addr);
   addr lsr 3
 
 let page_of t wi =

@@ -8,6 +8,12 @@
 
 type t
 
+exception Unaligned of int
+(** Raised (with the byte address) by every access whose address is not
+    8-byte aligned.  The executors catch it and turn it into an
+    architected machine trap — a clean halt — rather than letting it
+    escape as a crash. *)
+
 val create : unit -> t
 val load : t -> int -> int
 val store : t -> int -> int -> unit

@@ -7,7 +7,11 @@ let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     (prog : Block_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
-  let pd = match tables with Some t -> t | None -> Predecode.of_block prog in
+  let pd =
+    match tables with
+    | Some t -> t
+    | None -> Predecode.of_block (Bisa_verify.Verify.block_exn prog)
+  in
   let exec = Block_exec.create prog in
   Block_exec.set_budget exec cfg.op_budget;
   let icache = Option.map Cache.create cfg.icache in

@@ -95,7 +95,11 @@ let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     (prog : Conv_prog.t) : Metrics.t * Bisa_sim.Output.t =
   let m = Metrics.create () in
   let engine = Engine.create cfg in
-  let pd = match tables with Some t -> t | None -> Predecode.of_conv prog in
+  let pd =
+    match tables with
+    | Some t -> t
+    | None -> Predecode.of_conv (Bisa_verify.Verify.conv_exn prog)
+  in
   let exec = Conv_exec.create prog in
   Conv_exec.set_budget exec cfg.op_budget;
   let stream = Stream.create exec in

@@ -1,10 +1,14 @@
+module Verify = Bisa_verify.Verify
+
 module type S = sig
   type prog
   type tables
 
   val isa : string
   val descr : string
+  val verify : prog -> Bisa_base.Diag.t list
   val predecode : prog -> tables
+  val predecode_trusted : prog -> tables
 
   val run :
     ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
@@ -23,7 +27,9 @@ module Conv = struct
 
   let isa = "conv"
   let descr = "conventional"
-  let predecode = Predecode.of_conv
+  let verify = Verify.conv_diags
+  let predecode prog = Predecode.of_conv (Verify.conv_exn prog)
+  let predecode_trusted = Predecode.of_conv_trusted
   let run = Conv_pipeline.run
   let run_full = Conv_pipeline.run_full
 end
@@ -34,15 +40,29 @@ module Block = struct
 
   let isa = "block"
   let descr = "block-structured"
-  let predecode = Predecode.of_block
+  let verify = Verify.block_diags
+  let predecode prog = Predecode.of_block (Verify.block_exn prog)
+  let predecode_trusted = Predecode.of_block_trusted
   let run = Block_pipeline.run
   let run_full = Block_pipeline.run_full
 end
 
-type packed = Packed : (module S with type prog = 'p) * 'p -> packed
+type packed =
+  | Packed :
+      (module S with type prog = 'p and type tables = 'tb) * 'p * 'tb option
+      -> packed
 
-let pack_conv prog = Packed ((module Conv), prog)
-let pack_block prog = Packed ((module Block), prog)
+let pack_conv prog = Packed ((module Conv), prog, None)
+let pack_block prog = Packed ((module Block), prog, None)
 
-let run_packed ?probe cfg (Packed ((module P), prog)) =
-  P.run_full ~tables:(P.predecode prog) ?probe cfg prog
+let pack_conv_trusted prog =
+  Packed ((module Conv), prog, Some (Conv.predecode_trusted prog))
+
+let pack_block_trusted prog =
+  Packed ((module Block), prog, Some (Block.predecode_trusted prog))
+
+let verify_packed (Packed ((module P), prog, _)) = P.verify prog
+
+let run_packed ?probe cfg (Packed ((module P), prog, tables)) =
+  let tables = match tables with Some t -> t | None -> P.predecode prog in
+  P.run_full ~tables ?probe cfg prog

@@ -8,7 +8,14 @@
     that contract; {!Conv} and {!Block} are the two implementations, and
     {!packed} pairs an implementation with a program of its own type so a
     CLI can select the ISA at runtime and still dispatch through one code
-    path. *)
+    path.
+
+    Predecoding is the trust boundary: {!S.predecode} statically verifies
+    the program (see {!Bisa_verify.Verify}) before building tables whose
+    raw indexes the engine uses unchecked, and [run]/[run_full] without
+    [?tables] do the same.  {!S.predecode_trusted} skips verification for
+    callers that own the bounds obligations (the [--no-verify] escape
+    hatch, fuzzers). *)
 
 module type S = sig
   type prog
@@ -21,9 +28,19 @@ module type S = sig
   val descr : string
   (** Human-readable name for reports. *)
 
+  val verify : prog -> Bisa_base.Diag.t list
+  (** All static well-formedness violations; [[]] means the program may
+      be predecoded and simulated. *)
+
   val predecode : prog -> tables
-  (** Build the program's predecoded op-template tables (one cheap pass;
-      memoize to share across configurations). *)
+  (** Verify, then build the program's predecoded op-template tables (one
+      cheap pass; memoize to share across configurations).  Raises
+      {!Bisa_base.Diag.Fail} with the first diagnostic if {!verify} is
+      non-empty. *)
+
+  val predecode_trusted : prog -> tables
+  (** Build tables without verifying — the caller asserts
+      well-formedness. *)
 
   val run :
     ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
@@ -41,13 +58,28 @@ module Conv : S with type prog = Bisa_isa.Conv_prog.t and type tables = Predecod
 module Block :
   S with type prog = Bisa_isa.Block_prog.t and type tables = Predecode.blocks
 
-type packed = Packed : (module S with type prog = 'p) * 'p -> packed
-(** A pipeline and a program it can run, with the program type hidden —
-    what a CLI holds after loading input for a user-chosen ISA. *)
+type packed =
+  | Packed :
+      (module S with type prog = 'p and type tables = 'tb) * 'p * 'tb option
+      -> packed
+      (** A pipeline, a program it can run, and optionally pre-built
+          tables, with both types hidden — what a CLI holds after loading
+          input for a user-chosen ISA.  [None] tables means
+          {!run_packed} verifies at predecode time; [Some] means the
+          packer already discharged (or explicitly waived) verification. *)
 
 val pack_conv : Bisa_isa.Conv_prog.t -> packed
 val pack_block : Bisa_isa.Block_prog.t -> packed
 
+val pack_conv_trusted : Bisa_isa.Conv_prog.t -> packed
+(** Pack with tables built by {!S.predecode_trusted} — the [--no-verify]
+    path: {!run_packed} will not verify. *)
+
+val pack_block_trusted : Bisa_isa.Block_prog.t -> packed
+
+val verify_packed : packed -> Bisa_base.Diag.t list
+(** Run the packed program's static verifier (even if packed trusted). *)
+
 val run_packed :
   ?probe:Bisa_obs.Probe.t -> Config.t -> packed -> Metrics.t * Bisa_sim.Output.t
-(** Predecode and run the packed program under [cfg]. *)
+(** Predecode (verifying unless packed trusted) and run under [cfg]. *)

@@ -78,7 +78,7 @@ let finish b =
     regs = Array.sub b.b_regs 0 b.b_nregs;
   }
 
-let of_conv (p : Bisa_isa.Conv_prog.t) =
+let of_conv_trusted (p : Bisa_isa.Conv_prog.t) =
   let n = Array.length p.insns in
   let b = builder n in
   for i = 0 to n - 1 do
@@ -92,9 +92,12 @@ let of_conv (p : Bisa_isa.Conv_prog.t) =
   done;
   finish b
 
+let of_conv (w : Bisa_verify.Verify.verified_conv_prog) =
+  of_conv_trusted (w :> Bisa_isa.Conv_prog.t)
+
 type blocks = { tab : t; first : int array }
 
-let of_block (p : Bisa_isa.Block_prog.t) =
+let of_block_trusted (p : Bisa_isa.Block_prog.t) =
   let nblocks = Array.length p.blocks in
   let first = Array.make (nblocks + 1) 0 in
   for bi = 0 to nblocks - 1 do
@@ -120,6 +123,9 @@ let of_block (p : Bisa_isa.Block_prog.t) =
         ~mem:mem_none)
     p.blocks;
   { tab = finish b; first }
+
+let of_block (w : Bisa_verify.Verify.verified_block_prog) =
+  of_block_trusted (w :> Bisa_isa.Block_prog.t)
 
 let of_list rows =
   let b = builder (List.length rows) in

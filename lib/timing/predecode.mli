@@ -30,8 +30,16 @@ val mem_store : int
 
 val slots : t -> int
 
-val of_conv : Bisa_isa.Conv_prog.t -> t
-(** One slot per instruction; slot = instruction index. *)
+val of_conv : Bisa_verify.Verify.verified_conv_prog -> t
+(** One slot per instruction; slot = instruction index.  Requires a
+    verification witness: the table stores raw flat register indexes and
+    the engine indexes scoreboards with them unchecked, so [reg-range] et
+    al. must already hold. *)
+
+val of_conv_trusted : Bisa_isa.Conv_prog.t -> t
+(** As {!of_conv} without the witness — for explicitly-trusted callers
+    (the [--no-verify] escape hatch and fuzzers measuring the unverified
+    engine).  The caller owns the bounds obligations. *)
 
 type blocks = {
   tab : t;
@@ -41,7 +49,10 @@ type blocks = {
           terminator is slot [first.(b+1) - 1]. *)
 }
 
-val of_block : Bisa_isa.Block_prog.t -> blocks
+val of_block : Bisa_verify.Verify.verified_block_prog -> blocks
+
+val of_block_trusted : Bisa_isa.Block_prog.t -> blocks
+(** Witness-free variant; see {!of_conv_trusted}. *)
 
 val of_list : (Bisa_isa.Opclass.t * int list * int list * int) list -> t
 (** Synthetic table from [(opclass, flat defs, flat uses, mem_kind)] rows —

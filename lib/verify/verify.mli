@@ -1,0 +1,87 @@
+(** Static well-formedness verification — the load/decode trust boundary.
+
+    {!Bisa_isa.Encode} proves an input {e decodes}; this module proves the
+    decoded program is {e structurally meaningful}: every control-transfer
+    label resolves to a real block or instruction, trap metadata is
+    consistent with the declared successor structure, blocks respect the
+    paper's size and fault limits (sections 4.1/4.3), register indexes are
+    in range, and the r31 call/return convention is obeyed.  Simulators
+    and the timing predecoder index arrays with exactly these quantities,
+    so "verified" is the precondition that justifies their allocation-free
+    unchecked hot paths.
+
+    Violations are reported as structured {!Bisa_base.Diag.t} values —
+    never exceptions — whose message begins with a stable {e rule id}
+    (e.g. ["target-range: block 3 op 1: ..."]), names the offending
+    block/op, and ends with a fix hint.  {!rule_of} recovers the id.
+
+    The checkers are total on arbitrary decoded input: a malformed
+    successor structure yields diagnostics, not an out-of-bounds access
+    inside the verifier itself.
+
+    {2 Block-structured rules}
+
+    - [entry-range]: the entry block id is a valid block.
+    - [target-range]: fault, trap, goto and call labels name real blocks.
+    - [reg-range]: every register index is within the register file.
+    - [reg-class]: each operand's integer/float register class matches
+      what the operation's semantics read and write (a flipped class bit
+      would make the register file raise instead of compute).
+    - [block-size]: at most 16 operations per block (issue-width rule 1).
+    - [fault-count]: at most 2 fault operations (termination rule 2).
+    - [succ-log2]: trap [succ_log2] is within 1..3.
+    - [succ-log2-consistent]: [succ_log2] equals the clamped
+      ceil-log2 of the block's distinct declared successors — the exact
+      quantity the linker computes and the predictor's history shift uses.
+    - [succ-shape]: [succ_struct] and [variant_group] have one entry per
+      block.
+    - [succ-range]: every declared successor / variant id is a real block.
+    - [ijump-declared]: an indirect-jump block declares at least one
+      successor (its jump-table targets) for BTB prediction.
+    - [ra-discipline]: r31 is written only by call terminators and the
+      epilogue reload idiom [Load r31, sp+off].
+    - [symbol-range]: symbol values name real blocks.
+    - [data-base-align]: the data segment base is 8-byte aligned.
+
+    {2 Conventional rules}
+
+    [nonempty], [entry-range], [target-range], [fallthrough] (the last
+    instruction must not fall through or set a return point past the end),
+    [reg-range], [reg-class], [ra-discipline], [symbol-range],
+    [data-base-align]. *)
+
+type verified_block_prog = private Bisa_isa.Block_prog.t
+(** A {!Bisa_isa.Block_prog.t} that passed every rule.  Obtainable only
+    through {!block_prog} / {!block_exn}; recover the program with
+    [(w : verified_block_prog :> Bisa_isa.Block_prog.t)]. *)
+
+type verified_conv_prog = private Bisa_isa.Conv_prog.t
+
+val block_diags : Bisa_isa.Block_prog.t -> Bisa_base.Diag.t list
+(** All violations, in rule order then block order; [[]] means verified. *)
+
+val conv_diags : Bisa_isa.Conv_prog.t -> Bisa_base.Diag.t list
+
+val block_prog :
+  Bisa_isa.Block_prog.t -> (verified_block_prog, Bisa_base.Diag.t list) result
+
+val conv_prog :
+  Bisa_isa.Conv_prog.t -> (verified_conv_prog, Bisa_base.Diag.t list) result
+
+val block_exn : Bisa_isa.Block_prog.t -> verified_block_prog
+(** As {!block_prog}, raising {!Bisa_base.Diag.Fail} with the first
+    diagnostic (its message noting the total count) on rejection — for
+    boundaries like the timing predecoder where a verified program is a
+    precondition, not a user-facing outcome. *)
+
+val conv_exn : Bisa_isa.Conv_prog.t -> verified_conv_prog
+
+val rule_of : Bisa_base.Diag.t -> string
+(** The rule id a verifier diagnostic's message begins with (the text
+    before the first [':']); [""] for non-verifier diagnostics. *)
+
+val succ_log2_of_count : int -> int
+(** The architectural history-bit count for a block with [n] distinct
+    successors: [ceil(log2 n)] clamped to 1..3 (paper section 4.3) — the
+    same formula the linker uses, exposed so the consistency rule and the
+    backend can never drift apart. *)

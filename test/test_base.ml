@@ -147,6 +147,53 @@ let test_textplot () =
     (Astring_free.contains_substring s "g1");
   Alcotest.(check bool) "contains label" true (Astring_free.contains_substring s "a")
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let tmp_target () =
+  let dir = Filename.temp_file "bisa_atomic" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Filename.concat dir "out.json"
+
+let no_temp_residue path =
+  Sys.readdir (Filename.dirname path)
+  |> Array.for_all (fun f -> f = Filename.basename path)
+
+let test_atomic_write () =
+  let path = tmp_target () in
+  Atomic_file.write_string path "hello";
+  Alcotest.(check string) "content" "hello" (read_file path);
+  Alcotest.(check bool) "no temp residue" true (no_temp_residue path)
+
+exception Killed
+
+let test_atomic_mid_write_kill () =
+  let path = tmp_target () in
+  Atomic_file.write_string path "previous";
+  (* Die in the widest window: payload fully written, rename not yet done.
+     The previous file must survive untouched and the temp file must go. *)
+  Atomic_file.crash_after_write_hook := Some (fun () -> raise Killed);
+  Fun.protect
+    ~finally:(fun () -> Atomic_file.crash_after_write_hook := None)
+    (fun () ->
+      Alcotest.check_raises "kill propagates" Killed (fun () ->
+          Atomic_file.write_string path "half-written update"));
+  Alcotest.(check string) "previous content intact" "previous" (read_file path);
+  Alcotest.(check bool) "no temp residue" true (no_temp_residue path)
+
+let test_atomic_writer_raises () =
+  let path = tmp_target () in
+  Alcotest.check_raises "writer exception propagates" Killed (fun () ->
+      Atomic_file.write path (fun oc ->
+          output_string oc "partial";
+          raise Killed));
+  Alcotest.(check bool) "target never created" false (Sys.file_exists path);
+  Alcotest.(check bool) "no temp residue" true (no_temp_residue path)
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -167,4 +214,7 @@ let suite =
     Alcotest.test_case "digraph natural loop" `Quick test_digraph_natural_loop;
     Alcotest.test_case "digraph unreachable" `Quick test_digraph_unreachable;
     Alcotest.test_case "textplot" `Quick test_textplot;
+    Alcotest.test_case "atomic write" `Quick test_atomic_write;
+    Alcotest.test_case "atomic mid-write kill" `Quick test_atomic_mid_write_kill;
+    Alcotest.test_case "atomic writer raises" `Quick test_atomic_writer_raises;
   ]

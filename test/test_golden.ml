@@ -143,8 +143,8 @@ let alloc_bound = 400.0
 
 let test_allocation_budget () =
   let c = Bisa_compiler.Compiler.compile micro_source in
-  let conv_tables = Bisa_timing.Predecode.of_conv c.conv in
-  let block_tables = Bisa_timing.Predecode.of_block c.block in
+  let conv_tables = Bisa_timing.Pipeline.Conv.predecode c.conv in
+  let block_tables = Bisa_timing.Pipeline.Block.predecode c.block in
   let conv () =
     Bisa_timing.Conv_pipeline.run ~tables:conv_tables Config.default c.conv
   in

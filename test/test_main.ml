@@ -11,6 +11,7 @@ let () =
       ("ir", Test_ir.suite);
       ("opt", Test_opt.suite);
       ("backend", Test_backend.suite);
+      ("verify", Test_verify.suite);
       ("sim", Test_sim.suite);
       ("uarch", Test_uarch.suite);
       ("timing", Test_timing.suite);

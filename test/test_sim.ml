@@ -25,9 +25,8 @@ let test_memory_floats_independent () =
 
 let test_memory_alignment () =
   let m = Memory.create () in
-  Alcotest.check_raises "unaligned"
-    (Invalid_argument "Memory: unaligned access at 0x1003")
-    (fun () -> ignore (Memory.load m 0x1003))
+  Alcotest.check_raises "unaligned" (Memory.Unaligned 0x1003) (fun () ->
+      ignore (Memory.load m 0x1003))
 
 let test_sbuf_forwarding () =
   let m = Memory.create () in
@@ -179,6 +178,89 @@ int main() {
       (Output.equal (Block_exec.output t) canonical)
   done
 
+(* --- Machine-trap confinement ----------------------------------------------
+   Hand-built programs the verifier cannot statically bound (indirect
+   jumps through registers, data-dependent addresses) must halt with an
+   architected machine trap, never an exception. *)
+
+let raw_block_prog blocks succ =
+  let n = Array.length blocks in
+  {
+    Bisa_isa.Block_prog.blocks;
+    entry = 0;
+    data = [||];
+    data_base = 0;
+    block_addr = Array.make n 0;
+    code_bytes = 0;
+    symbols = [];
+    succ_struct = succ;
+    variant_group = Array.make n [||];
+  }
+
+let run_block p =
+  let t = Block_exec.create p in
+  Block_exec.set_budget t 10_000;
+  let rec go () = match Block_exec.step t with Some _ -> go () | None -> () in
+  go ();
+  t
+
+let test_block_wild_ijump_traps () =
+  let open Bisa_isa in
+  let p =
+    raw_block_prog
+      [|
+        {
+          Ablock.elts = [| Ablock.Op (Op.Li (Reg.Int 5, 999)) |];
+          term = Ablock.Ijump (Reg.Int 5);
+        };
+      |]
+      [| ([| 0 |], [||]) |]
+  in
+  let t = run_block p in
+  Alcotest.(check bool) "halted" true (Block_exec.halted t);
+  Alcotest.(check bool) "wild jump trap" true
+    (Block_exec.machine_trap t = Some (Block_exec.Wild_jump 999))
+
+let test_block_unaligned_traps () =
+  let open Bisa_isa in
+  let p =
+    raw_block_prog
+      [|
+        {
+          Ablock.elts =
+            [|
+              Ablock.Op (Op.Li (Reg.Int 5, 3));
+              Ablock.Op (Op.Load (Reg.Int 6, Reg.Int 5, 0));
+            |];
+          term = Ablock.Halt;
+        };
+      |]
+      [| ([||], [||]) |]
+  in
+  let t = run_block p in
+  Alcotest.(check bool) "halted" true (Block_exec.halted t);
+  Alcotest.(check bool) "unaligned trap" true
+    (Block_exec.machine_trap t = Some (Block_exec.Unaligned_access 3))
+
+let test_conv_wild_jr_traps () =
+  let open Bisa_isa in
+  let p =
+    {
+      Conv_prog.insns = [| Insn.Op (Op.Li (Reg.Int 5, 999)); Insn.Jr (Reg.Int 5) |];
+      entry = 0;
+      data = [||];
+      data_base = 0;
+      symbols = [];
+    }
+  in
+  let t = Conv_exec.create p in
+  Conv_exec.set_budget t 10_000;
+  let rec go () = match Conv_exec.step t with Some _ -> go () | None -> () in
+  go ();
+  Alcotest.(check bool) "halted" true (Conv_exec.halted t);
+  Alcotest.(check bool) "wild jump trap" true
+    (Conv_exec.machine_trap t <> None)
+
 let test_regfile () =
   let r = Bisa_sim.Regfile.create () in
   Bisa_sim.Regfile.set_i r (Bisa_isa.Reg.Int 5) 42;
@@ -204,5 +286,8 @@ let suite =
     Alcotest.test_case "block squash restores" `Quick test_block_fault_squash_restores_state;
     Alcotest.test_case "block illegal fetch" `Quick test_block_illegal_fetch_rejected;
     Alcotest.test_case "variant equivalence" `Quick test_variant_equivalence;
+    Alcotest.test_case "block wild ijump traps" `Quick test_block_wild_ijump_traps;
+    Alcotest.test_case "block unaligned traps" `Quick test_block_unaligned_traps;
+    Alcotest.test_case "conv wild jr traps" `Quick test_conv_wild_jr_traps;
     Alcotest.test_case "regfile" `Quick test_regfile;
   ]

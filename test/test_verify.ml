@@ -1,0 +1,256 @@
+(* Verifier tests: one minimal hand-built violation per rule (asserting
+   the exact rule id), witness behavior, and the load-bearing property
+   that every compiler output — all workloads across enlargement
+   configurations — verifies with zero diagnostics for both ISAs. *)
+
+open Bisa_isa
+module Verify = Bisa_verify.Verify
+module Diag = Bisa_base.Diag
+
+let ri n = Reg.Int n
+let rf n = Reg.Flt n
+
+(* --- Minimal program builders -------------------------------------------- *)
+
+let blk ?(elts = [||]) term = { Ablock.elts; term }
+
+let bprog ?(entry = 0) ?(data_base = 0) ?(symbols = []) ?succ ?variants blocks =
+  let n = Array.length blocks in
+  {
+    Block_prog.blocks;
+    entry;
+    data = [||];
+    data_base;
+    block_addr = Array.make n 0;
+    code_bytes = 0;
+    symbols;
+    succ_struct = Option.value succ ~default:(Array.make n ([||], [||]));
+    variant_group = Option.value variants ~default:(Array.make n [||]);
+  }
+
+let cprog ?(entry = 0) ?(data_base = 0) ?(symbols = []) insns =
+  { Conv_prog.insns; entry; data = [||]; data_base; symbols }
+
+let rules ds = List.sort_uniq compare (List.map Verify.rule_of ds)
+
+let check_block_rule name rule p =
+  Alcotest.(check (list string)) name [ rule ] (rules (Verify.block_diags p))
+
+let check_conv_rule name rule p =
+  Alcotest.(check (list string)) name [ rule ] (rules (Verify.conv_diags p))
+
+(* --- Block rules ----------------------------------------------------------- *)
+
+let test_block_entry_range () =
+  check_block_rule "entry past end" "entry-range" (bprog ~entry:5 [| blk Ablock.Halt |]);
+  check_block_rule "negative entry" "entry-range" (bprog ~entry:(-1) [| blk Ablock.Halt |])
+
+let test_block_target_range () =
+  check_block_rule "goto" "target-range" (bprog [| blk (Ablock.Goto 9) |]);
+  check_block_rule "call" "target-range"
+    (bprog [| blk (Ablock.Call { callee = 9; ret_to = 0 }) |]);
+  check_block_rule "fault" "target-range"
+    (bprog
+       [| blk ~elts:[| Ablock.Fault (Cmp.Eq, ri 2, ri 3, 9) |] Ablock.Halt |])
+
+let test_block_reg_range () =
+  check_block_rule "op register 40" "reg-range"
+    (bprog [| blk ~elts:[| Ablock.Op (Op.Mov (ri 40, ri 0)) |] Ablock.Halt |])
+
+let test_block_reg_class () =
+  check_block_rule "itof int dest" "reg-class"
+    (bprog [| blk ~elts:[| Ablock.Op (Op.Itof (ri 5, ri 6)) |] Ablock.Halt |]);
+  check_block_rule "float trap operand" "reg-class"
+    (bprog
+       [|
+         blk
+           (Ablock.Trap
+              { cmp = Cmp.Eq; rs1 = rf 2; rs2 = ri 3; taken = 0; not_taken = 0;
+                succ_log2 = 1 });
+       |])
+
+let test_block_size () =
+  check_block_rule "17 ops" "block-size"
+    (bprog [| blk ~elts:(Array.make 16 (Ablock.Op Op.Nop)) Ablock.Halt |])
+
+let test_block_fault_count () =
+  check_block_rule "3 faults" "fault-count"
+    (bprog
+       [|
+         blk ~elts:(Array.make 3 (Ablock.Fault (Cmp.Eq, ri 2, ri 3, 0))) Ablock.Halt;
+       |])
+
+let trap ?(succ_log2 = 1) taken not_taken =
+  Ablock.Trap { cmp = Cmp.Eq; rs1 = ri 2; rs2 = ri 3; taken; not_taken; succ_log2 }
+
+let test_block_succ_log2 () =
+  check_block_rule "zero" "succ-log2" (bprog [| blk (trap ~succ_log2:0 0 0) |]);
+  check_block_rule "four" "succ-log2" (bprog [| blk (trap ~succ_log2:4 0 0) |])
+
+let test_block_succ_log2_consistent () =
+  (* One distinct declared successor needs succ_log2 = 1, not 3. *)
+  check_block_rule "overdeclared" "succ-log2-consistent"
+    (bprog ~succ:[| ([| 0 |], [| 0 |]) |] [| blk (trap ~succ_log2:3 0 0) |])
+
+let test_block_succ_shape () =
+  check_block_rule "missing succ record" "succ-shape"
+    (bprog ~succ:[||] [| blk Ablock.Halt |]);
+  check_block_rule "missing variant set" "succ-shape"
+    (bprog ~variants:[||] [| blk Ablock.Halt |])
+
+let test_block_succ_range () =
+  check_block_rule "wild declared successor" "succ-range"
+    (bprog ~succ:[| ([| 7 |], [||]) |] [| blk Ablock.Halt |]);
+  check_block_rule "wild variant" "succ-range"
+    (bprog ~variants:[| [| 7 |] |] [| blk Ablock.Halt |])
+
+let test_block_ijump_declared () =
+  check_block_rule "undeclared ijump" "ijump-declared"
+    (bprog [| blk (Ablock.Ijump (ri 5)) |]);
+  (* Declaring the target set fixes it. *)
+  Alcotest.(check (list string)) "declared ijump" []
+    (rules (Verify.block_diags (bprog ~succ:[| ([| 0 |], [||]) |] [| blk (Ablock.Ijump (ri 5)) |])))
+
+let test_block_ra_discipline () =
+  check_block_rule "li into r31" "ra-discipline"
+    (bprog [| blk ~elts:[| Ablock.Op (Op.Li (Reg.ra, 0)) |] Ablock.Halt |]);
+  (* The epilogue reload is the one permitted body write. *)
+  Alcotest.(check (list string)) "epilogue reload ok" []
+    (rules
+       (Verify.block_diags
+          (bprog [| blk ~elts:[| Ablock.Op (Op.Load (Reg.ra, Reg.sp, 8)) |] Ablock.Halt |])))
+
+let test_block_symbol_range () =
+  check_block_rule "symbol past end" "symbol-range"
+    (bprog ~symbols:[ ("f", 9) ] [| blk Ablock.Halt |])
+
+let test_block_data_base_align () =
+  check_block_rule "unaligned data base" "data-base-align"
+    (bprog ~data_base:4 [| blk Ablock.Halt |])
+
+(* --- Conv rules ------------------------------------------------------------ *)
+
+let test_conv_nonempty () = check_conv_rule "empty program" "nonempty" (cprog [||])
+
+let test_conv_entry_range () =
+  check_conv_rule "entry past end" "entry-range" (cprog ~entry:5 [| Insn.Halt |])
+
+let test_conv_target_range () =
+  check_conv_rule "jmp past end" "target-range" (cprog [| Insn.Jmp 9 |])
+
+let test_conv_fallthrough () =
+  check_conv_rule "op last" "fallthrough" (cprog [| Insn.Op Op.Nop |]);
+  check_conv_rule "br last" "fallthrough" (cprog [| Insn.Br (Cmp.Eq, ri 2, ri 3, 0) |]);
+  Alcotest.(check (list string)) "halt last ok" []
+    (rules (Verify.conv_diags (cprog [| Insn.Op Op.Nop; Insn.Halt |])))
+
+let test_conv_reg_range () =
+  check_conv_rule "register 40" "reg-range"
+    (cprog [| Insn.Op (Op.Mov (ri 40, ri 0)); Insn.Halt |])
+
+let test_conv_reg_class () =
+  check_conv_rule "itof int dest" "reg-class"
+    (cprog [| Insn.Op (Op.Itof (ri 5, ri 6)); Insn.Halt |]);
+  check_conv_rule "float branch operand" "reg-class"
+    (cprog [| Insn.Br (Cmp.Eq, rf 2, ri 3, 0); Insn.Halt |]);
+  check_conv_rule "float jr operand" "reg-class" (cprog [| Insn.Jr (rf 2) |])
+
+let test_conv_ra_discipline () =
+  check_conv_rule "li into r31" "ra-discipline"
+    (cprog [| Insn.Op (Op.Li (Reg.ra, 0)); Insn.Halt |])
+
+let test_conv_symbol_range () =
+  check_conv_rule "symbol past end" "symbol-range"
+    (cprog ~symbols:[ ("f", 9) ] [| Insn.Halt |])
+
+let test_conv_data_base_align () =
+  check_conv_rule "unaligned data base" "data-base-align"
+    (cprog ~data_base:4 [| Insn.Halt |])
+
+(* --- Witnesses and helpers -------------------------------------------------- *)
+
+let test_succ_log2_of_count () =
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check int) (Printf.sprintf "count %d" n) expect
+        (Verify.succ_log2_of_count n))
+    [ (0, 1); (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 3); (100, 3) ]
+
+let test_witness_roundtrip () =
+  let p = bprog [| blk Ablock.Halt |] in
+  (match Verify.block_prog p with
+  | Ok w -> Alcotest.(check bool) "same program" true ((w :> Block_prog.t) == p)
+  | Error _ -> Alcotest.fail "minimal block program rejected");
+  let c = cprog [| Insn.Halt |] in
+  match Verify.conv_prog c with
+  | Ok w -> Alcotest.(check bool) "same conv program" true ((w :> Conv_prog.t) == c)
+  | Error _ -> Alcotest.fail "minimal conv program rejected"
+
+let test_exn_carries_rule () =
+  let p = bprog ~entry:5 [| blk Ablock.Halt |] in
+  match Verify.block_exn p with
+  | (_ : Verify.verified_block_prog) -> Alcotest.fail "bad program accepted"
+  | exception Diag.Fail d ->
+    Alcotest.(check string) "rule id up front" "entry-range" (Verify.rule_of d)
+
+(* --- Compiler output always verifies ---------------------------------------- *)
+
+let enlarge_configs =
+  let d = Bisa_backend.Enlarge.default_config in
+  [
+    ("default", d);
+    ("max8", { d with Bisa_backend.Enlarge.max_ops = 8 });
+    ("small", { d with Bisa_backend.Enlarge.max_ops = 4; max_faults = 1 });
+    ("disabled", { d with Bisa_backend.Enlarge.enabled = false });
+    ("aggressive",
+     { d with Bisa_backend.Enlarge.merge_across_back_edges = true;
+       enlarge_libraries = true });
+  ]
+
+let test_compiler_output_verifies () =
+  let workloads =
+    Bisa_workloads.Workloads.all @ [ Bisa_workloads.Workloads.scientific ]
+  in
+  List.iter
+    (fun (w : Bisa_workloads.Workloads.t) ->
+      List.iter
+        (fun (cname, cfg) ->
+          let c = Bisa_workloads.Workloads.compile ~scale:1 ~enlarge:cfg w in
+          let label what = Printf.sprintf "%s/%s %s" w.name cname what in
+          Alcotest.(check (list string)) (label "conv") []
+            (List.map Diag.render (Verify.conv_diags c.conv));
+          Alcotest.(check (list string)) (label "block") []
+            (List.map Diag.render (Verify.block_diags c.block)))
+        enlarge_configs)
+    workloads
+
+let suite =
+  [
+    Alcotest.test_case "block entry-range" `Quick test_block_entry_range;
+    Alcotest.test_case "block target-range" `Quick test_block_target_range;
+    Alcotest.test_case "block reg-range" `Quick test_block_reg_range;
+    Alcotest.test_case "block reg-class" `Quick test_block_reg_class;
+    Alcotest.test_case "block block-size" `Quick test_block_size;
+    Alcotest.test_case "block fault-count" `Quick test_block_fault_count;
+    Alcotest.test_case "block succ-log2" `Quick test_block_succ_log2;
+    Alcotest.test_case "block succ-log2-consistent" `Quick test_block_succ_log2_consistent;
+    Alcotest.test_case "block succ-shape" `Quick test_block_succ_shape;
+    Alcotest.test_case "block succ-range" `Quick test_block_succ_range;
+    Alcotest.test_case "block ijump-declared" `Quick test_block_ijump_declared;
+    Alcotest.test_case "block ra-discipline" `Quick test_block_ra_discipline;
+    Alcotest.test_case "block symbol-range" `Quick test_block_symbol_range;
+    Alcotest.test_case "block data-base-align" `Quick test_block_data_base_align;
+    Alcotest.test_case "conv nonempty" `Quick test_conv_nonempty;
+    Alcotest.test_case "conv entry-range" `Quick test_conv_entry_range;
+    Alcotest.test_case "conv target-range" `Quick test_conv_target_range;
+    Alcotest.test_case "conv fallthrough" `Quick test_conv_fallthrough;
+    Alcotest.test_case "conv reg-range" `Quick test_conv_reg_range;
+    Alcotest.test_case "conv reg-class" `Quick test_conv_reg_class;
+    Alcotest.test_case "conv ra-discipline" `Quick test_conv_ra_discipline;
+    Alcotest.test_case "conv symbol-range" `Quick test_conv_symbol_range;
+    Alcotest.test_case "conv data-base-align" `Quick test_conv_data_base_align;
+    Alcotest.test_case "succ_log2 formula" `Quick test_succ_log2_of_count;
+    Alcotest.test_case "witness roundtrip" `Quick test_witness_roundtrip;
+    Alcotest.test_case "exn carries rule" `Quick test_exn_carries_rule;
+    Alcotest.test_case "compiler output verifies" `Slow test_compiler_output_verifies;
+  ]
