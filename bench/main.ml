@@ -18,6 +18,10 @@
    machine-readable JSON (per-kernel ns/run plus simulated-ops
    throughput); see BENCH_sim.json for a checked-in baseline.
 
+   [--stream] runs the suspendable-session path on a paper-scale op
+   count with bounded output retention and reports throughput and peak
+   RSS; see BENCH_sim.json's "stream" entry for the checked-in baseline.
+
    [-j N] sets the worker-domain count for the report modes (default:
    the machine's recommended domain count; -j1 is fully sequential). *)
 
@@ -202,6 +206,85 @@ let run_report ~quick ~pool =
     (Bisa_experiments.Ablations.all ~pool ()
     @ [ Bisa_experiments.Profile_guided.study ~pool () ])
 
+(* --- streamed paper-scale measurement ---------------------------------
+
+   [--stream] runs one synthetic workload through the suspendable
+   session path at two op counts (~5M and ~80M+, the paper's smallest
+   campaign size) with bounded output retention, and reports throughput
+   plus the process peak RSS (VmHWM) after each.  Because VmHWM is a
+   monotone high-water mark, the big run barely moving it is direct
+   evidence that resident memory is independent of op count. *)
+
+let stream_source iters =
+  Printf.sprintf
+    {|
+int lanes[64];
+int main() {
+  int i; int s = 7;
+  for (i = 0; i < %d; i = i + 1) {
+    int v = (s ^ i) & 63;
+    lanes[v] = lanes[v] + 1;
+    s = s + lanes[v] + (v >> 1);
+    if (s > 1000000) { s = s - 999999; }
+    if ((i & 4095) == 0) { print_int(s); }
+  }
+  print_int(s);
+  return s & 255;
+}
+|}
+    iters
+
+let vm_hwm_kb () =
+  let ic = open_in "/proc/self/status" in
+  let rec go () =
+    match input_line ic with
+    | line ->
+      if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+        close_in ic;
+        Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" (fun kb -> kb)
+      end
+      else go ()
+    | exception End_of_file ->
+      close_in ic;
+      0
+  in
+  go ()
+
+let run_stream ~json () =
+  let measure name iters =
+    let c = Bisa_compiler.Compiler.compile (stream_source iters) in
+    let cfg = Bisa_timing.Config.default in
+    let module P = Bisa_timing.Pipeline.Conv in
+    let s = P.session cfg c.conv in
+    P.set_out_cap s 1024;
+    let t0 = Unix.gettimeofday () in
+    let m, out = P.finish s in
+    let dt = Unix.gettimeofday () -. t0 in
+    let hwm = vm_hwm_kb () in
+    Printf.printf
+      "%-24s %10d ops  %6.2f s  %9.0f ops/sec  peak RSS %d KB  (%d output \
+       items retained)\n%!"
+      name m.retired_ops dt
+      (float_of_int m.retired_ops /. dt)
+      hwm
+      (List.length out.Bisa_sim.Output.items);
+    (m.retired_ops, dt, hwm)
+  in
+  let ops_small, _, hwm_small = measure "stream_conv_5M" 330_000 in
+  let ops_big, dt_big, hwm_big = measure "stream_conv_80M" 5_300_000 in
+  Printf.printf
+    "peak RSS grew %.1f%% for a %.1fx op-count increase%s\n%!"
+    (100.0 *. (float_of_int hwm_big /. float_of_int hwm_small -. 1.0))
+    (float_of_int ops_big /. float_of_int ops_small)
+    (if hwm_big < hwm_small * 3 / 2 then " — resident memory is independent of run length"
+     else " — WARNING: resident memory scaled with run length");
+  match json with
+  | None -> ()
+  | Some file ->
+    write_json ~file ~mode:"stream"
+      [ ("stream_conv_80M", dt_big *. 1e9, Some ops_big) ];
+    Printf.printf "wrote %s\n%!" file
+
 (* Accepts "-j4", "-j 4", and "--jobs 4". *)
 let rec jobs_of = function
   | [] -> Pool.default_workers ()
@@ -219,7 +302,8 @@ let rec json_of = function
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
-  if smoke || List.mem "--bechamel" args then
+  if List.mem "--stream" args then run_stream ~json:(json_of args) ()
+  else if smoke || List.mem "--bechamel" args then
     run_bechamel ~smoke ~json:(json_of args) ()
   else
     Pool.run ~workers:(jobs_of args) @@ fun pool ->

@@ -7,7 +7,7 @@ module Oracle = Bisa_check.Oracle
 module Decode_fuzz = Bisa_check.Decode_fuzz
 module Faults = Bisa_check.Faults
 
-type mode = All | Diff | Decode | Inject | Verify
+type mode = All | Diff | Decode | Inject | Verify | Crash
 
 (* A fixed program with calls, loops, arrays and traps for the decode and
    injection campaigns (the differential campaign generates its own). *)
@@ -108,6 +108,16 @@ let inject ~pool ~seed =
       r.runs r.injections r.extra_mispredicts;
     Ok ()
 
+let crash ~seed =
+  match Bisa_check.Crashes.campaign ~seed () with
+  | Error e -> Error ("crash recovery: " ^ e)
+  | Ok r ->
+    Printf.printf
+      "crash: %d-cell grid survived %d in-process crashes and %d SIGKILLs (%d \
+       mid-flight); every resumed report was byte-identical\n"
+      r.cells r.hook_crashes r.kill_trials r.kills_mid_flight;
+    Ok ()
+
 let run mode seed count jobs =
  Bisa_cli.Driver.guard ~component:"bisafuzz" @@ fun () ->
   Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
@@ -124,6 +134,9 @@ let run mode seed count jobs =
     | Decode -> [ (fun () -> decode ~pool ~seed ~count) ]
     | Verify -> [ (fun () -> verify ~pool ~seed ~count) ]
     | Inject -> [ (fun () -> inject ~pool ~seed) ]
+    (* Not part of All: the fork leg must run without live pool domains,
+       so it has its own alias pinned to -j 1 (see bin/dune). *)
+    | Crash -> [ (fun () -> crash ~seed) ]
   in
   let rec go = function
     | [] -> `Ok ()
@@ -142,13 +155,14 @@ let () =
           (enum
              [
                ("all", All); ("diff", Diff); ("decode", Decode);
-               ("verify", Verify); ("inject", Inject);
+               ("verify", Verify); ("inject", Inject); ("crash", Crash);
              ])
           All
       & info [ "mode" ]
           ~doc:"Campaign: diff (differential programs), decode (binary mutation), \
                 verify (decode/verify/simulate trichotomy), inject (front-end \
-                faults), or all.")
+                faults), crash (kill-and-resume recovery; run with -j 1), or all \
+                (everything except crash).")
   in
   let count =
     Arg.(

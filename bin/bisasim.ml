@@ -43,8 +43,12 @@ let reject what diags =
     (if List.length diags = 1 then "" else "s")
 
 let run input isa functional icache_kb perfect_pred show_output budget scale
-    trace_out trace_sample trace_validate timeline verify_only no_verify =
+    out_cap trace_out trace_sample trace_validate timeline verify_only no_verify =
  Driver.guard ~component:"bisasim" @@ fun () ->
+  (match out_cap with
+  | Some n when n < 0 ->
+    Bisa_base.Diag.fail ~component:"bisasim" "--out-cap must be non-negative (got %d)" n
+  | _ -> ());
   let conv_prog, block_prog =
     match load ?scale input with
     | Lconv p -> (Some p, None)
@@ -95,6 +99,7 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
         let module E = Bisa_sim.Conv_exec in
         let t = E.create (pick conv_prog "conventional") in
         E.set_budget t budget;
+        Option.iter (E.set_out_cap t) out_cap;
         let rec go () = match E.step t with Some _ -> go () | None -> () in
         go ();
         (E.output t, E.dyn_insns t, Option.map E.machine_trap_diag (E.machine_trap t))
@@ -102,6 +107,7 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
         let module E = Bisa_sim.Block_exec in
         let t = E.create (pick block_prog "block-structured") in
         E.set_budget t budget;
+        Option.iter (E.set_out_cap t) out_cap;
         let rec go () = match E.step t with Some _ -> go () | None -> () in
         go ();
         (E.output t, E.retired_ops t, Option.map E.machine_trap_diag (E.machine_trap t))
@@ -125,7 +131,9 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
         Some (Trace.recorder ~sample:trace_sample ())
       else None
     in
-    let m, out = Pipeline.run_packed ?probe:(Option.map Trace.probe recorder) cfg packed in
+    let m, out =
+      Pipeline.run_packed ?probe:(Option.map Trace.probe recorder) ?out_cap cfg packed
+    in
     if show_output then print_endline (Bisa_sim.Output.to_string out);
     print_endline (Bisa_timing.Metrics.summary ~name:P.descr m);
     (match recorder with
@@ -210,8 +218,8 @@ let () =
     Term.(
       ret
         (const run $ input $ isa $ functional $ Args.icache_kb $ Args.perfect_pred
-       $ show_output $ Args.budget $ Args.scale $ Args.trace_out $ Args.trace_sample
-       $ trace_validate $ timeline $ verify_only $ no_verify))
+       $ show_output $ Args.budget $ Args.scale $ Args.out_cap $ Args.trace_out
+       $ Args.trace_sample $ trace_validate $ timeline $ verify_only $ no_verify))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,38 +1,75 @@
 (* Regenerate every table and figure of the paper's evaluation (and the
-   extra studies), optionally writing EXPERIMENTS.md. *)
+   extra studies), optionally writing EXPERIMENTS.md.
 
-let run only scale paper_caches with_ablations out verbose jobs =
+   With --resume DIR the run is crash-safe: every harness-routed cell
+   persists its metrics in the campaign directory, in-flight cells leave
+   periodic checkpoints, and rerunning with the same directory reuses
+   finished cells and resumes interrupted ones.  With --timeout SEC a
+   cell exceeding its budget degrades only its own reports; everything
+   else still prints, and the run exits nonzero. *)
+
+let run only scale paper_caches with_ablations out verbose jobs resume
+    checkpoint_every timeout =
  Bisa_cli.Driver.guard ~component:"experiments" @@ fun () ->
   Bisa_experiments.Harness.verbose := verbose;
   Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
-  let h =
-    match scale with
-    | Some scale -> Bisa_experiments.Harness.create ~scale ~paper_caches ~pool ()
-    | None -> Bisa_experiments.Harness.create ~paper_caches ~pool ()
+  let campaign =
+    Option.map
+      (fun dir ->
+        Bisa_experiments.Campaign.open_ ~dir ~checkpoint_every ?timeout_s:timeout
+          ~scale ~paper_caches ())
+      resume
   in
-  let reports =
-    let all =
-      Bisa_experiments.Figures.all h
-      @ [
-          Bisa_experiments.Extras.prediction_parity h;
-          Bisa_experiments.Extras.scientific ~pool ();
-          Bisa_experiments.Extras.trace_cache_rivalry ~pool ();
-          Bisa_experiments.Extras.inlining_study ~pool ();
-          Bisa_experiments.Extras.predication_study ~pool ();
-        ]
-    in
+  let h = Bisa_experiments.Harness.create ?scale ~paper_caches ~pool ?campaign () in
+  (* Each report is generated independently so one timed-out cell spoils
+     only the reports that need it. *)
+  let report_thunks : (string * (unit -> Bisa_experiments.Figures.report)) list =
+    [
+      ("table1", fun () -> Bisa_experiments.Figures.table1 ());
+      ("table2", fun () -> Bisa_experiments.Figures.table2 h);
+      ("fig3", fun () -> Bisa_experiments.Figures.fig3 h);
+      ("fig4", fun () -> Bisa_experiments.Figures.fig4 h);
+      ("fig5", fun () -> Bisa_experiments.Figures.fig5 h);
+      ("fig6", fun () -> Bisa_experiments.Figures.fig6 h);
+      ("fig7", fun () -> Bisa_experiments.Figures.fig7 h);
+      ("prediction_parity", fun () -> Bisa_experiments.Extras.prediction_parity h);
+      ("future_scientific", fun () -> Bisa_experiments.Extras.scientific ~pool ());
+      ("trace_cache", fun () -> Bisa_experiments.Extras.trace_cache_rivalry ~pool ());
+      ("inlining", fun () -> Bisa_experiments.Extras.inlining_study ~pool ());
+      ("predication", fun () -> Bisa_experiments.Extras.predication_study ~pool ());
+    ]
+  in
+  let report_thunks =
     match only with
-    | None -> all
+    | None -> report_thunks
     | Some id -> begin
       (* An unknown id must fail loudly, not print an empty report. *)
-      match List.filter (fun (r : Bisa_experiments.Figures.report) -> r.id = id) all with
+      match List.filter (fun (rid, _) -> rid = id) report_thunks with
       | [] ->
         Bisa_base.Diag.fail ~component:"experiments"
           "no experiment named %s (have: %s)" id
-          (String.concat " "
-             (List.map (fun (r : Bisa_experiments.Figures.report) -> r.id) all))
+          (String.concat " " (List.map fst report_thunks))
       | picked -> picked
     end
+  in
+  let timeouts = ref [] in
+  let reports =
+    List.map
+      (fun (id, thunk) ->
+        try thunk ()
+        with Bisa_experiments.Campaign.Timed_out { key; ops } ->
+          timeouts := (id, key, ops) :: !timeouts;
+          {
+            Bisa_experiments.Figures.id;
+            title = "TIMED OUT";
+            rendered =
+              Bisa_base.Diag.render
+                (Bisa_experiments.Campaign.timed_out_diag ~key ~ops);
+            summary =
+              "Partial result: rerun with the same --resume directory (and a \
+               larger --timeout) to continue from the last checkpoint.";
+          })
+      report_thunks
   in
   let buf = Buffer.create 65536 in
   List.iter
@@ -56,7 +93,16 @@ let run only scale paper_caches with_ablations out verbose jobs =
     Bisa_base.Atomic_file.write_string path (Buffer.contents buf);
     Printf.printf "\nwrote %s\n" path
   | None -> ());
-  `Ok ()
+  match !timeouts with
+  | [] -> `Ok ()
+  | ts ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "%d experiment(s) hit the per-cell --timeout (%s); surviving results \
+           were printed above"
+          (List.length ts)
+          (String.concat ", " (List.rev_map (fun (id, _, _) -> id) ts)) )
 
 let () =
   let open Cmdliner in
@@ -86,7 +132,8 @@ let () =
     Term.(
       ret
         (const run $ only $ Bisa_cli.Args.scale $ paper_caches $ with_ablations $ out
-       $ verbose $ Bisa_cli.Args.jobs))
+       $ verbose $ Bisa_cli.Args.jobs $ Bisa_cli.Args.resume
+       $ Bisa_cli.Args.checkpoint_every $ Bisa_cli.Args.timeout))
   in
   let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures" in
   exit (Cmd.eval (Cmd.v info term))

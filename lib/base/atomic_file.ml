@@ -1,10 +1,16 @@
 let crash_after_write_hook = ref None
 
+(* Temp names carry the pid *and* a process-wide counter: two domains of
+   one process atomically writing the same path must never share a temp
+   file, or the rename could publish an interleaved body. *)
+let tmp_counter = Atomic.make 0
+
 let write path f =
   let dir = Filename.dirname path in
   let tmp =
     Filename.concat dir
-      (Printf.sprintf "%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+      (Printf.sprintf "%s.tmp.%d.%d" (Filename.basename path) (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
   in
   let oc = open_out_bin tmp in
   (try

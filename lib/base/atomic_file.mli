@@ -5,8 +5,9 @@
     interrupted run (Ctrl-C, OOM kill, crash mid-serialization) leaves
     either the previous file or no file, never a truncated one.  The temp
     file lives in the destination's directory (rename must not cross a
-    filesystem) under a [.tmp.<pid>] suffix and is removed if the writer
-    raises. *)
+    filesystem) under a [.tmp.<pid>.<n>] suffix — the counter keeps
+    concurrent writer domains of one process on distinct temp files — and
+    is removed if the writer raises. *)
 
 val write : string -> (out_channel -> unit) -> unit
 (** [write path f] opens a temp file in binary mode next to [path], runs

@@ -1,0 +1,139 @@
+(* Compact binary state codec for checkpoint snapshots.
+
+   The writer appends zigzag-varint integers (full 63-bit range — the
+   encoding goes through Int64, so max_int-magnitude values round-trip),
+   IEEE-754 floats, strings and arrays to a growable buffer; the reader
+   mirrors it and turns every malformed read into a structured
+   {!Diag.Fail} instead of an exception from the depths of [String].
+   Section tags frame each component's state so a snapshot that drifts
+   out of sync with the code fails with the section name, not a random
+   decode error thousands of bytes later. *)
+
+let corrupt fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Diag.Fail (Diag.error ~component:"codec" ("corrupt snapshot: " ^ message))))
+    fmt
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents = Buffer.contents
+  let length = Buffer.length
+
+  let u64 b v =
+    let v = ref v in
+    let continue_ = ref true in
+    while !continue_ do
+      let low = Int64.to_int (Int64.logand !v 0x7FL) in
+      v := Int64.shift_right_logical !v 7;
+      if Int64.equal !v 0L then begin
+        Buffer.add_char b (Char.chr low);
+        continue_ := false
+      end
+      else Buffer.add_char b (Char.chr (low lor 0x80))
+    done
+
+  let i64 b v =
+    (* zigzag so small negative ints stay short *)
+    u64 b Int64.(logxor (shift_left v 1) (shift_right v 63))
+
+  let int b v = i64 b (Int64.of_int v)
+  let bool b v = int b (if v then 1 else 0)
+  let float b v = u64 b (Int64.bits_of_float v)
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let bytes b s =
+    int b (Bytes.length s);
+    Buffer.add_bytes b s
+
+  let int_array b a =
+    int b (Array.length a);
+    Array.iter (int b) a
+
+  let float_array b a =
+    int b (Array.length a);
+    Array.iter (float b) a
+
+  let option b f = function
+    | None -> bool b false
+    | Some v ->
+      bool b true;
+      f b v
+
+  let section b name = string b ("#" ^ name)
+end
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let of_string ?(pos = 0) s = { s; pos }
+  let pos t = t.pos
+  let at_end t = t.pos >= String.length t.s
+
+  let byte t =
+    if t.pos >= String.length t.s then corrupt "truncated at byte %d" t.pos;
+    let c = Char.code t.s.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let u64 t =
+    let rec go shift acc =
+      if shift > 63 then corrupt "varint overruns 64 bits at byte %d" t.pos;
+      let c = byte t in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (c land 0x7F)) shift) in
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0L
+
+  let i64 t =
+    let v = u64 t in
+    Int64.(logxor (shift_right_logical v 1) (neg (logand v 1L)))
+
+  let int t = Int64.to_int (i64 t)
+  let bool t = int t <> 0
+  let float t = Int64.float_of_bits (u64 t)
+
+  let string t =
+    let n = int t in
+    if n < 0 || t.pos + n > String.length t.s then
+      corrupt "string of length %d overruns snapshot at byte %d" n t.pos;
+    let s = String.sub t.s t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t = Bytes.of_string (string t)
+
+  let int_array t =
+    let n = int t in
+    if n < 0 then corrupt "negative array length at byte %d" t.pos;
+    Array.init n (fun _ -> int t)
+
+  let float_array t =
+    let n = int t in
+    if n < 0 then corrupt "negative array length at byte %d" t.pos;
+    Array.init n (fun _ -> float t)
+
+  let option t f = if bool t then Some (f t) else None
+
+  let section t name =
+    let got = string t in
+    if got <> "#" ^ name then corrupt "expected section %S, found %S" ("#" ^ name) got
+end
+
+(* FNV-1a over the bytes, for content-hash binding of snapshots to the
+   program and configuration they were taken under. *)
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let hash_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)

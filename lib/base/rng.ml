@@ -15,6 +15,8 @@ let next t =
 
 let split t = { state = next t }
 let copy t = { state = t.state }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let derive seed i =
   let s = mix (Int64.of_int seed) in

@@ -17,6 +17,11 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val state : t -> int64
+val set_state : t -> int64 -> unit
+(** Raw generator state, for checkpoint snapshots: restoring the saved
+    state resumes the exact stream. *)
+
 val derive : int -> int -> t
 (** [derive seed i] makes the [i]th generator of the family rooted at
     [seed]: a pure function of [(seed, i)], with the streams of

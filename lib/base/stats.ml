@@ -64,6 +64,17 @@ module Histogram = struct
     end
 
   let iter t f = Array.iteri (fun i c -> if c > 0 then f i c) t.counts
+
+  let save t w =
+    Codec.W.int_array w t.counts;
+    Codec.W.int w t.total
+
+  let load t r =
+    let counts = Codec.R.int_array r in
+    if Array.length counts <> Array.length t.counts then
+      invalid_arg "Histogram.load: bucket count mismatch";
+    Array.blit counts 0 t.counts 0 (Array.length counts);
+    t.total <- Codec.R.int r
 end
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den

@@ -34,6 +34,11 @@ module Histogram : sig
   (** [percentile t 0.5] is the median bucket; 0 when empty. *)
 
   val iter : t -> (int -> int -> unit) -> unit
+
+  val save : t -> Codec.W.t -> unit
+  val load : t -> Codec.R.t -> unit
+  (** Checkpoint the bucket counts; [load] requires an identically-sized
+      histogram and raises [Invalid_argument] otherwise. *)
 end
 
 val ratio : int -> int -> float

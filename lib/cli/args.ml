@@ -70,3 +70,49 @@ let trace_sample =
         ~doc:
           "Export every Nth fetch unit's trace events (default 1 = all); the \
            event counters stay exact regardless of sampling.")
+
+let out_cap =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "out-cap" ]
+        ~env:(env "BISA_OUT_CAP" "Default for $(b,--out-cap).")
+        ~doc:
+          "Retain only the first N program-output items (the total count and a \
+           rolling content hash stay exact).  Keeps resident memory independent \
+           of run length on paper-scale $(b,--scale) runs; default keeps \
+           everything.")
+
+let resume =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ]
+        ~env:(env "BISA_RESUME" "Default for $(b,--resume).")
+        ~doc:
+          "Campaign directory for crash-safe runs: finished cells are reused, \
+           interrupted cells resume from their last checkpoint, and the final \
+           report is byte-identical to an uninterrupted run.  Created if \
+           missing.")
+
+let checkpoint_every =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "checkpoint-every" ]
+        ~env:(env "BISA_CHECKPOINT_EVERY" "Default for $(b,--checkpoint-every).")
+        ~doc:
+          "Checkpoint cadence in dynamic operations (with $(b,--resume)): a \
+           kill at any instant loses at most this much work per in-flight \
+           cell.")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ]
+        ~env:(env "BISA_TIMEOUT" "Default for $(b,--timeout).")
+        ~doc:
+          "Per-cell wall-clock budget in seconds: cells exceeding it are \
+           recorded as timed out, the surviving results still print, and the \
+           run exits nonzero.")

@@ -33,3 +33,20 @@ val trace_out : string option Cmdliner.Term.t
 val trace_sample : int Cmdliner.Term.t
 (** [--trace-sample] / [BISA_TRACE_SAMPLE]: export every Nth fetch unit's
     events (default 1 = all); counters stay exact regardless. *)
+
+val out_cap : int option Cmdliner.Term.t
+(** [--out-cap] / [BISA_OUT_CAP]: bound program-output retention so RSS
+    stays independent of run length on streamed paper-scale runs. *)
+
+val resume : string option Cmdliner.Term.t
+(** [--resume] / [BISA_RESUME]: campaign directory for crash-safe,
+    resumable experiment runs (created if missing). *)
+
+val checkpoint_every : int Cmdliner.Term.t
+(** [--checkpoint-every] / [BISA_CHECKPOINT_EVERY]: snapshot cadence in
+    dynamic operations for in-flight cells (default 100000). *)
+
+val timeout : float option Cmdliner.Term.t
+(** [--timeout] / [BISA_TIMEOUT]: per-cell wall-clock budget in seconds;
+    exceeding cells are recorded as timed out and the run exits
+    nonzero. *)

@@ -6,21 +6,9 @@ module Pool = Bisa_base.Pool
 
 type report = { id : string; title : string; rendered : string; summary : string }
 
-(* Split [xs] into consecutive groups of [n] (the grid results of one
-   benchmark); the length must divide evenly. *)
-let chunks n xs =
-  let rec take k acc = function
-    | rest when k = 0 -> (List.rev acc, rest)
-    | x :: rest -> take (k - 1) (x :: acc) rest
-    | [] -> invalid_arg "Figures.chunks: ragged grid"
-  in
-  let rec go = function
-    | [] -> []
-    | xs ->
-      let group, rest = take n [] xs in
-      group :: go rest
-  in
-  go xs
+(* The grid-splitting helper lives in Harness (shared, and unit-tested
+   against its edge cases); keep the historical alias here. *)
+let chunks = Harness.chunks
 
 (* ----- Table 1 ----------------------------------------------------------- *)
 

@@ -12,9 +12,8 @@ type report = {
 }
 
 val chunks : int -> 'a list -> 'a list list
-(** [chunks n xs] splits grid results back into consecutive per-benchmark
-    groups of [n]; raises [Invalid_argument] unless [n] divides the
-    length.  Shared by the other experiment modules. *)
+(** Alias of {!Harness.chunks}; raises [Invalid_argument] when [n <= 0]
+    or unless [n] divides the length. *)
 
 val table1 : unit -> report
 (** Instruction classes and latencies — the simulator's actual latency

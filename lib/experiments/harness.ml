@@ -19,6 +19,23 @@ let log fmt =
       end)
     fmt
 
+(* Split [xs] into consecutive groups of [n] (the grid results of one
+   benchmark); the length must divide evenly. *)
+let chunks n xs =
+  if n <= 0 then invalid_arg "Harness.chunks: group size must be positive";
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (k - 1) (x :: acc) rest
+    | [] -> invalid_arg "Harness.chunks: ragged grid"
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+      let group, rest = take n [] xs in
+      group :: go rest
+  in
+  go xs
+
 type cache_key = (int * int * int) option * Config.predictor
 
 (* A memo cell: Busy while the first requester computes; later requesters
@@ -29,6 +46,7 @@ type 'a cell = { cm : Mutex.t; cc : Condition.t; mutable state : 'a cell_state }
 
 type t = {
   scale : int option;
+  campaign : Campaign.t option;
   base : Config.t;
   sweep : (string * Cache.config) list;
   pool : Pool.t;
@@ -44,7 +62,7 @@ type t = {
 
 let scaled_default = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
 
-let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) () =
+let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) ?campaign () =
   let default_icache, sweep =
     if paper_caches then
       ( Cache.config_64k,
@@ -59,6 +77,7 @@ let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) () =
   in
   {
     scale;
+    campaign;
     base = Config.with_icache (Some default_icache) Config.default;
     sweep;
     pool;
@@ -71,6 +90,7 @@ let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) () =
   }
 
 let base_config t = t.base
+let campaign t = t.campaign
 let sweep_caches t = t.sweep
 let benchmarks _ = Workloads.all
 let pool t = t.pool
@@ -157,12 +177,20 @@ let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
       f (compiled t w))
 
 (* Both ISAs run through the one [Pipeline.S] contract; only the program
-   accessor and the predecode memo table differ per instantiation. *)
+   accessor and the predecode memo table differ per instantiation.  With a
+   campaign attached, every cell goes through its crash-safe path:
+   finished cells are read back from their manifests, interrupted ones
+   resume from their snapshots. *)
 let run_pipe (type p tb) t
     (module P : Bisa_timing.Pipeline.S with type prog = p and type tables = tb)
     ~(prog_of : Bisa_compiler.Compiler.compiled -> p)
     ~(tables : Workloads.t -> tb) (w : Workloads.t) cfg =
-  run t w cfg ~isa:P.isa ~f:(fun c -> P.run ~tables:(tables w) cfg (prog_of c))
+  run t w cfg ~isa:P.isa ~f:(fun c ->
+      let prog = prog_of c in
+      let tb = tables w in
+      match t.campaign with
+      | Some camp -> Campaign.run_cell camp (module P) ~tables:tb ~bench:w.name cfg prog
+      | None -> P.run ~tables:tb cfg prog)
 
 let run_conv t w cfg =
   run_pipe t

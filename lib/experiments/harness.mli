@@ -19,9 +19,23 @@
 type t
 
 val create :
-  ?scale:int -> ?paper_caches:bool -> ?pool:Bisa_base.Pool.t -> unit -> t
+  ?scale:int ->
+  ?paper_caches:bool ->
+  ?pool:Bisa_base.Pool.t ->
+  ?campaign:Campaign.t ->
+  unit ->
+  t
 (** [pool] (default {!Bisa_base.Pool.sequential}) is the worker pool the
-    experiment modules fan work out on; pass one pool per CLI run. *)
+    experiment modules fan work out on; pass one pool per CLI run.
+    [campaign] makes every harness-routed timing run crash-safe and
+    resumable (see {!Campaign}); without it runs are in-memory only. *)
+
+val campaign : t -> Campaign.t option
+
+val chunks : int -> 'a list -> 'a list list
+(** [chunks n xs] splits grid results back into consecutive per-benchmark
+    groups of [n].  Raises [Invalid_argument] when [n <= 0], or unless
+    [n] divides the length.  Shared by the experiment modules. *)
 
 val base_config : t -> Bisa_timing.Config.t
 (** The figure-3 configuration: identical cores, real predictor, default

@@ -28,7 +28,7 @@ type t = {
   mutable retired : int;
   mutable retired_blocks : int;
   mutable budget : int;
-  mutable out_rev : Output.item list;
+  sink : Output.Sink.sink;
 }
 
 exception Runaway of int
@@ -68,7 +68,7 @@ let create (prog : Block_prog.t) =
       retired = 0;
       retired_blocks = 0;
       budget = 2_000_000_000;
-      out_rev = [];
+      sink = Output.Sink.create ();
     }
   in
   Array.iteri
@@ -83,9 +83,13 @@ let dyn_ops t = t.dyn
 let retired_ops t = t.retired
 let retired_blocks t = t.retired_blocks
 let set_budget t n = t.budget <- n
+let set_out_cap t n = Output.Sink.set_cap t.sink n
+let out_count t = Output.Sink.count t.sink
+let out_hash t = Output.Sink.hash t.sink
+let out_truncated t = Output.Sink.truncated t.sink
 
 let output t =
-  { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+  { Output.ret = Regfile.get_i t.regs Reg.rv; items = Output.Sink.items t.sink }
 
 let read_mem t addr = Memory.load t.mem addr
 let read_memf t addr = Memory.loadf t.mem addr
@@ -177,7 +181,7 @@ let step ?fetch t =
             (b, None)
         in
         Sbuf.flush t.sbuf t.mem;
-        List.iter (fun item -> t.out_rev <- item :: t.out_rev) (List.rev !pending_out);
+        List.iter (fun item -> Output.Sink.push t.sink item) (List.rev !pending_out);
         let size = nelts + 1 in
         t.dyn <- t.dyn + size;
         t.retired <- t.retired + size;
@@ -210,6 +214,53 @@ let step ?fetch t =
       trap_halt t (Unaligned_access a)
     end
   end
+
+let mtrap_save w = function
+  | None -> Bisa_base.Codec.W.int w 0
+  | Some (Wild_jump b) ->
+    Bisa_base.Codec.W.int w 1;
+    Bisa_base.Codec.W.int w b
+  | Some (Unaligned_access a) ->
+    Bisa_base.Codec.W.int w 2;
+    Bisa_base.Codec.W.int w a
+
+let mtrap_load r =
+  match Bisa_base.Codec.R.int r with
+  | 0 -> None
+  | 1 -> Some (Wild_jump (Bisa_base.Codec.R.int r))
+  | 2 -> Some (Unaligned_access (Bisa_base.Codec.R.int r))
+  | k -> invalid_arg (Printf.sprintf "Block_exec: bad machine-trap tag %d" k)
+
+(* Checkpoint the full architectural state.  Only meaningful between
+   [step]s: the shadow register file and store buffer are intra-step
+   scratch (snapshotted at block entry, cleared by commit or squash), so
+   they carry nothing across steps and are not serialized. *)
+let save t w =
+  Bisa_base.Codec.W.section w "block_exec";
+  Bisa_base.Codec.W.int w t.required;
+  Bisa_base.Codec.W.bool w t.halted;
+  mtrap_save w t.mtrap;
+  Bisa_base.Codec.W.int w t.dyn;
+  Bisa_base.Codec.W.int w t.retired;
+  Bisa_base.Codec.W.int w t.retired_blocks;
+  Bisa_base.Codec.W.int w t.budget;
+  Regfile.save t.regs w;
+  Memory.save_state t.mem w;
+  Output.Sink.save t.sink w
+
+let load t r =
+  Bisa_base.Codec.R.section r "block_exec";
+  t.required <- Bisa_base.Codec.R.int r;
+  t.halted <- Bisa_base.Codec.R.bool r;
+  t.mtrap <- mtrap_load r;
+  t.dyn <- Bisa_base.Codec.R.int r;
+  t.retired <- Bisa_base.Codec.R.int r;
+  t.retired_blocks <- Bisa_base.Codec.R.int r;
+  t.budget <- Bisa_base.Codec.R.int r;
+  Regfile.load t.regs r;
+  Memory.load_state t.mem r;
+  Output.Sink.load t.sink r;
+  Sbuf.clear t.sbuf
 
 let run prog ?(budget = 2_000_000_000) () =
   let t = create prog in

@@ -71,6 +71,20 @@ val retired_blocks : t -> int
 val output : t -> Output.t
 val set_budget : t -> int -> unit
 
+val set_out_cap : t -> int -> unit
+(** Bound the number of retained output items (paper-scale runs would
+    otherwise grow the output list without bound).  The running count and
+    hash keep observing every item; see {!Output.Sink}. *)
+
+val out_count : t -> int
+val out_hash : t -> int64
+val out_truncated : t -> bool
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore the full architectural state.  Only meaningful
+    between {!step}s; the restored executor must wrap the same program. *)
+
 val read_mem : t -> int -> int
 val read_memf : t -> int -> float
 (** Inspect data memory (aligned byte address) — the differential oracle

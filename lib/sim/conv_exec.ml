@@ -23,7 +23,7 @@ type t = {
   mutable mtrap : machine_trap option;
   mutable dyn : int;
   mutable budget : int;
-  mutable out_rev : Output.item list;
+  sink : Output.Sink.sink;
 }
 
 exception Runaway of int
@@ -56,7 +56,7 @@ let create (prog : Conv_prog.t) =
       mtrap = None;
       dyn = 0;
       budget = 2_000_000_000;
-      out_rev = [];
+      sink = Output.Sink.create ();
     }
   in
   (* Preload the data segment. *)
@@ -69,9 +69,13 @@ let halted t = t.halted
 let machine_trap t = t.mtrap
 let dyn_insns t = t.dyn
 let set_budget t n = t.budget <- n
+let set_out_cap t n = Output.Sink.set_cap t.sink n
+let out_count t = Output.Sink.count t.sink
+let out_hash t = Output.Sink.hash t.sink
+let out_truncated t = Output.Sink.truncated t.sink
 
 let output t =
-  { Output.ret = Regfile.get_i t.regs Reg.rv; items = List.rev t.out_rev }
+  { Output.ret = Regfile.get_i t.regs Reg.rv; items = Output.Sink.items t.sink }
 
 let read_mem t addr = Memory.load t.mem addr
 let read_memf t addr = Memory.loadf t.mem addr
@@ -90,7 +94,7 @@ let step t =
   else begin
     let start = t.pc in
     let addrs = ref [] in
-    let out item = t.out_rev <- item :: t.out_rev in
+    let out item = Output.Sink.push t.sink item in
     let rec loop pc count =
       if count >= packet_cap then (Kfall, pc, count)
       else if pc < 0 || pc >= n then begin
@@ -157,6 +161,46 @@ let step t =
       List.iteri (fun i a -> mem_addrs.(count - 1 - i) <- a) !addrs;
       Some { start; count; mem_addrs; term; next }
   end
+
+let mtrap_save w = function
+  | None -> Bisa_base.Codec.W.int w 0
+  | Some (Wild_jump pc) ->
+    Bisa_base.Codec.W.int w 1;
+    Bisa_base.Codec.W.int w pc
+  | Some (Unaligned_access a) ->
+    Bisa_base.Codec.W.int w 2;
+    Bisa_base.Codec.W.int w a
+
+let mtrap_load r =
+  match Bisa_base.Codec.R.int r with
+  | 0 -> None
+  | 1 -> Some (Wild_jump (Bisa_base.Codec.R.int r))
+  | 2 -> Some (Unaligned_access (Bisa_base.Codec.R.int r))
+  | k -> invalid_arg (Printf.sprintf "Conv_exec: bad machine-trap tag %d" k)
+
+(* Checkpoint the full architectural state.  Only meaningful between
+   [step]s — there is no intra-packet state to capture. *)
+let save t w =
+  Bisa_base.Codec.W.section w "conv_exec";
+  Bisa_base.Codec.W.int w t.pc;
+  Bisa_base.Codec.W.bool w t.halted;
+  mtrap_save w t.mtrap;
+  Bisa_base.Codec.W.int w t.dyn;
+  Bisa_base.Codec.W.int w t.budget;
+  Regfile.save t.regs w;
+  Memory.save_state t.mem w;
+  Output.Sink.save t.sink w
+
+let load t r =
+  Bisa_base.Codec.R.section r "conv_exec";
+  t.pc <- Bisa_base.Codec.R.int r;
+  t.halted <- Bisa_base.Codec.R.bool r;
+  t.mtrap <- mtrap_load r;
+  t.dyn <- Bisa_base.Codec.R.int r;
+  t.budget <- Bisa_base.Codec.R.int r;
+  Regfile.load t.regs r;
+  Memory.load_state t.mem r;
+  Output.Sink.load t.sink r
 
 let run prog ?(budget = 2_000_000_000) () =
   let t = create prog in

@@ -50,3 +50,30 @@ let storef t addr v =
   (flts_of (page_of t wi)).(wi land page_mask) <- v
 
 let footprint_words t = Hashtbl.length t.pages * page_words
+
+(* Pages are checkpointed in ascending key order so equal memory states
+   produce identical snapshot bytes regardless of insertion history. *)
+let save_state t w =
+  Bisa_base.Codec.W.section w "memory";
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
+  let keys = List.sort compare keys in
+  Bisa_base.Codec.W.int w (List.length keys);
+  List.iter
+    (fun key ->
+      let p = Hashtbl.find t.pages key in
+      Bisa_base.Codec.W.int w key;
+      Bisa_base.Codec.W.int_array w p.ints;
+      Bisa_base.Codec.W.option w Bisa_base.Codec.W.float_array p.flts)
+    keys
+
+let load_state t r =
+  Bisa_base.Codec.R.section r "memory";
+  Hashtbl.reset t.pages;
+  let n = Bisa_base.Codec.R.int r in
+  for _ = 1 to n do
+    let key = Bisa_base.Codec.R.int r in
+    let ints = Bisa_base.Codec.R.int_array r in
+    let flts = Bisa_base.Codec.R.option r Bisa_base.Codec.R.float_array in
+    if Array.length ints <> page_words then invalid_arg "Memory.load: page size mismatch";
+    Hashtbl.add t.pages key { ints; flts }
+  done

@@ -21,3 +21,8 @@ val loadf : t -> int -> float
 val storef : t -> int -> float -> unit
 val footprint_words : t -> int
 (** Number of words in touched pages (for diagnostics). *)
+
+val save_state : t -> Bisa_base.Codec.W.t -> unit
+val load_state : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint the touched pages (ascending key order, so equal memory
+    states snapshot to identical bytes); [load] replaces the contents. *)

@@ -27,6 +27,20 @@ let set_f t r v =
 
 let copy t = { ints = Array.copy t.ints; flts = Array.copy t.flts }
 
+let save t w =
+  Bisa_base.Codec.W.section w "regfile";
+  Bisa_base.Codec.W.int_array w t.ints;
+  Bisa_base.Codec.W.float_array w t.flts
+
+let load t r =
+  Bisa_base.Codec.R.section r "regfile";
+  let ints = Bisa_base.Codec.R.int_array r in
+  let flts = Bisa_base.Codec.R.float_array r in
+  if Array.length ints <> Reg.count || Array.length flts <> Reg.count then
+    invalid_arg "Regfile.load: register count mismatch";
+  Array.blit ints 0 t.ints 0 Reg.count;
+  Array.blit flts 0 t.flts 0 Reg.count
+
 let blit ~src ~dst =
   Array.blit src.ints 0 dst.ints 0 Reg.count;
   Array.blit src.flts 0 dst.flts 0 Reg.count

@@ -13,3 +13,7 @@ val copy : t -> t
 val blit : src:t -> dst:t -> unit
 (** Overwrite [dst] with [src]'s contents (used for atomic-block shadow
     snapshots). *)
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint the full architectural register state. *)

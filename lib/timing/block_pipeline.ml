@@ -3,9 +3,36 @@ module Block_exec = Bisa_sim.Block_exec
 module Cache = Bisa_uarch.Cache
 module Block_pred = Bisa_uarch.Block_pred
 
-let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
-    (prog : Block_prog.t) : Metrics.t * Bisa_sim.Output.t =
-  let m = Metrics.create () in
+(* One in-flight timing simulation, advanced a fetched block at a time.
+   All loop state of the original monolithic run loop lives here so a run
+   can be suspended between steps, checkpointed, and resumed exactly. *)
+type session = {
+  cfg : Config.t;
+  prog : Block_prog.t;
+  pd : Predecode.blocks;
+  m : Metrics.t;
+  engine : Engine.t;
+  exec : Block_exec.t;
+  icache : Cache.t option;
+  pred : Block_pred.t;
+  probe : Bisa_obs.Probe.t;
+  tracing : bool;
+  inj : Bisa_uarch.Inject.t option;
+  mutable next_fetch : int;
+  (* The youngest committed block, its terminator's resolve time, its
+     predicted successor, and its resolved trap direction — prediction
+     correctness is judged when the next architectural successor is
+     known. *)
+  mutable prev : (int * int * int option * bool option) option;
+  (* Training is (committed block -> next committed block). *)
+  mutable last_committed : int option;
+  (* After a fault squash, fetch is forced to the fault target. *)
+  mutable forced : bool;
+  mutable running : bool;
+}
+
+let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
+    (prog : Block_prog.t) : session =
   let engine = Engine.create cfg in
   let pd =
     match tables with
@@ -17,7 +44,7 @@ let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
   let icache = Option.map Cache.create cfg.icache in
   let pred = Block_pred.create cfg.block_pred prog in
   (* One branch decides all event emission: with the null probe nothing
-     below this line behaves (or allocates) differently. *)
+     in the stepping path behaves (or allocates) differently. *)
   let tracing = not (Bisa_obs.Probe.is_null probe) in
   if tracing then begin
     Option.iter (fun c -> Cache.set_hook c probe.Bisa_obs.Probe.icache_access) icache;
@@ -26,174 +53,256 @@ let run_full ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
       (Engine.dcache engine);
     Block_pred.set_btb_hook pred probe.Bisa_obs.Probe.btb_lookup
   end;
-  let inj = cfg.inject in
-  let next_fetch = ref 0 in
-  (* The youngest committed block, its terminator's resolve time, its
-     predicted successor, and its resolved trap direction — prediction
-     correctness is judged when the next architectural successor is
-     known. *)
-  let prev : (int * int * int option * bool option) option ref = ref None in
-  (* Training is (committed block -> next committed block). *)
-  let last_committed : int option ref = ref None in
-  (* After a fault squash, fetch is forced to the fault target. *)
-  let forced = ref false in
-  let continue_ = ref true in
-  while !continue_ do
-    if Block_exec.halted exec then continue_ := false
-    else begin
-      let req = Block_exec.required exec in
-      (* Decide what to fetch and when. *)
-      let fetch_block =
-        if !forced then begin
-          forced := false;
-          req
-        end
-        else begin
-          match (cfg.predictor, !prev) with
-          | Config.Perfect, _ | Config.Real, None -> req
-          | Config.Real, Some (pblock, resolve, predicted, dir_taken) -> begin
-            let correct =
-              match predicted with
-              | Some p -> p = req || Block_prog.in_group prog ~rep:req p
-              | None -> false
-            in
-            if tracing then probe.Bisa_obs.Probe.predict ~pc:pblock ~correct;
+  {
+    cfg;
+    prog;
+    pd;
+    m = Metrics.create ();
+    engine;
+    exec;
+    icache;
+    pred;
+    probe;
+    tracing;
+    inj = cfg.inject;
+    next_fetch = 0;
+    prev = None;
+    last_committed = None;
+    forced = false;
+    running = true;
+  }
+
+(* One front-end iteration: choose the block to fetch (predicted or
+   forced), execute it, and account its timing.  Returns false once the
+   machine has halted. *)
+let step s =
+  let cfg = s.cfg and m = s.m and prog = s.prog and probe = s.probe in
+  let tracing = s.tracing in
+  if not s.running then false
+  else if Block_exec.halted s.exec then begin
+    s.running <- false;
+    false
+  end
+  else begin
+    let req = Block_exec.required s.exec in
+    (* Decide what to fetch and when. *)
+    let fetch_block =
+      if s.forced then begin
+        s.forced <- false;
+        req
+      end
+      else begin
+        match (cfg.predictor, s.prev) with
+        | Config.Perfect, _ | Config.Real, None -> req
+        | Config.Real, Some (pblock, resolve, predicted, dir_taken) -> begin
+          let correct =
             match predicted with
-            | Some p when correct -> p
-            | _ ->
-              (* Direction-level misprediction: redirect at trap
-                 resolution.  The refetch uses the deeper counters and BTB
-                 slots within the now-known direction, not blindly the
-                 representative (the hardware knows the direction once the
-                 trap resolves). *)
-              m.mispredicts <- m.mispredicts + 1;
-              next_fetch := max !next_fetch (resolve + cfg.redirect_penalty);
-              if tracing then
-                probe.Bisa_obs.Probe.redirect ~cycle:resolve ~until:!next_fetch
-                  ~cause:Bisa_obs.Probe.Mispredict;
-              let refetch =
-                match dir_taken with
-                | Some taken -> begin
-                  match Block_pred.predict_given_direction pred pblock ~taken with
-                  | Some v when v = req || Block_prog.in_group prog ~rep:req v -> v
-                  | _ -> req
-                end
-                | None -> req
-              in
-              refetch
-          end
-        end
-      in
-      match Block_exec.step ~fetch:fetch_block exec with
-      | None -> continue_ := false
-      | Some step ->
-        if cfg.predictor = Config.Perfect && step.squashed then
-          (* A perfect front end fetches the fault-free variant directly:
-             the squash hop costs nothing and is not even fetched. *)
-          ()
-        else begin
-          let fc = ref !next_fetch in
-          (match icache with
-          | Some c ->
-            let misses =
-              Cache.access_range c prog.block_addr.(step.block)
-                (Block_prog.block_bytes prog.blocks.(step.block))
-            in
-            if misses > 0 then fc := !fc + (misses * cfg.l2_latency);
-            (* Injected transient fault: drop the line just fetched. *)
-            (match inj with
-            | Some i when Bisa_uarch.Inject.evict_line i ->
-              Cache.evict c prog.block_addr.(step.block)
-            | _ -> ())
-          | None -> ());
-          m.fetch_units <- m.fetch_units + 1;
-          (* The unit is a slot range of the predecoded table: the body
-             elements actually executed, plus the terminator slot when the
-             block was not squashed. *)
-          let lo = pd.Predecode.first.(step.block) in
-          let term =
-            if step.squashed then -1 else pd.Predecode.first.(step.block + 1) - 1
+            | Some p -> p = req || Block_prog.in_group prog ~rep:req p
+            | None -> false
           in
-          let nops = step.ops_executed + (if step.squashed then 0 else 1) in
-          if tracing then
-            probe.Bisa_obs.Probe.unit_start ~cycle:!fc
-              ~addr:prog.block_addr.(step.block) ~ops:nops;
-          let want = !fc + cfg.decode_depth in
-          let dispatch = Engine.admit engine ~want ~op_count:nops in
-          let r =
-            Engine.run_unit engine ~dispatch ~commit:(not step.squashed)
-              pd.Predecode.tab ~lo ~len:step.ops_executed ~term
-              ~mem_addrs:step.mem_addrs ~mem_off:0
-          in
-          if tracing then begin
-            probe.Bisa_obs.Probe.occupancy ~cycle:r.retire
-              ~ops:(Engine.occupancy engine);
-            probe.Bisa_obs.Probe.unit_retire ~dispatch ~resolve:r.resolve
-              ~retire:r.retire ~ops:nops ~committed:(not step.squashed)
-          end;
-          next_fetch := max (!fc + 1) (dispatch - cfg.decode_depth + 1);
-          if step.squashed then begin
-            m.squashed_blocks <- m.squashed_blocks + 1;
-            m.squashed_ops <- m.squashed_ops + nops;
-            m.fault_squash_redirects <- m.fault_squash_redirects + 1;
+          if tracing then probe.Bisa_obs.Probe.predict ~pc:pblock ~correct;
+          match predicted with
+          | Some p when correct -> p
+          | _ ->
+            (* Direction-level misprediction: redirect at trap
+               resolution.  The refetch uses the deeper counters and BTB
+               slots within the now-known direction, not blindly the
+               representative (the hardware knows the direction once the
+               trap resolves). *)
             m.mispredicts <- m.mispredicts + 1;
-            next_fetch := max !next_fetch (r.resolve + cfg.redirect_penalty);
-            if tracing then begin
-              probe.Bisa_obs.Probe.squash ~cycle:r.resolve ~block:step.block
-                ~ops:nops;
-              probe.Bisa_obs.Probe.redirect ~cycle:r.resolve ~until:!next_fetch
-                ~cause:Bisa_obs.Probe.Fault_squash
-            end;
-            forced := true;
-            (* The wrongly-fetched variant invalidates the in-flight
-               prediction chain. *)
-            prev := None
-          end
-          else begin
-            m.retired_ops <- m.retired_ops + nops;
-            m.retired_blocks <- m.retired_blocks + 1;
-            Bisa_base.Stats.Histogram.add m.block_sizes nops;
-            (* Train on committed transitions. *)
-            (match cfg.predictor with
-            | Config.Real ->
-              (match !last_committed with
-              | Some p -> Block_pred.update pred ~block:p ~actual:step.block
-              | None -> ());
-              last_committed := Some step.block;
-              (* Injected BTB corruption: smash the widened entry's slots
-                 with a random block id.  The fetch guard above re-checks
-                 every slot against the required variant group, so a
-                 corrupt slot is at worst a misprediction. *)
-              (match inj with
-              | Some i when Bisa_uarch.Inject.corrupt_btb i ->
-                Block_pred.corrupt_btb pred ~block:step.block
-                  ~value:(Bisa_uarch.Inject.rand_int i (Array.length prog.blocks))
-              | _ -> ());
-              let predicted = Block_pred.predict pred step.block in
-              (* Injected forced misprediction: drop the prediction so the
-                 next fetch pays the redirect path. *)
-              let predicted =
-                match inj with
-                | Some i when Bisa_uarch.Inject.flip_direction i -> None
-                | _ -> predicted
-              in
-              prev := Some (step.block, r.resolve, predicted, step.dir_taken)
-            | Config.Perfect -> ())
-          end
+            s.next_fetch <- max s.next_fetch (resolve + cfg.redirect_penalty);
+            if tracing then
+              probe.Bisa_obs.Probe.redirect ~cycle:resolve ~until:s.next_fetch
+                ~cause:Bisa_obs.Probe.Mispredict;
+            let refetch =
+              match dir_taken with
+              | Some taken -> begin
+                match Block_pred.predict_given_direction s.pred pblock ~taken with
+                | Some v when v = req || Block_prog.in_group prog ~rep:req v -> v
+                | _ -> req
+              end
+              | None -> req
+            in
+            refetch
         end
-    end
+      end
+    in
+    (match Block_exec.step ~fetch:fetch_block s.exec with
+    | None -> s.running <- false
+    | Some step ->
+      if cfg.predictor = Config.Perfect && step.squashed then
+        (* A perfect front end fetches the fault-free variant directly:
+           the squash hop costs nothing and is not even fetched. *)
+        ()
+      else begin
+        let fc = ref s.next_fetch in
+        (match s.icache with
+        | Some c ->
+          let misses =
+            Cache.access_range c prog.block_addr.(step.block)
+              (Block_prog.block_bytes prog.blocks.(step.block))
+          in
+          if misses > 0 then fc := !fc + (misses * cfg.l2_latency);
+          (* Injected transient fault: drop the line just fetched. *)
+          (match s.inj with
+          | Some i when Bisa_uarch.Inject.evict_line i ->
+            Cache.evict c prog.block_addr.(step.block)
+          | _ -> ())
+        | None -> ());
+        m.fetch_units <- m.fetch_units + 1;
+        (* The unit is a slot range of the predecoded table: the body
+           elements actually executed, plus the terminator slot when the
+           block was not squashed. *)
+        let lo = s.pd.Predecode.first.(step.block) in
+        let term =
+          if step.squashed then -1 else s.pd.Predecode.first.(step.block + 1) - 1
+        in
+        let nops = step.ops_executed + (if step.squashed then 0 else 1) in
+        if tracing then
+          probe.Bisa_obs.Probe.unit_start ~cycle:!fc
+            ~addr:prog.block_addr.(step.block) ~ops:nops;
+        let want = !fc + cfg.decode_depth in
+        let dispatch = Engine.admit s.engine ~want ~op_count:nops in
+        let r =
+          Engine.run_unit s.engine ~dispatch ~commit:(not step.squashed)
+            s.pd.Predecode.tab ~lo ~len:step.ops_executed ~term
+            ~mem_addrs:step.mem_addrs ~mem_off:0
+        in
+        if tracing then begin
+          probe.Bisa_obs.Probe.occupancy ~cycle:r.retire
+            ~ops:(Engine.occupancy s.engine);
+          probe.Bisa_obs.Probe.unit_retire ~dispatch ~resolve:r.resolve
+            ~retire:r.retire ~ops:nops ~committed:(not step.squashed)
+        end;
+        s.next_fetch <- max (!fc + 1) (dispatch - cfg.decode_depth + 1);
+        if step.squashed then begin
+          m.squashed_blocks <- m.squashed_blocks + 1;
+          m.squashed_ops <- m.squashed_ops + nops;
+          m.fault_squash_redirects <- m.fault_squash_redirects + 1;
+          m.mispredicts <- m.mispredicts + 1;
+          s.next_fetch <- max s.next_fetch (r.resolve + cfg.redirect_penalty);
+          if tracing then begin
+            probe.Bisa_obs.Probe.squash ~cycle:r.resolve ~block:step.block
+              ~ops:nops;
+            probe.Bisa_obs.Probe.redirect ~cycle:r.resolve ~until:s.next_fetch
+              ~cause:Bisa_obs.Probe.Fault_squash
+          end;
+          s.forced <- true;
+          (* The wrongly-fetched variant invalidates the in-flight
+             prediction chain. *)
+          s.prev <- None
+        end
+        else begin
+          m.retired_ops <- m.retired_ops + nops;
+          m.retired_blocks <- m.retired_blocks + 1;
+          Bisa_base.Stats.Histogram.add m.block_sizes nops;
+          (* Train on committed transitions. *)
+          match cfg.predictor with
+          | Config.Real ->
+            (match s.last_committed with
+            | Some p -> Block_pred.update s.pred ~block:p ~actual:step.block
+            | None -> ());
+            s.last_committed <- Some step.block;
+            (* Injected BTB corruption: smash the widened entry's slots
+               with a random block id.  The fetch guard above re-checks
+               every slot against the required variant group, so a
+               corrupt slot is at worst a misprediction. *)
+            (match s.inj with
+            | Some i when Bisa_uarch.Inject.corrupt_btb i ->
+              Block_pred.corrupt_btb s.pred ~block:step.block
+                ~value:(Bisa_uarch.Inject.rand_int i (Array.length prog.blocks))
+            | _ -> ());
+            let predicted = Block_pred.predict s.pred step.block in
+            (* Injected forced misprediction: drop the prediction so the
+               next fetch pays the redirect path. *)
+            let predicted =
+              match s.inj with
+              | Some i when Bisa_uarch.Inject.flip_direction i -> None
+              | _ -> predicted
+            in
+            s.prev <- Some (step.block, r.resolve, predicted, step.dir_taken)
+          | Config.Perfect -> ()
+        end
+      end);
+    s.running
+  end
+
+let ops s = Block_exec.dyn_ops s.exec
+
+let set_out_cap s n = Block_exec.set_out_cap s.exec n
+
+let finish s =
+  while step s do
+    ()
   done;
-  m.cycles <- Engine.last_retire engine;
-  (match icache with
+  let m = s.m in
+  m.cycles <- Engine.last_retire s.engine;
+  (match s.icache with
   | Some c ->
     m.icache_accesses <- Cache.accesses c;
     m.icache_misses <- Cache.misses c
   | None -> ());
-  (match Engine.dcache engine with
+  (match Engine.dcache s.engine with
   | Some c ->
     m.dcache_accesses <- Cache.accesses c;
     m.dcache_misses <- Cache.misses c
   | None -> ());
-  (m, Block_exec.output exec)
+  (m, Block_exec.output s.exec)
+
+(* Checkpointing: everything the loop carries between [step]s.  The
+   program, predecode tables and configuration are NOT serialized — the
+   snapshot header binds them by hash and [restore] requires a session
+   built from the same inputs. *)
+let save s w =
+  let module W = Bisa_base.Codec.W in
+  W.section w "block_session";
+  W.int w s.next_fetch;
+  W.bool w s.running;
+  W.bool w s.forced;
+  W.option w
+    (fun w (pblock, resolve, predicted, dir_taken) ->
+      W.int w pblock;
+      W.int w resolve;
+      W.option w W.int predicted;
+      W.option w W.bool dir_taken)
+    s.prev;
+  W.option w W.int s.last_committed;
+  Block_exec.save s.exec w;
+  Engine.save s.engine w;
+  W.option w (fun w c -> Cache.save c w) s.icache;
+  Block_pred.save s.pred w;
+  W.option w (fun w i -> Bisa_uarch.Inject.save i w) s.inj;
+  Metrics.save s.m w
+
+let restore s r =
+  let module R = Bisa_base.Codec.R in
+  R.section r "block_session";
+  s.next_fetch <- R.int r;
+  s.running <- R.bool r;
+  s.forced <- R.bool r;
+  s.prev <-
+    R.option r (fun r ->
+        let pblock = R.int r in
+        let resolve = R.int r in
+        let predicted = R.option r R.int in
+        let dir_taken = R.option r R.bool in
+        (pblock, resolve, predicted, dir_taken));
+  s.last_committed <- R.option r R.int;
+  Block_exec.load s.exec r;
+  Engine.load s.engine r;
+  let opt_side name saved live f =
+    match (saved, live) with
+    | true, Some x -> f x
+    | false, None -> ()
+    | _ -> invalid_arg ("Block_pipeline.restore: " ^ name ^ " presence mismatch")
+  in
+  opt_side "icache" (R.bool r) s.icache (fun c -> Cache.load c r);
+  Block_pred.load s.pred r;
+  opt_side "injector" (R.bool r) s.inj (fun i -> Bisa_uarch.Inject.load i r);
+  Metrics.load s.m r
+
+let run_full ?tables ?probe (cfg : Config.t) (prog : Block_prog.t) :
+    Metrics.t * Bisa_sim.Output.t =
+  finish (session ?tables ?probe cfg prog)
 
 let run ?tables ?probe cfg prog = fst (run_full ?tables ?probe cfg prog)

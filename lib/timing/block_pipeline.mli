@@ -42,3 +42,32 @@ val run_full :
     executor — the differential fuzzer compares it against the canonical
     execution to prove fault injection cannot alter architectural
     results. *)
+
+type session
+(** An in-flight run, advanced one fetched block at a time — the
+    suspendable form of [run_full] that checkpointing is built on. *)
+
+val session :
+  ?tables:Predecode.blocks ->
+  ?probe:Bisa_obs.Probe.t ->
+  Config.t ->
+  Bisa_isa.Block_prog.t ->
+  session
+
+val step : session -> bool
+(** Advance by one fetched block; false once the machine has halted.
+    Checkpoints are only meaningful between steps. *)
+
+val ops : session -> int
+val set_out_cap : session -> int -> unit
+(** Dynamic operations executed so far (drives checkpoint cadence). *)
+
+val finish : session -> Metrics.t * Bisa_sim.Output.t
+(** Run the remaining steps and seal the metrics.  [finish (session cfg
+    prog)] equals [run_full cfg prog] exactly. *)
+
+val save : session -> Bisa_base.Codec.W.t -> unit
+val restore : session -> Bisa_base.Codec.R.t -> unit
+(** Serialize/restore all inter-step state.  [restore] requires a fresh
+    session built from the same program, tables and configuration; use
+    {!Checkpoint} for the validated on-disk form. *)

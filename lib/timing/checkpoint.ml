@@ -1,0 +1,130 @@
+(* Versioned on-disk snapshots of in-flight timing sessions.
+
+   A snapshot is a header binding the payload to the exact inputs it was
+   taken under — ISA, program content hash, configuration fingerprint —
+   followed by the session's serialized state.  Writes go through
+   Atomic_file (temp + rename), so a crash at any instant leaves either
+   the previous complete snapshot or the new one, never a torn file.
+   Readers validate the header and raise a structured Diag on any
+   mismatch: a stale or foreign snapshot is an error the caller can
+   present, never silent state corruption. *)
+
+let component = "checkpoint"
+let magic = "BISACKPT"
+let version = 1
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Bisa_base.Diag.Fail (Bisa_base.Diag.error ~component msg)))
+    fmt
+
+type header = {
+  isa : string;
+  prog_hash : int64;
+  cfg_hash : int64;
+  ops : int;  (** dynamic operations completed when the snapshot was taken *)
+}
+
+let save ~path ~isa ~prog_hash ~cfg_hash ~ops payload =
+  let w = Bisa_base.Codec.W.create () in
+  Bisa_base.Codec.W.string w magic;
+  Bisa_base.Codec.W.int w version;
+  Bisa_base.Codec.W.string w isa;
+  Bisa_base.Codec.W.i64 w prog_hash;
+  Bisa_base.Codec.W.i64 w cfg_hash;
+  Bisa_base.Codec.W.int w ops;
+  payload w;
+  Bisa_base.Atomic_file.write_string path (Bisa_base.Codec.W.contents w)
+
+let read_header r =
+  let m = try Bisa_base.Codec.R.string r with _ -> "" in
+  if m <> magic then fail "not a checkpoint snapshot (bad magic)";
+  let v = Bisa_base.Codec.R.int r in
+  if v <> version then fail "snapshot version %d unsupported (expected %d)" v version;
+  let isa = Bisa_base.Codec.R.string r in
+  let prog_hash = Bisa_base.Codec.R.i64 r in
+  let cfg_hash = Bisa_base.Codec.R.i64 r in
+  let ops = Bisa_base.Codec.R.int r in
+  { isa; prog_hash; cfg_hash; ops }
+
+let load ~path ~isa ~prog_hash ~cfg_hash =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    let r = Bisa_base.Codec.R.of_string data in
+    let h = read_header r in
+    if h.isa <> isa then
+      fail "snapshot %s was taken for ISA %s, not %s" path h.isa isa;
+    if h.prog_hash <> prog_hash then
+      fail "snapshot %s does not match this program (stale or foreign snapshot)" path;
+    if h.cfg_hash <> cfg_hash then
+      fail "snapshot %s was taken under a different configuration" path;
+    Some (h.ops, r)
+  end
+
+(* Outcome of a driven run: either it completed, or the deadline fired
+   first and the caller has a resumable snapshot at [path]. *)
+type 'a outcome = Finished of 'a | Timed_out of { ops : int }
+
+(* Drive a session to completion with periodic snapshots and an optional
+   polled deadline.  [every] is a dynamic-op interval: a snapshot is
+   written each time the session crosses another [every] ops, so a kill
+   at any instant loses at most one interval of work.  [deadline] is
+   polled at the same granularity as stepping is cheap; when it fires,
+   one final snapshot is written and the run reports [Timed_out].
+
+   The wall clock is the caller's: this layer stays free of OS
+   dependencies, and experiments pass a [Unix.gettimeofday]-based
+   closure. *)
+let drive (type p tb) (module P : Pipeline.S with type prog = p and type tables = tb)
+    ?tables ?probe ?snapshot ?deadline (cfg : Config.t) (prog : p) =
+  let s = P.session ?tables ?probe cfg prog in
+  let prog_hash = P.prog_hash prog in
+  let cfg_hash = Config.fingerprint cfg in
+  let write_snapshot path =
+    save ~path ~isa:P.isa ~prog_hash ~cfg_hash ~ops:(P.ops s) (P.save s)
+  in
+  (* Resume from an existing snapshot if one is present and valid. *)
+  (match snapshot with
+  | Some (path, _) -> begin
+    match load ~path ~isa:P.isa ~prog_hash ~cfg_hash with
+    | Some (_ops, r) -> P.restore s r
+    | None -> ()
+  end
+  | None -> ());
+  let next_ckpt =
+    ref
+      (match snapshot with
+      | Some (_, every) -> P.ops s + every
+      | None -> max_int)
+  in
+  let expired = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if not (P.step s) then continue_ := false
+    else begin
+      (match snapshot with
+      | Some (path, every) when P.ops s >= !next_ckpt ->
+        write_snapshot path;
+        next_ckpt := P.ops s + every
+      | _ -> ());
+      match deadline with
+      | Some d when d () ->
+        (match snapshot with Some (path, _) -> write_snapshot path | None -> ());
+        expired := true;
+        continue_ := false
+      | _ -> ()
+    end
+  done;
+  if !expired then Timed_out { ops = P.ops s }
+  else begin
+    let result = P.finish s in
+    (* The run is complete; the snapshot has served its purpose. *)
+    (match snapshot with
+    | Some (path, _) -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ());
+    Finished result
+  end

@@ -1,0 +1,62 @@
+(** Crash-safe snapshots of in-flight timing simulations.
+
+    A snapshot file is a versioned header — magic, format version, ISA
+    name, program content hash, configuration fingerprint, op count —
+    followed by the serialized session state of either pipeline.  Writes
+    are atomic (temp + rename via {!Bisa_base.Atomic_file}), so a kill at
+    any instant leaves the previous complete snapshot or the new one,
+    never a torn file.  Loads validate every header field and raise a
+    structured {!Bisa_base.Diag.Fail} (component ["checkpoint"]) on a
+    stale, foreign, or mismatched snapshot. *)
+
+type header = {
+  isa : string;
+  prog_hash : int64;
+  cfg_hash : int64;
+  ops : int;  (** dynamic operations completed when the snapshot was taken *)
+}
+
+val save :
+  path:string ->
+  isa:string ->
+  prog_hash:int64 ->
+  cfg_hash:int64 ->
+  ops:int ->
+  (Bisa_base.Codec.W.t -> unit) ->
+  unit
+(** Write a snapshot atomically: header, then the payload the callback
+    serializes (normally a pipeline session's [save]). *)
+
+val load :
+  path:string ->
+  isa:string ->
+  prog_hash:int64 ->
+  cfg_hash:int64 ->
+  (int * Bisa_base.Codec.R.t) option
+(** [None] if no file exists at [path].  Otherwise validate the header
+    against the expected identity and return the snapshot's op count and
+    a reader positioned at the payload.  Raises {!Bisa_base.Diag.Fail} on
+    any mismatch. *)
+
+type 'a outcome = Finished of 'a | Timed_out of { ops : int }
+
+val drive :
+  (module Pipeline.S with type prog = 'p and type tables = 'tb) ->
+  ?tables:'tb ->
+  ?probe:Bisa_obs.Probe.t ->
+  ?snapshot:string * int ->
+  ?deadline:(unit -> bool) ->
+  Config.t ->
+  'p ->
+  (Metrics.t * Bisa_sim.Output.t) outcome
+(** Run a program to completion under checkpoint protection.
+
+    [snapshot = (path, every)] resumes from [path] when a valid snapshot
+    exists there, then rewrites it each time another [every] dynamic ops
+    complete — a kill at any instant loses at most one interval.  The
+    snapshot is deleted once the run finishes.
+
+    [deadline] is a polled wall-clock predicate supplied by the caller
+    (this layer has no OS dependency); when it fires, a final snapshot is
+    written (if snapshotting) and the run reports [Timed_out] with the
+    ops completed so far. *)

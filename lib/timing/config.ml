@@ -40,3 +40,35 @@ let default =
 let with_icache icache t = { t with icache }
 let with_predictor predictor t = { t with predictor }
 let with_inject inject t = { t with inject }
+
+(* Canonical rendering for snapshot binding.  Every timing-relevant field
+   is spelled out; a snapshot taken under one configuration refuses to
+   restore under another.  The injector is opaque (its state is part of
+   the snapshot payload, not the configuration identity), so only its
+   presence is rendered. *)
+let fingerprint (t : t) =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let cache name = function
+    | None -> add "%s=none;" name
+    | Some (c : Bisa_uarch.Cache.config) ->
+      add "%s=%d/%d/%d;" name c.size_bytes c.assoc c.line_bytes
+  in
+  add "v1;iw=%d;wb=%d;wo=%d;fu=%d;dd=%d;rp=%d;l2=%d;ob=%d;" t.issue_width
+    t.window_blocks t.window_ops t.fu_count t.decode_depth t.redirect_penalty
+    t.l2_latency t.op_budget;
+  cache "ic" t.icache;
+  cache "dc" t.dcache;
+  (match t.trace_cache with
+  | None -> add "tc=none;"
+  | Some (c : Bisa_uarch.Trace_cache.config) ->
+    add "tc=%d/%d/%d/%d;" c.sets c.ways c.max_blocks c.max_ops);
+  add "pred=%s;" (match t.predictor with Perfect -> "perfect" | Real -> "real");
+  let cp = t.conv_pred in
+  add "cp=%d/%d/%d/%d/%d;" cp.hist_bits cp.pht_bits cp.btb_sets cp.btb_ways
+    cp.ras_depth;
+  let bp = t.block_pred in
+  add "bp=%d/%d/%d/%d/%d/%b;" bp.hist_bits bp.pht_bits bp.btb_sets bp.btb_ways
+    bp.ras_depth bp.naive_history;
+  add "inj=%b" (t.inject <> None);
+  Bisa_base.Codec.fnv1a64 (Buffer.contents b)

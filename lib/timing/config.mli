@@ -36,3 +36,9 @@ val default : t
 val with_icache : Bisa_uarch.Cache.config option -> t -> t
 val with_predictor : predictor -> t -> t
 val with_inject : Bisa_uarch.Inject.t option -> t -> t
+
+val fingerprint : t -> int64
+(** Content hash of every timing-relevant field, used to bind checkpoint
+    snapshots to the configuration they were taken under.  The injector
+    contributes only its presence: its evolving state belongs to the
+    snapshot payload, not the configuration identity. *)

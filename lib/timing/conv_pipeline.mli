@@ -34,3 +34,33 @@ val run_full :
     executor — the differential fuzzer compares it against the canonical
     execution to prove fault injection cannot alter architectural
     results. *)
+
+type session
+(** An in-flight run, advanced one fetch unit at a time — the suspendable
+    form of [run_full] that checkpointing is built on. *)
+
+val session :
+  ?tables:Predecode.t ->
+  ?probe:Bisa_obs.Probe.t ->
+  Config.t ->
+  Bisa_isa.Conv_prog.t ->
+  session
+
+val step : session -> bool
+(** Advance by one fetch unit (a whole served trace counts as one step);
+    false once the program has halted and the stream is drained.
+    Checkpoints are only meaningful between steps. *)
+
+val ops : session -> int
+val set_out_cap : session -> int -> unit
+(** Dynamic instructions executed so far (drives checkpoint cadence). *)
+
+val finish : session -> Metrics.t * Bisa_sim.Output.t
+(** Run the remaining steps and seal the metrics.  [finish (session cfg
+    prog)] equals [run_full cfg prog] exactly. *)
+
+val save : session -> Bisa_base.Codec.W.t -> unit
+val restore : session -> Bisa_base.Codec.R.t -> unit
+(** Serialize/restore all inter-step state.  [restore] requires a fresh
+    session built from the same program, tables and configuration; use
+    {!Checkpoint} for the validated on-disk form. *)

@@ -228,3 +228,83 @@ let run_unit t ~dispatch ~commit (tp : Predecode.t) ~lo ~len ~term
 
 let last_retire t = t.last_retire_time
 let occupancy t = t.window_ops
+
+(* Checkpointing.  Per-unit scratch (local overlay, touched list, the
+   store-overlay arrays) lives only inside [run_unit], so it needs no
+   serialization — loads reset
+   it.  Everything that carries timing state across units is captured:
+   register-ready times, the issue calendar, the store-completion map
+   (sorted by address for deterministic bytes), the retirement window, and
+   the data cache. *)
+let save t w =
+  let module W = Bisa_base.Codec.W in
+  W.section w "engine";
+  W.int_array w t.reg_ready;
+  W.int_array w t.fu_count_at;
+  W.int_array w t.fu_tag;
+  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store_ready [] in
+  let pairs = List.sort compare pairs in
+  W.int w (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      W.int w k;
+      W.int w v)
+    pairs;
+  W.int w t.win_len;
+  for i = 0 to t.win_len - 1 do
+    let j = (t.win_head + i) mod Array.length t.win_retire in
+    W.int w t.win_retire.(j);
+    W.int w t.win_count.(j)
+  done;
+  W.int w t.window_ops;
+  W.int w t.last_retire_time;
+  match t.dcache with
+  | None -> W.bool w false
+  | Some c ->
+    W.bool w true;
+    Bisa_uarch.Cache.save c w
+
+let load t r =
+  let module R = Bisa_base.Codec.R in
+  R.section r "engine";
+  let blit_exact src dst name =
+    if Array.length src <> Array.length dst then
+      invalid_arg ("Engine.load: " ^ name ^ " size mismatch");
+    Array.blit src 0 dst 0 (Array.length dst)
+  in
+  blit_exact (R.int_array r) t.reg_ready "reg_ready";
+  blit_exact (R.int_array r) t.fu_count_at "fu_count_at";
+  blit_exact (R.int_array r) t.fu_tag "fu_tag";
+  Hashtbl.reset t.store_ready;
+  let n = R.int r in
+  for _ = 1 to n do
+    let k = R.int r in
+    let v = R.int r in
+    Hashtbl.replace t.store_ready k v
+  done;
+  let len = R.int r in
+  if len > Array.length t.win_retire then begin
+    let cap = ref (Array.length t.win_retire) in
+    while !cap < len do
+      cap := 2 * !cap
+    done;
+    t.win_retire <- Array.make !cap 0;
+    t.win_count <- Array.make !cap 0
+  end;
+  t.win_head <- 0;
+  t.win_len <- len;
+  for i = 0 to len - 1 do
+    t.win_retire.(i) <- R.int r;
+    t.win_count.(i) <- R.int r
+  done;
+  t.window_ops <- R.int r;
+  t.last_retire_time <- R.int r;
+  (match (R.bool r, t.dcache) with
+  | true, Some c -> Bisa_uarch.Cache.load c r
+  | false, None -> ()
+  | _ -> invalid_arg "Engine.load: dcache presence mismatch");
+  (* Reset per-unit scratch: it is dead between units by construction. *)
+  t.gen <- 0;
+  Array.fill t.local_gen 0 (Array.length t.local_gen) (-1);
+  t.ntouched <- 0;
+  t.ls_n <- 0

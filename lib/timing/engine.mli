@@ -57,3 +57,10 @@ val last_retire : t -> int
 val occupancy : t -> int
 (** Operations currently booked in the instruction window (post-{!admit}
     drain) — the observability layer's pipeline-occupancy signal. *)
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore all cross-unit timing state (register-ready times,
+    issue calendar, store map, retirement window, data cache).  Per-unit
+    scratch is reset by [load]; the restored engine must have the same
+    configuration. *)

@@ -70,3 +70,41 @@ let summary ~name t =
     name t.cycles t.retired_ops (ipc t) (mean_block_size t) t.mispredicts
     t.fault_squash_redirects t.icache_misses t.icache_accesses t.dcache_misses
     t.dcache_accesses
+
+let save t w =
+  let module W = Bisa_base.Codec.W in
+  W.section w "metrics";
+  W.int w t.cycles;
+  W.int w t.retired_ops;
+  W.int w t.retired_blocks;
+  W.int w t.fetch_units;
+  W.int w t.squashed_blocks;
+  W.int w t.squashed_ops;
+  W.int w t.mispredicts;
+  W.int w t.fault_squash_redirects;
+  W.int w t.icache_accesses;
+  W.int w t.icache_misses;
+  W.int w t.dcache_accesses;
+  W.int w t.dcache_misses;
+  W.int w t.tc_hits;
+  W.int w t.tc_served_ops;
+  Bisa_base.Stats.Histogram.save t.block_sizes w
+
+let load t r =
+  let module R = Bisa_base.Codec.R in
+  R.section r "metrics";
+  t.cycles <- R.int r;
+  t.retired_ops <- R.int r;
+  t.retired_blocks <- R.int r;
+  t.fetch_units <- R.int r;
+  t.squashed_blocks <- R.int r;
+  t.squashed_ops <- R.int r;
+  t.mispredicts <- R.int r;
+  t.fault_squash_redirects <- R.int r;
+  t.icache_accesses <- R.int r;
+  t.icache_misses <- R.int r;
+  t.dcache_accesses <- R.int r;
+  t.dcache_misses <- R.int r;
+  t.tc_hits <- R.int r;
+  t.tc_served_ops <- R.int r;
+  Bisa_base.Stats.Histogram.load t.block_sizes r

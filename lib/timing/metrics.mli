@@ -30,3 +30,7 @@ val mean_block_size : t -> float
 val ipc : t -> float
 val mispredict_rate_per_kop : t -> float
 val summary : name:string -> t -> string
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore every counter and the size histogram. *)

@@ -9,6 +9,7 @@ module type S = sig
   val verify : prog -> Bisa_base.Diag.t list
   val predecode : prog -> tables
   val predecode_trusted : prog -> tables
+  val prog_hash : prog -> int64
 
   val run :
     ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
@@ -19,6 +20,16 @@ module type S = sig
     Config.t ->
     prog ->
     Metrics.t * Bisa_sim.Output.t
+
+  type session
+
+  val session : ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
+  val step : session -> bool
+  val ops : session -> int
+  val set_out_cap : session -> int -> unit
+  val finish : session -> Metrics.t * Bisa_sim.Output.t
+  val save : session -> Bisa_base.Codec.W.t -> unit
+  val restore : session -> Bisa_base.Codec.R.t -> unit
 end
 
 module Conv = struct
@@ -30,8 +41,19 @@ module Conv = struct
   let verify = Verify.conv_diags
   let predecode prog = Predecode.of_conv (Verify.conv_exn prog)
   let predecode_trusted = Predecode.of_conv_trusted
+  let prog_hash prog = Bisa_base.Codec.fnv1a64 (Bisa_isa.Encode.conv_to_bytes prog)
   let run = Conv_pipeline.run
   let run_full = Conv_pipeline.run_full
+
+  type session = Conv_pipeline.session
+
+  let session = Conv_pipeline.session
+  let step = Conv_pipeline.step
+  let ops = Conv_pipeline.ops
+  let set_out_cap = Conv_pipeline.set_out_cap
+  let finish = Conv_pipeline.finish
+  let save = Conv_pipeline.save
+  let restore = Conv_pipeline.restore
 end
 
 module Block = struct
@@ -43,8 +65,19 @@ module Block = struct
   let verify = Verify.block_diags
   let predecode prog = Predecode.of_block (Verify.block_exn prog)
   let predecode_trusted = Predecode.of_block_trusted
+  let prog_hash prog = Bisa_base.Codec.fnv1a64 (Bisa_isa.Encode.block_to_bytes prog)
   let run = Block_pipeline.run
   let run_full = Block_pipeline.run_full
+
+  type session = Block_pipeline.session
+
+  let session = Block_pipeline.session
+  let step = Block_pipeline.step
+  let ops = Block_pipeline.ops
+  let set_out_cap = Block_pipeline.set_out_cap
+  let finish = Block_pipeline.finish
+  let save = Block_pipeline.save
+  let restore = Block_pipeline.restore
 end
 
 type packed =
@@ -63,6 +96,8 @@ let pack_block_trusted prog =
 
 let verify_packed (Packed ((module P), prog, _)) = P.verify prog
 
-let run_packed ?probe cfg (Packed ((module P), prog, tables)) =
+let run_packed ?probe ?out_cap cfg (Packed ((module P), prog, tables)) =
   let tables = match tables with Some t -> t | None -> P.predecode prog in
-  P.run_full ~tables ?probe cfg prog
+  let s = P.session ~tables ?probe cfg prog in
+  Option.iter (P.set_out_cap s) out_cap;
+  P.finish s

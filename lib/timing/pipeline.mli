@@ -42,6 +42,10 @@ module type S = sig
   (** Build tables without verifying — the caller asserts
       well-formedness. *)
 
+  val prog_hash : prog -> int64
+  (** Content hash of the program's canonical byte encoding — what binds
+      a checkpoint snapshot to the exact program it was taken under. *)
+
   val run :
     ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
 
@@ -51,6 +55,36 @@ module type S = sig
     Config.t ->
     prog ->
     Metrics.t * Bisa_sim.Output.t
+
+  type session
+  (** An in-flight run, advanced one fetch unit at a time — the
+      suspendable form of [run_full] that checkpointing is built on. *)
+
+  val session : ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
+
+  val step : session -> bool
+  (** Advance by one fetch unit; false once the machine has halted.
+      Checkpoints are only meaningful between [step]s. *)
+
+  val ops : session -> int
+  (** Dynamic operations executed so far (drives checkpoint cadence). *)
+
+  val set_out_cap : session -> int -> unit
+  (** Bound program-output retention: only the first [n] items are retained
+      (the total count and a rolling content hash remain exact — see
+      {!Bisa_sim.Output.Sink}).  This is what keeps RSS independent of
+      op count on paper-scale streamed runs; [finish]'s output is then
+      marked truncated. *)
+
+  val finish : session -> Metrics.t * Bisa_sim.Output.t
+  (** Run the remaining steps and seal the metrics.  [finish (session
+      cfg prog)] equals [run_full cfg prog] exactly. *)
+
+  val save : session -> Bisa_base.Codec.W.t -> unit
+  val restore : session -> Bisa_base.Codec.R.t -> unit
+  (** Serialize/restore all inter-step state.  [restore] requires a fresh
+      session built from the same program, tables and configuration; use
+      {!Checkpoint} for the validated on-disk form. *)
 end
 
 module Conv : S with type prog = Bisa_isa.Conv_prog.t and type tables = Predecode.t
@@ -81,5 +115,10 @@ val verify_packed : packed -> Bisa_base.Diag.t list
 (** Run the packed program's static verifier (even if packed trusted). *)
 
 val run_packed :
-  ?probe:Bisa_obs.Probe.t -> Config.t -> packed -> Metrics.t * Bisa_sim.Output.t
-(** Predecode (verifying unless packed trusted) and run under [cfg]. *)
+  ?probe:Bisa_obs.Probe.t ->
+  ?out_cap:int ->
+  Config.t ->
+  packed ->
+  Metrics.t * Bisa_sim.Output.t
+(** Predecode (verifying unless packed trusted) and run under [cfg].
+    [out_cap] bounds output retention as in {!S.set_out_cap}. *)

@@ -277,3 +277,31 @@ let set_btb_hook t h =
   Btb.set_hook t.ibtb h
 
 let lookups t = t.n_lookup
+
+(* Checkpointing.  Widened entries serialize as their slot arrays; the
+   program itself is bound by the snapshot header, not re-serialized. *)
+let entry_save w e = Bisa_base.Codec.W.int_array w e.slots
+let entry_load r = { slots = Bisa_base.Codec.R.int_array r }
+
+let save t w =
+  Bisa_base.Codec.W.section w "block_pred";
+  Bisa_base.Codec.W.bytes w t.pht;
+  Bisa_base.Codec.W.int w t.hist;
+  Btb.save entry_save t.btb w;
+  Btb.save entry_save t.rbtb w;
+  Btb.save Bisa_base.Codec.W.int t.ibtb w;
+  Ras.save t.ras w;
+  Bisa_base.Codec.W.int w t.n_lookup
+
+let load t r =
+  Bisa_base.Codec.R.section r "block_pred";
+  let pht = Bisa_base.Codec.R.bytes r in
+  if Bytes.length pht <> Bytes.length t.pht then
+    invalid_arg "Block_pred.load: PHT size mismatch";
+  Bytes.blit pht 0 t.pht 0 (Bytes.length pht);
+  t.hist <- Bisa_base.Codec.R.int r;
+  Btb.load entry_load t.btb r;
+  Btb.load entry_load t.rbtb r;
+  Btb.load Bisa_base.Codec.R.int t.ibtb r;
+  Ras.load t.ras r;
+  t.n_lookup <- Bisa_base.Codec.R.int r

@@ -57,3 +57,9 @@ val set_btb_hook : t -> (key:int -> hit:bool -> unit) -> unit
     successor BTB, region-entry BTB, indirect BTB; see {!Btb.set_hook}). *)
 
 val lookups : t -> int
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore the full predictor state (PHT, history, the three
+    target buffers, RAS, counters).  Configuration and program must
+    match. *)

@@ -73,3 +73,38 @@ let entries t =
     (fun acc set ->
       acc + Array.fold_left (fun a w -> if w.payload <> None then a + 1 else a) 0 set)
     0 t.ways
+
+(* Checkpointing.  Ways are serialized in set/way order; the payload codec
+   is supplied by the owner (payloads are arbitrary).  Hooks are not
+   serialized — the owner reattaches them after [load]. *)
+let save pay t w =
+  Bisa_base.Codec.W.section w "btb";
+  Bisa_base.Codec.W.int w t.sets;
+  Bisa_base.Codec.W.int w (Array.length t.ways.(0));
+  Bisa_base.Codec.W.int w t.tick;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun way ->
+          Bisa_base.Codec.W.int w way.key;
+          Bisa_base.Codec.W.int w way.stamp;
+          Bisa_base.Codec.W.option w pay way.payload)
+        set)
+    t.ways
+
+let load pay t r =
+  Bisa_base.Codec.R.section r "btb";
+  let sets = Bisa_base.Codec.R.int r in
+  let ways = Bisa_base.Codec.R.int r in
+  if sets <> t.sets || ways <> Array.length t.ways.(0) then
+    invalid_arg "Btb.load: geometry mismatch";
+  t.tick <- Bisa_base.Codec.R.int r;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun way ->
+          way.key <- Bisa_base.Codec.R.int r;
+          way.stamp <- Bisa_base.Codec.R.int r;
+          way.payload <- Bisa_base.Codec.R.option r pay)
+        set)
+    t.ways

@@ -21,3 +21,8 @@ val set_hook : 'a t -> (key:int -> hit:bool -> unit) -> unit
 (** Observation hook called on every {!find} with the key and whether it
     hit.  Purely observational; the default hook is free (skipped by a
     physical-equality check). *)
+
+val save : (Bisa_base.Codec.W.t -> 'a -> unit) -> 'a t -> Bisa_base.Codec.W.t -> unit
+val load : (Bisa_base.Codec.R.t -> 'a) -> 'a t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore entries and LRU stamps with a caller-supplied
+    payload codec.  Geometry must match; hooks are left untouched. *)

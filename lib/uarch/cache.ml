@@ -101,3 +101,26 @@ let reset_stats t =
   t.n_miss <- 0
 
 let lines t = t.sets * t.cfg.assoc
+
+(* Checkpointing: tags, LRU stamps, and counters.  The hook is not
+   serialized — the owner reattaches it after [load]. *)
+let save t w =
+  Bisa_base.Codec.W.section w "cache";
+  Bisa_base.Codec.W.int w (Array.length t.tags);
+  Bisa_base.Codec.W.int_array w t.tags;
+  Bisa_base.Codec.W.int_array w t.lru;
+  Bisa_base.Codec.W.int w t.tick;
+  Bisa_base.Codec.W.int w t.n_access;
+  Bisa_base.Codec.W.int w t.n_miss
+
+let load t r =
+  Bisa_base.Codec.R.section r "cache";
+  let n = Bisa_base.Codec.R.int r in
+  if n <> Array.length t.tags then invalid_arg "Cache.load: geometry mismatch";
+  let tags = Bisa_base.Codec.R.int_array r in
+  let lru = Bisa_base.Codec.R.int_array r in
+  Array.blit tags 0 t.tags 0 n;
+  Array.blit lru 0 t.lru 0 n;
+  t.tick <- Bisa_base.Codec.R.int r;
+  t.n_access <- Bisa_base.Codec.R.int r;
+  t.n_miss <- Bisa_base.Codec.R.int r

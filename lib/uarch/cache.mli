@@ -38,3 +38,8 @@ val set_hook : t -> (addr:int -> hit:bool -> unit) -> unit
 (** Observation hook called once per line {!access} (so its call count
     matches {!accesses} exactly).  Purely observational; the default hook
     is free (skipped by a physical-equality check). *)
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore tags, LRU state and counters.  Geometry must
+    match; the hook is left untouched. *)

@@ -107,3 +107,24 @@ let set_btb_hook t h = Btb.set_hook t.btb h
 
 let mispredicts t = t.n_miss
 let predictions t = t.n_pred
+
+let save t w =
+  Bisa_base.Codec.W.section w "conv_pred";
+  Bisa_base.Codec.W.bytes w t.pht;
+  Bisa_base.Codec.W.int w t.hist;
+  Btb.save Bisa_base.Codec.W.int t.btb w;
+  Ras.save t.ras w;
+  Bisa_base.Codec.W.int w t.n_pred;
+  Bisa_base.Codec.W.int w t.n_miss
+
+let load t r =
+  Bisa_base.Codec.R.section r "conv_pred";
+  let pht = Bisa_base.Codec.R.bytes r in
+  if Bytes.length pht <> Bytes.length t.pht then
+    invalid_arg "Conv_pred.load: PHT size mismatch";
+  Bytes.blit pht 0 t.pht 0 (Bytes.length pht);
+  t.hist <- Bisa_base.Codec.R.int r;
+  Btb.load Bisa_base.Codec.R.int t.btb r;
+  Ras.load t.ras r;
+  t.n_pred <- Bisa_base.Codec.R.int r;
+  t.n_miss <- Bisa_base.Codec.R.int r

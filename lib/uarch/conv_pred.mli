@@ -45,3 +45,8 @@ val set_btb_hook : t -> (key:int -> hit:bool -> unit) -> unit
 
 val mispredicts : t -> int
 val predictions : t -> int
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore the full predictor state (PHT, history, BTB, RAS,
+    counters).  Configuration must match. *)

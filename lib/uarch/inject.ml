@@ -45,3 +45,13 @@ let corrupt_btb t = fire t t.p_corrupt_btb
 let corrupt_trace t = fire t t.p_corrupt_trace
 let rand_int t bound = if bound <= 0 then 0 else Bisa_base.Rng.int t.rng bound
 let injected t = t.n_fired
+
+let save t w =
+  Bisa_base.Codec.W.section w "inject";
+  Bisa_base.Codec.W.i64 w (Bisa_base.Rng.state t.rng);
+  Bisa_base.Codec.W.int w t.n_fired
+
+let load t r =
+  Bisa_base.Codec.R.section r "inject";
+  Bisa_base.Rng.set_state t.rng (Bisa_base.Codec.R.i64 r);
+  t.n_fired <- Bisa_base.Codec.R.int r

@@ -40,3 +40,8 @@ val rand_int : t -> int -> int
 
 val injected : t -> int
 (** How many injections have fired so far. *)
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore the generator state and counter, so a resumed run
+    rolls the same injections as an uninterrupted one. *)

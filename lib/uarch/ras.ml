@@ -19,3 +19,18 @@ let pop t =
 
 let depth t = Array.length t.slots
 let occupancy t = t.count
+
+let save t w =
+  Bisa_base.Codec.W.section w "ras";
+  Bisa_base.Codec.W.int_array w t.slots;
+  Bisa_base.Codec.W.int w t.top;
+  Bisa_base.Codec.W.int w t.count
+
+let load t r =
+  Bisa_base.Codec.R.section r "ras";
+  let slots = Bisa_base.Codec.R.int_array r in
+  if Array.length slots <> Array.length t.slots then
+    invalid_arg "Ras.load: depth mismatch";
+  Array.blit slots 0 t.slots 0 (Array.length slots);
+  t.top <- Bisa_base.Codec.R.int r;
+  t.count <- Bisa_base.Codec.R.int r

@@ -10,3 +10,7 @@ val pop : t -> int option
 
 val depth : t -> int
 val occupancy : t -> int
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore the stack contents.  Depth must match. *)

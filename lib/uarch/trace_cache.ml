@@ -35,3 +35,23 @@ let corrupt t ~start ~succs = Btb.insert t.table start succs
 
 let hits t = t.n_hit
 let lookups t = t.n_lookup
+
+let starts_save w l =
+  Bisa_base.Codec.W.int w (List.length l);
+  List.iter (Bisa_base.Codec.W.int w) l
+
+let starts_load r =
+  let n = Bisa_base.Codec.R.int r in
+  List.init n (fun _ -> Bisa_base.Codec.R.int r)
+
+let save t w =
+  Bisa_base.Codec.W.section w "trace_cache";
+  Btb.save starts_save t.table w;
+  Bisa_base.Codec.W.int w t.n_lookup;
+  Bisa_base.Codec.W.int w t.n_hit
+
+let load t r =
+  Bisa_base.Codec.R.section r "trace_cache";
+  Btb.load starts_load t.table r;
+  t.n_lookup <- Bisa_base.Codec.R.int r;
+  t.n_hit <- Bisa_base.Codec.R.int r

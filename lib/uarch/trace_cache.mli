@@ -40,3 +40,7 @@ val corrupt : t -> start:int -> succs:int list -> unit
 
 val hits : t -> int
 val lookups : t -> int
+
+val save : t -> Bisa_base.Codec.W.t -> unit
+val load : t -> Bisa_base.Codec.R.t -> unit
+(** Checkpoint/restore stored traces and counters.  Geometry must match. *)

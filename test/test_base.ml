@@ -185,6 +185,27 @@ let test_atomic_mid_write_kill () =
   Alcotest.(check string) "previous content intact" "previous" (read_file path);
   Alcotest.(check bool) "no temp residue" true (no_temp_residue path)
 
+let test_atomic_concurrent_writers () =
+  (* Two domains hammering the same path: the pid+counter temp naming
+     must keep them on distinct temp files, so the final file is always
+     exactly one writer's complete payload, with no residue. *)
+  let path = tmp_target () in
+  let payload tag = String.init 4096 (fun i -> Char.chr ((tag + i) land 0x3f + 32)) in
+  let writer tag () =
+    for _ = 1 to 50 do
+      Atomic_file.write_string path (payload tag)
+    done
+  in
+  let d1 = Domain.spawn (writer 1) in
+  let d2 = Domain.spawn (writer 2) in
+  Domain.join d1;
+  Domain.join d2;
+  let got = read_file path in
+  Alcotest.(check bool)
+    "file is one writer's complete payload" true
+    (got = payload 1 || got = payload 2);
+  Alcotest.(check bool) "no temp residue" true (no_temp_residue path)
+
 let test_atomic_writer_raises () =
   let path = tmp_target () in
   Alcotest.check_raises "writer exception propagates" Killed (fun () ->
@@ -217,4 +238,5 @@ let suite =
     Alcotest.test_case "atomic write" `Quick test_atomic_write;
     Alcotest.test_case "atomic mid-write kill" `Quick test_atomic_mid_write_kill;
     Alcotest.test_case "atomic writer raises" `Quick test_atomic_writer_raises;
+    Alcotest.test_case "atomic concurrent writers" `Quick test_atomic_concurrent_writers;
   ]

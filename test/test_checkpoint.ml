@@ -1,0 +1,288 @@
+(* The crash-safety stack, bottom up: codec round-trips, mid-run
+   session save/restore equivalence for both pipelines, snapshot header
+   validation, the checkpoint driver's resume and deadline behavior, and
+   the bounded-retention output sink that keeps paper-scale runs in
+   bounded memory. *)
+
+module Codec = Bisa_base.Codec
+module Config = Bisa_timing.Config
+module Checkpoint = Bisa_timing.Checkpoint
+module Metrics = Bisa_timing.Metrics
+module Pipeline = Bisa_timing.Pipeline
+module Output = Bisa_sim.Output
+
+(* --- codec -------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let w = Codec.W.create () in
+  let ints = [ 0; 1; -1; 42; -9999; max_int; min_int ] in
+  List.iter (Codec.W.int w) ints;
+  Codec.W.i64 w Int64.min_int;
+  Codec.W.i64 w Int64.max_int;
+  Codec.W.i64 w 0xCBF29CE484222325L;
+  Codec.W.bool w true;
+  Codec.W.bool w false;
+  Codec.W.float w 3.14159;
+  Codec.W.float w (-0.0);
+  Codec.W.string w "";
+  Codec.W.string w "binary\x00\xff\ndata";
+  Codec.W.int_array w [| 7; -7; max_int |];
+  Codec.W.int_array w [||];
+  Codec.W.float_array w [| 1.5; -2.25 |];
+  Codec.W.option w Codec.W.int None;
+  Codec.W.option w Codec.W.int (Some 123);
+  let r = Codec.R.of_string (Codec.W.contents w) in
+  List.iter
+    (fun v -> Alcotest.(check int) "int" v (Codec.R.int r))
+    ints;
+  Alcotest.(check int64) "i64 min" Int64.min_int (Codec.R.i64 r);
+  Alcotest.(check int64) "i64 max" Int64.max_int (Codec.R.i64 r);
+  Alcotest.(check int64) "i64 basis" 0xCBF29CE484222325L (Codec.R.i64 r);
+  Alcotest.(check bool) "true" true (Codec.R.bool r);
+  Alcotest.(check bool) "false" false (Codec.R.bool r);
+  Alcotest.(check (float 0.0)) "float" 3.14159 (Codec.R.float r);
+  Alcotest.(check (float 0.0)) "neg zero" (-0.0) (Codec.R.float r);
+  Alcotest.(check string) "empty string" "" (Codec.R.string r);
+  Alcotest.(check string) "binary string" "binary\x00\xff\ndata" (Codec.R.string r);
+  Alcotest.(check (array int)) "int array" [| 7; -7; max_int |] (Codec.R.int_array r);
+  Alcotest.(check (array int)) "empty array" [||] (Codec.R.int_array r);
+  Alcotest.(check (array (float 0.0))) "float array" [| 1.5; -2.25 |]
+    (Codec.R.float_array r);
+  Alcotest.(check (option int)) "none" None (Codec.R.option r Codec.R.int);
+  Alcotest.(check (option int)) "some" (Some 123) (Codec.R.option r Codec.R.int);
+  Alcotest.(check bool) "consumed exactly" true (Codec.R.at_end r)
+
+let test_codec_section_mismatch () =
+  let w = Codec.W.create () in
+  Codec.W.section w "engine";
+  Codec.W.int w 5;
+  let r = Codec.R.of_string (Codec.W.contents w) in
+  Codec.R.section r "engine";
+  Alcotest.(check int) "payload follows section" 5 (Codec.R.int r);
+  let r2 = Codec.R.of_string (Codec.W.contents w) in
+  Alcotest.(check bool) "wrong section raises Diag.Fail" true
+    (match Codec.R.section r2 "metrics" with
+    | () -> false
+    | exception Bisa_base.Diag.Fail _ -> true)
+
+(* --- shared fixtures ---------------------------------------------------- *)
+
+let src =
+  {|
+int buf[16];
+int churn(int a, int b) {
+  int r = a * 173 + b;
+  if (r > 5000) { r = r % 4999; }
+  return r ^ (b >> 1);
+}
+int main() {
+  int i;
+  int s = 3;
+  for (i = 0; i < 400; i = i + 1) {
+    buf[i & 15] = churn(i, s);
+    s = s + buf[i & 15];
+    if (s > 50000) { s = s - 49999; }
+    if ((i & 31) == 0) { print_int(s); }
+  }
+  print_int(s);
+  return s & 255;
+}
+|}
+
+let compiled = lazy (Bisa_compiler.Compiler.compile src)
+
+let metrics_bytes m =
+  let w = Codec.W.create () in
+  Metrics.save m w;
+  Codec.W.contents w
+
+let check_metrics what expected got =
+  Alcotest.(check string) what (metrics_bytes expected) (metrics_bytes got)
+
+(* Run [steps] steps, snapshot, restore into a fresh session, finish both
+   the restored session and an untouched full run, and require identical
+   metrics and program output. *)
+let checkpoint_equivalence (type p tb)
+    (module P : Pipeline.S with type prog = p and type tables = tb) cfg
+    (prog : p) ~steps =
+  let m_full, out_full = P.run_full cfg prog in
+  let s = P.session cfg prog in
+  let live = ref true in
+  for _ = 1 to steps do
+    if !live then live := P.step s
+  done;
+  Alcotest.(check bool)
+    (P.isa ^ ": snapshot taken mid-run") true !live;
+  let w = Codec.W.create () in
+  P.save s w;
+  let s2 = P.session cfg prog in
+  P.restore s2 (Codec.R.of_string (Codec.W.contents w));
+  Alcotest.(check int) (P.isa ^ ": ops restored") (P.ops s) (P.ops s2);
+  let m2, out2 = P.finish s2 in
+  check_metrics (P.isa ^ ": restored metrics == uninterrupted") m_full m2;
+  Alcotest.(check bool)
+    (P.isa ^ ": restored output == uninterrupted")
+    true
+    (Output.equal out_full out2)
+
+let test_conv_session_roundtrip () =
+  let c = Lazy.force compiled in
+  checkpoint_equivalence (module Pipeline.Conv) Config.default c.conv ~steps:40
+
+let test_conv_session_roundtrip_tc () =
+  (* The trace-cache front end carries extra inter-step state (fill
+     buffers, table contents); it must survive a snapshot too. *)
+  let c = Lazy.force compiled in
+  let cfg =
+    { Config.default with trace_cache = Some Bisa_uarch.Trace_cache.default_config }
+  in
+  checkpoint_equivalence (module Pipeline.Conv) cfg c.conv ~steps:60
+
+let test_block_session_roundtrip () =
+  let c = Lazy.force compiled in
+  checkpoint_equivalence (module Pipeline.Block) Config.default c.block ~steps:40
+
+let test_session_roundtrip_perfect () =
+  let c = Lazy.force compiled in
+  let cfg = Config.with_predictor Config.Perfect Config.default in
+  checkpoint_equivalence (module Pipeline.Conv) cfg c.conv ~steps:25;
+  checkpoint_equivalence (module Pipeline.Block) cfg c.block ~steps:25
+
+(* --- snapshot files ----------------------------------------------------- *)
+
+let tmp_path () =
+  let f = Filename.temp_file "bisa_ckpt" ".snap" in
+  Sys.remove f;
+  f
+
+let test_snapshot_header_validation () =
+  let path = tmp_path () in
+  Alcotest.(check bool) "missing file is None" true
+    (Checkpoint.load ~path ~isa:"conv" ~prog_hash:1L ~cfg_hash:2L = None);
+  Checkpoint.save ~path ~isa:"conv" ~prog_hash:1L ~cfg_hash:2L ~ops:777 (fun w ->
+      Codec.W.int w 99);
+  (match Checkpoint.load ~path ~isa:"conv" ~prog_hash:1L ~cfg_hash:2L with
+  | Some (ops, r) ->
+    Alcotest.(check int) "ops from header" 777 ops;
+    Alcotest.(check int) "payload readable" 99 (Codec.R.int r)
+  | None -> Alcotest.fail "valid snapshot must load");
+  let rejects what f =
+    Alcotest.(check bool) what true
+      (match f () with
+      | (_ : (int * Codec.R.t) option) -> false
+      | exception Bisa_base.Diag.Fail _ -> true)
+  in
+  rejects "wrong program hash" (fun () ->
+      Checkpoint.load ~path ~isa:"conv" ~prog_hash:3L ~cfg_hash:2L);
+  rejects "wrong config hash" (fun () ->
+      Checkpoint.load ~path ~isa:"conv" ~prog_hash:1L ~cfg_hash:9L);
+  rejects "wrong isa" (fun () ->
+      Checkpoint.load ~path ~isa:"block" ~prog_hash:1L ~cfg_hash:2L);
+  Bisa_base.Atomic_file.write_string path "not a snapshot at all";
+  rejects "garbage file" (fun () ->
+      Checkpoint.load ~path ~isa:"conv" ~prog_hash:1L ~cfg_hash:2L);
+  Sys.remove path
+
+let test_drive_resume () =
+  let c = Lazy.force compiled in
+  let cfg = Config.default in
+  let m_full, _ = Pipeline.Conv.run_full cfg c.conv in
+  let path = tmp_path () in
+  (* Plant a genuine mid-run snapshot, as a killed run would leave. *)
+  let s = Pipeline.Conv.session cfg c.conv in
+  for _ = 1 to 50 do
+    ignore (Pipeline.Conv.step s : bool)
+  done;
+  Checkpoint.save ~path ~isa:Pipeline.Conv.isa
+    ~prog_hash:(Pipeline.Conv.prog_hash c.conv)
+    ~cfg_hash:(Config.fingerprint cfg)
+    ~ops:(Pipeline.Conv.ops s)
+    (fun w -> Pipeline.Conv.save s w);
+  (* Resuming must complete from there and erase the snapshot. *)
+  (match
+     Checkpoint.drive (module Pipeline.Conv) ~snapshot:(path, 1_000) cfg c.conv
+   with
+  | Checkpoint.Finished (m, _) ->
+    check_metrics "driven resume == uninterrupted" m_full m
+  | Checkpoint.Timed_out _ -> Alcotest.fail "no deadline was set");
+  Alcotest.(check bool) "snapshot deleted after finish" false (Sys.file_exists path)
+
+let test_drive_deadline () =
+  let c = Lazy.force compiled in
+  let cfg = Config.default in
+  let m_full, _ = Pipeline.Block.run_full cfg c.block in
+  let path = tmp_path () in
+  (* A deadline that fires almost immediately: the driver must stop,
+     persist a final snapshot, and report the ops completed. *)
+  let polls = ref 0 in
+  let deadline () =
+    incr polls;
+    !polls > 10
+  in
+  (match
+     Checkpoint.drive (module Pipeline.Block) ~snapshot:(path, 1_000_000) ~deadline
+       cfg c.block
+   with
+  | Checkpoint.Timed_out { ops } ->
+    Alcotest.(check bool) "made some progress" true (ops >= 0);
+    Alcotest.(check bool) "snapshot kept on timeout" true (Sys.file_exists path)
+  | Checkpoint.Finished _ -> Alcotest.fail "deadline must fire first");
+  (* The rerun without a deadline resumes the snapshot and finishes. *)
+  (match Checkpoint.drive (module Pipeline.Block) ~snapshot:(path, 1_000_000) cfg c.block with
+  | Checkpoint.Finished (m, _) ->
+    check_metrics "resume after timeout == uninterrupted" m_full m
+  | Checkpoint.Timed_out _ -> Alcotest.fail "no deadline on the rerun");
+  Alcotest.(check bool) "snapshot deleted after finish" false (Sys.file_exists path)
+
+(* --- streamed output ---------------------------------------------------- *)
+
+let test_sink_bounded_retention () =
+  let capped = Output.Sink.create () in
+  Output.Sink.set_cap capped 8;
+  let full = Output.Sink.create () in
+  for i = 1 to 1000 do
+    Output.Sink.push capped (Output.Oint i);
+    Output.Sink.push full (Output.Oint i)
+  done;
+  Alcotest.(check int) "count stays exact" 1000 (Output.Sink.count capped);
+  Alcotest.(check bool) "marked truncated" true (Output.Sink.truncated capped);
+  Alcotest.(check bool) "full sink not truncated" false (Output.Sink.truncated full);
+  Alcotest.(check int) "retention bounded" 8 (List.length (Output.Sink.items capped));
+  let expected = List.init 8 (fun i -> Output.Oint (i + 1)) in
+  Alcotest.(check bool) "prefix kept" true (Output.Sink.items capped = expected);
+  Alcotest.(check int64)
+    "rolling hash independent of cap"
+    (Output.Sink.hash full) (Output.Sink.hash capped)
+
+let test_session_out_cap () =
+  (* Retention after a capped paper-style run is the cap, not the output
+     length — the invariant that keeps RSS independent of op count. *)
+  let c = Lazy.force compiled in
+  let s = Pipeline.Conv.session Config.default c.conv in
+  Pipeline.Conv.set_out_cap s 4;
+  let _, out = Pipeline.Conv.finish s in
+  let _, out_full = Pipeline.Conv.run_full Config.default c.conv in
+  Alcotest.(check int) "retained items = cap" 4 (List.length out.Output.items);
+  Alcotest.(check bool) "uncapped run keeps more" true
+    (List.length out_full.Output.items > 4);
+  Alcotest.(check bool) "capped prefix matches uncapped prefix" true
+    (out.Output.items = List.filteri (fun i _ -> i < 4) out_full.Output.items);
+  Alcotest.(check int) "exit value unchanged" out_full.Output.ret out.Output.ret
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec section mismatch" `Quick test_codec_section_mismatch;
+    Alcotest.test_case "conv session roundtrip" `Quick test_conv_session_roundtrip;
+    Alcotest.test_case "conv session roundtrip (trace cache)" `Quick
+      test_conv_session_roundtrip_tc;
+    Alcotest.test_case "block session roundtrip" `Quick test_block_session_roundtrip;
+    Alcotest.test_case "session roundtrip (perfect pred)" `Quick
+      test_session_roundtrip_perfect;
+    Alcotest.test_case "snapshot header validation" `Quick
+      test_snapshot_header_validation;
+    Alcotest.test_case "drive resume" `Quick test_drive_resume;
+    Alcotest.test_case "drive deadline" `Quick test_drive_deadline;
+    Alcotest.test_case "sink bounded retention" `Quick test_sink_bounded_retention;
+    Alcotest.test_case "session out cap" `Quick test_session_out_cap;
+  ]

@@ -52,6 +52,123 @@ let test_sweep_shape () =
   let labels = List.map fst (Harness.sweep_caches hp) in
   Alcotest.(check (list string)) "paper sizes" [ "16KB"; "32KB"; "64KB" ] labels
 
+let test_chunks () =
+  Alcotest.(check (list (list int)))
+    "even split"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ]
+    (Harness.chunks 2 [ 1; 2; 3; 4; 5; 6 ]);
+  Alcotest.(check (list (list int))) "empty list" [] (Harness.chunks 3 []);
+  let raises what f =
+    Alcotest.(check bool) what true
+      (match f () with
+      | (_ : int list list) -> false
+      | exception Invalid_argument _ -> true)
+  in
+  raises "zero group size" (fun () -> Harness.chunks 0 [ 1; 2 ]);
+  raises "negative group size" (fun () -> Harness.chunks (-3) [ 1; 2 ]);
+  raises "ragged grid" (fun () -> Harness.chunks 2 [ 1; 2; 3 ])
+
+(* --- campaign resume ---------------------------------------------------- *)
+
+module Campaign = Bisa_experiments.Campaign
+
+let fresh_dir () =
+  let d = Filename.temp_file "bisa_campaign" "" in
+  Sys.remove d;
+  d
+
+(* A tiny real grid through the harness (which routes every timing run
+   through the campaign when one is attached). *)
+let grid_report ~pool campaign =
+  let h = Harness.create ~scale:1 ~pool ?campaign () in
+  let w = Bisa_workloads.Workloads.find "li" in
+  let cfg = Harness.base_config h in
+  let runs =
+    Bisa_base.Pool.map_list pool
+      (fun f -> f ())
+      [
+        (fun () -> Harness.run_conv h w cfg);
+        (fun () -> Harness.run_block h w cfg);
+        (fun () ->
+          Harness.run_conv h w
+            (Bisa_timing.Config.with_predictor Bisa_timing.Config.Perfect cfg));
+      ]
+  in
+  String.concat "\n"
+    (List.map (fun m -> Bisa_timing.Metrics.summary ~name:"cell" m) runs)
+
+let test_campaign_resume_identical () =
+  (* A fresh campaign, a reopened campaign, and no campaign at all must
+     agree byte-for-byte — sequentially and at four workers. *)
+  Bisa_base.Pool.run ~workers:1 @@ fun seq ->
+  Bisa_base.Pool.run ~workers:4 @@ fun par ->
+  let golden = grid_report ~pool:seq None in
+  let d = fresh_dir () in
+  let open_c () =
+    Some (Campaign.open_ ~dir:d ~checkpoint_every:500 ~scale:(Some 1) ~paper_caches:false ())
+  in
+  Alcotest.(check string) "campaign run matches direct run" golden
+    (grid_report ~pool:seq (open_c ()));
+  Alcotest.(check string) "reopened campaign reuses cells" golden
+    (grid_report ~pool:seq (open_c ()));
+  Alcotest.(check string) "parallel resume is byte-identical" golden
+    (grid_report ~pool:par (open_c ()));
+  let done_cells =
+    Sys.readdir (Filename.concat d "cells")
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".done")
+  in
+  Alcotest.(check int) "three distinct cells persisted" 3 (List.length done_cells)
+
+let test_campaign_meta_mismatch () =
+  let d = fresh_dir () in
+  let _ =
+    Campaign.open_ ~dir:d ~scale:(Some 1) ~paper_caches:false ()
+  in
+  Alcotest.(check bool) "different settings are rejected" true
+    (match Campaign.open_ ~dir:d ~scale:(Some 7) ~paper_caches:true () with
+    | (_ : Campaign.t) -> false
+    | exception Bisa_base.Diag.Fail _ -> true)
+
+let test_campaign_timeout () =
+  let d = fresh_dir () in
+  (* An impossible budget: the deadline fires on the first poll window. *)
+  let camp =
+    Campaign.open_ ~dir:d ~checkpoint_every:500 ~timeout_s:(-1.0) ~scale:(Some 1)
+      ~paper_caches:false ()
+  in
+  let c = Bisa_compiler.Compiler.compile "int main() { int i; int s = 0; for (i = 0; i < 4000; i = i + 1) { s = s + i; } return s & 255; }" in
+  let cfg = Bisa_timing.Config.default in
+  (match
+     Campaign.run_cell camp (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg c.conv
+   with
+  | (_ : Bisa_timing.Metrics.t) -> Alcotest.fail "a negative budget cannot finish"
+  | exception Campaign.Timed_out { key; ops } ->
+    Alcotest.(check bool) "ops reported" true (ops >= 0);
+    Alcotest.(check bool) "timeout marker written" true
+      (Sys.file_exists (Filename.concat (Filename.concat d "cells") (key ^ ".timeout")));
+    Alcotest.(check bool) "snapshot kept for retry" true
+      (Sys.file_exists (Filename.concat (Filename.concat d "cells") (key ^ ".ckpt"))));
+  (* Lifting the budget finishes the cell from its snapshot and clears
+     the stale timeout marker. *)
+  let camp2 =
+    Campaign.open_ ~dir:d ~checkpoint_every:500 ~scale:(Some 1) ~paper_caches:false ()
+  in
+  let m = Campaign.run_cell camp2 (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg c.conv in
+  let m_direct = Bisa_timing.Pipeline.Conv.run cfg c.conv in
+  Alcotest.(check string) "retry result == direct run"
+    (Bisa_timing.Metrics.summary ~name:"x" m_direct)
+    (Bisa_timing.Metrics.summary ~name:"x" m);
+  let key =
+    Campaign.key ~bench:"slow" ~isa:"conv"
+      ~cfg_hash:(Bisa_timing.Config.fingerprint cfg)
+      ~prog_hash:(Bisa_timing.Pipeline.Conv.prog_hash c.conv)
+  in
+  let cell ext = Filename.concat (Filename.concat d "cells") (key ^ ext) in
+  Alcotest.(check bool) "timeout marker cleared" false (Sys.file_exists (cell ".timeout"));
+  Alcotest.(check bool) "snapshot deleted" false (Sys.file_exists (cell ".ckpt"));
+  Alcotest.(check bool) "manifest written" true (Sys.file_exists (cell ".done"))
+
 let suite =
   [
     Alcotest.test_case "table1" `Quick test_table1_is_paper;
@@ -59,4 +176,8 @@ let suite =
     Alcotest.test_case "harness caching" `Slow test_harness_caching;
     Alcotest.test_case "headline direction" `Slow test_headline_direction;
     Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+    Alcotest.test_case "chunks" `Quick test_chunks;
+    Alcotest.test_case "campaign resume identical" `Slow test_campaign_resume_identical;
+    Alcotest.test_case "campaign meta mismatch" `Quick test_campaign_meta_mismatch;
+    Alcotest.test_case "campaign timeout" `Quick test_campaign_timeout;
   ]

@@ -15,6 +15,7 @@ let () =
       ("sim", Test_sim.suite);
       ("uarch", Test_uarch.suite);
       ("timing", Test_timing.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
       ("workloads", Test_workloads.suite);
