@@ -11,8 +11,11 @@
 
    [--quick] runs the full report at scale 1 (fast iteration).
 
-   [--smoke] is the CI variant of [--bechamel]: two kernels, a tiny
-   measurement quota, a second or two end to end.
+   [--smoke] is the CI variant of [--bechamel]: four kernels (both
+   fig3 pipelines plus the interpreted and threaded-code functional
+   executors), a tiny measurement quota, a second or two end to end.
+   It exits nonzero unless the compiled executor is at least 5x faster
+   than the interpreter, so a threaded-code regression fails @runtest.
 
    [--json FILE] additionally writes the micro-benchmark estimates as
    machine-readable JSON (per-kernel ns/run plus simulated-ops
@@ -55,6 +58,15 @@ int main() {
 let micro = Pool.Once.make (fun () -> Bisa_compiler.Compiler.compile micro_source)
 let force_micro () = Pool.Once.force micro
 
+(* Threaded code for the micro workload, compiled (through the verifier)
+   once outside any timed region — the kernels below measure steady-state
+   execution only, matching how the harness memoizes code per program. *)
+let micro_conv_code =
+  Pool.Once.make (fun () -> Bisa_timing.Pipeline.Conv.compile (force_micro ()).conv)
+
+let micro_block_code =
+  Pool.Once.make (fun () -> Bisa_timing.Pipeline.Block.compile (force_micro ()).block)
+
 (* One micro-benchmark kernel: a name, the closure Bechamel times, and
    (for simulation kernels) the simulated-op count of one run so the JSON
    report can state throughput in ops/sec. *)
@@ -89,6 +101,23 @@ let kernels ~smoke () =
         fn = (fun () -> ignore (Bisa_sim.Conv_exec.run (force_micro ()).conv ()));
         ops = None;
       };
+      (* The same functional runs under the threaded-code backend; the
+         interpreter kernel above stays so the smoke ratio check (and
+         anyone reading the JSON) can state the speedup directly. *)
+      {
+        name = "table2_compiled_exec";
+        fn =
+          (fun () ->
+            ignore (Bisa_sim.Compile.Conv.run (Pool.Once.force micro_conv_code)));
+        ops = None;
+      };
+      {
+        name = "table2_compiled_exec_block";
+        fn =
+          (fun () ->
+            ignore (Bisa_sim.Compile.Block.run (Pool.Once.force micro_block_code)));
+        ops = None;
+      };
       (* Figure 3: both timing pipelines, real predictor. *)
       { (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)) with name = "fig3_conv_pipeline" };
       { (block (cfg (icache_of_kb 16) Bisa_timing.Config.Real)) with name = "fig3_block_pipeline" };
@@ -110,7 +139,14 @@ let kernels ~smoke () =
     ]
   in
   if smoke then
-    List.filter (fun k -> k.name = "fig3_conv_pipeline" || k.name = "fig3_block_pipeline") full
+    List.filter
+      (fun k ->
+        List.mem k.name
+          [
+            "fig3_conv_pipeline"; "fig3_block_pipeline"; "table2_functional_exec";
+            "table2_compiled_exec";
+          ])
+      full
   else full
 
 (* Minimal JSON emission (ints, floats, strings with benchmark-safe
@@ -165,6 +201,24 @@ let run_bechamel ~smoke ~json () =
           | _ -> Printf.printf "%-32s %-16s (no estimate)\n" test name)
         tbl)
     results;
+  (* The compiled functional executor's whole point is speed; report the
+     ratio whenever both table2 kernels ran, and in smoke mode (wired
+     into @runtest) treat a ratio under 5x as a regression. *)
+  (match
+     ( List.assoc_opt "paper-experiments table2_functional_exec" !estimates,
+       List.assoc_opt "paper-experiments table2_compiled_exec" !estimates )
+   with
+  | Some interp, Some comp when comp > 0.0 ->
+    let ratio = interp /. comp in
+    Printf.printf "compiled/interp functional-exec speedup: %.1fx\n%!" ratio;
+    if smoke && ratio < 5.0 then begin
+      Printf.eprintf
+        "bench-smoke: compiled executor only %.1fx faster than the interpreter \
+         (floor 5.0x)\n"
+        ratio;
+      exit 1
+    end
+  | _ -> ());
   match json with
   | None -> ()
   | Some file ->

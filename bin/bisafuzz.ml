@@ -7,7 +7,7 @@ module Oracle = Bisa_check.Oracle
 module Decode_fuzz = Bisa_check.Decode_fuzz
 module Faults = Bisa_check.Faults
 
-type mode = All | Diff | Decode | Inject | Verify | Crash
+type mode = All | Diff | OracleExec | Decode | Inject | Verify | Crash
 
 (* A fixed program with calls, loops, arrays and traps for the decode and
    injection campaigns (the differential campaign generates its own). *)
@@ -53,6 +53,37 @@ let diff ~pool ~seed ~count =
           %s\n\
           --- minimal failing program ---\n\
           %s" f.shrink_evals f.reason f.source)
+
+(* The eight-way campaign: the four interpreter-backed engines plus the
+   four threaded-code legs (standalone and under both timing pipelines).
+   A finding is shrunk as usual, then sharpened: the shrunk program is
+   replayed in lockstep to pin the first divergent fetch-unit index. *)
+let oracle ~pool ~seed ~count =
+  let r = Oracle.fuzz ~seed ~count ~engines:(Oracle.compiled_engines ()) ~pool () in
+  match r.failure with
+  | None ->
+    Printf.printf
+      "oracle: %d programs agreed across all %d engines (%d skipped)\n" r.tested
+      (List.length (Oracle.compiled_engines ()))
+      r.skipped;
+    List.iter (fun (reason, n) -> Printf.printf "  skipped %dx: %s\n" n reason) r.skip_reasons;
+    Ok ()
+  | Some f ->
+    let pinpoint =
+      match Bisa_compiler.Compiler.compile f.source with
+      | exception _ -> ""
+      | c -> begin
+        match Oracle.first_divergence c with
+        | Some m -> "\nfirst divergent step: " ^ m
+        | None -> ""
+      end
+    in
+    Error
+      (Printf.sprintf
+         "exec-backend oracle found a divergence (shrunk in %d candidate runs):\n\
+          %s%s\n\
+          --- minimal failing program ---\n\
+          %s" f.shrink_evals f.reason pinpoint f.source)
 
 let decode ~pool ~seed ~count =
   let c = sample () in
@@ -131,6 +162,7 @@ let run mode seed count jobs =
         (fun () -> inject ~pool ~seed);
       ]
     | Diff -> [ (fun () -> diff ~pool ~seed ~count) ]
+    | OracleExec -> [ (fun () -> oracle ~pool ~seed ~count) ]
     | Decode -> [ (fun () -> decode ~pool ~seed ~count) ]
     | Verify -> [ (fun () -> verify ~pool ~seed ~count) ]
     | Inject -> [ (fun () -> inject ~pool ~seed) ]
@@ -154,15 +186,17 @@ let () =
       & opt
           (enum
              [
-               ("all", All); ("diff", Diff); ("decode", Decode);
-               ("verify", Verify); ("inject", Inject); ("crash", Crash);
+               ("all", All); ("diff", Diff); ("oracle", OracleExec);
+               ("decode", Decode); ("verify", Verify); ("inject", Inject);
+               ("crash", Crash);
              ])
           All
       & info [ "mode" ]
-          ~doc:"Campaign: diff (differential programs), decode (binary mutation), \
-                verify (decode/verify/simulate trichotomy), inject (front-end \
-                faults), crash (kill-and-resume recovery; run with -j 1), or all \
-                (everything except crash).")
+          ~doc:"Campaign: diff (differential programs), oracle (diff plus the \
+                compiled-executor legs, eight engines per program), decode \
+                (binary mutation), verify (decode/verify/simulate trichotomy), \
+                inject (front-end faults), crash (kill-and-resume recovery; run \
+                with -j 1), or all (everything except oracle and crash).")
   in
   let count =
     Arg.(

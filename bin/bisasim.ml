@@ -42,8 +42,9 @@ let reject what diags =
     what (List.length diags)
     (if List.length diags = 1 then "" else "s")
 
-let run input isa functional icache_kb perfect_pred show_output budget scale
-    out_cap trace_out trace_sample trace_validate timeline verify_only no_verify =
+let run input isa functional exec icache_kb perfect_pred show_output budget
+    scale out_cap trace_out trace_sample trace_validate timeline verify_only
+    no_verify =
  Driver.guard ~component:"bisasim" @@ fun () ->
   (match out_cap with
   | Some n when n < 0 ->
@@ -93,6 +94,9 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
     }
   in
   if functional then begin
+    (* The --exec backends drive the identical executor state, so output,
+       counts and traps below read the same either way.  Verification was
+       discharged (or explicitly waived) above, hence trusted compiles. *)
     let out, n, trap =
       match isa with
       | Conv ->
@@ -100,16 +104,30 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
         let t = E.create (pick conv_prog "conventional") in
         E.set_budget t budget;
         Option.iter (E.set_out_cap t) out_cap;
-        let rec go () = match E.step t with Some _ -> go () | None -> () in
-        go ();
+        (match exec with
+        | Bisa_sim.Compile.Interp ->
+          let rec go () = match E.step t with Some _ -> go () | None -> () in
+          go ()
+        | Bisa_sim.Compile.Compiled ->
+          let module C = Bisa_sim.Compile.Conv in
+          let ce = C.bind (C.compile_trusted t.prog) t in
+          let rec go () = match C.step ce with Some _ -> go () | None -> () in
+          go ());
         (E.output t, E.dyn_insns t, Option.map E.machine_trap_diag (E.machine_trap t))
       | Block ->
         let module E = Bisa_sim.Block_exec in
         let t = E.create (pick block_prog "block-structured") in
         E.set_budget t budget;
         Option.iter (E.set_out_cap t) out_cap;
-        let rec go () = match E.step t with Some _ -> go () | None -> () in
-        go ();
+        (match exec with
+        | Bisa_sim.Compile.Interp ->
+          let rec go () = match E.step t with Some _ -> go () | None -> () in
+          go ()
+        | Bisa_sim.Compile.Compiled ->
+          let module C = Bisa_sim.Compile.Block in
+          let ce = C.bind (C.compile_trusted t.prog) t in
+          let rec go () = match C.step ce with Some _ -> go () | None -> () in
+          go ());
         (E.output t, E.retired_ops t, Option.map E.machine_trap_diag (E.machine_trap t))
     in
     Option.iter (fun d -> prerr_endline (Bisa_base.Diag.render d)) trap;
@@ -132,7 +150,9 @@ let run input isa functional icache_kb perfect_pred show_output budget scale
       else None
     in
     let m, out =
-      Pipeline.run_packed ?probe:(Option.map Trace.probe recorder) ?out_cap cfg packed
+      Pipeline.run_packed
+        ?probe:(Option.map Trace.probe recorder)
+        ?out_cap ~exec cfg packed
     in
     if show_output then print_endline (Bisa_sim.Output.to_string out);
     print_endline (Bisa_timing.Metrics.summary ~name:P.descr m);
@@ -217,9 +237,10 @@ let () =
   let term =
     Term.(
       ret
-        (const run $ input $ isa $ functional $ Args.icache_kb $ Args.perfect_pred
-       $ show_output $ Args.budget $ Args.scale $ Args.out_cap $ Args.trace_out
-       $ Args.trace_sample $ trace_validate $ timeline $ verify_only $ no_verify))
+        (const run $ input $ isa $ functional $ Args.exec $ Args.icache_kb
+       $ Args.perfect_pred $ show_output $ Args.budget $ Args.scale $ Args.out_cap
+       $ Args.trace_out $ Args.trace_sample $ trace_validate $ timeline
+       $ verify_only $ no_verify))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

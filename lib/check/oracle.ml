@@ -62,6 +62,115 @@ let default_engines () =
     };
   ]
 
+(* The threaded-code legs: the compiled functional executors, plus both
+   timing pipelines re-run with the compiled backend underneath.  The
+   compiles go through the verifier (Pipeline.S.compile), so the witness
+   discipline is exercised on every generated program too. *)
+let compiled_legs () =
+  [
+    {
+      name = "conv-compiled";
+      run =
+        (fun c ->
+          fst
+            (Bisa_sim.Compile.Conv.run ~budget:exec_budget
+               (Bisa_timing.Pipeline.Conv.compile c.Compiler.conv)));
+    };
+    {
+      name = "block-compiled";
+      run =
+        (fun c ->
+          fst
+            (Bisa_sim.Compile.Block.run ~budget:exec_budget
+               (Bisa_timing.Pipeline.Block.compile c.Compiler.block)));
+    };
+    {
+      name = "conv-timing-compiled";
+      run =
+        (fun c ->
+          snd
+            (Bisa_timing.Conv_pipeline.run_full
+               ~code:(Bisa_timing.Pipeline.Conv.compile c.Compiler.conv)
+               (timing_cfg ()) c.Compiler.conv));
+    };
+    {
+      name = "block-timing-compiled";
+      run =
+        (fun c ->
+          snd
+            (Bisa_timing.Block_pipeline.run_full
+               ~code:(Bisa_timing.Pipeline.Block.compile c.Compiler.block)
+               (timing_cfg ()) c.Compiler.block));
+    };
+  ]
+
+let compiled_engines () = default_engines () @ compiled_legs ()
+
+(* Lockstep replay of interpreter vs. compiled executor: two fresh states
+   over the same program, advanced one step at a time, comparing every
+   step record (including mem_addrs slots and raised exceptions).  On the
+   first differing step this pinpoints the divergent fetch-unit index and
+   the dynamic-op count reached — far tighter than an end-of-run output
+   mismatch. *)
+let first_divergence (c : Compiler.compiled) =
+  let show_exn = Printexc.to_string in
+  let conv () =
+    let a = Conv_exec.create c.Compiler.conv in
+    let b = Conv_exec.create c.Compiler.conv in
+    Conv_exec.set_budget a exec_budget;
+    Conv_exec.set_budget b exec_budget;
+    let cb =
+      Bisa_sim.Compile.Conv.bind (Bisa_timing.Pipeline.Conv.compile c.Compiler.conv) b
+    in
+    let rec go i =
+      let pa = try Ok (Conv_exec.step a) with e -> Error (show_exn e) in
+      let pb = try Ok (Bisa_sim.Compile.Conv.step cb) with e -> Error (show_exn e) in
+      if pa <> pb then
+        Some
+          (Printf.sprintf
+             "conv: backends diverge at packet %d (interp at dyn op %d, compiled at %d)"
+             i (Conv_exec.dyn_insns a) (Conv_exec.dyn_insns b))
+      else
+        match pa with
+        | Ok (Some _) -> go (i + 1)
+        | Ok None | Error _ ->
+          if Conv_exec.machine_trap a <> Conv_exec.machine_trap b then
+            Some (Printf.sprintf "conv: machine traps differ after packet %d" i)
+          else None
+    in
+    go 0
+  in
+  let block () =
+    let a = Block_exec.create c.Compiler.block in
+    let b = Block_exec.create c.Compiler.block in
+    Block_exec.set_budget a exec_budget;
+    Block_exec.set_budget b exec_budget;
+    let cb =
+      Bisa_sim.Compile.Block.bind
+        (Bisa_timing.Pipeline.Block.compile c.Compiler.block)
+        b
+    in
+    let rec go i =
+      let pa = try Ok (Block_exec.step a) with e -> Error (show_exn e) in
+      let pb = try Ok (Bisa_sim.Compile.Block.step cb) with e -> Error (show_exn e) in
+      if pa <> pb then
+        Some
+          (Printf.sprintf
+             "block: backends diverge at fetched block %d (interp at dyn op %d, \
+              compiled at %d)"
+             i (Block_exec.dyn_ops a) (Block_exec.dyn_ops b))
+      else
+        match pa with
+        | Ok (Some _) -> go (i + 1)
+        | Ok None | Error _ ->
+          if Block_exec.machine_trap a <> Block_exec.machine_trap b then
+            Some (Printf.sprintf "block: machine traps differ after block %d" i)
+          else None
+    in
+    go 0
+  in
+  match conv () with Some m -> Some m | None -> block ()
+
 (* Replay both functional executors and compare the final data segments
    (both the integer and the float side of every word).  The linkers lay
    out globals identically for both ISAs, so a mismatch means one backend

@@ -15,6 +15,25 @@ val default_engines : unit -> engine list
 (** conv, block, conv-timing, block-timing (the timing pair runs with a
     trace cache enabled to exercise that fetch path). *)
 
+val compiled_legs : unit -> engine list
+(** conv-compiled, block-compiled, conv-timing-compiled,
+    block-timing-compiled: the threaded-code functional executors
+    ({!Bisa_sim.Compile}), standalone and underneath both timing
+    pipelines.  Compilation goes through the verifier on every program
+    (witness discipline included in the differential surface). *)
+
+val compiled_engines : unit -> engine list
+(** [default_engines () @ compiled_legs ()] — the full eight-way oracle
+    behind [bisafuzz --mode oracle]. *)
+
+val first_divergence : Bisa_compiler.Compiler.compiled -> string option
+(** Lockstep replay of interpreter vs. compiled executor on both ISAs:
+    fresh states advanced one step at a time, comparing every step
+    record, raised exception, and final machine trap.  Returns the first
+    divergent fetch-unit index (with both backends' dynamic-op counts),
+    or [None] when the backends agree step-for-step — used to sharpen a
+    shrunk oracle finding to an exact op index. *)
+
 val interp_fuel : int
 val exec_budget : int
 (** Limits far above any generated program's dynamic length; exceeding

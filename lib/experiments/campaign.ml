@@ -119,9 +119,12 @@ let make_deadline timeout_s =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
-let run_cell (type p tb) t
-    (module P : Bisa_timing.Pipeline.S with type prog = p and type tables = tb)
-    ?tables ~bench (cfg : Config.t) (prog : p) : Metrics.t =
+let run_cell (type p tb c) t
+    (module P : Bisa_timing.Pipeline.S
+      with type prog = p
+       and type tables = tb
+       and type code = c) ?tables ?code ~bench (cfg : Config.t) (prog : p) :
+    Metrics.t =
   let cfg_hash = Config.fingerprint cfg in
   let prog_hash = P.prog_hash prog in
   let k = key ~bench ~isa:P.isa ~cfg_hash ~prog_hash in
@@ -131,8 +134,8 @@ let run_cell (type p tb) t
     let ckpt = cell_path t k ".ckpt" in
     let deadline = Option.map make_deadline t.timeout_s in
     match
-      Checkpoint.drive (module P) ?tables ~snapshot:(ckpt, t.checkpoint_every)
-        ?deadline cfg prog
+      Checkpoint.drive (module P) ?tables ?code
+        ~snapshot:(ckpt, t.checkpoint_every) ?deadline cfg prog
     with
     | Checkpoint.Finished (m, _out) ->
       write_done t k m;

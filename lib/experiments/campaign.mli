@@ -37,8 +37,12 @@ val dir : t -> string
 
 val run_cell :
   t ->
-  (module Bisa_timing.Pipeline.S with type prog = 'p and type tables = 'tb) ->
+  (module Bisa_timing.Pipeline.S
+     with type prog = 'p
+      and type tables = 'tb
+      and type code = 'c) ->
   ?tables:'tb ->
+  ?code:'c ->
   bench:string ->
   Bisa_timing.Config.t ->
   'p ->
@@ -46,7 +50,13 @@ val run_cell :
 (** Run one cell under campaign protection: return the stored metrics if
     the cell already finished, otherwise resume from its snapshot (if
     any), simulate, persist the manifest atomically, and return.  Raises
-    {!Timed_out} when [timeout_s] expires first. *)
+    {!Timed_out} when [timeout_s] expires first.
+
+    [code] runs the cell on the compiled functional executor.  The exec
+    backend is deliberately absent from the cell key: both backends
+    drive identical executor state and produce identical metrics, so a
+    campaign started under one backend may be finished under the
+    other. *)
 
 val timed_out_diag : key:string -> ops:int -> Bisa_base.Diag.t
 (** Structured rendering of a cell timeout for the unified failure

@@ -50,6 +50,10 @@ type t = {
   base : Config.t;
   sweep : (string * Cache.config) list;
   pool : Pool.t;
+  (* Which functional-executor backend every harness-routed timing run
+     uses.  Not part of the run-cache key: the backends are
+     differentially tested equivalent, so metrics do not depend on it. *)
+  exec : Bisa_sim.Compile.backend;
   lock : Mutex.t;  (* guards all tables (not the cells' contents) *)
   compiled_cache : (string, Bisa_compiler.Compiler.compiled cell) Hashtbl.t;
   run_cache : (string * string * cache_key, Bisa_timing.Metrics.t cell) Hashtbl.t;
@@ -57,12 +61,17 @@ type t = {
      configuration and worker domain that simulates it. *)
   pre_conv_cache : (string, Bisa_timing.Predecode.t cell) Hashtbl.t;
   pre_block_cache : (string, Bisa_timing.Predecode.blocks cell) Hashtbl.t;
+  (* Threaded-code forms (Compile.{Conv,Block}.code): like the predecode
+     tables, one per program, shared across configurations and domains. *)
+  code_conv_cache : (string, Bisa_timing.Pipeline.Conv.code cell) Hashtbl.t;
+  code_block_cache : (string, Bisa_timing.Pipeline.Block.code cell) Hashtbl.t;
   mutable on_compute : string -> unit;
 }
 
 let scaled_default = { Cache.size_bytes = Cache.kb 16; assoc = 4; line_bytes = 32 }
 
-let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) ?campaign () =
+let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential)
+    ?(exec = Bisa_sim.Compile.Interp) ?campaign () =
   let default_icache, sweep =
     if paper_caches then
       ( Cache.config_64k,
@@ -81,15 +90,19 @@ let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential) ?campaign ()
     base = Config.with_icache (Some default_icache) Config.default;
     sweep;
     pool;
+    exec;
     lock = Mutex.create ();
     compiled_cache = Hashtbl.create 16;
     run_cache = Hashtbl.create 64;
     pre_conv_cache = Hashtbl.create 16;
     pre_block_cache = Hashtbl.create 16;
+    code_conv_cache = Hashtbl.create 16;
+    code_block_cache = Hashtbl.create 16;
     on_compute = ignore;
   }
 
 let base_config t = t.base
+let exec_backend t = t.exec
 let campaign t = t.campaign
 let sweep_caches t = t.sweep
 let benchmarks _ = Workloads.all
@@ -160,6 +173,23 @@ let predecoded_block t (w : Workloads.t) =
     ~label:("predecode:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Block.isa)
     ~compute:(fun () -> Bisa_timing.Pipeline.Block.predecode (compiled t w).block)
 
+(* Threaded-code compilation piggybacks on the predecode trust boundary:
+   [predecoded_*] has already verified the very same program, so the
+   trusted compile is sound and the verifier runs once, not twice. *)
+let code_conv t (w : Workloads.t) =
+  memoize t t.code_conv_cache w.name
+    ~label:("compile-exec:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Conv.isa)
+    ~compute:(fun () ->
+      ignore (predecoded_conv t w);
+      Bisa_timing.Pipeline.Conv.compile_trusted (compiled t w).conv)
+
+let code_block t (w : Workloads.t) =
+  memoize t t.code_block_cache w.name
+    ~label:("compile-exec:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Block.isa)
+    ~compute:(fun () ->
+      ignore (predecoded_block t w);
+      Bisa_timing.Pipeline.Block.compile_trusted (compiled t w).block)
+
 let key_of (cfg : Config.t) : cache_key =
   ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
     cfg.predictor )
@@ -181,25 +211,34 @@ let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
    campaign attached, every cell goes through its crash-safe path:
    finished cells are read back from their manifests, interrupted ones
    resume from their snapshots. *)
-let run_pipe (type p tb) t
-    (module P : Bisa_timing.Pipeline.S with type prog = p and type tables = tb)
-    ~(prog_of : Bisa_compiler.Compiler.compiled -> p)
-    ~(tables : Workloads.t -> tb) (w : Workloads.t) cfg =
-  run t w cfg ~isa:P.isa ~f:(fun c ->
-      let prog = prog_of c in
+let run_pipe (type p tb c) t
+    (module P : Bisa_timing.Pipeline.S
+      with type prog = p
+       and type tables = tb
+       and type code = c) ~(prog_of : Bisa_compiler.Compiler.compiled -> p)
+    ~(tables : Workloads.t -> tb) ~(code : Workloads.t -> c)
+    (w : Workloads.t) cfg =
+  run t w cfg ~isa:P.isa ~f:(fun cm ->
+      let prog = prog_of cm in
       let tb = tables w in
+      let code =
+        match t.exec with
+        | Bisa_sim.Compile.Interp -> None
+        | Bisa_sim.Compile.Compiled -> Some (code w)
+      in
       match t.campaign with
-      | Some camp -> Campaign.run_cell camp (module P) ~tables:tb ~bench:w.name cfg prog
-      | None -> P.run ~tables:tb cfg prog)
+      | Some camp ->
+        Campaign.run_cell camp (module P) ~tables:tb ?code ~bench:w.name cfg prog
+      | None -> P.run ~tables:tb ?code cfg prog)
 
 let run_conv t w cfg =
   run_pipe t
     (module Bisa_timing.Pipeline.Conv)
     ~prog_of:(fun c -> c.Bisa_compiler.Compiler.conv)
-    ~tables:(predecoded_conv t) w cfg
+    ~tables:(predecoded_conv t) ~code:(code_conv t) w cfg
 
 let run_block t w cfg =
   run_pipe t
     (module Bisa_timing.Pipeline.Block)
     ~prog_of:(fun c -> c.Bisa_compiler.Compiler.block)
-    ~tables:(predecoded_block t) w cfg
+    ~tables:(predecoded_block t) ~code:(code_block t) w cfg

@@ -22,13 +22,21 @@ val create :
   ?scale:int ->
   ?paper_caches:bool ->
   ?pool:Bisa_base.Pool.t ->
+  ?exec:Bisa_sim.Compile.backend ->
   ?campaign:Campaign.t ->
   unit ->
   t
 (** [pool] (default {!Bisa_base.Pool.sequential}) is the worker pool the
     experiment modules fan work out on; pass one pool per CLI run.
+    [exec] (default [Interp]) selects the functional-executor backend
+    for every harness-routed timing run; under [Compiled], each program
+    is compiled to threaded code once and shared like the predecode
+    tables.  Metrics are backend-independent (the backends drive
+    identical executor state), so the run cache needs no exec key.
     [campaign] makes every harness-routed timing run crash-safe and
     resumable (see {!Campaign}); without it runs are in-memory only. *)
+
+val exec_backend : t -> Bisa_sim.Compile.backend
 
 val campaign : t -> Campaign.t option
 
@@ -57,19 +65,33 @@ val predecoded_conv : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.t
 
 val predecoded_block : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Predecode.blocks
 
+val code_conv : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Conv.code
+(** The workload's threaded-code form ({!Bisa_sim.Compile}), built
+    exactly once and shared like the predecode tables.  Forces the
+    predecode memo first so verification is discharged before the
+    trusted compile.  Fires the compute hook with
+    ["compile-exec:<bench>/<isa>"]. *)
+
+val code_block : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Block.code
+
 val run_pipe :
   t ->
-  (module Bisa_timing.Pipeline.S with type prog = 'p and type tables = 'tb) ->
+  (module Bisa_timing.Pipeline.S
+     with type prog = 'p
+      and type tables = 'tb
+      and type code = 'c) ->
   prog_of:(Bisa_compiler.Compiler.compiled -> 'p) ->
   tables:(Bisa_workloads.Workloads.t -> 'tb) ->
+  code:(Bisa_workloads.Workloads.t -> 'c) ->
   Bisa_workloads.Workloads.t ->
   Bisa_timing.Config.t ->
   Bisa_timing.Metrics.t
 (** Timing run through any {!Bisa_timing.Pipeline.S} implementation,
-    memoized on (benchmark, [P.isa], icache, predictor).  Safe to call
-    concurrently from pool workers; a given cell compiles and simulates
-    exactly once.  {!run_conv} and {!run_block} are its two standard
-    instantiations. *)
+    memoized on (benchmark, [P.isa], icache, predictor).  [code] is only
+    consulted when the harness was created with [~exec:Compiled].  Safe
+    to call concurrently from pool workers; a given cell compiles and
+    simulates exactly once.  {!run_conv} and {!run_block} are its two
+    standard instantiations. *)
 
 val run_conv :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t

@@ -23,11 +23,6 @@ type step = {
   dir_taken : bool option;  (** trap direction, when the terminator ran *)
 }
 
-type t
-
-exception Runaway of int
-exception Illegal_fetch of { required : int; requested : int }
-
 type machine_trap =
   | Wild_jump of int  (** control transferred outside the program *)
   | Unaligned_access of int  (** byte address of a misaligned access *)
@@ -37,6 +32,30 @@ type machine_trap =
           8-byte aligned.  The offending block's effects are discarded and
           the machine halts — never an exception.  Compiled programs never
           trap. *)
+
+type t = {
+  prog : Bisa_isa.Block_prog.t;
+  regs : Regfile.t;
+  shadow : Regfile.t;  (** snapshot at block start, for fault recovery *)
+  mem : Memory.t;
+  sbuf : Sbuf.t;
+  mutable required : int;
+  mutable halted : bool;
+  mutable mtrap : machine_trap option;
+  mutable dyn : int;
+  mutable retired : int;
+  mutable retired_blocks : int;
+  mutable budget : int;
+  sink : Output.Sink.sink;
+}
+(** The architectural state is concrete so {!Compile} (same library) can
+    drive the identical record from threaded code: both backends share
+    one state, so checkpoints, counters and output are backend-agnostic
+    by construction.  Outside [lib/sim], treat the fields as read-only
+    and go through the accessors below. *)
+
+exception Runaway of int
+exception Illegal_fetch of { required : int; requested : int }
 
 val runaway_diag : int -> Bisa_base.Diag.t
 val illegal_fetch_diag : required:int -> requested:int -> Bisa_base.Diag.t

@@ -23,10 +23,6 @@ type packet = {
   next : int;  (** index of the next instruction to execute *)
 }
 
-type t
-
-exception Runaway of int
-
 type machine_trap =
   | Wild_jump of int  (** control transferred outside the program *)
   | Unaligned_access of int  (** byte address of a misaligned access *)
@@ -34,11 +30,31 @@ type machine_trap =
           bound — see {!Bisa_sim.Block_exec.machine_trap}.  Compiled
           programs never trap. *)
 
+type t = {
+  prog : Bisa_isa.Conv_prog.t;
+  regs : Regfile.t;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable mtrap : machine_trap option;
+  mutable dyn : int;
+  mutable budget : int;
+  sink : Output.Sink.sink;
+}
+(** Concrete for the same reason as {!Block_exec.t}: the compiled
+    executor ({!Compile}) mutates the identical record, so state,
+    checkpoints and counters are shared across backends. *)
+
+exception Runaway of int
+
 val runaway_diag : int -> Bisa_base.Diag.t
 (** Structured rendering of {!Runaway} for the unified failure model. *)
 
 val machine_trap_diag : machine_trap -> Bisa_base.Diag.t
 (** Warning-severity rendering of a machine trap. *)
+
+val packet_cap : int
+(** Safety cap on packet length; a packet reaching it ends in {!Kfall}. *)
 
 val create : Bisa_isa.Conv_prog.t -> t
 val step : t -> packet option

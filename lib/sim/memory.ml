@@ -5,9 +5,21 @@ let page_mask = page_words - 1
 
 type page = { ints : int array; mutable flts : float array option }
 
-type t = { pages : (int, page) Hashtbl.t }
+(* One-entry page cache in front of the hashtable: workloads touch the
+   same page for long runs, and a hashtable probe per access (int hash,
+   bucket walk, a [Some] allocation) would otherwise dominate the cost
+   of simulated loads and stores.  [cached_key] starts at a sentinel no
+   real key can take (keys are word indices shifted right, so they are
+   small non-negatives), guarding the shared dummy page. *)
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable cached_key : int;
+  mutable cached : page;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+let no_page = { ints = [||]; flts = None }
+
+let create () = { pages = Hashtbl.create 64; cached_key = min_int; cached = no_page }
 
 exception Unaligned of int
 
@@ -17,20 +29,31 @@ let word_index addr =
 
 let page_of t wi =
   let key = wi lsr page_bits in
-  match Hashtbl.find_opt t.pages key with
-  | Some p -> p
-  | None ->
-    let p = { ints = Array.make page_words 0; flts = None } in
-    Hashtbl.add t.pages key p;
+  if key = t.cached_key then t.cached
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+        let p = { ints = Array.make page_words 0; flts = None } in
+        Hashtbl.add t.pages key p;
+        p
+    in
+    t.cached_key <- key;
+    t.cached <- p;
     p
+  end
 
+(* [wi land page_mask] < page_words by construction, so the bounds
+   check would always pass — these accesses sit on the simulator's
+   hottest path. *)
 let load t addr =
   let wi = word_index addr in
-  (page_of t wi).ints.(wi land page_mask)
+  Array.unsafe_get (page_of t wi).ints (wi land page_mask)
 
 let store t addr v =
   let wi = word_index addr in
-  (page_of t wi).ints.(wi land page_mask) <- v
+  Array.unsafe_set (page_of t wi).ints (wi land page_mask) v
 
 let flts_of p =
   match p.flts with
@@ -43,11 +66,13 @@ let flts_of p =
 let loadf t addr =
   let wi = word_index addr in
   let p = page_of t wi in
-  match p.flts with Some a -> a.(wi land page_mask) | None -> 0.0
+  match p.flts with
+  | Some a -> Array.unsafe_get a (wi land page_mask)
+  | None -> 0.0
 
 let storef t addr v =
   let wi = word_index addr in
-  (flts_of (page_of t wi)).(wi land page_mask) <- v
+  Array.unsafe_set (flts_of (page_of t wi)) (wi land page_mask) v
 
 let footprint_words t = Hashtbl.length t.pages * page_words
 
@@ -69,6 +94,8 @@ let save_state t w =
 let load_state t r =
   Bisa_base.Codec.R.section r "memory";
   Hashtbl.reset t.pages;
+  t.cached_key <- min_int;
+  t.cached <- no_page;
   let n = Bisa_base.Codec.R.int r in
   for _ = 1 to n do
     let key = Bisa_base.Codec.R.int r in

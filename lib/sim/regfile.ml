@@ -3,6 +3,8 @@ module Reg = Bisa_isa.Reg
 type t = { ints : int array; flts : float array }
 
 let create () = { ints = Array.make Reg.count 0; flts = Array.make Reg.count 0.0 }
+let ints t = t.ints
+let flts t = t.flts
 
 let get_i t r =
   match r with

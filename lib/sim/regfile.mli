@@ -3,6 +3,14 @@
 
 type t
 
+val ints : t -> int array
+val flts : t -> float array
+(** The backing arrays themselves, not copies: the compiled executor
+    ({!Compile}) resolves register operands to direct array indices at
+    compile time and reads/writes through these.  Mutating them is
+    equivalent to {!set_i}/{!set_f} except that the [r0]-write drop and
+    the int/float class check become the caller's obligation. *)
+
 val create : unit -> t
 val get_i : t -> Bisa_isa.Reg.t -> int
 val set_i : t -> Bisa_isa.Reg.t -> int -> unit

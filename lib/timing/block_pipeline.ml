@@ -13,6 +13,10 @@ type session = {
   m : Metrics.t;
   engine : Engine.t;
   exec : Block_exec.t;
+  (* Compiled threaded-code executor bound to [exec]'s state, when the
+     session runs with --exec compiled.  Both backends mutate the same
+     record, so checkpoints and counters are backend-agnostic. *)
+  cexec : Bisa_sim.Compile.Block.t option;
   icache : Cache.t option;
   pred : Block_pred.t;
   probe : Bisa_obs.Probe.t;
@@ -31,7 +35,7 @@ type session = {
   mutable running : bool;
 }
 
-let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
+let session ?tables ?code ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     (prog : Block_prog.t) : session =
   let engine = Engine.create cfg in
   let pd =
@@ -41,6 +45,7 @@ let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
   in
   let exec = Block_exec.create prog in
   Block_exec.set_budget exec cfg.op_budget;
+  let cexec = Option.map (fun c -> Bisa_sim.Compile.Block.bind c exec) code in
   let icache = Option.map Cache.create cfg.icache in
   let pred = Block_pred.create cfg.block_pred prog in
   (* One branch decides all event emission: with the null probe nothing
@@ -60,6 +65,7 @@ let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     m = Metrics.create ();
     engine;
     exec;
+    cexec;
     icache;
     pred;
     probe;
@@ -127,7 +133,14 @@ let step s =
         end
       end
     in
-    (match Block_exec.step ~fetch:fetch_block s.exec with
+    (match
+       (* The two backends evolve the same [Block_exec.t] record and
+          produce identical step records; only the execution strategy
+          differs (dispatching interpreter vs. compiled closure chain). *)
+       match s.cexec with
+       | Some ce -> Bisa_sim.Compile.Block.step ~fetch:fetch_block ce
+       | None -> Block_exec.step ~fetch:fetch_block s.exec
+     with
     | None -> s.running <- false
     | Some step ->
       if cfg.predictor = Config.Perfect && step.squashed then
@@ -301,8 +314,9 @@ let restore s r =
   opt_side "injector" (R.bool r) s.inj (fun i -> Bisa_uarch.Inject.load i r);
   Metrics.load s.m r
 
-let run_full ?tables ?probe (cfg : Config.t) (prog : Block_prog.t) :
+let run_full ?tables ?code ?probe (cfg : Config.t) (prog : Block_prog.t) :
     Metrics.t * Bisa_sim.Output.t =
-  finish (session ?tables ?probe cfg prog)
+  finish (session ?tables ?code ?probe cfg prog)
 
-let run ?tables ?probe cfg prog = fst (run_full ?tables ?probe cfg prog)
+let run ?tables ?code ?probe cfg prog =
+  fst (run_full ?tables ?code ?probe cfg prog)

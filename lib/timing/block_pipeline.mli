@@ -25,8 +25,14 @@
     free: one physical-equality test on entry disables every emission, so
     the hot path is unchanged (checked by the allocation-budget test). *)
 
+(** [code] (see {!Bisa_sim.Compile.Block}) swaps the dispatching
+    interpreter for the program's threaded-code executor.  Both backends
+    drive the identical {!Bisa_sim.Block_exec.t} state, so metrics,
+    outputs and checkpoints are independent of the choice. *)
+
 val run :
   ?tables:Predecode.blocks ->
+  ?code:Bisa_sim.Compile.Block.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Block_prog.t ->
@@ -34,6 +40,7 @@ val run :
 
 val run_full :
   ?tables:Predecode.blocks ->
+  ?code:Bisa_sim.Compile.Block.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Block_prog.t ->
@@ -49,6 +56,7 @@ type session
 
 val session :
   ?tables:Predecode.blocks ->
+  ?code:Bisa_sim.Compile.Block.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Block_prog.t ->

@@ -79,9 +79,10 @@ type 'a outcome = Finished of 'a | Timed_out of { ops : int }
    The wall clock is the caller's: this layer stays free of OS
    dependencies, and experiments pass a [Unix.gettimeofday]-based
    closure. *)
-let drive (type p tb) (module P : Pipeline.S with type prog = p and type tables = tb)
-    ?tables ?probe ?snapshot ?deadline (cfg : Config.t) (prog : p) =
-  let s = P.session ?tables ?probe cfg prog in
+let drive (type p tb c)
+    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
+    ?tables ?code ?probe ?snapshot ?deadline (cfg : Config.t) (prog : p) =
+  let s = P.session ?tables ?code ?probe cfg prog in
   let prog_hash = P.prog_hash prog in
   let cfg_hash = Config.fingerprint cfg in
   let write_snapshot path =

@@ -41,8 +41,9 @@ val load :
 type 'a outcome = Finished of 'a | Timed_out of { ops : int }
 
 val drive :
-  (module Pipeline.S with type prog = 'p and type tables = 'tb) ->
+  (module Pipeline.S with type prog = 'p and type tables = 'tb and type code = 'c) ->
   ?tables:'tb ->
+  ?code:'c ->
   ?probe:Bisa_obs.Probe.t ->
   ?snapshot:string * int ->
   ?deadline:(unit -> bool) ->
@@ -50,6 +51,11 @@ val drive :
   'p ->
   (Metrics.t * Bisa_sim.Output.t) outcome
 (** Run a program to completion under checkpoint protection.
+
+    [code] selects the compiled functional-executor backend
+    ({!Pipeline.S.session}).  The backend is not part of the snapshot
+    identity: both backends drive identical executor state, so a
+    snapshot taken under one resumes under the other.
 
     [snapshot = (path, every)] resumes from [path] when a valid snapshot
     exists there, then rewrites it each time another [every] dynamic ops

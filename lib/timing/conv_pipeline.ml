@@ -11,6 +11,10 @@ module Trace_cache = Bisa_uarch.Trace_cache
 module Stream = struct
   type t = {
     exec : Conv_exec.t;
+    (* How to produce the next packet — [Conv_exec.step exec] for the
+       interpreter, or a compiled executor bound to the same [exec]
+       state.  Everything downstream of the stream is backend-agnostic. *)
+    stepf : unit -> Conv_exec.packet option;
     mutable buf : Conv_exec.packet array;
     mutable head : int;
     mutable len : int;
@@ -19,7 +23,11 @@ module Stream = struct
   let dummy : Conv_exec.packet =
     { start = 0; count = 0; mem_addrs = [||]; term = Conv_exec.Khalt; next = 0 }
 
-  let create exec = { exec; buf = Array.make 16 dummy; head = 0; len = 0 }
+  let create ?stepf exec =
+    let stepf =
+      match stepf with Some f -> f | None -> fun () -> Conv_exec.step exec
+    in
+    { exec; stepf; buf = Array.make 16 dummy; head = 0; len = 0 }
 
   let push t p =
     let cap = Array.length t.buf in
@@ -36,7 +44,7 @@ module Stream = struct
 
   let refill t n =
     while t.len < n && not (Conv_exec.halted t.exec) do
-      match Conv_exec.step t.exec with Some p -> push t p | None -> ()
+      match t.stepf () with Some p -> push t p | None -> ()
     done
 
   let pop t =
@@ -187,7 +195,7 @@ type session = {
   mutable running : bool;
 }
 
-let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
+let session ?tables ?code ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     (prog : Conv_prog.t) : session =
   let engine = Engine.create cfg in
   let pd =
@@ -197,6 +205,13 @@ let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
   in
   let exec = Conv_exec.create prog in
   Conv_exec.set_budget exec cfg.op_budget;
+  let stepf =
+    Option.map
+      (fun c ->
+        let ce = Bisa_sim.Compile.Conv.bind c exec in
+        fun () -> Bisa_sim.Compile.Conv.step ce)
+      code
+  in
   let icache = Option.map Cache.create cfg.icache in
   let tc = Option.map Trace_cache.create cfg.trace_cache in
   let pred = Conv_pred.create cfg.conv_pred in
@@ -220,7 +235,7 @@ let session ?tables ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     m = Metrics.create ();
     engine;
     exec;
-    stream = Stream.create exec;
+    stream = Stream.create ?stepf exec;
     icache;
     tc;
     pred;
@@ -476,8 +491,9 @@ let restore s r =
   opt_side "injector" (R.bool r) s.inj (fun i -> Bisa_uarch.Inject.load i r);
   Metrics.load s.m r
 
-let run_full ?tables ?probe (cfg : Config.t) (prog : Conv_prog.t) :
+let run_full ?tables ?code ?probe (cfg : Config.t) (prog : Conv_prog.t) :
     Metrics.t * Bisa_sim.Output.t =
-  finish (session ?tables ?probe cfg prog)
+  finish (session ?tables ?code ?probe cfg prog)
 
-let run ?tables ?probe cfg prog = fst (run_full ?tables ?probe cfg prog)
+let run ?tables ?code ?probe cfg prog =
+  fst (run_full ?tables ?code ?probe cfg prog)

@@ -17,8 +17,14 @@
     physical-equality test on entry disables every emission, so the hot
     path is unchanged (checked by the allocation-budget test). *)
 
+(** [code] (see {!Bisa_sim.Compile.Conv}) swaps the dispatching
+    interpreter for the program's threaded-code executor.  Both backends
+    drive the identical {!Bisa_sim.Conv_exec.t} state, so metrics,
+    outputs and checkpoints are independent of the choice. *)
+
 val run :
   ?tables:Predecode.t ->
+  ?code:Bisa_sim.Compile.Conv.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Conv_prog.t ->
@@ -26,6 +32,7 @@ val run :
 
 val run_full :
   ?tables:Predecode.t ->
+  ?code:Bisa_sim.Compile.Conv.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Conv_prog.t ->
@@ -41,6 +48,7 @@ type session
 
 val session :
   ?tables:Predecode.t ->
+  ?code:Bisa_sim.Compile.Conv.code ->
   ?probe:Bisa_obs.Probe.t ->
   Config.t ->
   Bisa_isa.Conv_prog.t ->

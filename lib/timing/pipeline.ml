@@ -3,19 +3,28 @@ module Verify = Bisa_verify.Verify
 module type S = sig
   type prog
   type tables
+  type code
 
   val isa : string
   val descr : string
   val verify : prog -> Bisa_base.Diag.t list
   val predecode : prog -> tables
   val predecode_trusted : prog -> tables
+  val compile : prog -> code
+  val compile_trusted : prog -> code
   val prog_hash : prog -> int64
 
   val run :
-    ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
+    ?tables:tables ->
+    ?code:code ->
+    ?probe:Bisa_obs.Probe.t ->
+    Config.t ->
+    prog ->
+    Metrics.t
 
   val run_full :
     ?tables:tables ->
+    ?code:code ->
     ?probe:Bisa_obs.Probe.t ->
     Config.t ->
     prog ->
@@ -23,7 +32,8 @@ module type S = sig
 
   type session
 
-  val session : ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
+  val session :
+    ?tables:tables -> ?code:code -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
   val step : session -> bool
   val ops : session -> int
   val set_out_cap : session -> int -> unit
@@ -35,12 +45,15 @@ end
 module Conv = struct
   type prog = Bisa_isa.Conv_prog.t
   type tables = Predecode.t
+  type code = Bisa_sim.Compile.Conv.code
 
   let isa = "conv"
   let descr = "conventional"
   let verify = Verify.conv_diags
   let predecode prog = Predecode.of_conv (Verify.conv_exn prog)
   let predecode_trusted = Predecode.of_conv_trusted
+  let compile prog = Bisa_sim.Compile.Conv.compile (Verify.conv_exn prog)
+  let compile_trusted = Bisa_sim.Compile.Conv.compile_trusted
   let prog_hash prog = Bisa_base.Codec.fnv1a64 (Bisa_isa.Encode.conv_to_bytes prog)
   let run = Conv_pipeline.run
   let run_full = Conv_pipeline.run_full
@@ -59,12 +72,15 @@ end
 module Block = struct
   type prog = Bisa_isa.Block_prog.t
   type tables = Predecode.blocks
+  type code = Bisa_sim.Compile.Block.code
 
   let isa = "block"
   let descr = "block-structured"
   let verify = Verify.block_diags
   let predecode prog = Predecode.of_block (Verify.block_exn prog)
   let predecode_trusted = Predecode.of_block_trusted
+  let compile prog = Bisa_sim.Compile.Block.compile (Verify.block_exn prog)
+  let compile_trusted = Bisa_sim.Compile.Block.compile_trusted
   let prog_hash prog = Bisa_base.Codec.fnv1a64 (Bisa_isa.Encode.block_to_bytes prog)
   let run = Block_pipeline.run
   let run_full = Block_pipeline.run_full
@@ -96,8 +112,17 @@ let pack_block_trusted prog =
 
 let verify_packed (Packed ((module P), prog, _)) = P.verify prog
 
-let run_packed ?probe ?out_cap cfg (Packed ((module P), prog, tables)) =
+let run_packed ?probe ?out_cap ?(exec = Bisa_sim.Compile.Interp) cfg
+    (Packed ((module P), prog, tables)) =
+  (* Resolve tables first: with [None] tables this is where verification
+     happens, so the trusted compile below is sound — either the program
+     just verified, or the packer explicitly waived verification. *)
   let tables = match tables with Some t -> t | None -> P.predecode prog in
-  let s = P.session ~tables ?probe cfg prog in
+  let code =
+    match exec with
+    | Bisa_sim.Compile.Interp -> None
+    | Bisa_sim.Compile.Compiled -> Some (P.compile_trusted prog)
+  in
+  let s = P.session ~tables ?code ?probe cfg prog in
   Option.iter (P.set_out_cap s) out_cap;
   P.finish s

@@ -21,6 +21,12 @@ module type S = sig
   type prog
   type tables
 
+  type code
+  (** Threaded-code form of a program ({!Bisa_sim.Compile}): per-block /
+      per-region closure chains that replace the dispatching interpreter
+      in the functional executor.  Like [tables], compiled once per
+      program and shared across configurations and worker domains. *)
+
   val isa : string
   (** Stable short name ("conv" / "block") — used in cache keys and
       [--isa] values; never change it for a released pipeline. *)
@@ -42,25 +48,48 @@ module type S = sig
   (** Build tables without verifying — the caller asserts
       well-formedness. *)
 
+  val compile : prog -> code
+  (** Verify, then compile the program to threaded code (same trust
+      discipline as {!predecode}).  Raises {!Bisa_base.Diag.Fail} with
+      the first diagnostic if {!verify} is non-empty. *)
+
+  val compile_trusted : prog -> code
+  (** Compile without verifying — the caller asserts well-formedness
+      (or has already discharged it, e.g. via {!predecode}). *)
+
   val prog_hash : prog -> int64
   (** Content hash of the program's canonical byte encoding — what binds
       a checkpoint snapshot to the exact program it was taken under. *)
 
   val run :
-    ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> Metrics.t
+    ?tables:tables ->
+    ?code:code ->
+    ?probe:Bisa_obs.Probe.t ->
+    Config.t ->
+    prog ->
+    Metrics.t
 
   val run_full :
     ?tables:tables ->
+    ?code:code ->
     ?probe:Bisa_obs.Probe.t ->
     Config.t ->
     prog ->
     Metrics.t * Bisa_sim.Output.t
+  (** With [?code] the functional executor runs compiled; without it,
+      interpreted.  The two backends drive the identical executor state
+      and are differentially tested equivalent, so metrics, outputs and
+      checkpoints do not depend on the choice — only wall-clock does.
+      The exec backend is deliberately absent from
+      {!Config.fingerprint}: a checkpoint taken under either backend
+      resumes under the other. *)
 
   type session
   (** An in-flight run, advanced one fetch unit at a time — the
       suspendable form of [run_full] that checkpointing is built on. *)
 
-  val session : ?tables:tables -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
+  val session :
+    ?tables:tables -> ?code:code -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
 
   val step : session -> bool
   (** Advance by one fetch unit; false once the machine has halted.
@@ -87,10 +116,17 @@ module type S = sig
       {!Checkpoint} for the validated on-disk form. *)
 end
 
-module Conv : S with type prog = Bisa_isa.Conv_prog.t and type tables = Predecode.t
+module Conv :
+  S
+    with type prog = Bisa_isa.Conv_prog.t
+     and type tables = Predecode.t
+     and type code = Bisa_sim.Compile.Conv.code
 
 module Block :
-  S with type prog = Bisa_isa.Block_prog.t and type tables = Predecode.blocks
+  S
+    with type prog = Bisa_isa.Block_prog.t
+     and type tables = Predecode.blocks
+     and type code = Bisa_sim.Compile.Block.code
 
 type packed =
   | Packed :
@@ -117,8 +153,13 @@ val verify_packed : packed -> Bisa_base.Diag.t list
 val run_packed :
   ?probe:Bisa_obs.Probe.t ->
   ?out_cap:int ->
+  ?exec:Bisa_sim.Compile.backend ->
   Config.t ->
   packed ->
   Metrics.t * Bisa_sim.Output.t
 (** Predecode (verifying unless packed trusted) and run under [cfg].
-    [out_cap] bounds output retention as in {!S.set_out_cap}. *)
+    [out_cap] bounds output retention as in {!S.set_out_cap}.  [exec]
+    (default [Interp]) selects the functional-executor backend; under
+    [Compiled] the program is compiled to threaded code after tables
+    are resolved, so the verification obligations are already
+    discharged (or explicitly waived by a trusted packer). *)

@@ -148,6 +148,60 @@ let test_session_roundtrip_perfect () =
   checkpoint_equivalence (module Pipeline.Conv) cfg c.conv ~steps:25;
   checkpoint_equivalence (module Pipeline.Block) cfg c.block ~steps:25
 
+(* --- compiled-backend checkpoints --------------------------------------- *)
+
+(* The exec backend is deliberately absent from the snapshot identity:
+   both backends mutate the same executor state, so a snapshot taken
+   under one must resume under the other bit-for-bit.  Check every leg
+   (interp->compiled, compiled->interp, compiled->compiled) against an
+   uninterrupted interpreter run. *)
+let cross_backend_equivalence (type p tb c)
+    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
+    cfg (prog : p) ~steps =
+  let code = P.compile prog in
+  let m_full, out_full = P.run_full cfg prog in
+  let m_comp, out_comp = P.run_full ~code cfg prog in
+  check_metrics (P.isa ^ ": uninterrupted compiled metrics == interp") m_full m_comp;
+  Alcotest.(check bool)
+    (P.isa ^ ": uninterrupted compiled output == interp")
+    true
+    (Output.equal out_full out_comp);
+  let leg what ~save_code ~resume_code =
+    let s = P.session ?code:save_code cfg prog in
+    let live = ref true in
+    for _ = 1 to steps do
+      if !live then live := P.step s
+    done;
+    Alcotest.(check bool) (P.isa ^ ": " ^ what ^ " snapshot taken mid-run") true !live;
+    let w = Codec.W.create () in
+    P.save s w;
+    let s2 = P.session ?code:resume_code cfg prog in
+    P.restore s2 (Codec.R.of_string (Codec.W.contents w));
+    let m2, out2 = P.finish s2 in
+    check_metrics (P.isa ^ ": " ^ what ^ " metrics == uninterrupted") m_full m2;
+    Alcotest.(check bool)
+      (P.isa ^ ": " ^ what ^ " output == uninterrupted")
+      true
+      (Output.equal out_full out2)
+  in
+  leg "interp->compiled" ~save_code:None ~resume_code:(Some code);
+  leg "compiled->interp" ~save_code:(Some code) ~resume_code:None;
+  leg "compiled->compiled" ~save_code:(Some code) ~resume_code:(Some code)
+
+let test_cross_backend_roundtrip () =
+  let c = Lazy.force compiled in
+  cross_backend_equivalence (module Pipeline.Conv) Config.default c.conv ~steps:40;
+  cross_backend_equivalence (module Pipeline.Block) Config.default c.block ~steps:40
+
+let test_cross_backend_roundtrip_tc () =
+  (* Same legs with the trace-cache front end live: its fill buffers and
+     table contents must survive the backend switch too. *)
+  let c = Lazy.force compiled in
+  let cfg =
+    { Config.default with trace_cache = Some Bisa_uarch.Trace_cache.default_config }
+  in
+  cross_backend_equivalence (module Pipeline.Conv) cfg c.conv ~steps:60
+
 (* --- snapshot files ----------------------------------------------------- *)
 
 let tmp_path () =
@@ -234,6 +288,69 @@ let test_drive_deadline () =
   | Checkpoint.Timed_out _ -> Alcotest.fail "no deadline on the rerun");
   Alcotest.(check bool) "snapshot deleted after finish" false (Sys.file_exists path)
 
+(* --- crash-and-resume under the compiled backend ------------------------ *)
+
+exception Killed
+
+let with_crash_at n f =
+  let count = ref 0 in
+  Bisa_base.Atomic_file.crash_after_write_hook :=
+    Some
+      (fun () ->
+        incr count;
+        if !count = n then raise Killed);
+  Fun.protect
+    ~finally:(fun () -> Bisa_base.Atomic_file.crash_after_write_hook := None)
+    f
+
+(* Kill a driven run inside its second snapshot write.  The hook fires
+   between the temp-file write and the rename, so the second snapshot
+   never lands and the first complete one is what a real mid-write kill
+   would leave.  Resume from it — possibly under the other backend — and
+   require byte-identical metrics and output. *)
+let drive_crash_equivalence (type p tb c)
+    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
+    cfg (prog : p) ~crash_code ~resume_code what =
+  let m_full, out_full = P.run_full cfg prog in
+  let path = tmp_path () in
+  (match
+     with_crash_at 2 (fun () ->
+         Checkpoint.drive (module P) ?code:crash_code ~snapshot:(path, 400) cfg prog)
+   with
+  | (_ : _ Checkpoint.outcome) -> Alcotest.fail (what ^ ": crash hook must fire")
+  | exception Killed -> ());
+  Alcotest.(check bool) (what ^ ": mid-run snapshot left behind") true
+    (Sys.file_exists path);
+  (match
+     Checkpoint.drive (module P) ?code:resume_code ~snapshot:(path, 400) cfg prog
+   with
+  | Checkpoint.Finished (m, out) ->
+    check_metrics (what ^ ": resumed metrics == uninterrupted") m_full m;
+    Alcotest.(check bool)
+      (what ^ ": resumed output == uninterrupted")
+      true
+      (Output.equal out_full out)
+  | Checkpoint.Timed_out _ -> Alcotest.fail (what ^ ": no deadline was set"));
+  Alcotest.(check bool) (what ^ ": snapshot deleted after finish") false
+    (Sys.file_exists path)
+
+let test_drive_crash_compiled () =
+  let c = Lazy.force compiled in
+  let ccode = Some (Pipeline.Conv.compile c.conv) in
+  let bcode = Some (Pipeline.Block.compile c.block) in
+  drive_crash_equivalence (module Pipeline.Conv) Config.default c.conv
+    ~crash_code:ccode ~resume_code:ccode "conv compiled crash+resume";
+  drive_crash_equivalence (module Pipeline.Block) Config.default c.block
+    ~crash_code:bcode ~resume_code:bcode "block compiled crash+resume"
+
+let test_drive_crash_cross_backend () =
+  let c = Lazy.force compiled in
+  let ccode = Some (Pipeline.Conv.compile c.conv) in
+  drive_crash_equivalence (module Pipeline.Conv) Config.default c.conv
+    ~crash_code:None ~resume_code:ccode "interp crash, compiled resume";
+  drive_crash_equivalence (module Pipeline.Conv) Config.default c.conv
+    ~crash_code:ccode ~resume_code:None "compiled crash, interp resume"
+
 (* --- streamed output ---------------------------------------------------- *)
 
 let test_sink_bounded_retention () =
@@ -279,10 +396,18 @@ let suite =
     Alcotest.test_case "block session roundtrip" `Quick test_block_session_roundtrip;
     Alcotest.test_case "session roundtrip (perfect pred)" `Quick
       test_session_roundtrip_perfect;
+    Alcotest.test_case "cross-backend session roundtrip" `Quick
+      test_cross_backend_roundtrip;
+    Alcotest.test_case "cross-backend session roundtrip (trace cache)" `Quick
+      test_cross_backend_roundtrip_tc;
     Alcotest.test_case "snapshot header validation" `Quick
       test_snapshot_header_validation;
     Alcotest.test_case "drive resume" `Quick test_drive_resume;
     Alcotest.test_case "drive deadline" `Quick test_drive_deadline;
+    Alcotest.test_case "drive crash+resume (compiled)" `Quick
+      test_drive_crash_compiled;
+    Alcotest.test_case "drive crash+resume (cross-backend)" `Quick
+      test_drive_crash_cross_backend;
     Alcotest.test_case "sink bounded retention" `Quick test_sink_bounded_retention;
     Alcotest.test_case "session out cap" `Quick test_session_out_cap;
   ]

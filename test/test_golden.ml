@@ -124,8 +124,7 @@ let current_fingerprints () =
       ])
     (programs ())
 
-let test_golden_metrics () =
-  let got = current_fingerprints () in
+let check_against_goldens got =
   Alcotest.(check int) "grid size" (List.length goldens) (List.length got);
   List.iter
     (fun (key, expect) ->
@@ -134,12 +133,64 @@ let test_golden_metrics () =
       | Some fp -> Alcotest.(check string) key expect fp)
     goldens
 
+let test_golden_metrics () = check_against_goldens (current_fingerprints ())
+
+(* The same 18-point grid with the functional executor compiled to
+   threaded code (Bisa_sim.Compile) underneath both pipelines, asserted
+   against the SAME goldens: the exec backend must be invisible in every
+   counter and histogram bucket.  Each program's code is compiled once
+   and shared by all its grid points — and, in the sharded variant, by
+   all worker domains, covering cross-domain reuse of compiled code. *)
+let compiled_grid pool =
+  let points =
+    List.concat_map
+      (fun (name, (c : Bisa_compiler.Compiler.compiled)) ->
+        let ccode = Bisa_timing.Pipeline.Conv.compile c.conv in
+        let bcode = Bisa_timing.Pipeline.Block.compile c.block in
+        let conv predictor trace_cache () =
+          Bisa_timing.Conv_pipeline.run ~code:ccode
+            { Config.default with predictor; trace_cache }
+            c.conv
+        in
+        let block predictor () =
+          Bisa_timing.Block_pipeline.run ~code:bcode
+            { Config.default with predictor }
+            c.block
+        in
+        let tc = Some Bisa_uarch.Trace_cache.default_config in
+        [
+          (name ^ "/conv/real/notc", conv Config.Real None);
+          (name ^ "/conv/real/tc", conv Config.Real tc);
+          (name ^ "/block/real", block Config.Real);
+          (name ^ "/conv/perfect/notc", conv Config.Perfect None);
+          (name ^ "/conv/perfect/tc", conv Config.Perfect tc);
+          (name ^ "/block/perfect", block Config.Perfect);
+        ])
+      (programs ())
+  in
+  Bisa_base.Pool.map_list pool (fun (key, run) -> (key, fingerprint (run ()))) points
+
+let test_golden_metrics_compiled () =
+  check_against_goldens (compiled_grid Bisa_base.Pool.sequential)
+
+let test_golden_metrics_compiled_sharded () =
+  Bisa_base.Pool.run ~workers:4 @@ fun pool ->
+  check_against_goldens (compiled_grid pool)
+
 (* Bytes allocated per simulated op.  The timing engine's hot path is
    allocation-free; what remains is the functional executor's trace
    production (packet records, address lists), measured at ~320 bytes/op.
    The bound has headroom for GC accounting jitter, not for a regression
    back to per-op timing allocations (which cost >1KB/op). *)
 let alloc_bound = 400.0
+
+let per_op run =
+  ignore (run ());
+  (* warm: caches, pages, table growth *)
+  let before = Gc.allocated_bytes () in
+  let m : Metrics.t = run () in
+  let after = Gc.allocated_bytes () in
+  (after -. before) /. float_of_int m.retired_ops
 
 let test_allocation_budget () =
   let c = Bisa_compiler.Compiler.compile micro_source in
@@ -150,14 +201,6 @@ let test_allocation_budget () =
   in
   let block () =
     Bisa_timing.Block_pipeline.run ~tables:block_tables Config.default c.block
-  in
-  let per_op run =
-    ignore (run ());
-    (* warm: caches, pages, table growth *)
-    let before = Gc.allocated_bytes () in
-    let m : Metrics.t = run () in
-    let after = Gc.allocated_bytes () in
-    (after -. before) /. float_of_int m.retired_ops
   in
   let pc = per_op conv and pb = per_op block in
   if pc > alloc_bound then
@@ -183,6 +226,39 @@ let test_allocation_budget () =
     Alcotest.failf "conv + null probe allocates %.1f bytes/op (bound %.0f)" pc' alloc_bound;
   if pb' > alloc_bound then
     Alcotest.failf "block + null probe allocates %.1f bytes/op (bound %.0f)" pb' alloc_bound
+
+(* The compiled backend's reason to exist: the interpreter's per-op
+   dispatch partial-applications (the bulk of the ~320 bytes/op above)
+   collapse to the per-step trace records the timing model consumes
+   (packet/step record + mem-address array — amortized over a whole
+   fetch unit).  Measured ~110 (conv) / ~180 (block) bytes/op through
+   the full timing pipeline; the bounds leave GC-jitter headroom yet
+   sit far under the interpreter's, so a regression back to dispatch
+   allocation trips immediately. *)
+let compiled_alloc_bound_conv = 150.0
+let compiled_alloc_bound_block = 240.0
+
+let test_compiled_allocation_budget () =
+  let c = Bisa_compiler.Compiler.compile micro_source in
+  let conv_tables = Bisa_timing.Pipeline.Conv.predecode c.conv in
+  let block_tables = Bisa_timing.Pipeline.Block.predecode c.block in
+  let ccode = Bisa_timing.Pipeline.Conv.compile c.conv in
+  let bcode = Bisa_timing.Pipeline.Block.compile c.block in
+  let pc =
+    per_op (fun () ->
+        Bisa_timing.Conv_pipeline.run ~tables:conv_tables ~code:ccode
+          Config.default c.conv)
+  and pb =
+    per_op (fun () ->
+        Bisa_timing.Block_pipeline.run ~tables:block_tables ~code:bcode
+          Config.default c.block)
+  in
+  if pc > compiled_alloc_bound_conv then
+    Alcotest.failf "compiled conv pipeline allocates %.1f bytes/op (bound %.0f)"
+      pc compiled_alloc_bound_conv;
+  if pb > compiled_alloc_bound_block then
+    Alcotest.failf "compiled block pipeline allocates %.1f bytes/op (bound %.0f)"
+      pb compiled_alloc_bound_block
 
 (* Invoking the null probe's hooks allocates nothing: all arguments are
    immediates, so a million invocations of the full event set must not
@@ -217,6 +293,12 @@ let suite =
   [
     Alcotest.test_case "metrics byte-identical to pre-predecode goldens" `Slow
       test_golden_metrics;
+    Alcotest.test_case "compiled exec reproduces the goldens byte-for-byte" `Slow
+      test_golden_metrics_compiled;
+    Alcotest.test_case "compiled goldens identical when sharded over 4 domains" `Slow
+      test_golden_metrics_compiled_sharded;
     Alcotest.test_case "simulation allocation budget" `Quick test_allocation_budget;
+    Alcotest.test_case "compiled-exec allocation budget" `Quick
+      test_compiled_allocation_budget;
     Alcotest.test_case "null probe is allocation-free" `Quick test_null_probe_zero_alloc;
   ]

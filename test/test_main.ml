@@ -13,6 +13,7 @@ let () =
       ("backend", Test_backend.suite);
       ("verify", Test_verify.suite);
       ("sim", Test_sim.suite);
+      ("compile", Test_compile.suite);
       ("uarch", Test_uarch.suite);
       ("timing", Test_timing.suite);
       ("checkpoint", Test_checkpoint.suite);
