@@ -36,7 +36,16 @@ let successors t b =
   let taken, not_taken = t.succ_struct.(b) in
   Array.to_list taken @ Array.to_list not_taken |> List.sort_uniq compare
 
-let in_group t ~rep b = Array.exists (fun x -> x = b) t.variant_group.(rep)
+(* Flat loop: this is the timing pipelines' per-block fetch guard, where
+   the [Array.exists] closure would be allocated on every call. *)
+let in_group t ~rep b =
+  let group = t.variant_group.(rep) in
+  let n = Array.length group in
+  let i = ref 0 in
+  while !i < n && Array.unsafe_get group !i <> b do
+    incr i
+  done;
+  !i < n
 
 let to_string t =
   let buf = Buffer.create 4096 in

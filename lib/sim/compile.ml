@@ -96,11 +96,16 @@ module Block = struct
     x : Block_exec.t;
     ints : int array;
     flts : float array;
+    sints : int array;  (* shadow register file, same aliasing *)
+    sflts : float array;
     mutable addrs : int array;  (* this step's mem_addrs, -1-initialized *)
+    scratch : int array;  (* [step_into]'s reusable mem_addrs, max-sized *)
     mutable fpos : int;  (* firing fault position, -1 = none *)
     mutable ftarget : int;
     mutable next : int;  (* terminator's successor *)
     mutable dir : int;  (* trap direction: -1 none / 0 not-taken / 1 taken *)
+    mutable r_block : int;  (* last [step_into] results *)
+    mutable r_ops : int;
     mutable out_rev : Output.item list;  (* pending prints, newest first *)
   }
 
@@ -110,6 +115,11 @@ module Block = struct
     cprog : Block_prog.t;
     chains : chain array;  (* one per block *)
     sizes : int array;  (* body elements per block *)
+    (* Registers each block can write (static), per class: the shadow
+       save/restore only touches these instead of blitting the whole
+       register file around every block. *)
+    wr_int : int array array;
+    wr_flt : int array array;
   }
 
   let prog c = c.cprog
@@ -375,11 +385,34 @@ module Block = struct
     in
     build 0
 
+  (* The registers a block can write, per class.  The Call terminator's
+     link write is included even though it only runs on commit (when
+     nothing is restored) — the list is a static over-approximation. *)
+  let written_regs (blk : int Ablock.t) =
+    let ints = ref [] and flts = ref [] in
+    let add r =
+      let i = Reg.index r in
+      if Reg.is_int r then begin
+        if not (List.mem i !ints) then ints := i :: !ints
+      end
+      else if not (List.mem i !flts) then flts := i :: !flts
+    in
+    Array.iter
+      (function
+        | Ablock.Op op -> List.iter add (Op.defs op)
+        | Ablock.Fault _ -> ())
+      blk.Ablock.elts;
+    (match blk.Ablock.term with Ablock.Call _ -> add Reg.ra | _ -> ());
+    (Array.of_list (List.rev !ints), Array.of_list (List.rev !flts))
+
   let compile_trusted (prog : Block_prog.t) =
+    let written = Array.map written_regs prog.blocks in
     {
       cprog = prog;
       chains = Array.mapi (fun b blk -> compile_block ~self:b blk) prog.blocks;
       sizes = Array.map (fun blk -> Array.length blk.Ablock.elts) prog.blocks;
+      wr_int = Array.map fst written;
+      wr_flt = Array.map snd written;
     }
 
   let compile (w : Bisa_verify.Verify.verified_block_prog) =
@@ -399,14 +432,43 @@ module Block = struct
           x;
           ints = Regfile.ints x.Block_exec.regs;
           flts = Regfile.flts x.Block_exec.regs;
+          sints = Regfile.ints x.Block_exec.shadow;
+          sflts = Regfile.flts x.Block_exec.shadow;
           addrs = [||];
+          scratch =
+            Array.make (max 1 (Array.fold_left max 0 code.sizes)) (-1);
           fpos = -1;
           ftarget = 0;
           next = 0;
           dir = -1;
+          r_block = -1;
+          r_ops = 0;
           out_rev = [];
         };
     }
+
+  (* Shadow save/restore over the block's static written-register lists:
+     equivalent to the interpreter's whole-file blits because registers
+     the block cannot write never change between save and restore. *)
+  let save_written st (wi : int array) (wf : int array) =
+    for k = 0 to Array.length wi - 1 do
+      let r = Array.unsafe_get wi k in
+      Array.unsafe_set st.sints r (Array.unsafe_get st.ints r)
+    done;
+    for k = 0 to Array.length wf - 1 do
+      let r = Array.unsafe_get wf k in
+      Array.unsafe_set st.sflts r (Array.unsafe_get st.flts r)
+    done
+
+  let restore_written st (wi : int array) (wf : int array) =
+    for k = 0 to Array.length wi - 1 do
+      let r = Array.unsafe_get wi k in
+      Array.unsafe_set st.ints r (Array.unsafe_get st.sints r)
+    done;
+    for k = 0 to Array.length wf - 1 do
+      let r = Array.unsafe_get wf k in
+      Array.unsafe_set st.flts r (Array.unsafe_get st.sflts r)
+    done
 
   (* Mirrors Block_exec.step line for line; only the element loop is
      replaced by the chain call. *)
@@ -442,7 +504,8 @@ module Block = struct
       else begin
         let nelts = t.code.sizes.(b) in
         st.addrs <- Array.make nelts (-1);
-        Regfile.blit ~src:x.Block_exec.regs ~dst:x.Block_exec.shadow;
+        let wi = t.code.wr_int.(b) and wf = t.code.wr_flt.(b) in
+        save_written st wi wf;
         Sbuf.clear x.Block_exec.sbuf;
         st.fpos <- -1;
         st.dir <- -1;
@@ -452,7 +515,7 @@ module Block = struct
           if st.fpos >= 0 then begin
             (* Fault fired: suppress the whole block. *)
             let pos = st.fpos and target = st.ftarget in
-            Regfile.blit ~src:x.Block_exec.shadow ~dst:x.Block_exec.regs;
+            restore_written st wi wf;
             Sbuf.clear x.Block_exec.sbuf;
             x.Block_exec.dyn <- x.Block_exec.dyn + pos + 1;
             if x.Block_exec.dyn > x.Block_exec.budget then
@@ -504,13 +567,112 @@ module Block = struct
               }
           end
         with Memory.Unaligned a ->
-          Regfile.blit ~src:x.Block_exec.shadow ~dst:x.Block_exec.regs;
+          restore_written st wi wf;
           Sbuf.clear x.Block_exec.sbuf;
           x.Block_exec.halted <- true;
           x.Block_exec.mtrap <- Some (Block_exec.Unaligned_access a);
           None
       end
     end
+
+  (* Zero-allocation stepping for the timing pipelines' fast path:
+     mirrors [step] state transition for state transition, but the
+     epilogue lands in [r_block]/[r_ops]/[dir] and the reusable scratch
+     address array instead of a fresh step record.  Returns [-1] where
+     [step] returns [None], [0] for a committed block, [1] for a fault
+     squash.  The scratch is only valid until the next call, and slots of
+     non-memory ops keep stale values — sound for the engine, which gates
+     every address read on the template's memory kind. *)
+  let step_into ~fetch t =
+    let st = t.st in
+    let x = st.x in
+    let nblocks = Array.length t.code.cprog.Block_prog.blocks in
+    if x.Block_exec.halted then -1
+    else if x.Block_exec.required < 0 || x.Block_exec.required >= nblocks
+    then begin
+      x.Block_exec.halted <- true;
+      x.Block_exec.mtrap <- Some (Block_exec.Wild_jump x.Block_exec.required);
+      -1
+    end
+    else begin
+      let b =
+        if
+          fetch = x.Block_exec.required
+          || Block_prog.in_group t.code.cprog ~rep:x.Block_exec.required fetch
+        then fetch
+        else
+          raise
+            (Block_exec.Illegal_fetch
+               { required = x.Block_exec.required; requested = fetch })
+      in
+      if b < 0 || b >= nblocks then begin
+        x.Block_exec.halted <- true;
+        x.Block_exec.mtrap <- Some (Block_exec.Wild_jump b);
+        -1
+      end
+      else begin
+        let nelts = t.code.sizes.(b) in
+        st.addrs <- st.scratch;
+        let wi = t.code.wr_int.(b) and wf = t.code.wr_flt.(b) in
+        save_written st wi wf;
+        Sbuf.clear x.Block_exec.sbuf;
+        st.fpos <- -1;
+        st.dir <- -1;
+        st.out_rev <- [];
+        try
+          t.code.chains.(b) st;
+          if st.fpos >= 0 then begin
+            let pos = st.fpos and target = st.ftarget in
+            restore_written st wi wf;
+            Sbuf.clear x.Block_exec.sbuf;
+            x.Block_exec.dyn <- x.Block_exec.dyn + pos + 1;
+            if x.Block_exec.dyn > x.Block_exec.budget then
+              raise (Block_exec.Runaway x.Block_exec.dyn);
+            if target < 0 || target >= nblocks then begin
+              x.Block_exec.halted <- true;
+              x.Block_exec.mtrap <- Some (Block_exec.Wild_jump target)
+            end
+            else x.Block_exec.required <- target;
+            st.r_block <- b;
+            st.r_ops <- pos + 1;
+            st.dir <- -1;
+            1
+          end
+          else begin
+            let next = st.next in
+            Sbuf.flush x.Block_exec.sbuf x.Block_exec.mem;
+            List.iter
+              (fun item -> Output.Sink.push x.Block_exec.sink item)
+              (List.rev st.out_rev);
+            let size = nelts + 1 in
+            x.Block_exec.dyn <- x.Block_exec.dyn + size;
+            x.Block_exec.retired <- x.Block_exec.retired + size;
+            x.Block_exec.retired_blocks <- x.Block_exec.retired_blocks + 1;
+            if x.Block_exec.dyn > x.Block_exec.budget then
+              raise (Block_exec.Runaway x.Block_exec.dyn);
+            if (not x.Block_exec.halted) && (next < 0 || next >= nblocks)
+            then begin
+              x.Block_exec.halted <- true;
+              x.Block_exec.mtrap <- Some (Block_exec.Wild_jump next)
+            end
+            else if not x.Block_exec.halted then x.Block_exec.required <- next;
+            st.r_block <- b;
+            st.r_ops <- nelts;
+            0
+          end
+        with Memory.Unaligned a ->
+          restore_written st wi wf;
+          Sbuf.clear x.Block_exec.sbuf;
+          x.Block_exec.halted <- true;
+          x.Block_exec.mtrap <- Some (Block_exec.Unaligned_access a);
+          -1
+      end
+    end
+
+  let last_block t = t.st.r_block
+  let last_ops t = t.st.r_ops
+  let last_addrs t = t.st.addrs
+  let last_dir t = t.st.dir
 
   let run ?(budget = 2_000_000_000) code =
     let x = Block_exec.create code.cprog in
@@ -530,6 +692,7 @@ module Conv = struct
     mutable count : int;
     mutable term : Conv_exec.term_kind;
     mutable next : int;
+    mutable last_start : int;  (* start pc of the last [step_into] packet *)
     mutable fuel : int;  (* fast path only: remaining dyn budget,
                             exact at every thread entry and synced
                             before any faultable access, so the
@@ -1451,6 +1614,7 @@ module Conv = struct
           count = 0;
           term = Conv_exec.Khalt;
           next = 0;
+          last_start = -1;
           fuel = 0;
         };
     }
@@ -1496,6 +1660,49 @@ module Conv = struct
             next;
           }
     end
+
+  (* Zero-allocation stepping for the conventional pipeline's fast path:
+     mirrors [step] exactly, but the packet lands in the binding's
+     mutable fields ([last_start], [count], [term], [next]) and the
+     scratch address array is handed out directly instead of being copied
+     into a fresh packet record.  Returns [false] exactly where [step]
+     returns [None]; the results are only valid until the next call. *)
+  let step_into t =
+    let st = t.st in
+    let x = st.x in
+    let n = Array.length t.code.cprog.Conv_prog.insns in
+    if x.Conv_exec.halted then false
+    else if x.Conv_exec.pc < 0 || x.Conv_exec.pc >= n then begin
+      x.Conv_exec.halted <- true;
+      x.Conv_exec.mtrap <- Some (Conv_exec.Wild_jump x.Conv_exec.pc);
+      false
+    end
+    else begin
+      let start = x.Conv_exec.pc in
+      st.count <- 0;
+      match t.code.threads.(start) st with
+      | exception Memory.Unaligned a ->
+        x.Conv_exec.halted <- true;
+        x.Conv_exec.mtrap <- Some (Conv_exec.Unaligned_access a);
+        false
+      | () ->
+        if (not x.Conv_exec.halted) && (st.next < 0 || st.next >= n)
+        then begin
+          x.Conv_exec.halted <- true;
+          x.Conv_exec.mtrap <- Some (Conv_exec.Wild_jump st.next);
+          st.term <- Conv_exec.Khalt;
+          st.next <- start
+        end;
+        x.Conv_exec.pc <- st.next;
+        st.last_start <- start;
+        true
+    end
+
+  let last_start t = t.st.last_start
+  let last_count t = t.st.count
+  let last_term t = t.st.term
+  let last_next t = t.st.next
+  let last_addrs t = t.st.saddrs
 
   let run ?(budget = 2_000_000_000) code =
     let x = Conv_exec.create code.cprog in

@@ -67,6 +67,26 @@ module Block : sig
   (** Drop-in replacement for {!Block_exec.step}: same step records,
       same traps, same exceptions, same state evolution. *)
 
+  val step_into : fetch:int -> t -> int
+  (** Zero-allocation [step] for the timing pipelines' fast path: the
+      same state evolution, but the step lands in mutable fields read
+      through the [last_*] accessors instead of a fresh record.  Returns
+      [-1] exactly where [step] returns [None], [0] for a committed
+      block, [1] for a fault squash.  Results are valid until the next
+      call; [last_addrs] slots of non-memory ops carry stale values, so
+      consumers must gate address reads on the predecoded memory kind
+      (the engine does). *)
+
+  val last_block : t -> int
+  val last_ops : t -> int
+  (** [ops_executed] of the last [step_into] (body elements only). *)
+
+  val last_addrs : t -> int array
+
+  val last_dir : t -> int
+  (** Trap direction of the last committed [step_into]:
+      [-1] none / [0] not taken / [1] taken. *)
+
   val run : ?budget:int -> code -> Output.t * int
   (** Canonical execution to halt on a fresh state; returns output and
       retired op count (mirrors {!Block_exec.run}). *)
@@ -88,6 +108,20 @@ module Conv : sig
   (** Drop-in replacement for {!Conv_exec.step}.  Packets carry fresh
       [mem_addrs] arrays (the conventional pipeline's stream retains
       packets across steps). *)
+
+  val step_into : t -> bool
+  (** Zero-allocation [step] for the conventional pipeline's fast path:
+      the same state evolution, but the packet lands in mutable fields
+      read through the [last_*] accessors instead of a fresh record.
+      Returns [false] exactly where [step] returns [None].  Results —
+      including the scratch [last_addrs] array — are only valid until
+      the next call. *)
+
+  val last_start : t -> int
+  val last_count : t -> int
+  val last_term : t -> Conv_exec.term_kind
+  val last_next : t -> int
+  val last_addrs : t -> int array
 
   val run : ?budget:int -> code -> Output.t * int
   (** Mirrors {!Conv_exec.run}: returns output and dynamic instruction

@@ -60,6 +60,14 @@ module Stream = struct
   let available t = t.len
   let get t i = t.buf.((t.head + i) mod Array.length t.buf)
 
+  (* Ring bypass for front ends that never probe ahead (no trace cache):
+     nothing is ever buffered, so the next packet comes straight from the
+     executor without touching the ring. *)
+  let rec pop_direct t =
+    if t.len > 0 then pop t
+    else if Conv_exec.halted t.exec then None
+    else match t.stepf () with Some p -> Some p | None -> pop_direct t
+
   let drop t n =
     t.head <- (t.head + n) mod Array.length t.buf;
     t.len <- t.len - n
@@ -183,6 +191,10 @@ type session = {
   m : Metrics.t;
   engine : Engine.t;
   exec : Conv_exec.t;
+  (* The compiled executor binding when the session runs with --exec
+     compiled; the fast path steps it packet-in-place ([step_into])
+     instead of going through the stream's packet records. *)
+  cexec : Bisa_sim.Compile.Conv.t option;
   stream : Stream.t;
   icache : Cache.t option;
   tc : Trace_cache.t option;
@@ -190,6 +202,11 @@ type session = {
   recent : Recent.t;
   probe : Bisa_obs.Probe.t;
   tracing : bool;
+  (* Probe/injector/trace-cache dispatch hoisted to session creation: when
+     none of them is live, [step] runs a specialized clone with those
+     tests compiled out — the observable behavior is identical (checked by
+     the probe-equivalence test). *)
+  fast : bool;
   inj : Bisa_uarch.Inject.t option;
   mutable next_fetch : int;
   mutable running : bool;
@@ -205,12 +222,9 @@ let session ?tables ?code ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
   in
   let exec = Conv_exec.create prog in
   Conv_exec.set_budget exec cfg.op_budget;
+  let cexec = Option.map (fun c -> Bisa_sim.Compile.Conv.bind c exec) code in
   let stepf =
-    Option.map
-      (fun c ->
-        let ce = Bisa_sim.Compile.Conv.bind c exec in
-        fun () -> Bisa_sim.Compile.Conv.step ce)
-      code
+    Option.map (fun ce () -> Bisa_sim.Compile.Conv.step ce) cexec
   in
   let icache = Option.map Cache.create cfg.icache in
   let tc = Option.map Trace_cache.create cfg.trace_cache in
@@ -235,6 +249,7 @@ let session ?tables ?code ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     m = Metrics.create ();
     engine;
     exec;
+    cexec;
     stream = Stream.create ?stepf exec;
     icache;
     tc;
@@ -242,6 +257,7 @@ let session ?tables ?code ?(probe = Bisa_obs.Probe.null) (cfg : Config.t)
     recent;
     probe;
     tracing;
+    fast = (not tracing) && Option.is_none tc && Option.is_none cfg.inject;
     inj = cfg.inject;
     next_fetch = 0;
     running = true;
@@ -278,15 +294,14 @@ let process_packet s ~from_tc (pkt : Conv_exec.packet) =
     let hi = min pkt.count (lo + cfg.issue_width) in
     let want = !fc + chunk + cfg.decode_depth in
     let dispatch = Engine.admit s.engine ~want ~op_count:(hi - lo) in
-    let r =
-      Engine.run_unit s.engine ~dispatch ~commit:true s.pd ~lo:(pkt.start + lo)
-        ~len:(hi - lo) ~term:(-1) ~mem_addrs:pkt.mem_addrs ~mem_off:lo
-    in
-    last_resolve := r.resolve;
+    Engine.run_unit s.engine ~dispatch ~commit:true s.pd ~lo:(pkt.start + lo)
+      ~len:(hi - lo) ~term:(-1) ~mem_addrs:pkt.mem_addrs ~mem_off:lo;
+    last_resolve := Engine.unit_resolve s.engine;
     if !first_dispatch < 0 then first_dispatch := dispatch;
-    last_unit_retire := r.retire;
+    last_unit_retire := Engine.unit_retire s.engine;
     if tracing then
-      probe.Bisa_obs.Probe.occupancy ~cycle:r.retire ~ops:(Engine.occupancy s.engine);
+      probe.Bisa_obs.Probe.occupancy ~cycle:!last_unit_retire
+        ~ops:(Engine.occupancy s.engine);
     m.retired_ops <- m.retired_ops + (hi - lo);
     s.next_fetch <- max (!fc + chunk + 1) (dispatch - cfg.decode_depth + 1)
   done;
@@ -363,10 +378,105 @@ let process_packet s ~from_tc (pkt : Conv_exec.packet) =
   | None -> ());
   ok
 
+(* Specialized clone of [process_packet] for the untraced, uninstrumented
+   configuration (null probe, no trace cache, no injector).  The timing
+   arithmetic is line-for-line the same; only the per-packet probe,
+   injector and trace-fill tests are compiled out, the same hoisting the
+   compiled executors apply to their per-op dispatch. *)
+let process_fast s ~start ~count ~(mem_addrs : int array) ~term ~next =
+  let cfg = s.cfg and m = s.m in
+  let fc = ref s.next_fetch in
+  (match s.icache with
+  | Some c ->
+    let addr = Conv_prog.insn_addr start in
+    let misses = Cache.access_range c addr (count * Conv_prog.bytes_per_insn) in
+    if misses > 0 then fc := !fc + (misses * cfg.l2_latency)
+  | None -> ());
+  m.fetch_units <- m.fetch_units + 1;
+  let nchunks = (count + cfg.issue_width - 1) / cfg.issue_width in
+  let last_resolve = ref 0 in
+  for chunk = 0 to nchunks - 1 do
+    let lo = chunk * cfg.issue_width in
+    let hi = min count (lo + cfg.issue_width) in
+    let want = !fc + chunk + cfg.decode_depth in
+    let dispatch = Engine.admit s.engine ~want ~op_count:(hi - lo) in
+    Engine.run_unit s.engine ~dispatch ~commit:true s.pd ~lo:(start + lo)
+      ~len:(hi - lo) ~term:(-1) ~mem_addrs ~mem_off:lo;
+    last_resolve := Engine.unit_resolve s.engine;
+    m.retired_ops <- m.retired_ops + (hi - lo);
+    s.next_fetch <- max (!fc + chunk + 1) (dispatch - cfg.decode_depth + 1)
+  done;
+  s.next_fetch <- max s.next_fetch (!fc + 1);
+  m.retired_blocks <- m.retired_blocks + 1;
+  Bisa_base.Stats.Histogram.add m.block_sizes count;
+  let branch_pc = start + count - 1 in
+  let verdict =
+    match cfg.predictor with
+    | Config.Perfect -> Conv_pred.Correct
+    | Config.Real -> begin
+      match term with
+      | Conv_exec.Kbr taken ->
+        Conv_pred.on_branch s.pred ~pc:branch_pc ~taken ~target:next
+      | Conv_exec.Kjmp -> Conv_pred.on_jump s.pred ~pc:branch_pc ~target:next
+      | Conv_exec.Kcall ->
+        Conv_pred.on_call s.pred ~pc:branch_pc ~target:next
+          ~return_to:(branch_pc + 1)
+      | Conv_exec.Kret -> Conv_pred.on_return s.pred ~pc:branch_pc ~target:next
+      | Conv_exec.Kjr -> Conv_pred.on_indirect s.pred ~pc:branch_pc ~target:next
+      | Conv_exec.Khalt | Conv_exec.Kfall -> Conv_pred.Correct
+    end
+  in
+  if verdict <> Conv_pred.Correct then begin
+    m.mispredicts <- m.mispredicts + 1;
+    s.next_fetch <- max s.next_fetch (!last_resolve + cfg.redirect_penalty)
+  end
+
+let process_packet_fast s (pkt : Conv_exec.packet) =
+  process_fast s ~start:pkt.start ~count:pkt.count ~mem_addrs:pkt.mem_addrs
+    ~term:pkt.term ~next:pkt.next
+
+let step_fast s =
+  if not s.running then false
+  else if Stream.available s.stream > 0 then begin
+    (* Leftover buffered packets (a restored snapshot can carry them). *)
+    match Stream.pop s.stream with
+    | None ->
+      s.running <- false;
+      false
+    | Some p0 ->
+      process_packet_fast s p0;
+      true
+  end
+  else begin
+    match s.cexec with
+    | Some ce ->
+      (* Packet-in-place drain: no packet record, no address copy. *)
+      if Bisa_sim.Compile.Conv.step_into ce then begin
+        let module C = Bisa_sim.Compile.Conv in
+        process_fast s ~start:(C.last_start ce) ~count:(C.last_count ce)
+          ~mem_addrs:(C.last_addrs ce) ~term:(C.last_term ce)
+          ~next:(C.last_next ce);
+        true
+      end
+      else begin
+        s.running <- false;
+        false
+      end
+    | None -> begin
+      match Stream.pop_direct s.stream with
+      | None ->
+        s.running <- false;
+        false
+      | Some p0 ->
+        process_packet_fast s p0;
+        true
+    end
+  end
+
 (* One front-end iteration: fetch the next packet (serving a whole trace
    when the trace cache confirms one) and run it through the engine.
    Returns false once the program has halted and the stream is drained. *)
-let step s =
+let step_general s =
   if not s.running then false
   else begin
     match Stream.pop s.stream with
@@ -428,6 +538,8 @@ let step s =
       end;
       true
   end
+
+let step s = if s.fast then step_fast s else step_general s
 
 let ops s = Conv_exec.dyn_insns s.exec
 

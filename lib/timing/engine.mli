@@ -11,22 +11,21 @@
 
     A {e unit} is one fetch packet (a dynamic basic block, or an atomic
     block), described as a slot range of a {!Predecode.t} template table
-    plus the step's memory addresses — the hot path allocates nothing per
-    dynamic operation.  Executing a unit with [commit = false] charges its
-    resource usage and computes its resolve time but discards its register
-    and memory effects — this is how fault-suppressed blocks cost real
-    bandwidth (paper section 5: "good work must be removed from the machine
-    for a fault misprediction"). *)
+    plus the step's memory addresses.  The walk consumes the pre-scheduled
+    schedule facts ([info]/[use_def]/[def_next]/[mem_prefix]) directly:
+    operand spans, latencies, intra-unit dependency offsets and the
+    unit's memory shape were all resolved at predecode time, so the hot
+    path recomputes nothing and allocates nothing per dynamic operation.
+    Executing a unit with [commit = false] charges its resource usage and
+    computes its resolve time but discards its register and memory
+    effects — this is how fault-suppressed blocks cost real bandwidth
+    (paper section 5: "good work must be removed from the machine for a
+    fault misprediction"). *)
 
 type t
 
 val create : Config.t -> t
 val dcache : t -> Bisa_uarch.Cache.t option
-
-type unit_result = {
-  resolve : int;  (** completion time of the unit's last operation *)
-  retire : int;  (** completion of the whole unit (monotonic, in order) *)
-}
 
 val admit : t -> want:int -> op_count:int -> int
 (** Window admission: earliest dispatch cycle at or after [want] with room
@@ -42,14 +41,23 @@ val run_unit :
   term:int ->
   mem_addrs:int array ->
   mem_off:int ->
-  unit_result
+  unit
 (** Issues template slots [lo, lo+len)] — plus the trailing terminator slot
-    [term] when [term >= 0] (an atomic block whose body was not squashed) —
-    when their operands and a functional unit are ready; the k-th body op's
-    memory address is [mem_addrs.(mem_off + k)] (negative = no access; the
-    terminator never accesses memory).  Returns resolve/retire times and
-    (when committing) publishes results.  Also books the unit into the
-    retirement window. *)
+    [term] when [term >= 0] (an atomic block whose body was not squashed;
+    a terminator's in-flight producers are confined to the executed body
+    slots) — when their operands and a functional unit are ready; the k-th
+    body op's memory address is [mem_addrs.(mem_off + k)] (negative = no
+    access; the terminator never accesses memory).  When committing,
+    publishes register and store results.  Also books the unit into the
+    retirement window.  The resolve/retire times are left in mutable
+    result fields read by {!unit_resolve} / {!unit_retire}, so the
+    steady-state loop allocates nothing. *)
+
+val unit_resolve : t -> int
+(** Completion time of the last operation of the most recent unit. *)
+
+val unit_retire : t -> int
+(** Retirement of the most recent unit (monotonic, in order). *)
 
 val last_retire : t -> int
 (** Retirement time of the youngest unit so far = total cycles when done. *)

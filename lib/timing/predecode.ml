@@ -3,6 +3,20 @@ module Reg = Bisa_isa.Reg
 module Insn = Bisa_isa.Insn
 module Ablock = Bisa_isa.Ablock
 
+(* Packed per-slot schedule word: everything the engine's inner loop needs
+   about a slot in one load.  Layout (low to high):
+     bits 0-1   mem kind (none / load / store)
+     bits 2-5   execution latency
+     bits 6-10  def count
+     bits 11-15 use count
+     bits 16+   offset of the slot's span in [regs]                       *)
+let info_mem_mask = 3
+let info_lat_shift = 2
+let info_nd_shift = 6
+let info_nu_shift = 11
+let info_off_shift = 16
+let info_cnt_mask = 31
+
 type t = {
   cls : Opclass.t array;
   lat : int array;
@@ -11,12 +25,47 @@ type t = {
   ndefs : int array;
   nuses : int array;
   regs : int array;
+  info : int array;
+  use_def : int array;
+  def_next : int array;
+  mem_prefix : int array;
+  chain : int array;
 }
 
 let mem_none = 0
 let mem_load = 1
 let mem_store = 2
 let slots t = Array.length t.cls
+
+type stats = {
+  n_slots : int;
+  n_mem : int;  (** slots classified load or store *)
+  n_runs : int;  (** maximal straight-line runs (ended by a Branch slot) *)
+  n_short_runs : int;  (** runs of at most 8 slots *)
+  longest_chain : int;  (** longest intra-run dependency chain, in slots *)
+}
+
+let stats t =
+  let n = Array.length t.cls in
+  let n_runs = ref 0 and n_short = ref 0 and run_start = ref 0 in
+  let close_run fin =
+    incr n_runs;
+    if fin - !run_start + 1 <= 8 then incr n_short;
+    run_start := fin + 1
+  in
+  for s = 0 to n - 1 do
+    if Opclass.equal t.cls.(s) Opclass.Branch then close_run s
+  done;
+  if !run_start < n then close_run (n - 1);
+  let longest = ref 0 in
+  Array.iter (fun c -> if c > !longest then longest := c) t.chain;
+  {
+    n_slots = n;
+    n_mem = t.mem_prefix.(n);
+    n_runs = !n_runs;
+    n_short_runs = !n_short;
+    longest_chain = !longest;
+  }
 
 (* Slot-count-known builder: fixed per-slot arrays, growable shared reg
    pool. *)
@@ -45,7 +94,12 @@ let builder n =
     b_next = 0;
   }
 
+(* Registers are range-checked here, once per static operand, so the
+   engine may index its scoreboards unsafely — even for tables built by
+   the [*_trusted] constructors. *)
 let push_reg b r =
+  if r < 0 || r >= Reg.flat_count then
+    invalid_arg (Printf.sprintf "Predecode: register index %d out of range" r);
   if b.b_nregs = Array.length b.b_regs then begin
     let bigger = Array.make (2 * b.b_nregs) 0 in
     Array.blit b.b_regs 0 bigger 0 b.b_nregs;
@@ -66,8 +120,71 @@ let add_slot b cls ~defs ~uses ~mem =
   List.iter (fun r -> push_reg b (Reg.flat_index r)) uses;
   b.b_nu.(s) <- List.length uses
 
+(* The pre-scheduled timing facts, derived once per program:
+
+   - [info]: the packed per-slot word above.
+   - [use_def]: parallel to [regs]; for a use position, the nearest
+     earlier slot that defines the used register (program-wide), or -1.
+     Inside an engine unit [lo, lo+len) the test [d >= lo] is then exact:
+     slots of a unit execute consecutively, so the nearest earlier def is
+     in-flight in this very unit iff its slot index reaches back no
+     further than [lo].
+   - [def_next]: parallel to [regs]; for a def position, the next slot
+     that defines the same register, or -1.  A def is its unit's last
+     writer of that register iff its [def_next] falls outside the unit —
+     which is what lets the engine publish results without a per-unit
+     register overlay.
+   - [mem_prefix]: running count of memory slots, so "does this unit
+     touch memory at all" is two loads.
+   - [chain]: per slot, the length of the longest dependency chain ending
+     there via [use_def] links — a static fact exposed through {!stats}. *)
 let finish b =
   assert (b.b_next = Array.length b.b_cls);
+  let n = b.b_next in
+  let regs = Array.sub b.b_regs 0 b.b_nregs in
+  let info = Array.make n 0 in
+  let use_def = Array.make (Array.length regs) (-1) in
+  let def_next = Array.make (Array.length regs) (-1) in
+  let mem_prefix = Array.make (n + 1) 0 in
+  let chain = Array.make n 0 in
+  let last_def = Array.make Reg.flat_count (-1) in
+  for s = 0 to n - 1 do
+    let nd = b.b_nd.(s) and nu = b.b_nu.(s) and off = b.b_off.(s) in
+    let lat = b.b_lat.(s) and mem = b.b_mem.(s) in
+    if nd > info_cnt_mask || nu > info_cnt_mask then
+      invalid_arg "Predecode: too many operands for one slot";
+    if lat < 0 || lat > 15 then invalid_arg "Predecode: latency out of range";
+    info.(s) <-
+      mem
+      lor (lat lsl info_lat_shift)
+      lor (nd lsl info_nd_shift)
+      lor (nu lsl info_nu_shift)
+      lor (off lsl info_off_shift);
+    mem_prefix.(s + 1) <- mem_prefix.(s) + (if mem <> mem_none then 1 else 0);
+    (* Uses first: a slot's reads see strictly earlier writers only. *)
+    let c = ref 0 in
+    for j = off + nd to off + nd + nu - 1 do
+      let d = last_def.(regs.(j)) in
+      use_def.(j) <- d;
+      if d >= 0 && chain.(d) > !c then c := chain.(d)
+    done;
+    chain.(s) <- !c + 1;
+    for j = off to off + nd - 1 do
+      last_def.(regs.(j)) <- s
+    done
+  done;
+  (* Backward pass for next-def links; defs inside one slot are chained in
+     listed order so only the slot's final def can be a last writer. *)
+  Array.fill last_def 0 Reg.flat_count (-1);
+  for s = n - 1 downto 0 do
+    let info_s = info.(s) in
+    let off = info_s lsr info_off_shift in
+    let nd = (info_s lsr info_nd_shift) land info_cnt_mask in
+    for j = off + nd - 1 downto off do
+      def_next.(j) <- last_def.(regs.(j));
+      last_def.(regs.(j)) <- s
+    done
+  done;
   {
     cls = b.b_cls;
     lat = b.b_lat;
@@ -75,7 +192,12 @@ let finish b =
     reg_off = b.b_off;
     ndefs = b.b_nd;
     nuses = b.b_nu;
-    regs = Array.sub b.b_regs 0 b.b_nregs;
+    regs;
+    info;
+    use_def;
+    def_next;
+    mem_prefix;
+    chain;
   }
 
 let of_conv_trusted (p : Bisa_isa.Conv_prog.t) =

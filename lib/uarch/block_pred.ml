@@ -60,6 +60,14 @@ let create cfg prog =
 
 let pht_index t b = (b * 0x9E3779B1 lxor t.hist) land ((1 lsl t.cfg.pht_bits) - 1)
 
+(* Smallest [b] with [1 lsl b >= k]. *)
+let bits_for k =
+  let b = ref 0 in
+  while 1 lsl !b < k do
+    incr b
+  done;
+  !b
+
 let counter t i k = Char.code (Bytes.get t.pht ((counters_per_entry * i) + k))
 
 let train t i k up =
@@ -87,20 +95,27 @@ let train_sub t i ~dir ~n ~sub =
     if n > 2 then train t i (3 + (dir * 2) + b1) (sub land 2 = 2)
   end
 
-(* Successor path code: dir bit plus the variant index inside that
-   direction's set. *)
+(* Index of [v] in [arr], or -1.  A flat loop: this sits on the per-block
+   training path, where a capturing local recursion would cost a closure
+   allocation per call under classic ocamlopt. *)
+let index_in arr v =
+  let n = Array.length arr in
+  let i = ref 0 in
+  while !i < n && Array.unsafe_get arr !i <> v do
+    incr i
+  done;
+  if !i < n then !i else -1
+
+(* Successor path code packed as [dir lor (sub lsl 1)], or -1 when
+   [actual] is in neither successor set (only possible around halt). *)
 let encode t b actual =
   let dir1, dir0 = t.prog.succ_struct.(b) in
-  let index_in arr =
-    let rec go i =
-      if i >= Array.length arr then None else if arr.(i) = actual then Some i else go (i + 1)
-    in
-    go 0
-  in
-  match index_in dir1 with
-  | Some i -> Some (1, i land 3)
-  | None -> (
-    match index_in dir0 with Some i -> Some (0, i land 3) | None -> None)
+  let i1 = index_in dir1 actual in
+  if i1 >= 0 then 1 lor ((i1 land 3) lsl 1)
+  else begin
+    let i0 = index_in dir0 actual in
+    if i0 >= 0 then (i0 land 3) lsl 1 else -1
+  end
 
 let code_of dir sub = (dir land 1) lor (sub lsl 1)
 
@@ -115,11 +130,7 @@ let shift_bits t b =
     | Ablock.Goto _ ->
       let dir1, _ = t.prog.succ_struct.(b) in
       let n = Array.length dir1 in
-      if n <= 1 then 0
-      else begin
-        let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
-        min 3 (bits n 0)
-      end
+      if n <= 1 then 0 else min 3 (bits_for n)
     | Ablock.Call _ | Ablock.Return | Ablock.Ijump _ | Ablock.Halt -> 0
   end
 
@@ -136,16 +147,23 @@ let slot_or t b ~dir ~sub ~fallback =
     end
   | None -> fallback
 
-let variant_for_direction t b ~dir =
+(* Int-returning core (-1 = no basis): the timing pipelines store the
+   prediction in a scalar field, so the hot path never allocates an
+   option per committed block. *)
+let variant_id_for_direction t b ~dir =
   let dir1, dir0 = t.prog.succ_struct.(b) in
   let arr = if dir = 1 then dir1 else dir0 in
   let n = Array.length arr in
-  if n = 0 then None
+  if n = 0 then -1
   else begin
     let i = pht_index t b in
     let sub = predict_sub t i ~dir ~n in
-    Some (slot_or t b ~dir ~sub ~fallback:arr.(0))
+    slot_or t b ~dir ~sub ~fallback:arr.(0)
   end
+
+let variant_for_direction t b ~dir =
+  let v = variant_id_for_direction t b ~dir in
+  if v < 0 then None else Some v
 
 (* Variant selection when the target {e region} is known but reached
    indirectly (call entry, RAS-predicted return).  State is keyed by the
@@ -170,36 +188,41 @@ let variant_in_group t ~rep =
         if s >= 0 then s else fallback
       | None -> fallback
     in
-    if Array.exists (fun x -> x = candidate) group then candidate else fallback
+    if index_in group candidate >= 0 then candidate else fallback
   end
 
-let predict t b =
+let predict_id t b =
   t.n_lookup <- t.n_lookup + 1;
   match t.prog.blocks.(b).Ablock.term with
   | Ablock.Trap _ ->
     let i = pht_index t b in
     let dir = if counter t i 0 >= 2 then 1 else 0 in
-    variant_for_direction t b ~dir
-  | Ablock.Goto _ -> variant_for_direction t b ~dir:1
+    variant_id_for_direction t b ~dir
+  | Ablock.Goto _ -> variant_id_for_direction t b ~dir:1
   | Ablock.Call { callee; ret_to } ->
     Ras.push t.ras ret_to;
-    Some (variant_in_group t ~rep:callee)
-  | Ablock.Return -> begin
-    match Ras.pop t.ras with
-    | Some rep -> Some (variant_in_group t ~rep)
-    | None -> None
+    variant_in_group t ~rep:callee
+  | Ablock.Return ->
+    let rep = Ras.pop_id t.ras in
+    if rep < 0 then -1 else variant_in_group t ~rep
+  | Ablock.Ijump _ -> begin
+    match Btb.find t.ibtb b with Some v -> v | None -> -1
   end
-  | Ablock.Ijump _ -> Btb.find t.ibtb b
-  | Ablock.Halt -> None
+  | Ablock.Halt -> -1
+
+let predict t b =
+  let v = predict_id t b in
+  if v < 0 then None else Some v
 
 let predict_given_direction t b ~taken =
   variant_for_direction t b ~dir:(if taken then 1 else 0)
 
 let update t ~block ~actual =
   match t.prog.blocks.(block).Ablock.term with
-  | Ablock.Trap _ | Ablock.Goto _ -> begin
-    match encode t block actual with
-    | Some (dir, sub) ->
+  | Ablock.Trap _ | Ablock.Goto _ ->
+    let code = encode t block actual in
+    if code >= 0 then begin
+      let dir = code land 1 and sub = code lsr 1 in
       let dir1, dir0 = t.prog.succ_struct.(block) in
       let n = Array.length (if dir = 1 then dir1 else dir0) in
       let i = pht_index t block in
@@ -223,11 +246,9 @@ let update t ~block ~actual =
           ((t.hist lsl bits) lor (code land ((1 lsl bits) - 1)))
           land ((1 lsl t.cfg.hist_bits) - 1)
       end
-    | None ->
-      (* The committed successor is not in the static successor sets; only
-         possible around halt — nothing to learn. *)
-      ()
-  end
+    end
+    (* code < 0: the committed successor is not in the static successor
+       sets; only possible around halt — nothing to learn. *)
   | Ablock.Ijump _ -> Btb.insert t.ibtb block actual
   | Ablock.Call _ | Ablock.Return ->
     (* Learn which variant of the target region was entered; state is
@@ -236,11 +257,8 @@ let update t ~block ~actual =
     let n = Array.length group in
     if n > 1 then begin
       let rep = group.(0) in
-      let rec index_of i =
-        if i >= n then None else if group.(i) = actual then Some i else index_of (i + 1)
-      in
-      match index_of 0 with
-      | Some sub ->
+      let sub = index_in group actual in
+      if sub >= 0 then begin
         let sub = sub land 3 in
         let i = region_pht_index t rep in
         train_sub t i ~dir:1 ~n ~sub;
@@ -252,14 +270,13 @@ let update t ~block ~actual =
            the history register like any other decision (modification 3:
            shift the minimum number of bits that identifies it). *)
         if not t.cfg.naive_history then begin
-          let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
-          let nbits = min 2 (bits n 0) in
+          let nbits = min 2 (bits_for n) in
           if nbits > 0 then
             t.hist <-
               ((t.hist lsl nbits) lor (sub land ((1 lsl nbits) - 1)))
               land ((1 lsl t.cfg.hist_bits) - 1)
         end
-      | None -> ()
+      end
     end
   | Ablock.Halt -> ()
 

@@ -37,6 +37,11 @@ val predict : t -> int -> int option
 (** [predict t b]: the block the front end would fetch after [b], or
     [None] when it has no basis (empty RAS, cold indirect BTB). *)
 
+val predict_id : t -> int -> int
+(** Allocation-free [predict]: the predicted block id, or -1 when the
+    predictor has no basis.  Same training side effects (RAS push/pop,
+    lookup counter). *)
+
 val predict_given_direction : t -> int -> taken:bool -> int option
 (** Variant choice once the trap direction has resolved: after a
     direction-level misprediction the front end refetches not the blind

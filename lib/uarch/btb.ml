@@ -4,6 +4,7 @@ let null_hook ~key:_ ~hit:_ = ()
 
 type 'a t = {
   sets : int;
+  set_mask : int;  (** [sets - 1] when [sets] is a power of two, else -1 *)
   ways : 'a way array array;
   mutable tick : int;
   mutable hook : key:int -> hit:bool -> unit;
@@ -13,6 +14,7 @@ let create ~sets ~ways =
   assert (sets > 0 && ways > 0);
   {
     sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways =
       Array.init sets (fun _ ->
           Array.init ways (fun _ -> { key = -1; payload = None; stamp = 0 }));
@@ -22,20 +24,27 @@ let create ~sets ~ways =
 
 let set_hook t h = t.hook <- h
 
-let set_of t key = t.ways.(key mod t.sets)
+let set_of t key =
+  t.ways.(if t.set_mask >= 0 then key land t.set_mask else key mod t.sets)
 
+(* Flat loops, no local closures: [find] is on the per-block path of the
+   predictors, and classic ocamlopt would allocate a closure per call for
+   a capturing local recursion. *)
 let find t key =
   let set = set_of t key in
   t.tick <- t.tick + 1;
-  let rec scan i =
-    if i >= Array.length set then None
-    else if set.(i).key = key then begin
-      set.(i).stamp <- t.tick;
-      set.(i).payload
+  let n = Array.length set in
+  let i = ref 0 in
+  while !i < n && set.(!i).key <> key do
+    incr i
+  done;
+  let r =
+    if !i < n then begin
+      set.(!i).stamp <- t.tick;
+      set.(!i).payload
     end
-    else scan (i + 1)
+    else None
   in
-  let r = scan 0 in
   if t.hook != null_hook then
     t.hook ~key ~hit:(match r with Some _ -> true | None -> false);
   r
@@ -43,18 +52,20 @@ let find t key =
 let insert t key payload =
   let set = set_of t key in
   t.tick <- t.tick + 1;
+  let n = Array.length set in
+  let i = ref 0 in
+  while !i < n && set.(!i).key <> key do
+    incr i
+  done;
   let slot =
-    let rec existing i =
-      if i >= Array.length set then None
-      else if set.(i).key = key then Some set.(i)
-      else existing (i + 1)
-    in
-    match existing 0 with
-    | Some w -> w
-    | None ->
+    if !i < n then set.(!i)
+    else begin
       let victim = ref set.(0) in
-      Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
+      for j = 1 to n - 1 do
+        if set.(j).stamp < !victim.stamp then victim := set.(j)
+      done;
       !victim
+    end
   in
   slot.key <- key;
   slot.payload <- Some payload;

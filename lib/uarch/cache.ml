@@ -11,6 +11,11 @@ type t = {
   cfg : config;
   sets : int;
   line_shift : int;
+  (* All standard geometries have a power-of-two set count, for which
+     set/tag extraction is a mask and a shift instead of an integer
+     division; [set_shift = -1] falls back to mod/div. *)
+  set_mask : int;
+  set_shift : int;
   tags : int array;  (** sets * assoc; -1 = invalid *)
   lru : int array;  (** larger = more recently used *)
   mutable tick : int;
@@ -27,10 +32,13 @@ let create cfg =
   if cfg.size_bytes mod (cfg.assoc * cfg.line_bytes) <> 0 then
     invalid_arg "Cache.create: size not divisible by assoc*line";
   let sets = cfg.size_bytes / (cfg.assoc * cfg.line_bytes) in
+  let pow2 = sets land (sets - 1) = 0 in
   {
     cfg;
     sets;
     line_shift = log2i cfg.line_bytes;
+    set_mask = (if pow2 then sets - 1 else 0);
+    set_shift = (if pow2 then log2i sets else -1);
     tags = Array.make (sets * cfg.assoc) (-1);
     lru = Array.make (sets * cfg.assoc) 0;
     tick = 0;
@@ -43,30 +51,35 @@ let set_hook t h = t.hook <- h
 
 let access t addr =
   let line = addr lsr t.line_shift in
-  let set = line mod t.sets in
-  let tag = line / t.sets in
+  let set = if t.set_shift >= 0 then line land t.set_mask else line mod t.sets in
+  let tag = if t.set_shift >= 0 then line lsr t.set_shift else line / t.sets in
   let base = set * t.cfg.assoc in
+  let assoc = t.cfg.assoc in
   t.n_access <- t.n_access + 1;
   t.tick <- t.tick + 1;
-  let rec find i = if i >= t.cfg.assoc then None
-    else if t.tags.(base + i) = tag then Some i
-    else find (i + 1)
-  in
+  (* Flat way scan — a capturing local recursion would allocate a closure
+     per access under classic ocamlopt, and this is the hottest uarch
+     component call. *)
+  let i = ref 0 in
+  while !i < assoc && t.tags.(base + !i) <> tag do
+    incr i
+  done;
   let hit =
-    match find 0 with
-    | Some i ->
-      t.lru.(base + i) <- t.tick;
+    if !i < assoc then begin
+      t.lru.(base + !i) <- t.tick;
       true
-    | None ->
+    end
+    else begin
       t.n_miss <- t.n_miss + 1;
       (* Evict the least recently used way. *)
       let victim = ref 0 in
-      for i = 1 to t.cfg.assoc - 1 do
+      for i = 1 to assoc - 1 do
         if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
       done;
       t.tags.(base + !victim) <- tag;
       t.lru.(base + !victim) <- t.tick;
       false
+    end
   in
   if t.hook != null_hook then t.hook ~addr ~hit;
   hit
@@ -83,8 +96,8 @@ let access_range t addr len =
 
 let evict t addr =
   let line = addr lsr t.line_shift in
-  let set = line mod t.sets in
-  let tag = line / t.sets in
+  let set = if t.set_shift >= 0 then line land t.set_mask else line mod t.sets in
+  let tag = if t.set_shift >= 0 then line lsr t.set_shift else line / t.sets in
   let base = set * t.cfg.assoc in
   for i = 0 to t.cfg.assoc - 1 do
     if t.tags.(base + i) = tag then begin

@@ -8,6 +8,9 @@ val push : t -> int -> unit
 val pop : t -> int option
 (** [None] when empty (predict nothing; counts as a mispredict). *)
 
+val pop_id : t -> int
+(** Allocation-free [pop]: the popped target, or -1 when empty. *)
+
 val depth : t -> int
 val occupancy : t -> int
 

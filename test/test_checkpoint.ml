@@ -193,6 +193,54 @@ let test_cross_backend_roundtrip () =
   cross_backend_equivalence (module Pipeline.Conv) Config.default c.conv ~steps:40;
   cross_backend_equivalence (module Pipeline.Block) Config.default c.block ~steps:40
 
+(* Pre-scheduled timing templates are derived state: a session running on
+   explicit tables + compiled code must snapshot byte-identically to a
+   plain interpreting session at the same point (templates are absent
+   from the snapshot identity), and a killed templated run must resume
+   into a fresh session — tables rebuilt, not restored — and finish with
+   the uninterrupted run's exact metrics and output. *)
+let template_checkpoint_equivalence (type p tb c)
+    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
+    cfg (prog : p) ~steps =
+  let tables = P.predecode_trusted prog in
+  let code = P.compile_trusted prog in
+  let m_full, out_full = P.run_full ~tables ~code cfg prog in
+  let s_plain = P.session cfg prog in
+  let s_tab = P.session ~tables ~code cfg prog in
+  let live = ref true in
+  for _ = 1 to steps do
+    if !live then begin
+      let a = P.step s_plain in
+      let b = P.step s_tab in
+      Alcotest.(check bool) (P.isa ^ ": backends stay in lockstep") a b;
+      live := b
+    end
+  done;
+  Alcotest.(check bool) (P.isa ^ ": killed mid-run") true !live;
+  let bytes s =
+    let w = Codec.W.create () in
+    P.save s w;
+    Codec.W.contents w
+  in
+  Alcotest.(check string)
+    (P.isa ^ ": templated snapshot == plain snapshot")
+    (bytes s_plain) (bytes s_tab);
+  let s2 = P.session ~tables:(P.predecode_trusted prog) ~code cfg prog in
+  P.restore s2 (Codec.R.of_string (bytes s_tab));
+  let m2, out2 = P.finish s2 in
+  check_metrics (P.isa ^ ": resumed metrics == uninterrupted") m_full m2;
+  Alcotest.(check bool)
+    (P.isa ^ ": resumed output == uninterrupted")
+    true
+    (Output.equal out_full out2)
+
+let test_template_checkpoint () =
+  let c = Lazy.force compiled in
+  template_checkpoint_equivalence (module Pipeline.Conv) Config.default c.conv
+    ~steps:60;
+  template_checkpoint_equivalence (module Pipeline.Block) Config.default c.block
+    ~steps:60
+
 let test_cross_backend_roundtrip_tc () =
   (* Same legs with the trace-cache front end live: its fill buffers and
      table contents must survive the backend switch too. *)
@@ -398,6 +446,8 @@ let suite =
       test_session_roundtrip_perfect;
     Alcotest.test_case "cross-backend session roundtrip" `Quick
       test_cross_backend_roundtrip;
+    Alcotest.test_case "template checkpoint identity" `Quick
+      test_template_checkpoint;
     Alcotest.test_case "cross-backend session roundtrip (trace cache)" `Quick
       test_cross_backend_roundtrip_tc;
     Alcotest.test_case "snapshot header validation" `Quick

@@ -44,7 +44,8 @@ let run_ops e ~dispatch ~commit ops =
          ops)
   in
   Engine.run_unit e ~dispatch ~commit tab ~lo:0 ~len:(List.length ops) ~term:(-1)
-    ~mem_addrs ~mem_off:0
+    ~mem_addrs ~mem_off:0;
+  (Engine.unit_resolve e, Engine.unit_retire e)
 
 let test_engine_dependency_chain () =
   let e = Engine.create tiny_config in
@@ -57,25 +58,25 @@ let test_engine_dependency_chain () =
       op Opclass.Integer ~defs:[| 3 |] ~uses:[| 2 |];
     ]
   in
-  let r = run_ops e ~dispatch:0 ~commit:true ops in
-  Alcotest.(check int) "chain of 3 x 1-cycle" 4 r.resolve
+  let resolve, _ = run_ops e ~dispatch:0 ~commit:true ops in
+  Alcotest.(check int) "chain of 3 x 1-cycle" 4 resolve
 
 let test_engine_div_latency () =
   let e = Engine.create tiny_config in
   let ops =
     [ op Opclass.Div ~defs:[| 1 |]; op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] ]
   in
-  let r = run_ops e ~dispatch:0 ~commit:true ops in
+  let resolve, _ = run_ops e ~dispatch:0 ~commit:true ops in
   (* div issues at 1, completes at 9; dependent add completes at 10. *)
-  Alcotest.(check int) "div then add" 10 r.resolve
+  Alcotest.(check int) "div then add" 10 resolve
 
 let test_engine_fu_contention () =
   let cfg = { tiny_config with fu_count = 2 } in
   let e = Engine.create cfg in
   (* Four independent ops on two FUs: two issue at cycle 1, two at 2. *)
   let ops = List.init 4 (fun i -> op Opclass.Integer ~defs:[| i + 1 |]) in
-  let r = run_ops e ~dispatch:0 ~commit:true ops in
-  Alcotest.(check int) "second wave finishes at 3" 3 r.retire
+  let _, retire = run_ops e ~dispatch:0 ~commit:true ops in
+  Alcotest.(check int) "second wave finishes at 3" 3 retire
 
 let test_engine_commit_discard () =
   let e = Engine.create tiny_config in
@@ -83,8 +84,8 @@ let test_engine_commit_discard () =
   ignore (run_ops e ~dispatch:0 ~commit:false slow);
   (* The discarded div must not delay a later consumer of register 1. *)
   let consumer = [ op Opclass.Integer ~defs:[| 2 |] ~uses:[| 1 |] ] in
-  let r = run_ops e ~dispatch:0 ~commit:true consumer in
-  Alcotest.(check int) "no stale dependency" 2 r.resolve
+  let resolve, _ = run_ops e ~dispatch:0 ~commit:true consumer in
+  Alcotest.(check int) "no stale dependency" 2 resolve
 
 let test_engine_store_load_ordering () =
   let e = Engine.create tiny_config in
@@ -92,12 +93,12 @@ let test_engine_store_load_ordering () =
   ignore (run_ops e ~dispatch:0 ~commit:true st);
   (* A later load from the same address waits for the store's data. *)
   let ld = [ op Opclass.Load ~defs:[| 2 |] ~mem:(Mload 64) ] in
-  let r = run_ops e ~dispatch:0 ~commit:true ld in
-  Alcotest.(check bool) "load waits for store" true (r.resolve >= 11);
+  let resolve, _ = run_ops e ~dispatch:0 ~commit:true ld in
+  Alcotest.(check bool) "load waits for store" true (resolve >= 11);
   (* A load from a different address does not. *)
   let ld2 = [ op Opclass.Load ~defs:[| 3 |] ~mem:(Mload 128) ] in
-  let r2 = run_ops e ~dispatch:0 ~commit:true ld2 in
-  Alcotest.(check bool) "independent load fast" true (r2.resolve <= 3)
+  let resolve2, _ = run_ops e ~dispatch:0 ~commit:true ld2 in
+  Alcotest.(check bool) "independent load fast" true (resolve2 <= 3)
 
 let test_engine_window_backpressure () =
   let cfg = { tiny_config with window_blocks = 2; window_ops = 1000 } in
@@ -113,10 +114,10 @@ let test_engine_window_backpressure () =
 
 let test_engine_monotonic_retire () =
   let e = Engine.create tiny_config in
-  let r1 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Div ~defs:[| 1 |] ] in
-  let r2 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Integer ~defs:[| 2 |] ] in
+  let _, retire1 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Div ~defs:[| 1 |] ] in
+  let _, retire2 = run_ops e ~dispatch:0 ~commit:true [ op Opclass.Integer ~defs:[| 2 |] ] in
   (* In-order retirement: the fast block cannot retire before the slow one. *)
-  Alcotest.(check bool) "in-order" true (r2.retire >= r1.retire)
+  Alcotest.(check bool) "in-order" true (retire2 >= retire1)
 
 (* --- Pipelines ---------------------------------------------------------------- *)
 
@@ -187,6 +188,102 @@ let test_metrics_mean_block_size () =
   Alcotest.(check bool) "conv blocks small" true (szc > 2.0 && szc < 16.0);
   Alcotest.(check bool) "enlargement grew blocks" true (szb > szc)
 
+(* --- Fast-path equivalence and allocation discipline ------------------------- *)
+
+(* The pipelines hoist probe/injector dispatch to session creation: a null
+   probe selects a specialized step with the tests compiled out.  A live
+   probe (any non-null record) must therefore not change a single metric —
+   only observe.  Checked for both executors on both pipelines. *)
+let test_probe_equivalence () =
+  let c = Bisa_compiler.Compiler.compile sample in
+  let mbytes m =
+    let w = Bisa_base.Codec.W.create () in
+    Bisa_timing.Metrics.save m w;
+    Bisa_base.Codec.W.contents w
+  in
+  let check name run =
+    let fast = run Bisa_obs.Probe.null in
+    let fired = ref 0 in
+    let probe =
+      {
+        Bisa_obs.Probe.null with
+        unit_start = (fun ~cycle:_ ~addr:_ ~ops:_ -> incr fired);
+      }
+    in
+    let general = run probe in
+    Alcotest.(check bool) (name ^ ": probe observed units") true (!fired > 0);
+    Alcotest.(check string)
+      (name ^ ": general path metrics == fast path")
+      (mbytes fast) (mbytes general)
+  in
+  check "conv interp" (fun probe ->
+      Bisa_timing.Conv_pipeline.run ~probe Config.default c.conv);
+  check "block interp" (fun probe ->
+      Bisa_timing.Block_pipeline.run ~probe Config.default c.block);
+  let conv_code = Bisa_timing.Pipeline.Conv.compile c.conv in
+  let block_code = Bisa_timing.Pipeline.Block.compile c.block in
+  check "conv compiled" (fun probe ->
+      Bisa_timing.Conv_pipeline.run ~code:conv_code ~probe Config.default c.conv);
+  check "block compiled" (fun probe ->
+      Bisa_timing.Block_pipeline.run ~code:block_code ~probe Config.default
+        c.block)
+
+(* A longer-running workload so the steady-state window is thousands of
+   steps deep, far past predictor/cache warmup and table growth. *)
+let alloc_sample =
+  {|
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 4000; i = i + 1) {
+    acc = acc + (i & 7) * 3 - (acc >> 4);
+    if (i % 5 == 0) { acc = acc - 2; }
+    if (i % 11 == 0) { acc = acc ^ i; }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+(* The pre-scheduled template fast path must not allocate per step once
+   warm: the conv drain is allocation-free, the block drain is bounded by
+   a few words (output consing and BTB fills).  A regression to
+   closure-per-step or record-per-step costs tens of words and fails
+   loudly here. *)
+let test_steady_state_allocation () =
+  let c = Bisa_compiler.Compiler.compile alloc_sample in
+  let words_per_step name session step bound =
+    (* Warm: predictor tables, caches, store map, scratch growth. *)
+    let warm = ref 0 in
+    while !warm < 2000 && step session do incr warm done;
+    Alcotest.(check bool) (name ^ ": still running after warmup") true
+      (!warm = 2000);
+    let before = Gc.minor_words () in
+    let n = ref 0 in
+    while !n < 4000 && step session do incr n done;
+    let used = Gc.minor_words () -. before in
+    let per_step = used /. float_of_int (max 1 !n) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.2f words/step <= %.1f" name per_step bound)
+      true
+      (per_step <= bound)
+  in
+  let cfg = Config.default in
+  let conv =
+    Bisa_timing.Conv_pipeline.session
+      ~tables:(Bisa_timing.Pipeline.Conv.predecode c.conv)
+      ~code:(Bisa_timing.Pipeline.Conv.compile c.conv)
+      cfg c.conv
+  in
+  words_per_step "conv fast step" conv Bisa_timing.Conv_pipeline.step 2.0;
+  let block =
+    Bisa_timing.Block_pipeline.session
+      ~tables:(Bisa_timing.Pipeline.Block.predecode c.block)
+      ~code:(Bisa_timing.Pipeline.Block.compile c.block)
+      cfg c.block
+  in
+  words_per_step "block fast step" block Bisa_timing.Block_pipeline.step 24.0
+
 let suite =
   [
     Alcotest.test_case "engine chain" `Quick test_engine_dependency_chain;
@@ -200,4 +297,7 @@ let suite =
     Alcotest.test_case "perfect pred" `Quick test_perfect_pred_not_slower;
     Alcotest.test_case "icache monotone" `Quick test_bigger_icache_not_slower;
     Alcotest.test_case "block sizes" `Quick test_metrics_mean_block_size;
+    Alcotest.test_case "probe equivalence" `Quick test_probe_equivalence;
+    Alcotest.test_case "steady-state allocation" `Quick
+      test_steady_state_allocation;
   ]
