@@ -66,22 +66,31 @@ int main() {
 let micro = Pool.Once.make (fun () -> Bisa_compiler.Compiler.compile micro_source)
 let force_micro () = Pool.Once.force micro
 
-(* Threaded code and pre-scheduled timing templates for the micro
+(* Prepared artifacts (tables + threaded code + hash) for the micro
    workload, built (through the verifier) once outside any timed region —
    the kernels below measure steady-state simulation only, matching how
-   the experiment harness memoizes both per program. *)
-let micro_conv_code =
-  Pool.Once.make (fun () -> Bisa_timing.Pipeline.Conv.compile (force_micro ()).conv)
-
-let micro_block_code =
-  Pool.Once.make (fun () -> Bisa_timing.Pipeline.Block.compile (force_micro ()).block)
-
-let micro_conv_tables =
-  Pool.Once.make (fun () -> Bisa_timing.Pipeline.Conv.predecode (force_micro ()).conv)
-
-let micro_block_tables =
+   the experiment harness memoizes the same bundle per program. *)
+let micro_conv_art =
   Pool.Once.make (fun () ->
-      Bisa_timing.Pipeline.Block.predecode (force_micro ()).block)
+      Bisa_timing.Pipeline.Conv.prepare ~exec:Bisa_sim.Compile.Compiled
+        (force_micro ()).conv)
+
+let micro_block_art =
+  Pool.Once.make (fun () ->
+      Bisa_timing.Pipeline.Block.prepare ~exec:Bisa_sim.Compile.Compiled
+        (force_micro ()).block)
+
+(* The compiled-exec kernels time the raw threaded code directly; the
+   artifact always carries it because [prepare] ran under [Compiled]. *)
+let micro_conv_code () =
+  match Bisa_timing.Pipeline.Conv.Artifact.code (Pool.Once.force micro_conv_art) with
+  | Some c -> c
+  | None -> assert false
+
+let micro_block_code () =
+  match Bisa_timing.Pipeline.Block.Artifact.code (Pool.Once.force micro_block_art) with
+  | Some c -> c
+  | None -> assert false
 
 (* One micro-benchmark kernel: a name, the closure Bechamel times, and the
    per-run work count (simulated ops for simulation kernels, dynamic
@@ -95,16 +104,12 @@ let kernels ~smoke () =
     Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
   in
   let conv_m cfg () =
-    Bisa_timing.Conv_pipeline.run
-      ~tables:(Pool.Once.force micro_conv_tables)
-      ~code:(Pool.Once.force micro_conv_code)
-      cfg (force_micro ()).conv
+    fst
+      (Bisa_timing.Pipeline.Conv.run_artifact cfg (Pool.Once.force micro_conv_art))
   in
   let block_m cfg () =
-    Bisa_timing.Block_pipeline.run
-      ~tables:(Pool.Once.force micro_block_tables)
-      ~code:(Pool.Once.force micro_block_code)
-      cfg (force_micro ()).block
+    fst
+      (Bisa_timing.Pipeline.Block.run_artifact cfg (Pool.Once.force micro_block_art))
   in
   let conv cfg =
     let run = conv_m cfg in
@@ -134,22 +139,13 @@ let kernels ~smoke () =
          anyone reading the JSON) can state the speedup directly. *)
       {
         name = "table2_compiled_exec";
-        fn =
-          (fun () ->
-            ignore (Bisa_sim.Compile.Conv.run (Pool.Once.force micro_conv_code)));
-        ops =
-          Some
-            (fun () -> snd (Bisa_sim.Compile.Conv.run (Pool.Once.force micro_conv_code)));
+        fn = (fun () -> ignore (Bisa_sim.Compile.Conv.run (micro_conv_code ())));
+        ops = Some (fun () -> snd (Bisa_sim.Compile.Conv.run (micro_conv_code ())));
       };
       {
         name = "table2_compiled_exec_block";
-        fn =
-          (fun () ->
-            ignore (Bisa_sim.Compile.Block.run (Pool.Once.force micro_block_code)));
-        ops =
-          Some
-            (fun () ->
-              snd (Bisa_sim.Compile.Block.run (Pool.Once.force micro_block_code)));
+        fn = (fun () -> ignore (Bisa_sim.Compile.Block.run (micro_block_code ())));
+        ops = Some (fun () -> snd (Bisa_sim.Compile.Block.run (micro_block_code ())));
       };
       (* Figure 3: both timing pipelines, real predictor. *)
       { (conv (cfg (icache_of_kb 16) Bisa_timing.Config.Real)) with name = "fig3_conv_pipeline" };
@@ -469,12 +465,11 @@ let run_stream () =
     let c = Bisa_compiler.Compiler.compile (stream_source iters) in
     let cfg = Bisa_timing.Config.default in
     let module P = Bisa_timing.Pipeline.Conv in
-    (* Templates and threaded code are memoized per program exactly as the
-       experiment harness does; the timed region is steady-state
-       simulation only. *)
-    let tables = P.predecode c.conv in
-    let code = P.compile c.conv in
-    let s = P.session ~tables ~code cfg c.conv in
+    (* The artifact is prepared (verified, predecoded, compiled) outside
+       the timed region; the timed region is steady-state simulation
+       only. *)
+    let art = P.prepare ~exec:Bisa_sim.Compile.Compiled c.conv in
+    let s = P.session_artifact cfg art in
     P.set_out_cap s 1024;
     let t0 = Unix.gettimeofday () in
     let m, out = P.finish s in

@@ -7,7 +7,7 @@ module Oracle = Bisa_check.Oracle
 module Decode_fuzz = Bisa_check.Decode_fuzz
 module Faults = Bisa_check.Faults
 
-type mode = All | Diff | OracleExec | Decode | Inject | Verify | Crash
+type mode = All | Diff | OracleExec | Decode | Inject | Verify | Crash | Proto
 
 (* A fixed program with calls, loops, arrays and traps for the decode and
    injection campaigns (the differential campaign generates its own). *)
@@ -128,6 +128,17 @@ let verify ~pool ~seed ~count =
       Ok ()
   end
 
+(* The daemon's wire codec under the same mutation pressure as the binary
+   decoders: truncated or corrupted frames must yield located "proto"
+   diagnostics, never a crash or a stuck framing loop. *)
+let proto ~pool ~seed ~count =
+  match Bisa_check.Proto_fuzz.run ~pool ~seed ~count () with
+  | Error e -> Error ("proto fuzzing: " ^ e)
+  | Ok (r : Bisa_check.Proto_fuzz.report) ->
+    Printf.printf "proto: %d frame mutants (%d decoded, %d rejected cleanly)\n"
+      r.mutants r.decoded r.rejected;
+    Ok ()
+
 let inject ~pool ~seed =
   let c = sample () in
   match Faults.campaign ~seeds:[ seed; seed + 1; seed + 2 ] ~pool c with
@@ -159,11 +170,13 @@ let run mode seed count jobs =
         (fun () -> diff ~pool ~seed ~count);
         (fun () -> decode ~pool ~seed ~count:(5 * count));
         (fun () -> verify ~pool ~seed ~count:(5 * count));
+        (fun () -> proto ~pool ~seed ~count:(5 * count));
         (fun () -> inject ~pool ~seed);
       ]
     | Diff -> [ (fun () -> diff ~pool ~seed ~count) ]
     | OracleExec -> [ (fun () -> oracle ~pool ~seed ~count) ]
     | Decode -> [ (fun () -> decode ~pool ~seed ~count) ]
+    | Proto -> [ (fun () -> proto ~pool ~seed ~count) ]
     | Verify -> [ (fun () -> verify ~pool ~seed ~count) ]
     | Inject -> [ (fun () -> inject ~pool ~seed) ]
     (* Not part of All: the fork leg must run without live pool domains,
@@ -187,16 +200,17 @@ let () =
           (enum
              [
                ("all", All); ("diff", Diff); ("oracle", OracleExec);
-               ("decode", Decode); ("verify", Verify); ("inject", Inject);
-               ("crash", Crash);
+               ("decode", Decode); ("verify", Verify); ("proto", Proto);
+               ("inject", Inject); ("crash", Crash);
              ])
           All
       & info [ "mode" ]
           ~doc:"Campaign: diff (differential programs), oracle (diff plus the \
                 compiled-executor legs, eight engines per program), decode \
                 (binary mutation), verify (decode/verify/simulate trichotomy), \
-                inject (front-end faults), crash (kill-and-resume recovery; run \
-                with -j 1), or all (everything except oracle and crash).")
+                proto (bisad wire-protocol frame mutation), inject (front-end \
+                faults), crash (kill-and-resume recovery; run with -j 1), or \
+                all (everything except oracle and crash).")
   in
   let count =
     Arg.(

@@ -5,9 +5,8 @@
 module Driver = Bisa_cli.Driver
 module Args = Bisa_cli.Args
 module Pipeline = Bisa_timing.Pipeline
+module Proto = Bisa_proto.Proto
 module Trace = Bisa_obs.Trace
-
-type isa = Conv | Block
 
 (* Pre-compiled binaries (from `bisac --emit conv-bin/block-bin`) load
    directly; anything else compiles from source. *)
@@ -42,11 +41,10 @@ let reject what diags =
     what (List.length diags)
     (if List.length diags = 1 then "" else "s")
 
-let run input isa functional exec icache_kb perfect_pred show_output budget
-    scale out_cap trace_out trace_sample trace_validate timeline verify_only
-    no_verify =
+let run input isa functional exec (sim_cfg : Proto.sim_cfg) show_output scale
+    trace_out trace_sample trace_validate timeline verify_only no_verify =
  Driver.guard ~component:"bisasim" @@ fun () ->
-  (match out_cap with
+  (match sim_cfg.out_cap with
   | Some n when n < 0 ->
     Bisa_base.Diag.fail ~component:"bisasim" "--out-cap must be non-negative (got %d)" n
   | _ -> ());
@@ -76,30 +74,27 @@ let run input isa functional exec icache_kb perfect_pred show_output budget
      hatch). *)
   if not no_verify then begin
     match isa with
-    | Conv ->
+    | Proto.Conv ->
       (match Pipeline.Conv.verify (pick conv_prog "conventional") with
       | [] -> ()
       | ds -> reject input ds)
-    | Block ->
+    | Proto.Block ->
       (match Pipeline.Block.verify (pick block_prog "block-structured") with
       | [] -> ()
       | ds -> reject input ds)
   end;
-  let cfg =
-    {
-      Bisa_timing.Config.default with
-      icache = Driver.cache_of_kb icache_kb;
-      predictor = (if perfect_pred then Bisa_timing.Config.Perfect else Bisa_timing.Config.Real);
-      op_budget = budget;
-    }
-  in
+  (* The flag bundle becomes the one canonical Config translation — the
+     very same function the daemon applies to the same typed value. *)
+  let cfg = Proto.to_config sim_cfg in
+  let budget = sim_cfg.budget in
+  let out_cap = sim_cfg.out_cap in
   if functional then begin
     (* The --exec backends drive the identical executor state, so output,
        counts and traps below read the same either way.  Verification was
        discharged (or explicitly waived) above, hence trusted compiles. *)
     let out, n, trap =
       match isa with
-      | Conv ->
+      | Proto.Conv ->
         let module E = Bisa_sim.Conv_exec in
         let t = E.create (pick conv_prog "conventional") in
         E.set_budget t budget;
@@ -114,7 +109,7 @@ let run input isa functional exec icache_kb perfect_pred show_output budget
           let rec go () = match C.step ce with Some _ -> go () | None -> () in
           go ());
         (E.output t, E.dyn_insns t, Option.map E.machine_trap_diag (E.machine_trap t))
-      | Block ->
+      | Proto.Block ->
         let module E = Bisa_sim.Block_exec in
         let t = E.create (pick block_prog "block-structured") in
         E.set_budget t budget;
@@ -131,18 +126,21 @@ let run input isa functional exec icache_kb perfect_pred show_output budget
         (E.output t, E.retired_ops t, Option.map E.machine_trap_diag (E.machine_trap t))
     in
     Option.iter (fun d -> prerr_endline (Bisa_base.Diag.render d)) trap;
-    if show_output then print_endline (Bisa_sim.Output.to_string out);
-    Printf.printf "%d dynamic operations, exit value %d\n" n out.ret;
+    print_string
+      (Proto.render_functional ~show_output
+         ~out:(Bisa_sim.Output.to_string out)
+         ~ops:n ~ret:out.ret);
     `Ok ()
   end
   else begin
     (* Both ISAs run through the one Pipeline.S contract; the ISA choice
        only decides which implementation gets packed.  Verification was
        discharged (or waived) above, so tables are built trusted. *)
-    let (Pipeline.Packed ((module P), _, _) as packed) =
+    let (Pipeline.Packed ((module P), _) as packed) =
       match isa with
-      | Conv -> Pipeline.pack_conv_trusted (pick conv_prog "conventional")
-      | Block -> Pipeline.pack_block_trusted (pick block_prog "block-structured")
+      | Proto.Conv -> Pipeline.pack_conv_trusted ~exec (pick conv_prog "conventional")
+      | Proto.Block ->
+        Pipeline.pack_block_trusted ~exec (pick block_prog "block-structured")
     in
     let recorder =
       if trace_out <> None || timeline then
@@ -150,12 +148,12 @@ let run input isa functional exec icache_kb perfect_pred show_output budget
       else None
     in
     let m, out =
-      Pipeline.run_packed
-        ?probe:(Option.map Trace.probe recorder)
-        ?out_cap ~exec cfg packed
+      Pipeline.run_packed ?probe:(Option.map Trace.probe recorder) ?out_cap cfg packed
     in
-    if show_output then print_endline (Bisa_sim.Output.to_string out);
-    print_endline (Bisa_timing.Metrics.summary ~name:P.descr m);
+    print_string
+      (Proto.render_timing ~show_output
+         ~out:(Bisa_sim.Output.to_string out)
+         ~summary:(Bisa_timing.Metrics.summary ~name:P.descr m));
     (match recorder with
     | None -> ()
     | Some r ->
@@ -187,12 +185,6 @@ let () =
       required
       & pos 0 (some string) None
       & info [] ~docv:"INPUT" ~doc:"MiniC source file, or a built-in workload name.")
-  in
-  let isa =
-    Arg.(
-      value
-      & opt (enum [ ("conv", Conv); ("block", Block) ]) Block
-      & info [ "isa" ] ~doc:"Which executable to run: conv or block.")
   in
   let functional =
     Arg.(value & flag & info [ "functional" ] ~doc:"Functional execution only (no timing).")
@@ -237,10 +229,9 @@ let () =
   let term =
     Term.(
       ret
-        (const run $ input $ isa $ functional $ Args.exec $ Args.icache_kb
-       $ Args.perfect_pred $ show_output $ Args.budget $ Args.scale $ Args.out_cap
-       $ Args.trace_out $ Args.trace_sample $ trace_validate $ timeline
-       $ verify_only $ no_verify))
+        (const run $ input $ Args.isa $ functional $ Args.exec $ Args.sim_cfg
+       $ show_output $ Args.scale $ Args.trace_out $ Args.trace_sample
+       $ trace_validate $ timeline $ verify_only $ no_verify))
   in
   let info = Cmd.info "bisasim" ~doc:"Block-structured ISA processor simulator" in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,23 @@
+(** Mutation fuzzer for the bisad wire protocol ({!Bisa_proto.Proto}).
+
+    Mutates valid encoded request/response payloads — and framed streams
+    of them, fed to the framing layer in random-sized chunks — and
+    asserts the codec's total-function contract: every mutant either
+    decodes to a value or raises {!Bisa_base.Diag.Fail} whose diagnostic
+    has component ["proto"], a byte offset within the input, and a
+    section name.  Any other exception, a non-advancing framing loop, or
+    a failed pristine round-trip is a finding. *)
+
+type report = {
+  mutants : int;
+  decoded : int;  (** mutants that still decoded to some value *)
+  rejected : int;  (** mutants rejected with a located "proto" Diag *)
+}
+
+val run :
+  ?pool:Bisa_base.Pool.t -> seed:int -> count:int -> unit -> (report, string) result
+(** [run ~seed ~count ()] first round-trips the pristine corpus, then
+    checks [count] mutants; [Error] describes the first contract
+    violation (lowest mutant index).  Mutant [i] is seeded by
+    [Rng.derive seed i], so the campaign shards across [pool] with
+    identical results at every worker count. *)

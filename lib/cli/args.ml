@@ -10,12 +10,21 @@ let icache_kb =
         ~env:(env "BISA_ICACHE_KB" "Default for $(b,--icache-kb).")
         ~doc:"L1 icache size in KB; 0 = perfect.")
 
+(* A plain [Arg.flag] with an env fallback cannot be switched back off at
+   the command line, so BISA_PERFECT_PRED=true would beat an explicit
+   flag.  An optional bool with [~vopt:true] keeps the bare
+   [--perfect-pred] spelling while letting [--perfect-pred=false]
+   override the environment: the command line always wins. *)
 let perfect_pred =
   Arg.(
-    value & flag
+    value
+    & opt ~vopt:true bool false
     & info [ "perfect-pred" ]
         ~env:(env "BISA_PERFECT_PRED" "Default for $(b,--perfect-pred).")
-        ~doc:"Use a perfect branch predictor.")
+        ~doc:
+          "Use a perfect branch predictor.  Bare $(b,--perfect-pred) means \
+           true; an explicit $(b,--perfect-pred=false) overrides \
+           $(b,BISA_PERFECT_PRED).")
 
 let jobs =
   Arg.(
@@ -128,3 +137,26 @@ let timeout =
           "Per-cell wall-clock budget in seconds: cells exceeding it are \
            recorded as timed out, the surviving results still print, and the \
            run exits nonzero.")
+
+(* --- typed request builders --------------------------------------------- *)
+
+(* The flags above assemble into the daemon protocol's typed values here,
+   so every binary — one-shot CLI or bisad client — builds literally the
+   same request the engine consumes, and configuration semantics cannot
+   drift between them. *)
+
+let isa =
+  Arg.(
+    value
+    & opt
+        (enum [ ("conv", Bisa_proto.Proto.Conv); ("block", Bisa_proto.Proto.Block) ])
+        Bisa_proto.Proto.Block
+    & info [ "isa" ]
+        ~env:(env "BISA_ISA" "Default for $(b,--isa).")
+        ~doc:"Which executable to run: conv or block.")
+
+let sim_cfg =
+  let mk icache_kb perfect_pred budget out_cap =
+    { Bisa_proto.Proto.icache_kb; perfect_pred; budget; out_cap }
+  in
+  Term.(const mk $ icache_kb $ perfect_pred $ budget $ out_cap)

@@ -11,7 +11,9 @@ val icache_kb : int Cmdliner.Term.t
     (default 16).  Interpret with {!Driver.cache_of_kb}. *)
 
 val perfect_pred : bool Cmdliner.Term.t
-(** [--perfect-pred] / [BISA_PERFECT_PRED]: perfect branch prediction. *)
+(** [--perfect-pred] / [BISA_PERFECT_PRED]: perfect branch prediction.
+    Bare [--perfect-pred] means true; an explicit [--perfect-pred=false]
+    beats the environment variable (the command line always wins). *)
 
 val jobs : int Cmdliner.Term.t
 (** [-j]/[--jobs] / [BISA_JOBS]: worker-domain count (default: the
@@ -55,3 +57,17 @@ val timeout : float option Cmdliner.Term.t
 (** [--timeout] / [BISA_TIMEOUT]: per-cell wall-clock budget in seconds;
     exceeding cells are recorded as timed out and the run exits
     nonzero. *)
+
+(** {1 Typed request builders}
+
+    The flags above assembled into the daemon protocol's typed values:
+    every binary — one-shot CLI or bisad client — builds literally the
+    same request values the serving engine consumes. *)
+
+val isa : Bisa_proto.Proto.isa Cmdliner.Term.t
+(** [--isa] / [BISA_ISA]: which executable to run (default [block]). *)
+
+val sim_cfg : Bisa_proto.Proto.sim_cfg Cmdliner.Term.t
+(** [--icache-kb], [--perfect-pred], [--budget] and [--out-cap] bundled
+    into the protocol's simulation configuration; interpret with
+    {!Bisa_proto.Proto.to_config}. *)

@@ -16,9 +16,9 @@ let read_source ?scale ~component path_or_name =
         (String.concat " " Bisa_workloads.Workloads.names)
   end
 
-let cache_of_kb = function
-  | 0 -> None
-  | kb -> Some { Bisa_uarch.Cache.size_bytes = kb * 1024; assoc = 4; line_bytes = 32 }
+(* The single definition lives with the protocol, so the daemon and the
+   one-shot CLIs cannot interpret --icache-kb differently. *)
+let cache_of_kb = Bisa_proto.Proto.cache_of_kb
 
 let guard ~component f =
   let render d = `Error (false, Bisa_base.Diag.render d) in

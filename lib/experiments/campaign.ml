@@ -119,14 +119,11 @@ let make_deadline timeout_s =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
-let run_cell (type p tb c) t
-    (module P : Bisa_timing.Pipeline.S
-      with type prog = p
-       and type tables = tb
-       and type code = c) ?tables ?code ~bench (cfg : Config.t) (prog : p) :
-    Metrics.t =
+let run_cell (type p a) t
+    (module P : Bisa_timing.Pipeline.S with type prog = p and type artifact = a)
+    ~bench (cfg : Config.t) (art : a) : Metrics.t =
   let cfg_hash = Config.fingerprint cfg in
-  let prog_hash = P.prog_hash prog in
+  let prog_hash = P.Artifact.hash art in
   let k = key ~bench ~isa:P.isa ~cfg_hash ~prog_hash in
   match read_done t k with
   | Some m -> m
@@ -134,8 +131,8 @@ let run_cell (type p tb c) t
     let ckpt = cell_path t k ".ckpt" in
     let deadline = Option.map make_deadline t.timeout_s in
     match
-      Checkpoint.drive (module P) ?tables ?code
-        ~snapshot:(ckpt, t.checkpoint_every) ?deadline cfg prog
+      Checkpoint.drive (module P)
+        ~snapshot:(ckpt, t.checkpoint_every) ?deadline cfg art
     with
     | Checkpoint.Finished (m, _out) ->
       write_done t k m;

@@ -37,22 +37,19 @@ val dir : t -> string
 
 val run_cell :
   t ->
-  (module Bisa_timing.Pipeline.S
-     with type prog = 'p
-      and type tables = 'tb
-      and type code = 'c) ->
-  ?tables:'tb ->
-  ?code:'c ->
+  (module Bisa_timing.Pipeline.S with type prog = 'p and type artifact = 'a) ->
   bench:string ->
   Bisa_timing.Config.t ->
-  'p ->
+  'a ->
   Bisa_timing.Metrics.t
-(** Run one cell under campaign protection: return the stored metrics if
-    the cell already finished, otherwise resume from its snapshot (if
-    any), simulate, persist the manifest atomically, and return.  Raises
-    {!Timed_out} when [timeout_s] expires first.
+(** Run one prepared artifact ({!Bisa_timing.Pipeline.S.prepare} /
+    [bundle]) as a cell under campaign protection: return the stored
+    metrics if the cell already finished, otherwise resume from its
+    snapshot (if any), simulate, persist the manifest atomically, and
+    return.  Raises {!Timed_out} when [timeout_s] expires first.
 
-    [code] runs the cell on the compiled functional executor.  The exec
+    An artifact carrying threaded code runs the cell on the compiled
+    functional executor.  Artifacts are derived state and the exec
     backend is deliberately absent from the cell key: both backends
     drive identical executor state and produce identical metrics, so a
     campaign started under one backend may be finished under the

@@ -65,6 +65,11 @@ type t = {
      tables, one per program, shared across configurations and domains. *)
   code_conv_cache : (string, Bisa_timing.Pipeline.Conv.code cell) Hashtbl.t;
   code_block_cache : (string, Bisa_timing.Pipeline.Block.code cell) Hashtbl.t;
+  (* Artifact bundles (program witness + tables + code + content hash):
+     the form every timing run consumes.  Memoized so the content hash —
+     an O(program) encode — is computed once, not once per grid cell. *)
+  art_conv_cache : (string, Bisa_timing.Pipeline.Conv.artifact cell) Hashtbl.t;
+  art_block_cache : (string, Bisa_timing.Pipeline.Block.artifact cell) Hashtbl.t;
   mutable on_compute : string -> unit;
 }
 
@@ -98,6 +103,8 @@ let create ?scale ?(paper_caches = false) ?(pool = Pool.sequential)
     pre_block_cache = Hashtbl.create 16;
     code_conv_cache = Hashtbl.create 16;
     code_block_cache = Hashtbl.create 16;
+    art_conv_cache = Hashtbl.create 16;
+    art_block_cache = Hashtbl.create 16;
     on_compute = ignore;
   }
 
@@ -190,6 +197,34 @@ let code_block t (w : Workloads.t) =
       ignore (predecoded_block t w);
       Bisa_timing.Pipeline.Block.compile_trusted (compiled t w).block)
 
+(* The artifact memo bundles the predecode and threaded-code memos (code
+   only under ~exec:Compiled) with the program's content hash; trust was
+   discharged by the predecode memo.  This is the single value every
+   timing run, campaign cell and checkpoint consumes. *)
+let artifact_conv t (w : Workloads.t) =
+  memoize t t.art_conv_cache w.name
+    ~label:("artifact:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Conv.isa)
+    ~compute:(fun () ->
+      let tables = predecoded_conv t w in
+      let code =
+        match t.exec with
+        | Bisa_sim.Compile.Interp -> None
+        | Bisa_sim.Compile.Compiled -> Some (code_conv t w)
+      in
+      Bisa_timing.Pipeline.Conv.bundle ?code ~tables (compiled t w).conv)
+
+let artifact_block t (w : Workloads.t) =
+  memoize t t.art_block_cache w.name
+    ~label:("artifact:" ^ w.name ^ "/" ^ Bisa_timing.Pipeline.Block.isa)
+    ~compute:(fun () ->
+      let tables = predecoded_block t w in
+      let code =
+        match t.exec with
+        | Bisa_sim.Compile.Interp -> None
+        | Bisa_sim.Compile.Compiled -> Some (code_block t w)
+      in
+      Bisa_timing.Pipeline.Block.bundle ?code ~tables (compiled t w).block)
+
 let key_of (cfg : Config.t) : cache_key =
   ( Option.map (fun (c : Cache.config) -> (c.size_bytes, c.assoc, c.line_bytes)) cfg.icache,
     cfg.predictor )
@@ -206,39 +241,21 @@ let run t (w : Workloads.t) (cfg : Config.t) ~isa ~f =
         (match cfg.predictor with Config.Real -> "real" | Config.Perfect -> "perfect");
       f (compiled t w))
 
-(* Both ISAs run through the one [Pipeline.S] contract; only the program
-   accessor and the predecode memo table differ per instantiation.  With a
-   campaign attached, every cell goes through its crash-safe path:
-   finished cells are read back from their manifests, interrupted ones
-   resume from their snapshots. *)
-let run_pipe (type p tb c) t
-    (module P : Bisa_timing.Pipeline.S
-      with type prog = p
-       and type tables = tb
-       and type code = c) ~(prog_of : Bisa_compiler.Compiler.compiled -> p)
-    ~(tables : Workloads.t -> tb) ~(code : Workloads.t -> c)
-    (w : Workloads.t) cfg =
-  run t w cfg ~isa:P.isa ~f:(fun cm ->
-      let prog = prog_of cm in
-      let tb = tables w in
-      let code =
-        match t.exec with
-        | Bisa_sim.Compile.Interp -> None
-        | Bisa_sim.Compile.Compiled -> Some (code w)
-      in
+(* Both ISAs run through the one [Pipeline.S] contract; only the artifact
+   memo differs per instantiation.  With a campaign attached, every cell
+   goes through its crash-safe path: finished cells are read back from
+   their manifests, interrupted ones resume from their snapshots. *)
+let run_pipe (type p a) t
+    (module P : Bisa_timing.Pipeline.S with type prog = p and type artifact = a)
+    ~(artifact : Workloads.t -> a) (w : Workloads.t) cfg =
+  run t w cfg ~isa:P.isa ~f:(fun _cm ->
+      let art = artifact w in
       match t.campaign with
-      | Some camp ->
-        Campaign.run_cell camp (module P) ~tables:tb ?code ~bench:w.name cfg prog
-      | None -> P.run ~tables:tb ?code cfg prog)
+      | Some camp -> Campaign.run_cell camp (module P) ~bench:w.name cfg art
+      | None -> fst (P.run_artifact cfg art))
 
 let run_conv t w cfg =
-  run_pipe t
-    (module Bisa_timing.Pipeline.Conv)
-    ~prog_of:(fun c -> c.Bisa_compiler.Compiler.conv)
-    ~tables:(predecoded_conv t) ~code:(code_conv t) w cfg
+  run_pipe t (module Bisa_timing.Pipeline.Conv) ~artifact:(artifact_conv t) w cfg
 
 let run_block t w cfg =
-  run_pipe t
-    (module Bisa_timing.Pipeline.Block)
-    ~prog_of:(fun c -> c.Bisa_compiler.Compiler.block)
-    ~tables:(predecoded_block t) ~code:(code_block t) w cfg
+  run_pipe t (module Bisa_timing.Pipeline.Block) ~artifact:(artifact_block t) w cfg

@@ -74,24 +74,31 @@ val code_conv : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Conv.cod
 
 val code_block : t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Block.code
 
+val artifact_conv :
+  t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Conv.artifact
+(** The workload's prepared artifact bundle — program witness, memoized
+    predecode tables, threaded code (when the harness was created with
+    [~exec:Compiled]) and content hash — built exactly once and shared
+    like the tables it bundles.  Fires the compute hook with
+    ["artifact:<bench>/<isa>"].  This is the value every timing run,
+    campaign cell and checkpoint consumes. *)
+
+val artifact_block :
+  t -> Bisa_workloads.Workloads.t -> Bisa_timing.Pipeline.Block.artifact
+
 val run_pipe :
   t ->
-  (module Bisa_timing.Pipeline.S
-     with type prog = 'p
-      and type tables = 'tb
-      and type code = 'c) ->
-  prog_of:(Bisa_compiler.Compiler.compiled -> 'p) ->
-  tables:(Bisa_workloads.Workloads.t -> 'tb) ->
-  code:(Bisa_workloads.Workloads.t -> 'c) ->
+  (module Bisa_timing.Pipeline.S with type prog = 'p and type artifact = 'a) ->
+  artifact:(Bisa_workloads.Workloads.t -> 'a) ->
   Bisa_workloads.Workloads.t ->
   Bisa_timing.Config.t ->
   Bisa_timing.Metrics.t
 (** Timing run through any {!Bisa_timing.Pipeline.S} implementation,
-    memoized on (benchmark, [P.isa], icache, predictor).  [code] is only
-    consulted when the harness was created with [~exec:Compiled].  Safe
-    to call concurrently from pool workers; a given cell compiles and
-    simulates exactly once.  {!run_conv} and {!run_block} are its two
-    standard instantiations. *)
+    memoized on (benchmark, [P.isa], icache, predictor).  [artifact]
+    supplies the prepared bundle (normally {!artifact_conv} /
+    {!artifact_block}).  Safe to call concurrently from pool workers; a
+    given cell compiles and simulates exactly once.  {!run_conv} and
+    {!run_block} are its two standard instantiations. *)
 
 val run_conv :
   t -> Bisa_workloads.Workloads.t -> Bisa_timing.Config.t -> Bisa_timing.Metrics.t

@@ -1,0 +1,44 @@
+(* The bisad client: blocking request/response over the daemon's Unix
+   socket.  One call = one frame out, one frame in; requests on a single
+   connection are answered in order, so interleaved calls need separate
+   connections. *)
+
+module Diag = Bisa_base.Diag
+module Proto = Bisa_proto.Proto
+
+let component = "bisad-client"
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Diag.fail ~component "cannot connect to %s: %s (is bisad serving?)" path
+      (Unix.error_message e)
+
+(* Poll until the server's socket accepts — for the start-then-drive
+   pattern where the server was just forked. *)
+let retry_connect ?(attempts = 100) ?(delay = 0.05) path =
+  let rec go n =
+    match connect path with
+    | fd -> fd
+    | exception Diag.Fail _ when n > 1 ->
+      Unix.sleepf delay;
+      go (n - 1)
+  in
+  go attempts
+
+let call fd req =
+  Proto.write_frame fd (Proto.encode_request req);
+  match Proto.read_frame fd with
+  | Some payload -> Proto.decode_response payload
+  | None -> Diag.fail ~component "server closed the connection without replying"
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_conn path f =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)
+
+let one_shot path req = with_conn path (fun fd -> call fd req)

@@ -1,0 +1,17 @@
+(** Blocking bisad client: one call = one frame out, one frame in.
+    Failures (no server, torn frame, malformed response) raise
+    {!Bisa_base.Diag.Fail}. *)
+
+val connect : string -> Unix.file_descr
+
+val retry_connect : ?attempts:int -> ?delay:float -> string -> Unix.file_descr
+(** Poll [connect] until the socket accepts — for driving a server that
+    was just started.  Defaults: 100 attempts, 50ms apart. *)
+
+val call : Unix.file_descr -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response
+
+val close : Unix.file_descr -> unit
+
+val with_conn : string -> (Unix.file_descr -> 'a) -> 'a
+
+val one_shot : string -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response

@@ -1,0 +1,647 @@
+(* The bisad request engine: every request the daemon serves lands here,
+   against a content-addressed artifact cache.
+
+   Three cache layers, all exactly-once under concurrency (the Harness
+   memo-cell discipline — one requester computes, the rest block on the
+   cell), all keyed by content, never by name:
+
+     - compiled MiniC     keyed by the source hash
+     - prepared artifacts keyed by (program hash, exec backend) — the
+                          Pipeline.Artifact bundle: verified witness,
+                          predecode tables, optional threaded code
+     - finished results   keyed by program hash x Config.fingerprint x
+                          exec backend x request shape (mode, out_cap)
+
+   Trust is decided once, at artifact preparation ([Pipeline.prepare]
+   runs the verifier); replays are pure, which is what makes the result
+   cache sound.  Finished results are additionally spooled to disk
+   through Atomic_file, so a SIGKILL loses only in-flight requests: the
+   next start reloads every finished response byte-identically. *)
+
+module Pool = Bisa_base.Pool
+module Diag = Bisa_base.Diag
+module Codec = Bisa_base.Codec
+module Pipeline = Bisa_timing.Pipeline
+module Metrics = Bisa_timing.Metrics
+module Proto = Bisa_proto.Proto
+
+let component = "bisad"
+
+(* --- cached result payloads -------------------------------------------- *)
+
+(* What a finished simulation stores: the exact strings the one-shot CLI
+   would print, plus the structured bits responses are rendered from.
+   [show_output] is deliberately not part of the cache key — rendering
+   happens per request from the stored fields. *)
+type payload =
+  | Fun_r of { out : string; ops : int; ret : int; notes : string }
+  | Tim_r of { out : string; summary : string }
+  | Cell_r of { summary : string }
+
+type entry = { prog_hash : int64; payload : payload }
+
+(* Spooled-entry file format (one atomically-written file per result). *)
+let spool_magic = "BISARESP"
+let spool_version = 1
+
+let write_entry key (e : entry) =
+  let w = Codec.W.create () in
+  Codec.W.string w spool_magic;
+  Codec.W.int w spool_version;
+  Codec.W.string w key;
+  Codec.W.i64 w e.prog_hash;
+  (match e.payload with
+  | Fun_r { out; ops; ret; notes } ->
+    Codec.W.int w 0;
+    Codec.W.string w out;
+    Codec.W.int w ops;
+    Codec.W.int w ret;
+    Codec.W.string w notes
+  | Tim_r { out; summary } ->
+    Codec.W.int w 1;
+    Codec.W.string w out;
+    Codec.W.string w summary
+  | Cell_r { summary } ->
+    Codec.W.int w 2;
+    Codec.W.string w summary);
+  Codec.W.contents w
+
+let read_entry s =
+  let r = Codec.R.of_string s in
+  if Codec.R.string r <> spool_magic then
+    Diag.fail ~component "not a spooled result";
+  let v = Codec.R.int r in
+  if v <> spool_version then
+    Diag.fail ~component "spooled result has version %d (expected %d)" v
+      spool_version;
+  let key = Codec.R.string r in
+  let prog_hash = Codec.R.i64 r in
+  let payload =
+    match Codec.R.int r with
+    | 0 ->
+      let out = Codec.R.string r in
+      let ops = Codec.R.int r in
+      let ret = Codec.R.int r in
+      let notes = Codec.R.string r in
+      Fun_r { out; ops; ret; notes }
+    | 1 ->
+      let out = Codec.R.string r in
+      let summary = Codec.R.string r in
+      Tim_r { out; summary }
+    | 2 -> Cell_r { summary = Codec.R.string r }
+    | n -> Diag.fail ~component "unknown spooled payload tag %d" n
+  in
+  (key, { prog_hash; payload })
+
+(* --- memo cells (the Harness discipline) -------------------------------- *)
+
+type 'a cell_state = Busy | Ready of 'a | Poisoned of exn * Printexc.raw_backtrace
+type 'a cell = { cm : Mutex.t; cc : Condition.t; mutable state : 'a cell_state }
+
+let wait_cell cell =
+  Mutex.lock cell.cm;
+  let rec go () =
+    match cell.state with
+    | Busy ->
+      Condition.wait cell.cc cell.cm;
+      go ()
+    | Ready v ->
+      Mutex.unlock cell.cm;
+      v
+    | Poisoned (e, bt) ->
+      Mutex.unlock cell.cm;
+      Printexc.raise_with_backtrace e bt
+  in
+  go ()
+
+let fill_cell cell state =
+  Mutex.lock cell.cm;
+  cell.state <- state;
+  Condition.broadcast cell.cc;
+  Mutex.unlock cell.cm
+
+type t = {
+  pool : Pool.t;
+  spool_dir : string option;
+  result_cap : int;
+  lock : Mutex.t;  (* guards the tables and counters, never a computation *)
+  compiled : (int64, Bisa_compiler.Compiler.compiled cell) Hashtbl.t;
+  bench_compiled : (string, Bisa_compiler.Compiler.compiled cell) Hashtbl.t;
+  conv_arts : (int64 * Bisa_sim.Compile.backend, Pipeline.Conv.artifact cell) Hashtbl.t;
+  block_arts :
+    (int64 * Bisa_sim.Compile.backend, Pipeline.Block.artifact cell) Hashtbl.t;
+  results : (string, entry cell) Hashtbl.t;
+  (* Insertion order of Ready results, for FIFO eviction at [result_cap]. *)
+  order : string Queue.t;
+  mutable served : int;
+  mutable sim_hits : int;
+  mutable sim_misses : int;
+  mutable spooled : int;
+  mutable inflight_peak : int;
+  mutable probe : unit -> Bisa_obs.Probe.t option;
+}
+
+let memoize t table key ~compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt table key with
+  | Some cell ->
+    Mutex.unlock t.lock;
+    wait_cell cell
+  | None ->
+    let cell = { cm = Mutex.create (); cc = Condition.create (); state = Busy } in
+    Hashtbl.add table key cell;
+    Mutex.unlock t.lock;
+    (match compute () with
+    | v ->
+      fill_cell cell (Ready v);
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      fill_cell cell (Poisoned (e, bt));
+      Printexc.raise_with_backtrace e bt)
+
+(* --- construction and the spool ----------------------------------------- *)
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let spool_path dir key = Filename.concat dir (Codec.hash_hex key ^ ".resp")
+
+let note_result t key entry =
+  (* Called with the result freshly computed: record it for eviction and
+     spool it.  The spool write is atomic, so a kill at any instant
+     leaves either the whole file or nothing. *)
+  Mutex.lock t.lock;
+  Queue.push key t.order;
+  if Queue.length t.order > t.result_cap then begin
+    let victim = Queue.pop t.order in
+    Hashtbl.remove t.results victim
+  end;
+  Mutex.unlock t.lock;
+  match t.spool_dir with
+  | None -> ()
+  | Some dir ->
+    Bisa_base.Atomic_file.write_string (spool_path dir key) (write_entry key entry);
+    Mutex.lock t.lock;
+    t.spooled <- t.spooled + 1;
+    Mutex.unlock t.lock
+
+let load_spool t dir =
+  mkdir_p dir;
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".resp" then begin
+        let path = Filename.concat dir f in
+        match
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          read_entry s
+        with
+        | key, entry ->
+          if not (Hashtbl.mem t.results key) then begin
+            Hashtbl.add t.results key
+              { cm = Mutex.create (); cc = Condition.create (); state = Ready entry };
+            Queue.push key t.order;
+            t.spooled <- t.spooled + 1
+          end
+        | exception _ ->
+          (* A foreign or stale file; atomic writes mean it cannot be a
+             torn one of ours.  Leave it alone. *)
+          ()
+      end)
+    files
+
+let create ?(pool = Pool.sequential) ?spool_dir ?(result_cap = 4096) () =
+  let t =
+    {
+      pool;
+      spool_dir;
+      result_cap;
+      lock = Mutex.create ();
+      compiled = Hashtbl.create 64;
+      bench_compiled = Hashtbl.create 16;
+      conv_arts = Hashtbl.create 64;
+      block_arts = Hashtbl.create 64;
+      results = Hashtbl.create 256;
+      order = Queue.create ();
+      served = 0;
+      sim_hits = 0;
+      sim_misses = 0;
+      spooled = 0;
+      inflight_peak = 0;
+      probe = (fun () -> None);
+    }
+  in
+  Option.iter (load_spool t) spool_dir;
+  t
+
+let set_probe_hook t hook = t.probe <- hook
+
+let note_inflight t n =
+  Mutex.lock t.lock;
+  if n > t.inflight_peak then t.inflight_peak <- n;
+  Mutex.unlock t.lock
+
+(* Peak resident set, straight from the kernel's accounting. *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          close_in ic;
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+        end
+        else go ()
+      | exception End_of_file ->
+        close_in ic;
+        0
+    in
+    go ()
+
+let stats t : Proto.stats =
+  Mutex.lock t.lock;
+  let s =
+    {
+      Proto.served = t.served;
+      sim_hits = t.sim_hits;
+      sim_misses = t.sim_misses;
+      artifacts = Hashtbl.length t.conv_arts + Hashtbl.length t.block_arts;
+      results = Hashtbl.length t.results;
+      spooled = t.spooled;
+      inflight_peak = t.inflight_peak;
+      rss_kb = vm_hwm_kb ();
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* --- program loading ----------------------------------------------------- *)
+
+let src_hash = function
+  | Proto.Source { src; libs } ->
+    Codec.fnv1a64 (String.concat "\x00" (("src:" ^ src) :: libs))
+  | Proto.Conv_bin b -> Codec.fnv1a64 ("cbin:" ^ b)
+  | Proto.Block_bin b -> Codec.fnv1a64 ("bbin:" ^ b)
+
+let compile_source t ~src ~libs =
+  memoize t t.compiled (src_hash (Proto.Source { src; libs })) ~compute:(fun () ->
+      Bisa_compiler.Compiler.compile ~library_funcs:libs src)
+
+let conv_prog t (src : Proto.prog_src) =
+  match src with
+  | Proto.Source { src; libs } -> (compile_source t ~src ~libs).conv
+  | Proto.Conv_bin b -> Bisa_isa.Encode.conv_of_bytes b
+  | Proto.Block_bin _ ->
+    Diag.fail ~component "this request needs a conventional executable, got a \
+                          block-structured binary"
+
+let block_prog t (src : Proto.prog_src) =
+  match src with
+  | Proto.Source { src; libs } -> (compile_source t ~src ~libs).block
+  | Proto.Block_bin b -> Bisa_isa.Encode.block_of_bytes b
+  | Proto.Conv_bin _ ->
+    Diag.fail ~component "this request needs a block-structured executable, got \
+                          a conventional binary"
+
+(* Artifact preparation is the trust boundary: [prepare] verifies, and
+   the memo makes that a per-(program, backend) one-time event.  The
+   verification rejection is poisoned into the cell, so repeat requests
+   for a bad program fail fast without re-verifying. *)
+let conv_artifact t ~exec prog =
+  let h = Pipeline.Conv.prog_hash prog in
+  (h, memoize t t.conv_arts (h, exec) ~compute:(fun () -> Pipeline.Conv.prepare ~exec prog))
+
+let block_artifact t ~exec prog =
+  let h = Pipeline.Block.prog_hash prog in
+  (h, memoize t t.block_arts (h, exec) ~compute:(fun () -> Pipeline.Block.prepare ~exec prog))
+
+(* --- verification ------------------------------------------------------- *)
+
+let reject what diags =
+  let summary =
+    Diag.error ~component
+      (Printf.sprintf "verification rejected %s (%d diagnostic%s)" what
+         (List.length diags)
+         (if List.length diags = 1 then "" else "s"))
+  in
+  raise (Diag.Fail summary)
+
+(* --- the result cache ---------------------------------------------------- *)
+
+let exec_name = function
+  | Bisa_sim.Compile.Interp -> "interp"
+  | Bisa_sim.Compile.Compiled -> "compiled"
+
+(* The serving cache key (DESIGN.md section 16): program content hash x
+   configuration fingerprint x exec backend x request shape.  The exec
+   backend is in the key even though the backends are differentially
+   proven equivalent — the daemon caches rendered bytes, and equivalence
+   is a property we re-check in tests, not one the cache assumes. *)
+let sim_key ~what ~isa ~prog_hash ~cfg ~exec ~mode ~out_cap =
+  Printf.sprintf "%s|%s|%016Lx|%016Lx|%s|%s|%s" what isa prog_hash
+    (Bisa_timing.Config.fingerprint cfg)
+    (exec_name exec)
+    (match mode with Proto.Timing -> "timing" | Proto.Functional -> "functional")
+    (match out_cap with None -> "full" | Some n -> string_of_int n)
+
+let find_result t key =
+  Mutex.lock t.lock;
+  let cell = Hashtbl.find_opt t.results key in
+  Mutex.unlock t.lock;
+  Option.map wait_cell cell
+
+let compute_result t key ~compute =
+  let fresh = ref false in
+  let entry =
+    memoize t t.results key ~compute:(fun () ->
+        fresh := true;
+        let e = compute () in
+        e)
+  in
+  if !fresh then note_result t key entry;
+  (entry, not !fresh)
+
+(* --- request handlers ---------------------------------------------------- *)
+
+module type FUNC_EXEC = sig
+  type t
+
+  val create : unit -> t
+  val set_budget : t -> int -> unit
+  val set_out_cap : t -> int -> unit
+  val output : t -> Bisa_sim.Output.t
+  val ops : t -> int
+  val trap : t -> Diag.t option
+  val run_interp : t -> unit
+  val run_compiled : t -> unit
+end
+
+let run_functional (type s) ~budget ~out_cap ~exec
+    (module E : FUNC_EXEC with type t = s) =
+  let e = E.create () in
+  E.set_budget e budget;
+  Option.iter (E.set_out_cap e) out_cap;
+  (match exec with
+  | Bisa_sim.Compile.Interp -> E.run_interp e
+  | Bisa_sim.Compile.Compiled -> E.run_compiled e);
+  let out = E.output e in
+  let notes =
+    match E.trap e with None -> "" | Some d -> Diag.render d ^ "\n"
+  in
+  Fun_r
+    {
+      out = Bisa_sim.Output.to_string out;
+      ops = E.ops e;
+      ret = out.Bisa_sim.Output.ret;
+      notes;
+    }
+
+let functional_conv prog ~budget ~out_cap ~exec =
+  run_functional ~budget ~out_cap ~exec
+    (module struct
+      module E = Bisa_sim.Conv_exec
+
+      type t = E.t
+
+      let create () = E.create prog
+      let set_budget = E.set_budget
+      let set_out_cap = E.set_out_cap
+      let output = E.output
+      let ops = E.dyn_insns
+      let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
+
+      let run_interp e =
+        let rec go () = match E.step e with Some _ -> go () | None -> () in
+        go ()
+
+      let run_compiled e =
+        let module C = Bisa_sim.Compile.Conv in
+        let ce = C.bind (C.compile_trusted prog) e in
+        let rec go () = match C.step ce with Some _ -> go () | None -> () in
+        go ()
+    end)
+
+let functional_block prog ~budget ~out_cap ~exec =
+  run_functional ~budget ~out_cap ~exec
+    (module struct
+      module E = Bisa_sim.Block_exec
+
+      type t = E.t
+
+      let create () = E.create prog
+      let set_budget = E.set_budget
+      let set_out_cap = E.set_out_cap
+      let output = E.output
+      let ops = E.retired_ops
+      let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
+
+      let run_interp e =
+        let rec go () = match E.step e with Some _ -> go () | None -> () in
+        go ()
+
+      let run_compiled e =
+        let module C = Bisa_sim.Compile.Block in
+        let ce = C.bind (C.compile_trusted prog) e in
+        let rec go () = match C.step ce with Some _ -> go () | None -> () in
+        go ()
+    end)
+
+let render_sim ~show_output ~cached ~prog_hash = function
+  | Fun_r { out; ops; ret; notes } ->
+    Proto.Sim
+      {
+        stdout = Proto.render_functional ~show_output ~out ~ops ~ret;
+        notes;
+        prog_hash;
+        cached;
+      }
+  | Tim_r { out; summary } ->
+    Proto.Sim
+      {
+        stdout = Proto.render_timing ~show_output ~out ~summary;
+        notes = "";
+        prog_hash;
+        cached;
+      }
+  | Cell_r _ -> assert false
+
+let simulate (type p a) t
+    (module P : Pipeline.S with type prog = p and type artifact = a)
+    ~(artifact : exec:Bisa_sim.Compile.backend -> p -> int64 * a)
+    ~(functional :
+       p -> budget:int -> out_cap:int option -> exec:Bisa_sim.Compile.backend -> payload)
+    (prog : p) ~mode ~exec ~(cfg : Proto.sim_cfg) ~show_output =
+  let config = Proto.to_config cfg in
+  let prog_hash = P.prog_hash prog in
+  let key =
+    sim_key ~what:"sim" ~isa:P.isa ~prog_hash ~cfg:config ~exec ~mode
+      ~out_cap:cfg.out_cap
+  in
+  match find_result t key with
+  | Some entry ->
+    Mutex.lock t.lock;
+    t.sim_hits <- t.sim_hits + 1;
+    Mutex.unlock t.lock;
+    render_sim ~show_output ~cached:true ~prog_hash:entry.prog_hash entry.payload
+  | None ->
+    let entry, raced =
+      compute_result t key ~compute:(fun () ->
+          let payload =
+            match mode with
+            | Proto.Functional ->
+              (* The functional path has no artifact to hide behind, so
+                 verification is discharged explicitly, exactly as the
+                 one-shot CLI does before running. *)
+              (match P.verify prog with
+              | [] -> ()
+              | ds -> reject "program" ds);
+              functional prog ~budget:cfg.budget ~out_cap:cfg.out_cap ~exec
+            | Proto.Timing ->
+              let _, art = artifact ~exec prog in
+              let m, out =
+                P.run_artifact ?probe:(t.probe ()) ?out_cap:cfg.out_cap config art
+              in
+              Tim_r
+                {
+                  out = Bisa_sim.Output.to_string out;
+                  summary = Metrics.summary ~name:P.descr m;
+                }
+          in
+          { prog_hash; payload })
+    in
+    Mutex.lock t.lock;
+    if raced then t.sim_hits <- t.sim_hits + 1 else t.sim_misses <- t.sim_misses + 1;
+    Mutex.unlock t.lock;
+    render_sim ~show_output ~cached:raced ~prog_hash:entry.prog_hash entry.payload
+
+let bench_key ~bench ~scale =
+  bench ^ "@" ^ (match scale with None -> "default" | Some n -> string_of_int n)
+
+let cell t ~bench ~scale ~isa ~exec ~(cfg : Proto.sim_cfg) =
+  let w =
+    match Bisa_workloads.Workloads.find bench with
+    | w -> w
+    | exception Invalid_argument _ ->
+      Diag.fail ~component "no such workload: %s (workloads: %s)" bench
+        (String.concat " " Bisa_workloads.Workloads.names)
+  in
+  let compiled =
+    memoize t t.bench_compiled (bench_key ~bench ~scale) ~compute:(fun () ->
+        match scale with
+        | Some scale -> Bisa_workloads.Workloads.compile ~scale w
+        | None -> Bisa_workloads.Workloads.compile w)
+  in
+  let config = Proto.to_config cfg in
+  let run (type p a) (module P : Pipeline.S with type prog = p and type artifact = a)
+      ~(artifact : exec:Bisa_sim.Compile.backend -> p -> int64 * a) (prog : p) =
+    let prog_hash, art = artifact ~exec prog in
+    let key =
+      sim_key
+        ~what:(bench_key ~bench ~scale)
+        ~isa:P.isa ~prog_hash ~cfg:config ~exec ~mode:Proto.Timing
+        ~out_cap:cfg.out_cap
+    in
+    match find_result t key with
+    | Some entry -> (entry, true)
+    | None ->
+      compute_result t key ~compute:(fun () ->
+          let m, _out =
+            P.run_artifact ?probe:(t.probe ()) ?out_cap:cfg.out_cap config art
+          in
+          {
+            prog_hash;
+            payload =
+              Cell_r { summary = Metrics.summary ~name:(bench ^ "/" ^ P.isa) m };
+          })
+  in
+  let entry, cached =
+    match isa with
+    | Proto.Conv ->
+      run (module Pipeline.Conv) ~artifact:(conv_artifact t) compiled.conv
+    | Proto.Block ->
+      run (module Pipeline.Block) ~artifact:(block_artifact t) compiled.block
+  in
+  Mutex.lock t.lock;
+  if cached then t.sim_hits <- t.sim_hits + 1 else t.sim_misses <- t.sim_misses + 1;
+  Mutex.unlock t.lock;
+  match entry.payload with
+  | Cell_r { summary } ->
+    Proto.Cell_done { summary; prog_hash = entry.prog_hash; cached }
+  | Fun_r _ | Tim_r _ ->
+    Diag.fail ~component "cell cache entry has a simulate payload (key clash)"
+
+(* Every failure a request can legitimately produce becomes a structured
+   Err response; the connection (and the daemon) survives. *)
+let guard f =
+  match f () with
+  | resp -> resp
+  | exception Bisa_compiler.Compiler.Compile_error d -> Proto.Err [ d ]
+  | exception Bisa_isa.Encode.Malformed d -> Proto.Err [ d ]
+  | exception Diag.Fail d -> Proto.Err [ d ]
+  | exception Bisa_sim.Conv_exec.Runaway n ->
+    Proto.Err [ Bisa_sim.Conv_exec.runaway_diag n ]
+  | exception Bisa_sim.Block_exec.Runaway n ->
+    Proto.Err [ Bisa_sim.Block_exec.runaway_diag n ]
+  | exception Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
+    Proto.Err [ Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested ]
+  | exception Bisa_sim.Memory.Unaligned a ->
+    Proto.Err
+      [ Diag.error ~component (Printf.sprintf "unaligned memory access at 0x%x" a) ]
+  | exception Sys_error msg -> Proto.Err [ Diag.error ~component msg ]
+
+let handle_one t (req : Proto.request) : Proto.response =
+  Mutex.lock t.lock;
+  t.served <- t.served + 1;
+  Mutex.unlock t.lock;
+  guard @@ fun () ->
+  match req with
+  | Proto.Ping -> Proto.Pong { server = Proto.version }
+  | Proto.Stats -> Proto.Stats_r (stats t)
+  | Proto.Shutdown -> Proto.Bye
+  | Proto.Compile { src; isa = Proto.Conv } ->
+    let p = conv_prog t src in
+    let bytes = Bisa_isa.Encode.conv_to_bytes p in
+    Proto.Binary { isa = Proto.Conv; bytes; prog_hash = Codec.fnv1a64 bytes }
+  | Proto.Compile { src; isa = Proto.Block } ->
+    let p = block_prog t src in
+    let bytes = Bisa_isa.Encode.block_to_bytes p in
+    Proto.Binary { isa = Proto.Block; bytes; prog_hash = Codec.fnv1a64 bytes }
+  | Proto.Verify { src } ->
+    (* Verify every executable the source carries, like --verify-only. *)
+    let diags =
+      match src with
+      | Proto.Source _ ->
+        Pipeline.Conv.verify (conv_prog t src)
+        @ Pipeline.Block.verify (block_prog t src)
+      | Proto.Conv_bin _ -> Pipeline.Conv.verify (conv_prog t src)
+      | Proto.Block_bin _ -> Pipeline.Block.verify (block_prog t src)
+    in
+    Proto.Verdict { diags }
+  | Proto.Simulate { src; isa = Proto.Conv; mode; exec; cfg; show_output } ->
+    simulate t
+      (module Pipeline.Conv)
+      ~artifact:(conv_artifact t) ~functional:functional_conv (conv_prog t src)
+      ~mode ~exec ~cfg ~show_output
+  | Proto.Simulate { src; isa = Proto.Block; mode; exec; cfg; show_output } ->
+    simulate t
+      (module Pipeline.Block)
+      ~artifact:(block_artifact t) ~functional:functional_block (block_prog t src)
+      ~mode ~exec ~cfg ~show_output
+  | Proto.Cell { bench; scale; isa; exec; cfg } -> cell t ~bench ~scale ~isa ~exec ~cfg
+  | Proto.Batch _ ->
+    Diag.fail ~component "Batch must be handled by the dispatcher, not handle_one"
+
+(* Batch requests shard across the worker pool; sub-request order is
+   preserved ([Pool.map_list]'s determinism contract), so a batch
+   response is byte-identical at every -j. *)
+let handle t (req : Proto.request) : Proto.response =
+  match req with
+  | Proto.Batch reqs -> Proto.Batch_r (Pool.map_list t.pool (handle_one t) reqs)
+  | req -> handle_one t req

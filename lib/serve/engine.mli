@@ -1,0 +1,48 @@
+(** The bisad request engine: typed {!Bisa_proto.Proto.request} values in,
+    typed responses out, against a content-addressed artifact cache.
+
+    Three exactly-once cache layers (the Harness memo-cell discipline),
+    all keyed by content, never by name: compiled MiniC by source hash;
+    prepared {!Bisa_timing.Pipeline.S.Artifact} bundles by
+    (program hash, exec backend); finished results by program hash x
+    {!Bisa_timing.Config.fingerprint} x exec backend x request shape.
+    Trust is decided once, at artifact preparation — replays are pure,
+    which is what makes the result cache sound.
+
+    With a spool directory, every finished result is also written to disk
+    through {!Bisa_base.Atomic_file}, and reloaded on the next [create]:
+    a SIGKILL loses only in-flight requests, never a finished byte. *)
+
+type t
+
+val create :
+  ?pool:Bisa_base.Pool.t -> ?spool_dir:string -> ?result_cap:int -> unit -> t
+(** [pool] shards [Batch] requests (default sequential).  [spool_dir] is
+    created if missing and scanned for previously spooled results.
+    [result_cap] (default 4096) bounds the in-memory result cache;
+    eviction is insertion-order FIFO, and evicted entries remain on the
+    spool. *)
+
+val handle : t -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response
+(** Serve one request.  Never raises: every failure — compile error,
+    malformed binary, verification rejection, runaway, bad workload
+    name — returns [Err diags].  [Batch] shards across the pool with
+    submission-order results, so batch responses are byte-identical at
+    every worker count.  [Shutdown] returns [Bye]; acting on it is the
+    server loop's job. *)
+
+val stats : t -> Bisa_proto.Proto.stats
+
+val set_probe_hook : t -> (unit -> Bisa_obs.Probe.t option) -> unit
+(** Called once per timing simulation this engine runs; a [Some probe]
+    return is attached to that run only (session-scoped — it never leaks
+    into another request's simulation, and cached replays never fire
+    it). *)
+
+val note_inflight : t -> int -> unit
+(** Record an observed in-flight queue depth (the server loop calls this;
+    the peak is reported in {!stats}). *)
+
+val vm_hwm_kb : unit -> int
+(** Peak resident set size of this process in KB, from
+    [/proc/self/status]; 0 where unavailable. *)

@@ -1,0 +1,242 @@
+(* The bisad server loop: a single-threaded select loop over a Unix
+   domain socket, speaking Proto's length-prefixed frames.
+
+   Dispatch is serial and in submission order — parallelism lives inside
+   the engine (Batch requests shard over its pool), not in the loop, so
+   responses are deterministic and the caches need no per-connection
+   reasoning.  Backpressure is a bounded in-flight queue: when one drain
+   of the read buffers yields more complete frames than [max_inflight],
+   the excess are answered with a structured busy Err immediately,
+   without executing them.
+
+   Failure containment:
+     - a payload that fails to decode gets an Err response with the
+       Diag's byte offset; the connection survives (framing is intact)
+     - a frame whose length prefix is malformed kills only that
+       connection — there is nothing left to resynchronize on
+     - SIGPIPE is ignored; writes to a vanished client just drop the
+       connection. *)
+
+module Diag = Bisa_base.Diag
+module Proto = Bisa_proto.Proto
+
+let component = "bisad"
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  outbuf : Buffer.t;
+  mutable outpos : int;  (* bytes of outbuf already written *)
+  mutable closing : bool;  (* poisoned: close once output is flushed *)
+}
+
+type t = {
+  engine : Engine.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  max_inflight : int;
+  mutable conns : conn list;
+  mutable shutting_down : bool;
+}
+
+let busy_diag n =
+  Diag.error ~component
+    (Printf.sprintf "server busy: %d requests in flight exceeds the limit; retry" n)
+
+(* Refuse to clobber a live server's socket; replace a stale one. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if alive then Diag.fail ~component "a server is already listening on %s" path;
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+let listen ?(max_inflight = 64) ~engine ~path () =
+  claim_socket path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  { engine; path; listen_fd = fd; max_inflight; conns = []; shutting_down = false }
+
+let enqueue conn payload = Buffer.add_string conn.outbuf (Proto.frame payload)
+
+let drop t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+let accept_all t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      t.conns <-
+        {
+          fd;
+          inbuf = Buffer.create 4096;
+          outbuf = Buffer.create 4096;
+          outpos = 0;
+          closing = false;
+        }
+        :: t.conns;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_chunk = Bytes.create 65536
+
+(* Returns false if the connection died (EOF or error) and was dropped. *)
+let read_available t conn =
+  let rec go () =
+    match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 ->
+      drop t conn;
+      false
+    | n ->
+      Buffer.add_subbytes conn.inbuf read_chunk 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop t conn;
+      false
+  in
+  go ()
+
+(* Peel every complete frame off [conn]'s read buffer.  A bad length
+   prefix poisons the connection: answer with the framing Diag, then
+   close once it is flushed. *)
+let peel_requests conn =
+  let pos = ref 0 in
+  let frames = ref [] in
+  (try
+     let rec go () =
+       match Proto.peel_frame conn.inbuf !pos with
+       | Some (payload, next) ->
+         pos := next;
+         frames := payload :: !frames;
+         go ()
+       | None -> ()
+     in
+     go ()
+   with Diag.Fail d ->
+     enqueue conn (Proto.encode_response (Proto.Err [ d ]));
+     conn.closing <- true);
+  if !pos > 0 then begin
+    let rest = Buffer.sub conn.inbuf !pos (Buffer.length conn.inbuf - !pos) in
+    Buffer.clear conn.inbuf;
+    Buffer.add_string conn.inbuf rest
+  end;
+  List.rev !frames
+
+let flush_writes t =
+  List.iter
+    (fun conn ->
+      let pending = Buffer.length conn.outbuf - conn.outpos in
+      if pending > 0 then begin
+        match Unix.write conn.fd (Buffer.to_bytes conn.outbuf) conn.outpos pending with
+        | n ->
+          conn.outpos <- conn.outpos + n;
+          if conn.outpos = Buffer.length conn.outbuf then begin
+            Buffer.clear conn.outbuf;
+            conn.outpos <- 0
+          end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+          ->
+          drop t conn
+      end)
+    t.conns;
+  (* Poisoned connections whose output has drained close now. *)
+  List.iter
+    (fun conn ->
+      if conn.closing && Buffer.length conn.outbuf - conn.outpos = 0 then drop t conn)
+    t.conns
+
+let close_all t =
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Sys.remove t.path with Sys_error _ -> ()
+
+let serve ?max_inflight ?on_ready ~engine ~path () =
+  let previous = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let t = listen ?max_inflight ~engine ~path () in
+  Option.iter (fun f -> f ()) on_ready;
+  let finished = ref false in
+  (* After a shutdown request, give sluggish readers a bounded number of
+     flush rounds before closing on them. *)
+  let grace = ref 40 in
+  Fun.protect
+    ~finally:(fun () ->
+      close_all t;
+      Sys.set_signal Sys.sigpipe previous)
+    (fun () ->
+      while not !finished do
+        let readable =
+          if t.shutting_down then List.map (fun c -> c.fd) t.conns
+          else t.listen_fd :: List.map (fun c -> c.fd) t.conns
+        in
+        let writable =
+          List.filter_map
+            (fun c -> if Buffer.length c.outbuf - c.outpos > 0 then Some c.fd else None)
+            t.conns
+        in
+        let rs, _, _ =
+          match Unix.select readable writable [] 0.5 with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if List.memq t.listen_fd rs then accept_all t;
+        (* Drain reads, then collect this round's complete requests in
+           connection order (oldest connection first). *)
+        let pending = ref [] in
+        List.iter
+          (fun conn ->
+            let live =
+              if List.memq conn.fd rs && not conn.closing then read_available t conn
+              else true
+            in
+            if live && not conn.closing then
+              List.iter
+                (fun payload -> pending := (conn, payload) :: !pending)
+                (peel_requests conn))
+          (List.rev t.conns);
+        let pending = List.rev !pending in
+        Engine.note_inflight t.engine (List.length pending);
+        (* The bounded in-flight queue: everything beyond the cap is
+           answered busy without being executed. *)
+        List.iteri
+          (fun i (conn, payload) ->
+            let resp =
+              if i >= t.max_inflight then Proto.Err [ busy_diag (List.length pending) ]
+              else begin
+                match Proto.decode_request payload with
+                | Proto.Shutdown ->
+                  t.shutting_down <- true;
+                  Proto.Bye
+                | req -> Engine.handle t.engine req
+                | exception Diag.Fail d -> Proto.Err [ d ]
+              end
+            in
+            enqueue conn (Proto.encode_response resp))
+          pending;
+        flush_writes t;
+        if t.shutting_down then begin
+          let unflushed =
+            List.exists (fun c -> Buffer.length c.outbuf - c.outpos > 0) t.conns
+          in
+          decr grace;
+          if (not unflushed) || !grace <= 0 then finished := true
+        end
+      done)

@@ -1,0 +1,24 @@
+(** The bisad server loop: a single-threaded select loop on a Unix
+    domain socket, framing via {!Bisa_proto.Proto}, dispatching into an
+    {!Engine}.
+
+    Serial, submission-order dispatch; parallelism lives inside the
+    engine (Batch requests shard over its pool).  Backpressure is a
+    bounded in-flight queue: frames beyond [max_inflight] in one drain
+    are answered with a structured busy [Err] without being executed.
+    Malformed payloads get [Err] diagnostics with byte offsets and the
+    connection survives; a malformed length prefix closes only that
+    connection.  SIGPIPE is ignored for the duration of [serve]. *)
+
+val serve :
+  ?max_inflight:int ->
+  ?on_ready:(unit -> unit) ->
+  engine:Engine.t ->
+  path:string ->
+  unit ->
+  unit
+(** Bind [path] (refusing if a live server already listens there,
+    replacing a stale socket file), call [on_ready], and serve until a
+    [Shutdown] request arrives; then flush every pending response, close
+    all connections, and remove the socket file.  [max_inflight]
+    defaults to 64. *)

@@ -79,11 +79,11 @@ type 'a outcome = Finished of 'a | Timed_out of { ops : int }
    The wall clock is the caller's: this layer stays free of OS
    dependencies, and experiments pass a [Unix.gettimeofday]-based
    closure. *)
-let drive (type p tb c)
-    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
-    ?tables ?code ?probe ?snapshot ?deadline (cfg : Config.t) (prog : p) =
-  let s = P.session ?tables ?code ?probe cfg prog in
-  let prog_hash = P.prog_hash prog in
+let drive (type p a)
+    (module P : Pipeline.S with type prog = p and type artifact = a)
+    ?probe ?snapshot ?deadline (cfg : Config.t) (art : a) =
+  let s = P.session_artifact ?probe cfg art in
+  let prog_hash = P.Artifact.hash art in
   let cfg_hash = Config.fingerprint cfg in
   let write_snapshot path =
     save ~path ~isa:P.isa ~prog_hash ~cfg_hash ~ops:(P.ops s) (P.save s)

@@ -41,21 +41,21 @@ val load :
 type 'a outcome = Finished of 'a | Timed_out of { ops : int }
 
 val drive :
-  (module Pipeline.S with type prog = 'p and type tables = 'tb and type code = 'c) ->
-  ?tables:'tb ->
-  ?code:'c ->
+  (module Pipeline.S with type prog = 'p and type artifact = 'a) ->
   ?probe:Bisa_obs.Probe.t ->
   ?snapshot:string * int ->
   ?deadline:(unit -> bool) ->
   Config.t ->
-  'p ->
+  'a ->
   (Metrics.t * Bisa_sim.Output.t) outcome
-(** Run a program to completion under checkpoint protection.
+(** Run a prepared artifact ({!Pipeline.S.prepare} / {!Pipeline.S.bundle})
+    to completion under checkpoint protection.
 
-    [code] selects the compiled functional-executor backend
-    ({!Pipeline.S.session}).  The backend is not part of the snapshot
-    identity: both backends drive identical executor state, so a
-    snapshot taken under one resumes under the other.
+    The artifact's threaded code (when present) selects the compiled
+    functional-executor backend.  Artifacts are derived state and the
+    backend is not part of the snapshot identity: both backends drive
+    identical executor state, so a snapshot taken under one resumes
+    under the other (and under an artifact rebuilt from scratch).
 
     [snapshot = (path, every)] resumes from [path] when a valid snapshot
     exists there, then rewrites it each time another [every] dynamic ops

@@ -1,6 +1,8 @@
 module Verify = Bisa_verify.Verify
 
-module type S = sig
+(* The per-pipeline primitives: everything except the artifact layer,
+   which [Extend] derives uniformly for both cores. *)
+module type BASE = sig
   type prog
   type tables
   type code
@@ -42,7 +44,98 @@ module type S = sig
   val restore : session -> Bisa_base.Codec.R.t -> unit
 end
 
-module Conv = struct
+module type S = sig
+  include BASE
+
+  type artifact
+
+  module Artifact : sig
+    type t = artifact
+
+    val prog : t -> prog
+    val tables : t -> tables
+    val code : t -> code option
+    val hash : t -> int64
+    val with_code : code -> t -> t
+  end
+
+  val prepare : ?exec:Bisa_sim.Compile.backend -> prog -> artifact
+  val prepare_trusted : ?exec:Bisa_sim.Compile.backend -> prog -> artifact
+  val bundle : ?code:code -> tables:tables -> prog -> artifact
+
+  val session_artifact : ?probe:Bisa_obs.Probe.t -> Config.t -> artifact -> session
+
+  val run_artifact :
+    ?probe:Bisa_obs.Probe.t ->
+    ?out_cap:int ->
+    Config.t ->
+    artifact ->
+    Metrics.t * Bisa_sim.Output.t
+end
+
+(* Derive the artifact layer from the primitives.  The record is the
+   whole design: once a program is inside an artifact, its verification
+   status, tables, optional threaded code and content hash travel as one
+   value, so no consumer threads ?tables/?code pairs (or recomputes the
+   hash) again. *)
+module Extend (B : BASE) :
+  S
+    with type prog = B.prog
+     and type tables = B.tables
+     and type code = B.code
+     and type session = B.session = struct
+  include B
+
+  type artifact = {
+    a_prog : B.prog;
+    a_tables : B.tables;
+    a_code : B.code option;
+    a_hash : int64;
+  }
+
+  module Artifact = struct
+    type t = artifact
+
+    let prog a = a.a_prog
+    let tables a = a.a_tables
+    let code a = a.a_code
+    let hash a = a.a_hash
+    let with_code c a = { a with a_code = Some c }
+  end
+
+  let bundle ?code ~tables prog =
+    { a_prog = prog; a_tables = tables; a_code = code; a_hash = B.prog_hash prog }
+
+  (* [predecode] verifies, so the compile below may (and must, to avoid
+     running the verifier twice) be the trusted one. *)
+  let prepare ?(exec = Bisa_sim.Compile.Interp) prog =
+    let tables = B.predecode prog in
+    let code =
+      match exec with
+      | Bisa_sim.Compile.Interp -> None
+      | Bisa_sim.Compile.Compiled -> Some (B.compile_trusted prog)
+    in
+    bundle ?code ~tables prog
+
+  let prepare_trusted ?(exec = Bisa_sim.Compile.Interp) prog =
+    let tables = B.predecode_trusted prog in
+    let code =
+      match exec with
+      | Bisa_sim.Compile.Interp -> None
+      | Bisa_sim.Compile.Compiled -> Some (B.compile_trusted prog)
+    in
+    bundle ?code ~tables prog
+
+  let session_artifact ?probe cfg a =
+    B.session ~tables:a.a_tables ?code:a.a_code ?probe cfg a.a_prog
+
+  let run_artifact ?probe ?out_cap cfg a =
+    let s = session_artifact ?probe cfg a in
+    Option.iter (B.set_out_cap s) out_cap;
+    B.finish s
+end
+
+module Conv = Extend (struct
   type prog = Bisa_isa.Conv_prog.t
   type tables = Predecode.t
   type code = Bisa_sim.Compile.Conv.code
@@ -67,9 +160,9 @@ module Conv = struct
   let finish = Conv_pipeline.finish
   let save = Conv_pipeline.save
   let restore = Conv_pipeline.restore
-end
+end)
 
-module Block = struct
+module Block = Extend (struct
   type prog = Bisa_isa.Block_prog.t
   type tables = Predecode.blocks
   type code = Bisa_sim.Compile.Block.code
@@ -94,35 +187,25 @@ module Block = struct
   let finish = Block_pipeline.finish
   let save = Block_pipeline.save
   let restore = Block_pipeline.restore
-end
+end)
 
 type packed =
   | Packed :
-      (module S with type prog = 'p and type tables = 'tb) * 'p * 'tb option
+      (module S with type prog = 'p and type tables = 'tb and type artifact = 'a) * 'a
       -> packed
 
-let pack_conv prog = Packed ((module Conv), prog, None)
-let pack_block prog = Packed ((module Block), prog, None)
+let pack_conv ?exec prog = Packed ((module Conv), Conv.prepare ?exec prog)
+let pack_block ?exec prog = Packed ((module Block), Block.prepare ?exec prog)
 
-let pack_conv_trusted prog =
-  Packed ((module Conv), prog, Some (Conv.predecode_trusted prog))
+let pack_conv_trusted ?exec prog =
+  Packed ((module Conv), Conv.prepare_trusted ?exec prog)
 
-let pack_block_trusted prog =
-  Packed ((module Block), prog, Some (Block.predecode_trusted prog))
+let pack_block_trusted ?exec prog =
+  Packed ((module Block), Block.prepare_trusted ?exec prog)
 
-let verify_packed (Packed ((module P), prog, _)) = P.verify prog
+let verify_packed (Packed ((module P), art)) = P.verify (P.Artifact.prog art)
+let packed_isa (Packed ((module P), _)) = P.isa
+let packed_hash (Packed ((module P), art)) = P.Artifact.hash art
 
-let run_packed ?probe ?out_cap ?(exec = Bisa_sim.Compile.Interp) cfg
-    (Packed ((module P), prog, tables)) =
-  (* Resolve tables first: with [None] tables this is where verification
-     happens, so the trusted compile below is sound — either the program
-     just verified, or the packer explicitly waived verification. *)
-  let tables = match tables with Some t -> t | None -> P.predecode prog in
-  let code =
-    match exec with
-    | Bisa_sim.Compile.Interp -> None
-    | Bisa_sim.Compile.Compiled -> Some (P.compile_trusted prog)
-  in
-  let s = P.session ~tables ?code ?probe cfg prog in
-  Option.iter (P.set_out_cap s) out_cap;
-  P.finish s
+let run_packed ?probe ?out_cap cfg (Packed ((module P), art)) =
+  P.run_artifact ?probe ?out_cap cfg art

@@ -2,22 +2,31 @@
 
     The conventional and block-structured cores differ in program type,
     predecode table, and fetch engine, but every consumer — the experiment
-    harness, [bisasim], the fuzzers — drives them identically: predecode
-    once, then run many configurations against the shared tables, with an
-    optional {!Bisa_obs.Probe.t} observing pipeline events.  {!S} captures
-    that contract; {!Conv} and {!Block} are the two implementations, and
-    {!packed} pairs an implementation with a program of its own type so a
-    CLI can select the ISA at runtime and still dispatch through one code
-    path.
+    harness, [bisasim], the daemon, the fuzzers — drives them identically:
+    {e prepare} a program once into an {!S.artifact} (verify, predecode,
+    optionally compile to threaded code, content-hash), then run many
+    configurations against the shared bundle, with an optional
+    {!Bisa_obs.Probe.t} observing pipeline events.  {!S} captures that
+    contract; {!Conv} and {!Block} are the two implementations, and
+    {!packed} pairs an implementation with an artifact of its own type so
+    a CLI (or the daemon's cache) can select the ISA at runtime and still
+    dispatch through one code path.
 
-    Predecoding is the trust boundary: {!S.predecode} statically verifies
+    Preparation is the trust boundary: {!S.prepare} statically verifies
     the program (see {!Bisa_verify.Verify}) before building tables whose
-    raw indexes the engine uses unchecked, and [run]/[run_full] without
-    [?tables] do the same.  {!S.predecode_trusted} skips verification for
-    callers that own the bounds obligations (the [--no-verify] escape
-    hatch, fuzzers). *)
+    raw indexes the engine uses unchecked.  {!S.prepare_trusted} skips
+    verification for callers that own the bounds obligations (the
+    [--no-verify] escape hatch, fuzzers).  All trust decisions happen at
+    preparation time, so replaying an artifact is pure — the property the
+    serving layer's cache is built on. *)
 
-module type S = sig
+(** The per-pipeline primitives.  The [?tables]/[?code] optional
+    arguments on [run]/[run_full]/[session] are the pre-artifact API and
+    are {b deprecated} for new code: thread an {!S.artifact} (via
+    {!S.prepare} / {!S.bundle}) and use {!S.run_artifact} /
+    {!S.session_artifact} instead, so the program witness, its derived
+    state and its content hash cannot drift apart. *)
+module type BASE = sig
   type prog
   type tables
 
@@ -59,7 +68,8 @@ module type S = sig
 
   val prog_hash : prog -> int64
   (** Content hash of the program's canonical byte encoding — what binds
-      a checkpoint snapshot to the exact program it was taken under. *)
+      a checkpoint snapshot (and a served artifact) to the exact program
+      it was built from. *)
 
   val run :
     ?tables:tables ->
@@ -68,6 +78,7 @@ module type S = sig
     Config.t ->
     prog ->
     Metrics.t
+  (** Deprecated entry point; prefer {!S.run_artifact}. *)
 
   val run_full :
     ?tables:tables ->
@@ -76,9 +87,10 @@ module type S = sig
     Config.t ->
     prog ->
     Metrics.t * Bisa_sim.Output.t
-  (** With [?code] the functional executor runs compiled; without it,
-      interpreted.  The two backends drive the identical executor state
-      and are differentially tested equivalent, so metrics, outputs and
+  (** Deprecated entry point; prefer {!S.run_artifact}.  With [?code] the
+      functional executor runs compiled; without it, interpreted.  The
+      two backends drive the identical executor state and are
+      differentially tested equivalent, so metrics, outputs and
       checkpoints do not depend on the choice — only wall-clock does.
       The exec backend is deliberately absent from
       {!Config.fingerprint}: a checkpoint taken under either backend
@@ -90,6 +102,7 @@ module type S = sig
 
   val session :
     ?tables:tables -> ?code:code -> ?probe:Bisa_obs.Probe.t -> Config.t -> prog -> session
+  (** Deprecated entry point; prefer {!S.session_artifact}. *)
 
   val step : session -> bool
   (** Advance by one fetch unit; false once the machine has halted.
@@ -116,6 +129,67 @@ module type S = sig
       {!Checkpoint} for the validated on-disk form. *)
 end
 
+module type S = sig
+  include BASE
+
+  type artifact
+  (** A prepared program: the verified program witness, its predecode
+      tables, optionally its threaded code, and its content hash, bundled
+      as one value.  Artifacts are {e derived} state — cheap to rebuild,
+      deliberately absent from checkpoint snapshot identity — and they
+      are what every consumer caches and replays. *)
+
+  module Artifact : sig
+    type t = artifact
+
+    val prog : t -> prog
+    val tables : t -> tables
+    val code : t -> code option
+    val hash : t -> int64
+
+    val with_code : code -> t -> t
+    (** The same bundle with threaded code attached — how a cache
+        upgrades an interpreter-prepared artifact when a compiled-backend
+        request arrives. *)
+  end
+
+  val prepare : ?exec:Bisa_sim.Compile.backend -> prog -> artifact
+  (** The single front door: verify the program (raising
+      {!Bisa_base.Diag.Fail} with the first diagnostic on rejection),
+      build its tables, compile it to threaded code when [exec] is
+      [Compiled] (default [Interp]), and hash its canonical encoding. *)
+
+  val prepare_trusted : ?exec:Bisa_sim.Compile.backend -> prog -> artifact
+  (** [prepare] without verification — the caller asserts
+      well-formedness (the [--no-verify] escape hatch, fuzzers). *)
+
+  val bundle : ?code:code -> tables:tables -> prog -> artifact
+  (** Assemble an artifact from pieces built elsewhere (e.g. the
+      harness's memoized tables and code) — trust obligations stay with
+      whoever built [tables]. *)
+
+  val session_artifact : ?probe:Bisa_obs.Probe.t -> Config.t -> artifact -> session
+
+  val run_artifact :
+    ?probe:Bisa_obs.Probe.t ->
+    ?out_cap:int ->
+    Config.t ->
+    artifact ->
+    Metrics.t * Bisa_sim.Output.t
+  (** Run the artifact under [cfg]; equals [run_full] with the bundle's
+      tables and code.  [out_cap] bounds output retention as in
+      {!set_out_cap}. *)
+end
+
+(** Derive the artifact layer from the per-pipeline primitives (exposed
+    so scenario variants outside this library can join the contract). *)
+module Extend (B : BASE) :
+  S
+    with type prog = B.prog
+     and type tables = B.tables
+     and type code = B.code
+     and type session = B.session
+
 module Conv :
   S
     with type prog = Bisa_isa.Conv_prog.t
@@ -130,36 +204,39 @@ module Block :
 
 type packed =
   | Packed :
-      (module S with type prog = 'p and type tables = 'tb) * 'p * 'tb option
+      (module S with type prog = 'p and type tables = 'tb and type artifact = 'a) * 'a
       -> packed
-      (** A pipeline, a program it can run, and optionally pre-built
-          tables, with both types hidden — what a CLI holds after loading
-          input for a user-chosen ISA.  [None] tables means
-          {!run_packed} verifies at predecode time; [Some] means the
-          packer already discharged (or explicitly waived) verification. *)
+      (** A pipeline and a prepared artifact of its program type, with
+          both types hidden — what a CLI (or the daemon's artifact cache)
+          holds after loading input for a user-chosen ISA. *)
 
-val pack_conv : Bisa_isa.Conv_prog.t -> packed
-val pack_block : Bisa_isa.Block_prog.t -> packed
+val pack_conv : ?exec:Bisa_sim.Compile.backend -> Bisa_isa.Conv_prog.t -> packed
+(** Prepare (verifying — raises {!Bisa_base.Diag.Fail} on rejection) and
+    pack.  [exec] (default [Interp]) selects the functional-executor
+    backend baked into the artifact. *)
 
-val pack_conv_trusted : Bisa_isa.Conv_prog.t -> packed
-(** Pack with tables built by {!S.predecode_trusted} — the [--no-verify]
-    path: {!run_packed} will not verify. *)
+val pack_block : ?exec:Bisa_sim.Compile.backend -> Bisa_isa.Block_prog.t -> packed
 
-val pack_block_trusted : Bisa_isa.Block_prog.t -> packed
+val pack_conv_trusted : ?exec:Bisa_sim.Compile.backend -> Bisa_isa.Conv_prog.t -> packed
+(** Pack with an artifact built by {!S.prepare_trusted} — the
+    [--no-verify] path. *)
+
+val pack_block_trusted : ?exec:Bisa_sim.Compile.backend -> Bisa_isa.Block_prog.t -> packed
 
 val verify_packed : packed -> Bisa_base.Diag.t list
 (** Run the packed program's static verifier (even if packed trusted). *)
 
+val packed_isa : packed -> string
+val packed_hash : packed -> int64
+(** The artifact's identity, for cache keys and reports. *)
+
 val run_packed :
   ?probe:Bisa_obs.Probe.t ->
   ?out_cap:int ->
-  ?exec:Bisa_sim.Compile.backend ->
   Config.t ->
   packed ->
   Metrics.t * Bisa_sim.Output.t
-(** Predecode (verifying unless packed trusted) and run under [cfg].
-    [out_cap] bounds output retention as in {!S.set_out_cap}.  [exec]
-    (default [Interp]) selects the functional-executor backend; under
-    [Compiled] the program is compiled to threaded code after tables
-    are resolved, so the verification obligations are already
-    discharged (or explicitly waived by a trusted packer). *)
+(** Run the packed artifact under [cfg].  [out_cap] bounds output
+    retention as in {!S.set_out_cap}.  The exec backend was chosen when
+    the artifact was prepared; the backends are differentially tested
+    equivalent, so only wall-clock depends on it. *)

@@ -302,7 +302,8 @@ let test_drive_resume () =
     (fun w -> Pipeline.Conv.save s w);
   (* Resuming must complete from there and erase the snapshot. *)
   (match
-     Checkpoint.drive (module Pipeline.Conv) ~snapshot:(path, 1_000) cfg c.conv
+     Checkpoint.drive (module Pipeline.Conv) ~snapshot:(path, 1_000) cfg
+       (Pipeline.Conv.prepare c.conv)
    with
   | Checkpoint.Finished (m, _) ->
     check_metrics "driven resume == uninterrupted" m_full m
@@ -316,6 +317,7 @@ let test_drive_deadline () =
   let path = tmp_path () in
   (* A deadline that fires almost immediately: the driver must stop,
      persist a final snapshot, and report the ops completed. *)
+  let art = Pipeline.Block.prepare c.block in
   let polls = ref 0 in
   let deadline () =
     incr polls;
@@ -323,14 +325,14 @@ let test_drive_deadline () =
   in
   (match
      Checkpoint.drive (module Pipeline.Block) ~snapshot:(path, 1_000_000) ~deadline
-       cfg c.block
+       cfg art
    with
   | Checkpoint.Timed_out { ops } ->
     Alcotest.(check bool) "made some progress" true (ops >= 0);
     Alcotest.(check bool) "snapshot kept on timeout" true (Sys.file_exists path)
   | Checkpoint.Finished _ -> Alcotest.fail "deadline must fire first");
   (* The rerun without a deadline resumes the snapshot and finishes. *)
-  (match Checkpoint.drive (module Pipeline.Block) ~snapshot:(path, 1_000_000) cfg c.block with
+  (match Checkpoint.drive (module Pipeline.Block) ~snapshot:(path, 1_000_000) cfg art with
   | Checkpoint.Finished (m, _) ->
     check_metrics "resume after timeout == uninterrupted" m_full m
   | Checkpoint.Timed_out _ -> Alcotest.fail "no deadline on the rerun");
@@ -356,22 +358,28 @@ let with_crash_at n f =
    never lands and the first complete one is what a real mid-write kill
    would leave.  Resume from it — possibly under the other backend — and
    require byte-identical metrics and output. *)
-let drive_crash_equivalence (type p tb c)
-    (module P : Pipeline.S with type prog = p and type tables = tb and type code = c)
-    cfg (prog : p) ~crash_code ~resume_code what =
+let drive_crash_equivalence (type p tb c a)
+    (module P : Pipeline.S
+      with type prog = p
+       and type tables = tb
+       and type code = c
+       and type artifact = a) cfg (prog : p) ~crash_code ~resume_code what =
   let m_full, out_full = P.run_full cfg prog in
+  (* The two legs may deliberately carry different backends: bundle one
+     artifact per leg over shared tables (the snapshot is backend-blind). *)
+  let tables = P.predecode prog in
+  let crash_art = P.bundle ?code:crash_code ~tables prog in
+  let resume_art = P.bundle ?code:resume_code ~tables prog in
   let path = tmp_path () in
   (match
      with_crash_at 2 (fun () ->
-         Checkpoint.drive (module P) ?code:crash_code ~snapshot:(path, 400) cfg prog)
+         Checkpoint.drive (module P) ~snapshot:(path, 400) cfg crash_art)
    with
   | (_ : _ Checkpoint.outcome) -> Alcotest.fail (what ^ ": crash hook must fire")
   | exception Killed -> ());
   Alcotest.(check bool) (what ^ ": mid-run snapshot left behind") true
     (Sys.file_exists path);
-  (match
-     Checkpoint.drive (module P) ?code:resume_code ~snapshot:(path, 400) cfg prog
-   with
+  (match Checkpoint.drive (module P) ~snapshot:(path, 400) cfg resume_art with
   | Checkpoint.Finished (m, out) ->
     check_metrics (what ^ ": resumed metrics == uninterrupted") m_full m;
     Alcotest.(check bool)

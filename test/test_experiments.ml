@@ -139,8 +139,9 @@ let test_campaign_timeout () =
   in
   let c = Bisa_compiler.Compiler.compile "int main() { int i; int s = 0; for (i = 0; i < 4000; i = i + 1) { s = s + i; } return s & 255; }" in
   let cfg = Bisa_timing.Config.default in
+  let art = Bisa_timing.Pipeline.Conv.prepare c.conv in
   (match
-     Campaign.run_cell camp (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg c.conv
+     Campaign.run_cell camp (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg art
    with
   | (_ : Bisa_timing.Metrics.t) -> Alcotest.fail "a negative budget cannot finish"
   | exception Campaign.Timed_out { key; ops } ->
@@ -154,7 +155,7 @@ let test_campaign_timeout () =
   let camp2 =
     Campaign.open_ ~dir:d ~checkpoint_every:500 ~scale:(Some 1) ~paper_caches:false ()
   in
-  let m = Campaign.run_cell camp2 (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg c.conv in
+  let m = Campaign.run_cell camp2 (module Bisa_timing.Pipeline.Conv) ~bench:"slow" cfg art in
   let m_direct = Bisa_timing.Pipeline.Conv.run cfg c.conv in
   Alcotest.(check string) "retry result == direct run"
     (Bisa_timing.Metrics.summary ~name:"x" m_direct)

@@ -25,4 +25,5 @@ let () =
       ("integration", Test_integration.suite);
       ("properties", Test_props.suite);
       ("check", Test_check.suite);
+      ("serve", Test_serve.suite);
     ]

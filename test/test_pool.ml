@@ -128,8 +128,15 @@ let test_harness_memo_computes_once () =
       rest
   | [] -> Alcotest.fail "no results");
   let sorted = List.sort compare !computes in
-  Alcotest.(check (list string)) "one compile, one predecode, one run"
-    [ "compile:m88ksim"; "predecode:m88ksim/conv"; "run:m88ksim/conv" ] sorted
+  Alcotest.(check (list string))
+    "one artifact, one compile, one predecode, one run"
+    [
+      "artifact:m88ksim/conv";
+      "compile:m88ksim";
+      "predecode:m88ksim/conv";
+      "run:m88ksim/conv";
+    ]
+    sorted
 
 (* Byte-identical reports at every worker count, on reduced grids (the
    full figures run the big surrogates and belong to the CLI, which the
