@@ -63,9 +63,10 @@ let ping socket =
 let print_stats (s : Proto.stats) =
   Printf.printf
     "served %d requests; sim cache %d hits / %d misses; %d artifacts, %d \
-     results in memory, %d spooled; peak in-flight %d; peak RSS %d KB\n"
+     results in memory, %d spooled (%d unreadable entries skipped); peak \
+     in-flight %d; peak RSS %d KB\n"
     s.served s.sim_hits s.sim_misses s.artifacts s.results s.spooled
-    s.inflight_peak s.rss_kb
+    s.spool_skipped s.inflight_peak s.rss_kb
 
 let stats socket =
   Driver.guard ~component @@ fun () ->
@@ -149,27 +150,93 @@ let cell socket bench isa exec cfg scale =
 
 (* --- the server ----------------------------------------------------------- *)
 
-let serve socket jobs spool result_cap max_inflight =
+let serve socket jobs spool result_cap max_inflight deadline idle_timeout
+    slice_ops =
   Driver.guard ~component @@ fun () ->
   Bisa_base.Pool.run ~workers:jobs (fun pool ->
-      let engine = Engine.create ~pool ?spool_dir:spool ~result_cap () in
+      let engine =
+        Engine.create ~pool ?spool_dir:spool ~result_cap
+          ~log:(fun d -> prerr_endline (Diag.render d))
+          ()
+      in
       Printf.eprintf "bisad: serving on %s (%d workers%s)\n%!" socket jobs
         (match spool with None -> "" | Some d -> ", spool " ^ d);
-      Server.serve ~max_inflight ~engine ~path:socket ());
+      Server.serve ~max_inflight ?deadline ?idle_timeout ~slice_ops ~engine
+        ~path:socket ());
   `Ok ()
 
 (* Fork a private server for the self-driving harnesses.  The parent
    talks to it as any client would; [finally] reaps it. *)
-let fork_server ~socket ~jobs ~spool ~max_inflight =
+let fork_server ?deadline ?idle_timeout ?slice_ops ~socket ~jobs ~spool
+    ~max_inflight () =
   match Unix.fork () with
   | 0 ->
     (try
        Bisa_base.Pool.run ~workers:jobs (fun pool ->
            let engine = Engine.create ~pool ?spool_dir:spool ~result_cap:8192 () in
-           Server.serve ~max_inflight ~engine ~path:socket ());
+           Server.serve ~max_inflight ?deadline ?idle_timeout ?slice_ops ~engine
+             ~path:socket ());
        Unix._exit 0
      with _ -> Unix._exit 1)
   | pid -> pid
+
+(* --- supervise ------------------------------------------------------------ *)
+
+(* The self-healing wrapper: fork/exec `bisad serve` as a child of a
+   monitor that restarts it (with backoff) when it dies or stops
+   answering health pings.  Spool and socket carry across restarts, so
+   every restart warm-starts from the crash-safe result spool. *)
+let supervise socket jobs spool result_cap max_inflight deadline idle_timeout
+    slice_ops health_interval health_timeout health_strikes grace backoff_base
+    backoff_cap stable_secs max_restarts pid_file =
+  Driver.guard ~component @@ fun () ->
+  let opt_f flag = function
+    | None -> []
+    | Some v -> [ flag; Printf.sprintf "%g" v ]
+  in
+  let child_args =
+    [ "bisad"; "serve"; "--socket"; socket; "-j"; string_of_int jobs ]
+    @ (match spool with None -> [] | Some d -> [ "--spool"; d ])
+    @ [
+        "--result-cap";
+        string_of_int result_cap;
+        "--max-inflight";
+        string_of_int max_inflight;
+        "--slice-ops";
+        string_of_int slice_ops;
+      ]
+    @ opt_f "--deadline" deadline
+    @ opt_f "--idle-timeout" idle_timeout
+  in
+  let spawn () =
+    Unix.create_process Sys.executable_name (Array.of_list child_args) Unix.stdin
+      Unix.stdout Unix.stderr
+  in
+  let cfg =
+    {
+      (Bisa_serve.Supervise.default ~socket) with
+      health_interval;
+      health_timeout;
+      health_strikes;
+      grace;
+      backoff_base;
+      backoff_cap;
+      stable_secs;
+      max_restarts;
+      pid_file;
+      log = (fun d -> prerr_endline (Diag.render d));
+    }
+  in
+  let r = Bisa_serve.Supervise.run cfg ~spawn in
+  Printf.printf "bisad supervise: %d restart%s, %d crash%s, %d health kill%s\n"
+    r.restarts
+    (if r.restarts = 1 then "" else "s")
+    r.crashes
+    (if r.crashes = 1 then "" else "es")
+    r.health_kills
+    (if r.health_kills = 1 then "" else "s");
+  if r.graceful then `Ok ()
+  else Diag.fail ~component "supervision gave up after %d restarts" r.restarts
 
 let fresh_tmp name =
   let d =
@@ -197,7 +264,7 @@ let rec rm_rf path =
 let selftest input isa functional exec cfg show_output scale jobs expect =
   Driver.guard ~component @@ fun () ->
   let socket = fresh_tmp "bisad-selftest" ^ ".sock" in
-  let pid = fork_server ~socket ~jobs ~spool:None ~max_inflight:64 in
+  let pid = fork_server ~socket ~jobs ~spool:None ~max_inflight:64 () in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -319,7 +386,7 @@ let soak requests programs jobs kill keep =
   (* Distinct (program, isa) cells: warm-up misses, everything else must
      hit. *)
   let distinct = min requests (2 * programs) in
-  let server = ref (fork_server ~socket ~jobs ~spool:(Some spool) ~max_inflight:64) in
+  let server = ref (fork_server ~socket ~jobs ~spool:(Some spool) ~max_inflight:64 ()) in
   let conn = ref (Client.retry_connect socket) in
   let hits = ref 0 in
   let misses = ref 0 in
@@ -355,7 +422,7 @@ let soak requests programs jobs kill keep =
           Unix.kill !server Sys.sigkill;
           ignore (Unix.waitpid [] !server);
           killed := true;
-          server := fork_server ~socket ~jobs ~spool:(Some spool) ~max_inflight:64;
+          server := fork_server ~socket ~jobs ~spool:(Some spool) ~max_inflight:64 ();
           reconnect ()
         end;
         (match call_retrying 3 (req i) with
@@ -435,34 +502,124 @@ let () =
     Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's output stream.")
   in
   let doc_cmd name doc term = Cmd.v (Cmd.info name ~doc) term in
+  let spool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ]
+          ~env:(Cmd.Env.info "BISA_SPOOL" ~doc:"Default for $(b,--spool).")
+          ~doc:
+            "Directory for crash-safe result spooling: every finished result \
+             is written atomically and reloaded on restart, so a kill -9 \
+             loses only in-flight requests.")
+  in
+  let result_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "result-cap" ]
+          ~doc:"In-memory result cache bound (FIFO eviction; spool keeps all).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ]
+          ~doc:
+            "Simulations allowed in flight at once; further work-shaped \
+             requests get an immediate structured busy error (backpressure).  \
+             Ping, stats and shutdown are always admitted.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout" ]
+          ~env:(Cmd.Env.info "BISA_IDLE_TIMEOUT" ~doc:"Default for $(b,--idle-timeout).")
+          ~doc:
+            "Evict connections with no read/write progress for this many \
+             seconds (slow-loris partial frames included) unless they are \
+             waiting on their own in-flight request.  Default: never.")
+  in
+  let slice_ops =
+    Arg.(
+      value & opt int 32_768
+      & info [ "slice-ops" ]
+          ~doc:
+            "Cooperative quantum in dynamic operations: how much of one \
+             simulation runs between select rounds, bounding ping latency \
+             under load.")
+  in
   let serve_cmd =
-    let spool =
+    doc_cmd "serve" "Run the daemon."
+      Term.(
+        ret
+          (const serve $ socket $ Args.jobs $ spool $ result_cap $ max_inflight
+         $ Args.deadline $ idle_timeout $ slice_ops))
+  in
+  let supervise_cmd =
+    let health_interval =
+      Arg.(
+        value & opt float 2.0
+        & info [ "health-interval" ] ~doc:"Seconds between liveness pings.")
+    in
+    let health_timeout =
+      Arg.(
+        value & opt float 1.0
+        & info [ "health-timeout" ]
+            ~doc:"Kernel socket timeout per ping; a wedged server reads as dead.")
+    in
+    let health_strikes =
+      Arg.(
+        value & opt int 3
+        & info [ "health-strikes" ]
+            ~doc:
+              "Consecutive failed pings before the child is killed and \
+               restarted — one slow round is never fatal.")
+    in
+    let grace =
+      Arg.(
+        value & opt float 5.0
+        & info [ "grace" ] ~doc:"SIGTERM-to-SIGKILL escalation window in seconds.")
+    in
+    let backoff_base =
+      Arg.(
+        value & opt float 0.5
+        & info [ "backoff-base" ] ~doc:"First restart delay in seconds.")
+    in
+    let backoff_cap =
+      Arg.(
+        value & opt float 10.0
+        & info [ "backoff-cap" ] ~doc:"Restart delay ceiling in seconds.")
+    in
+    let stable_secs =
+      Arg.(
+        value & opt float 30.0
+        & info [ "stable-secs" ]
+            ~doc:"Uptime after which the restart backoff resets to the base.")
+    in
+    let max_restarts =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-restarts" ]
+            ~doc:"Give up (exit nonzero) after this many restarts.  Default: never.")
+    in
+    let pid_file =
       Arg.(
         value
         & opt (some string) None
-        & info [ "spool" ]
-            ~env:(Cmd.Env.info "BISA_SPOOL" ~doc:"Default for $(b,--spool).")
-            ~doc:
-              "Directory for crash-safe result spooling: every finished result \
-               is written atomically and reloaded on restart, so a kill -9 \
-               loses only in-flight requests.")
+        & info [ "pid-file" ]
+            ~doc:"Atomically (re)written with the current server child's pid.")
     in
-    let result_cap =
-      Arg.(
-        value & opt int 4096
-        & info [ "result-cap" ]
-            ~doc:"In-memory result cache bound (FIFO eviction; spool keeps all).")
-    in
-    let max_inflight =
-      Arg.(
-        value & opt int 64
-        & info [ "max-inflight" ]
-            ~doc:
-              "Requests accepted per dispatch round; the excess get an \
-               immediate structured busy error (backpressure).")
-    in
-    doc_cmd "serve" "Run the daemon."
-      Term.(ret (const serve $ socket $ Args.jobs $ spool $ result_cap $ max_inflight))
+    doc_cmd "supervise"
+      "Run the daemon under a self-healing monitor: restart on crash (with \
+       backoff), kill and restart on failed health pings, warm-start every \
+       restart from the spool.  SIGTERM stops both cleanly."
+      Term.(
+        ret
+          (const supervise $ socket $ Args.jobs $ spool $ result_cap
+         $ max_inflight $ Args.deadline $ idle_timeout $ slice_ops
+         $ health_interval $ health_timeout $ health_strikes $ grace
+         $ backoff_base $ backoff_cap $ stable_secs $ max_restarts $ pid_file))
   in
   let ping_cmd = doc_cmd "ping" "Check the daemon is alive." Term.(ret (const ping $ socket)) in
   let stats_cmd =
@@ -556,6 +713,7 @@ let () =
        (Cmd.group info
           [
             serve_cmd;
+            supervise_cmd;
             ping_cmd;
             stats_cmd;
             shutdown_cmd;

@@ -7,7 +7,7 @@ module Oracle = Bisa_check.Oracle
 module Decode_fuzz = Bisa_check.Decode_fuzz
 module Faults = Bisa_check.Faults
 
-type mode = All | Diff | OracleExec | Decode | Inject | Verify | Crash | Proto
+type mode = All | Diff | OracleExec | Decode | Inject | Verify | Crash | Proto | Chaos
 
 (* A fixed program with calls, loops, arrays and traps for the decode and
    injection campaigns (the differential campaign generates its own). *)
@@ -160,6 +160,22 @@ let crash ~seed =
       r.cells r.hook_crashes r.kill_trials r.kills_mid_flight;
     Ok ()
 
+(* Total requests derives from --count so the default runs the full
+   profile (>= 1000 requests, >= 5 crashes) and the smoke alias can pass
+   a small count to get the quick one (one SIGKILL, one truncated-frame
+   adversary, one spool corruption, under 30s). *)
+let chaos ~seed ~count =
+  match Bisa_check.Chaos.campaign ~seed ~requests:(5 * count) () with
+  | Error e -> Error ("chaos: " ^ e)
+  | Ok (r : Bisa_check.Chaos.report) ->
+    Printf.printf
+      "chaos: %d requests from %d clients converged byte-identically through %d \
+       crashes (%d restarts, %d health kills), %d adversary connections and %d \
+       spool corruptions; %d retries, final RSS %d KB\n"
+      r.requests r.clients r.crashes r.restarts r.health_kills r.adversaries
+      r.corruptions r.retries r.rss_kb;
+    Ok ()
+
 let run mode seed count jobs =
  Bisa_cli.Driver.guard ~component:"bisafuzz" @@ fun () ->
   Bisa_base.Pool.run ~workers:jobs @@ fun pool ->
@@ -179,9 +195,10 @@ let run mode seed count jobs =
     | Proto -> [ (fun () -> proto ~pool ~seed ~count) ]
     | Verify -> [ (fun () -> verify ~pool ~seed ~count) ]
     | Inject -> [ (fun () -> inject ~pool ~seed) ]
-    (* Not part of All: the fork leg must run without live pool domains,
-       so it has its own alias pinned to -j 1 (see bin/dune). *)
+    (* Not part of All: these fork legs must run without live pool
+       domains, so each has its own alias pinned to -j 1 (see bin/dune). *)
     | Crash -> [ (fun () -> crash ~seed) ]
+    | Chaos -> [ (fun () -> chaos ~seed ~count) ]
   in
   let rec go = function
     | [] -> `Ok ()
@@ -201,7 +218,7 @@ let () =
              [
                ("all", All); ("diff", Diff); ("oracle", OracleExec);
                ("decode", Decode); ("verify", Verify); ("proto", Proto);
-               ("inject", Inject); ("crash", Crash);
+               ("inject", Inject); ("crash", Crash); ("chaos", Chaos);
              ])
           All
       & info [ "mode" ]
@@ -209,8 +226,10 @@ let () =
                 compiled-executor legs, eight engines per program), decode \
                 (binary mutation), verify (decode/verify/simulate trichotomy), \
                 proto (bisad wire-protocol frame mutation), inject (front-end \
-                faults), crash (kill-and-resume recovery; run with -j 1), or \
-                all (everything except oracle and crash).")
+                faults), crash (kill-and-resume recovery; run with -j 1), chaos \
+                (a supervised bisad under kill signals, malformed frames and \
+                spool corruption; run with -j 1, count scales the request \
+                fleet), or all (everything except oracle, crash and chaos).")
   in
   let count =
     Arg.(

@@ -1,0 +1,34 @@
+(** Chaos campaign for the supervised bisad daemon.
+
+    One supervised server, a fleet of concurrent retrying clients, and an
+    injector throwing SIGKILL/SIGSTOP, truncated and garbage frames, a
+    slow-loris half-frame, and between-restart spool corruption at it —
+    then the crash-only claim is checked literally: every client must
+    converge with responses byte-identical to the engine's one-shot
+    bytes (the path the daemon smoke test pins against the real CLI),
+    within a bounded time, with the final server's RSS bounded.
+
+    Fork-based: run with no live pool domains (the chaos alias pins
+    [-j 1]), like the crash-safety campaign. *)
+
+type report = {
+  requests : int;  (** client requests that completed and matched *)
+  clients : int;
+  crashes : int;  (** server children that died, per the supervisor *)
+  restarts : int;
+  health_kills : int;  (** restarts forced by failed health pings *)
+  retries : int;  (** client-side retry events across the fleet *)
+  adversaries : int;  (** malformed-frame / slow-loris legs run *)
+  corruptions : int;  (** spool files damaged between restarts *)
+  rss_kb : int;  (** final server child's peak RSS *)
+}
+
+val campaign :
+  ?seed:int -> ?requests:int -> ?dir:string -> unit -> (report, string) result
+(** Run the campaign.  [requests] (default 1000) sets the fleet's total
+    request budget and selects the profile: at most 500 runs the quick
+    smoke shape (3 clients, one SIGKILL, one truncated-frame adversary,
+    one spool corruption, 25s budget), above it the full shape (8
+    clients, five kill signals including a SIGSTOP, all adversaries,
+    120s budget).  [dir] keeps the scratch directory (sockets, spool,
+    event log) instead of a fresh temp dir that is removed on success. *)

@@ -34,7 +34,13 @@ let some_diags =
 let cfg_a = Proto.default_sim_cfg
 
 let cfg_b =
-  { Proto.icache_kb = 0; perfect_pred = true; budget = 123_456; out_cap = Some 64 }
+  {
+    Proto.icache_kb = 0;
+    perfect_pred = true;
+    budget = 123_456;
+    out_cap = Some 64;
+    deadline = Some 2.5;
+  }
 
 let src_source =
   Proto.Source { src = "int main() { return 3; }"; libs = [ "int f(int x);" ] }
@@ -114,6 +120,7 @@ let responses : Proto.response list =
         artifacts = 16;
         results = 4096;
         spooled = 4104;
+        spool_skipped = 2;
         inflight_peak = 64;
         rss_kb = 10_608;
       };

@@ -155,8 +155,20 @@ let isa =
         ~env:(env "BISA_ISA" "Default for $(b,--isa).")
         ~doc:"Which executable to run: conv or block.")
 
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ]
+        ~env:(env "BISA_DEADLINE" "Default for $(b,--deadline).")
+        ~doc:
+          "Per-request wall-clock deadline in seconds (daemon requests): a \
+           request still running past it gets a structured deadline-expired \
+           error instead of blocking, and is never retried.  Default: no \
+           deadline (the server's $(b,--deadline), if any, applies).")
+
 let sim_cfg =
-  let mk icache_kb perfect_pred budget out_cap =
-    { Bisa_proto.Proto.icache_kb; perfect_pred; budget; out_cap }
+  let mk icache_kb perfect_pred budget out_cap deadline =
+    { Bisa_proto.Proto.icache_kb; perfect_pred; budget; out_cap; deadline }
   in
-  Term.(const mk $ icache_kb $ perfect_pred $ budget $ out_cap)
+  Term.(const mk $ icache_kb $ perfect_pred $ budget $ out_cap $ deadline)

@@ -67,7 +67,13 @@ val timeout : float option Cmdliner.Term.t
 val isa : Bisa_proto.Proto.isa Cmdliner.Term.t
 (** [--isa] / [BISA_ISA]: which executable to run (default [block]). *)
 
+val deadline : float option Cmdliner.Term.t
+(** [--deadline] / [BISA_DEADLINE]: per-request wall-clock deadline in
+    seconds for daemon requests; past it the server answers with a
+    structured deadline-expired [Err] that is never retried.  Also the
+    server-default deadline flag of [bisad serve]. *)
+
 val sim_cfg : Bisa_proto.Proto.sim_cfg Cmdliner.Term.t
-(** [--icache-kb], [--perfect-pred], [--budget] and [--out-cap] bundled
-    into the protocol's simulation configuration; interpret with
-    {!Bisa_proto.Proto.to_config}. *)
+(** [--icache-kb], [--perfect-pred], [--budget], [--out-cap] and
+    [--deadline] bundled into the protocol's simulation configuration;
+    interpret with {!Bisa_proto.Proto.to_config}. *)

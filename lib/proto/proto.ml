@@ -16,7 +16,11 @@ module Diag = Bisa_base.Diag
 module Codec = Bisa_base.Codec
 
 let component = "proto"
-let version = "bisad/1"
+
+(* bisad/2: sim_cfg gained the per-request [deadline] field and stats
+   gained [spool_skipped].  Both ends of the wire live in this repo, so a
+   version bump (rejected cleanly by [decoding]) is the whole migration. *)
+let version = "bisad/2"
 
 (* A frame larger than this is rejected before any allocation happens:
    the bound keeps a hostile length prefix from looking like a request
@@ -46,6 +50,12 @@ type sim_cfg = {
   perfect_pred : bool;
   budget : int;
   out_cap : int option;
+  deadline : float option;
+      (* Per-request wall-clock deadline in seconds.  The daemon answers a
+         request past its deadline with a structured deadline [Err]
+         instead of letting it keep a connection (or the select loop)
+         hostage.  Deliberately absent from the result-cache key: it
+         bounds the wait, not the result. *)
 }
 
 let default_sim_cfg =
@@ -54,6 +64,7 @@ let default_sim_cfg =
     perfect_pred = false;
     budget = Bisa_timing.Config.default.op_budget;
     out_cap = None;
+    deadline = None;
   }
 
 let cache_of_kb = function
@@ -101,6 +112,7 @@ type stats = {
   artifacts : int;
   results : int;
   spooled : int;
+  spool_skipped : int;  (* unreadable spool entries skipped at reload *)
   inflight_peak : int;
   rss_kb : int;
 }
@@ -127,6 +139,44 @@ let render_functional ~show_output ~out ~ops ~ret =
 
 let render_timing ~show_output ~out ~summary =
   (if show_output then out ^ "\n" else "") ^ summary ^ "\n"
+
+(* --- structured retryable/terminal error markers ------------------------ *)
+
+(* The retrying client must distinguish "try again" (busy server) from
+   "your request is over" (deadline expired) without parsing prose, so
+   both diagnostics are built — and recognized — here, by a stable
+   message prefix.  Both ends of the wire share these definitions. *)
+
+let busy_prefix = "server busy"
+let deadline_prefix = "deadline expired"
+
+let busy_diag ~inflight ~limit =
+  Diag.error ~component:"bisad"
+    (Printf.sprintf "%s: %d requests in flight (limit %d); retry with backoff"
+       busy_prefix inflight limit)
+
+let deadline_diag ~deadline ~ops =
+  Diag.error ~component:"bisad"
+    (Printf.sprintf
+       "%s: request exceeded its %gs deadline after %d dynamic operations"
+       deadline_prefix deadline ops)
+
+let has_prefix prefix (d : Diag.t) =
+  String.length d.Diag.message >= String.length prefix
+  && String.sub d.Diag.message 0 (String.length prefix) = prefix
+
+let is_busy_err = function
+  | Err ds -> List.exists (has_prefix busy_prefix) ds
+  | _ -> false
+
+let is_deadline_err = function
+  | Err ds -> List.exists (has_prefix deadline_prefix) ds
+  | _ -> false
+
+(* The daemon-side deadline for a request, if it carries one. *)
+let request_deadline = function
+  | Simulate { cfg; _ } | Cell { cfg; _ } -> cfg.deadline
+  | Ping | Stats | Shutdown | Compile _ | Verify _ | Batch _ -> None
 
 (* --- Diag codec --------------------------------------------------------- *)
 
@@ -217,14 +267,16 @@ let write_sim_cfg w c =
   Codec.W.int w c.icache_kb;
   Codec.W.bool w c.perfect_pred;
   Codec.W.int w c.budget;
-  Codec.W.option w Codec.W.int c.out_cap
+  Codec.W.option w Codec.W.int c.out_cap;
+  Codec.W.option w Codec.W.float c.deadline
 
 let read_sim_cfg r =
   let icache_kb = Codec.R.int r in
   let perfect_pred = Codec.R.bool r in
   let budget = Codec.R.int r in
   let out_cap = Codec.R.option r Codec.R.int in
-  { icache_kb; perfect_pred; budget; out_cap }
+  let deadline = Codec.R.option r Codec.R.float in
+  { icache_kb; perfect_pred; budget; out_cap; deadline }
 
 let write_exec w = function
   | Bisa_sim.Compile.Interp -> Codec.W.int w 0
@@ -321,6 +373,7 @@ let write_stats w s =
   Codec.W.int w s.artifacts;
   Codec.W.int w s.results;
   Codec.W.int w s.spooled;
+  Codec.W.int w s.spool_skipped;
   Codec.W.int w s.inflight_peak;
   Codec.W.int w s.rss_kb
 
@@ -331,9 +384,20 @@ let read_stats r =
   let artifacts = Codec.R.int r in
   let results = Codec.R.int r in
   let spooled = Codec.R.int r in
+  let spool_skipped = Codec.R.int r in
   let inflight_peak = Codec.R.int r in
   let rss_kb = Codec.R.int r in
-  { served; sim_hits; sim_misses; artifacts; results; spooled; inflight_peak; rss_kb }
+  {
+    served;
+    sim_hits;
+    sim_misses;
+    artifacts;
+    results;
+    spooled;
+    spool_skipped;
+    inflight_peak;
+    rss_kb;
+  }
 
 let rec write_response ~depth w = function
   | Pong { server } ->

@@ -37,6 +37,12 @@ type sim_cfg = {
   perfect_pred : bool;
   budget : int;
   out_cap : int option;
+  deadline : float option;
+      (** Per-request wall-clock deadline in seconds: the daemon answers
+          a request past it with a structured deadline [Err] (see
+          {!deadline_diag}) instead of holding the connection.  Not part
+          of the result-cache key — it bounds the wait, not the
+          result. *)
 }
 
 val default_sim_cfg : sim_cfg
@@ -89,6 +95,8 @@ type stats = {
   artifacts : int;
   results : int;
   spooled : int;
+  spool_skipped : int;
+      (** Unreadable spool entries skipped (and logged) at reload. *)
   inflight_peak : int;
   rss_kb : int;
 }
@@ -115,6 +123,25 @@ type response =
 
 val render_functional : show_output:bool -> out:string -> ops:int -> ret:int -> string
 val render_timing : show_output:bool -> out:string -> summary:string -> string
+
+(** {1 Structured retryable / terminal error markers}
+
+    The retrying client must distinguish "try again" (busy server) from
+    "your request is over" (deadline expired) without parsing prose;
+    both diagnostics are built and recognized here, by a stable message
+    prefix shared by both ends of the wire. *)
+
+val busy_diag : inflight:int -> limit:int -> Bisa_base.Diag.t
+(** The admission-control rejection: safe to retry with backoff. *)
+
+val deadline_diag : deadline:float -> ops:int -> Bisa_base.Diag.t
+(** The cooperative-deadline expiry: terminal, never retried. *)
+
+val is_busy_err : response -> bool
+val is_deadline_err : response -> bool
+
+val request_deadline : request -> float option
+(** The deadline a request carries, if any ([Simulate]/[Cell] only). *)
 
 (** {1 Payload codec} *)
 

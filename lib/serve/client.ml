@@ -4,6 +4,7 @@
    connections. *)
 
 module Diag = Bisa_base.Diag
+module Rng = Bisa_base.Rng
 module Proto = Bisa_proto.Proto
 
 let component = "bisad-client"
@@ -42,3 +43,91 @@ let with_conn path f =
   Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)
 
 let one_shot path req = with_conn path (fun fd -> call fd req)
+
+(* --- the retrying client -------------------------------------------------- *)
+
+(* Decorrelated-jitter backoff (the AWS architecture-blog variant):
+   each delay is uniform in [base, 3 x previous delay], clamped to
+   [cap].  Multiplicative enough to drain a thundering herd, jittered
+   enough that retriers desynchronize, and — seeded through the repo's
+   splitmix64 — fully deterministic for a given seed, which is what the
+   schedule tests pin down. *)
+let next_delay rng ~base ~cap prev =
+  let hi = Float.max base (prev *. 3.) in
+  Float.min cap (base +. Rng.float rng (hi -. base))
+
+let backoff_schedule ~seed ~attempts ~base ~cap =
+  let rng = Rng.create seed in
+  let rec go prev n acc =
+    if n <= 0 then List.rev acc
+    else
+      let d = next_delay rng ~base ~cap prev in
+      go d (n - 1) (d :: acc)
+  in
+  go base attempts []
+
+(* What is worth retrying: the server's structured busy rejection, and
+   transport-level failures that look like a crash or restart in
+   progress — a vanished socket file, a refused or reset connection, a
+   reply cut off mid-frame.  A deadline-expired Err is terminal by
+   design (the deadline bounded the wait; retrying would unbound it),
+   and every other semantic Err is the actual answer. *)
+let transient = function
+  | Diag.Fail d -> d.Diag.component = component
+  | Unix.Unix_error
+      ( (Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ENOTCONN),
+        _,
+        _ ) ->
+    true
+  | _ -> false
+
+let call_retry ?(attempts = 10) ?(base = 0.01) ?(cap = 0.5) ?(seed = 0)
+    ?(sleep = Unix.sleepf) ?on_retry path req =
+  let note ~attempt ~delay why =
+    match on_retry with None -> () | Some f -> f ~attempt ~delay why
+  in
+  let rng = Rng.create seed in
+  let rec go attempt prev =
+    let outcome =
+      match one_shot path req with
+      | resp -> Ok resp
+      | exception e when transient e -> Error e
+    in
+    let retryable =
+      match outcome with Ok resp -> Proto.is_busy_err resp | Error _ -> true
+    in
+    if (not retryable) || attempt >= attempts then
+      (* Exhausted retries surface the last outcome honestly: the busy
+         Err if the server kept refusing, the transport exception if it
+         never answered. *)
+      match outcome with Ok resp -> resp | Error e -> raise e
+    else begin
+      let delay = next_delay rng ~base ~cap prev in
+      note ~attempt ~delay
+        (match outcome with
+        | Ok _ -> "busy"
+        | Error (Diag.Fail d) -> d.Diag.message
+        | Error e -> Printexc.to_string e);
+      sleep delay;
+      go (attempt + 1) delay
+    end
+  in
+  go 1 base
+
+(* A liveness probe that cannot hang: a SIGSTOPped or wedged server
+   holds the socket open but never answers, so the probe socket gets
+   kernel-level send/receive timeouts and any failure — including the
+   timeout's EAGAIN — reads as "not healthy". *)
+let healthy ?(timeout = 1.0) path =
+  match
+    let fd = connect path in
+    Fun.protect
+      ~finally:(fun () -> close fd)
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+        call fd Proto.Ping)
+  with
+  | Proto.Pong _ -> true
+  | _ -> false
+  | exception _ -> false

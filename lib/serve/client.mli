@@ -15,3 +15,43 @@ val close : Unix.file_descr -> unit
 val with_conn : string -> (Unix.file_descr -> 'a) -> 'a
 
 val one_shot : string -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response
+
+(** {1 The retrying client}
+
+    Crash-tolerant calls for clients of a supervised server: transient
+    failures — the structured busy [Err], a vanished/refused/reset
+    socket, a reply cut off mid-frame — are retried with seeded
+    decorrelated-jitter backoff.  A deadline-expired [Err] is terminal
+    and returned immediately (the deadline bounded the wait; retrying
+    would unbound it), as is every other semantic [Err]. *)
+
+val backoff_schedule :
+  seed:int -> attempts:int -> base:float -> cap:float -> float list
+(** The exact delays {!call_retry} would sleep for [seed]: each is
+    uniform in [[base, 3 x previous]] clamped to [cap] (decorrelated
+    jitter).  Pure and deterministic — the testable form of the retry
+    policy. *)
+
+val call_retry :
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  string ->
+  Bisa_proto.Proto.request ->
+  Bisa_proto.Proto.response
+(** One fresh connection per attempt (a reset fd is useless and the
+    server may have been restarted under the same path).  Defaults:
+    10 attempts, 10ms base, 500ms cap, seed 0.  When attempts are
+    exhausted the last outcome surfaces honestly: the busy [Err] if the
+    server kept refusing, the transport exception if it never answered.
+    [sleep] and [on_retry] exist for tests and for supervisors that
+    want retry telemetry. *)
+
+val healthy : ?timeout:float -> string -> bool
+(** A liveness probe that cannot hang: ping over a fresh socket with
+    kernel send/receive timeouts (default 1s).  [false] on any failure,
+    including a server that holds the socket open but never answers (a
+    SIGSTOPped or wedged process). *)

@@ -137,9 +137,21 @@ type t = {
   mutable sim_hits : int;
   mutable sim_misses : int;
   mutable spooled : int;
+  mutable spool_skipped : int;
   mutable inflight_peak : int;
   mutable probe : unit -> Bisa_obs.Probe.t option;
+  log : Diag.t -> unit;
 }
+
+let hit t =
+  Mutex.lock t.lock;
+  t.sim_hits <- t.sim_hits + 1;
+  Mutex.unlock t.lock
+
+let miss t =
+  Mutex.lock t.lock;
+  t.sim_misses <- t.sim_misses + 1;
+  Mutex.unlock t.lock
 
 let memoize t table key ~compute =
   Mutex.lock t.lock;
@@ -208,14 +220,26 @@ let load_spool t dir =
             Queue.push key t.order;
             t.spooled <- t.spooled + 1
           end
-        | exception _ ->
-          (* A foreign or stale file; atomic writes mean it cannot be a
-             torn one of ours.  Leave it alone. *)
-          ()
+        | exception e ->
+          (* A foreign, stale or externally-corrupted file; atomic writes
+             mean it cannot be a torn one of ours.  Skip it, but loudly:
+             the count surfaces in Stats and each file gets one
+             structured diagnostic, so spool damage is never silent. *)
+          t.spool_skipped <- t.spool_skipped + 1;
+          let why =
+            match e with
+            | Diag.Fail d -> d.Diag.message
+            | Sys_error m -> m
+            | e -> Printexc.to_string e
+          in
+          t.log
+            (Diag.error ~component
+               (Printf.sprintf "spool: skipped unreadable entry %s: %s" path why))
       end)
     files
 
-let create ?(pool = Pool.sequential) ?spool_dir ?(result_cap = 4096) () =
+let create ?(pool = Pool.sequential) ?spool_dir ?(result_cap = 4096)
+    ?(log = fun (_ : Diag.t) -> ()) () =
   let t =
     {
       pool;
@@ -232,8 +256,10 @@ let create ?(pool = Pool.sequential) ?spool_dir ?(result_cap = 4096) () =
       sim_hits = 0;
       sim_misses = 0;
       spooled = 0;
+      spool_skipped = 0;
       inflight_peak = 0;
       probe = (fun () -> None);
+      log;
     }
   in
   Option.iter (load_spool t) spool_dir;
@@ -275,6 +301,7 @@ let stats t : Proto.stats =
       artifacts = Hashtbl.length t.conv_arts + Hashtbl.length t.block_arts;
       results = Hashtbl.length t.results;
       spooled = t.spooled;
+      spool_skipped = t.spool_skipped;
       inflight_peak = t.inflight_peak;
       rss_kb = vm_hwm_kb ();
     }
@@ -368,6 +395,20 @@ let compute_result t key ~compute =
   if !fresh then note_result t key entry;
   (entry, not !fresh)
 
+(* Record a result computed outside the memo discipline (a sliced job
+   sealed by the server loop).  If the key is already present — a Batch
+   worker raced the same computation through [compute_result] — that path
+   owns the bookkeeping and this insert is dropped; both computed the
+   same pure replay, so nothing is lost. *)
+let insert_result t key entry =
+  Mutex.lock t.lock;
+  let fresh = not (Hashtbl.mem t.results key) in
+  if fresh then
+    Hashtbl.add t.results key
+      { cm = Mutex.create (); cc = Condition.create (); state = Ready entry };
+  Mutex.unlock t.lock;
+  if fresh then note_result t key entry
+
 (* --- request handlers ---------------------------------------------------- *)
 
 module type FUNC_EXEC = sig
@@ -379,18 +420,58 @@ module type FUNC_EXEC = sig
   val output : t -> Bisa_sim.Output.t
   val ops : t -> int
   val trap : t -> Diag.t option
-  val run_interp : t -> unit
-  val run_compiled : t -> unit
+
+  val stepper : Bisa_sim.Compile.backend -> t -> unit -> bool
+  (** One fetch-unit step under the chosen backend; [false] once halted.
+      The suspendable form both the synchronous path and the server
+      loop's bounded slices drive. *)
 end
 
-let run_functional (type s) ~budget ~out_cap ~exec
-    (module E : FUNC_EXEC with type t = s) =
-  let e = E.create () in
-  E.set_budget e budget;
-  Option.iter (E.set_out_cap e) out_cap;
-  (match exec with
-  | Bisa_sim.Compile.Interp -> E.run_interp e
-  | Bisa_sim.Compile.Compiled -> E.run_compiled e);
+let func_conv prog : (module FUNC_EXEC) =
+  (module struct
+    module E = Bisa_sim.Conv_exec
+
+    type t = E.t
+
+    let create () = E.create prog
+    let set_budget = E.set_budget
+    let set_out_cap = E.set_out_cap
+    let output = E.output
+    let ops = E.dyn_insns
+    let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
+
+    let stepper exec e =
+      match exec with
+      | Bisa_sim.Compile.Interp -> fun () -> E.step e <> None
+      | Bisa_sim.Compile.Compiled ->
+        let module C = Bisa_sim.Compile.Conv in
+        let ce = C.bind (C.compile_trusted prog) e in
+        fun () -> C.step ce <> None
+  end)
+
+let func_block prog : (module FUNC_EXEC) =
+  (module struct
+    module E = Bisa_sim.Block_exec
+
+    type t = E.t
+
+    let create () = E.create prog
+    let set_budget = E.set_budget
+    let set_out_cap = E.set_out_cap
+    let output = E.output
+    let ops = E.retired_ops
+    let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
+
+    let stepper exec e =
+      match exec with
+      | Bisa_sim.Compile.Interp -> fun () -> E.step e <> None
+      | Bisa_sim.Compile.Compiled ->
+        let module C = Bisa_sim.Compile.Block in
+        let ce = C.bind (C.compile_trusted prog) e in
+        fun () -> C.step ce <> None
+  end)
+
+let seal_functional (type s) (module E : FUNC_EXEC with type t = s) (e : s) =
   let out = E.output e in
   let notes =
     match E.trap e with None -> "" | Some d -> Diag.render d ^ "\n"
@@ -403,55 +484,20 @@ let run_functional (type s) ~budget ~out_cap ~exec
       notes;
     }
 
+let run_functional ~budget ~out_cap ~exec (module E : FUNC_EXEC) =
+  let e = E.create () in
+  E.set_budget e budget;
+  Option.iter (E.set_out_cap e) out_cap;
+  let step = E.stepper exec e in
+  let rec go () = if step () then go () in
+  go ();
+  seal_functional (module E) e
+
 let functional_conv prog ~budget ~out_cap ~exec =
-  run_functional ~budget ~out_cap ~exec
-    (module struct
-      module E = Bisa_sim.Conv_exec
-
-      type t = E.t
-
-      let create () = E.create prog
-      let set_budget = E.set_budget
-      let set_out_cap = E.set_out_cap
-      let output = E.output
-      let ops = E.dyn_insns
-      let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
-
-      let run_interp e =
-        let rec go () = match E.step e with Some _ -> go () | None -> () in
-        go ()
-
-      let run_compiled e =
-        let module C = Bisa_sim.Compile.Conv in
-        let ce = C.bind (C.compile_trusted prog) e in
-        let rec go () = match C.step ce with Some _ -> go () | None -> () in
-        go ()
-    end)
+  run_functional ~budget ~out_cap ~exec (func_conv prog)
 
 let functional_block prog ~budget ~out_cap ~exec =
-  run_functional ~budget ~out_cap ~exec
-    (module struct
-      module E = Bisa_sim.Block_exec
-
-      type t = E.t
-
-      let create () = E.create prog
-      let set_budget = E.set_budget
-      let set_out_cap = E.set_out_cap
-      let output = E.output
-      let ops = E.retired_ops
-      let trap e = Option.map E.machine_trap_diag (E.machine_trap e)
-
-      let run_interp e =
-        let rec go () = match E.step e with Some _ -> go () | None -> () in
-        go ()
-
-      let run_compiled e =
-        let module C = Bisa_sim.Compile.Block in
-        let ce = C.bind (C.compile_trusted prog) e in
-        let rec go () = match C.step ce with Some _ -> go () | None -> () in
-        go ()
-    end)
+  run_functional ~budget ~out_cap ~exec (func_block prog)
 
 let render_sim ~show_output ~cached ~prog_hash = function
   | Fun_r { out; ops; ret; notes } ->
@@ -579,22 +625,27 @@ let cell t ~bench ~scale ~isa ~exec ~(cfg : Proto.sim_cfg) =
 
 (* Every failure a request can legitimately produce becomes a structured
    Err response; the connection (and the daemon) survives. *)
+let err_of_exn : exn -> Proto.response option = function
+  | Bisa_compiler.Compiler.Compile_error d -> Some (Proto.Err [ d ])
+  | Bisa_isa.Encode.Malformed d -> Some (Proto.Err [ d ])
+  | Diag.Fail d -> Some (Proto.Err [ d ])
+  | Bisa_sim.Conv_exec.Runaway n ->
+    Some (Proto.Err [ Bisa_sim.Conv_exec.runaway_diag n ])
+  | Bisa_sim.Block_exec.Runaway n ->
+    Some (Proto.Err [ Bisa_sim.Block_exec.runaway_diag n ])
+  | Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
+    Some (Proto.Err [ Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested ])
+  | Bisa_sim.Memory.Unaligned a ->
+    Some
+      (Proto.Err
+         [ Diag.error ~component (Printf.sprintf "unaligned memory access at 0x%x" a) ])
+  | Sys_error msg -> Some (Proto.Err [ Diag.error ~component msg ])
+  | _ -> None
+
 let guard f =
   match f () with
   | resp -> resp
-  | exception Bisa_compiler.Compiler.Compile_error d -> Proto.Err [ d ]
-  | exception Bisa_isa.Encode.Malformed d -> Proto.Err [ d ]
-  | exception Diag.Fail d -> Proto.Err [ d ]
-  | exception Bisa_sim.Conv_exec.Runaway n ->
-    Proto.Err [ Bisa_sim.Conv_exec.runaway_diag n ]
-  | exception Bisa_sim.Block_exec.Runaway n ->
-    Proto.Err [ Bisa_sim.Block_exec.runaway_diag n ]
-  | exception Bisa_sim.Block_exec.Illegal_fetch { required; requested } ->
-    Proto.Err [ Bisa_sim.Block_exec.illegal_fetch_diag ~required ~requested ]
-  | exception Bisa_sim.Memory.Unaligned a ->
-    Proto.Err
-      [ Diag.error ~component (Printf.sprintf "unaligned memory access at 0x%x" a) ]
-  | exception Sys_error msg -> Proto.Err [ Diag.error ~component msg ]
+  | exception e -> (match err_of_exn e with Some r -> r | None -> raise e)
 
 let handle_one t (req : Proto.request) : Proto.response =
   Mutex.lock t.lock;
@@ -645,3 +696,209 @@ let handle t (req : Proto.request) : Proto.response =
   match req with
   | Proto.Batch reqs -> Proto.Batch_r (Pool.map_list t.pool (handle_one t) reqs)
   | req -> handle_one t req
+
+(* --- sliced jobs: the cooperative form of Simulate and Cell -------------- *)
+
+(* A simulation the server loop advances in bounded slices between select
+   rounds, so one paper-scale request never monopolizes the daemon.  The
+   closures own the suspended executor or pipeline session; [jstep n]
+   retires up to [n] more dynamic operations and says whether the machine
+   halted, [jseal] finalizes, caches and renders — exactly the bytes the
+   synchronous path would have produced, since both end in the same
+   render helpers over the same payload. *)
+type job = {
+  jkey : string;  (** the result-cache key; the server dedups waiters on it *)
+  jstep : int -> bool;
+  jseal : unit -> Proto.response;
+  jops : unit -> int;
+  mutable jdone : bool;
+}
+
+type started = Done of Proto.response | Job of job
+
+let job_key j = j.jkey
+let job_ops j = j.jops ()
+
+let session_job (type p a) t
+    (module P : Pipeline.S with type prog = p and type artifact = a) ~config
+    ~out_cap ~key (art : a) ~seal =
+  let session = P.session_artifact ?probe:(t.probe ()) config art in
+  Option.iter (P.set_out_cap session) out_cap;
+  let jstep n =
+    let target = P.ops session + n in
+    let rec go () =
+      if P.step session then if P.ops session < target then go () else false
+      else true
+    in
+    go ()
+  in
+  Job
+    {
+      jkey = key;
+      jstep;
+      jseal = (fun () -> seal (P.finish session));
+      jops = (fun () -> P.ops session);
+      jdone = false;
+    }
+
+let simulate_start (type p a) t
+    (module P : Pipeline.S with type prog = p and type artifact = a)
+    ~(artifact : exec:Bisa_sim.Compile.backend -> p -> int64 * a)
+    ~(functional : p -> (module FUNC_EXEC)) (prog : p) ~mode ~exec
+    ~(cfg : Proto.sim_cfg) ~show_output =
+  let config = Proto.to_config cfg in
+  let prog_hash = P.prog_hash prog in
+  let key =
+    sim_key ~what:"sim" ~isa:P.isa ~prog_hash ~cfg:config ~exec ~mode
+      ~out_cap:cfg.out_cap
+  in
+  match find_result t key with
+  | Some entry ->
+    hit t;
+    Done (render_sim ~show_output ~cached:true ~prog_hash:entry.prog_hash entry.payload)
+  | None -> (
+    match mode with
+    | Proto.Functional ->
+      (match P.verify prog with [] -> () | ds -> reject "program" ds);
+      let (module E) = functional prog in
+      let e = E.create () in
+      E.set_budget e cfg.budget;
+      Option.iter (E.set_out_cap e) cfg.out_cap;
+      let step = E.stepper exec e in
+      let jstep n =
+        let target = E.ops e + n in
+        let rec go () =
+          if step () then if E.ops e < target then go () else false else true
+        in
+        go ()
+      in
+      Job
+        {
+          jkey = key;
+          jstep;
+          jseal =
+            (fun () ->
+              let payload = seal_functional (module E) e in
+              insert_result t key { prog_hash; payload };
+              miss t;
+              render_sim ~show_output ~cached:false ~prog_hash payload);
+          jops = (fun () -> E.ops e);
+          jdone = false;
+        }
+    | Proto.Timing ->
+      let _, art = artifact ~exec prog in
+      session_job t
+        (module P)
+        ~config ~out_cap:cfg.out_cap ~key art
+        ~seal:(fun (m, out) ->
+          let payload =
+            Tim_r
+              {
+                out = Bisa_sim.Output.to_string out;
+                summary = Metrics.summary ~name:P.descr m;
+              }
+          in
+          insert_result t key { prog_hash; payload };
+          miss t;
+          render_sim ~show_output ~cached:false ~prog_hash payload))
+
+let cell_start t ~bench ~scale ~isa ~exec ~(cfg : Proto.sim_cfg) =
+  let w =
+    match Bisa_workloads.Workloads.find bench with
+    | w -> w
+    | exception Invalid_argument _ ->
+      Diag.fail ~component "no such workload: %s (workloads: %s)" bench
+        (String.concat " " Bisa_workloads.Workloads.names)
+  in
+  let compiled =
+    memoize t t.bench_compiled (bench_key ~bench ~scale) ~compute:(fun () ->
+        match scale with
+        | Some scale -> Bisa_workloads.Workloads.compile ~scale w
+        | None -> Bisa_workloads.Workloads.compile w)
+  in
+  let config = Proto.to_config cfg in
+  let run (type p a) (module P : Pipeline.S with type prog = p and type artifact = a)
+      ~(artifact : exec:Bisa_sim.Compile.backend -> p -> int64 * a) (prog : p) =
+    let prog_hash, art = artifact ~exec prog in
+    let key =
+      sim_key
+        ~what:(bench_key ~bench ~scale)
+        ~isa:P.isa ~prog_hash ~cfg:config ~exec ~mode:Proto.Timing
+        ~out_cap:cfg.out_cap
+    in
+    match find_result t key with
+    | Some entry -> (
+      hit t;
+      match entry.payload with
+      | Cell_r { summary } ->
+        Done (Proto.Cell_done { summary; prog_hash = entry.prog_hash; cached = true })
+      | Fun_r _ | Tim_r _ ->
+        Diag.fail ~component "cell cache entry has a simulate payload (key clash)")
+    | None ->
+      session_job t
+        (module P)
+        ~config ~out_cap:cfg.out_cap ~key art
+        ~seal:(fun (m, _out) ->
+          let summary = Metrics.summary ~name:(bench ^ "/" ^ P.isa) m in
+          insert_result t key { prog_hash; payload = Cell_r { summary } };
+          miss t;
+          Proto.Cell_done { summary; prog_hash; cached = false })
+  in
+  match isa with
+  | Proto.Conv -> run (module Pipeline.Conv) ~artifact:(conv_artifact t) compiled.conv
+  | Proto.Block -> run (module Pipeline.Block) ~artifact:(block_artifact t) compiled.block
+
+(* [start] is what the server loop calls instead of [handle]: the
+   long-running request shapes come back as suspendable jobs, everything
+   else (and every failure during job construction — a compile error, a
+   verification rejection, an unknown workload) is answered on the
+   spot.  A [Batch] is still scheduled as one synchronous unit across
+   the worker pool; its sub-requests are not sliced. *)
+let start t (req : Proto.request) : started =
+  match req with
+  | Proto.Simulate _ | Proto.Cell _ -> (
+    Mutex.lock t.lock;
+    t.served <- t.served + 1;
+    Mutex.unlock t.lock;
+    match
+      match req with
+      | Proto.Simulate { src; isa = Proto.Conv; mode; exec; cfg; show_output } ->
+        simulate_start t
+          (module Pipeline.Conv)
+          ~artifact:(conv_artifact t) ~functional:func_conv (conv_prog t src) ~mode
+          ~exec ~cfg ~show_output
+      | Proto.Simulate { src; isa = Proto.Block; mode; exec; cfg; show_output } ->
+        simulate_start t
+          (module Pipeline.Block)
+          ~artifact:(block_artifact t) ~functional:func_block (block_prog t src)
+          ~mode ~exec ~cfg ~show_output
+      | Proto.Cell { bench; scale; isa; exec; cfg } ->
+        cell_start t ~bench ~scale ~isa ~exec ~cfg
+      | _ -> assert false
+    with
+    | started -> started
+    | exception e -> (
+      match err_of_exn e with Some r -> Done r | None -> raise e))
+  | req -> Done (handle t req)
+
+(* Advance one bounded slice.  A mid-flight failure (an op-budget runaway,
+   a machine trap the executor surfaces as an exception) seals the job
+   with a structured [Err] and caches nothing — the same outcome the
+   synchronous path's guard would produce. *)
+let step_job job ~slice_ops : [ `More | `Done of Proto.response ] =
+  match
+    if job.jstep slice_ops then begin
+      job.jdone <- true;
+      `Done (job.jseal ())
+    end
+    else `More
+  with
+  | r -> r
+  | exception e ->
+    job.jdone <- true;
+    (match err_of_exn e with Some r -> `Done r | None -> raise e)
+
+(* Abandoning a job (its last waiter's deadline expired, or its
+   connection died) is just dropping the closures: the suspended session
+   holds no locks, no cells, no spool state. *)
+let abort_job job = job.jdone <- true

@@ -16,12 +16,19 @@
 type t
 
 val create :
-  ?pool:Bisa_base.Pool.t -> ?spool_dir:string -> ?result_cap:int -> unit -> t
+  ?pool:Bisa_base.Pool.t ->
+  ?spool_dir:string ->
+  ?result_cap:int ->
+  ?log:(Bisa_base.Diag.t -> unit) ->
+  unit ->
+  t
 (** [pool] shards [Batch] requests (default sequential).  [spool_dir] is
-    created if missing and scanned for previously spooled results.
-    [result_cap] (default 4096) bounds the in-memory result cache;
-    eviction is insertion-order FIFO, and evicted entries remain on the
-    spool. *)
+    created if missing and scanned for previously spooled results;
+    unreadable entries are skipped, counted in {!stats}'s
+    [spool_skipped], and each reported once through [log] (default:
+    silently dropped).  [result_cap] (default 4096) bounds the in-memory
+    result cache; eviction is insertion-order FIFO, and evicted entries
+    remain on the spool. *)
 
 val handle : t -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response
 (** Serve one request.  Never raises: every failure — compile error,
@@ -30,6 +37,42 @@ val handle : t -> Bisa_proto.Proto.request -> Bisa_proto.Proto.response
     submission-order results, so batch responses are byte-identical at
     every worker count.  [Shutdown] returns [Bye]; acting on it is the
     server loop's job. *)
+
+(** {1 Sliced jobs}
+
+    The cooperative form of [Simulate] and [Cell]: the server loop
+    advances a suspended simulation in bounded operation slices between
+    select rounds, so one paper-scale request never monopolizes the
+    daemon.  Sealed jobs land in the same result cache and render the
+    same bytes as {!handle} would have. *)
+
+type job
+
+type started = Done of Bisa_proto.Proto.response | Job of job
+
+val start : t -> Bisa_proto.Proto.request -> started
+(** Like {!handle}, but [Simulate] and [Cell] misses come back as
+    suspendable jobs (cache hits, and every failure during job
+    construction, are answered on the spot).  [Batch] remains one
+    synchronous unit across the worker pool — its sub-requests are not
+    sliced.  Never raises. *)
+
+val step_job : job -> slice_ops:int -> [ `More | `Done of Bisa_proto.Proto.response ]
+(** Retire up to [slice_ops] more dynamic operations.  On completion the
+    result is cached, spooled and rendered; a mid-flight failure (an
+    op-budget runaway, a machine trap) seals the job with a structured
+    [Err] and caches nothing.  Never raises; must not be called again
+    after [`Done]. *)
+
+val abort_job : job -> unit
+(** Abandon a job (last waiter gone): drops the suspended session.  No
+    cache or spool state exists to clean up. *)
+
+val job_key : job -> string
+(** The result-cache key — identical requests in flight share one job. *)
+
+val job_ops : job -> int
+(** Dynamic operations retired so far, for deadline-expiry reporting. *)
 
 val stats : t -> Bisa_proto.Proto.stats
 

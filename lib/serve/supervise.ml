@@ -1,0 +1,211 @@
+(* Self-healing supervision for bisad: a monitor process that spawns the
+   server, watches it, and restarts it when it dies or stops answering.
+
+   The design is crash-only: the server's own durability story (the
+   atomic result spool, the stale-socket takeover in [Server.listen])
+   means a restart is always safe — the child reloads every finished
+   result and carries on, so the supervisor never needs to distinguish
+   "crashed cleanly" from "SIGKILLed mid-write".  What the supervisor
+   adds on top:
+
+     - restart with exponential backoff (doubling to a cap), reset once
+       a child proves stable, so a crash loop cannot become a fork bomb
+       but a one-off crash restarts promptly
+     - liveness, not just existence: periodic health pings through
+       {!Client.healthy}, whose kernel-level socket timeouts see through
+       a process that is alive but wedged (SIGSTOPped, spinning); a
+       configurable number of consecutive strikes escalates to a kill
+       and restart, so one slow round is never a death sentence
+     - clean shutdown passthrough: SIGTERM/SIGINT to the supervisor
+       forwards SIGTERM to the child, waits a bounded grace, then
+       SIGKILLs — and a child that exits 0 on its own (a client sent
+       Shutdown) ends supervision rather than fighting it
+     - a pid file (atomically written) naming the current child, so
+       operators and the chaos harness can target the real server. *)
+
+module Diag = Bisa_base.Diag
+
+let component = "bisad-supervise"
+
+type config = {
+  socket : string;
+  health_interval : float;
+  health_timeout : float;
+  health_strikes : int;
+  grace : float;
+  backoff_base : float;
+  backoff_cap : float;
+  stable_secs : float;
+  max_restarts : int option;
+  pid_file : string option;
+  log : Diag.t -> unit;
+}
+
+let default ~socket =
+  {
+    socket;
+    health_interval = 2.0;
+    health_timeout = 1.0;
+    health_strikes = 3;
+    grace = 5.0;
+    backoff_base = 0.5;
+    backoff_cap = 10.0;
+    stable_secs = 30.0;
+    max_restarts = None;
+    pid_file = None;
+    log = (fun _ -> ());
+  }
+
+type report = { restarts : int; crashes : int; health_kills : int; graceful : bool }
+
+let nap d = try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let note cfg fmt =
+  Printf.ksprintf
+    (fun message -> cfg.log (Diag.make ~severity:Diag.Note ~component message))
+    fmt
+
+let warn cfg fmt =
+  Printf.ksprintf (fun message -> cfg.log (Diag.warning ~component message)) fmt
+
+let write_pid cfg pid =
+  match cfg.pid_file with
+  | None -> ()
+  | Some path -> Bisa_base.Atomic_file.write_string path (string_of_int pid ^ "\n")
+
+let clear_pid cfg =
+  match cfg.pid_file with
+  | None -> ()
+  | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* OCaml signal numbers are its own encoding (negative for the portable
+   set); name the ones a supervisor actually sees. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigstop then "SIGSTOP"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else Printf.sprintf "signal %d" s
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+(* SIGTERM, a bounded grace, then SIGKILL; always reaps. *)
+let term_then_kill cfg pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. cfg.grace in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      end
+      else begin
+        nap 0.05;
+        go ()
+      end
+    | _, status -> note cfg "child %d %s after SIGTERM" pid (status_string status)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  go ()
+
+let run ?(install_signals = true) cfg ~spawn =
+  let stopping = ref false in
+  let previous = ref [] in
+  if install_signals then
+    List.iter
+      (fun s ->
+        previous :=
+          (s, Sys.signal s (Sys.Signal_handle (fun _ -> stopping := true)))
+          :: !previous)
+      [ Sys.sigterm; Sys.sigint ];
+  let restarts = ref 0 in
+  let crashes = ref 0 in
+  let health_kills = ref 0 in
+  let backoff = ref cfg.backoff_base in
+  let finally () =
+    clear_pid cfg;
+    List.iter (fun (s, b) -> Sys.set_signal s b) !previous
+  in
+  Fun.protect ~finally @@ fun () ->
+  let graceful = ref false in
+  let give_up = ref false in
+  while (not !graceful) && (not !give_up) && not !stopping do
+    let pid = spawn () in
+    let started = Unix.gettimeofday () in
+    write_pid cfg pid;
+    note cfg "child %d started (restart %d)" pid !restarts;
+    let strikes = ref 0 in
+    let last_health = ref started in
+    let exit_status = ref None in
+    (* Watch this child until it exits, is killed for failing health
+       checks, or the supervisor itself is asked to stop. *)
+    while !exit_status = None && not !stopping do
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        let now = Unix.gettimeofday () in
+        if now -. !last_health >= cfg.health_interval then begin
+          last_health := now;
+          if Client.healthy ~timeout:cfg.health_timeout cfg.socket then strikes := 0
+          else begin
+            incr strikes;
+            warn cfg "child %d failed health check (%d/%d)" pid !strikes
+              cfg.health_strikes;
+            if !strikes >= cfg.health_strikes then begin
+              incr health_kills;
+              warn cfg "child %d unresponsive; killing for restart" pid;
+              term_then_kill cfg pid;
+              (* Treated exactly like a crash below. *)
+              exit_status := Some (Unix.WSIGNALED Sys.sigkill)
+            end
+          end
+        end;
+        if !exit_status = None then nap 0.05
+      | _, status -> exit_status := Some status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        exit_status := Some (Unix.WEXITED 0));
+      ()
+    done;
+    if !stopping && !exit_status = None then begin
+      note cfg "supervisor stopping; terminating child %d" pid;
+      term_then_kill cfg pid;
+      graceful := true
+    end
+    else
+      match !exit_status with
+      | Some (Unix.WEXITED 0) ->
+        note cfg "child %d shut down cleanly; supervision ends" pid;
+        graceful := true
+      | Some status ->
+        incr crashes;
+        let uptime = Unix.gettimeofday () -. started in
+        (* A child that ran long enough proved the backoff can reset;
+           a quick death doubles it toward the cap. *)
+        if uptime >= cfg.stable_secs then backoff := cfg.backoff_base;
+        (match cfg.max_restarts with
+        | Some m when !restarts >= m ->
+          warn cfg "child %d %s; giving up after %d restarts" pid
+            (status_string status) !restarts;
+          give_up := true
+        | _ ->
+          warn cfg "child %d %s after %.1fs; restarting in %.2fs" pid
+            (status_string status) uptime !backoff;
+          incr restarts;
+          nap !backoff;
+          backoff := Float.min cfg.backoff_cap (!backoff *. 2.))
+      | None -> ()
+  done;
+  {
+    restarts = !restarts;
+    crashes = !crashes;
+    health_kills = !health_kills;
+    graceful = !graceful;
+  }

@@ -1,0 +1,48 @@
+(** Self-healing supervision for bisad: spawn the server, watch it,
+    restart it when it dies or stops answering.
+
+    Crash-only by construction: the server's atomic result spool and
+    stale-socket takeover make every restart safe, so the supervisor
+    treats a SIGKILL mid-write and a clean crash identically — respawn
+    and let the child warm itself from the spool.  Restarts back off
+    exponentially (doubling to a cap) and the backoff resets once a
+    child stays up [stable_secs].  Liveness is checked with
+    {!Client.healthy} (kernel-timeout pings that see through a wedged or
+    SIGSTOPped process); [health_strikes] consecutive failures escalate
+    to SIGTERM-grace-SIGKILL and a restart.  SIGTERM/SIGINT to the
+    supervisor forward SIGTERM to the child and end supervision, as does
+    a child exiting 0 on its own (a client sent [Shutdown]). *)
+
+type config = {
+  socket : string;  (** the server's socket path, pinged for liveness *)
+  health_interval : float;  (** seconds between pings (default 2.0) *)
+  health_timeout : float;  (** per-ping kernel socket timeout (default 1.0) *)
+  health_strikes : int;
+      (** consecutive ping failures before the child is killed for
+          restart (default 3) — one slow round is never fatal *)
+  grace : float;  (** SIGTERM-to-SIGKILL escalation window (default 5.0) *)
+  backoff_base : float;  (** first restart delay (default 0.5) *)
+  backoff_cap : float;  (** restart delay ceiling (default 10.0) *)
+  stable_secs : float;  (** uptime that resets the backoff (default 30.0) *)
+  max_restarts : int option;  (** [None] (default) = never give up *)
+  pid_file : string option;
+      (** atomically (re)written with the current child pid — how
+          operators and the chaos harness target the real server *)
+  log : Bisa_base.Diag.t -> unit;  (** one structured line per event *)
+}
+
+val default : socket:string -> config
+
+type report = {
+  restarts : int;
+  crashes : int;  (** child deaths observed, including health kills *)
+  health_kills : int;
+  graceful : bool;  (** ended by clean child exit or supervisor signal *)
+}
+
+val run : ?install_signals:bool -> config -> spawn:(unit -> int) -> report
+(** Supervise [spawn] (which forks/execs one server child and returns
+    its pid) until a clean end or the restart budget is exhausted.
+    [install_signals] (default true) installs SIGTERM/SIGINT handlers
+    for the passthrough behavior; pass [false] when the caller (a test,
+    the chaos harness) manages signals itself. *)

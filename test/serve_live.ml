@@ -1,0 +1,170 @@
+(* Live-server robustness checks that must fork a real bisad child:
+   cooperative liveness under a paper-scale job, deadline expiry into the
+   structured Err, admission control, and slow-loris idle eviction.
+
+   A separate executable (not part of test_main) because Unix.fork is
+   forbidden once other domains exist, and the main suite's pool tests
+   create domains.  Run via the serve-live alias, pinned domain-free. *)
+
+module Proto = Bisa_proto.Proto
+module Engine = Bisa_serve.Engine
+module Server = Bisa_serve.Server
+module Client = Bisa_serve.Client
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "serve-live FAIL: %s\n%!" what
+  end
+
+let src =
+  "int main() { int i; int s = 0; for (i = 0; i < 40; i = i + 1) { s = s + i * \
+   3; } print_int(s); return s & 255; }"
+
+let src2 = "int main() { print_int(7); return 7; }"
+
+(* Work that outlasts every assertion below (the server is SIGKILLed when
+   a check ends, so nothing ever waits for it to finish). *)
+let long_src =
+  "int main() { int i; int s = 0; for (i = 0; i < 5000000; i = i + 1) { s = s \
+   + (i ^ (s >> 3)); } print_int(s); return s & 255; }"
+
+let sim ?(s = src) ?deadline () =
+  Proto.Simulate
+    {
+      src = Proto.Source { src = s; libs = [] };
+      isa = Proto.Block;
+      mode = Proto.Timing;
+      exec = Bisa_sim.Compile.Interp;
+      cfg = { Proto.default_sim_cfg with Proto.deadline };
+      show_output = true;
+    }
+
+let tmp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bisa-live-%s-%d" name (Unix.getpid ()))
+  in
+  (try
+     Array.iter (fun e -> Sys.remove (Filename.concat d e)) (Sys.readdir d);
+     Unix.rmdir d
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Unix.mkdir d 0o755;
+  d
+
+(* Fork a real server child on a fresh socket; wait for the socket to
+   accept, run [f], then SIGKILL the child — these checks must not
+   depend on graceful drain (that is the daemon smoke test's job). *)
+let with_server ?deadline ?idle_timeout ?(max_inflight = 4) name f =
+  let path = Filename.concat (tmp_dir name) "sock" in
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let engine = Engine.create () in
+       Server.serve ~max_inflight ?deadline ?idle_timeout ~engine ~path ();
+       Unix._exit 0
+     with _ -> Unix._exit 1)
+  | pid ->
+    let finally () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally (fun () ->
+        Client.close (Client.retry_connect path);
+        f path)
+
+(* Park a long job on its own connection without waiting for the reply. *)
+let send_no_wait path req =
+  let fd = Client.connect path in
+  let frame = Proto.frame (Proto.encode_request req) in
+  ignore (Unix.write_substring fd frame 0 (String.length frame));
+  fd
+
+(* A paper-scale job in flight must not cost a concurrent ping more than
+   a slice: the cooperative loop's headline guarantee. *)
+let test_ping_under_load () =
+  with_server "ping" @@ fun path ->
+  let fd = send_no_wait path (sim ~s:long_src ()) in
+  Unix.sleepf 0.2 (* let the server read, compile, and park the job *);
+  let t0 = Unix.gettimeofday () in
+  (match Client.one_shot path Proto.Ping with
+  | Proto.Pong _ -> ()
+  | _ -> check "ping under load did not Pong" false);
+  let dt = Unix.gettimeofday () -. t0 in
+  (match Client.one_shot path Proto.Stats with
+  | Proto.Stats_r s ->
+    check "the job really was in flight" (s.Proto.inflight_peak >= 1)
+  | _ -> check "stats under load" false);
+  Client.close fd;
+  check
+    (Printf.sprintf "ping answered in %.3fs with a job in flight" dt)
+    (dt < 0.5)
+
+(* A deadline-passed request comes back as the structured deadline Err —
+   never retried by the client, never cached by the engine: the same
+   request without a deadline then computes the full answer. *)
+let test_deadline_expiry () =
+  with_server "deadline" @@ fun path ->
+  let with_deadline = sim ~deadline:1e-6 () in
+  let r = Client.one_shot path with_deadline in
+  check "deadline expiry is the structured Err" (Proto.is_deadline_err r);
+  check "and is not the busy Err" (not (Proto.is_busy_err r));
+  (* The retrying client treats it as terminal: no sleeps, same answer. *)
+  let sleeps = ref 0 in
+  let r' = Client.call_retry ~sleep:(fun _ -> incr sleeps) path with_deadline in
+  check "call_retry never retries a deadline Err"
+    (Proto.is_deadline_err r' && !sleeps = 0);
+  match Client.one_shot path (sim ()) with
+  | Proto.Sim { stdout; cached; _ } ->
+    check "the aborted job cached nothing" (not cached);
+    check "undeadlined rerun computes the answer" (stdout <> "")
+  | _ -> check "undeadlined rerun answered" false
+
+(* Admission control refuses work-shaped requests at capacity with the
+   busy Err, while ping stays admitted. *)
+let test_admission_busy () =
+  with_server ~max_inflight:1 "busy" @@ fun path ->
+  let fd = send_no_wait path (sim ~s:long_src ()) in
+  Unix.sleepf 0.2;
+  let r = Client.one_shot path (sim ~s:src2 ()) in
+  check "work past the cap is refused busy" (Proto.is_busy_err r);
+  (match Client.one_shot path Proto.Ping with
+  | Proto.Pong _ -> ()
+  | _ -> check "ping must always be admitted" false);
+  Client.close fd
+
+(* A slow loris — a connection holding a half-written frame — is evicted
+   once idle past the timeout, and the server keeps serving others. *)
+let test_idle_eviction () =
+  with_server ~idle_timeout:0.2 "loris" @@ fun path ->
+  let fd = Client.connect path in
+  ignore (Unix.write_substring fd "\000\000" 0 2);
+  Unix.sleepf 0.9 (* > timeout plus a full idle select round *);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  let evicted =
+    match Unix.read fd (Bytes.create 1) 0 1 with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
+    | exception Unix.Unix_error _ -> true
+  in
+  Client.close fd;
+  check "slow-loris connection evicted" evicted;
+  match Client.one_shot path Proto.Ping with
+  | Proto.Pong _ -> ()
+  | _ -> check "server must survive the loris" false
+
+let () =
+  test_ping_under_load ();
+  test_deadline_expiry ();
+  test_admission_busy ();
+  test_idle_eviction ();
+  if !failures > 0 then begin
+    Printf.eprintf "serve-live: %d check(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline
+    "serve-live: liveness, deadline expiry, admission control and idle \
+     eviction OK"

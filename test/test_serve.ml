@@ -221,6 +221,77 @@ let test_errors_are_structured () =
   | Proto.Err (_ :: _) -> ()
   | _ -> Alcotest.fail "bad workload must yield Err"
 
+(* --- the retrying client's schedule: pure, published, pinned --------------
+
+   (The checks that need a live forked server — liveness under load,
+   deadline expiry, admission control, idle eviction — live in
+   serve_live.ml: Unix.fork is forbidden once the pool tests above have
+   created domains, so they run as their own domain-free executable.) *)
+
+module Client = Bisa_serve.Client
+
+
+let test_backoff_schedule () =
+  let sched seed = Client.backoff_schedule ~seed ~attempts:6 ~base:0.01 ~cap:0.5 in
+  Alcotest.(check bool) "same seed, same schedule" true (sched 7 = sched 7);
+  Alcotest.(check bool) "different seed, different schedule" true (sched 7 <> sched 8);
+  Alcotest.(check int) "one delay per attempt" 6 (List.length (sched 7));
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "every delay within [base, cap]" true
+        (d >= 0.01 && d <= 0.5))
+    (sched 7);
+  (* Decorrelated jitter's growth bound: each delay at most 3x its
+     predecessor (modulo the cap clamp). *)
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         Alcotest.(check bool) "delay <= max(base, 3 x prev)" true
+           (d <= Float.max 0.01 (3. *. prev) +. 1e-9);
+         d)
+       0.01 (sched 7));
+  (* call_retry sleeps exactly the published schedule: capture its naps
+     against a socket that will never answer. *)
+  let slept = ref [] in
+  (match
+     Client.call_retry ~attempts:4 ~base:0.01 ~cap:0.5 ~seed:7
+       ~sleep:(fun d -> slept := d :: !slept)
+       "/nonexistent/bisad.sock" Proto.Ping
+   with
+  | _ -> Alcotest.fail "a dead socket must raise after exhausting retries"
+  | exception _ -> ());
+  let expected = Client.backoff_schedule ~seed:7 ~attempts:3 ~base:0.01 ~cap:0.5 in
+  Alcotest.(check bool) "call_retry slept the published schedule" true
+    (List.rev !slept = expected)
+
+(* --- spool damage is loud -------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let test_spool_skip_surfaced () =
+  let dir = tmp_dir "skip" in
+  let a = Engine.create ~spool_dir:dir () in
+  let cold, _ = sim_payload (Engine.handle a (sim ())) in
+  let oc = open_out_bin (Filename.concat dir "deadbeef.resp") in
+  output_string oc "this is not a spooled result";
+  close_out oc;
+  let diags = ref [] in
+  let b = Engine.create ~spool_dir:dir ~log:(fun d -> diags := d :: !diags) () in
+  Alcotest.(check int) "skip counted in stats" 1
+    (Engine.stats b).Proto.spool_skipped;
+  (match !diags with
+  | [ d ] ->
+    Alcotest.(check bool) "diagnostic names the damaged file" true
+      (contains d.Diag.message "deadbeef")
+  | ds -> Alcotest.failf "expected one skip diagnostic, got %d" (List.length ds));
+  (* The intact entry still warms the cache, byte-identically. *)
+  let warm, cached = sim_payload (Engine.handle b (sim ())) in
+  Alcotest.(check bool) "good entry reloads" true cached;
+  Alcotest.(check string) "bytes intact past the damage" cold warm
+
 let suite =
   [
     Alcotest.test_case "decode robustness" `Quick test_decode_robustness;
@@ -234,4 +305,8 @@ let suite =
     Alcotest.test_case "spool reload" `Quick test_spool_reload;
     Alcotest.test_case "eviction keeps spool" `Quick test_eviction;
     Alcotest.test_case "structured errors" `Quick test_errors_are_structured;
+    Alcotest.test_case "retry backoff schedule is deterministic" `Quick
+      test_backoff_schedule;
+    Alcotest.test_case "spool damage is counted and logged" `Quick
+      test_spool_skip_surfaced;
   ]
